@@ -1,0 +1,31 @@
+//! # vmr-baselines — every baseline the paper compares against
+//!
+//! One representative per category of §5.1/§6:
+//!
+//! | Category | Baseline | Module |
+//! |---|---|---|
+//! | Heuristic | Filtering-based HA | [`ha`] |
+//! | Heuristic (packing) | α-VBPP staged evict-and-repack | [`vbpp`] |
+//! | Optimization | MIP via branch-and-bound | `vmr-solver::bnb` |
+//! | Approximate | POP partitioning | `vmr-solver::pop` |
+//! | Search | MCTS with pruning | [`mcts`] |
+//! | Learning | Decima-like (random PM subsets) | [`decima`] |
+//! | Hybrid | NeuPlan-like (RL prefix + solver suffix) | [`neuplan`] |
+//! | Extension (§8) | Swap-aware local search | [`swap`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decima;
+pub mod ha;
+pub mod mcts;
+pub mod neuplan;
+pub mod swap;
+pub mod vbpp;
+
+pub use decima::{decima_agent, DEFAULT_PM_SUBSET};
+pub use ha::{ha_solve, HaResult};
+pub use mcts::{mcts_solve, MctsConfig, MctsResult};
+pub use neuplan::{neuplan_solve, NeuPlanConfig, NeuPlanResult};
+pub use swap::{swap_search_solve, SwapMove, SwapSearchConfig, SwapSearchResult};
+pub use vbpp::{vbpp_solve, VbppResult};

@@ -1,0 +1,89 @@
+//! Property-based tests of the classical baselines: every solver must
+//! return a plan that replays exactly to its reported objective, never
+//! exceed the migration budget, and never worsen the initial state.
+
+use proptest::prelude::*;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::swap::{apply_moves, swap_search_solve, SwapMove, SwapSearchConfig};
+use vmr_baselines::vbpp::vbpp_solve;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+use vmr_sim::objective::Objective;
+
+fn cluster(seed: u64) -> ClusterState {
+    let cfg = ClusterConfig {
+        pm_groups: vec![PmGroup { count: 5, cpu_per_numa: 44, mem_per_numa: 128 }],
+        churn_cycles: 40,
+        ..ClusterConfig::tiny()
+    };
+    generate_mapping(&cfg, seed).expect("mapping")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ha_plan_replays_and_respects_budget(seed in 0u64..30, mnl in 0usize..12) {
+        let s = cluster(seed);
+        let cs = ConstraintSet::new(s.num_vms());
+        let res = ha_solve(&s, &cs, Objective::default(), mnl);
+        prop_assert!(res.plan.len() <= mnl);
+        prop_assert!(res.objective <= s.fragment_rate(16) + 1e-12);
+        let mut replay = s.clone();
+        for a in &res.plan {
+            replay.migrate(a.vm, a.pm, 16).expect("HA plan must replay");
+        }
+        prop_assert!((replay.fragment_rate(16) - res.objective).abs() < 1e-12);
+        replay.audit().expect("audit");
+    }
+
+    #[test]
+    fn swap_search_replays_and_counts_budget(
+        seed in 0u64..30,
+        mnl in 0usize..12,
+        pair_candidates in 0usize..32,
+    ) {
+        let s = cluster(seed);
+        let cs = ConstraintSet::new(s.num_vms());
+        let cfg = SwapSearchConfig { pair_candidates, ..Default::default() };
+        let res = swap_search_solve(&s, &cs, Objective::default(), mnl, &cfg);
+        let used: usize = res.moves.iter().map(SwapMove::migrations).sum();
+        prop_assert_eq!(used, res.migrations_used);
+        prop_assert!(res.migrations_used <= mnl);
+        prop_assert!(res.objective <= s.fragment_rate(16) + 1e-12);
+        let replay = apply_moves(&s, &res.moves, 16).expect("moves must replay");
+        prop_assert!((replay.fragment_rate(16) - res.objective).abs() < 1e-12);
+        replay.audit().expect("audit");
+    }
+
+    #[test]
+    fn vbpp_plan_replays(seed in 0u64..30, mnl in 1usize..12) {
+        let s = cluster(seed);
+        let cs = ConstraintSet::new(s.num_vms());
+        let res = vbpp_solve(&s, &cs, Objective::default(), mnl, 2);
+        prop_assert!(res.plan.len() <= mnl);
+        let mut replay = s.clone();
+        for a in &res.plan {
+            replay.migrate(a.vm, a.pm, 16).expect("VBPP plan must replay");
+        }
+        prop_assert!((replay.fragment_rate(16) - res.objective).abs() < 1e-12);
+        replay.audit().expect("audit");
+    }
+
+    /// Pinning every VM must yield an empty plan from every baseline.
+    #[test]
+    fn fully_pinned_clusters_produce_empty_plans(seed in 0u64..10) {
+        let s = cluster(seed);
+        let mut cs = ConstraintSet::new(s.num_vms());
+        for k in 0..s.num_vms() {
+            cs.pin(vmr_sim::types::VmId(k as u32)).expect("pin");
+        }
+        prop_assert!(ha_solve(&s, &cs, Objective::default(), 8).plan.is_empty());
+        prop_assert!(
+            swap_search_solve(&s, &cs, Objective::default(), 8, &Default::default())
+                .moves
+                .is_empty()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Criterion benches of end-to-end per-mapping inference latency — the
+//! right panels of Figs. 4, 9, and 18: how long each method takes to emit
+//! a full rescheduling plan.
+//!
+//! The solver ("MIP") is run under a short deadline here so the bench
+//! suite terminates; its unbounded blow-up is measured by the fig04
+//! experiment binary instead.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::vbpp::vbpp_solve;
+use vmr_core::agent::{rollout_episode, DecideOpts, Vmr2lAgent};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn bench_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_latency");
+    group.sample_size(10);
+    let cfg = ClusterConfig::small_train();
+    let state = generate_mapping(&cfg, 3).expect("mapping");
+    let cs = ConstraintSet::new(state.num_vms());
+    let obj = Objective::default();
+    let mnl = 8;
+
+    group.bench_function(BenchmarkId::new("ha", mnl), |b| {
+        b.iter(|| black_box(ha_solve(&state, &cs, obj, mnl)))
+    });
+    group.bench_function(BenchmarkId::new("vbpp", mnl), |b| {
+        b.iter(|| black_box(vbpp_solve(&state, &cs, obj, mnl, 3)))
+    });
+    group.bench_function(BenchmarkId::new("bnb_200ms", mnl), |b| {
+        b.iter(|| {
+            black_box(branch_and_bound(
+                &state,
+                &cs,
+                obj,
+                mnl,
+                &SolverConfig {
+                    time_limit: Duration::from_millis(200),
+                    beam_width: Some(16),
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.bench_function(BenchmarkId::new("pop_4x50ms", mnl), |b| {
+        b.iter(|| {
+            black_box(pop_solve(
+                &state,
+                &cs,
+                obj,
+                mnl,
+                &PopConfig {
+                    partitions: 4,
+                    sub: SolverConfig {
+                        time_limit: Duration::from_millis(200),
+                        beam_width: Some(8),
+                        ..Default::default()
+                    },
+                    seed: 0,
+                },
+            ))
+        })
+    });
+    // Untrained weights — latency is architecture-dependent, not
+    // training-dependent.
+    let mut rng = StdRng::seed_from_u64(0);
+    let agent = Vmr2lAgent::new(
+        Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng),
+        ActionMode::TwoStage,
+    );
+    group.bench_function(BenchmarkId::new("vmr2l_trajectory", mnl), |b| {
+        b.iter(|| {
+            let mut env = ReschedEnv::new(state.clone(), cs.clone(), obj, mnl).expect("env");
+            let mut r = StdRng::seed_from_u64(1);
+            black_box(
+                rollout_episode(&agent, &mut env, &mut r, &DecideOpts::default()).expect("rollout"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
+    targets = bench_plans
+}
+criterion_main!(benches);

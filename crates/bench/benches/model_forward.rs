@@ -1,0 +1,72 @@
+//! Criterion benches of the VMR2L network forward pass (stage 1 + stage 2)
+//! across cluster sizes and extractor variants — the learning-side cost in
+//! the Fig. 9/18 right panels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::config::{ExtractorKind, ModelConfig};
+use vmr_core::features::FeatureTensors;
+use vmr_core::model::Vmr2lModel;
+use vmr_nn::graph::Graph;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+use vmr_sim::obs::Observation;
+
+fn feats_for(pms: usize) -> FeatureTensors {
+    let cfg = ClusterConfig {
+        pm_groups: vec![PmGroup { count: pms, cpu_per_numa: 44, mem_per_numa: 128 }],
+        ..ClusterConfig::small_train()
+    };
+    let state = generate_mapping(&cfg, 11).expect("mapping");
+    FeatureTensors::from_observation(&Observation::extract(&state, 16))
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_forward");
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = ModelConfig::default();
+    let sparse = Vmr2lModel::new(cfg, ExtractorKind::SparseAttention, &mut rng);
+    let vanilla = Vmr2lModel::new(cfg, ExtractorKind::VanillaAttention, &mut rng);
+    for pms in [10usize, 40, 80] {
+        let feats = feats_for(pms);
+        group.bench_with_input(
+            BenchmarkId::new("stage1_sparse", format!("{pms}pm_{}vm", feats.num_vms)),
+            &feats,
+            |b, f| {
+                b.iter(|| {
+                    let mut g = Graph::new();
+                    black_box(sparse.stage1(&mut g, f));
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stage1_vanilla", format!("{pms}pm_{}vm", feats.num_vms)),
+            &feats,
+            |b, f| {
+                b.iter(|| {
+                    let mut g = Graph::new();
+                    black_box(vanilla.stage1(&mut g, f));
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stage1_plus_stage2", format!("{pms}pm")),
+            &feats,
+            |b, f| {
+                b.iter(|| {
+                    let mut g = Graph::new();
+                    let s1 = sparse.stage1(&mut g, f);
+                    black_box(sparse.stage2(&mut g, &s1, 0));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward
+}
+criterion_main!(benches);

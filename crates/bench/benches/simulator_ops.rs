@@ -1,0 +1,113 @@
+//! Criterion benches of the simulator substrate's hot paths: migration
+//! apply/undo, fragment-rate computation, legality masks, and state
+//! featurization — the per-step costs every method in Fig. 9 pays.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::obs::Observation;
+use vmr_sim::types::{PmId, VmId};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for (name, cfg) in [
+        ("small_40pm", ClusterConfig::small_train()),
+        ("medium_280pm", ClusterConfig::medium()),
+    ] {
+        let state = generate_mapping(&cfg, 7).expect("mapping");
+        let cs = ConstraintSet::new(state.num_vms());
+
+        group.bench_with_input(BenchmarkId::new("fragment_rate", name), &state, |b, s| {
+            b.iter(|| black_box(s.fragment_rate(16)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("observation_extract", name), &state, |b, s| {
+            b.iter(|| black_box(Observation::extract(s, 16)))
+        });
+
+        // Find one legal migration to measure apply+undo.
+        let mut probe = state.clone();
+        let mut found = None;
+        'outer: for k in 0..probe.num_vms() {
+            for i in 0..probe.num_pms() {
+                let (vm, pm) = (VmId(k as u32), PmId(i as u32));
+                if cs.migration_legal(&probe, vm, pm).is_ok() {
+                    found = Some((vm, pm));
+                    break 'outer;
+                }
+            }
+        }
+        let (vm, pm) = found.expect("some legal move exists");
+        group.bench_function(BenchmarkId::new("migrate_undo", name), |b| {
+            b.iter(|| {
+                let rec = probe.migrate(vm, pm, 16).expect("legal");
+                probe.undo(&rec).expect("undo");
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("pm_mask", name), &state, |b, s| {
+            b.iter(|| black_box(cs.pm_mask(s, vm)))
+        });
+
+        // Find one legal swap pair to measure the atomic exchange.
+        let mut swap_pair = None;
+        'swap: for a in 0..probe.num_vms().min(64) {
+            for b in (a + 1)..probe.num_vms().min(64) {
+                let (va, vb) = (VmId(a as u32), VmId(b as u32));
+                if probe.placement(va).pm == probe.placement(vb).pm {
+                    continue;
+                }
+                if let Ok(rec) = probe.swap(va, vb, 16) {
+                    probe.undo_swap(&rec).expect("undo probe swap");
+                    swap_pair = Some((va, vb));
+                    break 'swap;
+                }
+            }
+        }
+        if let Some((va, vb)) = swap_pair {
+            group.bench_function(BenchmarkId::new("swap_undo", name), |b| {
+                b.iter(|| {
+                    let rec = probe.swap(va, vb, 16).expect("legal swap");
+                    probe.undo_swap(&rec).expect("undo swap");
+                })
+            });
+        }
+
+        // Live-migration plan scheduling (pre-copy model, Ext. 1).
+        let plan = {
+            let mut work = state.clone();
+            let mut plan = Vec::new();
+            'fill: for k in 0..work.num_vms() {
+                for i in 0..work.num_pms() {
+                    let (vm, pm) = (VmId(k as u32), PmId(i as u32));
+                    if work.placement(vm).pm != pm && work.migrate(vm, pm, 16).is_ok() {
+                        plan.push(vmr_sim::env::Action { vm, pm });
+                        if plan.len() == 25 {
+                            break 'fill;
+                        }
+                        break;
+                    }
+                }
+            }
+            plan
+        };
+        let model = vmr_sim::migration::PrecopyModel::default();
+        let limits = vmr_sim::migration::NicLimits::default();
+        group.bench_function(BenchmarkId::new("schedule_plan_25", name), |b| {
+            b.iter(|| {
+                black_box(
+                    vmr_sim::migration::schedule_plan(&state, &plan, &model, limits)
+                        .expect("schedulable"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+}
+criterion_main!(benches);

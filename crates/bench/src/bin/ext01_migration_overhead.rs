@@ -1,0 +1,82 @@
+//! Ext. 1 — live-migration execution cost of rescheduling plans (§1).
+//!
+//! The paper argues VMR is cheap because pre-copy live migration moves
+//! only memory over high-bandwidth links. This experiment quantifies
+//! that: HA plans at increasing MNL are scheduled under the pre-copy
+//! cost model with per-PM NIC stream limits, reporting the execution
+//! window (makespan), cumulative VM downtime, and the parallel speedup
+//! over strictly sequential execution.
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_bench::{mappings, parse_args, scaled_config, Report, RunMode};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::migration::{schedule_plan, NicLimits, PrecopyModel};
+use vmr_sim::objective::Objective;
+
+fn main() {
+    let args = parse_args();
+    let cfg = scaled_config(&ClusterConfig::medium(), args.mode);
+    let states = mappings(&cfg, args.mode.eval_mappings(), args.seed).expect("mappings");
+    let model = PrecopyModel::default();
+    let obj = Objective::default();
+
+    let mnls: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![2, 5],
+        _ => vec![5, 10, 25, 50],
+    };
+    let mut report = Report::new(
+        "ext01_migration_overhead",
+        "Ext. 1: live-migration cost of HA plans (pre-copy model)",
+        &[
+            "mnl",
+            "plan_len",
+            "streams",
+            "makespan_s",
+            "sequential_s",
+            "speedup",
+            "downtime_ms_per_vm",
+            "transferred_gib",
+        ],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+    report.meta("bandwidth_gib_s", model.bandwidth_gib_s);
+    report.meta("dirty_rate_gib_s", model.dirty_rate_gib_s);
+    for &mnl in &mnls {
+        for streams in [1u32, 2, 4] {
+            let limits = NicLimits { streams_per_pm: streams };
+            let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+            for state in &states {
+                let cs = ConstraintSet::new(state.num_vms());
+                let plan = ha_solve(state, &cs, obj, mnl).plan;
+                let sched =
+                    schedule_plan(state, &plan, &model, limits).expect("plan must schedule");
+                let per_vm = if plan.is_empty() {
+                    0.0
+                } else {
+                    sched.total_downtime_ms / plan.len() as f64
+                };
+                acc.0 += plan.len() as f64;
+                acc.1 += sched.makespan_secs;
+                acc.2 += sched.sequential_secs;
+                acc.3 += sched.speedup();
+                acc.4 += per_vm;
+                acc.5 += sched.total_transferred_gib;
+            }
+            let n = states.len() as f64;
+            report.row(vec![
+                json!(mnl),
+                json!(acc.0 / n),
+                json!(streams),
+                json!(acc.1 / n),
+                json!(acc.2 / n),
+                json!(acc.3 / n),
+                json!(acc.4 / n),
+                json!(acc.5 / n),
+            ]);
+        }
+        eprintln!("mnl {mnl} done");
+    }
+    report.emit();
+}

@@ -1,0 +1,101 @@
+//! Ext. 2 — swap-aware local search vs single-move baselines (§8).
+//!
+//! The paper's future work proposes multi-VM swaps to escape the
+//! feasibility bottleneck of one-at-a-time migration. This experiment
+//! compares, per MNL: HA (the production heuristic), single-move
+//! steepest descent, and the full swap-aware search — all under the
+//! same migration budget (a swap consumes two units).
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::swap::{swap_search_solve, SwapMove, SwapSearchConfig};
+use vmr_bench::{mappings, parse_args, scaled_config, Report, RunMode};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::objective::Objective;
+
+fn main() {
+    let args = parse_args();
+    let obj = Objective::default();
+
+    let mnls: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![2, 4],
+        _ => vec![5, 10, 25, 50],
+    };
+    let single_only = SwapSearchConfig { pair_candidates: 0, ..Default::default() };
+    let with_swaps = SwapSearchConfig::default();
+
+    let mut report = Report::new(
+        "ext02_swap_search",
+        "Ext. 2: swap-aware local search vs single-move methods",
+        &[
+            "cluster",
+            "mnl",
+            "fr_initial",
+            "fr_ha",
+            "fr_single_descent",
+            "fr_swap_search",
+            "swaps_used",
+            "time_s",
+        ],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+
+    // Two regimes: the standard Medium-shaped cluster, and a
+    // tightly-packed one (95% target utilization) where single
+    // migrations often have nowhere to go — §8's motivation for swaps.
+    let normal = scaled_config(&ClusterConfig::medium(), args.mode);
+    let tight = {
+        let mut t = scaled_config(&ClusterConfig::medium(), args.mode);
+        t.target_util = 0.95;
+        t.name = format!("{}_tight", t.name);
+        t
+    };
+    for (label, cfg) in [("normal", normal), ("tight", tight)] {
+        run_regime(&args, label, &cfg, obj, &mnls, &single_only, &with_swaps, &mut report);
+    }
+    report.emit();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_regime(
+    args: &vmr_bench::BenchArgs,
+    label: &str,
+    cfg: &ClusterConfig,
+    obj: Objective,
+    mnls: &[usize],
+    single_only: &SwapSearchConfig,
+    with_swaps: &SwapSearchConfig,
+    report: &mut Report,
+) {
+    let states = mappings(cfg, args.mode.eval_mappings(), args.seed).expect("mappings");
+    for &mnl in mnls {
+        let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        for state in &states {
+            let cs = ConstraintSet::new(state.num_vms());
+            acc.0 += obj.value(state);
+            acc.1 += ha_solve(state, &cs, obj, mnl).objective;
+            acc.2 += swap_search_solve(state, &cs, obj, mnl, single_only).objective;
+            let full = swap_search_solve(state, &cs, obj, mnl, with_swaps);
+            acc.3 += full.objective;
+            acc.4 += full
+                .moves
+                .iter()
+                .filter(|m| matches!(m, SwapMove::Swap(..)))
+                .count() as f64;
+            acc.5 += full.elapsed.as_secs_f64();
+        }
+        let n = states.len() as f64;
+        report.row(vec![
+            json!(label),
+            json!(mnl),
+            json!(acc.0 / n),
+            json!(acc.1 / n),
+            json!(acc.2 / n),
+            json!(acc.3 / n),
+            json!(acc.4 / n),
+            json!(acc.5 / n),
+        ]);
+        eprintln!("{label} mnl {mnl} done");
+    }
+}

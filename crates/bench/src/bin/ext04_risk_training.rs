@@ -1,0 +1,73 @@
+//! Ext. 4 — risk-seeking *training* ablation (§8 future work).
+//!
+//! The paper deploys risk-seeking at evaluation time and names
+//! risk-seeking training (Petersen et al.) as future work. This
+//! experiment trains two otherwise-identical agents — standard PPO vs
+//! elite-episode-filtered PPO — and compares their greedy and
+//! risk-seeking evaluation FR, showing whether optimizing the best-case
+//! tail during training composes with best-of-k deployment.
+
+use serde_json::json;
+use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report};
+use vmr_core::eval::{greedy_eval, risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::objective::Objective;
+
+fn main() {
+    let args = parse_args();
+    let cfg = train_cluster_config(args.mode);
+    let train_states = mappings(&cfg, 8, args.seed).expect("train mappings");
+    let eval_states = mappings(&cfg, args.mode.eval_mappings(), args.seed + 1000).expect("eval");
+    let obj = Objective::default();
+
+    let mut report = Report::new(
+        "ext04_risk_training",
+        "Ext. 4: standard PPO vs risk-seeking (elite-filtered) training",
+        &["variant", "fr_greedy", "fr_risk_eval_k8", "final_mean_reward"],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+    for (label, quantile) in [("ppo", None), ("risk_q0.5", Some(0.5)), ("risk_q0.75", Some(0.75))] {
+        let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+        if let Some(u) = args.updates {
+            spec.train.updates = u;
+        }
+        spec.train.risk_quantile = quantile;
+        // Distinct cache names per variant: the quantile is not part of
+        // the architecture key.
+        let cache = format!("{}-{}", cfg.name, label);
+        let (agent, history) =
+            train_agent(&spec, train_states.clone(), vec![], Some(&cache)).expect("train");
+        let mnl = args.mnl.unwrap_or(spec.train.mnl);
+
+        let mut greedy = 0.0;
+        let mut risky = 0.0;
+        for (i, state) in eval_states.iter().enumerate() {
+            let cs = ConstraintSet::new(state.num_vms());
+            greedy += greedy_eval(&agent, state, &cs, obj, mnl).expect("greedy").0;
+            risky += risk_seeking_eval(
+                &agent,
+                state,
+                &cs,
+                obj,
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: 8,
+                    seed: args.seed + i as u64,
+                    ..Default::default()
+                },
+            )
+            .expect("risk eval")
+            .best_objective;
+        }
+        let n = eval_states.len() as f64;
+        let final_reward = history.last().map(|h| h.mean_reward).unwrap_or(f64::NAN);
+        report.row(vec![
+            json!(label),
+            json!(greedy / n),
+            json!(risky / n),
+            json!(final_reward),
+        ]);
+        eprintln!("{label} done");
+    }
+    report.emit();
+}

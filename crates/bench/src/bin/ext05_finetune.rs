@@ -1,0 +1,96 @@
+//! Ext. 5 — adapting a trained agent to a shifted workload (§7).
+//!
+//! The paper recommends off-the-shelf fine-tuning (top-layer, adapters,
+//! LoRA) when deployment drifts from the training distribution. This
+//! experiment trains on the Low-workload cluster, then adapts to the
+//! High-workload cluster four ways under the same small update budget:
+//! zero-shot (no adaptation), top-layer fine-tuning (frozen extractor),
+//! full fine-tuning, and training from scratch — reporting greedy FR on
+//! held-out High-workload mappings.
+
+use serde_json::json;
+use vmr_bench::{
+    build_agent, mappings, parse_args, scaled_config, train_agent, AgentSpec, Report, RunMode,
+};
+use vmr_core::eval::greedy_eval;
+use vmr_core::train::Trainer;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::objective::Objective;
+
+fn main() {
+    let args = parse_args();
+    let low_cfg = scaled_config(&ClusterConfig::workload_low(), args.mode);
+    let high_cfg = scaled_config(&ClusterConfig::workload_high(), args.mode);
+    let low_train = mappings(&low_cfg, 8, args.seed).expect("low train");
+    let high_train = mappings(&high_cfg, 8, args.seed + 500).expect("high train");
+    let high_eval =
+        mappings(&high_cfg, args.mode.eval_mappings(), args.seed + 1000).expect("high eval");
+    let obj = Objective::default();
+
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    let adapt_updates = match args.mode {
+        RunMode::Smoke => 1,
+        RunMode::Default => (spec.train.updates / 3).max(1),
+        RunMode::Full => (spec.train.updates / 3).max(1),
+    };
+    let mnl = args.mnl.unwrap_or(spec.train.mnl);
+
+    // Pretrain on Low.
+    let (base_agent, _) =
+        train_agent(&spec, low_train, vec![], Some(&low_cfg.name)).expect("pretrain");
+
+    let eval = |agent: &vmr_core::agent::Vmr2lAgent<vmr_core::model::Vmr2lModel>| -> f64 {
+        let mut total = 0.0;
+        for state in &high_eval {
+            let cs = ConstraintSet::new(state.num_vms());
+            total += greedy_eval(agent, state, &cs, obj, mnl).expect("eval").0;
+        }
+        total / high_eval.len() as f64
+    };
+
+    let mut report = Report::new(
+        "ext05_finetune",
+        "Ext. 5: adapting a Low-workload agent to High workloads",
+        &["variant", "updates_on_high", "fr_high_eval"],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+    report.meta("mnl", mnl);
+
+    // Zero-shot.
+    report.row(vec![json!("zero_shot"), json!(0), json!(eval(&base_agent))]);
+    eprintln!("zero_shot done");
+
+    // Top-layer fine-tuning: freeze the shared extractor, adapt heads.
+    let mut adapt_cfg = spec.train;
+    adapt_cfg.updates = adapt_updates;
+    let mut top = Trainer::new(base_agent.clone(), high_train.clone(), vec![], adapt_cfg)
+        .expect("trainer");
+    top.freeze_prefixes(&["vm_embed", "pm_embed", "block"]);
+    top.train(|_| {}).expect("top-layer finetune");
+    let top_agent = top.into_agent();
+    report.row(vec![json!("top_layer"), json!(adapt_updates), json!(eval(&top_agent))]);
+    eprintln!("top_layer done");
+
+    // Full fine-tuning.
+    let mut full = Trainer::new(base_agent.clone(), high_train.clone(), vec![], adapt_cfg)
+        .expect("trainer");
+    full.train(|_| {}).expect("full finetune");
+    let full_agent = full.into_agent();
+    report.row(vec![json!("full_finetune"), json!(adapt_updates), json!(eval(&full_agent))]);
+    eprintln!("full_finetune done");
+
+    // From scratch with the same small budget.
+    let fresh = build_agent(&spec);
+    let mut scratch =
+        Trainer::new(fresh, high_train, vec![], adapt_cfg).expect("trainer");
+    scratch.train(|_| {}).expect("scratch");
+    let scratch_agent = scratch.into_agent();
+    report.row(vec![json!("from_scratch"), json!(adapt_updates), json!(eval(&scratch_agent))]);
+    eprintln!("from_scratch done");
+
+    report.emit();
+}

@@ -1,0 +1,105 @@
+//! Ext. 7 — runtime-aware rescheduling (§8 future work).
+//!
+//! "Incorporating the estimated remaining runtime of each VM … could
+//! further enhance performance": migrating a VM that exits soon wastes
+//! budget and bandwidth, and its departure reopens the hole anyway. This
+//! experiment compares, on the same mappings and lifetime draws:
+//!
+//! * **oblivious** — HA plans over all VMs; short-lived VMs may be
+//!   migrated and then exit.
+//! * **runtime_aware** — VMs expected to exit within the payback horizon
+//!   are pinned (excluded from migration), so the whole budget goes to
+//!   survivors.
+//!
+//! Reported FR is measured *after* the short-lived VMs have exited —
+//! the state an operator actually lives with.
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_bench::{mappings, parse_args, scaled_config, Report, RunMode};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::dynamics::DynamicCluster;
+use vmr_sim::lifetime::LifetimeModel;
+use vmr_sim::objective::Objective;
+use vmr_sim::types::VmId;
+
+fn main() {
+    let args = parse_args();
+    let cfg = scaled_config(&ClusterConfig::medium(), args.mode);
+    let states = mappings(&cfg, args.mode.eval_mappings(), args.seed).expect("mappings");
+    let obj = Objective::default();
+    let mnl = args.mnl.unwrap_or(match args.mode {
+        RunMode::Smoke => 4,
+        _ => 25,
+    });
+    // Payback horizon: a migration must buy at least this much placement
+    // lifetime to be worth its bandwidth. Median VM lifetime is 2 h.
+    let horizon_secs = 1800.0;
+    let median_secs = 7200.0;
+
+    let mut report = Report::new(
+        "ext07_runtime_aware",
+        "Ext. 7: runtime-aware rescheduling (pin VMs about to exit)",
+        &["variant", "fr_after_exits", "migrations", "wasted_migrations", "exiting_vms"],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+    report.meta("mnl", mnl);
+    report.meta("horizon_secs", horizon_secs);
+    report.meta("median_lifetime_secs", median_secs);
+
+    let mut acc_obl = (0.0, 0.0, 0.0);
+    let mut acc_aware = (0.0, 0.0, 0.0);
+    let mut exiting_total = 0.0;
+    for (i, state) in states.iter().enumerate() {
+        let lifetimes = LifetimeModel::generate(state, median_secs, args.seed + 31 + i as u64);
+        let exiting: Vec<VmId> = (0..state.num_vms())
+            .map(|k| VmId(k as u32))
+            .filter(|&v| lifetimes.remaining(v) <= horizon_secs)
+            .collect();
+        exiting_total += exiting.len() as f64;
+
+        // FR after plan execution and then the exits, plus how many plan
+        // steps were spent on VMs that exited.
+        let run = |plan: &[vmr_sim::env::Action]| -> (f64, f64) {
+            let mut s = state.clone();
+            for a in plan {
+                s.migrate(a.vm, a.pm, obj.frag_cores()).expect("replay");
+            }
+            let mut d = DynamicCluster::from_state(&s);
+            for &v in &exiting {
+                d.exit(v).expect("exit");
+            }
+            let wasted = plan.iter().filter(|a| exiting.contains(&a.vm)).count();
+            (d.fragment_rate(obj.frag_cores()), wasted as f64)
+        };
+
+        let oblivious = ha_solve(state, &ConstraintSet::new(state.num_vms()), obj, mnl);
+        let (fr_o, wasted_o) = run(&oblivious.plan);
+        acc_obl.0 += fr_o;
+        acc_obl.1 += oblivious.plan.len() as f64;
+        acc_obl.2 += wasted_o;
+
+        let mut cs = ConstraintSet::new(state.num_vms());
+        for &v in &exiting {
+            cs.pin(v).expect("pin");
+        }
+        let aware = ha_solve(state, &cs, obj, mnl);
+        let (fr_a, wasted_a) = run(&aware.plan);
+        acc_aware.0 += fr_a;
+        acc_aware.1 += aware.plan.len() as f64;
+        acc_aware.2 += wasted_a;
+        eprintln!("mapping {i} done ({} exiting)", exiting.len());
+    }
+    let n = states.len() as f64;
+    for (label, acc) in [("oblivious", acc_obl), ("runtime_aware", acc_aware)] {
+        report.row(vec![
+            json!(label),
+            json!(acc.0 / n),
+            json!(acc.1 / n),
+            json!(acc.2 / n),
+            json!(exiting_total / n),
+        ]);
+    }
+    report.emit();
+}

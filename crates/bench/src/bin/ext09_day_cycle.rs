@@ -1,0 +1,136 @@
+//! Ext. 9 — the full daily operational loop (Figs. 1–3, end-to-end).
+//!
+//! Continuous best-fit VMS under diurnal churn, with one off-peak VMR
+//! window per day, comparing planners: none (fragments accumulate), HA,
+//! and a trained VMR2L agent (greedy deployment). Reports the mean
+//! fragment rate over the whole series, the mean FR drop per VMR
+//! window, and footnote-7 drop counts — the operator's view the paper's
+//! introduction paints.
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_core::eval::greedy_eval;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
+use vmr_sim::dataset::VmMix;
+use vmr_sim::env::Action;
+use vmr_sim::objective::Objective;
+use vmr_sim::trace::DiurnalModel;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = parse_args();
+    let cluster_cfg = train_cluster_config(args.mode);
+    let initial = &mappings(&cluster_cfg, 1, args.seed).expect("mapping")[0];
+    let obj = Objective::default();
+
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    let train_states = mappings(&cluster_cfg, 8, args.seed).expect("train mappings");
+    let (agent, _) =
+        train_agent(&spec, train_states, vec![], Some(&cluster_cfg.name)).expect("train");
+
+    let mut cycle_cfg = DayCycleConfig::new(VmMix::standard());
+    cycle_cfg.mnl = args.mnl.unwrap_or(match args.mode {
+        RunMode::Smoke => 4,
+        _ => 15,
+    });
+    match args.mode {
+        RunMode::Smoke => {
+            cycle_cfg.days = 1;
+            cycle_cfg.sample_every = 120;
+            cycle_cfg.model = DiurnalModel { base_rate: 0.5, amplitude: 0.5, peak_minute: 840 };
+            cycle_cfg.exit_frac = 0.0005;
+        }
+        _ => {
+            cycle_cfg.days = 3;
+            cycle_cfg.sample_every = 30;
+            // Churn scaled to the 40-PM training cluster: the exit rate
+            // is proportional to population, so the equilibrium sits at
+            // base_rate / exit_frac ≈ 285 VMs — the cluster neither
+            // drains nor saturates over the simulated days.
+            cycle_cfg.model = DiurnalModel { base_rate: 1.0, amplitude: 0.6, peak_minute: 840 };
+            cycle_cfg.exit_frac = 0.0035;
+        }
+    }
+
+    let mut report = Report::new(
+        "ext09_day_cycle",
+        "Ext. 9: daily VMS churn + off-peak VMR windows",
+        &[
+            "planner",
+            "mean_fr",
+            "mean_population",
+            "mean_window_drop",
+            "applied_per_window",
+            "dropped_per_window",
+        ],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+    report.meta("days", cycle_cfg.days);
+    report.meta("mnl", cycle_cfg.mnl);
+
+    type Planner<'a> = Box<dyn FnMut(&ClusterState, usize) -> Vec<Action> + 'a>;
+    let planners: Vec<(&str, Planner)> = vec![
+        ("none", Box::new(|_: &ClusterState, _| Vec::new())),
+        (
+            "ha",
+            Box::new(move |s: &ClusterState, mnl: usize| {
+                ha_solve(s, &ConstraintSet::new(s.num_vms()), obj, mnl).plan
+            }),
+        ),
+        (
+            "vmr2l",
+            Box::new(move |s: &ClusterState, mnl: usize| {
+                let cs = ConstraintSet::new(s.num_vms());
+                greedy_eval(&agent, s, &cs, obj, mnl).map(|(_, plan)| plan).unwrap_or_default()
+            }),
+        ),
+    ];
+
+    let trials: u64 = match args.mode {
+        RunMode::Smoke => 1,
+        _ => 5,
+    };
+    report.meta("trials", trials);
+    for (label, mut planner) in planners {
+        let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for trial in 0..trials {
+            let mut rng = StdRng::seed_from_u64(args.seed ^ 0xda11 ^ (trial * 7919));
+            let out =
+                run_day_cycle(initial, &mut planner, &cycle_cfg, &mut rng).expect("day cycle");
+            let windows = out.windows.len().max(1) as f64;
+            let applied: usize = out.windows.iter().map(|w| w.applied).sum();
+            let dropped: usize = out.windows.iter().map(|w| w.dropped).sum();
+            // A defragmented cluster admits more arrivals, so its
+            // population (and utilization) runs higher — which
+            // mechanically raises the FR ratio. Report population
+            // alongside FR so the comparison is read correctly: the
+            // business win is VMs hosted, not raw FR.
+            let mean_population = out.samples.iter().map(|s| s.population as f64).sum::<f64>()
+                / out.samples.len().max(1) as f64;
+            acc.0 += out.mean_fr();
+            acc.1 += mean_population;
+            acc.2 += out.mean_window_drop();
+            acc.3 += applied as f64 / windows;
+            acc.4 += dropped as f64 / windows;
+        }
+        let n = trials as f64;
+        report.row(vec![
+            json!(label),
+            json!(acc.0 / n),
+            json!(acc.1 / n),
+            json!(acc.2 / n),
+            json!(acc.3 / n),
+            json!(acc.4 / n),
+        ]);
+        eprintln!("{label} done (mean FR {:.4})", acc.0 / n);
+    }
+    report.emit();
+}

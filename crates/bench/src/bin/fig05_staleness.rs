@@ -1,0 +1,76 @@
+//! Fig. 5 — achieved FR as a function of solver inference time.
+//!
+//! While a plan is being computed the cluster keeps churning; stale
+//! actions (VM exited / destination full) are dropped at deploy time.
+//! The paper finds an elbow around five seconds; we reproduce the shape by
+//! replaying one good plan after increasing delays.
+
+use serde_json::json;
+use vmr_bench::{parse_args, scaled_config, solver_budget, Report, RunMode};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, VmMix};
+use vmr_sim::dynamics::staleness_experiment;
+use vmr_sim::objective::Objective;
+use vmr_sim::trace::DiurnalModel;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+
+fn main() {
+    let args = parse_args();
+    let cfg = scaled_config(&ClusterConfig::medium(), args.mode);
+    let state = generate_mapping(&cfg, args.seed).expect("mapping generation");
+    let cs = ConstraintSet::new(state.num_vms());
+    let obj = Objective::default();
+    let mnl = args.mnl.unwrap_or(match args.mode {
+        RunMode::Smoke => 3,
+        _ => 20,
+    });
+
+    // Compute one good plan against the snapshot.
+    let plan = branch_and_bound(
+        &state,
+        &cs,
+        obj,
+        mnl,
+        &SolverConfig { time_limit: solver_budget(args.mode) * 4, beam_width: Some(48), ..Default::default() },
+    );
+
+    // Churn model scaled to the cluster size so the elbow is visible.
+    let model = DiurnalModel {
+        base_rate: (state.num_vms() as f64 * 0.01).max(1.0),
+        ..DiurnalModel::default()
+    };
+    let mix = VmMix::standard();
+    let delays: &[u32] = match args.mode {
+        RunMode::Smoke => &[0, 5, 60],
+        _ => &[0, 1, 2, 5, 10, 30, 60, 120, 240],
+    };
+
+    let mut report = Report::new(
+        "fig05_staleness",
+        "Fig. 5: effect of inference time on achieved FR (plan staleness)",
+        &["delay_min", "achieved_fr", "applied", "dropped"],
+    );
+    report.meta("planned_fr", plan.objective);
+    report.meta("initial_fr", obj.value(&state));
+    report.meta("plan_len", plan.plan.len());
+    for &d in delays {
+        // Average over several churn seeds for a stable curve.
+        let seeds = if args.mode == RunMode::Smoke { 2 } else { 8 };
+        let mut fr = 0.0;
+        let mut applied = 0usize;
+        let mut dropped = 0usize;
+        for s in 0..seeds {
+            let out = staleness_experiment(&state, &plan.plan, d, &model, 0.004, &mix, args.seed + s);
+            fr += out.achieved_fr;
+            applied += out.applied;
+            dropped += out.dropped;
+        }
+        report.row(vec![
+            json!(d),
+            json!(fr / seeds as f64),
+            json!(applied as f64 / seeds as f64),
+            json!(dropped as f64 / seeds as f64),
+        ]);
+    }
+    report.emit();
+}

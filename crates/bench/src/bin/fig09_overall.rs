@@ -1,0 +1,187 @@
+//! Fig. 9 — overall comparison: FR (left) and inference time (right) of
+//! all eight methods across MNLs.
+//!
+//! Methods: HA, MIP (branch-and-bound stand-in), POP, α-VBPP, MCTS,
+//! Decima-like, NeuPlan-like, and VMR2L with risk-seeking evaluation.
+//! The VMR2L and Decima agents are PPO-trained (checkpoint-cached across
+//! harness invocations).
+
+use std::time::Instant;
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::mcts::{mcts_solve, MctsConfig};
+use vmr_baselines::neuplan::{neuplan_solve, NeuPlanConfig};
+use vmr_baselines::vbpp::vbpp_solve;
+use vmr_bench::{
+    mappings, parse_args, solver_budget, train_agent, train_cluster_config, AgentSpec, Report,
+    RunMode,
+};
+use vmr_core::config::ExtractorKind;
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() {
+    let args = parse_args();
+    let cfg = train_cluster_config(args.mode);
+    let obj = Objective::default();
+    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
+        .expect("eval mappings");
+    let train_states = mappings(&cfg, 8, args.seed).expect("train mappings");
+
+    // Train VMR2L and the Decima baseline (cached).
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    let train_mnl = spec.train.mnl;
+    eprintln!("training VMR2L...");
+    let (vmr2l, _) =
+        train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name)).expect("train vmr2l");
+    let mut dspec = spec.clone();
+    dspec.extractor = ExtractorKind::VanillaAttention;
+    dspec.pm_subset = Some(8);
+    eprintln!("training Decima baseline...");
+    let (decima, _) =
+        train_agent(&dspec, train_states, vec![], Some(&cfg.name)).expect("train decima");
+
+    let mnls: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![2, 3],
+        RunMode::Default => vec![2, 4, 8, 12],
+        RunMode::Full => vec![10, 20, 30, 40, 50],
+    };
+    let _ = train_mnl;
+
+    let mut report = Report::new(
+        "fig09_overall",
+        "Fig. 9: FR and inference time, all methods, across MNLs",
+        &["mnl", "method", "fr", "time_s"],
+    );
+    report.meta("pms", eval_states[0].num_pms());
+    report.meta("vms", eval_states[0].num_vms());
+    report.meta("initial_fr", avg(eval_states.iter().map(|s| obj.value(s))));
+    report.meta("mode", format!("{:?}", args.mode));
+
+    for &mnl in &mnls {
+        let mut acc: Vec<(&str, f64, f64)> = Vec::new();
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            // HA
+            let r = ha_solve(state, &cs, obj, mnl);
+            push(&mut acc, "HA", r.objective, r.elapsed.as_secs_f64());
+            // MIP (budget grows with MNL; allowed to exceed 5 s)
+            let t0 = Instant::now();
+            let r = branch_and_bound(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &SolverConfig {
+                    time_limit: solver_budget(args.mode) * mnl as u32,
+                    beam_width: Some(48),
+                    ..Default::default()
+                },
+            );
+            push(&mut acc, "MIP", r.objective, t0.elapsed().as_secs_f64());
+            // POP under the five-second-style budget
+            let r = pop_solve(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &PopConfig {
+                    partitions: if args.mode == RunMode::Full { 16 } else { 4 },
+                    sub: SolverConfig {
+                        time_limit: solver_budget(args.mode),
+                        beam_width: Some(24),
+                        ..Default::default()
+                    },
+                    seed: args.seed,
+                },
+            );
+            push(&mut acc, "POP", r.objective, r.elapsed.as_secs_f64());
+            // α-VBPP
+            let r = vbpp_solve(state, &cs, obj, mnl, (mnl / 5).max(2));
+            push(&mut acc, "a-VBPP", r.objective, r.elapsed.as_secs_f64());
+            // MCTS
+            let r = mcts_solve(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &MctsConfig {
+                    rollouts_per_step: 24,
+                    branch_cap: 8,
+                    time_limit: solver_budget(args.mode),
+                    ..Default::default()
+                },
+            );
+            push(&mut acc, "MCTS", r.objective, r.elapsed.as_secs_f64());
+            // Decima (greedy single trajectory)
+            let t0 = Instant::now();
+            let (fr, _) = vmr_core::eval::greedy_eval(&decima, state, &cs, obj, mnl)
+                .expect("decima eval");
+            push(&mut acc, "Decima", fr, t0.elapsed().as_secs_f64());
+            // NeuPlan (VMR2L prefix + solver suffix)
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
+            let r = neuplan_solve(
+                &vmr2l,
+                state,
+                &cs,
+                obj,
+                mnl,
+                &NeuPlanConfig {
+                    beta: (mnl / 3).max(1),
+                    solver: SolverConfig {
+                        time_limit: solver_budget(args.mode),
+                        beam_width: Some(16),
+                        ..Default::default()
+                    },
+                },
+                &mut rng,
+            )
+            .expect("neuplan");
+            push(&mut acc, "NeuPlan", r.objective, r.elapsed.as_secs_f64());
+            // VMR2L with risk-seeking evaluation
+            let r = risk_seeking_eval(
+                &vmr2l,
+                state,
+                &cs,
+                obj,
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: if args.mode == RunMode::Smoke { 2 } else { 8 },
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("vmr2l eval");
+            push(&mut acc, "VMR2L", r.best_objective, r.elapsed.as_secs_f64());
+        }
+        // Average per method over eval states, preserving method order.
+        let methods = ["HA", "MIP", "POP", "a-VBPP", "MCTS", "Decima", "NeuPlan", "VMR2L"];
+        for m in methods {
+            let rows: Vec<&(&str, f64, f64)> = acc.iter().filter(|r| r.0 == m).collect();
+            let fr = avg(rows.iter().map(|r| r.1));
+            let t = avg(rows.iter().map(|r| r.2));
+            report.row(vec![json!(mnl), json!(m), json!(fr), json!(t)]);
+        }
+        eprintln!("mnl {mnl} done");
+    }
+    report.emit();
+}
+
+fn push(acc: &mut Vec<(&'static str, f64, f64)>, m: &'static str, fr: f64, t: f64) {
+    acc.push((m, fr, t));
+}
+
+fn avg(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}

@@ -1,0 +1,79 @@
+//! Fig. 12 — risk-seeking evaluation: test FR vs number of sampled
+//! trajectories, with and without quantile action-thresholding (§3.4).
+
+use serde_json::json;
+use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::objective::Objective;
+
+fn main() {
+    let args = parse_args();
+    let cfg = train_cluster_config(args.mode);
+    let train_states = mappings(&cfg, 8, args.seed).expect("train mappings");
+    let eval_states = mappings(&cfg, args.mode.eval_mappings(), args.seed + 1000).expect("eval");
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    let (agent, _) = train_agent(&spec, train_states, vec![], Some(&cfg.name)).expect("train");
+    let obj = Objective::default();
+    let mnl = args.mnl.unwrap_or(spec.train.mnl);
+
+    let counts: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![1, 2],
+        _ => vec![1, 2, 4, 8, 16, 32],
+    };
+    let mut report = Report::new(
+        "fig12_risk_seeking",
+        "Fig. 12: FR vs #sampled trajectories, baseline vs thresholded",
+        &["trajectories", "fr_baseline", "fr_thresholded", "time_s"],
+    );
+    report.meta("mnl", mnl);
+    report.meta("mode", format!("{:?}", args.mode));
+    for &t in &counts {
+        let mut base = 0.0;
+        let mut thr = 0.0;
+        let mut secs = 0.0;
+        for (i, state) in eval_states.iter().enumerate() {
+            let cs = ConstraintSet::new(state.num_vms());
+            let no_thr = risk_seeking_eval(
+                &agent,
+                state,
+                &cs,
+                obj,
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: t,
+                    vm_quantile: None,
+                    pm_quantile: None,
+                    seed: args.seed + i as u64,
+                    ..Default::default()
+                },
+            )
+            .expect("eval");
+            let with_thr = risk_seeking_eval(
+                &agent,
+                state,
+                &cs,
+                obj,
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: t,
+                    vm_quantile: Some(0.98),
+                    pm_quantile: Some(0.95),
+                    seed: args.seed + i as u64,
+                    ..Default::default()
+                },
+            )
+            .expect("eval");
+            base += no_thr.best_objective;
+            thr += with_thr.best_objective;
+            secs += with_thr.elapsed.as_secs_f64();
+        }
+        let n = eval_states.len() as f64;
+        report.row(vec![json!(t), json!(base / n), json!(thr / n), json!(secs / n)]);
+        eprintln!("trajectories {t} done");
+    }
+    report.emit();
+}

@@ -1,0 +1,148 @@
+//! Fig. 14 — minimize migrations given an FR goal (§5.5.1).
+//!
+//! The objective flips: reach a target FR with as few migrations as
+//! possible (reward −1 per step above the goal, +10 on reaching it,
+//! Eq. 10–11). Compared: HA (run until the goal or plateau), the exact
+//! solver, and VMR2L trained with the goal-shaped reward.
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_bench::{mappings, parse_args, solver_budget, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_core::eval::greedy_eval;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+
+fn main() {
+    let args = parse_args();
+    let cfg = train_cluster_config(args.mode);
+    let train_states = mappings(&cfg, 6, args.seed).expect("train");
+    let eval_states = mappings(&cfg, args.mode.eval_mappings(), args.seed + 1000).expect("eval");
+    let max_mnl = args.mnl.unwrap_or(match args.mode {
+        RunMode::Smoke => 4,
+        _ => 16,
+    });
+    let initial = eval_states
+        .iter()
+        .map(|s| s.fragment_rate(16))
+        .sum::<f64>()
+        / eval_states.len() as f64;
+    // Sweep goals from just-below-initial downwards (paper: 0.55 → 0.25).
+    let goals: Vec<f64> = match args.mode {
+        RunMode::Smoke => vec![initial * 0.9, initial * 0.7],
+        _ => (1..=6).map(|i| initial * (1.0 - 0.1 * i as f64)).collect(),
+    };
+
+    // Train one VMR2L agent with the goal-shaped reward at the median goal.
+    let median_goal = goals[goals.len() / 2];
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    spec.train.objective = Objective::MnlToGoal { fr_goal: median_goal, cores: 16 };
+    spec.train.mnl = max_mnl;
+    eprintln!("training VMR2L with goal-shaped reward (goal {median_goal:.3})...");
+    let (agent, _) = train_agent(&spec, train_states, vec![], Some(&format!("{}_goal", cfg.name)))
+        .expect("train");
+
+    let mut report = Report::new(
+        "fig14_mnl_goal",
+        "Fig. 14: migrations used and FR achieved per FR goal",
+        &["fr_goal", "method", "used_mnl", "achieved_fr", "reached"],
+    );
+    report.meta("initial_fr", initial);
+    report.meta("max_mnl", max_mnl);
+    for &goal in &goals {
+        // HA: run step by step until goal (its plan is monotone).
+        let mut used = Vec::new();
+        let mut achieved = Vec::new();
+        let mut reached = 0usize;
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            let r = ha_solve(state, &cs, Objective::default(), max_mnl);
+            // Find the first prefix reaching the goal.
+            let mut replay = state.clone();
+            let mut steps = r.plan.len();
+            let mut fr = r.objective;
+            for (i, a) in r.plan.iter().enumerate() {
+                replay.migrate(a.vm, a.pm, 16).expect("replay");
+                if replay.fragment_rate(16) <= goal {
+                    steps = i + 1;
+                    fr = replay.fragment_rate(16);
+                    break;
+                }
+            }
+            if fr <= goal {
+                reached += 1;
+            }
+            used.push(steps as f64);
+            achieved.push(fr);
+        }
+        emit(&mut report, goal, "HA", &used, &achieved, reached);
+
+        // MIP: branch-and-bound, then truncate at the goal.
+        let mut used = Vec::new();
+        let mut achieved = Vec::new();
+        let mut reached = 0usize;
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            let r = branch_and_bound(
+                state,
+                &cs,
+                Objective::default(),
+                max_mnl,
+                &SolverConfig {
+                    time_limit: solver_budget(args.mode) * 2,
+                    beam_width: Some(32),
+                    ..Default::default()
+                },
+            );
+            let mut replay = state.clone();
+            let mut steps = r.plan.len();
+            let mut fr = r.objective;
+            for (i, a) in r.plan.iter().enumerate() {
+                replay.migrate(a.vm, a.pm, 16).expect("replay");
+                if replay.fragment_rate(16) <= goal {
+                    steps = i + 1;
+                    fr = replay.fragment_rate(16);
+                    break;
+                }
+            }
+            if fr <= goal {
+                reached += 1;
+            }
+            used.push(steps as f64);
+            achieved.push(fr);
+        }
+        emit(&mut report, goal, "MIP", &used, &achieved, reached);
+
+        // VMR2L with the goal objective: episodes end when the goal is hit.
+        let mut used = Vec::new();
+        let mut achieved = Vec::new();
+        let mut reached = 0usize;
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            let goal_obj = Objective::MnlToGoal { fr_goal: goal, cores: 16 };
+            let (fr, plan) = greedy_eval(&agent, state, &cs, goal_obj, max_mnl).expect("eval");
+            if fr <= goal {
+                reached += 1;
+            }
+            used.push(plan.len() as f64);
+            achieved.push(fr);
+        }
+        emit(&mut report, goal, "VMR2L", &used, &achieved, reached);
+        eprintln!("goal {goal:.3} done");
+    }
+    report.emit();
+}
+
+fn emit(report: &mut Report, goal: f64, m: &str, used: &[f64], fr: &[f64], reached: usize) {
+    let n = used.len().max(1) as f64;
+    report.row(vec![
+        json!((goal * 1e4).round() / 1e4),
+        json!(m),
+        json!(used.iter().sum::<f64>() / n),
+        json!(fr.iter().sum::<f64>() / n),
+        json!(format!("{reached}/{}", used.len())),
+    ]);
+}

@@ -1,0 +1,79 @@
+//! Fig. 16 — MNL generalization (§5.6.2): one VMR2L agent trained at the
+//! largest MNL, evaluated across smaller MNLs, against per-MNL agents
+//! (VMR2L_SEP). The paper reports an average gap of ~1.16%.
+
+use serde_json::json;
+use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::objective::Objective;
+
+fn main() {
+    let args = parse_args();
+    let cfg = train_cluster_config(args.mode);
+    let train_states = mappings(&cfg, 6, args.seed).expect("train");
+    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
+        .expect("eval");
+    let mnls: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![2, 3],
+        _ => vec![2, 4, 6, 8, 10, 12],
+    };
+    let max_mnl = *mnls.last().expect("non-empty");
+
+    // Single agent trained at the largest MNL.
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    spec.train.mnl = max_mnl;
+    eprintln!("training shared agent at MNL {max_mnl}...");
+    let (shared, _) = train_agent(&spec, train_states.clone(), vec![], Some(&format!("{}_mnl{max_mnl}", cfg.name)))
+        .expect("train");
+
+    let mut report = Report::new(
+        "fig16_mnl_generalization",
+        "Fig. 16: single agent (trained at max MNL) vs per-MNL agents",
+        &["mnl", "vmr2l_fr", "vmr2l_sep_fr", "gap_pct"],
+    );
+    report.meta("max_mnl", max_mnl);
+    let rs = |t: usize| RiskSeekingConfig {
+        trajectories: if args.mode == RunMode::Smoke { 2 } else { 6 },
+        seed: args.seed + t as u64,
+        ..Default::default()
+    };
+    for &mnl in &mnls {
+        // Separate agent trained at exactly this MNL (fewer updates each).
+        let mut sep_spec = spec.clone();
+        sep_spec.train.mnl = mnl;
+        sep_spec.train.updates = (spec.train.updates / 2).max(1);
+        eprintln!("training SEP agent at MNL {mnl}...");
+        let (sep, _) = train_agent(
+            &sep_spec,
+            train_states.clone(),
+            vec![],
+            Some(&format!("{}_sep{mnl}", cfg.name)),
+        )
+        .expect("train sep");
+        let mut fr_shared = 0.0;
+        let mut fr_sep = 0.0;
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            fr_shared += risk_seeking_eval(&shared, state, &cs, Objective::default(), mnl, &rs(mnl))
+                .expect("eval")
+                .best_objective;
+            fr_sep += risk_seeking_eval(&sep, state, &cs, Objective::default(), mnl, &rs(mnl))
+                .expect("eval")
+                .best_objective;
+        }
+        let n = eval_states.len() as f64;
+        let (a, b) = (fr_shared / n, fr_sep / n);
+        report.row(vec![
+            json!(mnl),
+            json!(a),
+            json!(b),
+            json!(((a - b) / b.max(1e-9) * 1e4).round() / 100.0),
+        ]);
+        eprintln!("mnl {mnl} done");
+    }
+    report.emit();
+}

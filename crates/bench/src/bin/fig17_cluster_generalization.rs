@@ -1,0 +1,110 @@
+//! Fig. 17 — generalization to different cluster sizes (§5.6.3): the agent
+//! trained on one cluster is deployed on clusters with ±PM-count deltas;
+//! reported as the ratio of "potential FR" achieved (initial − achieved)
+//! / (initial − MIP), vs POP.
+
+use serde_json::json;
+use vmr_bench::{
+    mappings, parse_args, solver_budget, train_agent, train_cluster_config, AgentSpec, Report,
+    RunMode,
+};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() {
+    let args = parse_args();
+    let base_cfg = train_cluster_config(args.mode);
+    let train_states = mappings(&base_cfg, 6, args.seed).expect("train");
+    let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    spec.train.mnl = mnl;
+    eprintln!("training on {} PMs...", base_cfg.num_pms());
+    let (agent, _) =
+        train_agent(&spec, train_states, vec![], Some(&format!("{}_fig17", base_cfg.name)))
+            .expect("train");
+
+    let factors: Vec<f64> = match args.mode {
+        RunMode::Smoke => vec![1.0, 1.3],
+        _ => vec![0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4],
+    };
+    let mut report = Report::new(
+        "fig17_cluster_generalization",
+        "Fig. 17: potential-FR ratio on clusters of different sizes",
+        &["pm_factor", "pms", "initial_fr", "mip_fr", "vmr2l_ratio", "pop_ratio"],
+    );
+    report.meta("trained_pms", base_cfg.num_pms());
+    report.meta("mnl", mnl);
+    for &f in &factors {
+        let cfg = base_cfg.scaled_pms(f);
+        let states = mappings(&cfg, 2, args.seed + 2000 + (f * 100.0) as u64).expect("eval");
+        let mut init = 0.0;
+        let mut mip = 0.0;
+        let mut vmr = 0.0;
+        let mut pop = 0.0;
+        for state in &states {
+            let cs = ConstraintSet::new(state.num_vms());
+            init += state.fragment_rate(16);
+            mip += branch_and_bound(
+                state,
+                &cs,
+                Objective::default(),
+                mnl,
+                &SolverConfig {
+                    time_limit: solver_budget(args.mode) * 2,
+                    beam_width: Some(32),
+                    ..Default::default()
+                },
+            )
+            .objective;
+            vmr += risk_seeking_eval(
+                &agent,
+                state,
+                &cs,
+                Objective::default(),
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: if args.mode == RunMode::Smoke { 2 } else { 6 },
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("eval")
+            .best_objective;
+            pop += pop_solve(
+                state,
+                &cs,
+                Objective::default(),
+                mnl,
+                &PopConfig {
+                    partitions: 4,
+                    sub: SolverConfig {
+                        time_limit: solver_budget(args.mode),
+                        beam_width: Some(24),
+                        ..Default::default()
+                    },
+                    seed: args.seed,
+                },
+            )
+            .objective;
+        }
+        let n = states.len() as f64;
+        let (init, mip, vmr, pop) = (init / n, mip / n, vmr / n, pop / n);
+        let potential = (init - mip).max(1e-9);
+        report.row(vec![
+            json!(f),
+            json!(cfg.num_pms()),
+            json!(init),
+            json!(mip),
+            json!(((init - vmr) / potential * 1000.0).round() / 1000.0),
+            json!(((init - pop) / potential * 1000.0).round() / 1000.0),
+        ]);
+        eprintln!("factor {f} done");
+    }
+    report.emit();
+}

@@ -1,0 +1,125 @@
+//! Fig. 18 — the Large dataset (§5.6.4): FR and inference time at high
+//! MNLs for HA, POP, Decima, NeuPlan, and VMR2L. The exact solver is
+//! excluded, as in the paper (it exceeds an hour per mapping).
+
+use std::time::Instant;
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::neuplan::{neuplan_solve, NeuPlanConfig};
+use vmr_bench::{mappings, parse_args, scaled_config, solver_budget, AgentSpec, Report, RunMode};
+use vmr_core::config::ExtractorKind;
+use vmr_core::eval::{greedy_eval, risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::SolverConfig;
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() {
+    let args = parse_args();
+    let cfg = scaled_config(&ClusterConfig::large(), args.mode);
+    let train_states = mappings(&cfg, 4, args.seed).expect("train");
+    let eval_states = mappings(&cfg, 2, args.seed + 1000).expect("eval");
+    let mnls: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![3],
+        RunMode::Default => vec![10, 20, 30],
+        RunMode::Full => vec![50, 100, 150, 200],
+    };
+    let max_mnl = *mnls.last().expect("non-empty");
+
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    spec.train.updates = args.updates.unwrap_or(spec.train.updates / 2).max(1);
+    spec.train.mnl = max_mnl.min(16);
+    eprintln!("training VMR2L on the large cluster ({} PMs)...", cfg.num_pms());
+    let (vmr2l, _) =
+        vmr_bench::train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name))
+            .expect("train");
+    let mut dspec = spec.clone();
+    dspec.extractor = ExtractorKind::VanillaAttention;
+    dspec.pm_subset = Some(8);
+    eprintln!("training Decima...");
+    let (decima, _) =
+        vmr_bench::train_agent(&dspec, train_states, vec![], Some(&cfg.name)).expect("train");
+
+    let mut report = Report::new(
+        "fig18_large",
+        "Fig. 18: Large dataset — FR and time at high MNLs",
+        &["mnl", "method", "fr", "time_s"],
+    );
+    report.meta("pms", eval_states[0].num_pms());
+    report.meta("vms", eval_states[0].num_vms());
+    report.meta("initial_fr", eval_states.iter().map(|s| s.fragment_rate(16)).sum::<f64>() / eval_states.len() as f64);
+    for &mnl in &mnls {
+        let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            let r = ha_solve(state, &cs, Objective::default(), mnl);
+            rows.push(("HA", r.objective, r.elapsed.as_secs_f64()));
+            let r = pop_solve(
+                state,
+                &cs,
+                Objective::default(),
+                mnl,
+                &PopConfig {
+                    partitions: if args.mode == RunMode::Full { 16 } else { 4 },
+                    sub: SolverConfig {
+                        time_limit: solver_budget(args.mode),
+                        beam_width: Some(24),
+                        ..Default::default()
+                    },
+                    seed: args.seed,
+                },
+            );
+            rows.push(("POP", r.objective, r.elapsed.as_secs_f64()));
+            let t0 = Instant::now();
+            let (fr, _) = greedy_eval(&decima, state, &cs, Objective::default(), mnl).expect("decima");
+            rows.push(("Decima", fr, t0.elapsed().as_secs_f64()));
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
+            let r = neuplan_solve(
+                &vmr2l,
+                state,
+                &cs,
+                Objective::default(),
+                mnl,
+                &NeuPlanConfig {
+                    beta: (mnl / 3).max(1),
+                    solver: SolverConfig {
+                        time_limit: solver_budget(args.mode),
+                        beam_width: Some(16),
+                        ..Default::default()
+                    },
+                },
+                &mut rng,
+            )
+            .expect("neuplan");
+            rows.push(("NeuPlan", r.objective, r.elapsed.as_secs_f64()));
+            let r = risk_seeking_eval(
+                &vmr2l,
+                state,
+                &cs,
+                Objective::default(),
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: if args.mode == RunMode::Smoke { 2 } else { 6 },
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("vmr2l");
+            rows.push(("VMR2L", r.best_objective, r.elapsed.as_secs_f64()));
+        }
+        for m in ["HA", "POP", "Decima", "NeuPlan", "VMR2L"] {
+            let sel: Vec<_> = rows.iter().filter(|r| r.0 == m).collect();
+            let n = sel.len() as f64;
+            report.row(vec![
+                json!(mnl),
+                json!(m),
+                json!(sel.iter().map(|r| r.1).sum::<f64>() / n),
+                json!(sel.iter().map(|r| r.2).sum::<f64>() / n),
+            ]);
+        }
+        eprintln!("mnl {mnl} done");
+    }
+    report.emit();
+}

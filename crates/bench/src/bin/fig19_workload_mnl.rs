@@ -1,0 +1,94 @@
+//! Fig. 19 — FR on the Low and Middle workload datasets across MNLs
+//! (§5.6.5): HA plateaus at high MNL while POP and VMR2L keep improving.
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_bench::{mappings, parse_args, scaled_config, solver_budget, AgentSpec, Report, RunMode};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::SolverConfig;
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() {
+    let args = parse_args();
+    let panels = [
+        ("low", scaled_config(&ClusterConfig::workload_low(), args.mode)),
+        ("mid", scaled_config(&ClusterConfig::workload_mid(), args.mode)),
+    ];
+    let mnls: Vec<usize> = match args.mode {
+        RunMode::Smoke => vec![2, 4],
+        RunMode::Default => vec![5, 10, 15, 20],
+        RunMode::Full => vec![25, 50, 75, 100],
+    };
+    let mut report = Report::new(
+        "fig19_workload_mnl",
+        "Fig. 19: FR on low/middle workloads across MNLs",
+        &["workload", "mnl", "ha_fr", "pop_fr", "vmr2l_fr"],
+    );
+    for (name, cfg) in panels {
+        let train_states = mappings(&cfg, 4, args.seed).expect("train");
+        let eval_states = mappings(&cfg, 2, args.seed + 1000).expect("eval");
+        let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+        spec.train.updates = args.updates.unwrap_or(spec.train.updates / 2).max(1);
+        spec.train.mnl = (*mnls.last().unwrap()).min(16);
+        eprintln!("training on {name} workload...");
+        let (agent, _) = vmr_bench::train_agent(
+            &spec,
+            train_states,
+            vec![],
+            Some(&format!("fig19_{name}")),
+        )
+        .expect("train");
+        for &mnl in &mnls {
+            let mut ha = 0.0;
+            let mut pop = 0.0;
+            let mut vmr = 0.0;
+            for state in &eval_states {
+                let cs = ConstraintSet::new(state.num_vms());
+                ha += ha_solve(state, &cs, Objective::default(), mnl).objective;
+                pop += pop_solve(
+                    state,
+                    &cs,
+                    Objective::default(),
+                    mnl,
+                    &PopConfig {
+                        partitions: 4,
+                        sub: SolverConfig {
+                            time_limit: solver_budget(args.mode),
+                            beam_width: Some(24),
+                            ..Default::default()
+                        },
+                        seed: args.seed,
+                    },
+                )
+                .objective;
+                vmr += risk_seeking_eval(
+                    &agent,
+                    state,
+                    &cs,
+                    Objective::default(),
+                    mnl,
+                    &RiskSeekingConfig {
+                        trajectories: if args.mode == RunMode::Smoke { 2 } else { 6 },
+                        seed: args.seed,
+                        ..Default::default()
+                    },
+                )
+                .expect("eval")
+                .best_objective;
+            }
+            let n = eval_states.len() as f64;
+            report.row(vec![
+                json!(name),
+                json!(mnl),
+                json!(ha / n),
+                json!(pop / n),
+                json!(vmr / n),
+            ]);
+            eprintln!("{name} mnl {mnl} done");
+        }
+    }
+    report.emit();
+}

@@ -1,0 +1,51 @@
+//! Fig. 20 — convergence speed on different cluster sizes (§5.7): the same
+//! agent spec trained on the Medium-style and Large-style clusters, test
+//! FR per update. The paper finds the larger cluster is not inherently
+//! harder once the easy early gains are excluded.
+
+use serde_json::json;
+use vmr_bench::{mappings, parse_args, scaled_config, train_cluster_config, AgentSpec, Report};
+use vmr_core::train::Trainer;
+use vmr_sim::dataset::ClusterConfig;
+
+fn main() {
+    let args = parse_args();
+    let panels = [
+        ("medium", train_cluster_config(args.mode)),
+        ("large", scaled_config(&ClusterConfig::large(), args.mode)),
+    ];
+    let mut report = Report::new(
+        "fig20_convergence",
+        "Fig. 20: convergence on Medium vs Large clusters (test FR per update)",
+        &["update", "medium_fr", "large_fr"],
+    );
+    report.meta("mode", format!("{:?}", args.mode));
+    let mut curves: Vec<Vec<(usize, f64)>> = Vec::new();
+    for (name, cfg) in panels {
+        eprintln!("training on {name} ({} PMs)...", cfg.num_pms());
+        let train_states = mappings(&cfg, 6, args.seed).expect("train");
+        let eval_states = mappings(&cfg, 2, args.seed + 500).expect("eval");
+        let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+        if let Some(u) = args.updates {
+            spec.train.updates = u;
+        }
+        spec.train.eval_every = 2;
+        spec.train.eval_episodes = 2;
+        let agent = vmr_bench::build_agent(&spec);
+        let mut tr =
+            Trainer::new(agent, train_states, eval_states, spec.train).expect("trainer");
+        let hist = tr.train(|_| {}).expect("train");
+        curves.push(
+            hist.iter()
+                .filter(|h| !h.eval_objective.is_nan())
+                .map(|h| (h.update, h.eval_objective))
+                .collect(),
+        );
+    }
+    let points: Vec<usize> = curves[0].iter().map(|p| p.0).collect();
+    for (i, u) in points.iter().enumerate() {
+        let get = |c: usize| curves[c].get(i).map(|p| p.1).unwrap_or(f64::NAN);
+        report.row(vec![json!(u), json!(get(0)), json!(get(1))]);
+    }
+    report.emit();
+}

@@ -1,0 +1,89 @@
+//! Fig. 21 — case study: per-step migration visualization (§5.8).
+//!
+//! Replays a trained agent on one mapping and renders, for each step, the
+//! NUMA occupancy of the source and destination PMs before and after the
+//! migration — the ASCII analogue of the paper's color-bar tool. Shows
+//! how the agent sacrifices immediate reward (temporarily creating
+//! fragments) for long-term FR.
+
+use serde_json::json;
+use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_core::agent::DecideOpts;
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+use vmr_sim::types::PmId;
+
+fn main() {
+    let args = parse_args();
+    let cfg = train_cluster_config(args.mode);
+    let train_states = mappings(&cfg, 6, args.seed).expect("train");
+    let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+    if let Some(u) = args.updates {
+        spec.train.updates = u;
+    }
+    let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
+    spec.train.mnl = mnl;
+    let (agent, _) = train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name))
+        .expect("train");
+
+    let state = mappings(&cfg, 1, args.seed + 4242).expect("case")[0].clone();
+    let mut env = ReschedEnv::unconstrained(state, Objective::default(), mnl).expect("env");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
+    let mut report = Report::new(
+        "fig21_casestudy",
+        "Fig. 21: per-step migration details (case study)",
+        &["step", "vm", "cpu", "src_pm", "dst_pm", "reward", "fr_after"],
+    );
+    println!("initial FR = {:.4}\n", env.objective_value());
+    let mut step = 0;
+    while !env.is_done() {
+        let Some(d) = agent
+            .decide(&env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
+            .expect("decide")
+        else {
+            break;
+        };
+        let vm = d.action.vm;
+        let src = env.state().placement(vm).pm;
+        let dst = d.action.pm;
+        println!("step {step}: migrate VM{} ({} cores) PM{} -> PM{}", vm.0, env.state().vm(vm).cpu, src.0, dst.0);
+        println!("  before: {}\n          {}", bar(env.state(), src), bar(env.state(), dst));
+        let out = match env.step(d.action) {
+            Ok(o) => o,
+            Err(_) => break,
+        };
+        println!("  after:  {}\n          {}", bar(env.state(), src), bar(env.state(), dst));
+        println!("  reward {:+.4}  FR {:.4}\n", out.reward, out.objective);
+        report.row(vec![
+            json!(step),
+            json!(vm.0),
+            json!(env.state().vm(vm).cpu),
+            json!(src.0),
+            json!(dst.0),
+            json!(out.reward),
+            json!(out.objective),
+        ]);
+        step += 1;
+    }
+    println!("final FR = {:.4}", env.objective_value());
+    report.meta("final_fr", env.objective_value());
+    report.emit();
+}
+
+/// One-line occupancy bar for a PM: per NUMA, `#` = 4 used cores, `.` = 4
+/// free cores, with the 16-core fragment size annotated.
+fn bar(state: &vmr_sim::cluster::ClusterState, pm: PmId) -> String {
+    let p = state.pm(pm);
+    let mut s = format!("PM{:<4}", pm.0);
+    for (j, n) in p.numas.iter().enumerate() {
+        let used = (n.cpu_used as usize).div_ceil(4);
+        let free = (n.free_cpu() as usize) / 4;
+        s.push_str(&format!(
+            " numa{j}[{}{}] frag={:<2}",
+            "#".repeat(used),
+            ".".repeat(free),
+            n.cpu_fragment(16)
+        ));
+    }
+    s
+}

@@ -1,0 +1,107 @@
+//! Table 3 — mixed multi-VM-type objective: λ·FR64 + (1−λ)·FR16 (§5.5.2)
+//! on the Multi-Resource cluster, VMR2L vs POP.
+
+use serde_json::json;
+use vmr_bench::{mappings, parse_args, scaled_config, solver_budget, AgentSpec, Report, RunMode};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::SolverConfig;
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() {
+    let args = parse_args();
+    let cfg = scaled_config(&ClusterConfig::multi_resource(), args.mode);
+    let train_states = mappings(&cfg, 6, args.seed).expect("train");
+    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
+        .expect("eval");
+    let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
+    let lambdas: Vec<f64> = match args.mode {
+        RunMode::Smoke => vec![0.0, 1.0],
+        _ => vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+    };
+
+    let mut report = Report::new(
+        "table3_mixed_vmtype",
+        "Table 3: mixed objective λ·FR64 + (1−λ)·FR16",
+        &["lambda", "method", "fr16", "fr64", "obj"],
+    );
+    report.meta("mnl", mnl);
+    report.meta("pms", eval_states[0].num_pms());
+    for &lambda in &lambdas {
+        let obj = Objective::MixedVmType { lambda, small_cores: 16, large_cores: 64 };
+        // Train a (small) agent per λ — the reward shape changes with λ.
+        let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+        spec.train.updates = args.updates.unwrap_or(spec.train.updates / 2).max(1);
+        spec.train.objective = obj;
+        spec.train.mnl = mnl;
+        eprintln!("training VMR2L for λ={lambda}...");
+        let (agent, _) = vmr_bench::train_agent(
+            &spec,
+            train_states.clone(),
+            vec![],
+            Some(&format!("{}_t3_l{}", cfg.name, (lambda * 10.0) as u32)),
+        )
+        .expect("train");
+
+        let mut v16 = 0.0;
+        let mut v64 = 0.0;
+        let mut vobj = 0.0;
+        let mut p16 = 0.0;
+        let mut p64 = 0.0;
+        let mut pobj = 0.0;
+        for state in &eval_states {
+            let cs = ConstraintSet::new(state.num_vms());
+            let r = risk_seeking_eval(
+                &agent,
+                state,
+                &cs,
+                obj,
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: if args.mode == RunMode::Smoke { 2 } else { 6 },
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("eval");
+            // Recover FR16/FR64 from the best plan.
+            let mut replay = state.clone();
+            for a in &r.best_plan {
+                replay.migrate(a.vm, a.pm, obj.frag_cores()).expect("replay");
+            }
+            v16 += replay.fragment_rate(16);
+            v64 += replay.fragment_rate_double(64);
+            vobj += r.best_objective;
+
+            let p = pop_solve(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &PopConfig {
+                    partitions: if args.mode == RunMode::Full { 16 } else { 4 },
+                    sub: SolverConfig {
+                        time_limit: solver_budget(args.mode),
+                        beam_width: Some(24),
+                        ..Default::default()
+                    },
+                    seed: args.seed,
+                },
+            );
+            let mut replay = state.clone();
+            for a in &p.plan {
+                replay.migrate(a.vm, a.pm, obj.frag_cores()).expect("replay");
+            }
+            p16 += replay.fragment_rate(16);
+            p64 += replay.fragment_rate_double(64);
+            pobj += p.objective;
+        }
+        let n = eval_states.len() as f64;
+        report.row(vec![json!(lambda), json!("VMR2L"), json!(v16 / n), json!(v64 / n), json!(vobj / n)]);
+        report.row(vec![json!(lambda), json!("POP"), json!(p16 / n), json!(p64 / n), json!(pobj / n)]);
+        eprintln!("lambda {lambda} done");
+    }
+    report.emit();
+}

@@ -1,0 +1,120 @@
+//! Table 5 — generalization to abnormal workloads (§5.6.1).
+//!
+//! VMR2L agents trained on Low (L), Middle (M), High (H), and the L+H mix
+//! are each evaluated on all three workload levels, against HA and POP.
+//! The paper's headline: the (L,H) agent generalizes to M without ever
+//! seeing middle workloads.
+
+use serde_json::json;
+use vmr_baselines::ha::ha_solve;
+use vmr_bench::{mappings, parse_args, scaled_config, solver_budget, AgentSpec, Report, RunMode};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::SolverConfig;
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() {
+    let args = parse_args();
+    // Scale PM counts to the mode but keep the three utilization levels.
+    let cfgs = [
+        ("L", scaled_config(&ClusterConfig::workload_low(), args.mode)),
+        ("M", scaled_config(&ClusterConfig::workload_mid(), args.mode)),
+        ("H", scaled_config(&ClusterConfig::workload_high(), args.mode)),
+    ];
+    let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 12 });
+    let train_per: usize = if args.mode == RunMode::Smoke { 2 } else { 6 };
+    let train_sets: Vec<Vec<_>> = cfgs
+        .iter()
+        .map(|(_, c)| mappings(c, train_per, args.seed).expect("train"))
+        .collect();
+    let eval_sets: Vec<Vec<_>> = cfgs
+        .iter()
+        .map(|(_, c)| mappings(c, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval"))
+        .collect();
+
+    // Agents: trained on L, M, H, and L+H.
+    let mut agents = Vec::new();
+    let specs: Vec<(&str, Vec<usize>)> = vec![
+        ("VMR2L(L)", vec![0]),
+        ("VMR2L(M)", vec![1]),
+        ("VMR2L(H)", vec![2]),
+        ("VMR2L(L,H)", vec![0, 2]),
+    ];
+    for (name, sets) in &specs {
+        let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
+        spec.train.updates = args.updates.unwrap_or(spec.train.updates / 2).max(1);
+        spec.train.mnl = mnl;
+        let mut train: Vec<_> = Vec::new();
+        for &i in sets {
+            train.extend(train_sets[i].iter().cloned());
+        }
+        eprintln!("training {name}...");
+        let (agent, _) =
+            vmr_bench::train_agent(&spec, train, vec![], Some(&format!("t5_{name}")))
+                .expect("train");
+        agents.push((name.to_string(), agent));
+    }
+
+    let mut report = Report::new(
+        "table5_workloads",
+        "Table 5: generalization to abnormal workloads (FR on L/M/H)",
+        &["method", "L", "M", "H"],
+    );
+    report.meta("mnl", mnl);
+    let eval = |f: &dyn Fn(&vmr_sim::cluster::ClusterState, &ConstraintSet) -> f64| -> Vec<f64> {
+        eval_sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|s| f(s, &ConstraintSet::new(s.num_vms())))
+                    .sum::<f64>()
+                    / set.len() as f64
+            })
+            .collect()
+    };
+
+    let ha_row = eval(&|s, cs| ha_solve(s, cs, Objective::default(), mnl).objective);
+    report.row(vec![json!("HA"), json!(ha_row[0]), json!(ha_row[1]), json!(ha_row[2])]);
+    for (name, agent) in &agents {
+        let row = eval(&|s, cs| {
+            risk_seeking_eval(
+                agent,
+                s,
+                cs,
+                Objective::default(),
+                mnl,
+                &RiskSeekingConfig {
+                    trajectories: if args.mode == RunMode::Smoke { 2 } else { 6 },
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("eval")
+            .best_objective
+        });
+        report.row(vec![json!(name), json!(row[0]), json!(row[1]), json!(row[2])]);
+        eprintln!("{name} evaluated");
+    }
+    let pop_row = eval(&|s, cs| {
+        pop_solve(
+            s,
+            cs,
+            Objective::default(),
+            mnl,
+            &PopConfig {
+                partitions: if args.mode == RunMode::Full { 16 } else { 4 },
+                sub: SolverConfig {
+                    time_limit: solver_budget(args.mode),
+                    beam_width: Some(24),
+                    ..Default::default()
+                },
+                seed: args.seed,
+            },
+        )
+        .objective
+    });
+    report.row(vec![json!("POP"), json!(pop_row[0]), json!(pop_row[1]), json!(pop_row[2])]);
+    report.emit();
+}

@@ -1,0 +1,133 @@
+//! Minimal argument parsing shared by all experiment binaries.
+
+/// How much compute an experiment run spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// CI scale: tiny clusters, minimal training. Used by the integration
+    /// tests so every experiment binary stays exercised.
+    Smoke,
+    /// Laptop scale (default): ~25% of the paper's cluster sizes.
+    Default,
+    /// Paper-scale cluster sizes.
+    Full,
+}
+
+impl RunMode {
+    /// PM-count scale factor relative to the paper's datasets.
+    pub fn pm_scale(self) -> f64 {
+        match self {
+            RunMode::Smoke => 0.04,
+            RunMode::Default => 0.25,
+            RunMode::Full => 1.0,
+        }
+    }
+
+    /// Default PPO update count for experiments that train.
+    pub fn train_updates(self) -> usize {
+        match self {
+            RunMode::Smoke => 2,
+            RunMode::Default => 30,
+            RunMode::Full => 150,
+        }
+    }
+
+    /// Number of evaluation mappings.
+    pub fn eval_mappings(self) -> usize {
+        match self {
+            RunMode::Smoke => 2,
+            RunMode::Default => 5,
+            RunMode::Full => 20,
+        }
+    }
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Run mode.
+    pub mode: RunMode,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Override for training updates (`--updates N`).
+    pub updates: Option<usize>,
+    /// Override for MNL sweeps (`--mnl N`).
+    pub mnl: Option<usize>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { mode: RunMode::Default, seed: 0, updates: None, mnl: None }
+    }
+}
+
+/// Parses `std::env::args()`. Unknown flags abort with a usage message.
+pub fn parse_args() -> BenchArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parses an explicit iterator (testable).
+pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut it = args.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => out.mode = RunMode::Smoke,
+            "--full" => out.mode = RunMode::Full,
+            "--seed" => out.seed = next_num(&mut it, "--seed") as u64,
+            "--updates" => out.updates = Some(next_num(&mut it, "--updates") as usize),
+            "--mnl" => out.mnl = Some(next_num(&mut it, "--mnl") as usize),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: <bin> [--smoke|--full] [--seed N] [--updates N] [--mnl N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn next_num(it: &mut std::iter::Peekable<impl Iterator<Item = String>>, flag: &str) -> i64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a numeric argument");
+            std::process::exit(2);
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> BenchArgs {
+        parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.mode, RunMode::Default);
+        assert_eq!(a.seed, 0);
+        assert!(a.updates.is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--smoke", "--seed", "7", "--updates", "3", "--mnl", "25"]);
+        assert_eq!(a.mode, RunMode::Smoke);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.updates, Some(3));
+        assert_eq!(a.mnl, Some(25));
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(RunMode::Smoke.pm_scale() < RunMode::Default.pm_scale());
+        assert!(RunMode::Default.pm_scale() < RunMode::Full.pm_scale());
+    }
+}

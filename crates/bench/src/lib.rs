@@ -1,0 +1,30 @@
+//! # vmr-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). All binaries share this library: run-mode scaling, dataset
+//! generation, agent training/caching, and report emission.
+//!
+//! ## Run modes
+//!
+//! The paper's experiments were run on a GPU server against production
+//! traces; this harness scales them to the host it runs on:
+//!
+//! * `--smoke` — seconds-scale CI mode: tiny clusters, one or two updates.
+//! * default — laptop-scale: clusters at ~25% of paper PM counts, enough
+//!   training to show the qualitative shapes.
+//! * `--full` — paper-scale cluster sizes (slow on CPU; documented in
+//!   EXPERIMENTS.md).
+//!
+//! Every binary prints a table to stdout and writes machine-readable JSON
+//! under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod report;
+pub mod setup;
+
+pub use cli::{parse_args, BenchArgs, RunMode};
+pub use report::Report;
+pub use setup::{build_agent, mappings, scaled_config, solver_budget, synthesize_affinity, train_agent, train_cluster_config, AgentSpec};

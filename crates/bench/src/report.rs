@@ -1,0 +1,195 @@
+//! Experiment report emission: aligned stdout tables plus JSON files
+//! under `results/` for downstream plotting.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde_json::{json, Map, Value};
+
+/// A tabular experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    meta: Map<String, Value>,
+}
+
+impl Report {
+    /// Starts a report. `name` becomes the JSON filename (`results/<name>.json`).
+    pub fn new(name: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            meta: Map::new(),
+        }
+    }
+
+    /// Attaches a metadata key (mode, seed, cluster size, ...).
+    pub fn meta(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.meta.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Appends one row; the length must match the column count.
+    pub fn row(&mut self, values: Vec<Value>) -> &mut Self {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(values);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let fmt_cell = |v: &Value| -> String {
+            match v {
+                Value::Number(n) => {
+                    if let Some(f) = n.as_f64() {
+                        if f.fract() == 0.0 && f.abs() < 1e15 {
+                            format!("{f}")
+                        } else {
+                            format!("{f:.4}")
+                        }
+                    } else {
+                        n.to_string()
+                    }
+                }
+                Value::String(s) => s.clone(),
+                other => other.to_string(),
+            }
+        };
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(fmt_cell).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("#   {k} = {v}\n"));
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.json` relative to the
+    /// workspace root (falls back to CWD when the root is not found).
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.name));
+        let payload = json!({
+            "title": self.title,
+            "meta": self.meta,
+            "columns": self.columns,
+            "rows": self.rows,
+        });
+        match serde_json::to_string_pretty(&payload) {
+            Ok(body) => {
+                if let Err(e) = fs::write(&path, body) {
+                    eprintln!("warning: cannot write {path:?}: {e}");
+                } else {
+                    eprintln!("(wrote {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize report: {e}"),
+        }
+    }
+}
+
+/// Locates `<workspace>/results`, walking up from the current directory
+/// until a `Cargo.toml` with `[workspace]` is found. The `VMR_RESULTS_DIR`
+/// environment variable overrides the location (used by the smoke-test
+/// harness so CI runs never clobber real experiment outputs).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("VMR_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..6 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return dir.join("results");
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "Test table", &["mnl", "fr"]);
+        r.row(vec![10.into(), 0.512345.into()]);
+        r.row(vec![100.into(), 0.25.into()]);
+        let text = r.render();
+        assert!(text.contains("Test table"));
+        assert!(text.contains("0.5123"));
+        assert!(text.contains("100"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and data rows align right.
+        assert!(lines.iter().any(|l| l.trim_start().starts_with("mnl")));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("t", "T", &["a", "b"]);
+        r.row(vec![1.into()]);
+    }
+
+    #[test]
+    fn meta_is_rendered() {
+        let mut r = Report::new("t", "T", &["a"]);
+        r.meta("mode", "smoke");
+        r.row(vec![1.into()]);
+        assert!(r.render().contains("mode = \"smoke\""));
+    }
+}

@@ -1,0 +1,248 @@
+//! Shared experiment setup: run-mode dataset scaling and agent training
+//! with on-disk checkpoint caching (so evaluation-flavored experiments can
+//! reuse one trained policy instead of retraining).
+
+use std::fs;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_core::train::{TrainConfig, TrainStats, Trainer};
+use vmr_nn::checkpoint::Checkpoint;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::dataset::ClusterConfig;
+use vmr_sim::error::{SimError, SimResult};
+
+use crate::cli::RunMode;
+use crate::report::results_dir;
+
+/// Scales a paper dataset configuration to the run mode: PM count and
+/// churn shrink together so utilization and fragmentation stay realistic.
+pub fn scaled_config(base: &ClusterConfig, mode: RunMode) -> ClusterConfig {
+    let factor = mode.pm_scale();
+    let mut cfg = base.scaled_pms(factor);
+    cfg.churn_cycles = ((base.churn_cycles as f64 * factor).round() as usize).max(20);
+    cfg
+}
+
+/// What to train.
+#[derive(Debug, Clone)]
+pub struct AgentSpec {
+    /// Feature extractor variant.
+    pub extractor: ExtractorKind,
+    /// Action-generation mode.
+    pub mode: ActionMode,
+    /// Architecture.
+    pub model: ModelConfig,
+    /// Training configuration.
+    pub train: TrainConfig,
+    /// Decima-style PM subsetting (None for VMR2L).
+    pub pm_subset: Option<usize>,
+}
+
+impl AgentSpec {
+    /// The standard VMR2L agent spec for a run mode.
+    pub fn vmr2l(mode: RunMode, seed: u64) -> Self {
+        let mut train = TrainConfig {
+            updates: mode.train_updates(),
+            seed,
+            eval_every: 0,
+            ..Default::default()
+        };
+        if mode == RunMode::Smoke {
+            // Keep CI smoke runs fast, especially in debug builds.
+            train.ppo.rollout_steps = 16;
+            train.ppo.minibatch_size = 8;
+            train.ppo.epochs = 1;
+        }
+        AgentSpec {
+            extractor: ExtractorKind::SparseAttention,
+            mode: ActionMode::TwoStage,
+            model: ModelConfig::default(),
+            train,
+            pm_subset: None,
+        }
+    }
+
+    /// A stable cache key for this spec (architecture + training recipe).
+    pub fn cache_key(&self, dataset_name: &str) -> String {
+        format!(
+            "{:?}-{:?}-d{}h{}b{}ff{}-u{}-mnl{}-s{}-{}",
+            self.extractor,
+            self.mode,
+            self.model.d_model,
+            self.model.heads,
+            self.model.blocks,
+            self.model.d_ff,
+            self.train.updates,
+            self.train.mnl,
+            self.train.seed,
+            dataset_name
+        )
+        .replace([' ', '{', '}', ':'], "")
+    }
+}
+
+/// Builds the (untrained) agent described by a spec.
+pub fn build_agent(spec: &AgentSpec) -> Vmr2lAgent<Vmr2lModel> {
+    let mut rng = StdRng::seed_from_u64(spec.train.seed ^ 0xa9e27);
+    let model = Vmr2lModel::new(spec.model, spec.extractor, &mut rng);
+    let mut agent = Vmr2lAgent::new(model, spec.mode);
+    if let Some(k) = spec.pm_subset {
+        agent = agent.with_pm_subset(k);
+    }
+    agent
+}
+
+/// Trains an agent per the spec, with optional checkpoint caching.
+///
+/// When `cache_name` is set and `target/vmr-agent-cache/<key>.json`
+/// exists, the checkpoint is restored instead of retraining (and the
+/// returned history is empty). On a cache miss the trained weights are
+/// saved for the next binary.
+pub fn train_agent(
+    spec: &AgentSpec,
+    train_set: Vec<ClusterState>,
+    eval_set: Vec<ClusterState>,
+    cache_name: Option<&str>,
+) -> SimResult<(Vmr2lAgent<Vmr2lModel>, Vec<TrainStats>)> {
+    let cache_path = cache_name.map(|n| cache_dir().join(format!("{}.json", spec.cache_key(n))));
+    if let Some(path) = &cache_path {
+        if path.exists() {
+            if let Ok(ckpt) = Checkpoint::load(path) {
+                let mut agent = build_agent(spec);
+                if ckpt.restore(&mut agent.policy).is_ok() {
+                    eprintln!("(restored cached agent {})", path.display());
+                    return Ok((agent, Vec::new()));
+                }
+            }
+        }
+    }
+    let agent = build_agent(spec);
+    let mut trainer = Trainer::new(agent, train_set, eval_set, spec.train)?;
+    let history = trainer.train(|s| {
+        eprintln!(
+            "  update {:>3}: reward/step {:+.4}  loss {:+.4}  kl {:.4}",
+            s.update, s.mean_reward, s.ppo.loss, s.ppo.approx_kl
+        );
+    })?;
+    let agent = trainer.into_agent();
+    if let Some(path) = &cache_path {
+        if fs::create_dir_all(cache_dir()).is_ok() {
+            let ckpt = Checkpoint::capture(&agent.policy);
+            if ckpt.save(path).is_err() {
+                eprintln!("warning: could not cache agent at {}", path.display());
+            }
+        }
+    }
+    Ok((agent, history))
+}
+
+/// `<workspace>/target/vmr-agent-cache`.
+pub fn cache_dir() -> PathBuf {
+    results_dir()
+        .parent()
+        .map(|p| p.join("target").join("vmr-agent-cache"))
+        .unwrap_or_else(|| PathBuf::from("target/vmr-agent-cache"))
+}
+
+/// The cluster used for RL *training* experiments at each mode (see the
+/// DESIGN.md substitution table: CPU-budget training uses scaled-down
+/// clusters; `--full` uses the paper's Medium shape).
+pub fn train_cluster_config(mode: RunMode) -> ClusterConfig {
+    match mode {
+        RunMode::Smoke => ClusterConfig::tiny(),
+        RunMode::Default => ClusterConfig::small_train(),
+        RunMode::Full => ClusterConfig::medium(),
+    }
+}
+
+/// Wall-clock budget handed to exact solvers per instance.
+pub fn solver_budget(mode: RunMode) -> std::time::Duration {
+    match mode {
+        RunMode::Smoke => std::time::Duration::from_millis(200),
+        RunMode::Default => std::time::Duration::from_secs(3),
+        RunMode::Full => std::time::Duration::from_secs(30),
+    }
+}
+
+/// Synthesizes hard anti-affinity constraints targeting a given affinity
+/// ratio (the paper's Table 2 levels): random conflict groups are added
+/// until the average conflict fraction reaches `target_ratio`.
+pub fn synthesize_affinity(
+    state: &ClusterState,
+    target_ratio: f64,
+    seed: u64,
+) -> vmr_sim::constraints::ConstraintSet {
+    use rand::Rng;
+    use vmr_sim::types::VmId;
+    let m = state.num_vms();
+    let mut cs = vmr_sim::constraints::ConstraintSet::new(m);
+    if m < 2 || target_ratio <= 0.0 {
+        return cs;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group size grows with the target ratio so extreme levels (38.3%)
+    // are reachable without quadratic group counts.
+    let group = ((target_ratio * m as f64).sqrt().ceil() as usize).clamp(2, m);
+    let mut guard = 0;
+    while cs.affinity_ratio() < target_ratio && guard < 10_000 {
+        let members: Vec<VmId> = (0..group)
+            .map(|_| VmId(rng.gen_range(0..m) as u32))
+            .collect();
+        let _ = cs.add_conflict_group(&members);
+        guard += 1;
+    }
+    cs
+}
+
+/// Convenience: generate `count` mappings from a scaled config.
+pub fn mappings(cfg: &ClusterConfig, count: usize, seed: u64) -> SimResult<Vec<ClusterState>> {
+    if count == 0 {
+        return Err(SimError::InvalidMapping("need at least one mapping".into()));
+    }
+    (0..count)
+        .map(|i| vmr_sim::dataset::generate_mapping(cfg, seed + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_config_shrinks() {
+        let base = ClusterConfig::medium();
+        let s = scaled_config(&base, RunMode::Smoke);
+        assert!(s.num_pms() < base.num_pms());
+        assert!(s.churn_cycles >= 20);
+        let f = scaled_config(&base, RunMode::Full);
+        assert_eq!(f.num_pms(), base.num_pms());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_specs() {
+        let a = AgentSpec::vmr2l(RunMode::Smoke, 0);
+        let mut b = AgentSpec::vmr2l(RunMode::Smoke, 0);
+        b.extractor = ExtractorKind::VanillaAttention;
+        assert_ne!(a.cache_key("x"), b.cache_key("x"));
+        assert_ne!(a.cache_key("x"), a.cache_key("y"));
+    }
+
+    #[test]
+    fn build_agent_honors_subset() {
+        let mut spec = AgentSpec::vmr2l(RunMode::Smoke, 1);
+        spec.pm_subset = Some(4);
+        let a = build_agent(&spec);
+        assert_eq!(a.pm_subset_size, Some(4));
+    }
+
+    #[test]
+    fn mappings_rejects_zero() {
+        assert!(mappings(&ClusterConfig::tiny(), 0, 0).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Tiny flag parser for the `vmr` CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding `argv[0]`).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let command = argv.next().unwrap_or_default();
+        let mut flags = HashMap::new();
+        let mut argv = argv.peekable();
+        while let Some(arg) = argv.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            let value = match argv.peek() {
+                Some(v) if !v.starts_with("--") => argv.next().expect("peeked"),
+                _ => "true".to_string(), // bare flag
+            };
+            flags.insert(key.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.flags
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Boolean flag (present = true).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["train", "--updates", "30", "--verbose", "--out", "x.json"]);
+        assert_eq!(a.command, "train");
+        assert_eq!(a.num::<usize>("updates", 0).unwrap(), 30);
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get("out", ""), "x.json");
+        assert_eq!(a.get("missing", "d"), "d");
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["eval"]);
+        assert!(a.require("agent").is_err());
+    }
+
+    #[test]
+    fn rejects_positionals() {
+        let r = Args::parse(["solve", "stray"].iter().map(|s| s.to_string()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_number_reports_flag() {
+        let a = parse(&["gen", "--count", "abc"]);
+        let err = a.num::<usize>("count", 1).unwrap_err();
+        assert!(err.contains("--count"));
+    }
+}

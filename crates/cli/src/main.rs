@@ -1,0 +1,603 @@
+//! `vmr` — operator command line for the VMR2L rescheduling system.
+//!
+//! Subcommands:
+//!
+//! * `vmr gen --preset medium --count 8 --seed 0 --out ds.json`
+//!   — synthesize a dataset of cluster mappings.
+//! * `vmr inspect --dataset ds.json --index 0`
+//!   — print cluster statistics (PMs, VMs, utilization, fragment rates).
+//! * `vmr train --dataset ds.json --updates 30 --mnl 8 --out agent.json`
+//!   — PPO-train a VMR2L agent and save its checkpoint.
+//! * `vmr eval --dataset ds.json --agent agent.json --mnl 10 --trajectories 16`
+//!   — risk-seeking evaluation of a trained agent on the test split.
+//! * `vmr solve --dataset ds.json --index 0 --method ha|bnb|pop|vbpp|mcts|swap --mnl 10`
+//!   — run a classical solver and print the migration plan.
+//! * `vmr cost --dataset ds.json --index 0 --method ha --mnl 10 --streams 2`
+//!   — plan with a solver, then price its execution under the pre-copy
+//!   live-migration model (makespan, downtime, bytes moved).
+//! * `vmr interfere --dataset ds.json --index 0 --noisy-frac 0.2 --threshold 0.5`
+//!   — noisy-neighbor report: interference score and the top contending VMs.
+//!
+//! Every command prints human-readable output to stdout; `--json` switches
+//! plan output to machine-readable JSON.
+
+mod args;
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use args::Args;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::mcts::{mcts_solve, MctsConfig};
+use vmr_baselines::vbpp::vbpp_solve;
+use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_core::train::{TrainConfig, Trainer};
+use vmr_nn::checkpoint::Checkpoint;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{ClusterConfig, Dataset};
+use vmr_sim::env::Action;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "inspect" => cmd_inspect(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "solve" => cmd_solve(&args),
+        "cost" => cmd_cost(&args),
+        "interfere" => cmd_interfere(&args),
+        "simulate" => cmd_simulate(&args),
+        "" | "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}; try `vmr help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "vmr — VM rescheduling via deep RL (VMR2L reproduction)\n\
+         \n\
+         usage: vmr <command> [--flags]\n\
+         \n\
+         commands:\n\
+           gen      --preset <tiny|small|medium|large|multi|low|mid|high>\n\
+                    --count N --seed N --out FILE\n\
+           inspect  --dataset FILE [--index N]\n\
+           train    --dataset FILE [--updates N] [--mnl N] [--seed N]\n\
+                    [--extractor sparse|vanilla] [--risk-quantile F]\n\
+                    [--out FILE]\n\
+           eval     --dataset FILE --agent FILE [--mnl N] [--trajectories N]\n\
+                    [--greedy] [--json]\n\
+           solve    --dataset FILE [--index N] --method <ha|bnb|pop|vbpp|mcts|swap>\n\
+                    [--mnl N] [--budget-ms N] [--json]\n\
+           cost     --dataset FILE [--index N] [--method ha] [--mnl N]\n\
+                    [--streams N] [--bandwidth GIB_S] [--json]\n\
+           interfere --dataset FILE [--index N] [--noisy-frac F]\n\
+                    [--threshold F] [--top N] [--json]\n\
+           simulate --dataset FILE [--index N] [--days N] [--mnl N]\n\
+                    [--planner none|ha] [--base-rate F] [--exit-frac F]\n\
+                    [--seed N] [--json]"
+    );
+}
+
+fn preset(name: &str) -> Result<ClusterConfig, String> {
+    Ok(match name {
+        "tiny" => ClusterConfig::tiny(),
+        "small" => ClusterConfig::small_train(),
+        "medium" => ClusterConfig::medium(),
+        "large" => ClusterConfig::large(),
+        "multi" => ClusterConfig::multi_resource(),
+        "low" => ClusterConfig::workload_low(),
+        "mid" => ClusterConfig::workload_mid(),
+        "high" => ClusterConfig::workload_high(),
+        other => return Err(format!("unknown preset {other:?}")),
+    })
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let path = args.require("dataset")?;
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Dataset::from_json(&json).map_err(|e| format!("bad dataset {path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let cfg = preset(&args.get("preset", "small"))?;
+    let count: usize = args.num("count", 8)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let out = args.get("out", "dataset.json");
+    eprintln!("generating {count} mappings of preset '{}'...", cfg.name);
+    let ds = Dataset::generate(&cfg, count, seed).map_err(|e| e.to_string())?;
+    std::fs::write(&out, ds.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let m = &ds.mappings[0];
+    println!(
+        "wrote {out}: {count} mappings, {} PMs, ~{} VMs, FR16 {:.4}, util {:.2}",
+        m.num_pms(),
+        m.num_vms(),
+        m.fragment_rate(16),
+        m.cpu_utilization()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let index: usize = args.num("index", 0)?;
+    let m = ds
+        .mappings
+        .get(index)
+        .ok_or_else(|| format!("index {index} out of range ({} mappings)", ds.mappings.len()))?;
+    println!("dataset '{}': {} mappings (train/val/test {}/{}/{})",
+        ds.name, ds.mappings.len(), ds.train.len(), ds.val.len(), ds.test.len());
+    println!("mapping {index}:");
+    println!("  PMs: {}   VMs: {}", m.num_pms(), m.num_vms());
+    println!("  CPU utilization: {:.2}%", m.cpu_utilization() * 100.0);
+    println!("  FR (16-core):    {:.4}", m.fragment_rate(16));
+    println!("  FR (64-core dbl):{:.4}", m.fragment_rate_double(64));
+    println!("  Mem64 FR:        {:.4}", m.mem_fragment_rate(64));
+    // Flavor histogram.
+    let mut hist: std::collections::BTreeMap<u32, usize> = Default::default();
+    for vm in m.vms() {
+        *hist.entry(vm.cpu).or_default() += 1;
+    }
+    println!("  VM flavors (cores -> count): {hist:?}");
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let updates: usize = args.num("updates", 30)?;
+    let mnl: usize = args.num("mnl", 8)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let out = args.get("out", "agent.json");
+    let extractor = match args.get("extractor", "sparse").as_str() {
+        "sparse" => ExtractorKind::SparseAttention,
+        "vanilla" => ExtractorKind::VanillaAttention,
+        other => return Err(format!("unknown extractor {other:?} (sparse|vanilla)")),
+    };
+    let risk_quantile: f64 = args.num("risk-quantile", -1.0f64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Vmr2lModel::new(ModelConfig::default(), extractor, &mut rng);
+    let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
+    let cfg = TrainConfig {
+        updates,
+        mnl,
+        seed,
+        eval_every: 0,
+        risk_quantile: (0.0..1.0).contains(&risk_quantile).then_some(risk_quantile),
+        ..Default::default()
+    };
+    let train: Vec<ClusterState> = ds.train_mappings().cloned().collect();
+    let eval: Vec<ClusterState> = ds.val_mappings().cloned().collect();
+    let mut trainer = Trainer::new(agent, train, eval, cfg).map_err(|e| e.to_string())?;
+    trainer
+        .train(|s| {
+            eprintln!(
+                "update {:>3}/{updates}: reward/step {:+.4} loss {:+.4}",
+                s.update, s.mean_reward, s.ppo.loss
+            );
+        })
+        .map_err(|e| e.to_string())?;
+    let agent = trainer.into_agent();
+    let mut ckpt = Checkpoint::capture(&agent.policy);
+    ckpt.meta.insert("updates".into(), updates.to_string());
+    ckpt.meta.insert("dataset".into(), ds.name.clone());
+    ckpt.save(&out).map_err(|e| e.to_string())?;
+    println!("trained {updates} updates; checkpoint saved to {out}");
+    Ok(())
+}
+
+fn load_agent(path: &str) -> Result<Vmr2lAgent<Vmr2lModel>, String> {
+    let ckpt = Checkpoint::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    // Try both extractor variants; the checkpoint's parameter set
+    // disambiguates (sparse has `block*.local.*` weights).
+    for kind in [ExtractorKind::SparseAttention, ExtractorKind::VanillaAttention] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Vmr2lModel::new(ModelConfig::default(), kind, &mut rng);
+        if ckpt.restore(&mut model).is_ok() {
+            return Ok(Vmr2lAgent::new(model, ActionMode::TwoStage));
+        }
+    }
+    Err(format!("{path} does not match the default VMR2L architecture"))
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let agent = load_agent(&args.require("agent")?)?;
+    let mnl: usize = args.num("mnl", 10)?;
+    let trajectories: usize = args.num("trajectories", 16)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let test: Vec<&ClusterState> = ds.test_mappings().collect();
+    if test.is_empty() {
+        return Err("dataset has no test mappings".into());
+    }
+    let mut init = 0.0;
+    let mut achieved = 0.0;
+    let mut secs = 0.0;
+    for (i, state) in test.iter().enumerate() {
+        let cs = ConstraintSet::new(state.num_vms());
+        let out = risk_seeking_eval(
+            &agent,
+            state,
+            &cs,
+            Objective::default(),
+            mnl,
+            &RiskSeekingConfig { trajectories, seed: seed + i as u64, ..Default::default() },
+        )
+        .map_err(|e| e.to_string())?;
+        init += state.fragment_rate(16);
+        achieved += out.best_objective;
+        secs += out.elapsed.as_secs_f64();
+        println!(
+            "mapping {i}: FR {:.4} -> {:.4}  ({} moves, {:.2}s)",
+            state.fragment_rate(16),
+            out.best_objective,
+            out.best_plan.len(),
+            out.elapsed.as_secs_f64()
+        );
+    }
+    let n = test.len() as f64;
+    println!(
+        "\nmean over {} test mappings: FR {:.4} -> {:.4}  ({:.2}s/mapping, {} trajectories)",
+        test.len(),
+        init / n,
+        achieved / n,
+        secs / n,
+        trajectories
+    );
+    Ok(())
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let index: usize = args.num("index", 0)?;
+    let mnl: usize = args.num("mnl", 10)?;
+    let budget = Duration::from_millis(args.num("budget-ms", 5000u64)?);
+    let state = ds
+        .mappings
+        .get(index)
+        .ok_or_else(|| format!("index {index} out of range"))?;
+    let cs = ConstraintSet::new(state.num_vms());
+    let obj = Objective::default();
+    let method = args.require("method")?;
+    let t0 = std::time::Instant::now();
+    let (plan, fr): (Vec<Action>, f64) = match method.as_str() {
+        "ha" => {
+            let r = ha_solve(state, &cs, obj, mnl);
+            (r.plan, r.objective)
+        }
+        "vbpp" => {
+            let r = vbpp_solve(state, &cs, obj, mnl, (mnl / 5).max(2));
+            (r.plan, r.objective)
+        }
+        "bnb" => {
+            let r = branch_and_bound(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &SolverConfig { time_limit: budget, beam_width: Some(48), ..Default::default() },
+            );
+            (r.plan, r.objective)
+        }
+        "pop" => {
+            let r = pop_solve(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &PopConfig {
+                    partitions: 4,
+                    sub: SolverConfig { time_limit: budget, beam_width: Some(24), ..Default::default() },
+                    seed: 0,
+                },
+            );
+            (r.plan, r.objective)
+        }
+        "mcts" => {
+            let r = mcts_solve(
+                state,
+                &cs,
+                obj,
+                mnl,
+                &MctsConfig { time_limit: budget, ..Default::default() },
+            );
+            (r.plan, r.objective)
+        }
+        "swap" => return solve_swap(args, state, &cs, obj, mnl),
+        other => return Err(format!("unknown method {other:?} (ha|bnb|pop|vbpp|mcts|swap)")),
+    };
+    let elapsed = t0.elapsed();
+    if args.flag("json") {
+        let body = serde_json::json!({
+            "method": method,
+            "mnl": mnl,
+            "initial_fr": state.fragment_rate(16),
+            "final_fr": fr,
+            "elapsed_s": elapsed.as_secs_f64(),
+            "plan": plan.iter().map(|a| {
+                serde_json::json!({
+                    "vm": a.vm.0,
+                    "from_pm": state.placement(a.vm).pm.0,
+                    "to_pm": a.pm.0,
+                })
+            }).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+    } else {
+        println!(
+            "{method}: FR {:.4} -> {:.4} with {} migrations in {:.2}s",
+            state.fragment_rate(16),
+            fr,
+            plan.len(),
+            elapsed.as_secs_f64()
+        );
+        for (i, a) in plan.iter().enumerate() {
+            println!(
+                "  {i}: VM{} ({}c) PM{} -> PM{}",
+                a.vm.0,
+                state.vm(a.vm).cpu,
+                state.placement(a.vm).pm.0,
+                a.pm.0
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `solve --method swap`: swap-aware local search — its plan mixes
+/// single migrations with atomic exchanges, so it needs its own output.
+fn solve_swap(
+    args: &Args,
+    state: &ClusterState,
+    cs: &ConstraintSet,
+    obj: Objective,
+    mnl: usize,
+) -> Result<(), String> {
+    use vmr_baselines::swap::{swap_search_solve, SwapMove};
+    let r = swap_search_solve(state, cs, obj, mnl, &Default::default());
+    if args.flag("json") {
+        let body = serde_json::json!({
+            "method": "swap",
+            "mnl": mnl,
+            "initial_fr": state.fragment_rate(16),
+            "final_fr": r.objective,
+            "migrations_used": r.migrations_used,
+            "elapsed_s": r.elapsed.as_secs_f64(),
+            "moves": r.moves.iter().map(|m| match m {
+                SwapMove::Single(a) => serde_json::json!({
+                    "kind": "migrate", "vm": a.vm.0, "to_pm": a.pm.0,
+                }),
+                SwapMove::Swap(a, b) => serde_json::json!({
+                    "kind": "swap", "vm_a": a.0, "vm_b": b.0,
+                }),
+            }).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+    } else {
+        println!(
+            "swap: FR {:.4} -> {:.4} with {} migrations ({} moves) in {:.2}s",
+            state.fragment_rate(16),
+            r.objective,
+            r.migrations_used,
+            r.moves.len(),
+            r.elapsed.as_secs_f64()
+        );
+        for (i, m) in r.moves.iter().enumerate() {
+            match m {
+                SwapMove::Single(a) => println!("  {i}: migrate VM{} -> PM{}", a.vm.0, a.pm.0),
+                SwapMove::Swap(a, b) => println!("  {i}: swap VM{} <-> VM{}", a.0, b.0),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `vmr cost`: price a plan's execution under the pre-copy model.
+fn cmd_cost(args: &Args) -> Result<(), String> {
+    use vmr_sim::migration::{schedule_plan, NicLimits, PrecopyModel};
+    let ds = load_dataset(args)?;
+    let index: usize = args.num("index", 0)?;
+    let mnl: usize = args.num("mnl", 10)?;
+    let streams: u32 = args.num("streams", 2)?;
+    let state = ds
+        .mappings
+        .get(index)
+        .ok_or_else(|| format!("index {index} out of range"))?;
+    let cs = ConstraintSet::new(state.num_vms());
+    let method = args.get("method", "ha");
+    if method != "ha" {
+        return Err("cost currently prices HA plans; use --method ha".into());
+    }
+    let plan = ha_solve(state, &cs, Objective::default(), mnl).plan;
+    let model = PrecopyModel {
+        bandwidth_gib_s: args.num("bandwidth", 2.5f64)?,
+        ..PrecopyModel::default()
+    };
+    let sched = schedule_plan(state, &plan, &model, NicLimits { streams_per_pm: streams })
+        .map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        let body = serde_json::json!({
+            "plan_len": plan.len(),
+            "streams_per_pm": streams,
+            "bandwidth_gib_s": model.bandwidth_gib_s,
+            "makespan_s": sched.makespan_secs,
+            "sequential_s": sched.sequential_secs,
+            "speedup": sched.speedup(),
+            "total_downtime_ms": sched.total_downtime_ms,
+            "transferred_gib": sched.total_transferred_gib,
+        });
+        println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+    } else {
+        println!(
+            "plan of {} migrations @ {} streams/PM, {} GiB/s:",
+            plan.len(),
+            streams,
+            model.bandwidth_gib_s
+        );
+        println!("  makespan    {:.1}s (sequential {:.1}s, speedup {:.2}x)",
+            sched.makespan_secs, sched.sequential_secs, sched.speedup());
+        println!("  downtime    {:.1} ms total across VMs", sched.total_downtime_ms);
+        println!("  transferred {:.1} GiB", sched.total_transferred_gib);
+        for m in &sched.migrations {
+            println!(
+                "    t={:>6.1}s VM{:<4} PM{:<3} -> PM{:<3} ({:.1}s, {} rounds, {:.1} ms pause)",
+                m.start_secs, m.vm.0, m.src.0, m.dst.0,
+                m.cost.total_secs(), m.cost.rounds, m.cost.downtime_ms
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `vmr simulate`: run the Figs. 1–3 daily loop — diurnal best-fit VMS
+/// churn with one off-peak VMR window per day.
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
+    use vmr_sim::dataset::VmMix;
+    use vmr_sim::trace::DiurnalModel;
+    let ds = load_dataset(args)?;
+    let index: usize = args.num("index", 0)?;
+    let state = ds
+        .mappings
+        .get(index)
+        .ok_or_else(|| format!("index {index} out of range"))?;
+    let seed: u64 = args.num("seed", 0)?;
+    let planner_name = args.get("planner", "ha");
+
+    let mut cfg = DayCycleConfig::new(VmMix::standard());
+    cfg.days = args.num("days", 2u32)?;
+    cfg.mnl = args.num("mnl", 10)?;
+    cfg.sample_every = 30;
+    // Default churn keeps the population mean-reverting around the
+    // snapshot's size: equilibrium ≈ base_rate / exit_frac.
+    let default_exit = 0.0035;
+    let default_rate = state.num_vms() as f64 * default_exit;
+    cfg.model = DiurnalModel {
+        base_rate: args.num("base-rate", default_rate)?,
+        amplitude: 0.6,
+        peak_minute: 14 * 60,
+    };
+    cfg.exit_frac = args.num("exit-frac", default_exit)?;
+
+    let obj = Objective::default();
+    let mut planner: Box<dyn FnMut(&ClusterState, usize) -> Vec<Action>> =
+        match planner_name.as_str() {
+            "none" => Box::new(|_: &ClusterState, _| Vec::new()),
+            "ha" => Box::new(move |s: &ClusterState, mnl: usize| {
+                ha_solve(s, &ConstraintSet::new(s.num_vms()), obj, mnl).plan
+            }),
+            other => return Err(format!("unknown planner {other:?} (none|ha)")),
+        };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = run_day_cycle(state, &mut planner, &cfg, &mut rng).map_err(|e| e.to_string())?;
+
+    if args.flag("json") {
+        let body = serde_json::json!({
+            "planner": planner_name,
+            "days": cfg.days,
+            "mnl": cfg.mnl,
+            "mean_fr": out.mean_fr(),
+            "mean_window_drop": out.mean_window_drop(),
+            "windows": out.windows.iter().map(|w| serde_json::json!({
+                "minute": w.minute,
+                "fr_before": w.fr_before,
+                "fr_after": w.fr_after,
+                "applied": w.applied,
+                "dropped": w.dropped,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+    } else {
+        println!(
+            "{} days of churn with planner '{planner_name}' (MNL {} per window):",
+            cfg.days, cfg.mnl
+        );
+        for w in &out.windows {
+            println!(
+                "  day {} {:02}:{:02}  FR {:.4} -> {:.4}  ({} applied, {} dropped)",
+                w.minute / 1440,
+                (w.minute % 1440) / 60,
+                w.minute % 60,
+                w.fr_before,
+                w.fr_after,
+                w.applied,
+                w.dropped
+            );
+        }
+        println!("mean FR {:.4}  mean drop/window {:.4}", out.mean_fr(), out.mean_window_drop());
+    }
+    Ok(())
+}
+
+/// `vmr interfere`: noisy-neighbor interference report.
+fn cmd_interfere(args: &Args) -> Result<(), String> {
+    use vmr_sim::interference::{InterferenceModel, UsageProfiles};
+    let ds = load_dataset(args)?;
+    let index: usize = args.num("index", 0)?;
+    let noisy_frac: f64 = args.num("noisy-frac", 0.2f64)?;
+    let threshold: f64 = args.num("threshold", 0.5f64)?;
+    let top: usize = args.num("top", 10)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let state = ds
+        .mappings
+        .get(index)
+        .ok_or_else(|| format!("index {index} out of range"))?;
+    let profiles = UsageProfiles::generate(state, noisy_frac, seed);
+    let model = InterferenceModel { threshold, use_burst: true };
+    let score = model.cluster_score(state, &profiles);
+    let ranked = model.noisiest_vms(state, &profiles, top);
+    if args.flag("json") {
+        let body = serde_json::json!({
+            "threshold": threshold,
+            "cluster_score": score,
+            "noisiest": ranked.iter().map(|(v, c)| serde_json::json!({
+                "vm": v.0,
+                "pm": state.placement(*v).pm.0,
+                "contribution": c,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+    } else {
+        println!("cluster interference score (threshold {threshold}): {score:.5}");
+        if ranked.is_empty() {
+            println!("no PM exceeds the contention threshold");
+        }
+        for (v, c) in &ranked {
+            println!(
+                "  VM{:<4} ({}c, util {:.2}) on PM{:<3}: {:.5}",
+                v.0,
+                state.vm(*v).cpu,
+                profiles.usage(*v).burst_util,
+                state.placement(*v).pm.0,
+                c
+            );
+        }
+    }
+    Ok(())
+}

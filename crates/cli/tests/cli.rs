@@ -1,0 +1,141 @@
+//! End-to-end tests of the `vmr` operator CLI: every subcommand is
+//! exercised against a freshly generated dataset in a temp directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn vmr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vmr"))
+        .args(args)
+        .output()
+        .expect("spawn vmr")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("vmr-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+fn gen_dataset(name: &str) -> String {
+    let path = tmp(name);
+    let out = vmr(&[
+        "gen",
+        "--preset",
+        "tiny",
+        "--count",
+        "3",
+        "--seed",
+        "5",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = vmr(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["gen", "inspect", "train", "eval", "solve", "cost", "interfere", "simulate"] {
+        assert!(text.contains(cmd), "help is missing {cmd}");
+    }
+}
+
+#[test]
+fn simulate_runs_the_daily_loop() {
+    let ds = gen_dataset("simulate.json");
+    let out = vmr(&[
+        "simulate", "--dataset", &ds, "--days", "1", "--mnl", "4", "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(body["days"], 1);
+    assert_eq!(body["windows"].as_array().unwrap().len(), 1);
+    let fr = body["mean_fr"].as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&fr));
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = vmr(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn gen_then_inspect() {
+    let ds = gen_dataset("inspect.json");
+    let out = vmr(&["inspect", "--dataset", &ds, "--index", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FR (16-core)"));
+    assert!(text.contains("CPU utilization"));
+}
+
+#[test]
+fn solve_ha_and_swap_report_fr() {
+    let ds = gen_dataset("solve.json");
+    for method in ["ha", "swap"] {
+        let out = vmr(&["solve", "--dataset", &ds, "--method", method, "--mnl", "4"]);
+        assert!(
+            out.status.success(),
+            "{method}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("FR"), "{method} output: {text}");
+    }
+}
+
+#[test]
+fn solve_json_output_is_parseable() {
+    let ds = gen_dataset("solve_json.json");
+    let out = vmr(&["solve", "--dataset", &ds, "--method", "ha", "--mnl", "3", "--json"]);
+    assert!(out.status.success());
+    let body: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON plan output");
+    assert_eq!(body["method"], "ha");
+    assert!(body["plan"].is_array());
+    assert!(body["final_fr"].as_f64().unwrap() <= body["initial_fr"].as_f64().unwrap() + 1e-12);
+}
+
+#[test]
+fn cost_prices_a_plan() {
+    let ds = gen_dataset("cost.json");
+    let out = vmr(&["cost", "--dataset", &ds, "--mnl", "4", "--streams", "2", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let makespan = body["makespan_s"].as_f64().unwrap();
+    let sequential = body["sequential_s"].as_f64().unwrap();
+    assert!(makespan <= sequential + 1e-9);
+    assert!(body["transferred_gib"].as_f64().unwrap() >= 0.0);
+}
+
+#[test]
+fn interfere_reports_score() {
+    let ds = gen_dataset("interfere.json");
+    let out = vmr(&[
+        "interfere",
+        "--dataset",
+        &ds,
+        "--noisy-frac",
+        "0.4",
+        "--threshold",
+        "0.3",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(body["cluster_score"].as_f64().unwrap() >= 0.0);
+    assert!(body["noisiest"].is_array());
+}
+
+#[test]
+fn missing_dataset_flag_is_an_error() {
+    let out = vmr(&["inspect"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dataset"));
+}

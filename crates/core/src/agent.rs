@@ -1,0 +1,571 @@
+//! The VMR2L agent: two-stage action selection with legality masking,
+//! plus the Penalty and Full-Mask ablation modes of §5.4.
+//!
+//! The agent separates *acting* (rollouts and evaluation — sample or
+//! greedy, optional risk-seeking quantile thresholds) from *re-evaluating*
+//! stored transitions during the PPO update, where log-probabilities,
+//! values, and entropies must be recomputed differentiably under the same
+//! masks the behavior policy used.
+
+use rand::Rng;
+
+use vmr_nn::graph::{Graph, Var};
+use vmr_nn::layers::Module;
+use vmr_nn::tensor::Tensor;
+use vmr_rl::sample::{apply_keep_mask, quantile_keep_mask, Categorical};
+use vmr_sim::env::{Action, ReschedEnv};
+use vmr_sim::error::{SimError, SimResult};
+use vmr_sim::obs::Observation;
+use vmr_sim::types::{PmId, VmId};
+
+use crate::config::ActionMode;
+use crate::features::{bool_mask_row, FeatureTensors};
+use crate::model::Stage1Out;
+
+/// A policy network usable by the agent: stage-1 extraction + heads, and a
+/// stage-2 destination head conditioned on the selected VM.
+pub trait Policy: Module {
+    /// Feature extraction and stage-1 heads.
+    fn stage1(&self, g: &mut Graph, feats: &FeatureTensors) -> Stage1Out;
+    /// Stage-2 destination logits (`1 × N`) for a selected VM.
+    fn stage2(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors, vm_idx: usize)
+        -> Var;
+    /// Generic per-PM logits (`1 × N`) for the joint (Full-Mask) space.
+    fn pm_logits_generic(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors) -> Var;
+}
+
+impl Policy for crate::model::Vmr2lModel {
+    fn stage1(&self, g: &mut Graph, feats: &FeatureTensors) -> Stage1Out {
+        crate::model::Vmr2lModel::stage1(self, g, feats)
+    }
+
+    fn stage2(
+        &self,
+        g: &mut Graph,
+        s1: &Stage1Out,
+        _feats: &FeatureTensors,
+        vm_idx: usize,
+    ) -> Var {
+        crate::model::Vmr2lModel::stage2(self, g, s1, vm_idx)
+    }
+
+    fn pm_logits_generic(&self, g: &mut Graph, s1: &Stage1Out, _feats: &FeatureTensors) -> Var {
+        crate::model::Vmr2lModel::pm_logits_generic(self, g, s1)
+    }
+}
+
+/// Everything needed to re-evaluate a transition during the PPO update.
+#[derive(Debug, Clone)]
+pub struct StoredObs {
+    /// The featurized state.
+    pub obs: Observation,
+    /// Effective stage-1 mask the behavior policy sampled under.
+    pub vm_mask: Vec<bool>,
+    /// Stage-2 mask for the chosen VM (all-true in Penalty mode).
+    pub pm_mask: Vec<bool>,
+    /// Joint `M·N` legality mask (Full-Mask mode only), row-major
+    /// `k * N + i`.
+    pub joint_mask: Option<Vec<bool>>,
+}
+
+/// The discrete indices of a stored two-stage action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredAction {
+    /// Stage-1 index (VM).
+    pub vm_idx: usize,
+    /// Stage-2 index (destination PM).
+    pub pm_idx: usize,
+}
+
+/// One acting decision.
+#[derive(Debug, Clone)]
+pub struct StepDecision {
+    /// The environment action.
+    pub action: Action,
+    /// Re-evaluation payload.
+    pub stored_obs: StoredObs,
+    /// Action indices.
+    pub stored_action: StoredAction,
+    /// Joint log-probability under the (unthresholded) behavior policy.
+    pub log_prob: f64,
+    /// Critic value estimate.
+    pub value: f64,
+    /// Stage-1 probabilities (post-mask, pre-threshold).
+    pub vm_probs: Vec<f64>,
+    /// Stage-2 probabilities for the chosen VM (post-mask, pre-threshold).
+    pub pm_probs: Vec<f64>,
+}
+
+/// Sampling options for [`Vmr2lAgent::decide`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecideOpts {
+    /// Take the argmax instead of sampling.
+    pub greedy: bool,
+    /// Risk-seeking quantile threshold over VM probabilities (§3.4).
+    pub vm_quantile: Option<f64>,
+    /// Risk-seeking quantile threshold over PM probabilities (§3.4).
+    pub pm_quantile: Option<f64>,
+}
+
+/// Differentiable re-evaluation outputs for the PPO loss.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalVars {
+    /// `1 × 1` joint log-probability of the stored action.
+    pub log_prob: Var,
+    /// `1 × 1` critic value.
+    pub value: Var,
+    /// `1 × 1` total policy entropy (both stages).
+    pub entropy: Var,
+}
+
+/// The agent: a policy plus an action-generation mode.
+#[derive(Debug, Clone)]
+pub struct Vmr2lAgent<P: Policy> {
+    /// The policy network.
+    pub policy: P,
+    /// Action-generation mode.
+    pub mode: ActionMode,
+    /// Decima-style destination subsampling: when set, stage 2 only sees a
+    /// uniformly random subset of this many PMs (intersected with the
+    /// legality mask). The paper's Decima baseline subsamples PMs randomly
+    /// instead of learning which to mask (§5.1).
+    pub pm_subset_size: Option<usize>,
+}
+
+impl<P: Policy> Vmr2lAgent<P> {
+    /// Wraps a policy in the given action mode.
+    pub fn new(policy: P, mode: ActionMode) -> Self {
+        Vmr2lAgent { policy, mode, pm_subset_size: None }
+    }
+
+    /// Enables Decima-style random PM subsampling in stage 2.
+    pub fn with_pm_subset(mut self, size: usize) -> Self {
+        self.pm_subset_size = Some(size.max(1));
+        self
+    }
+
+    /// Chooses an action for the environment's current state.
+    ///
+    /// Returns `Ok(None)` when no legal action exists (all VMs pinned or
+    /// dead-ended) — callers should end the episode.
+    pub fn decide<R: Rng + ?Sized>(
+        &self,
+        env: &ReschedEnv,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<StepDecision>> {
+        let obs = Observation::extract(env.state(), env.objective().frag_cores());
+        let feats = FeatureTensors::from_observation(&obs);
+        let mut g = Graph::new();
+        let s1 = self.policy.stage1(&mut g, &feats);
+        let value = g.value(s1.value).get(0, 0);
+
+        match self.mode {
+            ActionMode::TwoStage | ActionMode::Penalty => {
+                let masked_stage2 = self.mode == ActionMode::TwoStage;
+                let mut vm_mask = env.vm_mask();
+                // Up to a few resamples if the chosen VM has no destination.
+                for _attempt in 0..8 {
+                    if !vm_mask.iter().any(|&b| b) {
+                        return Ok(None);
+                    }
+                    let vm_probs = masked_probs(&mut g, s1.vm_logits, &vm_mask);
+                    let Some((vm_idx, vm_lp)) =
+                        pick(&vm_probs, opts.vm_quantile, opts.greedy, rng)
+                    else {
+                        return Ok(None);
+                    };
+                    let mut pm_mask = if masked_stage2 {
+                        env.pm_mask(VmId(vm_idx as u32))
+                    } else {
+                        vec![true; env.state().num_pms()]
+                    };
+                    if let Some(k) = self.pm_subset_size {
+                        subsample_mask(&mut pm_mask, k, rng);
+                    }
+                    if masked_stage2 && !pm_mask.iter().any(|&b| b) {
+                        // Dead-end VM: exclude and retry under the reduced
+                        // mask (stored mask stays consistent).
+                        vm_mask[vm_idx] = false;
+                        continue;
+                    }
+                    let pm_logits = self.policy.stage2(&mut g, &s1, &feats, vm_idx);
+                    let pm_probs = masked_probs(&mut g, pm_logits, &pm_mask);
+                    let Some((pm_idx, pm_lp)) =
+                        pick(&pm_probs, opts.pm_quantile, opts.greedy, rng)
+                    else {
+                        return Ok(None);
+                    };
+                    return Ok(Some(StepDecision {
+                        action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
+                        stored_obs: StoredObs {
+                            obs,
+                            vm_mask,
+                            pm_mask,
+                            joint_mask: None,
+                        },
+                        stored_action: StoredAction { vm_idx, pm_idx },
+                        log_prob: vm_lp + pm_lp,
+                        value,
+                        vm_probs,
+                        pm_probs,
+                    }));
+                }
+                Ok(None)
+            }
+            ActionMode::FullMask => {
+                let m = env.state().num_vms();
+                let n = env.state().num_pms();
+                // The joint mask costs O(M·N) legality checks — exactly the
+                // expense the paper's two-stage design avoids.
+                let mut joint_mask = vec![false; m * n];
+                for k in 0..m {
+                    let vm = VmId(k as u32);
+                    let row = env.pm_mask(vm);
+                    joint_mask[k * n..(k + 1) * n].copy_from_slice(&row);
+                }
+                if !joint_mask.iter().any(|&b| b) {
+                    return Ok(None);
+                }
+                let joint_logits = self.joint_logits(&mut g, &s1, &feats);
+                let flat = g.reshape(joint_logits, 1, m * n);
+                let probs = masked_probs(&mut g, flat, &joint_mask);
+                let Some((idx, lp)) = pick(&probs, None, opts.greedy, rng) else {
+                    return Ok(None);
+                };
+                let (vm_idx, pm_idx) = (idx / n, idx % n);
+                Ok(Some(StepDecision {
+                    action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
+                    stored_obs: StoredObs {
+                        obs,
+                        vm_mask: vec![true; m],
+                        pm_mask: vec![true; n],
+                        joint_mask: Some(joint_mask),
+                    },
+                    stored_action: StoredAction { vm_idx, pm_idx },
+                    log_prob: lp,
+                    value,
+                    vm_probs: probs,
+                    pm_probs: Vec::new(),
+                }))
+            }
+        }
+    }
+
+    /// Differentiably re-evaluates a stored transition for the PPO loss.
+    pub fn evaluate_actions(
+        &self,
+        g: &mut Graph,
+        stored: &StoredObs,
+        action: StoredAction,
+    ) -> EvalVars {
+        let feats = FeatureTensors::from_observation(&stored.obs);
+        let s1 = self.policy.stage1(g, &feats);
+        match self.mode {
+            ActionMode::TwoStage | ActionMode::Penalty => {
+                let vm_mask = bool_mask_row(&stored.vm_mask);
+                let vm_lp_row = g.masked_log_softmax_rows(s1.vm_logits, &vm_mask);
+                let vm_lp = g.gather_elems(vm_lp_row, &[(0, action.vm_idx)]);
+                let vm_ent = entropy_var(g, s1.vm_logits, &vm_mask);
+
+                let pm_logits = self.policy.stage2(g, &s1, &feats, action.vm_idx);
+                let pm_mask = bool_mask_row(&stored.pm_mask);
+                let pm_lp_row = g.masked_log_softmax_rows(pm_logits, &pm_mask);
+                let pm_lp = g.gather_elems(pm_lp_row, &[(0, action.pm_idx)]);
+                let pm_ent = entropy_var(g, pm_logits, &pm_mask);
+
+                let log_prob = g.add(vm_lp, pm_lp);
+                let entropy = g.add(vm_ent, pm_ent);
+                EvalVars { log_prob, value: s1.value, entropy }
+            }
+            ActionMode::FullMask => {
+                let m = feats.num_vms;
+                let n = feats.num_pms;
+                let joint = self.joint_logits(g, &s1, &feats);
+                let flat = g.reshape(joint, 1, m * n);
+                let mask_bools = stored
+                    .joint_mask
+                    .as_ref()
+                    .expect("FullMask transitions carry a joint mask");
+                let mask = bool_mask_row(mask_bools);
+                let lp_row = g.masked_log_softmax_rows(flat, &mask);
+                let idx = action.vm_idx * n + action.pm_idx;
+                let log_prob = g.gather_elems(lp_row, &[(0, idx)]);
+                let entropy = entropy_var(g, flat, &mask);
+                EvalVars { log_prob, value: s1.value, entropy }
+            }
+        }
+    }
+
+    /// Joint `M × N` logits for the Full-Mask mode: outer sum of stage-1
+    /// VM logits and generic PM logits, plus the cross-attention map.
+    fn joint_logits(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors) -> Var {
+        let m = feats.num_vms;
+        let n = feats.num_pms;
+        let vm_col = g.transpose(s1.vm_logits); // M × 1
+        let ones_row = g.constant(Tensor::full(1, n, 1.0));
+        let vm_grid = g.matmul(vm_col, ones_row); // M × N
+        let pm_row = self.policy.pm_logits_generic(g, s1, feats); // 1 × N
+        let ones_col = g.constant(Tensor::full(m, 1, 1.0));
+        let pm_grid = g.matmul(ones_col, pm_row); // M × N
+        let sum = g.add(vm_grid, pm_grid);
+        g.add(sum, s1.cross_probs)
+    }
+}
+
+/// Masked softmax probabilities as plain `f64`s (acting path — no grads
+/// needed, but we reuse the graph for the forward computation).
+fn masked_probs(g: &mut Graph, logits: Var, mask: &[bool]) -> Vec<f64> {
+    let mask_row = bool_mask_row(mask);
+    let p = g.masked_softmax_rows(logits, &mask_row);
+    g.value(p).data().to_vec()
+}
+
+/// Samples (or greedily picks) from probabilities after an optional
+/// risk-seeking quantile threshold; returns `(index, log_prob)` where the
+/// log-probability is under the *unthresholded* distribution (thresholds
+/// are an evaluation-time device, not part of the trained policy).
+fn pick<R: Rng + ?Sized>(
+    probs: &[f64],
+    quantile: Option<f64>,
+    greedy: bool,
+    rng: &mut R,
+) -> Option<(usize, f64)> {
+    let base = Categorical::new(probs)?;
+    if greedy {
+        let idx = base.argmax();
+        return Some((idx, base.log_prob(idx)));
+    }
+    let idx = match quantile {
+        Some(q) => {
+            let keep = quantile_keep_mask(probs, q);
+            let filtered = apply_keep_mask(probs, &keep);
+            Categorical::new(&filtered)?.sample(rng)
+        }
+        None => base.sample(rng),
+    };
+    Some((idx, base.log_prob(idx)))
+}
+
+/// Restricts a legality mask to a uniformly random subset of `k` of its
+/// `true` entries (Decima-style destination subsampling). If fewer than
+/// `k` entries are legal the mask is unchanged.
+fn subsample_mask<R: Rng + ?Sized>(mask: &mut [bool], k: usize, rng: &mut R) {
+    let legal: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i))
+        .collect();
+    if legal.len() <= k {
+        return;
+    }
+    // Partial Fisher-Yates: choose k survivors.
+    let mut pool = legal;
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let keep: std::collections::HashSet<usize> = pool[..k].iter().copied().collect();
+    for (i, slot) in mask.iter_mut().enumerate() {
+        if *slot && !keep.contains(&i) {
+            *slot = false;
+        }
+    }
+}
+
+/// Entropy of a masked softmax distribution as a differentiable `1 × 1`
+/// node: `−Σ p ln p`.
+fn entropy_var(g: &mut Graph, logits: Var, mask: &Tensor) -> Var {
+    let p = g.masked_softmax_rows(logits, mask);
+    let lp = g.masked_log_softmax_rows(logits, mask);
+    let prod = g.mul_elem(p, lp);
+    let s = g.sum_all(prod);
+    g.scale(s, -1.0)
+}
+
+/// Convenience: deterministically roll out a full episode with the agent
+/// and return the final objective value and the plan.
+pub fn rollout_episode<P: Policy, R: Rng + ?Sized>(
+    agent: &Vmr2lAgent<P>,
+    env: &mut ReschedEnv,
+    rng: &mut R,
+    opts: &DecideOpts,
+) -> SimResult<(f64, Vec<Action>)> {
+    /// Consecutive illegal proposals tolerated before giving up on the
+    /// episode. Unmasked modes can propose illegal actions; a greedy
+    /// policy would re-propose the same one forever, so retries must be
+    /// bounded.
+    const MAX_ILLEGAL_RETRIES: usize = 64;
+
+    env.reset();
+    let mut plan = Vec::new();
+    let mut illegal_streak = 0usize;
+    while !env.is_done() {
+        let Some(decision) = agent.decide(env, rng, opts)? else {
+            break;
+        };
+        match env.step(decision.action) {
+            Ok(_) => {
+                illegal_streak = 0;
+                plan.push(decision.action);
+            }
+            Err(SimError::EpisodeDone | SimError::MnlExhausted) => break,
+            // Unmasked modes may emit illegal actions; skip them here
+            // (training assigns the −5 penalty, evaluation retries a
+            // bounded number of times — a greedy policy is deterministic
+            // and would otherwise loop forever).
+            Err(_) if agent.mode != ActionMode::TwoStage => {
+                illegal_streak += 1;
+                if opts.greedy || illegal_streak >= MAX_ILLEGAL_RETRIES {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((env.objective_value(), plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExtractorKind, ModelConfig};
+    use crate::model::Vmr2lModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+    use vmr_sim::objective::Objective;
+
+    fn agent(mode: ActionMode) -> Vmr2lAgent<Vmr2lModel> {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 32, critic_hidden: 16 };
+        Vmr2lAgent::new(
+            Vmr2lModel::new(cfg, ExtractorKind::SparseAttention, &mut rng),
+            mode,
+        )
+    }
+
+    fn env() -> ReschedEnv {
+        let state = generate_mapping(&ClusterConfig::tiny(), 17).unwrap();
+        ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap()
+    }
+
+    #[test]
+    fn two_stage_actions_are_always_legal() {
+        let a = agent(ActionMode::TwoStage);
+        let mut e = env();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            if e.is_done() {
+                e.reset();
+            }
+            let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+            assert!(
+                e.action_legal(d.action).is_ok(),
+                "two-stage masking must preclude illegal actions"
+            );
+            e.step(d.action).unwrap();
+        }
+    }
+
+    #[test]
+    fn decision_log_prob_matches_probs() {
+        let a = agent(ActionMode::TwoStage);
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+        let expect = d.vm_probs[d.stored_action.vm_idx].max(1e-300).ln()
+            + d.pm_probs[d.stored_action.pm_idx].max(1e-300).ln();
+        assert!((d.log_prob - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_matches_behavior_log_prob() {
+        let a = agent(ActionMode::TwoStage);
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+        let mut g = Graph::new();
+        let ev = a.evaluate_actions(&mut g, &d.stored_obs, d.stored_action);
+        let lp = g.value(ev.log_prob).get(0, 0);
+        assert!(
+            (lp - d.log_prob).abs() < 1e-9,
+            "evaluate {lp} vs behavior {}",
+            d.log_prob
+        );
+        let v = g.value(ev.value).get(0, 0);
+        assert!((v - d.value).abs() < 1e-12);
+        let ent = g.value(ev.entropy).get(0, 0);
+        assert!(ent >= 0.0);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let a = agent(ActionMode::TwoStage);
+        let e = env();
+        let opts = DecideOpts { greedy: true, ..Default::default() };
+        let mut r1 = StdRng::seed_from_u64(10);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let d1 = a.decide(&e, &mut r1, &opts).unwrap().unwrap();
+        let d2 = a.decide(&e, &mut r2, &opts).unwrap().unwrap();
+        assert_eq!(d1.action, d2.action);
+    }
+
+    #[test]
+    fn full_mask_actions_are_legal() {
+        let a = agent(ActionMode::FullMask);
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+        assert!(e.action_legal(d.action).is_ok());
+        assert!(d.stored_obs.joint_mask.is_some());
+        // Re-evaluation agrees.
+        let mut g = Graph::new();
+        let ev = a.evaluate_actions(&mut g, &d.stored_obs, d.stored_action);
+        let lp = g.value(ev.log_prob).get(0, 0);
+        assert!((lp - d.log_prob).abs() < 1e-9);
+    }
+
+    #[test]
+    fn penalty_mode_may_propose_illegal() {
+        // Penalty mode has no stage-2 mask; over many samples it should
+        // propose at least one illegal action on a busy cluster.
+        let a = agent(ActionMode::Penalty);
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_illegal = false;
+        for _ in 0..40 {
+            let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+            if e.action_legal(d.action).is_err() {
+                saw_illegal = true;
+                break;
+            }
+        }
+        assert!(saw_illegal, "penalty mode should occasionally pick illegal PMs");
+    }
+
+    #[test]
+    fn rollout_episode_improves_or_holds() {
+        let a = agent(ActionMode::TwoStage);
+        let mut e = env();
+        let initial = e.initial_state().fragment_rate(16);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (final_fr, plan) = rollout_episode(&a, &mut e, &mut rng, &DecideOpts::default()).unwrap();
+        assert!(plan.len() <= 4);
+        // An untrained policy may not improve, but the value is a valid FR.
+        assert!((0.0..=1.0).contains(&final_fr));
+        let _ = initial;
+    }
+
+    #[test]
+    fn thresholded_sampling_stays_legal() {
+        let a = agent(ActionMode::TwoStage);
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(7);
+        let opts = DecideOpts { vm_quantile: Some(0.9), pm_quantile: Some(0.9), ..Default::default() };
+        for _ in 0..10 {
+            let d = a.decide(&e, &mut rng, &opts).unwrap().unwrap();
+            assert!(e.action_legal(d.action).is_ok());
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! PPO training loop for VMR2L (§3–4; CleanRL-style single-loop recipe).
+//!
+//! Rollouts are collected from the deterministic simulator across the
+//! training mappings; updates recompute log-probabilities differentiably
+//! under the stored legality masks. The Penalty ablation's −5 reward for
+//! illegal actions is implemented here (the environment itself never
+//! consumes a step on an illegal action, so the trainer tracks attempts).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vmr_nn::graph::Graph;
+use vmr_nn::optim::{Adam, AdamConfig};
+use vmr_rl::buffer::{RolloutBuffer, Transition};
+use vmr_rl::ppo::{ppo_loss, PpoConfig, PpoStats};
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::error::{SimError, SimResult};
+use vmr_sim::objective::Objective;
+
+use crate::agent::{DecideOpts, Policy, StoredAction, StoredObs, Vmr2lAgent};
+use crate::config::ActionMode;
+use crate::features::FeatureTensors;
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// PPO hyper-parameters.
+    pub ppo: PpoConfig,
+    /// Optimizer hyper-parameters.
+    pub adam: AdamConfig,
+    /// Episode length (migration number limit).
+    pub mnl: usize,
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Number of PPO updates to run.
+    pub updates: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Evaluate on the eval set every this many updates (0 = never).
+    pub eval_every: usize,
+    /// Episodes per evaluation.
+    pub eval_episodes: usize,
+    /// Reward for illegal actions in Penalty mode.
+    pub penalty_reward: f64,
+    /// Risk-seeking training (§8 future work; Petersen et al.): when
+    /// set, only episodes whose rollout return reaches this quantile
+    /// contribute gradients, optimizing best-case rather than average
+    /// performance — the training-time mirror of risk-seeking
+    /// evaluation. `None` (the default) is standard PPO.
+    pub risk_quantile: Option<f64>,
+    /// Learning-rate schedule over updates (CleanRL-style annealing).
+    /// `None` keeps `adam.lr` constant. The schedule is evaluated at
+    /// `update − 1`, so `LinearSchedule { start: lr, end: 0, total:
+    /// updates }` reproduces CleanRL's linear decay.
+    pub lr_schedule: Option<vmr_rl::schedule::LinearSchedule>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            ppo: PpoConfig {
+                rollout_steps: 64,
+                minibatch_size: 16,
+                epochs: 2,
+                ..Default::default()
+            },
+            adam: AdamConfig { lr: 1e-3, ..Default::default() },
+            mnl: 8,
+            objective: Objective::default(),
+            updates: 40,
+            seed: 0,
+            eval_every: 5,
+            eval_episodes: 4,
+            penalty_reward: -5.0,
+            risk_quantile: None,
+            lr_schedule: None,
+        }
+    }
+}
+
+/// Per-update training diagnostics.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainStats {
+    /// Update index (1-based).
+    pub update: usize,
+    /// Mean per-step reward in the rollout.
+    pub mean_reward: f64,
+    /// Mean episode return in the rollout.
+    pub mean_episode_return: f64,
+    /// Greedy evaluation objective (NaN when not evaluated this update).
+    pub eval_objective: f64,
+    /// PPO loss diagnostics (last minibatch of the update).
+    pub ppo: PpoStats,
+}
+
+/// The trainer: agent + data + optimizer state.
+pub struct Trainer<P: Policy> {
+    /// The agent being trained.
+    pub agent: Vmr2lAgent<P>,
+    cfg: TrainConfig,
+    opt: Adam,
+    rng: StdRng,
+    train_set: Vec<ClusterState>,
+    eval_set: Vec<ClusterState>,
+    constraints: Vec<ConstraintSet>,
+    env: ReschedEnv,
+    mapping_idx: usize,
+    attempts: usize,
+}
+
+impl<P: Policy> Trainer<P> {
+    /// Creates a trainer over unconstrained mappings.
+    pub fn new(
+        agent: Vmr2lAgent<P>,
+        train_set: Vec<ClusterState>,
+        eval_set: Vec<ClusterState>,
+        cfg: TrainConfig,
+    ) -> SimResult<Self> {
+        let constraints = train_set
+            .iter()
+            .map(|m| ConstraintSet::new(m.num_vms()))
+            .collect();
+        Self::with_constraints(agent, train_set, eval_set, constraints, cfg)
+    }
+
+    /// Creates a trainer with per-mapping service constraints.
+    pub fn with_constraints(
+        agent: Vmr2lAgent<P>,
+        train_set: Vec<ClusterState>,
+        eval_set: Vec<ClusterState>,
+        constraints: Vec<ConstraintSet>,
+        cfg: TrainConfig,
+    ) -> SimResult<Self> {
+        if train_set.is_empty() {
+            return Err(SimError::InvalidMapping("empty training set".into()));
+        }
+        if constraints.len() != train_set.len() {
+            return Err(SimError::InvalidMapping(
+                "one constraint set per training mapping required".into(),
+            ));
+        }
+        let env = ReschedEnv::new(
+            train_set[0].clone(),
+            constraints[0].clone(),
+            cfg.objective,
+            cfg.mnl,
+        )?;
+        Ok(Trainer {
+            agent,
+            cfg,
+            opt: Adam::new(cfg.adam),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            train_set,
+            eval_set,
+            constraints,
+            env,
+            mapping_idx: 0,
+            attempts: 0,
+        })
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Runs the full training loop, invoking `progress` after each update.
+    pub fn train(&mut self, mut progress: impl FnMut(&TrainStats)) -> SimResult<Vec<TrainStats>> {
+        let mut history = Vec::with_capacity(self.cfg.updates);
+        for update in 1..=self.cfg.updates {
+            if let Some(schedule) = self.cfg.lr_schedule {
+                self.opt.config.lr = schedule.at(update as u64 - 1);
+            }
+            let buffer = self.collect_rollout()?;
+            let (mean_reward, mean_ret) = reward_stats(&buffer);
+            let ppo = self.update_policy(buffer);
+            let eval_objective = if self.cfg.eval_every > 0 && update % self.cfg.eval_every == 0 {
+                self.evaluate(self.cfg.eval_episodes)?
+            } else {
+                f64::NAN
+            };
+            let stats = TrainStats {
+                update,
+                mean_reward,
+                mean_episode_return: mean_ret,
+                eval_objective,
+                ppo,
+            };
+            progress(&stats);
+            history.push(stats);
+        }
+        Ok(history)
+    }
+
+    /// Advances the environment to the next training mapping.
+    fn next_episode(&mut self) -> SimResult<()> {
+        self.mapping_idx = (self.mapping_idx + 1) % self.train_set.len();
+        self.env.reset_to(
+            self.train_set[self.mapping_idx].clone(),
+            self.constraints[self.mapping_idx].clone(),
+        )?;
+        self.attempts = 0;
+        Ok(())
+    }
+
+    fn episode_done(&self) -> bool {
+        self.env.is_done() || self.attempts >= self.cfg.mnl
+    }
+
+    /// Collects one rollout of `ppo.rollout_steps` transitions.
+    fn collect_rollout(&mut self) -> SimResult<RolloutBuffer<StoredObs, StoredAction>> {
+        let mut buffer = RolloutBuffer::new();
+        let opts = DecideOpts::default();
+        while buffer.len() < self.cfg.ppo.rollout_steps {
+            if self.episode_done() {
+                self.next_episode()?;
+            }
+            let Some(decision) = self.agent.decide(&self.env, &mut self.rng, &opts)? else {
+                // No legal action: abandon the episode.
+                self.next_episode()?;
+                continue;
+            };
+            self.attempts += 1;
+            let (reward, done) = match self.env.step(decision.action) {
+                Ok(out) => (out.reward, out.done),
+                Err(SimError::EpisodeDone | SimError::MnlExhausted) => {
+                    self.next_episode()?;
+                    continue;
+                }
+                Err(_illegal) => {
+                    // Penalty-mode illegal action: fixed negative reward,
+                    // no state change; the attempt still consumes budget.
+                    debug_assert!(self.agent.mode != ActionMode::TwoStage);
+                    (self.cfg.penalty_reward, self.attempts >= self.cfg.mnl)
+                }
+            };
+            buffer.push(Transition {
+                obs: decision.stored_obs,
+                action: decision.stored_action,
+                log_prob: decision.log_prob,
+                value: decision.value,
+                reward,
+                done,
+            });
+        }
+        let last_value = if self.episode_done() { 0.0 } else { self.state_value() };
+        buffer.compute_gae(
+            self.cfg.ppo.gamma,
+            self.cfg.ppo.gae_lambda,
+            last_value,
+            self.cfg.ppo.normalize_adv,
+        );
+        if let Some(q) = self.cfg.risk_quantile {
+            buffer.retain_top_episodes(q);
+        }
+        Ok(buffer)
+    }
+
+    /// Critic value of the environment's current state.
+    fn state_value(&self) -> f64 {
+        let obs = vmr_sim::obs::Observation::extract(
+            self.env.state(),
+            self.cfg.objective.frag_cores(),
+        );
+        let feats = FeatureTensors::from_observation(&obs);
+        let mut g = Graph::new();
+        let s1 = self.agent.policy.stage1(&mut g, &feats);
+        g.value(s1.value).get(0, 0)
+    }
+
+    /// Runs the PPO update epochs over the rollout.
+    fn update_policy(&mut self, buffer: RolloutBuffer<StoredObs, StoredAction>) -> PpoStats {
+        let mut last_stats = PpoStats::default();
+        for _epoch in 0..self.cfg.ppo.epochs {
+            let batches = buffer.minibatch_indices(self.cfg.ppo.minibatch_size, &mut self.rng);
+            for batch in batches {
+                if batch.is_empty() {
+                    continue;
+                }
+                let mut g = Graph::new();
+                let mut logp = None;
+                let mut values = None;
+                let mut entropies = None;
+                let mut old_lp = Vec::with_capacity(batch.len());
+                let mut adv = Vec::with_capacity(batch.len());
+                let mut ret = Vec::with_capacity(batch.len());
+                for &i in &batch {
+                    let t = &buffer.transitions()[i];
+                    let ev = self.agent.evaluate_actions(&mut g, &t.obs, t.action);
+                    logp = Some(match logp {
+                        Some(acc) => g.vcat(acc, ev.log_prob),
+                        None => ev.log_prob,
+                    });
+                    values = Some(match values {
+                        Some(acc) => g.vcat(acc, ev.value),
+                        None => ev.value,
+                    });
+                    entropies = Some(match entropies {
+                        Some(acc) => g.vcat(acc, ev.entropy),
+                        None => ev.entropy,
+                    });
+                    old_lp.push(t.log_prob);
+                    adv.push(buffer.advantages()[i]);
+                    ret.push(buffer.returns()[i]);
+                }
+                let logp = logp.expect("non-empty batch");
+                let values = values.expect("non-empty batch");
+                let entropy_mean = {
+                    let e = entropies.expect("non-empty batch");
+                    g.mean_all(e)
+                };
+                let (loss, stats) =
+                    ppo_loss(&mut g, logp, values, entropy_mean, &old_lp, &adv, &ret, &self.cfg.ppo);
+                g.backward(loss);
+                let grads = g.param_grads();
+                self.opt.step(&mut self.agent.policy, &grads);
+                last_stats = stats;
+            }
+        }
+        last_stats
+    }
+
+    /// Greedy evaluation: mean final objective over `episodes` eval
+    /// mappings (falls back to training mappings when no eval set).
+    pub fn evaluate(&mut self, episodes: usize) -> SimResult<f64> {
+        let pool: &[ClusterState] = if self.eval_set.is_empty() {
+            &self.train_set
+        } else {
+            &self.eval_set
+        };
+        let episodes = episodes.min(pool.len()).max(1);
+        let opts = DecideOpts { greedy: true, ..Default::default() };
+        let mut total = 0.0;
+        let mut eval_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        for ep in 0..episodes {
+            let mapping = &pool[ep % pool.len()];
+            let mut env = ReschedEnv::unconstrained(
+                mapping.clone(),
+                self.cfg.objective,
+                self.cfg.mnl,
+            )?;
+            let (obj, _) =
+                crate::agent::rollout_episode(&self.agent, &mut env, &mut eval_rng, &opts)?;
+            total += obj;
+        }
+        Ok(total / episodes as f64)
+    }
+
+    /// Mutable access to the RNG (deterministic test plumbing).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+
+    /// Consumes the trainer, returning the trained agent.
+    pub fn into_agent(self) -> Vmr2lAgent<P> {
+        self.agent
+    }
+
+    /// Freezes parameters by name prefix for fine-tuning (§7 of the paper:
+    /// adapt to new data by training only the top layers). For the default
+    /// VMR2L model, freezing `["vm_embed", "pm_embed", "block"]` leaves
+    /// only the actor/critic heads trainable.
+    pub fn freeze_prefixes(&mut self, prefixes: &[&str]) {
+        self.opt.freeze_prefixes(prefixes);
+    }
+}
+
+fn reward_stats(buffer: &RolloutBuffer<StoredObs, StoredAction>) -> (f64, f64) {
+    let n = buffer.len().max(1) as f64;
+    let total: f64 = buffer.transitions().iter().map(|t| t.reward).sum();
+    let episodes = buffer
+        .transitions()
+        .iter()
+        .filter(|t| t.done)
+        .count()
+        .max(1) as f64;
+    (total / n, total / episodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExtractorKind, ModelConfig};
+    use crate::model::Vmr2lModel;
+    use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+
+    fn small_mappings(n: usize) -> Vec<ClusterState> {
+        let cfg = ClusterConfig {
+            pm_groups: vec![PmGroup { count: 4, cpu_per_numa: 44, mem_per_numa: 128 }],
+            churn_cycles: 30,
+            ..ClusterConfig::tiny()
+        };
+        (0..n).map(|i| generate_mapping(&cfg, 100 + i as u64).unwrap()).collect()
+    }
+
+    fn trainer(mode: ActionMode, updates: usize) -> Trainer<Vmr2lModel> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model_cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
+        let agent = Vmr2lAgent::new(
+            Vmr2lModel::new(model_cfg, ExtractorKind::SparseAttention, &mut rng),
+            mode,
+        );
+        let cfg = TrainConfig {
+            ppo: PpoConfig { rollout_steps: 24, minibatch_size: 8, epochs: 1, ..Default::default() },
+            mnl: 4,
+            updates,
+            eval_every: 0,
+            ..Default::default()
+        };
+        Trainer::new(agent, small_mappings(3), small_mappings(1), cfg).unwrap()
+    }
+
+    #[test]
+    fn one_update_runs_and_changes_weights() {
+        use vmr_nn::layers::Module;
+        let mut t = trainer(ActionMode::TwoStage, 1);
+        let mut before = Vec::new();
+        t.agent.policy.visit_params(&mut |_, p| before.extend_from_slice(p.data()));
+        let history = t.train(|_| {}).unwrap();
+        assert_eq!(history.len(), 1);
+        let mut after = Vec::new();
+        t.agent.policy.visit_params(&mut |_, p| after.extend_from_slice(p.data()));
+        assert_ne!(before, after, "update must move parameters");
+        assert!(history[0].ppo.loss.is_finite());
+    }
+
+    #[test]
+    fn penalty_mode_trains_without_panic() {
+        let mut t = trainer(ActionMode::Penalty, 1);
+        let history = t.train(|_| {}).unwrap();
+        assert!(history[0].mean_reward.is_finite());
+    }
+
+    #[test]
+    fn full_mask_mode_trains_without_panic() {
+        let mut t = trainer(ActionMode::FullMask, 1);
+        let history = t.train(|_| {}).unwrap();
+        assert!(history[0].ppo.loss.is_finite());
+    }
+
+    #[test]
+    fn evaluate_returns_valid_objective() {
+        let mut t = trainer(ActionMode::TwoStage, 1);
+        let obj = t.evaluate(2).unwrap();
+        assert!((0.0..=1.0).contains(&obj), "objective {obj} out of range");
+    }
+
+    #[test]
+    fn fine_tuning_freeze_keeps_body_fixed() {
+        use vmr_nn::layers::Module;
+        let mut t = trainer(ActionMode::TwoStage, 1);
+        t.freeze_prefixes(&["vm_embed", "pm_embed", "block"]);
+        let mut body_before = Vec::new();
+        let mut head_before = Vec::new();
+        t.agent.policy.visit_params(&mut |n, p| {
+            if n.starts_with("vm_embed") || n.starts_with("pm_embed") || n.starts_with("block") {
+                body_before.extend_from_slice(p.data());
+            } else {
+                head_before.extend_from_slice(p.data());
+            }
+        });
+        t.train(|_| {}).unwrap();
+        let mut body_after = Vec::new();
+        let mut head_after = Vec::new();
+        t.agent.policy.visit_params(&mut |n, p| {
+            if n.starts_with("vm_embed") || n.starts_with("pm_embed") || n.starts_with("block") {
+                body_after.extend_from_slice(p.data());
+            } else {
+                head_after.extend_from_slice(p.data());
+            }
+        });
+        assert_eq!(body_before, body_after, "frozen extractor must not move");
+        assert_ne!(head_before, head_after, "heads must keep training");
+    }
+
+    #[test]
+    fn lr_schedule_anneals_during_training() {
+        use vmr_rl::schedule::LinearSchedule;
+        let mut t = trainer(ActionMode::TwoStage, 3);
+        t.cfg.lr_schedule =
+            Some(LinearSchedule { start: 1e-3, end: 1e-4, total: 3 });
+        t.train(|_| {}).unwrap();
+        // After 3 updates the optimizer sits at the step-2 value of the
+        // schedule (updates are 1-based, evaluated at update − 1).
+        let expected = LinearSchedule { start: 1e-3, end: 1e-4, total: 3 }.at(2);
+        assert!(
+            (t.opt.config.lr - expected).abs() < 1e-12,
+            "lr {} vs expected {}",
+            t.opt.config.lr,
+            expected
+        );
+    }
+
+    #[test]
+    fn risk_seeking_training_runs_and_learns_from_elite_episodes() {
+        use vmr_nn::layers::Module;
+        let mut rng = StdRng::seed_from_u64(0);
+        let model_cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
+        let agent = Vmr2lAgent::new(
+            Vmr2lModel::new(model_cfg, ExtractorKind::SparseAttention, &mut rng),
+            ActionMode::TwoStage,
+        );
+        let cfg = TrainConfig {
+            ppo: PpoConfig { rollout_steps: 24, minibatch_size: 8, epochs: 1, ..Default::default() },
+            mnl: 4,
+            updates: 2,
+            eval_every: 0,
+            risk_quantile: Some(0.5),
+            ..Default::default()
+        };
+        let mut t = Trainer::new(agent, small_mappings(3), vec![], cfg).unwrap();
+        let mut before = Vec::new();
+        t.agent.policy.visit_params(&mut |_, p| before.extend_from_slice(p.data()));
+        let history = t.train(|_| {}).unwrap();
+        assert_eq!(history.len(), 2);
+        assert!(history.iter().all(|h| h.ppo.loss.is_finite()));
+        let mut after = Vec::new();
+        t.agent.policy.visit_params(&mut |_, p| after.extend_from_slice(p.data()));
+        assert_ne!(before, after, "elite-filtered updates must still move weights");
+    }
+
+    #[test]
+    fn empty_train_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model_cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
+        let agent = Vmr2lAgent::new(
+            Vmr2lModel::new(model_cfg, ExtractorKind::SparseAttention, &mut rng),
+            ActionMode::TwoStage,
+        );
+        assert!(Trainer::new(agent, vec![], vec![], TrainConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Bottleneck adapters for parameter-efficient fine-tuning.
+//!
+//! The third §7 adaptation strategy the VMR2L paper names (Houlsby et
+//! al.): insert a small residual bottleneck — down-projection, ReLU,
+//! up-projection — after a frozen block and train only the bottleneck.
+//! The up-projection starts at zero, so a freshly inserted adapter is
+//! the identity function and fine-tuning departs smoothly from the
+//! pretrained policy. Complements [`crate::lora::LoraLinear`] (which
+//! reparameterizes an existing layer) by adding capacity *between*
+//! layers instead.
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::layers::{Linear, Module};
+use crate::tensor::Tensor;
+
+/// A residual bottleneck adapter: `y = x + up(relu(down(x)))`.
+#[derive(Debug, Clone)]
+pub struct Adapter {
+    down: Linear,
+    up: Linear,
+    d_model: usize,
+}
+
+impl Adapter {
+    /// Builds an adapter over width `d_model` with bottleneck width
+    /// `d_bottleneck`. The up-projection is zero-initialized so the
+    /// adapter starts as the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_bottleneck` is zero or not smaller than `d_model` —
+    /// a "bottleneck" at least as wide as the model adds parameters
+    /// without the intended regularization.
+    pub fn new(
+        name: impl Into<String>,
+        d_model: usize,
+        d_bottleneck: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            d_bottleneck >= 1 && d_bottleneck < d_model,
+            "bottleneck {d_bottleneck} must be in [1, {d_model})"
+        );
+        let name = name.into();
+        let down = Linear::new(format!("{name}.down"), d_model, d_bottleneck, rng);
+        let mut up = Linear::new(format!("{name}.up"), d_bottleneck, d_model, rng);
+        up.visit_params_mut(&mut |param_name, t| {
+            if param_name.ends_with(".w") {
+                t.data_mut().fill(0.0);
+            }
+        });
+        Adapter { down, up, d_model }
+    }
+
+    /// Model width the adapter operates on.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Applies the adapter to an `n × d_model` input.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let h = self.down.forward(g, x);
+        let h = g.relu(h);
+        let h = self.up.forward(g, h);
+        g.add(x, h)
+    }
+}
+
+impl Module for Adapter {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.down.visit_params(f);
+        self.up.visit_params(f);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.down.visit_params_mut(f);
+        self.up.visit_params_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, AdamConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn fresh_adapter_is_identity() {
+        let mut r = rng();
+        let a = Adapter::new("adpt", 8, 2, &mut r);
+        let mut g = Graph::new();
+        let x = Tensor::xavier(5, 8, &mut r);
+        let xv = g.constant(x.clone());
+        let y = a.forward(&mut g, xv);
+        for (i, (&want, &got)) in x.data().iter().zip(g.value(y).data()).enumerate() {
+            assert!(
+                ((want - got) as f64).abs() < 1e-12,
+                "slot {i}: {want} vs {got} — zero up-proj must give identity"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_bottleneck_sized() {
+        let mut r = rng();
+        let a = Adapter::new("adpt", 32, 4, &mut r);
+        // down: 32×4 + 4, up: 4×32 + 32.
+        assert_eq!(a.num_params(), 32 * 4 + 4 + 4 * 32 + 32);
+        assert_eq!(a.d_model(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottleneck")]
+    fn oversized_bottleneck_panics() {
+        let mut r = rng();
+        let _ = Adapter::new("adpt", 8, 8, &mut r);
+    }
+
+    /// The adapter must be trainable to a target while staying residual.
+    #[test]
+    fn adapter_learns_a_residual_correction() {
+        let mut r = rng();
+        let mut a = Adapter::new("adpt", 4, 2, &mut r);
+        let x = Tensor::xavier(6, 4, &mut r);
+        // Target: the input shifted by +0.5 in every coordinate.
+        let target = x.map(|v| v + 0.5);
+        let mut opt = Adam::new(AdamConfig { lr: 0.02, max_grad_norm: None, ..Default::default() });
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let tv = g.constant(target.clone());
+            let y = a.forward(&mut g, xv);
+            let d = g.sub(y, tv);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            let grads = g.param_grads();
+            opt.step(&mut a, &grads);
+            last = g.value(loss).get(0, 0);
+        }
+        assert!(last < 1e-2, "adapter failed to learn the shift: loss {last}");
+    }
+}

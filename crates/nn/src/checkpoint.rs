@@ -1,0 +1,185 @@
+//! Model checkpointing: parameter name → tensor maps, serialized as JSON.
+//!
+//! The paper notes VMR2L checkpoints are small (< 2 MB); ours are too —
+//! parameter count is independent of cluster size by construction.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::Module;
+use crate::tensor::Tensor;
+
+/// Errors from checkpoint (de)serialization.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// A parameter in the module has no entry in the checkpoint.
+    MissingParam(String),
+    /// Stored tensor shape disagrees with the module's parameter shape.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape in the module.
+        expected: (usize, usize),
+        /// Shape in the checkpoint.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint json error: {e}"),
+            CheckpointError::MissingParam(n) => write!(f, "checkpoint missing parameter {n}"),
+            CheckpointError::ShapeMismatch { name, expected, found } => write!(
+                f,
+                "checkpoint shape mismatch for {name}: expected {expected:?}, found {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// A named-tensor snapshot of a module's parameters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameter name → tensor.
+    pub tensors: HashMap<String, Tensor>,
+    /// Free-form metadata (training step, dataset name, ...).
+    pub meta: HashMap<String, String>,
+}
+
+impl Checkpoint {
+    /// Captures all parameters of a module.
+    pub fn capture(module: &impl Module) -> Self {
+        let mut tensors = HashMap::new();
+        module.visit_params(&mut |name, t| {
+            tensors.insert(name.to_string(), t.clone());
+        });
+        Checkpoint { tensors, meta: HashMap::new() }
+    }
+
+    /// Restores all parameters into a module. Every module parameter must
+    /// exist in the checkpoint with a matching shape.
+    pub fn restore(&self, module: &mut impl Module) -> Result<(), CheckpointError> {
+        let mut err = None;
+        module.visit_params_mut(&mut |name, t| {
+            if err.is_some() {
+                return;
+            }
+            match self.tensors.get(name) {
+                None => err = Some(CheckpointError::MissingParam(name.to_string())),
+                Some(stored) => {
+                    if (stored.rows(), stored.cols()) != (t.rows(), t.cols()) {
+                        err = Some(CheckpointError::ShapeMismatch {
+                            name: name.to_string(),
+                            expected: (t.rows(), t.cols()),
+                            found: (stored.rows(), stored.cols()),
+                        });
+                    } else {
+                        *t = stored.clone();
+                    }
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes the checkpoint as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string(self)?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from JSON.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let src = Mlp::new("m", &[4, 8, 2], false, &mut rng);
+        let ckpt = Checkpoint::capture(&src);
+        let mut dst = Mlp::new("m", &[4, 8, 2], false, &mut rng);
+        ckpt.restore(&mut dst).unwrap();
+        let mut a = Vec::new();
+        src.visit_params(&mut |_, t| a.extend_from_slice(t.data()));
+        let mut b = Vec::new();
+        dst.visit_params(&mut |_, t| b.extend_from_slice(t.data()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_rejects_missing_param() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ckpt = Checkpoint::default();
+        let mut m = Linear::new("l", 2, 2, &mut rng);
+        assert!(matches!(
+            ckpt.restore(&mut m),
+            Err(CheckpointError::MissingParam(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let small = Linear::new("l", 2, 2, &mut rng);
+        let ckpt = Checkpoint::capture(&small);
+        let mut big = Linear::new("l", 3, 2, &mut rng);
+        assert!(matches!(
+            ckpt.restore(&mut big),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Linear::new("l", 3, 3, &mut rng);
+        let mut ckpt = Checkpoint::capture(&m);
+        ckpt.meta.insert("step".into(), "42".into());
+        let dir = std::env::temp_dir().join("vmr_nn_ckpt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.meta["step"], "42");
+        let mut dst = Linear::new("l", 3, 3, &mut rng);
+        loaded.restore(&mut dst).unwrap();
+    }
+}

@@ -1,0 +1,900 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a growing tape of [`Tensor`] nodes. Forward values are
+//! computed eagerly as ops are recorded; [`Graph::backward`] walks the tape
+//! in reverse, accumulating gradients. Parameters are registered by name
+//! with [`Graph::param`], and their gradients are collected afterwards with
+//! [`Graph::param_grads`] — re-binding the same name accumulates, which is
+//! exactly what weight sharing across entities (the paper's shared
+//! embedding networks) needs.
+//!
+//! The op set is the closure of what the VMR2L models require: matmul,
+//! broadcasting adds, activations, masked softmax, layer-norm, gathers,
+//! and the clipping/min/exp pieces of the PPO loss. Every op's backward
+//! rule is verified against central finite differences in the test suite.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input; no gradient tracked.
+    Leaf,
+    /// Named parameter; gradient collected by name.
+    Param(String),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    /// `x (n×d) + row (1×d)`, row broadcast over rows.
+    AddRow(Var, Var),
+    /// `x (n×d) ∘ row (1×d)`, row broadcast over rows.
+    MulRow(Var, Var),
+    MulElem(Var, Var),
+    Scale(Var, f64),
+    AddScalar(Var),
+    Relu(Var),
+    Tanh(Var),
+    Exp(Var),
+    Square(Var),
+    /// Row-wise softmax with an additive mask applied before normalization.
+    MaskedSoftmaxRows(Var),
+    /// Row-wise log-softmax with an additive mask.
+    MaskedLogSoftmaxRows(Var, Tensor),
+    /// Row-wise standardization (no affine; compose with MulRow/AddRow).
+    LayerNormRows(Var, f64),
+    MeanAll(Var),
+    SumAll(Var),
+    /// Column-wise mean over rows, producing `1×d`.
+    MeanRows(Var),
+    SelectRows(Var, Vec<usize>),
+    SliceCols(Var, usize, usize),
+    HCat(Var, Var),
+    /// Vertical concatenation (same column count).
+    VCat(Var, Var),
+    /// Shape change preserving row-major element order.
+    Reshape(Var),
+    /// Gathers single elements `(row, col)` into a `k×1` column.
+    GatherElems(Var, Vec<(usize, usize)>),
+    Minimum(Var, Var),
+    Clamp(Var, f64, f64),
+    Transpose(Var),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// The autodiff tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a constant (non-differentiable) input.
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Registers a named parameter; its gradient is retrievable from
+    /// [`Graph::param_grads`]. Binding one name twice accumulates grads.
+    pub fn param(&mut self, name: &str, t: &Tensor) -> Var {
+        self.push(t.clone(), Op::Param(name.to_string()))
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`]; zeros if unreached.
+    pub fn grad(&self, v: Var) -> Tensor {
+        let n = &self.nodes[v.0];
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- ops -------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Broadcast add of a `1×d` row to every row of `x`.
+    pub fn add_row(&mut self, x: Var, row: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "add_row expects a 1×d row");
+        assert_eq!(rv.cols(), xv.cols(), "add_row width mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out.set(r, c, out.get(r, c) + rv.get(0, c));
+            }
+        }
+        self.push(out, Op::AddRow(x, row))
+    }
+
+    /// Broadcast multiply of a `1×d` row with every row of `x`.
+    pub fn mul_row(&mut self, x: Var, row: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "mul_row expects a 1×d row");
+        assert_eq!(rv.cols(), xv.cols(), "mul_row width mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out.set(r, c, out.get(r, c) * rv.get(0, c));
+            }
+        }
+        self.push(out, Op::MulRow(x, row))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(v, Op::MulElem(a, b))
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&mut self, x: Var, alpha: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e * alpha);
+        self.push(v, Op::Scale(x, alpha))
+    }
+
+    /// Scalar add.
+    pub fn add_scalar(&mut self, x: Var, alpha: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e + alpha);
+        self.push(v, Op::AddScalar(x))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(f64::exp);
+        self.push(v, Op::Exp(x))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e * e);
+        self.push(v, Op::Square(x))
+    }
+
+    /// Row-wise softmax after adding `mask` (use large negative entries to
+    /// exclude positions; a fully-masked row yields a uniform distribution
+    /// over nothing — caller must keep ≥1 legal entry per row).
+    pub fn masked_softmax_rows(&mut self, x: Var, mask: &Tensor) -> Var {
+        let v = masked_softmax(&self.nodes[x.0].value, mask);
+        self.push(v, Op::MaskedSoftmaxRows(x))
+    }
+
+    /// Row-wise softmax without masking.
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let zeros = Tensor::zeros(self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+        self.masked_softmax_rows(x, &zeros)
+    }
+
+    /// Row-wise log-softmax with an additive mask.
+    pub fn masked_log_softmax_rows(&mut self, x: Var, mask: &Tensor) -> Var {
+        let v = masked_log_softmax(&self.nodes[x.0].value, mask);
+        self.push(v, Op::MaskedLogSoftmaxRows(x, mask.clone()))
+    }
+
+    /// Row-wise standardization `(x − μ)/σ` (ε-stabilized). Affine scale
+    /// and shift compose via [`Graph::mul_row`] and [`Graph::add_row`].
+    pub fn layer_norm_rows(&mut self, x: Var, eps: f64) -> Var {
+        let v = layer_norm(&self.nodes[x.0].value, eps);
+        self.push(v, Op::LayerNormRows(x, eps))
+    }
+
+    /// Mean over all elements, producing `1×1`.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let v = Tensor::from_vec(1, 1, vec![xv.sum() / xv.len() as f64]);
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Sum over all elements, producing `1×1`.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.nodes[x.0].value.sum()]);
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Column-wise mean over rows, producing `1×d` (mean pooling).
+    pub fn mean_rows(&mut self, x: Var) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let mut out = Tensor::zeros(1, xv.cols());
+        for r in 0..xv.rows() {
+            for c in 0..xv.cols() {
+                out.set(0, c, out.get(0, c) + xv.get(r, c));
+            }
+        }
+        let n = xv.rows().max(1) as f64;
+        let out = out.map(|v| v / n);
+        self.push(out, Op::MeanRows(x))
+    }
+
+    /// Gathers rows by index (duplicates allowed).
+    pub fn select_rows(&mut self, x: Var, idx: &[usize]) -> Var {
+        let v = self.nodes[x.0].value.select_rows(idx);
+        self.push(v, Op::SelectRows(x, idx.to_vec()))
+    }
+
+    /// Extracts a contiguous block of columns.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let v = self.nodes[x.0].value.slice_cols(start, len);
+        self.push(v, Op::SliceCols(x, start, len))
+    }
+
+    /// Horizontal concatenation (same row count).
+    pub fn hcat(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hcat(&self.nodes[b.0].value);
+        self.push(v, Op::HCat(a, b))
+    }
+
+    /// Vertical concatenation (same column count).
+    pub fn vcat(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.vcat(&self.nodes[b.0].value);
+        self.push(v, Op::VCat(a, b))
+    }
+
+    /// Reshapes to `rows × cols` (element count must match; row-major
+    /// order preserved).
+    pub fn reshape(&mut self, x: Var, rows: usize, cols: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.len(), rows * cols, "reshape element count mismatch");
+        let v = Tensor::from_vec(rows, cols, xv.data().to_vec());
+        self.push(v, Op::Reshape(x))
+    }
+
+    /// Gathers scalar elements `(row, col)` into a `k×1` column vector.
+    pub fn gather_elems(&mut self, x: Var, idx: &[(usize, usize)]) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let data = idx.iter().map(|&(r, c)| xv.get(r, c)).collect();
+        let v = Tensor::from_vec(idx.len(), 1, data);
+        self.push(v, Op::GatherElems(x, idx.to_vec()))
+    }
+
+    /// Elementwise minimum.
+    pub fn minimum(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, f64::min);
+        self.push(v, Op::Minimum(a, b))
+    }
+
+    /// Elementwise clamp into `[lo, hi]` (gradient is zero outside).
+    pub fn clamp(&mut self, x: Var, lo: f64, hi: f64) -> Var {
+        let v = self.nodes[x.0].value.map(|e| e.clamp(lo, hi));
+        self.push(v, Op::Clamp(x, lo, hi))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.transpose();
+        self.push(v, Op::Transpose(x))
+    }
+
+    // ---- backward --------------------------------------------------------
+
+    /// Runs reverse-mode accumulation from `loss`, which must be `1×1`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar-shaped.
+    pub fn backward(&mut self, loss: Var) {
+        {
+            let l = &self.nodes[loss.0].value;
+            assert_eq!((l.rows(), l.cols()), (1, 1), "backward needs a scalar loss");
+        }
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf | Op::Param(_) => {}
+                Op::MatMul(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let da = g.matmul(&bv.transpose());
+                    let db = av.transpose().matmul(&g);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g.map(|v| -v));
+                }
+                Op::AddRow(x, row) => {
+                    let mut dr = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            dr.set(0, c, dr.get(0, c) + g.get(r, c));
+                        }
+                    }
+                    self.accum(x, g);
+                    self.accum(row, dr);
+                }
+                Op::MulRow(x, row) => {
+                    let xv = self.nodes[x.0].value.clone();
+                    let rv = self.nodes[row.0].value.clone();
+                    let mut dx = g.clone();
+                    for r in 0..dx.rows() {
+                        for c in 0..dx.cols() {
+                            dx.set(r, c, dx.get(r, c) * rv.get(0, c));
+                        }
+                    }
+                    let mut dr = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            dr.set(0, c, dr.get(0, c) + g.get(r, c) * xv.get(r, c));
+                        }
+                    }
+                    self.accum(x, dx);
+                    self.accum(row, dr);
+                }
+                Op::MulElem(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    self.accum(a, g.zip(&bv, |gg, v| gg * v));
+                    self.accum(b, g.zip(&av, |gg, v| gg * v));
+                }
+                Op::Scale(x, alpha) => self.accum(x, g.map(|v| v * alpha)),
+                Op::AddScalar(x) => self.accum(x, g),
+                Op::Relu(x) => {
+                    let xv = self.nodes[x.0].value.clone();
+                    self.accum(x, g.zip(&xv, |gg, v| if v > 0.0 { gg } else { 0.0 }));
+                }
+                Op::Tanh(x) => {
+                    let yv = self.nodes[i].value.clone();
+                    self.accum(x, g.zip(&yv, |gg, y| gg * (1.0 - y * y)));
+                }
+                Op::Exp(x) => {
+                    let yv = self.nodes[i].value.clone();
+                    self.accum(x, g.zip(&yv, |gg, y| gg * y));
+                }
+                Op::Square(x) => {
+                    let xv = self.nodes[x.0].value.clone();
+                    self.accum(x, g.zip(&xv, |gg, v| gg * 2.0 * v));
+                }
+                Op::MaskedSoftmaxRows(x) => {
+                    let y = self.nodes[i].value.clone();
+                    let dx = softmax_backward(&y, &g);
+                    self.accum(x, dx);
+                }
+                Op::MaskedLogSoftmaxRows(x, mask) => {
+                    // y = log softmax(x + mask); dx = g − softmax ∘ rowsum(g)
+                    let y = self.nodes[i].value.clone();
+                    let mut dx = g.clone();
+                    for r in 0..y.rows() {
+                        let gsum: f64 = (0..y.cols()).map(|c| g.get(r, c)).sum();
+                        for c in 0..y.cols() {
+                            let p = y.get(r, c).exp();
+                            let masked = mask.get(r, c) <= MASK_NEG_THRESHOLD;
+                            let v = if masked { 0.0 } else { dx.get(r, c) - p * gsum };
+                            dx.set(r, c, v);
+                        }
+                    }
+                    self.accum(x, dx);
+                }
+                Op::LayerNormRows(x, eps) => {
+                    let xv = self.nodes[x.0].value.clone();
+                    let dx = layer_norm_backward(&xv, &g, eps);
+                    self.accum(x, dx);
+                }
+                Op::MeanAll(x) => {
+                    let n = self.nodes[x.0].value.len() as f64;
+                    let xv = &self.nodes[x.0].value;
+                    let d = Tensor::full(xv.rows(), xv.cols(), g.get(0, 0) / n);
+                    self.accum(x, d);
+                }
+                Op::SumAll(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let d = Tensor::full(xv.rows(), xv.cols(), g.get(0, 0));
+                    self.accum(x, d);
+                }
+                Op::MeanRows(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let n = xv.rows().max(1) as f64;
+                    let mut d = Tensor::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        for c in 0..xv.cols() {
+                            d.set(r, c, g.get(0, c) / n);
+                        }
+                    }
+                    self.accum(x, d);
+                }
+                Op::SelectRows(x, idx) => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut d = Tensor::zeros(xv.rows(), xv.cols());
+                    for (out_r, &src_r) in idx.iter().enumerate() {
+                        for c in 0..xv.cols() {
+                            d.set(src_r, c, d.get(src_r, c) + g.get(out_r, c));
+                        }
+                    }
+                    self.accum(x, d);
+                }
+                Op::SliceCols(x, start, len) => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut d = Tensor::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        for c in 0..len {
+                            d.set(r, start + c, g.get(r, c));
+                        }
+                    }
+                    self.accum(x, d);
+                }
+                Op::HCat(a, b) => {
+                    let ac = self.nodes[a.0].value.cols();
+                    let bc = self.nodes[b.0].value.cols();
+                    self.accum(a, g.slice_cols(0, ac));
+                    self.accum(b, g.slice_cols(ac, bc));
+                }
+                Op::Reshape(x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let d = Tensor::from_vec(xv.rows(), xv.cols(), g.data().to_vec());
+                    self.accum(x, d);
+                }
+                Op::VCat(a, b) => {
+                    let ar = self.nodes[a.0].value.rows();
+                    let br = self.nodes[b.0].value.rows();
+                    let top: Vec<usize> = (0..ar).collect();
+                    let bottom: Vec<usize> = (ar..ar + br).collect();
+                    self.accum(a, g.select_rows(&top));
+                    self.accum(b, g.select_rows(&bottom));
+                }
+                Op::GatherElems(x, idx) => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut d = Tensor::zeros(xv.rows(), xv.cols());
+                    for (k, &(r, c)) in idx.iter().enumerate() {
+                        d.set(r, c, d.get(r, c) + g.get(k, 0));
+                    }
+                    self.accum(x, d);
+                }
+                Op::Minimum(a, b) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    // Ties route gradient to `a` (subgradient choice).
+                    let da = g.zip(&av.zip(&bv, |x, y| if x <= y { 1.0 } else { 0.0 }), |gg, m| gg * m);
+                    let db = g.zip(&av.zip(&bv, |x, y| if x > y { 1.0 } else { 0.0 }), |gg, m| gg * m);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::Clamp(x, lo, hi) => {
+                    let xv = self.nodes[x.0].value.clone();
+                    self.accum(
+                        x,
+                        g.zip(&xv, |gg, v| if v > lo && v < hi { gg } else { 0.0 }),
+                    );
+                }
+                Op::Transpose(x) => self.accum(x, g.transpose()),
+            }
+        }
+    }
+
+    fn accum(&mut self, v: Var, d: Tensor) {
+        let node = &mut self.nodes[v.0];
+        match &mut node.grad {
+            Some(g) => g.axpy(1.0, &d),
+            None => node.grad = Some(d),
+        }
+    }
+
+    /// Collects parameter gradients by name after [`Graph::backward`],
+    /// summing across multiple bindings of the same name.
+    pub fn param_grads(&self) -> HashMap<String, Tensor> {
+        let mut out: HashMap<String, Tensor> = HashMap::new();
+        for n in &self.nodes {
+            if let (Op::Param(name), Some(g)) = (&n.op, &n.grad) {
+                out.entry(name.clone())
+                    .and_modify(|acc| acc.axpy(1.0, g))
+                    .or_insert_with(|| g.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Additive-mask entries at or below this threshold are treated as fully
+/// masked (their gradient is forced to zero, their probability to ~0).
+pub const MASK_NEG_THRESHOLD: f64 = -1.0e20;
+
+/// The additive mask value used to exclude positions.
+pub const MASK_OFF: f64 = -1.0e30;
+
+fn masked_softmax(x: &Tensor, mask: &Tensor) -> Tensor {
+    assert_eq!(x.rows(), mask.rows(), "mask row mismatch");
+    assert_eq!(x.cols(), mask.cols(), "mask col mismatch");
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let mut mx = f64::NEG_INFINITY;
+        for c in 0..x.cols() {
+            mx = mx.max(x.get(r, c) + mask.get(r, c));
+        }
+        if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD {
+            // Fully masked row: emit zeros rather than NaN.
+            continue;
+        }
+        let mut z = 0.0;
+        for c in 0..x.cols() {
+            let e = (x.get(r, c) + mask.get(r, c) - mx).exp();
+            out.set(r, c, e);
+            z += e;
+        }
+        for c in 0..x.cols() {
+            out.set(r, c, out.get(r, c) / z);
+        }
+    }
+    out
+}
+
+fn masked_log_softmax(x: &Tensor, mask: &Tensor) -> Tensor {
+    let p = masked_softmax(x, mask);
+    p.map(|v| if v > 0.0 { v.ln() } else { MASK_OFF })
+}
+
+fn softmax_backward(y: &Tensor, g: &Tensor) -> Tensor {
+    let mut dx = Tensor::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let dot: f64 = (0..y.cols()).map(|c| y.get(r, c) * g.get(r, c)).sum();
+        for c in 0..y.cols() {
+            dx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+        }
+    }
+    dx
+}
+
+fn layer_norm(x: &Tensor, eps: f64) -> Tensor {
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    let d = x.cols() as f64;
+    for r in 0..x.rows() {
+        let row = x.row_slice(r);
+        let mu: f64 = row.iter().sum::<f64>() / d;
+        let var: f64 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / d;
+        let sigma = (var + eps).sqrt();
+        for c in 0..x.cols() {
+            out.set(r, c, (x.get(r, c) - mu) / sigma);
+        }
+    }
+    out
+}
+
+fn layer_norm_backward(x: &Tensor, g: &Tensor, eps: f64) -> Tensor {
+    let mut dx = Tensor::zeros(x.rows(), x.cols());
+    let d = x.cols() as f64;
+    for r in 0..x.rows() {
+        let row = x.row_slice(r);
+        let mu: f64 = row.iter().sum::<f64>() / d;
+        let var: f64 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / d;
+        let sigma = (var + eps).sqrt();
+        let y: Vec<f64> = row.iter().map(|v| (v - mu) / sigma).collect();
+        let grow = g.row_slice(r);
+        let gmean: f64 = grow.iter().sum::<f64>() / d;
+        let gymean: f64 = grow.iter().zip(&y).map(|(gg, yy)| gg * yy).sum::<f64>() / d;
+        for c in 0..x.cols() {
+            dx.set(r, c, (grow[c] - gmean - y[c] * gymean) / sigma);
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Central finite-difference check of d(loss)/d(input) for a scalar
+    /// loss built by `build` from a single input tensor.
+    fn gradcheck(
+        rows: usize,
+        cols: usize,
+        seed: u64,
+        build: impl Fn(&mut Graph, Var) -> Var,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0 = Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.2..1.2)).collect(),
+        );
+        // Analytic gradient.
+        let mut g = Graph::new();
+        let x = g.param("x", &x0);
+        let loss = build(&mut g, x);
+        g.backward(loss);
+        let analytic = g.param_grads().remove("x").expect("x gradient");
+        // Numeric gradient.
+        let eps = 1e-5;
+        for i in 0..rows * cols {
+            let mut xp = x0.clone();
+            xp.data_mut()[i] += eps;
+            let mut gp = Graph::new();
+            let v = gp.constant(xp);
+            let lp = build(&mut gp, v);
+            let fp = gp.value(lp).get(0, 0);
+
+            let mut xm = x0.clone();
+            xm.data_mut()[i] -= eps;
+            let mut gm = Graph::new();
+            let v = gm.constant(xm);
+            let lm = build(&mut gm, v);
+            let fm = gm.value(lm).get(0, 0);
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            let denom = a.abs().max(numeric.abs()).max(1e-6);
+            assert!(
+                (a - numeric).abs() / denom < 1e-5,
+                "grad mismatch at {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        gradcheck(3, 4, 1, |g, x| {
+            let w = g.constant(Tensor::from_vec(
+                4,
+                2,
+                vec![0.3, -0.1, 0.2, 0.5, -0.4, 0.1, 0.05, -0.2],
+            ));
+            let y = g.matmul(x, w);
+            let y = g.relu(y);
+            g.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn gradcheck_tanh_square_sum() {
+        gradcheck(2, 3, 2, |g, x| {
+            let t = g.tanh(x);
+            let s = g.square(t);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn gradcheck_softmax() {
+        gradcheck(3, 5, 3, |g, x| {
+            let p = g.softmax_rows(x);
+            let w = g.constant(Tensor::from_vec(
+                3,
+                5,
+                (0..15).map(|i| (i as f64) * 0.1 - 0.7).collect(),
+            ));
+            let wp = g.mul_elem(p, w);
+            g.sum_all(wp)
+        });
+    }
+
+    #[test]
+    fn gradcheck_masked_softmax() {
+        let mut mask = Tensor::zeros(2, 4);
+        mask.set(0, 1, MASK_OFF);
+        mask.set(1, 3, MASK_OFF);
+        gradcheck(2, 4, 4, move |g, x| {
+            let p = g.masked_softmax_rows(x, &mask);
+            let w = g.constant(Tensor::from_vec(2, 4, vec![0.3; 8]));
+            let q = g.mul_elem(p, w);
+            let s = g.square(q);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn gradcheck_log_softmax() {
+        let mask = Tensor::zeros(2, 4);
+        gradcheck(2, 4, 5, move |g, x| {
+            let lp = g.masked_log_softmax_rows(x, &mask);
+            let picked = g.gather_elems(lp, &[(0, 1), (1, 2)]);
+            let s = g.sum_all(picked);
+            g.scale(s, -1.0)
+        });
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        gradcheck(3, 6, 6, |g, x| {
+            let y = g.layer_norm_rows(x, 1e-5);
+            let w = g.constant(Tensor::from_vec(
+                3,
+                6,
+                (0..18).map(|i| ((i * 7) % 5) as f64 * 0.2 - 0.4).collect(),
+            ));
+            let z = g.mul_elem(y, w);
+            g.sum_all(z)
+        });
+    }
+
+    #[test]
+    fn gradcheck_broadcast_rows() {
+        gradcheck(1, 4, 7, |g, x| {
+            let base = g.constant(Tensor::from_vec(
+                3,
+                4,
+                (0..12).map(|i| i as f64 * 0.1).collect(),
+            ));
+            let y = g.add_row(base, x);
+            let z = g.mul_row(y, x);
+            g.mean_all(z)
+        });
+    }
+
+    #[test]
+    fn gradcheck_min_clamp_exp() {
+        gradcheck(2, 3, 8, |g, x| {
+            let e = g.exp(x);
+            let c = g.clamp(e, 0.8, 1.2);
+            let m = g.minimum(e, c);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn gradcheck_select_slice_hcat() {
+        gradcheck(4, 4, 9, |g, x| {
+            let top = g.select_rows(x, &[0, 2, 2]);
+            let left = g.slice_cols(top, 0, 2);
+            let right = g.slice_cols(top, 2, 2);
+            let cat = g.hcat(left, right);
+            let t = g.transpose(cat);
+            let s = g.square(t);
+            g.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn gradcheck_mean_rows() {
+        gradcheck(3, 4, 10, |g, x| {
+            let m = g.mean_rows(x);
+            let s = g.square(m);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn param_grads_accumulate_shared_weights() {
+        let w = Tensor::from_vec(2, 2, vec![0.5, -0.5, 0.25, 1.0]);
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let mut g = Graph::new();
+        let xv = g.constant(x);
+        let w1 = g.param("w", &w);
+        let w2 = g.param("w", &w);
+        let y1 = g.matmul(xv, w1);
+        let y2 = g.matmul(xv, w2);
+        let y = g.add(y1, y2);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let grads = g.param_grads();
+        let gw = &grads["w"];
+        // d(sum(xW + xW))/dW = 2 xᵀ1 = [[2,2],[4,4]]
+        assert_eq!(gw.data(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn fully_masked_row_is_zero_not_nan() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let mask = Tensor::full(1, 3, MASK_OFF);
+        let p = g.masked_softmax_rows(x, &mask);
+        assert!(g.value(p).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(2, 4, vec![3.0, 1.0, 0.2, -1.0, 9.0, 9.0, 9.0, 9.0]));
+        let p = g.softmax_rows(x);
+        for r in 0..2 {
+            let s: f64 = g.value(p).row_slice(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward needs a scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::zeros(2, 2));
+        g.backward(x);
+    }
+}
+
+#[cfg(test)]
+mod vcat_tests {
+    use super::*;
+
+    #[test]
+    fn gradcheck_reshape() {
+        let x0 = Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let mut g = Graph::new();
+        let x = g.param("x", &x0);
+        let r = g.reshape(x, 3, 2);
+        let s = g.square(r);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        let grad = g.param_grads().remove("x").unwrap();
+        assert_eq!((grad.rows(), grad.cols()), (2, 3));
+        for (gv, xv) in grad.data().iter().zip(x0.data()) {
+            assert!((gv - 2.0 * xv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradcheck_vcat() {
+        // Analytic-vs-numeric on a vcat-based loss.
+        let x0 = Tensor::from_vec(2, 2, vec![0.3, -0.2, 0.7, 0.1]);
+        let mut g = Graph::new();
+        let x = g.param("x", &x0);
+        let y = g.vcat(x, x);
+        let s = g.square(y);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        let grad = g.param_grads().remove("x").unwrap();
+        // d/dx sum((vcat(x,x))²) = 4x
+        for (gv, xv) in grad.data().iter().zip(x0.data()) {
+            assert!((gv - 4.0 * xv).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Neural-network building blocks with named parameters.
+//!
+//! Every layer owns its weights as plain [`Tensor`]s and registers them on
+//! the [`Graph`] by a stable, fully-qualified name during `forward`. The
+//! [`Module`] trait exposes the same names for the optimizer and for
+//! checkpoint (de)serialization, so parameter identity is positional-free.
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Anything holding named parameters.
+pub trait Module {
+    /// Visits every parameter (name, value) in a deterministic order.
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor));
+    /// Mutable variant of [`Module::visit_params`].
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor));
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_, t| n += t.len());
+        n
+    }
+}
+
+/// Fully-connected layer `y = xW + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    name: String,
+    w: Tensor,
+    b: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(name: impl Into<String>, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            name: name.into(),
+            w: Tensor::xavier(d_in, d_out, rng),
+            b: Tensor::zeros(1, d_out),
+        }
+    }
+
+    /// The layer's parameter-name prefix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Applies the layer to an `n × d_in` input.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&format!("{}.w", self.name), &self.w);
+        let b = g.param(&format!("{}.b", self.name), &self.b);
+        let xw = g.matmul(x, w);
+        g.add_row(xw, b)
+    }
+}
+
+impl Module for Linear {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f(&format!("{}.w", self.name), &self.w);
+        f(&format!("{}.b", self.name), &self.b);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f(&format!("{}.w", self.name.clone()), &mut self.w);
+        f(&format!("{}.b", self.name.clone()), &mut self.b);
+    }
+}
+
+/// Layer normalization with learned affine parameters.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    name: String,
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f64,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm over width `d`.
+    pub fn new(name: impl Into<String>, d: usize) -> Self {
+        LayerNorm {
+            name: name.into(),
+            gamma: Tensor::full(1, d, 1.0),
+            beta: Tensor::zeros(1, d),
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies layer norm to an `n × d` input.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let normed = g.layer_norm_rows(x, self.eps);
+        let gamma = g.param(&format!("{}.gamma", self.name), &self.gamma);
+        let beta = g.param(&format!("{}.beta", self.name), &self.beta);
+        let scaled = g.mul_row(normed, gamma);
+        g.add_row(scaled, beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        f(&format!("{}.gamma", self.name), &self.gamma);
+        f(&format!("{}.beta", self.name), &self.beta);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f(&format!("{}.gamma", self.name.clone()), &mut self.gamma);
+        f(&format!("{}.beta", self.name.clone()), &mut self.beta);
+    }
+}
+
+/// Multi-layer perceptron with ReLU activations between layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activate_last: bool,
+}
+
+impl Mlp {
+    /// Builds an MLP through the widths in `dims` (e.g. `[in, h, out]`).
+    /// `activate_last` applies ReLU after the final layer too.
+    pub fn new(
+        name: impl Into<String>,
+        dims: &[usize],
+        activate_last: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output widths");
+        let name = name.into();
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activate_last }
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.layers.last().expect("non-empty").d_out()
+    }
+
+    /// Applies the MLP.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let n = self.layers.len();
+        let mut h = x;
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward(g, h);
+            if i + 1 < n || self.activate_last {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+}
+
+impl Module for Mlp {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        for l in &self.layers {
+            l.visit_params(f);
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        for l in &mut self.layers {
+            l.visit_params_mut(f);
+        }
+    }
+}
+
+/// Multi-head scaled dot-product attention.
+///
+/// Masks are *additive* `nq × nk` tensors (0 = attend, [`crate::graph::MASK_OFF`]
+/// = blocked), shared across heads. The sparse tree-attention of the paper
+/// is this layer with a tree-structured mask.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    name: String,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_model: usize,
+}
+
+/// Output of an attention layer: the projected values and the averaged
+/// attention probabilities (used by the PM actor to inject VM→PM scores).
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionOut {
+    /// `nq × d_model` output embedding.
+    pub out: Var,
+    /// `nq × nk` attention probabilities averaged over heads.
+    pub probs: Var,
+}
+
+impl MultiHeadAttention {
+    /// Builds an attention layer over model width `d_model` with `heads`
+    /// heads (`d_model % heads == 0`).
+    pub fn new(
+        name: impl Into<String>,
+        d_model: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && d_model.is_multiple_of(heads), "d_model must divide by heads");
+        let name = name.into();
+        MultiHeadAttention {
+            wq: Linear::new(format!("{name}.wq"), d_model, d_model, rng),
+            wk: Linear::new(format!("{name}.wk"), d_model, d_model, rng),
+            wv: Linear::new(format!("{name}.wv"), d_model, d_model, rng),
+            wo: Linear::new(format!("{name}.wo"), d_model, d_model, rng),
+            heads,
+            d_model,
+            name,
+        }
+    }
+
+    /// Attends `query` (nq×d) over `keys_values` (nk×d) under an optional
+    /// additive mask (nq×nk).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        query: Var,
+        keys_values: Var,
+        mask: Option<&Tensor>,
+    ) -> AttentionOut {
+        let nq = g.value(query).rows();
+        let nk = g.value(keys_values).rows();
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let q_all = self.wq.forward(g, query);
+        let k_all = self.wk.forward(g, keys_values);
+        let v_all = self.wv.forward(g, keys_values);
+        let zero_mask = Tensor::zeros(nq, nk);
+        let mask = mask.unwrap_or(&zero_mask);
+
+        let mut head_outs: Option<Var> = None;
+        let mut probs_sum: Option<Var> = None;
+        for h in 0..self.heads {
+            let q = g.slice_cols(q_all, h * dh, dh);
+            let k = g.slice_cols(k_all, h * dh, dh);
+            let v = g.slice_cols(v_all, h * dh, dh);
+            let kt = g.transpose(k);
+            let scores = g.matmul(q, kt);
+            let scores = g.scale(scores, scale);
+            let probs = g.masked_softmax_rows(scores, mask);
+            let out = g.matmul(probs, v);
+            head_outs = Some(match head_outs {
+                Some(acc) => g.hcat(acc, out),
+                None => out,
+            });
+            probs_sum = Some(match probs_sum {
+                Some(acc) => g.add(acc, probs),
+                None => probs,
+            });
+        }
+        let concat = head_outs.expect("at least one head");
+        let out = self.wo.forward(g, concat);
+        let probs = g.scale(probs_sum.expect("at least one head"), 1.0 / self.heads as f64);
+        AttentionOut { out, probs }
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        let _ = &self.name;
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.wq.visit_params_mut(f);
+        self.wk.visit_params_mut(f);
+        self.wv.visit_params_mut(f);
+        self.wo.visit_params_mut(f);
+    }
+}
+
+/// Post-attention feed-forward sub-block: two dense layers + layer norm,
+/// with a residual connection (the "two dense layers and layer norm" of
+/// the paper's block, §3.3).
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+    norm: LayerNorm,
+}
+
+impl FeedForward {
+    /// Builds the sub-block with hidden width `d_ff`.
+    pub fn new(name: impl Into<String>, d_model: usize, d_ff: usize, rng: &mut impl Rng) -> Self {
+        let name = name.into();
+        FeedForward {
+            lin1: Linear::new(format!("{name}.ff1"), d_model, d_ff, rng),
+            lin2: Linear::new(format!("{name}.ff2"), d_ff, d_model, rng),
+            norm: LayerNorm::new(format!("{name}.norm"), d_model),
+        }
+    }
+
+    /// Applies `LayerNorm(x + W2 relu(W1 x))`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let h = self.lin1.forward(g, x);
+        let h = g.relu(h);
+        let h = self.lin2.forward(g, h);
+        let res = g.add(x, h);
+        self.norm.forward(g, res)
+    }
+}
+
+impl Module for FeedForward {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+        self.norm.visit_params(f);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.lin1.visit_params_mut(f);
+        self.lin2.visit_params_mut(f);
+        self.norm.visit_params_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MASK_OFF;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let mut r = rng();
+        let l = Linear::new("lin", 4, 3, &mut r);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::zeros(5, 4));
+        let y = l.forward(&mut g, x);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (5, 3));
+        assert_eq!(l.num_params(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn mlp_forward_shapes() {
+        let mut r = rng();
+        let m = Mlp::new("mlp", &[6, 8, 2], false, &mut r);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::zeros(3, 6));
+        let y = m.forward(&mut g, x);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (3, 2));
+        assert_eq!(m.d_out(), 2);
+    }
+
+    #[test]
+    fn layernorm_standardizes() {
+        let ln = LayerNorm::new("ln", 4);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]));
+        let y = ln.forward(&mut g, x);
+        for r in 0..2 {
+            let row = g.value(y).row_slice(r);
+            let mean: f64 = row.iter().sum::<f64>() / 4.0;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9, "row mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row var {var}");
+        }
+    }
+
+    #[test]
+    fn attention_probs_rows_sum_to_one() {
+        let mut r = rng();
+        let att = MultiHeadAttention::new("att", 8, 2, &mut r);
+        let mut g = Graph::new();
+        let q = g.constant(Tensor::xavier(3, 8, &mut r));
+        let kv = g.constant(Tensor::xavier(5, 8, &mut r));
+        let out = att.forward(&mut g, q, kv, None);
+        let p = g.value(out.probs);
+        assert_eq!((p.rows(), p.cols()), (3, 5));
+        for row in 0..3 {
+            let s: f64 = p.row_slice(row).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        let o = g.value(out.out);
+        assert_eq!((o.rows(), o.cols()), (3, 8));
+    }
+
+    #[test]
+    fn attention_respects_mask() {
+        let mut r = rng();
+        let att = MultiHeadAttention::new("att", 8, 2, &mut r);
+        let mut g = Graph::new();
+        let q = g.constant(Tensor::xavier(2, 8, &mut r));
+        let kv = g.constant(Tensor::xavier(4, 8, &mut r));
+        let mut mask = Tensor::zeros(2, 4);
+        mask.set(0, 1, MASK_OFF);
+        mask.set(0, 2, MASK_OFF);
+        let out = att.forward(&mut g, q, kv, Some(&mask));
+        let p = g.value(out.probs);
+        assert!(p.get(0, 1) < 1e-12);
+        assert!(p.get(0, 2) < 1e-12);
+        assert!((p.get(0, 0) + p.get(0, 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attention_gradients_flow_to_all_weights() {
+        let mut r = rng();
+        let att = MultiHeadAttention::new("att", 8, 2, &mut r);
+        let mut g = Graph::new();
+        let q = g.constant(Tensor::xavier(3, 8, &mut r));
+        let kv = g.constant(Tensor::xavier(4, 8, &mut r));
+        let out = att.forward(&mut g, q, kv, None);
+        let sq = g.square(out.out);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        let grads = g.param_grads();
+        let mut names = Vec::new();
+        att.visit_params(&mut |n, _| names.push(n.to_string()));
+        for n in names {
+            let gr = grads.get(&n).unwrap_or_else(|| panic!("no grad for {n}"));
+            assert!(gr.norm() > 0.0, "zero grad for {n}");
+        }
+    }
+
+    #[test]
+    fn feed_forward_residual_block() {
+        let mut r = rng();
+        let ff = FeedForward::new("blk", 8, 16, &mut r);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::xavier(4, 8, &mut r));
+        let y = ff.forward(&mut g, x);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (4, 8));
+        assert!(ff.num_params() > 0);
+    }
+}

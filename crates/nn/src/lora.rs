@@ -1,0 +1,279 @@
+//! Low-rank adaptation (LoRA) for parameter-efficient fine-tuning.
+//!
+//! The VMR2L paper's discussion of adapting to new data (§7) names three
+//! off-the-shelf fine-tuning strategies for distribution shifts at
+//! deployment: top-layer fine-tuning, adapters, and LoRA. Top-layer
+//! fine-tuning is covered by [`crate::optim::Adam::freeze_prefixes`];
+//! this module supplies the LoRA/adapter path: a [`LoraLinear`] wraps a
+//! frozen base [`Linear`] with a trainable low-rank residual
+//! `y = x·W + b + (α / r) · x·A·B`, so adapting a trained agent to a new
+//! cluster touches `r (d_in + d_out)` weights instead of
+//! `d_in · d_out`.
+//!
+//! `A` is Xavier-initialized and `B` starts at zero, so a freshly
+//! wrapped layer computes exactly what the base layer did — fine-tuning
+//! starts from the pretrained policy, not from noise.
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::layers::{Linear, Module};
+use crate::tensor::Tensor;
+
+/// A [`Linear`] layer augmented with a trainable low-rank residual.
+#[derive(Debug, Clone)]
+pub struct LoraLinear {
+    base: Linear,
+    name: String,
+    a: Tensor,
+    b: Tensor,
+    rank: usize,
+    alpha: f64,
+}
+
+impl LoraLinear {
+    /// Wraps an existing (typically pretrained) layer with a rank-`rank`
+    /// adapter scaled by `alpha / rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero or exceeds `min(d_in, d_out)` — a
+    /// "low-rank" residual wider than the base makes no sense.
+    pub fn wrap(base: Linear, rank: usize, alpha: f64, rng: &mut impl Rng) -> Self {
+        let (d_in, d_out) = (base.d_in(), base.d_out());
+        assert!(rank >= 1 && rank <= d_in.min(d_out), "rank {rank} out of range");
+        // The adapter lives in its own `lora.` namespace so that freezing
+        // the base prefix (e.g. "enc") does not freeze "enc.lora.*" too.
+        let name = format!("lora.{}", base.name());
+        LoraLinear {
+            a: Tensor::xavier(d_in, rank, rng),
+            b: Tensor::zeros(rank, d_out),
+            base,
+            name,
+            rank,
+            alpha,
+        }
+    }
+
+    /// Adapter rank `r`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The effective residual scale `α / r`.
+    pub fn scale(&self) -> f64 {
+        self.alpha / self.rank as f64
+    }
+
+    /// Parameter-name prefix of the frozen base layer — pass this to
+    /// [`crate::optim::Adam::freeze_prefixes`] when fine-tuning.
+    pub fn base_prefix(&self) -> &str {
+        self.base.name()
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.base.d_in()
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.base.d_out()
+    }
+
+    /// Applies base + low-rank residual to an `n × d_in` input.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let y = self.base.forward(g, x);
+        let a = g.param(&format!("{}.a", self.name), &self.a);
+        let b = g.param(&format!("{}.b", self.name), &self.b);
+        let xa = g.matmul(x, a);
+        let xab = g.matmul(xa, b);
+        let res = g.scale(xab, self.scale());
+        g.add(y, res)
+    }
+
+    /// Collapses the adapter into a standalone [`Linear`] with
+    /// `W' = W + (α / r) · A·B` — the zero-overhead deployment form.
+    pub fn merge(&self) -> Linear {
+        let delta = self.a.matmul(&self.b).map(|v| v * self.scale());
+        let mut merged = self.base.clone();
+        merged.visit_params_mut(&mut |param_name, t| {
+            if param_name.ends_with(".w") {
+                t.axpy(1.0, &delta);
+            }
+        });
+        merged
+    }
+}
+
+impl Module for LoraLinear {
+    fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.base.visit_params(f);
+        f(&format!("{}.a", self.name), &self.a);
+        f(&format!("{}.b", self.name), &self.b);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.base.visit_params_mut(f);
+        f(&format!("{}.a", self.name.clone()), &mut self.a);
+        f(&format!("{}.b", self.name.clone()), &mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, AdamConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn forward_values(layer: &LoraLinear, x: &Tensor) -> Tensor {
+        let mut g = Graph::new();
+        let xv = g.constant(x.clone());
+        let y = layer.forward(&mut g, xv);
+        g.value(y).clone()
+    }
+
+    #[test]
+    fn fresh_adapter_is_identity_residual() {
+        let mut r = rng();
+        let base = Linear::new("enc", 6, 4, &mut r);
+        let x = Tensor::xavier(5, 6, &mut r);
+        let base_out = {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let y = base.forward(&mut g, xv);
+            g.value(y).clone()
+        };
+        let lora = LoraLinear::wrap(base, 2, 8.0, &mut r);
+        let lora_out = forward_values(&lora, &x);
+        for (a, b) in base_out.data().iter().zip(lora_out.data()) {
+            assert!((a - b).abs() < 1e-12, "B = 0 must keep the base function");
+        }
+    }
+
+    #[test]
+    fn adapter_adds_low_rank_parameters_only() {
+        let mut r = rng();
+        let base = Linear::new("enc", 10, 8, &mut r);
+        let base_params = base.num_params();
+        let lora = LoraLinear::wrap(base, 2, 4.0, &mut r);
+        assert_eq!(lora.num_params(), base_params + 2 * 10 + 2 * 8);
+        assert_eq!(lora.rank(), 2);
+        assert_eq!((lora.d_in(), lora.d_out()), (10, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn oversized_rank_panics() {
+        let mut r = rng();
+        let base = Linear::new("enc", 4, 3, &mut r);
+        let _ = LoraLinear::wrap(base, 5, 1.0, &mut r);
+    }
+
+    #[test]
+    fn merge_matches_adapted_forward() {
+        let mut r = rng();
+        let base = Linear::new("enc", 6, 4, &mut r);
+        let mut lora = LoraLinear::wrap(base, 3, 6.0, &mut r);
+        // Give B nonzero values so the residual actually contributes.
+        lora.visit_params_mut(&mut |n, t| {
+            if n.starts_with("lora.") && n.ends_with(".b") {
+                for (i, v) in t.data_mut().iter_mut().enumerate() {
+                    *v = 0.01 * (i as f64 + 1.0);
+                }
+            }
+        });
+        let x = Tensor::xavier(7, 6, &mut r);
+        let adapted = forward_values(&lora, &x);
+        let merged = lora.merge();
+        let mut g = Graph::new();
+        let xv = g.constant(x.clone());
+        let y = merged.forward(&mut g, xv);
+        let merged_out = g.value(y);
+        for (a, b) in adapted.data().iter().zip(merged_out.data()) {
+            assert!((a - b).abs() < 1e-9, "merged {b} vs adapted {a}");
+        }
+    }
+
+    /// Fine-tuning through the adapter with the base frozen must reduce
+    /// the loss while leaving every base weight untouched.
+    #[test]
+    fn frozen_base_finetuning_moves_only_adapter() {
+        let mut r = rng();
+        let base = Linear::new("enc", 3, 1, &mut r);
+        let mut lora = LoraLinear::wrap(base, 1, 2.0, &mut r);
+        let x = Tensor::from_vec(4, 3, vec![
+            1.0, 0.0, 0.0,
+            0.0, 1.0, 0.0,
+            0.0, 0.0, 1.0,
+            1.0, 1.0, 1.0,
+        ]);
+        let target = Tensor::from_vec(4, 1, vec![1.0, -2.0, 0.5, 3.0]);
+        let mut opt = Adam::new(AdamConfig { lr: 0.05, max_grad_norm: None, ..Default::default() });
+        opt.freeze_prefixes(&[lora.base_prefix()]);
+
+        let mut base_before = Vec::new();
+        lora.visit_params(&mut |n, t| {
+            if !n.starts_with("lora.") {
+                base_before.extend_from_slice(t.data());
+            }
+        });
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let tv = g.constant(target.clone());
+            let y = lora.forward(&mut g, xv);
+            let d = g.sub(y, tv);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            let grads = g.param_grads();
+            opt.step(&mut lora, &grads);
+            last = g.value(loss).get(0, 0);
+            first.get_or_insert(last);
+        }
+        assert!(last < first.unwrap() * 0.5, "loss {last} did not halve from {first:?}");
+
+        let mut base_after = Vec::new();
+        lora.visit_params(&mut |n, t| {
+            if !n.starts_with("lora.") {
+                base_after.extend_from_slice(t.data());
+            }
+        });
+        assert_eq!(base_before, base_after, "frozen base weights moved");
+    }
+
+    #[test]
+    fn gradients_reach_both_adapter_matrices() {
+        let mut r = rng();
+        let base = Linear::new("enc", 4, 4, &mut r);
+        let mut lora = LoraLinear::wrap(base, 2, 4.0, &mut r);
+        // B must be nonzero for gradients to reach A.
+        lora.visit_params_mut(&mut |n, t| {
+            if n.starts_with("lora.") && n.ends_with(".b") {
+                t.data_mut().fill(0.1);
+            }
+        });
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::xavier(3, 4, &mut r));
+        let y = lora.forward(&mut g, x);
+        let sq = g.square(y);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        let grads = g.param_grads();
+        for suffix in [".a", ".b"] {
+            let (_, grad) = grads
+                .iter()
+                .find(|(n, _)| n.starts_with("lora.") && n.ends_with(suffix))
+                .unwrap_or_else(|| panic!("no grad for {suffix}"));
+            assert!(grad.norm() > 0.0, "zero grad for {suffix}");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Rollout storage and Generalized Advantage Estimation.
+//!
+//! The buffer is generic over the observation and action types so that the
+//! two-stage VMR2L agent, the single-stage ablations, and the Decima-like
+//! baseline can share it.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One environment transition.
+#[derive(Debug, Clone)]
+pub struct Transition<O, A> {
+    /// Observation the action was computed from.
+    pub obs: O,
+    /// The action taken.
+    pub action: A,
+    /// Joint log-probability of the action under the behavior policy.
+    pub log_prob: f64,
+    /// Critic value estimate at `obs`.
+    pub value: f64,
+    /// Dense reward received.
+    pub reward: f64,
+    /// Whether the episode terminated after this step.
+    pub done: bool,
+}
+
+/// A rollout buffer with GAE post-processing.
+#[derive(Debug, Clone)]
+pub struct RolloutBuffer<O, A> {
+    transitions: Vec<Transition<O, A>>,
+    advantages: Vec<f64>,
+    returns: Vec<f64>,
+}
+
+impl<O, A> Default for RolloutBuffer<O, A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O, A> RolloutBuffer<O, A> {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        RolloutBuffer { transitions: Vec::new(), advantages: Vec::new(), returns: Vec::new() }
+    }
+
+    /// Appends a transition (invalidates previously computed advantages).
+    pub fn push(&mut self, t: Transition<O, A>) {
+        self.transitions.push(t);
+        self.advantages.clear();
+        self.returns.clear();
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Clears all storage.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.advantages.clear();
+        self.returns.clear();
+    }
+
+    /// Stored transitions.
+    pub fn transitions(&self) -> &[Transition<O, A>] {
+        &self.transitions
+    }
+
+    /// Computes GAE(γ, λ) advantages and discounted returns.
+    ///
+    /// `last_value` bootstraps the value of the state *after* the final
+    /// stored transition (0.0 if that transition ended an episode).
+    /// Advantages are normalized to zero mean / unit variance when
+    /// `normalize` is set, which is the CleanRL default the paper builds on.
+    pub fn compute_gae(&mut self, gamma: f64, lam: f64, last_value: f64, normalize: bool) {
+        let n = self.transitions.len();
+        self.advantages = vec![0.0; n];
+        self.returns = vec![0.0; n];
+        let mut next_adv = 0.0;
+        let mut next_value = last_value;
+        for i in (0..n).rev() {
+            let t = &self.transitions[i];
+            let not_done = if t.done { 0.0 } else { 1.0 };
+            let delta = t.reward + gamma * next_value * not_done - t.value;
+            next_adv = delta + gamma * lam * not_done * next_adv;
+            self.advantages[i] = next_adv;
+            self.returns[i] = next_adv + t.value;
+            next_value = t.value;
+        }
+        if normalize && n > 1 {
+            let mean = self.advantages.iter().sum::<f64>() / n as f64;
+            let var = self
+                .advantages
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f64>()
+                / n as f64;
+            let std = var.sqrt().max(1e-8);
+            for a in &mut self.advantages {
+                *a = (*a - mean) / std;
+            }
+        }
+    }
+
+    /// Advantages (empty until [`RolloutBuffer::compute_gae`] runs).
+    pub fn advantages(&self) -> &[f64] {
+        &self.advantages
+    }
+
+    /// Returns-to-go (empty until [`RolloutBuffer::compute_gae`] runs).
+    pub fn returns(&self) -> &[f64] {
+        &self.returns
+    }
+
+    /// Boundaries of the episodes stored in the buffer, split on `done`
+    /// flags. The final range may be a partial episode still in flight.
+    pub fn episode_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.done {
+                ranges.push(start..i + 1);
+                start = i + 1;
+            }
+        }
+        if start < self.transitions.len() {
+            ranges.push(start..self.transitions.len());
+        }
+        ranges
+    }
+
+    /// Undiscounted reward sum of each episode (same order as
+    /// [`RolloutBuffer::episode_ranges`]).
+    pub fn episode_returns(&self) -> Vec<f64> {
+        self.episode_ranges()
+            .into_iter()
+            .map(|r| self.transitions[r].iter().map(|t| t.reward).sum())
+            .collect()
+    }
+
+    /// Risk-seeking filter (Petersen et al., ICLR '21, adapted to PPO):
+    /// keeps only the episodes whose undiscounted return reaches the
+    /// `risk_quantile` of the episode returns in this rollout, so the
+    /// gradient is taken over the best-case tail rather than the mean —
+    /// the training-time counterpart of the paper's risk-seeking
+    /// *evaluation* (§3.4 / §8 future work).
+    ///
+    /// Must be called *after* [`RolloutBuffer::compute_gae`]: GAE never
+    /// crosses episode boundaries, so dropping whole episodes leaves the
+    /// kept advantages valid (advantage normalization statistics were
+    /// computed over the full rollout; that bias is standard). Returns
+    /// the number of transitions kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if advantages have not been computed or `risk_quantile`
+    /// is outside `[0, 1)`.
+    pub fn retain_top_episodes(&mut self, risk_quantile: f64) -> usize {
+        assert!(
+            self.advantages.len() == self.transitions.len(),
+            "compute_gae before risk filtering"
+        );
+        assert!(
+            (0.0..1.0).contains(&risk_quantile),
+            "risk quantile {risk_quantile} outside [0, 1)"
+        );
+        let ranges = self.episode_ranges();
+        if ranges.len() <= 1 {
+            return self.transitions.len();
+        }
+        let returns = self.episode_returns();
+        let mut sorted = returns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((risk_quantile * (sorted.len() - 1) as f64).floor() as usize)
+            .min(sorted.len() - 1);
+        let threshold = sorted[idx];
+
+        let mut keep = vec![false; self.transitions.len()];
+        for (range, ret) in ranges.into_iter().zip(returns) {
+            if ret >= threshold {
+                keep[range].fill(true);
+            }
+        }
+        let mut slot = 0;
+        for i in 0..self.transitions.len() {
+            if keep[i] {
+                self.transitions.swap(slot, i);
+                self.advantages.swap(slot, i);
+                self.returns.swap(slot, i);
+                slot += 1;
+            }
+        }
+        self.transitions.truncate(slot);
+        self.advantages.truncate(slot);
+        self.returns.truncate(slot);
+        slot
+    }
+
+    /// Yields shuffled minibatch index sets for one update epoch.
+    ///
+    /// # Panics
+    /// Panics if GAE has not been computed.
+    pub fn minibatch_indices<R: Rng + ?Sized>(
+        &self,
+        minibatch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
+        assert!(
+            !self.advantages.is_empty() || self.transitions.is_empty(),
+            "compute_gae before minibatching"
+        );
+        let mut idx: Vec<usize> = (0..self.transitions.len()).collect();
+        idx.shuffle(rng);
+        idx.chunks(minibatch_size.max(1)).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tr(reward: f64, value: f64, done: bool) -> Transition<(), usize> {
+        Transition { obs: (), action: 0, log_prob: -1.0, value, reward, done }
+    }
+
+    #[test]
+    fn gae_matches_hand_computation() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.5, false));
+        buf.push(tr(0.0, 0.4, false));
+        buf.push(tr(2.0, 0.3, true));
+        let (gamma, lam) = (0.9, 0.8);
+        buf.compute_gae(gamma, lam, 0.7, false);
+        // Manual backward pass:
+        // i=2: delta = 2.0 + 0 - 0.3 = 1.7; adv2 = 1.7
+        // i=1: delta = 0.0 + .9*.3 - .4 = -0.13; adv1 = -0.13 + .9*.8*1.7 = 1.094
+        // i=0: delta = 1.0 + .9*.4 - .5 = 0.86; adv0 = 0.86 + .72*1.094 = 1.64768
+        let adv = buf.advantages();
+        assert!((adv[2] - 1.7).abs() < 1e-12);
+        assert!((adv[1] - 1.094).abs() < 1e-12);
+        assert!((adv[0] - 1.64768).abs() < 1e-12);
+        let ret = buf.returns();
+        assert!((ret[0] - (1.64768 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn done_blocks_bootstrap() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, true));
+        buf.push(tr(1.0, 0.0, false));
+        buf.compute_gae(0.99, 0.95, 5.0, false);
+        // First transition is terminal: advantage must ignore the second
+        // episode's values entirely.
+        assert!((buf.advantages()[0] - 1.0).abs() < 1e-12);
+        // Second bootstraps from last_value.
+        assert!((buf.advantages()[1] - (1.0 + 0.99 * 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_zero_mean_unit_std() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..32 {
+            buf.push(tr(i as f64 * 0.1, 0.0, i % 8 == 7));
+        }
+        buf.compute_gae(0.99, 0.95, 0.0, true);
+        let adv = buf.advantages();
+        let mean: f64 = adv.iter().sum::<f64>() / adv.len() as f64;
+        let var: f64 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / adv.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minibatches_cover_all_indices() {
+        let mut buf = RolloutBuffer::new();
+        for _ in 0..10 {
+            buf.push(tr(0.0, 0.0, false));
+        }
+        buf.compute_gae(0.99, 0.95, 0.0, true);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = buf.minibatch_indices(3, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn episode_ranges_split_on_done() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, false));
+        buf.push(tr(1.0, 0.0, true));
+        buf.push(tr(2.0, 0.0, true));
+        buf.push(tr(3.0, 0.0, false)); // partial tail
+        assert_eq!(buf.episode_ranges(), vec![0..2, 2..3, 3..4]);
+        assert_eq!(buf.episode_returns(), vec![2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn risk_filter_keeps_elite_episodes_in_order() {
+        let mut buf = RolloutBuffer::new();
+        // Episode returns: 1, 5, 3, 9 (one transition each).
+        for (r, d) in [(1.0, true), (5.0, true), (3.0, true), (9.0, true)] {
+            buf.push(tr(r, 0.0, d));
+        }
+        buf.compute_gae(0.99, 0.95, 0.0, false);
+        // Quantile 0.5 over sorted returns [1,3,5,9] -> threshold 3.
+        let kept = buf.retain_top_episodes(0.5);
+        assert_eq!(kept, 3);
+        let rewards: Vec<f64> = buf.transitions().iter().map(|t| t.reward).collect();
+        assert_eq!(rewards, vec![5.0, 3.0, 9.0], "kept episodes keep rollout order");
+        assert_eq!(buf.advantages().len(), 3);
+        assert_eq!(buf.returns().len(), 3);
+    }
+
+    #[test]
+    fn risk_filter_noop_on_single_episode() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, false));
+        buf.push(tr(1.0, 0.0, false));
+        buf.compute_gae(0.99, 0.95, 0.0, false);
+        assert_eq!(buf.retain_top_episodes(0.9), 2);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute_gae")]
+    fn risk_filter_requires_gae() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, true));
+        buf.push(tr(2.0, 0.0, true));
+        let _ = buf.retain_top_episodes(0.5);
+    }
+
+    #[test]
+    fn push_invalidates_gae() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, false));
+        buf.compute_gae(0.9, 0.9, 0.0, false);
+        assert_eq!(buf.advantages().len(), 1);
+        buf.push(tr(1.0, 0.0, true));
+        assert!(buf.advantages().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! # vmr-rl — PPO machinery for the VMR2L reproduction
+//!
+//! Model-agnostic reinforcement-learning plumbing shared by the VMR2L
+//! agent, its ablation variants, and the learning-based baselines:
+//!
+//! * [`sample`] — categorical sampling, greedy decoding, and the
+//!   quantile action-thresholding of the paper's risk-seeking evaluation,
+//! * [`buffer`] — rollout storage with GAE(γ, λ),
+//! * [`ppo`] — the clipped-surrogate PPO loss built on `vmr-nn`'s tape,
+//! * [`schedule`] — linear hyper-parameter schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod ppo;
+pub mod sample;
+pub mod schedule;
+
+pub use buffer::{RolloutBuffer, Transition};
+pub use ppo::{ppo_loss, PpoConfig, PpoStats};
+pub use sample::{apply_keep_mask, quantile_keep_mask, Categorical};
+pub use schedule::LinearSchedule;

@@ -1,0 +1,55 @@
+//! Learning-rate and entropy-coefficient schedules.
+
+/// Linear anneal from `start` to `end` over `total` steps (clamped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSchedule {
+    /// Initial value at step 0.
+    pub start: f64,
+    /// Final value at `total` steps and beyond.
+    pub end: f64,
+    /// Steps over which to anneal.
+    pub total: u64,
+}
+
+impl LinearSchedule {
+    /// Constant schedule.
+    pub fn constant(value: f64) -> Self {
+        LinearSchedule { start: value, end: value, total: 1 }
+    }
+
+    /// Value at `step`.
+    pub fn at(&self, step: u64) -> f64 {
+        if self.total == 0 {
+            return self.end;
+        }
+        let frac = (step as f64 / self.total as f64).min(1.0);
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolates_and_clamps() {
+        let s = LinearSchedule { start: 1.0, end: 0.0, total: 100 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(50) - 0.5).abs() < 1e-12);
+        assert_eq!(s.at(100), 0.0);
+        assert_eq!(s.at(1000), 0.0);
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LinearSchedule::constant(0.3);
+        assert_eq!(s.at(0), 0.3);
+        assert_eq!(s.at(999), 0.3);
+    }
+
+    #[test]
+    fn zero_total_returns_end() {
+        let s = LinearSchedule { start: 1.0, end: 0.5, total: 0 };
+        assert_eq!(s.at(0), 0.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based checks of GAE: known special cases λ=1 (Monte-Carlo
+//! advantage) and λ=0 (one-step TD), plus categorical sampling soundness.
+
+use proptest::prelude::*;
+use vmr_rl::buffer::{RolloutBuffer, Transition};
+use vmr_rl::sample::{quantile_keep_mask, Categorical};
+
+fn buffer(rewards: &[f64], values: &[f64]) -> RolloutBuffer<(), usize> {
+    let mut b = RolloutBuffer::new();
+    let n = rewards.len();
+    for i in 0..n {
+        b.push(Transition {
+            obs: (),
+            action: 0,
+            log_prob: 0.0,
+            value: values[i],
+            reward: rewards[i],
+            done: i == n - 1,
+        });
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With λ = 1 the advantage is the full discounted return minus the
+    /// value baseline.
+    #[test]
+    fn gae_lambda_one_is_monte_carlo(
+        rewards in prop::collection::vec(-2.0f64..2.0, 1..10),
+        values in prop::collection::vec(-1.0f64..1.0, 10),
+        gamma in 0.5f64..1.0,
+    ) {
+        let n = rewards.len();
+        let values = &values[..n];
+        let mut b = buffer(&rewards, values);
+        b.compute_gae(gamma, 1.0, 0.0, false);
+        for i in 0..n {
+            let mut ret = 0.0;
+            for (j, r) in rewards[i..].iter().enumerate() {
+                ret += gamma.powi(j as i32) * r;
+            }
+            prop_assert!(
+                (b.advantages()[i] - (ret - values[i])).abs() < 1e-9,
+                "index {}: {} vs {}", i, b.advantages()[i], ret - values[i]
+            );
+        }
+    }
+
+    /// With λ = 0 the advantage is the one-step TD error.
+    #[test]
+    fn gae_lambda_zero_is_td_error(
+        rewards in prop::collection::vec(-2.0f64..2.0, 2..10),
+        values in prop::collection::vec(-1.0f64..1.0, 10),
+        gamma in 0.5f64..1.0,
+    ) {
+        let n = rewards.len();
+        let values = &values[..n];
+        let mut b = buffer(&rewards, values);
+        b.compute_gae(gamma, 0.0, 0.0, false);
+        for i in 0..n {
+            let next_v = if i == n - 1 { 0.0 } else { values[i + 1] };
+            let delta = rewards[i] + gamma * next_v - values[i];
+            prop_assert!((b.advantages()[i] - delta).abs() < 1e-9);
+        }
+    }
+
+    /// Sampling never returns a zero-probability category, and the
+    /// quantile keep-mask never empties a distribution.
+    #[test]
+    fn sampling_respects_support(
+        probs in prop::collection::vec(0.0f64..1.0, 2..12),
+        seed in 0u64..500,
+        q in 0.0f64..1.0,
+    ) {
+        prop_assume!(probs.iter().any(|&p| p > 0.0));
+        let dist = Categorical::new(&probs).expect("has mass");
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for _ in 0..16 {
+            let i = dist.sample(&mut rng);
+            prop_assert!(probs[i] > 0.0, "sampled zero-probability category {}", i);
+        }
+        let mask = quantile_keep_mask(&probs, q);
+        prop_assert!(mask.iter().any(|&b| b));
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                prop_assert!(probs[i] > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,784 @@
+//! Cluster state: the authoritative VM→PM mapping with incremental
+//! fragment accounting, migration apply/undo, and objective metrics.
+//!
+//! [`ClusterState`] is the deterministic world model the paper's RL agent
+//! trains against: given a state and an action the next state is exact,
+//! which is what makes offline training and risk-seeking evaluation sound.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+use crate::machine::{placement_fits, Placement, Pm, Vm};
+use crate::types::{NumaIdx, NumaPlacement, NumaPolicy, PmId, VmId, NUMA_PER_PM};
+
+/// Full cluster state: machines plus the current assignment.
+///
+/// # Invariants
+/// * Every VM has exactly one [`Placement`]; double-NUMA VMs occupy both
+///   NUMA nodes of a single PM (Eq. 4 & 6 of the paper).
+/// * Per-NUMA `cpu_used`/`mem_used` equal the sum of demands of the VMs
+///   placed there ([`ClusterState::audit`] verifies this from scratch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    pms: Vec<Pm>,
+    vms: Vec<Vm>,
+    placements: Vec<Placement>,
+    /// Reverse index: VMs hosted by each PM (unordered).
+    vms_on_pm: Vec<Vec<VmId>>,
+}
+
+/// Undo record for a single migration, returned by [`ClusterState::migrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The VM that moved.
+    pub vm: VmId,
+    /// Where it came from.
+    pub from: Placement,
+    /// Where it went.
+    pub to: Placement,
+}
+
+/// Undo record for an atomic two-VM exchange, returned by
+/// [`ClusterState::swap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapRecord {
+    /// The first VM's move (onto the second VM's former PM).
+    pub a: MigrationRecord,
+    /// The second VM's move (onto the first VM's former PM).
+    pub b: MigrationRecord,
+}
+
+impl ClusterState {
+    /// Builds a cluster state from machines and an initial assignment.
+    ///
+    /// Validates shape (ids dense, placements fit, NUMA policy respected)
+    /// and computes resource usage from scratch.
+    pub fn new(pms: Vec<Pm>, vms: Vec<Vm>, placements: Vec<Placement>) -> SimResult<Self> {
+        if vms.len() != placements.len() {
+            return Err(SimError::InvalidMapping(format!(
+                "{} VMs but {} placements",
+                vms.len(),
+                placements.len()
+            )));
+        }
+        for (idx, pm) in pms.iter().enumerate() {
+            if pm.id.0 as usize != idx {
+                return Err(SimError::InvalidMapping(format!(
+                    "PM ids must be dense: slot {idx} holds id {}",
+                    pm.id.0
+                )));
+            }
+        }
+        for (idx, vm) in vms.iter().enumerate() {
+            if vm.id.0 as usize != idx {
+                return Err(SimError::InvalidMapping(format!(
+                    "VM ids must be dense: slot {idx} holds id {}",
+                    vm.id.0
+                )));
+            }
+            if vm.cpu == 0 {
+                return Err(SimError::InvalidMapping(format!("VM {idx} requests zero CPU")));
+            }
+        }
+        // Zero out usage, then re-apply every placement.
+        let mut pms = pms;
+        for pm in &mut pms {
+            for numa in &mut pm.numas {
+                numa.cpu_used = 0;
+                numa.mem_used = 0;
+            }
+        }
+        let mut vms_on_pm = vec![Vec::new(); pms.len()];
+        for (vm, pl) in vms.iter().zip(placements.iter()) {
+            let pm_idx = pl.pm.0 as usize;
+            let pm = pms.get_mut(pm_idx).ok_or(SimError::UnknownPm(pl.pm))?;
+            match (vm.numa, pl.numa) {
+                (NumaPolicy::Single, NumaPlacement::Single(j)) => {
+                    if !pm.numas[j as usize].try_alloc(vm.cpu_per_numa(), vm.mem_per_numa()) {
+                        return Err(SimError::InvalidMapping(format!(
+                            "VM {} overflows PM {} NUMA {}",
+                            vm.id.0, pl.pm.0, j
+                        )));
+                    }
+                }
+                (NumaPolicy::Double, NumaPlacement::Double) => {
+                    for numa in &mut pm.numas {
+                        if !numa.try_alloc(vm.cpu_per_numa(), vm.mem_per_numa()) {
+                            return Err(SimError::InvalidMapping(format!(
+                                "VM {} overflows PM {} (double NUMA)",
+                                vm.id.0, pl.pm.0
+                            )));
+                        }
+                    }
+                }
+                _ => return Err(SimError::NumaPolicyViolation(vm.id)),
+            }
+            vms_on_pm[pm_idx].push(vm.id);
+        }
+        Ok(ClusterState { pms, vms, placements, vms_on_pm })
+    }
+
+    /// Number of PMs.
+    #[inline]
+    pub fn num_pms(&self) -> usize {
+        self.pms.len()
+    }
+
+    /// Number of VMs.
+    #[inline]
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Immutable PM accessor.
+    #[inline]
+    pub fn pm(&self, id: PmId) -> &Pm {
+        &self.pms[id.0 as usize]
+    }
+
+    /// Immutable VM accessor.
+    #[inline]
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.0 as usize]
+    }
+
+    /// All PMs in id order.
+    #[inline]
+    pub fn pms(&self) -> &[Pm] {
+        &self.pms
+    }
+
+    /// All VMs in id order.
+    #[inline]
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Current placement of a VM.
+    #[inline]
+    pub fn placement(&self, id: VmId) -> Placement {
+        self.placements[id.0 as usize]
+    }
+
+    /// All placements in VM-id order.
+    #[inline]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The VMs currently hosted on a PM (unordered).
+    #[inline]
+    pub fn vms_on(&self, pm: PmId) -> &[VmId] {
+        &self.vms_on_pm[pm.0 as usize]
+    }
+
+    /// Checks a VM id, returning the VM or an error.
+    pub fn check_vm(&self, id: VmId) -> SimResult<&Vm> {
+        self.vms.get(id.0 as usize).ok_or(SimError::UnknownVm(id))
+    }
+
+    /// Checks a PM id, returning the PM or an error.
+    pub fn check_pm(&self, id: PmId) -> SimResult<&Pm> {
+        self.pms.get(id.0 as usize).ok_or(SimError::UnknownPm(id))
+    }
+
+    /// Capacity-feasible NUMA placements for `vm` on `pm`, *excluding* the
+    /// VM's own current allocation (i.e. the answer for "could it move
+    /// here"). Migrating within the same PM to the other NUMA is allowed.
+    pub fn feasible_placements(&self, vm: VmId, pm: PmId) -> SimResult<Vec<NumaPlacement>> {
+        let v = self.check_vm(vm)?;
+        let p = self.check_pm(pm)?;
+        let current = self.placements[vm.0 as usize];
+        let mut scratch;
+        let p = if current.pm == pm {
+            // Temporarily release the VM's own resources so a same-PM
+            // NUMA flip is judged against the true free capacity.
+            scratch = p.clone();
+            release_from(&mut scratch, v, current.numa);
+            &scratch
+        } else {
+            p
+        };
+        Ok(v.candidate_placements()
+            .iter()
+            .copied()
+            .filter(|&pl| placement_fits(p, v, pl))
+            .collect())
+    }
+
+    /// Picks the best-fit NUMA placement for `vm` on `pm`: the feasible
+    /// placement minimizing the resulting 16-core fragment of the PM
+    /// (ties broken by lower NUMA index). Mirrors the production best-fit
+    /// rule the paper describes for VMS.
+    pub fn best_fit_placement(
+        &self,
+        vm: VmId,
+        pm: PmId,
+        frag_cores: u32,
+    ) -> SimResult<Option<NumaPlacement>> {
+        let v = self.check_vm(vm)?;
+        let feasible = self.feasible_placements(vm, pm)?;
+        let current = self.placements[vm.0 as usize];
+        let mut best: Option<(u32, NumaPlacement)> = None;
+        for pl in feasible {
+            if current.pm == pm && current.numa == pl {
+                continue; // a no-op is not a migration
+            }
+            let mut scratch = self.pm(pm).clone();
+            if current.pm == pm {
+                release_from(&mut scratch, v, current.numa);
+            }
+            alloc_to(&mut scratch, v, pl);
+            let frag = scratch.cpu_fragment(frag_cores);
+            if best.is_none_or(|(bf, _)| frag < bf) {
+                best = Some((frag, pl));
+            }
+        }
+        Ok(best.map(|(_, pl)| pl))
+    }
+
+    /// Migrates `vm` onto `pm` with an explicit NUMA placement.
+    ///
+    /// Returns an undo record. Fails without mutating state if the
+    /// destination lacks capacity or the placement shape is illegal.
+    pub fn migrate_exact(
+        &mut self,
+        vm: VmId,
+        pm: PmId,
+        numa: NumaPlacement,
+    ) -> SimResult<MigrationRecord> {
+        let v = *self.check_vm(vm)?;
+        self.check_pm(pm)?;
+        let from = self.placements[vm.0 as usize];
+        if from.pm == pm && from.numa == numa {
+            return Err(SimError::NoOpMigration(vm));
+        }
+        match (v.numa, numa) {
+            (NumaPolicy::Single, NumaPlacement::Single(_))
+            | (NumaPolicy::Double, NumaPlacement::Double) => {}
+            _ => return Err(SimError::NumaPolicyViolation(vm)),
+        }
+        // Check capacity (accounting for same-PM moves).
+        {
+            let mut scratch = self.pm(pm).clone();
+            if from.pm == pm {
+                release_from(&mut scratch, &v, from.numa);
+            }
+            if !placement_fits(&scratch, &v, numa) {
+                let j: NumaIdx = match numa {
+                    NumaPlacement::Single(j) => j as usize,
+                    NumaPlacement::Double => 0,
+                };
+                return Err(SimError::InsufficientResources { pm, numa: j });
+            }
+        }
+        // Commit: release from source, allocate on destination.
+        release_from(&mut self.pms[from.pm.0 as usize], &v, from.numa);
+        alloc_to(&mut self.pms[pm.0 as usize], &v, numa);
+        let to = Placement { pm, numa };
+        self.placements[vm.0 as usize] = to;
+        if from.pm != pm {
+            let src = &mut self.vms_on_pm[from.pm.0 as usize];
+            let pos = src.iter().position(|&x| x == vm).expect("reverse index corrupt");
+            src.swap_remove(pos);
+            self.vms_on_pm[pm.0 as usize].push(vm);
+        }
+        Ok(MigrationRecord { vm, from, to })
+    }
+
+    /// Migrates `vm` onto `pm`, choosing the NUMA placement by best fit
+    /// (minimum resulting fragment). This matches the paper's action space,
+    /// which is the 2-tuple `(vm, destination pm)`.
+    pub fn migrate(&mut self, vm: VmId, pm: PmId, frag_cores: u32) -> SimResult<MigrationRecord> {
+        match self.best_fit_placement(vm, pm, frag_cores)? {
+            Some(pl) => self.migrate_exact(vm, pm, pl),
+            None => {
+                let from = self.placements[vm.0 as usize];
+                if from.pm == pm {
+                    Err(SimError::NoOpMigration(vm))
+                } else {
+                    Err(SimError::InsufficientResources { pm, numa: 0 })
+                }
+            }
+        }
+    }
+
+    /// Reverts a migration produced by [`ClusterState::migrate`] /
+    /// [`ClusterState::migrate_exact`]. Records must be undone in LIFO
+    /// order relative to other mutations touching the same machines.
+    ///
+    /// Placements and resource accounting are restored exactly; the
+    /// internal reverse index (`vms_on`) is an unordered set and its
+    /// iteration order may differ from the original, so full-structure
+    /// `==` on [`ClusterState`] is not guaranteed after undo.
+    pub fn undo(&mut self, rec: &MigrationRecord) -> SimResult<()> {
+        // The inverse move; capacity is guaranteed because we just vacated it,
+        // but migrate_exact re-checks anyway for safety.
+        self.migrate_exact(rec.vm, rec.from.pm, rec.from.numa).map(|_| ())
+    }
+
+    /// Atomically exchanges two VMs between their host PMs (§8 of the
+    /// paper: allowing multi-VM swaps "could simplify the identification
+    /// of a feasible migration path"). Both VMs are conceptually removed
+    /// first, then each is best-fit placed onto the other's PM — so a
+    /// swap can succeed even when neither single migration is feasible
+    /// on its own (each VM fits only into the space the other vacates).
+    ///
+    /// Counts as **two** migrations against any MNL budget the caller
+    /// tracks. Fails without mutating state if the VMs share a PM or
+    /// either side lacks capacity after the exchange.
+    pub fn swap(&mut self, a: VmId, b: VmId, frag_cores: u32) -> SimResult<SwapRecord> {
+        if a == b {
+            return Err(SimError::NoOpMigration(a));
+        }
+        let va = *self.check_vm(a)?;
+        let vb = *self.check_vm(b)?;
+        let pla = self.placements[a.0 as usize];
+        let plb = self.placements[b.0 as usize];
+        if pla.pm == plb.pm {
+            return Err(SimError::NoOpMigration(a));
+        }
+
+        // Probe on scratch PMs with both VMs released.
+        let mut pm_a = self.pm(pla.pm).clone();
+        let mut pm_b = self.pm(plb.pm).clone();
+        release_from(&mut pm_a, &va, pla.numa);
+        release_from(&mut pm_b, &vb, plb.numa);
+        let Some(new_a) = best_fit_on(&pm_b, &va, frag_cores) else {
+            return Err(SimError::InsufficientResources { pm: plb.pm, numa: 0 });
+        };
+        let Some(new_b) = best_fit_on(&pm_a, &vb, frag_cores) else {
+            return Err(SimError::InsufficientResources { pm: pla.pm, numa: 0 });
+        };
+
+        // Commit: release both, allocate both, update indices.
+        release_from(&mut self.pms[pla.pm.0 as usize], &va, pla.numa);
+        release_from(&mut self.pms[plb.pm.0 as usize], &vb, plb.numa);
+        alloc_to(&mut self.pms[plb.pm.0 as usize], &va, new_a);
+        alloc_to(&mut self.pms[pla.pm.0 as usize], &vb, new_b);
+        let to_a = Placement { pm: plb.pm, numa: new_a };
+        let to_b = Placement { pm: pla.pm, numa: new_b };
+        self.placements[a.0 as usize] = to_a;
+        self.placements[b.0 as usize] = to_b;
+        for (vm, from, to) in [(a, pla.pm, plb.pm), (b, plb.pm, pla.pm)] {
+            let src = &mut self.vms_on_pm[from.0 as usize];
+            let pos = src.iter().position(|&x| x == vm).expect("reverse index corrupt");
+            src.swap_remove(pos);
+            self.vms_on_pm[to.0 as usize].push(vm);
+        }
+        Ok(SwapRecord {
+            a: MigrationRecord { vm: a, from: pla, to: to_a },
+            b: MigrationRecord { vm: b, from: plb, to: to_b },
+        })
+    }
+
+    /// Reverts a swap produced by [`ClusterState::swap`]. Subject to the
+    /// same LIFO discipline as [`ClusterState::undo`].
+    pub fn undo_swap(&mut self, rec: &SwapRecord) -> SimResult<()> {
+        // Swapping the same pair back restores both placements; use the
+        // exact original NUMA placements rather than best-fit to return
+        // to the precise prior state.
+        let (a, b) = (rec.a, rec.b);
+        let va = *self.check_vm(a.vm)?;
+        let vb = *self.check_vm(b.vm)?;
+        release_from(&mut self.pms[a.to.pm.0 as usize], &va, a.to.numa);
+        release_from(&mut self.pms[b.to.pm.0 as usize], &vb, b.to.numa);
+        alloc_to(&mut self.pms[a.from.pm.0 as usize], &va, a.from.numa);
+        alloc_to(&mut self.pms[b.from.pm.0 as usize], &vb, b.from.numa);
+        self.placements[a.vm.0 as usize] = a.from;
+        self.placements[b.vm.0 as usize] = b.from;
+        for (vm, from, to) in [(a.vm, a.to.pm, a.from.pm), (b.vm, b.to.pm, b.from.pm)] {
+            let src = &mut self.vms_on_pm[from.0 as usize];
+            let pos = src.iter().position(|&x| x == vm).expect("reverse index corrupt");
+            src.swap_remove(pos);
+            self.vms_on_pm[to.0 as usize].push(vm);
+        }
+        Ok(())
+    }
+
+    /// Total X-core CPU fragment across all PMs (numerator of FR).
+    pub fn total_cpu_fragment(&self, x: u32) -> u64 {
+        self.pms.iter().map(|p| p.cpu_fragment(x) as u64).sum()
+    }
+
+    /// Total fragment for double-NUMA X-core flavors.
+    pub fn total_cpu_fragment_double(&self, x: u32) -> u64 {
+        self.pms.iter().map(|p| p.cpu_fragment_double(x) as u64).sum()
+    }
+
+    /// Total X-GiB memory fragment across all PMs.
+    pub fn total_mem_fragment(&self, x: u32) -> u64 {
+        self.pms.iter().map(|p| p.mem_fragment(x) as u64).sum()
+    }
+
+    /// Total free CPU across all PMs (denominator of FR).
+    pub fn total_free_cpu(&self) -> u64 {
+        self.pms.iter().map(|p| p.free_cpu() as u64).sum()
+    }
+
+    /// Total free memory across all PMs.
+    pub fn total_free_mem(&self) -> u64 {
+        self.pms.iter().map(|p| p.free_mem() as u64).sum()
+    }
+
+    /// X-core fragment rate: unusable free CPU / total free CPU (§1).
+    /// Returns 0 when the cluster has no free CPU at all.
+    pub fn fragment_rate(&self, x: u32) -> f64 {
+        let free = self.total_free_cpu();
+        if free == 0 {
+            return 0.0;
+        }
+        self.total_cpu_fragment(x) as f64 / free as f64
+    }
+
+    /// Fragment rate for double-NUMA X-core flavors (e.g. `FR_64`).
+    pub fn fragment_rate_double(&self, x: u32) -> f64 {
+        let free = self.total_free_cpu();
+        if free == 0 {
+            return 0.0;
+        }
+        self.total_cpu_fragment_double(x) as f64 / free as f64
+    }
+
+    /// X-GiB memory fragment rate (e.g. `Mem_64`).
+    pub fn mem_fragment_rate(&self, x: u32) -> f64 {
+        let free = self.total_free_mem();
+        if free == 0 {
+            return 0.0;
+        }
+        self.total_mem_fragment(x) as f64 / free as f64
+    }
+
+    /// Overall CPU utilization: used / total.
+    pub fn cpu_utilization(&self) -> f64 {
+        let total: u64 = self.pms.iter().map(|p| p.cpu_total() as u64).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let used: u64 = self
+            .pms
+            .iter()
+            .map(|p| p.numas.iter().map(|n| n.cpu_used as u64).sum::<u64>())
+            .sum();
+        used as f64 / total as f64
+    }
+
+    /// Verifies all bookkeeping invariants by recomputing usage from the
+    /// placement list. Intended for tests and debug assertions; O(M + N).
+    pub fn audit(&self) -> SimResult<()> {
+        let mut usage = vec![[(0u32, 0u32); NUMA_PER_PM]; self.pms.len()];
+        for (vm, pl) in self.vms.iter().zip(self.placements.iter()) {
+            let slot = &mut usage[pl.pm.0 as usize];
+            match pl.numa {
+                NumaPlacement::Single(j) => {
+                    slot[j as usize].0 += vm.cpu_per_numa();
+                    slot[j as usize].1 += vm.mem_per_numa();
+                }
+                NumaPlacement::Double => {
+                    for s in slot.iter_mut() {
+                        s.0 += vm.cpu_per_numa();
+                        s.1 += vm.mem_per_numa();
+                    }
+                }
+            }
+        }
+        for (pm, expect) in self.pms.iter().zip(usage.iter()) {
+            for (numa, &(cpu, mem)) in pm.numas.iter().zip(expect.iter()) {
+                if numa.cpu_used != cpu || numa.mem_used != mem {
+                    return Err(SimError::InvalidMapping(format!(
+                        "PM {} usage mismatch: recorded ({},{}) recomputed ({},{})",
+                        pm.id.0, numa.cpu_used, numa.mem_used, cpu, mem
+                    )));
+                }
+                if numa.cpu_used > numa.cpu_total || numa.mem_used > numa.mem_total {
+                    return Err(SimError::InvalidMapping(format!(
+                        "PM {} oversubscribed",
+                        pm.id.0
+                    )));
+                }
+            }
+        }
+        for (pm_idx, hosted) in self.vms_on_pm.iter().enumerate() {
+            for &vm in hosted {
+                if self.placements[vm.0 as usize].pm.0 as usize != pm_idx {
+                    return Err(SimError::InvalidMapping(format!(
+                        "reverse index lists VM {} on PM {pm_idx} but placement disagrees",
+                        vm.0
+                    )));
+                }
+            }
+        }
+        let listed: usize = self.vms_on_pm.iter().map(Vec::len).sum();
+        if listed != self.vms.len() {
+            return Err(SimError::InvalidMapping(format!(
+                "reverse index lists {listed} VMs, expected {}",
+                self.vms.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Best-fit NUMA placement of `vm` on a detached PM value (no placement
+/// bookkeeping): the feasible placement minimizing the resulting X-core
+/// fragment, ties to the lower NUMA index.
+fn best_fit_on(pm: &Pm, vm: &Vm, frag_cores: u32) -> Option<NumaPlacement> {
+    vm.candidate_placements()
+        .iter()
+        .copied()
+        .filter(|&pl| placement_fits(pm, vm, pl))
+        .min_by_key(|&pl| {
+            let mut scratch = pm.clone();
+            alloc_to(&mut scratch, vm, pl);
+            scratch.cpu_fragment(frag_cores)
+        })
+}
+
+fn release_from(pm: &mut Pm, vm: &Vm, numa: NumaPlacement) {
+    match numa {
+        NumaPlacement::Single(j) => {
+            pm.numas[j as usize].release(vm.cpu_per_numa(), vm.mem_per_numa())
+        }
+        NumaPlacement::Double => {
+            for n in &mut pm.numas {
+                n.release(vm.cpu_per_numa(), vm.mem_per_numa());
+            }
+        }
+    }
+}
+
+fn alloc_to(pm: &mut Pm, vm: &Vm, numa: NumaPlacement) {
+    let ok = match numa {
+        NumaPlacement::Single(j) => {
+            pm.numas[j as usize].try_alloc(vm.cpu_per_numa(), vm.mem_per_numa())
+        }
+        NumaPlacement::Double => pm
+            .numas
+            .iter_mut()
+            .all(|n| n.try_alloc(vm.cpu_per_numa(), vm.mem_per_numa())),
+    };
+    debug_assert!(ok, "alloc_to called without a prior capacity check");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NumaPolicy;
+
+    fn small_cluster() -> ClusterState {
+        // Two PMs with 44 cores / 128 GiB per NUMA; three VMs.
+        let pms = vec![
+            Pm::symmetric(PmId(0), 44, 128),
+            Pm::symmetric(PmId(1), 44, 128),
+        ];
+        let vms = vec![
+            Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single },
+            Vm { id: VmId(1), cpu: 8, mem: 16, numa: NumaPolicy::Single },
+            Vm { id: VmId(2), cpu: 64, mem: 128, numa: NumaPolicy::Double },
+        ];
+        let placements = vec![
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(1) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Double },
+        ];
+        ClusterState::new(pms, vms, placements).unwrap()
+    }
+
+    #[test]
+    fn construction_computes_usage() {
+        let c = small_cluster();
+        assert_eq!(c.pm(PmId(0)).numas[0].cpu_used, 16);
+        assert_eq!(c.pm(PmId(0)).numas[1].cpu_used, 8);
+        assert_eq!(c.pm(PmId(1)).numas[0].cpu_used, 32);
+        assert_eq!(c.pm(PmId(1)).numas[1].cpu_used, 32);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn construction_rejects_overflow() {
+        let pms = vec![Pm::symmetric(PmId(0), 8, 16)];
+        let vms = vec![Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single }];
+        let placements = vec![Placement { pm: PmId(0), numa: NumaPlacement::Single(0) }];
+        assert!(matches!(
+            ClusterState::new(pms, vms, placements),
+            Err(SimError::InvalidMapping(_))
+        ));
+    }
+
+    #[test]
+    fn construction_rejects_policy_mismatch() {
+        let pms = vec![Pm::symmetric(PmId(0), 44, 128)];
+        let vms = vec![Vm { id: VmId(0), cpu: 64, mem: 128, numa: NumaPolicy::Double }];
+        let placements = vec![Placement { pm: PmId(0), numa: NumaPlacement::Single(0) }];
+        assert!(matches!(
+            ClusterState::new(pms, vms, placements),
+            Err(SimError::NumaPolicyViolation(_))
+        ));
+    }
+
+    #[test]
+    fn migrate_and_undo_restore_state() {
+        let mut c = small_cluster();
+        let before = c.clone();
+        // VM1 (8 cores) fits on PM1's 12-free NUMAs; VM0 (16 cores) would not.
+        let rec = c.migrate(VmId(1), PmId(1), 16).unwrap();
+        assert_ne!(c, before);
+        c.audit().unwrap();
+        c.undo(&rec).unwrap();
+        c.audit().unwrap();
+        assert_eq!(c.placement(VmId(1)), before.placement(VmId(1)));
+        assert_eq!(c.pm(PmId(0)), before.pm(PmId(0)));
+        assert_eq!(c.pm(PmId(1)), before.pm(PmId(1)));
+    }
+
+    #[test]
+    fn migrate_rejects_noop() {
+        let mut c = small_cluster();
+        // VM 1 could flip NUMA within PM 0, so same-PM is not always a no-op;
+        // but migrating exactly onto its own placement must fail.
+        assert!(matches!(
+            c.migrate_exact(VmId(1), PmId(0), NumaPlacement::Single(1)),
+            Err(SimError::NoOpMigration(_))
+        ));
+    }
+
+    #[test]
+    fn swap_exchanges_hosts_and_undo_restores() {
+        let mut c = small_cluster();
+        let before = c.clone();
+        let rec = c.swap(VmId(0), VmId(2), 16).unwrap();
+        assert_eq!(c.placement(VmId(0)).pm, PmId(1));
+        assert_eq!(c.placement(VmId(2)).pm, PmId(0));
+        assert!(c.vms_on(PmId(1)).contains(&VmId(0)));
+        assert!(c.vms_on(PmId(0)).contains(&VmId(2)));
+        c.audit().unwrap();
+        c.undo_swap(&rec).unwrap();
+        c.audit().unwrap();
+        assert_eq!(c.placements(), before.placements());
+        assert_eq!(c.pm(PmId(0)), before.pm(PmId(0)));
+        assert_eq!(c.pm(PmId(1)), before.pm(PmId(1)));
+    }
+
+    /// The §8 motivation: a swap can be legal when neither individual
+    /// migration is — each VM only fits into the hole the other vacates.
+    #[test]
+    fn swap_feasible_when_no_sequential_path_exists() {
+        let pms = vec![Pm::symmetric(PmId(0), 16, 32), Pm::symmetric(PmId(1), 16, 32)];
+        let mk = |id: u32| Vm { id: VmId(id), cpu: 16, mem: 32, numa: NumaPolicy::Single };
+        let vms = vec![mk(0), mk(1), mk(2), mk(3)];
+        let placements = vec![
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(1) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Single(1) },
+        ];
+        let mut c = ClusterState::new(pms, vms, placements).unwrap();
+        // Fully packed: no single migration is feasible in any direction.
+        assert!(c.migrate(VmId(0), PmId(1), 16).is_err());
+        assert!(c.migrate(VmId(2), PmId(0), 16).is_err());
+        // But the atomic exchange is.
+        let rec = c.swap(VmId(0), VmId(2), 16).unwrap();
+        assert_eq!(c.placement(VmId(0)).pm, PmId(1));
+        assert_eq!(c.placement(VmId(2)).pm, PmId(0));
+        c.audit().unwrap();
+        c.undo_swap(&rec).unwrap();
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn swap_rejects_self_and_same_pm() {
+        let mut c = small_cluster();
+        assert!(matches!(c.swap(VmId(0), VmId(0), 16), Err(SimError::NoOpMigration(_))));
+        // VMs 0 and 1 share PM 0.
+        assert!(matches!(c.swap(VmId(0), VmId(1), 16), Err(SimError::NoOpMigration(_))));
+    }
+
+    #[test]
+    fn swap_rejects_capacity_overflow_without_mutation() {
+        // PM 1 is too small to receive the 16-core VM even after the
+        // 2-core VM leaves.
+        let pms = vec![Pm::symmetric(PmId(0), 44, 128), Pm::symmetric(PmId(1), 8, 16)];
+        let vms = vec![
+            Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single },
+            Vm { id: VmId(1), cpu: 2, mem: 4, numa: NumaPolicy::Single },
+        ];
+        let placements = vec![
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Single(0) },
+        ];
+        let mut c = ClusterState::new(pms, vms, placements).unwrap();
+        let before = c.clone();
+        assert!(matches!(
+            c.swap(VmId(0), VmId(1), 16),
+            Err(SimError::InsufficientResources { .. })
+        ));
+        assert_eq!(c, before, "failed swap must not mutate state");
+    }
+
+    #[test]
+    fn same_pm_numa_flip_is_legal() {
+        let mut c = small_cluster();
+        let rec = c.migrate_exact(VmId(1), PmId(0), NumaPlacement::Single(0)).unwrap();
+        assert_eq!(rec.to.numa, NumaPlacement::Single(0));
+        c.audit().unwrap();
+        assert_eq!(c.pm(PmId(0)).numas[0].cpu_used, 24);
+        assert_eq!(c.pm(PmId(0)).numas[1].cpu_used, 0);
+    }
+
+    #[test]
+    fn migrate_rejects_insufficient_capacity() {
+        let mut c = small_cluster();
+        // PM 1 has 12 cores free per NUMA (44-32); a 16-core single VM fails.
+        assert!(matches!(
+            c.migrate_exact(VmId(0), PmId(1), NumaPlacement::Single(0)),
+            Err(SimError::InsufficientResources { .. })
+        ));
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn fragment_rate_tracks_migrations() {
+        let mut c = small_cluster();
+        let fr_before = c.fragment_rate(16);
+        // PM0: numa0 free 28 (frag 12), numa1 free 36 (frag 4);
+        // PM1: 12 free per NUMA (frag 12 each).
+        assert_eq!(c.total_cpu_fragment(16), (28 % 16 + 36 % 16 + 12 + 12) as u64);
+        let rec = c.migrate(VmId(1), PmId(0), 16); // NUMA flip may help
+        if let Ok(rec) = rec {
+            let _ = c.undo(&rec);
+        }
+        assert!((c.fragment_rate(16) - fr_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_fit_placement_minimizes_fragment() {
+        let c = small_cluster();
+        // Moving VM1 (8 cores) to PM0 NUMA0 leaves free (20, 36): frags (4, 4)=8.
+        // To NUMA1 it's where it already is -> skipped.
+        let pl = c.best_fit_placement(VmId(1), PmId(0), 16).unwrap();
+        assert_eq!(pl, Some(NumaPlacement::Single(0)));
+    }
+
+    #[test]
+    fn double_vm_migration_uses_both_numas() {
+        let mut c = small_cluster();
+        // Free PM0 by moving VM0 & VM1 to PM1's leftover? Not enough room;
+        // instead move the double VM2 from PM1 to PM0 (28/36 free, needs 32/32).
+        let err = c.migrate(VmId(2), PmId(0), 16);
+        assert!(err.is_err()); // numa0 only has 28 free
+        let rec = c.migrate(VmId(0), PmId(0), 16); // flip VM0 to numa1? no-op check
+        drop(rec);
+        // Move VM0 off to PM1 numa0 fails (12 free), so free numa0 via VM1:
+        // (documented behaviour: errors leave state untouched)
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = small_cluster();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterState = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        back.audit().unwrap();
+    }
+}

@@ -1,0 +1,325 @@
+//! The Gym-style rescheduling environment (§3.1).
+//!
+//! One episode corresponds to one rescheduling request: up to MNL steps,
+//! each migrating a single VM to a destination PM. Transitions are exactly
+//! deterministic — the property that lets VMR2L train entirely offline and
+//! later re-simulate candidate trajectories for risk-seeking evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{ClusterState, MigrationRecord};
+use crate::constraints::ConstraintSet;
+use crate::error::{SimError, SimResult};
+use crate::objective::Objective;
+use crate::types::{PmId, VmId};
+
+/// An agent action: migrate `vm` to `pm` (the 2-tuple of §3.1; the source
+/// PM is implied by the current placement, and the destination NUMA is
+/// chosen by best fit inside the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Action {
+    /// VM to migrate.
+    pub vm: VmId,
+    /// Destination PM.
+    pub pm: PmId,
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Dense reward (Eq. 9, plus the goal term of Eq. 11 if applicable).
+    pub reward: f64,
+    /// Whether the episode terminated (MNL reached or goal achieved).
+    pub done: bool,
+    /// Objective value after the step (e.g. current fragment rate).
+    pub objective: f64,
+    /// The migration that was applied.
+    pub record: MigrationRecord,
+}
+
+/// Episodic rescheduling environment.
+#[derive(Debug, Clone)]
+pub struct ReschedEnv {
+    initial: ClusterState,
+    state: ClusterState,
+    constraints: ConstraintSet,
+    objective: Objective,
+    mnl: usize,
+    steps_taken: usize,
+    done: bool,
+    history: Vec<MigrationRecord>,
+}
+
+impl ReschedEnv {
+    /// Creates an environment from an initial mapping.
+    ///
+    /// `mnl` is the migration number limit (episode length); the paper uses
+    /// 2–3% of the VM count in production and sweeps 10–200 in evaluation.
+    pub fn new(
+        initial: ClusterState,
+        constraints: ConstraintSet,
+        objective: Objective,
+        mnl: usize,
+    ) -> SimResult<Self> {
+        if constraints.num_vms() != initial.num_vms() {
+            return Err(SimError::InvalidMapping(format!(
+                "constraint set covers {} VMs but the cluster has {}",
+                constraints.num_vms(),
+                initial.num_vms()
+            )));
+        }
+        let state = initial.clone();
+        Ok(ReschedEnv {
+            initial,
+            state,
+            constraints,
+            objective,
+            mnl,
+            steps_taken: 0,
+            done: false,
+            history: Vec::new(),
+        })
+    }
+
+    /// Convenience constructor with no service constraints.
+    pub fn unconstrained(
+        initial: ClusterState,
+        objective: Objective,
+        mnl: usize,
+    ) -> SimResult<Self> {
+        let n = initial.num_vms();
+        Self::new(initial, ConstraintSet::new(n), objective, mnl)
+    }
+
+    /// Restores the initial mapping and clears episode bookkeeping.
+    pub fn reset(&mut self) {
+        self.state = self.initial.clone();
+        self.steps_taken = 0;
+        self.done = false;
+        self.history.clear();
+    }
+
+    /// Replaces the initial mapping (a new episode sample) and resets.
+    pub fn reset_to(&mut self, initial: ClusterState, constraints: ConstraintSet) -> SimResult<()> {
+        if constraints.num_vms() != initial.num_vms() {
+            return Err(SimError::InvalidMapping(
+                "constraint set size mismatch on reset".into(),
+            ));
+        }
+        self.initial = initial;
+        self.constraints = constraints;
+        self.reset();
+        Ok(())
+    }
+
+    /// Current cluster state (read-only).
+    pub fn state(&self) -> &ClusterState {
+        &self.state
+    }
+
+    /// The episode's initial state.
+    pub fn initial_state(&self) -> &ClusterState {
+        &self.initial
+    }
+
+    /// Active constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Active objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Migration number limit.
+    pub fn mnl(&self) -> usize {
+        self.mnl
+    }
+
+    /// Steps taken in the current episode.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Remaining migrations in the current episode.
+    pub fn steps_remaining(&self) -> usize {
+        self.mnl.saturating_sub(self.steps_taken)
+    }
+
+    /// Whether the episode has terminated.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Migrations applied so far this episode (for the Fig. 21 case-study
+    /// visualization and for deploying the plan).
+    pub fn history(&self) -> &[MigrationRecord] {
+        &self.history
+    }
+
+    /// Current objective value.
+    pub fn objective_value(&self) -> f64 {
+        self.objective.value(&self.state)
+    }
+
+    /// Checks an action without mutating state.
+    pub fn action_legal(&self, action: Action) -> SimResult<()> {
+        if self.done {
+            return Err(SimError::EpisodeDone);
+        }
+        self.constraints.migration_legal(&self.state, action.vm, action.pm)
+    }
+
+    /// Applies one migration. On error the state is unchanged and the step
+    /// is not consumed (illegal probes are free, as the two-stage masking
+    /// guarantees the trained agent never submits them).
+    pub fn step(&mut self, action: Action) -> SimResult<StepOutcome> {
+        if self.done {
+            return Err(SimError::EpisodeDone);
+        }
+        if self.steps_taken >= self.mnl {
+            self.done = true;
+            return Err(SimError::MnlExhausted);
+        }
+        self.constraints
+            .migration_legal(&self.state, action.vm, action.pm)?;
+        let src = self.state.placement(action.vm).pm;
+        let dest = action.pm;
+        let src_score = self.objective.pm_score(&self.state, src);
+        let dest_score = self.objective.pm_score(&self.state, dest);
+        let record = self
+            .state
+            .migrate(action.vm, action.pm, self.objective.frag_cores())?;
+        self.steps_taken += 1;
+        self.history.push(record);
+
+        let mut reward =
+            self.objective
+                .step_reward(&self.state, src, dest, src_score, dest_score);
+        let objective = self.objective.value(&self.state);
+        reward += self.objective.goal_bonus(objective);
+        let goal_hit = self.objective.reached_goal(objective);
+        self.done = goal_hit || self.steps_taken >= self.mnl;
+        Ok(StepOutcome { reward, done: self.done, objective, record })
+    }
+
+    /// Legal destination mask for a candidate VM (stage-2 mask).
+    pub fn pm_mask(&self, vm: VmId) -> Vec<bool> {
+        self.constraints.pm_mask(&self.state, vm)
+    }
+
+    /// Eligibility mask over VMs (stage-1 mask).
+    pub fn vm_mask(&self) -> Vec<bool> {
+        self.constraints.vm_mask(&self.state, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Placement, Pm, Vm};
+    use crate::types::{NumaPlacement, NumaPolicy};
+
+    fn env(mnl: usize) -> ReschedEnv {
+        let pms = vec![
+            Pm::symmetric(PmId(0), 44, 128),
+            Pm::symmetric(PmId(1), 44, 128),
+        ];
+        let vms = vec![
+            Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single },
+            Vm { id: VmId(1), cpu: 8, mem: 16, numa: NumaPolicy::Single },
+            Vm { id: VmId(2), cpu: 4, mem: 8, numa: NumaPolicy::Single },
+        ];
+        let placements = vec![
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(1) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Single(0) },
+        ];
+        let state = ClusterState::new(pms, vms, placements).unwrap();
+        ReschedEnv::unconstrained(state, Objective::default(), mnl).unwrap()
+    }
+
+    #[test]
+    fn episode_terminates_at_mnl() {
+        let mut e = env(2);
+        let o1 = e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        assert!(!o1.done);
+        let o2 = e.step(Action { vm: VmId(2), pm: PmId(1) }).unwrap();
+        assert!(o2.done);
+        assert!(e.is_done());
+        assert!(matches!(
+            e.step(Action { vm: VmId(2), pm: PmId(0) }),
+            Err(SimError::EpisodeDone)
+        ));
+    }
+
+    #[test]
+    fn illegal_actions_do_not_consume_steps() {
+        let mut e = env(2);
+        // Migrating onto the same placement spot: ensure error keeps step count.
+        let err = e.step(Action { vm: VmId(0), pm: PmId(0) });
+        // VM0 may flip NUMA (PM0 numa1 has 36 free >= 16), so this may be Ok;
+        // use an impossible one instead: a 16-core VM onto a PM with capacity.
+        drop(err);
+        let before = e.steps_taken();
+        let bad = Action { vm: VmId(99), pm: PmId(0) };
+        assert!(e.step(bad).is_err());
+        assert_eq!(e.steps_taken(), before);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut e = env(3);
+        let fr0 = e.objective_value();
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        assert_eq!(e.history().len(), 1);
+        e.reset();
+        assert_eq!(e.steps_taken(), 0);
+        assert!(e.history().is_empty());
+        assert!((e.objective_value() - fr0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reward_equals_global_fragment_drop() {
+        let mut e = env(3);
+        let before = e.state().total_cpu_fragment(16) as f64;
+        let out = e.step(Action { vm: VmId(1), pm: PmId(1) }).unwrap();
+        let after = e.state().total_cpu_fragment(16) as f64;
+        assert!((out.reward - (before - after) / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goal_objective_ends_early() {
+        let pms = vec![Pm::symmetric(PmId(0), 16, 64), Pm::symmetric(PmId(1), 16, 64)];
+        let vms = vec![Vm { id: VmId(0), cpu: 4, mem: 8, numa: NumaPolicy::Single }];
+        let placements = vec![Placement { pm: PmId(0), numa: NumaPlacement::Single(0) }];
+        let state = ClusterState::new(pms, vms, placements).unwrap();
+        // The initial FR is (12%16 + 16%16*3-ish)/free; pick a generous goal so
+        // any step reaching it terminates the episode.
+        let mut e = ReschedEnv::unconstrained(
+            state,
+            Objective::MnlToGoal { fr_goal: 1.0, cores: 16 },
+            5,
+        )
+        .unwrap();
+        let out = e.step(Action { vm: VmId(0), pm: PmId(1) }).unwrap();
+        assert!(out.done, "goal reached should end the episode");
+        assert!(out.reward >= 10.0 - 1.0); // bonus dominates
+    }
+
+    #[test]
+    fn masks_are_consistent_with_step() {
+        let mut e = env(5);
+        let vm = VmId(1);
+        let mask = e.pm_mask(vm);
+        for (i, &ok) in mask.iter().enumerate() {
+            let act = Action { vm, pm: PmId(i as u32) };
+            assert_eq!(e.action_legal(act).is_ok(), ok, "mask disagrees at pm {i}");
+        }
+        // Take a legal one and make sure it succeeds.
+        if let Some(i) = mask.iter().position(|&b| b) {
+            e.step(Action { vm, pm: PmId(i as u32) }).unwrap();
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # vmr-sim — deterministic data-center simulator for VM rescheduling
+//!
+//! This crate is the substrate of the VMR2L reproduction (EuroSys '25,
+//! "Towards VM Rescheduling Optimization Through Deep Reinforcement
+//! Learning"): a fully deterministic model of a cluster of physical
+//! machines (PMs) hosting virtual machines (VMs) across NUMA nodes, with
+//!
+//! * exact fragment accounting ([`cluster::ClusterState`]),
+//! * the paper's objectives and dense reward ([`objective::Objective`]),
+//! * hard service constraints and legality masks
+//!   ([`constraints::ConstraintSet`]),
+//! * a Gym-style episodic environment ([`env::ReschedEnv`]),
+//! * state featurization ([`obs::Observation`]),
+//! * synthetic dataset generation replacing the proprietary traces
+//!   ([`dataset`]), and
+//! * dynamic churn + plan-staleness replay ([`dynamics`]).
+//!
+//! Determinism is the load-bearing property: given a state and an action
+//! the next state is exact, which lets agents train offline and lets the
+//! risk-seeking evaluator score candidate trajectories by simulation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+//! use vmr_sim::env::{Action, ReschedEnv};
+//! use vmr_sim::objective::Objective;
+//! use vmr_sim::types::{PmId, VmId};
+//!
+//! let mapping = generate_mapping(&ClusterConfig::tiny(), 42).unwrap();
+//! let mut env = ReschedEnv::unconstrained(mapping, Objective::default(), 5).unwrap();
+//! let before = env.objective_value();
+//! // Try migrating VM 0 to the first PM that legally accepts it.
+//! let vm = VmId(0);
+//! if let Some(i) = env.pm_mask(vm).iter().position(|&ok| ok) {
+//!     let out = env.step(Action { vm, pm: PmId(i as u32) }).unwrap();
+//!     assert!(out.objective <= before + 1.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod constraints;
+pub mod dataset;
+pub mod daycycle;
+pub mod dynamics;
+pub mod env;
+pub mod error;
+pub mod interference;
+pub mod lifetime;
+pub mod machine;
+pub mod migration;
+pub mod obs;
+pub mod objective;
+pub mod scheduler;
+pub mod trace;
+pub mod types;
+
+pub use cluster::{ClusterState, MigrationRecord, SwapRecord};
+pub use constraints::ConstraintSet;
+pub use env::{Action, ReschedEnv, StepOutcome};
+pub use error::{SimError, SimResult};
+pub use machine::{Numa, Placement, Pm, Vm};
+pub use objective::Objective;
+pub use types::{NumaPlacement, NumaPolicy, PmId, VmId};

@@ -1,0 +1,237 @@
+//! VM lifetime model and runtime-aware plan filtering (§8).
+//!
+//! The paper's future work proposes "incorporating the estimated
+//! remaining runtime of each VM": migrating a VM that exits minutes
+//! later wastes migration budget and network bandwidth, and the hole it
+//! leaves reopens the fragment anyway. This module supplies the
+//! substrate:
+//!
+//! * [`LifetimeModel`] — per-VM expected remaining runtimes. Real
+//!   telemetry is proprietary; the generator draws from a log-normal
+//!   (the classic heavy-tailed VM-lifetime shape) deterministically per
+//!   seed.
+//! * [`filter_plan`] — drops plan steps whose VM is expected to exit
+//!   before the plan's execution window ends, returning both the kept
+//!   plan and an accounting of the budget saved.
+//!
+//! Combined with [`crate::migration::schedule_plan`] this closes the
+//! loop: schedule the plan, measure its window, drop migrations not
+//! worth their bandwidth.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterState;
+use crate::env::Action;
+use crate::error::{SimError, SimResult};
+use crate::types::VmId;
+
+/// Expected remaining runtime for every VM of a mapping, in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeModel {
+    remaining_secs: Vec<f64>,
+}
+
+impl LifetimeModel {
+    /// Builds a model from explicit per-VM remaining runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite runtimes.
+    pub fn new(remaining_secs: Vec<f64>) -> SimResult<Self> {
+        if remaining_secs.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(SimError::InvalidMapping(
+                "remaining runtimes must be finite and non-negative".into(),
+            ));
+        }
+        Ok(LifetimeModel { remaining_secs })
+    }
+
+    /// Samples heavy-tailed remaining runtimes for every VM of `state`:
+    /// log-normal with median `median_secs`. Deterministic per seed.
+    pub fn generate(state: &ClusterState, median_secs: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // sigma 1.2 gives the long right tail observed in production VM
+        // lifetime studies; mu = ln(median) by the log-normal identity.
+        let dist = LogNormal::new(median_secs.max(1.0).ln(), 1.2)
+            .expect("valid log-normal parameters");
+        let remaining_secs = (0..state.num_vms()).map(|_| dist.sample(&mut rng)).collect();
+        LifetimeModel { remaining_secs }
+    }
+
+    /// Expected remaining runtime of one VM (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range for the mapping this model was
+    /// built for.
+    pub fn remaining(&self, vm: VmId) -> f64 {
+        self.remaining_secs[vm.0 as usize]
+    }
+
+    /// Number of modeled VMs.
+    pub fn len(&self) -> usize {
+        self.remaining_secs.len()
+    }
+
+    /// Whether no VM is modeled.
+    pub fn is_empty(&self) -> bool {
+        self.remaining_secs.is_empty()
+    }
+}
+
+/// Outcome of [`filter_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilteredPlan {
+    /// Steps worth executing, in original order.
+    pub kept: Vec<Action>,
+    /// Steps dropped because the VM exits within the window.
+    pub dropped: Vec<Action>,
+}
+
+impl FilteredPlan {
+    /// Fraction of the original plan that was dropped.
+    pub fn dropped_fraction(&self) -> f64 {
+        let total = self.kept.len() + self.dropped.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Splits a plan into steps worth executing and steps whose VM is
+/// expected to exit within `window_secs` (the plan's execution window
+/// plus whatever payback horizon the operator demands).
+///
+/// A migration only pays off if the VM keeps running on its destination
+/// for a while; `window_secs` is that break-even horizon. The relative
+/// order of kept steps is preserved — note that dropping a step can in
+/// principle invalidate a later step that depended on the freed space,
+/// so callers should re-validate with a replay (the environment drops
+/// infeasible steps exactly like the paper's footnote 7).
+pub fn filter_plan(
+    plan: &[Action],
+    lifetimes: &LifetimeModel,
+    window_secs: f64,
+) -> FilteredPlan {
+    let mut kept = Vec::with_capacity(plan.len());
+    let mut dropped = Vec::new();
+    for &action in plan {
+        if lifetimes.remaining(action.vm) <= window_secs {
+            dropped.push(action);
+        } else {
+            kept.push(action);
+        }
+    }
+    FilteredPlan { kept, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_mapping, ClusterConfig};
+    use crate::types::PmId;
+
+    fn state() -> ClusterState {
+        generate_mapping(&ClusterConfig::tiny(), 5).unwrap()
+    }
+
+    fn legal_plan(state: &ClusterState, n: usize) -> Vec<Action> {
+        let mut work = state.clone();
+        let mut plan = Vec::new();
+        'outer: for k in 0..work.num_vms() {
+            for i in 0..work.num_pms() {
+                let (vm, pm) = (VmId(k as u32), PmId(i as u32));
+                if work.placement(vm).pm != pm && work.migrate(vm, pm, 16).is_ok() {
+                    plan.push(Action { vm, pm });
+                    if plan.len() == n {
+                        break 'outer;
+                    }
+                    break;
+                }
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn generation_covers_all_vms_and_is_deterministic() {
+        let s = state();
+        let a = LifetimeModel::generate(&s, 3600.0, 9);
+        let b = LifetimeModel::generate(&s, 3600.0, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), s.num_vms());
+        for k in 0..a.len() {
+            let r = a.remaining(VmId(k as u32));
+            assert!(r.is_finite() && r > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let s = state();
+        let m = LifetimeModel::generate(&s, 3600.0, 1);
+        let mut vals: Vec<f64> = (0..m.len()).map(|k| m.remaining(VmId(k as u32))).collect();
+        vals.sort_by(f64::total_cmp);
+        let median = vals[vals.len() / 2];
+        assert!(
+            (median / 3600.0) > 0.4 && (median / 3600.0) < 2.5,
+            "sample median {median} too far from 3600"
+        );
+    }
+
+    #[test]
+    fn filter_splits_by_window() {
+        let s = state();
+        let plan = legal_plan(&s, 4);
+        assert!(plan.len() >= 2);
+        // Hand-crafted lifetimes: even VM ids live 10 s, odd live 10 000 s.
+        let lifetimes = LifetimeModel::new(
+            (0..s.num_vms())
+                .map(|k| if k % 2 == 0 { 10.0 } else { 10_000.0 })
+                .collect(),
+        )
+        .unwrap();
+        let filtered = filter_plan(&plan, &lifetimes, 60.0);
+        assert_eq!(filtered.kept.len() + filtered.dropped.len(), plan.len());
+        for a in &filtered.kept {
+            assert!(a.vm.0 % 2 == 1, "kept a short-lived VM");
+        }
+        for a in &filtered.dropped {
+            assert!(a.vm.0 % 2 == 0, "dropped a long-lived VM");
+        }
+        // Order of kept steps is the original order.
+        let orig_order: Vec<_> = plan.iter().filter(|a| a.vm.0 % 2 == 1).collect();
+        assert_eq!(filtered.kept.iter().collect::<Vec<_>>(), orig_order);
+    }
+
+    #[test]
+    fn zero_window_keeps_everything_alive() {
+        let s = state();
+        let plan = legal_plan(&s, 3);
+        let lifetimes = LifetimeModel::generate(&s, 3600.0, 2);
+        let filtered = filter_plan(&plan, &lifetimes, 0.0);
+        assert!(filtered.dropped.is_empty());
+        assert_eq!(filtered.dropped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn invalid_lifetimes_rejected() {
+        assert!(LifetimeModel::new(vec![1.0, -2.0]).is_err());
+        assert!(LifetimeModel::new(vec![f64::NAN]).is_err());
+        assert!(LifetimeModel::new(vec![0.0, 5.0]).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_is_trivial() {
+        let s = state();
+        let lifetimes = LifetimeModel::generate(&s, 100.0, 3);
+        let filtered = filter_plan(&[], &lifetimes, 1e9);
+        assert!(filtered.kept.is_empty() && filtered.dropped.is_empty());
+        assert_eq!(filtered.dropped_fraction(), 0.0);
+    }
+}

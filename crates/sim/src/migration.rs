@@ -1,0 +1,517 @@
+//! Live-migration cost model and migration-plan scheduler.
+//!
+//! The paper (§1) executes rescheduling plans with pre-copy live
+//! migration: the VM's memory is copied to the destination PM while it
+//! keeps running, pages dirtied during each copy round are re-copied
+//! incrementally, and once the residual dirty set is small the VM is
+//! briefly paused for a final stop-and-copy synchronization. Because
+//! clusters use compute-storage separation, only memory moves.
+//!
+//! This module models that process so the rest of the system can reason
+//! about *how long* a plan takes to execute and *how much downtime* it
+//! imposes, rather than treating migrations as free:
+//!
+//! * [`PrecopyModel`] — the classic geometric pre-copy iteration model:
+//!   round `i` re-transfers the bytes dirtied during round `i − 1`.
+//! * [`migration_cost`] — rounds, total bytes moved, pre-copy duration
+//!   and final downtime for a single VM.
+//! * [`schedule_plan`] — greedy list scheduling of a whole rescheduling
+//!   plan under per-PM NIC stream limits, yielding the plan makespan.
+//!
+//! The model is deliberately deterministic (no sampled noise): the same
+//! property that makes the rescheduling environment trainable offline
+//! makes migration costs replayable in tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterState;
+use crate::env::Action;
+use crate::error::{SimError, SimResult};
+use crate::types::{PmId, VmId, DEFAULT_FRAGMENT_CORES};
+
+/// Parameters of the pre-copy live-migration iteration model.
+///
+/// Units: memory in GiB, rates in GiB/s, durations in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecopyModel {
+    /// Sustained migration stream bandwidth between two PMs (GiB/s).
+    /// Data centers use high-bandwidth internal networks; 25 GbE with
+    /// protocol overhead sustains roughly 2.5 GiB/s per stream.
+    pub bandwidth_gib_s: f64,
+    /// Rate at which the running VM dirties memory (GiB/s).
+    pub dirty_rate_gib_s: f64,
+    /// Fraction of the VM's memory that is writable-hot: the dirty set
+    /// in any round is capped at `hot_fraction × mem`. Without this cap
+    /// a VM dirtying faster than the link copies would never converge.
+    pub hot_fraction: f64,
+    /// Residual size (GiB) below which the VM is paused and the
+    /// remainder is moved in one final stop-and-copy round.
+    pub stop_copy_threshold_gib: f64,
+    /// Upper bound on pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+}
+
+impl Default for PrecopyModel {
+    fn default() -> Self {
+        PrecopyModel {
+            bandwidth_gib_s: 2.5,
+            dirty_rate_gib_s: 0.25,
+            hot_fraction: 0.2,
+            stop_copy_threshold_gib: 0.05,
+            max_rounds: 30,
+        }
+    }
+}
+
+impl PrecopyModel {
+    /// Validates that every parameter is finite and positive where it
+    /// must be. Returns the model for chaining.
+    pub fn validated(self) -> SimResult<Self> {
+        let ok = self.bandwidth_gib_s.is_finite()
+            && self.bandwidth_gib_s > 0.0
+            && self.dirty_rate_gib_s.is_finite()
+            && self.dirty_rate_gib_s >= 0.0
+            && (0.0..=1.0).contains(&self.hot_fraction)
+            && self.stop_copy_threshold_gib.is_finite()
+            && self.stop_copy_threshold_gib >= 0.0
+            && self.max_rounds >= 1;
+        if ok {
+            Ok(self)
+        } else {
+            Err(SimError::InvalidMapping(format!("invalid pre-copy model: {self:?}")))
+        }
+    }
+}
+
+/// Cost of live-migrating one VM, as predicted by [`migration_cost`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCost {
+    /// Number of pre-copy rounds executed (≥ 1: the full-copy round).
+    pub rounds: u32,
+    /// Total bytes moved across all rounds plus stop-and-copy (GiB).
+    pub transferred_gib: f64,
+    /// Wall-clock duration of the pre-copy phase (seconds). The VM keeps
+    /// running throughout.
+    pub precopy_secs: f64,
+    /// Final pause while the residual dirty set moves (milliseconds).
+    pub downtime_ms: f64,
+    /// Whether the residual shrank below the stop-copy threshold before
+    /// `max_rounds` was hit. When `false`, downtime is whatever the
+    /// residual hot set costs.
+    pub converged: bool,
+}
+
+impl MigrationCost {
+    /// Total wall-clock duration including the paused final round.
+    #[inline]
+    pub fn total_secs(&self) -> f64 {
+        self.precopy_secs + self.downtime_ms / 1e3
+    }
+}
+
+/// Predicts the cost of live-migrating a VM with `mem_gib` GiB of memory.
+///
+/// Round 0 copies the full memory. While round `i` runs for
+/// `t_i = bytes_i / bandwidth`, the guest dirties
+/// `min(dirty_rate × t_i, hot_fraction × mem)` bytes, which round
+/// `i + 1` must re-copy. Iteration stops when the residual falls below
+/// the stop-copy threshold (converged) or after `max_rounds` (forced).
+pub fn migration_cost(mem_gib: f64, model: &PrecopyModel) -> MigrationCost {
+    let mem = mem_gib.max(0.0);
+    let hot_cap = model.hot_fraction * mem;
+    let mut residual = mem;
+    let mut transferred = 0.0;
+    let mut precopy_secs = 0.0;
+    let mut rounds = 0u32;
+    let mut converged = false;
+    while rounds < model.max_rounds {
+        rounds += 1;
+        let t = residual / model.bandwidth_gib_s;
+        transferred += residual;
+        precopy_secs += t;
+        residual = (model.dirty_rate_gib_s * t).min(hot_cap);
+        if residual <= model.stop_copy_threshold_gib {
+            converged = true;
+            break;
+        }
+    }
+    // Final stop-and-copy: the VM pauses while the residual moves.
+    let downtime_secs = residual / model.bandwidth_gib_s;
+    transferred += residual;
+    MigrationCost {
+        rounds,
+        transferred_gib: transferred,
+        precopy_secs,
+        downtime_ms: downtime_secs * 1e3,
+        converged,
+    }
+}
+
+/// One migration of a plan with its resolved endpoints and schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledMigration {
+    /// The VM that moves.
+    pub vm: VmId,
+    /// Source PM at the moment this plan step executes.
+    pub src: PmId,
+    /// Destination PM.
+    pub dst: PmId,
+    /// Start offset within the plan execution window (seconds).
+    pub start_secs: f64,
+    /// Predicted cost of this migration.
+    pub cost: MigrationCost,
+}
+
+impl ScheduledMigration {
+    /// When this migration finishes (seconds from window start).
+    #[inline]
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.cost.total_secs()
+    }
+}
+
+/// Outcome of scheduling a full rescheduling plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSchedule {
+    /// Every migration with its start time and cost, in plan order.
+    pub migrations: Vec<ScheduledMigration>,
+    /// Wall-clock length of the execution window (seconds).
+    pub makespan_secs: f64,
+    /// Sum of individual migration durations — the makespan if nothing
+    /// ran in parallel.
+    pub sequential_secs: f64,
+    /// Sum of per-VM downtimes (milliseconds). Each end-user only
+    /// observes their own VM's share.
+    pub total_downtime_ms: f64,
+    /// Total bytes moved across the network (GiB).
+    pub total_transferred_gib: f64,
+}
+
+impl PlanSchedule {
+    /// Parallel speedup achieved over strictly sequential execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_secs <= 0.0 {
+            1.0
+        } else {
+            self.sequential_secs / self.makespan_secs
+        }
+    }
+}
+
+/// Per-PM concurrency limits for migration streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NicLimits {
+    /// Concurrent migration streams a PM may participate in (as source
+    /// or destination). `1` serializes all traffic per machine.
+    pub streams_per_pm: u32,
+}
+
+impl Default for NicLimits {
+    fn default() -> Self {
+        NicLimits { streams_per_pm: 2 }
+    }
+}
+
+/// Schedules a rescheduling plan under pre-copy costs and NIC limits.
+///
+/// The plan is replayed on a clone of `initial` to resolve each step's
+/// source PM (earlier steps change later sources). Scheduling is greedy
+/// list scheduling in plan order: a migration starts at the earliest
+/// time when both its endpoints have a free NIC stream *and* every
+/// earlier plan step *departing from its destination* has finished — an
+/// arrival may need the space a departure frees (migrate A out of PM 1,
+/// then B into the hole), while concurrent arrivals at one PM or
+/// concurrent departures from one PM are capacity-safe because the plan
+/// was validated by sequential replay and arrivals only consume space
+/// that is free once all of them land.
+///
+/// # Errors
+///
+/// Returns an error if the plan is not executable on `initial` (illegal
+/// step) or the model fails validation.
+pub fn schedule_plan(
+    initial: &ClusterState,
+    plan: &[Action],
+    model: &PrecopyModel,
+    limits: NicLimits,
+) -> SimResult<PlanSchedule> {
+    let model = model.validated()?;
+    if limits.streams_per_pm == 0 {
+        return Err(SimError::InvalidMapping("streams_per_pm must be ≥ 1".into()));
+    }
+
+    // Resolve (src, dst, mem) for every step by replay.
+    let mut replay = initial.clone();
+    let mut steps = Vec::with_capacity(plan.len());
+    for action in plan {
+        let rec = replay.migrate(action.vm, action.pm, DEFAULT_FRAGMENT_CORES)?;
+        let mem = replay.vm(action.vm).mem as f64;
+        steps.push((action.vm, rec.from.pm, rec.to.pm, mem));
+    }
+
+    // Greedy list scheduling. `pm_busy[p]` holds the end times of
+    // streams currently charged to PM p; `pm_departure_end[p]` is the
+    // finish time of the latest earlier plan step migrating *out of* p,
+    // which later arrivals at p must wait for.
+    let n_pms = initial.num_pms();
+    let mut pm_busy: Vec<Vec<f64>> = vec![Vec::new(); n_pms];
+    let mut pm_departure_end: Vec<f64> = vec![0.0; n_pms];
+    let mut migrations = Vec::with_capacity(steps.len());
+    let mut makespan: f64 = 0.0;
+    let mut sequential = 0.0;
+    let mut downtime = 0.0;
+    let mut transferred = 0.0;
+
+    for (vm, src, dst, mem) in steps {
+        let cost = migration_cost(mem, &model);
+        let dep = pm_departure_end[dst.0 as usize];
+        let stream_free = |busy: &mut Vec<f64>, at: f64| -> f64 {
+            busy.retain(|&e| e > at);
+            if (busy.len() as u32) < limits.streams_per_pm {
+                at
+            } else {
+                busy.iter().cloned().fold(f64::INFINITY, f64::min)
+            }
+        };
+        // Iterate until a start time satisfies both endpoints (the
+        // second endpoint's earliest slot can postpone the first's).
+        let mut start = dep;
+        loop {
+            let s1 = stream_free(&mut pm_busy[src.0 as usize], start);
+            let s2 = stream_free(&mut pm_busy[dst.0 as usize], s1);
+            if s2 <= s1 {
+                start = s1;
+                break;
+            }
+            start = s2;
+        }
+        let end = start + cost.total_secs();
+        pm_busy[src.0 as usize].push(end);
+        pm_busy[dst.0 as usize].push(end);
+        pm_departure_end[src.0 as usize] = pm_departure_end[src.0 as usize].max(end);
+        makespan = makespan.max(end);
+        sequential += cost.total_secs();
+        downtime += cost.downtime_ms;
+        transferred += cost.transferred_gib;
+        migrations.push(ScheduledMigration { vm, src, dst, start_secs: start, cost });
+    }
+
+    Ok(PlanSchedule {
+        migrations,
+        makespan_secs: makespan,
+        sequential_secs: sequential,
+        total_downtime_ms: downtime,
+        total_transferred_gib: transferred,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_mapping, ClusterConfig};
+
+    fn model() -> PrecopyModel {
+        PrecopyModel::default()
+    }
+
+    #[test]
+    fn small_vm_converges_fast() {
+        let c = migration_cost(4.0, &model());
+        assert!(c.converged);
+        assert!(c.rounds >= 2, "dirtying forces at least one re-copy round");
+        assert!(c.downtime_ms <= 20.0 + 1e-9, "threshold 0.05 GiB at 2.5 GiB/s = 20 ms");
+        assert!(c.transferred_gib >= 4.0);
+    }
+
+    #[test]
+    fn downtime_bounded_by_threshold_when_converged() {
+        let m = model();
+        for mem in [1.0, 8.0, 32.0, 176.0] {
+            let c = migration_cost(mem, &m);
+            if c.converged {
+                let bound_ms = m.stop_copy_threshold_gib / m.bandwidth_gib_s * 1e3;
+                assert!(
+                    c.downtime_ms <= bound_ms + 1e-9,
+                    "mem {mem}: downtime {} > bound {bound_ms}",
+                    c.downtime_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_writer_hits_round_cap() {
+        // Dirtying as fast as the link copies: residual stays at the hot
+        // cap and never converges.
+        let m = PrecopyModel {
+            dirty_rate_gib_s: 2.5,
+            hot_fraction: 0.5,
+            max_rounds: 5,
+            ..model()
+        };
+        let c = migration_cost(64.0, &m);
+        assert!(!c.converged);
+        assert_eq!(c.rounds, 5);
+        // Forced stop-and-copy moves the whole hot set.
+        assert!(c.downtime_ms > 1_000.0, "hot set 32 GiB at 2.5 GiB/s ≈ 12.8 s");
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let slow = PrecopyModel { bandwidth_gib_s: 1.0, ..model() };
+        let fast = PrecopyModel { bandwidth_gib_s: 4.0, ..model() };
+        for mem in [2.0, 16.0, 128.0] {
+            let cs = migration_cost(mem, &slow);
+            let cf = migration_cost(mem, &fast);
+            assert!(cf.total_secs() <= cs.total_secs() + 1e-9);
+            assert!(cf.downtime_ms <= cs.downtime_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_memory_is_free() {
+        let c = migration_cost(0.0, &model());
+        assert_eq!(c.transferred_gib, 0.0);
+        assert_eq!(c.downtime_ms, 0.0);
+        assert!(c.converged);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        assert!(PrecopyModel { bandwidth_gib_s: 0.0, ..model() }.validated().is_err());
+        assert!(PrecopyModel { hot_fraction: 1.5, ..model() }.validated().is_err());
+        assert!(PrecopyModel { dirty_rate_gib_s: -1.0, ..model() }.validated().is_err());
+        assert!(PrecopyModel { max_rounds: 0, ..model() }.validated().is_err());
+        assert!(model().validated().is_ok());
+    }
+
+    /// Builds a plan of up to `n` legal migrations on a tiny cluster.
+    fn plan_on(state: &ClusterState, n: usize) -> Vec<Action> {
+        let mut work = state.clone();
+        let mut plan = Vec::new();
+        'outer: for vm_idx in 0..work.num_vms() {
+            let vm = VmId(vm_idx as u32);
+            for pm_idx in 0..work.num_pms() {
+                let pm = PmId(pm_idx as u32);
+                if work.placement(vm).pm == pm {
+                    continue;
+                }
+                if work.migrate(vm, pm, DEFAULT_FRAGMENT_CORES).is_ok() {
+                    plan.push(Action { vm, pm });
+                    if plan.len() == n {
+                        break 'outer;
+                    }
+                    break;
+                }
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn schedule_bounds_hold() {
+        let state = generate_mapping(&ClusterConfig::tiny(), 9).unwrap();
+        let plan = plan_on(&state, 6);
+        assert!(plan.len() >= 3, "tiny cluster must admit a few migrations");
+        let sched = schedule_plan(&state, &plan, &model(), NicLimits::default()).unwrap();
+        assert_eq!(sched.migrations.len(), plan.len());
+        let longest = sched
+            .migrations
+            .iter()
+            .map(|m| m.cost.total_secs())
+            .fold(0.0, f64::max);
+        assert!(sched.makespan_secs >= longest - 1e-9);
+        assert!(sched.makespan_secs <= sched.sequential_secs + 1e-9);
+        assert!(sched.speedup() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn single_stream_serializes_shared_endpoints() {
+        let state = generate_mapping(&ClusterConfig::tiny(), 9).unwrap();
+        let plan = plan_on(&state, 6);
+        let tight = NicLimits { streams_per_pm: 1 };
+        let wide = NicLimits { streams_per_pm: 8 };
+        let s1 = schedule_plan(&state, &plan, &model(), tight).unwrap();
+        let s8 = schedule_plan(&state, &plan, &model(), wide).unwrap();
+        assert!(s8.makespan_secs <= s1.makespan_secs + 1e-9);
+        // Migrations sharing a PM never overlap under one stream.
+        for (i, a) in s1.migrations.iter().enumerate() {
+            for b in s1.migrations.iter().skip(i + 1) {
+                let shares = a.src == b.src || a.src == b.dst || a.dst == b.src || a.dst == b.dst;
+                if shares {
+                    let overlap = a.start_secs < b.end_secs() && b.start_secs < a.end_secs();
+                    assert!(!overlap, "{a:?} overlaps {b:?} despite sharing a PM");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_wait_for_earlier_departures() {
+        let state = generate_mapping(&ClusterConfig::tiny(), 9).unwrap();
+        let plan = plan_on(&state, 6);
+        let sched = schedule_plan(&state, &plan, &model(), NicLimits::default()).unwrap();
+        for (i, a) in sched.migrations.iter().enumerate() {
+            for b in sched.migrations.iter().skip(i + 1) {
+                if b.dst == a.src {
+                    assert!(
+                        b.start_secs >= a.end_secs() - 1e-9,
+                        "arrival {b:?} started before departure {a:?} freed its space"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Two arrivals at the same destination may overlap (wide NIC): the
+    /// capacity argument in the scheduler docs makes this safe.
+    #[test]
+    fn concurrent_arrivals_are_allowed() {
+        use crate::machine::{Placement, Pm, Vm};
+        use crate::types::{NumaPlacement, NumaPolicy};
+        let pms = vec![
+            Pm::symmetric(PmId(0), 44, 128),
+            Pm::symmetric(PmId(1), 44, 128),
+            Pm::symmetric(PmId(2), 44, 128),
+        ];
+        let vms = vec![
+            Vm { id: VmId(0), cpu: 8, mem: 16, numa: NumaPolicy::Single },
+            Vm { id: VmId(1), cpu: 8, mem: 16, numa: NumaPolicy::Single },
+        ];
+        let placements = vec![
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Single(0) },
+        ];
+        let state = ClusterState::new(pms, vms, placements).unwrap();
+        let plan = vec![
+            Action { vm: VmId(0), pm: PmId(2) },
+            Action { vm: VmId(1), pm: PmId(2) },
+        ];
+        let limits = NicLimits { streams_per_pm: 2 };
+        let sched = schedule_plan(&state, &plan, &model(), limits).unwrap();
+        assert_eq!(sched.migrations[0].start_secs, 0.0);
+        assert_eq!(
+            sched.migrations[1].start_secs, 0.0,
+            "independent arrivals at one PM must run concurrently with 2 streams"
+        );
+        assert!(sched.speedup() > 1.5);
+    }
+
+    #[test]
+    fn illegal_plan_is_rejected() {
+        let state = generate_mapping(&ClusterConfig::tiny(), 9).unwrap();
+        let bogus = PmId(state.num_pms() as u32);
+        let plan = [Action { vm: VmId(0), pm: bogus }];
+        let err = schedule_plan(&state, &plan, &model(), NicLimits::default());
+        assert!(err.is_err(), "migration to an unknown PM must be rejected");
+    }
+
+    #[test]
+    fn empty_plan_is_trivial() {
+        let state = generate_mapping(&ClusterConfig::tiny(), 9).unwrap();
+        let sched = schedule_plan(&state, &[], &model(), NicLimits::default()).unwrap();
+        assert_eq!(sched.makespan_secs, 0.0);
+        assert_eq!(sched.total_downtime_ms, 0.0);
+        assert!(sched.migrations.is_empty());
+    }
+}

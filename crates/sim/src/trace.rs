@@ -1,0 +1,175 @@
+//! Diurnal VM arrival/exit rate model (Fig. 1 of the paper).
+//!
+//! The paper motivates rescheduling with a 24-hour trace of VM churn: a
+//! continuous scheduling load with a pronounced diurnal swing and an
+//! off-peak window in the early morning where VMR runs. Real traces are
+//! proprietary, so this module provides a parametric generator with the
+//! same qualitative shape: a sinusoidal base rate plus Poisson noise.
+
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Minutes in a day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+
+/// Parametric diurnal rate model for VM arrivals and exits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    /// Mean arrivals per minute averaged over the day.
+    pub base_rate: f64,
+    /// Relative amplitude of the diurnal swing in `[0, 1)`.
+    pub amplitude: f64,
+    /// Minute of day at which load peaks (e.g. `14 * 60` for 2 pm).
+    pub peak_minute: u32,
+}
+
+impl Default for DiurnalModel {
+    fn default() -> Self {
+        // Shaped after Fig. 1: load peaks mid-afternoon, troughs ~4 am.
+        DiurnalModel { base_rate: 40.0, amplitude: 0.6, peak_minute: 14 * 60 }
+    }
+}
+
+impl DiurnalModel {
+    /// Instantaneous arrival rate (VMs/minute) at `minute` of the day.
+    pub fn rate_at(&self, minute: u32) -> f64 {
+        let phase = (minute % MINUTES_PER_DAY) as f64 / MINUTES_PER_DAY as f64;
+        let peak = self.peak_minute as f64 / MINUTES_PER_DAY as f64;
+        let cycle = ((phase - peak) * std::f64::consts::TAU).cos();
+        (self.base_rate * (1.0 + self.amplitude * cycle)).max(0.0)
+    }
+
+    /// The off-peak minute: where the rate is minimal (the red dot in
+    /// Fig. 1 — when data centers run VMR).
+    pub fn off_peak_minute(&self) -> u32 {
+        (self.peak_minute + MINUTES_PER_DAY / 2) % MINUTES_PER_DAY
+    }
+
+    /// Samples the number of arrivals in one minute.
+    pub fn sample_arrivals<R: Rng + ?Sized>(&self, minute: u32, rng: &mut R) -> u32 {
+        let rate = self.rate_at(minute);
+        if rate <= 0.0 {
+            return 0;
+        }
+        Poisson::new(rate).map(|p| p.sample(rng) as u32).unwrap_or(0)
+    }
+
+    /// Samples the number of exits in one minute given the current VM
+    /// population. Exits are proportional to population so that the
+    /// population is mean-reverting around `base_rate / exit_frac`.
+    pub fn sample_exits<R: Rng + ?Sized>(
+        &self,
+        minute: u32,
+        population: usize,
+        exit_frac: f64,
+        rng: &mut R,
+    ) -> u32 {
+        // Keep exits in phase with arrivals (busy hours churn more).
+        let phase_mult = self.rate_at(minute) / self.base_rate.max(1e-9);
+        let rate = population as f64 * exit_frac * phase_mult;
+        if rate <= 0.0 {
+            return 0;
+        }
+        let n = Poisson::new(rate).map(|p| p.sample(rng) as u32).unwrap_or(0);
+        n.min(population as u32)
+    }
+}
+
+/// One minute of churn in a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnMinute {
+    /// Minute of day in `[0, 1440)`.
+    pub minute: u32,
+    /// VMs that arrived during this minute.
+    pub arrivals: u32,
+    /// VMs that exited during this minute.
+    pub exits: u32,
+}
+
+/// Generates a full-day churn trace (the data behind Fig. 1).
+///
+/// `initial_population` seeds the exit process; `exit_frac` is the per-VM
+/// per-minute exit probability scale.
+pub fn generate_day_trace<R: Rng + ?Sized>(
+    model: &DiurnalModel,
+    initial_population: usize,
+    exit_frac: f64,
+    rng: &mut R,
+) -> Vec<ChurnMinute> {
+    let mut population = initial_population;
+    let mut out = Vec::with_capacity(MINUTES_PER_DAY as usize);
+    for minute in 0..MINUTES_PER_DAY {
+        let arrivals = model.sample_arrivals(minute, rng);
+        let exits = model.sample_exits(minute, population, exit_frac, rng);
+        population = population + arrivals as usize - exits as usize;
+        out.push(ChurnMinute { minute, arrivals, exits });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_peaks_at_peak_minute() {
+        let m = DiurnalModel::default();
+        let peak = m.rate_at(m.peak_minute);
+        let trough = m.rate_at(m.off_peak_minute());
+        assert!(peak > trough * 2.0, "diurnal swing too small: {peak} vs {trough}");
+        for minute in (0..MINUTES_PER_DAY).step_by(7) {
+            let r = m.rate_at(minute);
+            assert!(r <= peak + 1e-9 && r >= trough - 1e-9);
+        }
+    }
+
+    #[test]
+    fn off_peak_is_opposite_phase() {
+        let m = DiurnalModel { base_rate: 10.0, amplitude: 0.5, peak_minute: 840 };
+        assert_eq!(m.off_peak_minute(), (840 + 720) % 1440);
+    }
+
+    #[test]
+    fn day_trace_has_diurnal_shape() {
+        let m = DiurnalModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = generate_day_trace(&m, 2000, 0.01, &mut rng);
+        assert_eq!(trace.len(), MINUTES_PER_DAY as usize);
+        // Average arrivals in the peak 2-hour window should exceed the
+        // trough window by a wide margin.
+        let window = |center: u32| -> f64 {
+            let lo = center.saturating_sub(60);
+            let hi = (center + 60).min(MINUTES_PER_DAY - 1);
+            let slice: Vec<_> = trace
+                .iter()
+                .filter(|c| c.minute >= lo && c.minute <= hi)
+                .collect();
+            slice.iter().map(|c| c.arrivals as f64).sum::<f64>() / slice.len() as f64
+        };
+        let peak = window(m.peak_minute);
+        let trough = window(m.off_peak_minute());
+        assert!(peak > trough * 1.5, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn exits_never_exceed_population() {
+        let m = DiurnalModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let e = m.sample_exits(100, 5, 0.9, &mut rng);
+            assert!(e <= 5);
+        }
+        assert_eq!(m.sample_exits(0, 0, 0.5, &mut rng), 0);
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let m = DiurnalModel::default();
+        let t1 = generate_day_trace(&m, 500, 0.02, &mut StdRng::seed_from_u64(11));
+        let t2 = generate_day_trace(&m, 500, 0.02, &mut StdRng::seed_from_u64(11));
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fundamental identifiers, resource quantities, and the VM type table.
+//!
+//! The VM type table mirrors Table 1 of the paper: seven standard types from
+//! `large` (2 CPU / 4 GB, single NUMA) to `22xlarge` (88 CPU / 176 GB, double
+//! NUMA). CPU is measured in cores and memory in GiB, both as integral
+//! quantities, matching the paper's formulation where fragments are computed
+//! with integer modulo arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a virtual machine within one cluster mapping.
+///
+/// Ids are dense indices into [`crate::cluster::ClusterState`] vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+/// Identifier of a physical machine within one cluster mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PmId(pub u32);
+
+/// Index of a NUMA node within a PM. Every PM has exactly two NUMA nodes
+/// (indices 0 and 1), as in the paper's formulation.
+pub type NumaIdx = usize;
+
+/// Number of NUMA nodes per PM. Fixed at two per the paper (§2.1).
+pub const NUMA_PER_PM: usize = 2;
+
+/// How a VM occupies NUMA nodes on its host PM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumaPlacement {
+    /// The VM occupies a single NUMA node (index 0 or 1).
+    Single(u8),
+    /// The VM is split evenly across both NUMA nodes of the PM.
+    Double,
+}
+
+impl NumaPlacement {
+    /// Number of NUMA nodes the placement uses.
+    #[inline]
+    pub fn numa_count(self) -> u32 {
+        match self {
+            NumaPlacement::Single(_) => 1,
+            NumaPlacement::Double => 2,
+        }
+    }
+
+    /// Whether the placement touches NUMA node `j`.
+    #[inline]
+    pub fn uses_numa(self, j: NumaIdx) -> bool {
+        match self {
+            NumaPlacement::Single(n) => n as usize == j,
+            NumaPlacement::Double => true,
+        }
+    }
+}
+
+/// Deployment policy required by a VM type: single or double NUMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumaPolicy {
+    /// Must occupy exactly one NUMA node.
+    Single,
+    /// Must occupy both NUMA nodes of one PM (Eq. 6 of the paper).
+    Double,
+}
+
+impl NumaPolicy {
+    /// `w_k` in the paper: the number of NUMA nodes the VM deploys on.
+    #[inline]
+    pub fn numa_count(self) -> u32 {
+        match self {
+            NumaPolicy::Single => 1,
+            NumaPolicy::Double => 2,
+        }
+    }
+}
+
+/// Static description of a VM flavor (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmTypeSpec {
+    /// Human-readable flavor name, e.g. `"4xlarge"`.
+    pub name: &'static str,
+    /// Total requested CPU cores (`u_k`).
+    pub cpu: u32,
+    /// Total requested memory in GiB (`v_k`).
+    pub mem: u32,
+    /// Whether the flavor deploys on one or two NUMA nodes (`w_k`).
+    pub numa: NumaPolicy,
+}
+
+impl VmTypeSpec {
+    /// CPU demanded from each NUMA node the VM lands on.
+    #[inline]
+    pub fn cpu_per_numa(&self) -> u32 {
+        self.cpu / self.numa.numa_count()
+    }
+
+    /// Memory demanded from each NUMA node the VM lands on.
+    #[inline]
+    pub fn mem_per_numa(&self) -> u32 {
+        self.mem / self.numa.numa_count()
+    }
+}
+
+/// Table 1 of the paper: the seven standard VM types used in the main
+/// experiments. All keep a CPU:memory ratio of 1:2.
+pub const STANDARD_VM_TYPES: [VmTypeSpec; 7] = [
+    VmTypeSpec { name: "large", cpu: 2, mem: 4, numa: NumaPolicy::Single },
+    VmTypeSpec { name: "xlarge", cpu: 4, mem: 8, numa: NumaPolicy::Single },
+    VmTypeSpec { name: "2xlarge", cpu: 8, mem: 16, numa: NumaPolicy::Single },
+    VmTypeSpec { name: "4xlarge", cpu: 16, mem: 32, numa: NumaPolicy::Single },
+    VmTypeSpec { name: "8xlarge", cpu: 32, mem: 64, numa: NumaPolicy::Double },
+    VmTypeSpec { name: "16xlarge", cpu: 64, mem: 128, numa: NumaPolicy::Double },
+    VmTypeSpec { name: "22xlarge", cpu: 88, mem: 176, numa: NumaPolicy::Double },
+];
+
+/// Looks up a standard VM type by name. Returns `None` for unknown flavors.
+pub fn vm_type_by_name(name: &str) -> Option<&'static VmTypeSpec> {
+    STANDARD_VM_TYPES.iter().find(|t| t.name == name)
+}
+
+/// The default fragment granularity: the paper optimizes the 16-core
+/// fragment rate because 16-core (`4xlarge`) is ByteDance's default
+/// development-machine flavor.
+pub const DEFAULT_FRAGMENT_CORES: u32 = 16;
+
+/// Reward rescaling constant `c` from Eq. 8 of the paper.
+pub const REWARD_SCALE: f64 = 64.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(STANDARD_VM_TYPES.len(), 7);
+        let xl = vm_type_by_name("4xlarge").unwrap();
+        assert_eq!(xl.cpu, 16);
+        assert_eq!(xl.mem, 32);
+        assert_eq!(xl.numa, NumaPolicy::Single);
+        let big = vm_type_by_name("16xlarge").unwrap();
+        assert_eq!(big.cpu, 64);
+        assert_eq!(big.numa, NumaPolicy::Double);
+        // All standard types keep the 1:2 cpu:mem ratio.
+        for t in &STANDARD_VM_TYPES {
+            assert_eq!(t.mem, 2 * t.cpu, "{} breaks the 1:2 ratio", t.name);
+        }
+    }
+
+    #[test]
+    fn per_numa_demand_splits_double_deployments() {
+        let t = vm_type_by_name("8xlarge").unwrap();
+        assert_eq!(t.cpu_per_numa(), 16);
+        assert_eq!(t.mem_per_numa(), 32);
+        let s = vm_type_by_name("large").unwrap();
+        assert_eq!(s.cpu_per_numa(), 2);
+        assert_eq!(s.mem_per_numa(), 4);
+    }
+
+    #[test]
+    fn numa_placement_helpers() {
+        assert!(NumaPlacement::Single(0).uses_numa(0));
+        assert!(!NumaPlacement::Single(0).uses_numa(1));
+        assert!(NumaPlacement::Double.uses_numa(0));
+        assert!(NumaPlacement::Double.uses_numa(1));
+        assert_eq!(NumaPlacement::Single(1).numa_count(), 1);
+        assert_eq!(NumaPlacement::Double.numa_count(), 2);
+    }
+
+    #[test]
+    fn unknown_type_is_none() {
+        assert!(vm_type_by_name("gigantic").is_none());
+    }
+}

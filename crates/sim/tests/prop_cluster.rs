@@ -1,0 +1,248 @@
+//! Property-based tests of the cluster substrate: under arbitrary legal
+//! migration sequences, resource accounting stays exact, undo restores
+//! state, and the dense reward telescopes to the global fragment drop.
+
+use proptest::prelude::*;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+use vmr_sim::env::{Action, ReschedEnv};
+use vmr_sim::objective::Objective;
+use vmr_sim::types::{PmId, VmId, REWARD_SCALE};
+
+fn cluster(seed: u64) -> ClusterState {
+    let cfg = ClusterConfig {
+        pm_groups: vec![PmGroup { count: 5, cpu_per_numa: 44, mem_per_numa: 128 }],
+        churn_cycles: 30,
+        ..ClusterConfig::tiny()
+    };
+    generate_mapping(&cfg, seed).expect("mapping")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Applying any sequence of (possibly illegal) migration attempts
+    /// keeps the audit invariants: usage equals the sum of placements and
+    /// nothing is oversubscribed. Illegal attempts must leave state
+    /// untouched.
+    #[test]
+    fn migrations_preserve_invariants(
+        seed in 0u64..20,
+        moves in prop::collection::vec((0u32..60, 0u32..5), 1..25),
+    ) {
+        let mut state = cluster(seed);
+        let n_vms = state.num_vms() as u32;
+        for (vm_raw, pm_raw) in moves {
+            let vm = VmId(vm_raw % n_vms);
+            let pm = PmId(pm_raw);
+            let before = state.clone();
+            match state.migrate(vm, pm, 16) {
+                Ok(_) => {}
+                Err(_) => prop_assert_eq!(&state, &before, "failed migrate mutated state"),
+            }
+            state.audit().expect("invariants violated");
+        }
+        let fr = state.fragment_rate(16);
+        prop_assert!((0.0..=1.0).contains(&fr));
+    }
+
+    /// Undo after a successful migration restores the exact prior state.
+    #[test]
+    fn undo_is_exact_inverse(
+        seed in 0u64..20,
+        vm_raw in 0u32..60,
+        pm_raw in 0u32..5,
+    ) {
+        let mut state = cluster(seed);
+        let vm = VmId(vm_raw % state.num_vms() as u32);
+        let pm = PmId(pm_raw);
+        let before = state.clone();
+        if let Ok(rec) = state.migrate(vm, pm, 16) {
+            state.undo(&rec).expect("undo");
+            // The reverse index is an unordered set; compare semantics.
+            prop_assert_eq!(state.placements(), before.placements());
+            prop_assert_eq!(state.pms(), before.pms());
+            state.audit().expect("invariants");
+        }
+    }
+
+    /// Episode rewards telescope: the sum of dense rewards equals the
+    /// total drop in fragment mass divided by the reward scale (Eq. 8-9).
+    #[test]
+    fn rewards_telescope_to_objective_drop(
+        seed in 0u64..20,
+        moves in prop::collection::vec((0u32..60, 0u32..5), 1..12),
+    ) {
+        let initial = cluster(seed);
+        let frag_before = initial.total_cpu_fragment(16) as f64;
+        let mut env = ReschedEnv::unconstrained(initial, Objective::default(), 64).expect("env");
+        let mut total_reward = 0.0;
+        for (vm_raw, pm_raw) in moves {
+            let vm = VmId(vm_raw % env.state().num_vms() as u32);
+            let action = Action { vm, pm: PmId(pm_raw) };
+            if let Ok(out) = env.step(action) {
+                total_reward += out.reward;
+            }
+        }
+        let frag_after = env.state().total_cpu_fragment(16) as f64;
+        prop_assert!(
+            (total_reward - (frag_before - frag_after) / REWARD_SCALE).abs() < 1e-9,
+            "sum of rewards {} vs fragment drop {}",
+            total_reward,
+            (frag_before - frag_after) / REWARD_SCALE
+        );
+    }
+
+    /// Arbitrary interleavings of migrations and swaps keep the audit
+    /// invariants, and failed swaps never mutate state.
+    #[test]
+    fn swaps_preserve_invariants(
+        seed in 0u64..20,
+        ops in prop::collection::vec((0u32..60, 0u32..60, prop::bool::ANY), 1..20),
+    ) {
+        let mut state = cluster(seed);
+        let n_vms = state.num_vms() as u32;
+        for (x, y, is_swap) in ops {
+            let a = VmId(x % n_vms);
+            let before = state.clone();
+            let result = if is_swap {
+                state.swap(a, VmId(y % n_vms), 16).map(|_| ())
+            } else {
+                state.migrate(a, PmId(y % 5), 16).map(|_| ())
+            };
+            if result.is_err() {
+                prop_assert_eq!(&state, &before, "failed op mutated state");
+            }
+            state.audit().expect("invariants violated");
+        }
+    }
+
+    /// Undo after a successful swap restores the exact prior state.
+    #[test]
+    fn swap_undo_is_exact_inverse(
+        seed in 0u64..20,
+        x in 0u32..60,
+        y in 0u32..60,
+    ) {
+        let mut state = cluster(seed);
+        let n_vms = state.num_vms() as u32;
+        let (a, b) = (VmId(x % n_vms), VmId(y % n_vms));
+        let before = state.clone();
+        if let Ok(rec) = state.swap(a, b, 16) {
+            prop_assert_eq!(state.placement(a).pm, before.placement(b).pm);
+            prop_assert_eq!(state.placement(b).pm, before.placement(a).pm);
+            state.undo_swap(&rec).expect("undo swap");
+            prop_assert_eq!(state.placements(), before.placements());
+            prop_assert_eq!(state.pms(), before.pms());
+            state.audit().expect("invariants");
+        }
+    }
+
+    /// Every VMS policy returns only feasible slots, and a cluster filled
+    /// under any policy passes the audit.
+    #[test]
+    fn scheduler_policies_produce_feasible_placements(
+        seed in 0u64..10,
+        arrivals in prop::collection::vec((0usize..7, 0usize..4), 1..30),
+    ) {
+        use vmr_sim::dynamics::DynamicCluster;
+        use vmr_sim::scheduler::VmsPolicy;
+        use vmr_sim::types::STANDARD_VM_TYPES;
+        use rand::SeedableRng;
+
+        let base = cluster(seed);
+        let mut d = DynamicCluster::from_state(&base);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for (flavor_idx, policy_idx) in arrivals {
+            let flavor = STANDARD_VM_TYPES[flavor_idx % STANDARD_VM_TYPES.len()];
+            let policy = VmsPolicy::ALL[policy_idx % VmsPolicy::ALL.len()];
+            let _ = d.arrival_with_policy(flavor.cpu, flavor.mem, flavor.numa, policy, &mut rng);
+        }
+        let frozen = d.freeze().expect("freeze");
+        frozen.audit().expect("audit after policy arrivals");
+    }
+
+    /// Pre-copy migration cost is monotone in memory size and bounded by
+    /// the stop-copy threshold when converged.
+    #[test]
+    fn migration_cost_is_monotone_and_bounded(
+        mem_a in 0.0f64..256.0,
+        mem_b in 0.0f64..256.0,
+        bandwidth in 0.5f64..16.0,
+        dirty in 0.0f64..4.0,
+    ) {
+        use vmr_sim::migration::{migration_cost, PrecopyModel};
+        let model = PrecopyModel {
+            bandwidth_gib_s: bandwidth,
+            dirty_rate_gib_s: dirty,
+            ..PrecopyModel::default()
+        };
+        let (lo, hi) = if mem_a <= mem_b { (mem_a, mem_b) } else { (mem_b, mem_a) };
+        let c_lo = migration_cost(lo, &model);
+        let c_hi = migration_cost(hi, &model);
+        prop_assert!(c_hi.transferred_gib >= c_lo.transferred_gib - 1e-9);
+        prop_assert!(c_hi.precopy_secs >= c_lo.precopy_secs - 1e-9);
+        for c in [c_lo, c_hi] {
+            prop_assert!(c.rounds >= 1 && c.rounds <= model.max_rounds);
+            if c.converged {
+                let bound_ms = model.stop_copy_threshold_gib / model.bandwidth_gib_s * 1e3;
+                prop_assert!(c.downtime_ms <= bound_ms + 1e-9);
+            }
+        }
+    }
+
+    /// Plan scheduling respects its bounds for arbitrary legal plans:
+    /// max individual duration ≤ makespan ≤ sequential sum.
+    #[test]
+    fn schedule_plan_bounds(seed in 0u64..10, len in 1usize..10, streams in 1u32..5) {
+        use vmr_sim::migration::{schedule_plan, NicLimits, PrecopyModel};
+        let state = cluster(seed);
+        // Deterministically build up to `len` legal migrations.
+        let mut work = state.clone();
+        let mut plan = Vec::new();
+        'fill: for k in 0..work.num_vms() {
+            for i in 0..work.num_pms() {
+                let (vm, pm) = (VmId(k as u32), PmId(i as u32));
+                if work.placement(vm).pm != pm && work.migrate(vm, pm, 16).is_ok() {
+                    plan.push(Action { vm, pm });
+                    if plan.len() == len {
+                        break 'fill;
+                    }
+                    break;
+                }
+            }
+        }
+        prop_assume!(!plan.is_empty());
+        let sched = schedule_plan(
+            &state,
+            &plan,
+            &PrecopyModel::default(),
+            NicLimits { streams_per_pm: streams },
+        ).expect("schedulable");
+        let longest = sched.migrations.iter().map(|m| m.cost.total_secs()).fold(0.0, f64::max);
+        prop_assert!(sched.makespan_secs >= longest - 1e-9);
+        prop_assert!(sched.makespan_secs <= sched.sequential_secs + 1e-9);
+        prop_assert!(sched.total_downtime_ms >= 0.0);
+    }
+
+    /// The stage-2 PM mask agrees with actual migration legality for
+    /// every (vm, pm) pair, including under anti-affinity.
+    #[test]
+    fn masks_agree_with_legality(seed in 0u64..10, conflict_pairs in prop::collection::vec((0u32..40, 0u32..40), 0..6)) {
+        let state = cluster(seed);
+        let mut cs = ConstraintSet::new(state.num_vms());
+        let n_vms = state.num_vms() as u32;
+        for (a, b) in conflict_pairs {
+            cs.add_conflict(VmId(a % n_vms), VmId(b % n_vms)).expect("in range");
+        }
+        for k in (0..state.num_vms()).step_by(7) {
+            let vm = VmId(k as u32);
+            let mask = cs.pm_mask(&state, vm);
+            for (i, &ok) in mask.iter().enumerate() {
+                let legal = cs.migration_legal(&state, vm, PmId(i as u32)).is_ok();
+                prop_assert_eq!(ok, legal, "mask mismatch at vm {} pm {}", k, i);
+            }
+        }
+    }
+}

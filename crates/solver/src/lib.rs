@@ -1,0 +1,28 @@
+//! # vmr-solver — exact and approximate solvers for VM rescheduling
+//!
+//! The optimization-algorithm side of the paper's baseline spectrum:
+//!
+//! * [`simplex`] — a dense two-phase simplex LP solver (the in-repo stand-in
+//!   for the LP machinery inside commercial MIP solvers),
+//! * [`bnb`] — branch-and-bound over migration sequences with an admissible
+//!   fragment bound, a deadline, and optional beam capping: the "MIP"
+//!   baseline (exact when run without budgets; anytime otherwise),
+//! * [`pop`] — Partitioned Optimization Problems: random subclustering +
+//!   per-partition exact solving (the production baseline at ByteDance),
+//! * [`lp_bound`] — the LP relaxation of Eq. 1–7, used to certify solver
+//!   quality on small instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bnb;
+pub mod lp_bound;
+pub mod pop;
+pub mod simplex;
+
+pub use bnb::{
+    branch_and_bound, branch_and_bound_warmstart, max_gain_per_move, SolveResult, SolverConfig,
+};
+pub use lp_bound::fragment_rate_lower_bound;
+pub use pop::{extract_subcluster, pop_solve, PopConfig, SubCluster};
+pub use simplex::{Direction, LinearProgram, LpOutcome, Sense};

@@ -1,0 +1,187 @@
+//! LP relaxation of the paper's MIP (Eq. 1–7) for lower bounds.
+//!
+//! Observation: because Eq. 4 forces every VM to be fully placed,
+//! `Σ_{i,j,k} x_{k,i,j}·u_k/w_k` is a constant, and minimizing the total
+//! X-core fragment (Eq. 1) is equivalent to **maximizing `Σ_{i,j} y_{i,j}`**
+//! — the number of X-core slots carved out of the free capacity. Relaxing
+//! the integrality of `x` and `y` yields a linear program whose optimum
+//! lower-bounds the fragment rate achievable by *any* rescheduler under
+//! the MNL budget, which the tests use to sanity-check branch-and-bound.
+//!
+//! Only the default single-NUMA FR objective is modeled; this is a
+//! verification instrument for small instances, not a production solver.
+
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::types::{NumaPlacement, NumaPolicy, PmId, NUMA_PER_PM};
+
+use crate::simplex::{Direction, LinearProgram, LpOutcome, Sense};
+
+/// Computes an LP lower bound on the X-core fragment *rate* reachable
+/// within `mnl` migrations. Returns `None` if the LP is infeasible or
+/// unbounded (which indicates a modeling bug; callers should treat it as
+/// "no bound available").
+pub fn fragment_rate_lower_bound(state: &ClusterState, x_cores: u32, mnl: usize) -> Option<f64> {
+    let n = state.num_pms();
+    let m = state.num_vms();
+
+    // Variable layout:
+    //   single-NUMA VM k -> 2N vars (one per (pm, numa))
+    //   double-NUMA VM k -> N vars (one per pm; occupies both NUMAs)
+    //   y -> 2N vars
+    let mut var_of_vm: Vec<usize> = Vec::with_capacity(m); // first var index of VM k
+    let mut next = 0usize;
+    for vm in state.vms() {
+        var_of_vm.push(next);
+        next += match vm.numa {
+            NumaPolicy::Single => 2 * n,
+            NumaPolicy::Double => n,
+        };
+    }
+    let y_base = next;
+    let total_vars = y_base + 2 * n;
+
+    let mut lp = LinearProgram::new(total_vars, Direction::Maximize);
+    for j in 0..2 * n {
+        lp.set_objective(y_base + j, 1.0);
+    }
+
+    // Capacity constraints per (pm, numa).
+    for i in 0..n {
+        let pm = state.pm(PmId(i as u32));
+        for j in 0..NUMA_PER_PM {
+            let mut cpu_row: Vec<(usize, f64)> = Vec::new();
+            let mut mem_row: Vec<(usize, f64)> = Vec::new();
+            for (k, vm) in state.vms().iter().enumerate() {
+                match vm.numa {
+                    NumaPolicy::Single => {
+                        let v = var_of_vm[k] + 2 * i + j;
+                        cpu_row.push((v, vm.cpu_per_numa() as f64));
+                        mem_row.push((v, vm.mem_per_numa() as f64));
+                    }
+                    NumaPolicy::Double => {
+                        let v = var_of_vm[k] + i;
+                        cpu_row.push((v, vm.cpu_per_numa() as f64));
+                        mem_row.push((v, vm.mem_per_numa() as f64));
+                    }
+                }
+            }
+            cpu_row.push((y_base + 2 * i + j, x_cores as f64));
+            lp.add_constraint(cpu_row, Sense::Le, pm.numas[j].cpu_total as f64);
+            lp.add_constraint(mem_row, Sense::Le, pm.numas[j].mem_total as f64);
+        }
+    }
+
+    // Full placement of every VM.
+    for (k, vm) in state.vms().iter().enumerate() {
+        let width = match vm.numa {
+            NumaPolicy::Single => 2 * n,
+            NumaPolicy::Double => n,
+        };
+        let row: Vec<(usize, f64)> = (0..width).map(|o| (var_of_vm[k] + o, 1.0)).collect();
+        lp.add_constraint(row, Sense::Eq, 1.0);
+    }
+
+    // MNL: at least M − MNL VMs stay on their original slot.
+    if mnl < m {
+        let mut row = Vec::with_capacity(m);
+        for (k, _) in state.vms().iter().enumerate() {
+            let pl = state.placement(vmr_sim::types::VmId(k as u32));
+            let var = match pl.numa {
+                NumaPlacement::Single(numa) => var_of_vm[k] + 2 * pl.pm.0 as usize + numa as usize,
+                NumaPlacement::Double => var_of_vm[k] + pl.pm.0 as usize,
+            };
+            row.push((var, 1.0));
+        }
+        lp.add_constraint(row, Sense::Ge, (m - mnl) as f64);
+    }
+
+    match lp.solve() {
+        LpOutcome::Optimal { objective, .. } => {
+            let free = state.total_free_cpu() as f64;
+            if free <= 0.0 {
+                return Some(0.0);
+            }
+            let frag_lb = (free - (x_cores as f64) * objective).max(0.0);
+            Some(frag_lb / free)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use vmr_sim::constraints::ConstraintSet;
+    use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+    use vmr_sim::objective::Objective;
+
+    use crate::bnb::{branch_and_bound, SolverConfig};
+
+    fn tiny(seed: u64) -> ClusterState {
+        let cfg = ClusterConfig {
+            pm_groups: vec![PmGroup { count: 3, cpu_per_numa: 44, mem_per_numa: 128 }],
+            ..ClusterConfig::tiny()
+        };
+        generate_mapping(&cfg, seed).unwrap()
+    }
+
+    #[test]
+    fn bound_is_below_initial_fr() {
+        let s = tiny(4);
+        let lb = fragment_rate_lower_bound(&s, 16, 5).expect("lp solvable");
+        assert!(lb <= s.fragment_rate(16) + 1e-9, "lb {lb} above initial");
+        assert!(lb >= 0.0);
+    }
+
+    #[test]
+    fn bound_lower_bounds_bnb() {
+        let s = tiny(5);
+        let lb = fragment_rate_lower_bound(&s, 16, 3).expect("lp solvable");
+        let cs = ConstraintSet::new(s.num_vms());
+        let res = branch_and_bound(
+            &s,
+            &cs,
+            Objective::default(),
+            3,
+            &SolverConfig {
+                time_limit: Duration::from_secs(2),
+                beam_width: Some(24),
+                ..Default::default()
+            },
+        );
+        assert!(
+            res.objective >= lb - 1e-6,
+            "bnb {} beats the LP bound {lb}",
+            res.objective
+        );
+    }
+
+    #[test]
+    fn zero_mnl_bound_matches_initial_state_possibilities() {
+        let s = tiny(6);
+        // With MNL = 0 every VM stays put; the only freedom is the
+        // fractional y, so the bound equals the true current FR.
+        let lb = fragment_rate_lower_bound(&s, 16, 0).expect("lp solvable");
+        assert!(lb <= s.fragment_rate(16) + 1e-9);
+        // And the bound is tight up to integrality of y: the relaxation can
+        // only over-count usable slots, never under-count.
+        let free = s.total_free_cpu() as f64;
+        let y_int: u64 = s
+            .pms()
+            .iter()
+            .flat_map(|p| p.numas.iter())
+            .map(|nn| (nn.free_cpu() / 16) as u64)
+            .sum();
+        let fr_int = (free - 16.0 * y_int as f64) / free;
+        assert!(lb <= fr_int + 1e-9);
+    }
+
+    #[test]
+    fn larger_mnl_never_raises_bound() {
+        let s = tiny(7);
+        let lb1 = fragment_rate_lower_bound(&s, 16, 1).unwrap();
+        let lb5 = fragment_rate_lower_bound(&s, 16, 5).unwrap();
+        assert!(lb5 <= lb1 + 1e-9);
+    }
+}

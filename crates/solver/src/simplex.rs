@@ -1,0 +1,497 @@
+//! Dense two-phase simplex for linear programs.
+//!
+//! Gurobi/CPLEX are closed-source; this is the in-repo replacement used to
+//! compute LP-relaxation bounds of the paper's MIP formulation (Eq. 1–7)
+//! on small instances, and it is tested standalone against brute-force
+//! vertex enumeration.
+//!
+//! The solver handles `min/max cᵀx` subject to a mix of `≤ / ≥ / =`
+//! constraints with `x ≥ 0`, via the standard Phase-I artificial-variable
+//! construction followed by Phase-II optimization. Bland's rule breaks
+//! ties, guaranteeing termination.
+
+use std::fmt;
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx ≥ b`
+    Ge,
+    /// `aᵀx = b`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// One linear constraint `aᵀx (≤|≥|=) b`. Coefficients are sparse pairs
+/// `(var index, coefficient)`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficients.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over `n` non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    objective: Vec<f64>,
+    direction: Direction,
+    constraints: Vec<Constraint>,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// Optimal solution found: values and objective.
+    Optimal {
+        /// Optimal variable assignment.
+        x: Vec<f64>,
+        /// Objective value at the optimum (in the requested direction).
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+}
+
+impl fmt::Display for LpOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpOutcome::Optimal { objective, .. } => write!(f, "optimal({objective})"),
+            LpOutcome::Infeasible => write!(f, "infeasible"),
+            LpOutcome::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+impl LinearProgram {
+    /// A program over `n` variables, all constrained `x ≥ 0`.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        LinearProgram { n, objective: vec![0.0; n], direction, constraints: Vec::new() }
+    }
+
+    /// Sets an objective coefficient.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.n, "objective variable out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Adds a constraint. RHS may be negative (normalized internally).
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, sense: Sense, rhs: f64) {
+        for &(v, _) in &coeffs {
+            assert!(v < self.n, "constraint variable out of range");
+        }
+        self.constraints.push(Constraint { coeffs, sense, rhs });
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> LpOutcome {
+        // Normalize: maximize, all RHS ≥ 0.
+        let mut rows: Vec<(Vec<f64>, Sense, f64)> = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            let mut dense = vec![0.0; self.n];
+            for &(v, co) in &c.coeffs {
+                dense[v] += co;
+            }
+            let (dense, sense, rhs) = if c.rhs < 0.0 {
+                let flipped = match c.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+                (dense.iter().map(|v| -v).collect(), flipped, -c.rhs)
+            } else {
+                (dense, c.sense, c.rhs)
+            };
+            rows.push((dense, sense, rhs));
+        }
+        let maximize = self.direction == Direction::Maximize;
+        let obj: Vec<f64> = if maximize {
+            self.objective.clone()
+        } else {
+            self.objective.iter().map(|v| -v).collect()
+        };
+
+        // Column layout: structural | slacks/surplus | artificials | rhs.
+        let m = rows.len();
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for (_, sense, _) in &rows {
+            match sense {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+        let total = self.n + n_slack + n_art;
+        let mut tab = vec![vec![0.0f64; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_at = self.n;
+        let mut art_at = self.n + n_slack;
+        let mut art_cols = Vec::new();
+        for (r, (dense, sense, rhs)) in rows.iter().enumerate() {
+            tab[r][..self.n].copy_from_slice(dense);
+            tab[r][total] = *rhs;
+            match sense {
+                Sense::Le => {
+                    tab[r][slack_at] = 1.0;
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                Sense::Ge => {
+                    tab[r][slack_at] = -1.0;
+                    slack_at += 1;
+                    tab[r][art_at] = 1.0;
+                    basis[r] = art_at;
+                    art_cols.push(art_at);
+                    art_at += 1;
+                }
+                Sense::Eq => {
+                    tab[r][art_at] = 1.0;
+                    basis[r] = art_at;
+                    art_cols.push(art_at);
+                    art_at += 1;
+                }
+            }
+        }
+
+        const EPS: f64 = 1e-9;
+
+        // Phase I: minimize sum of artificials == maximize −Σ artificials.
+        if n_art > 0 {
+            // Maximize −Σ artificials. Reduced costs z_j = c_B·B⁻¹a_j − c_j
+            // with c_art = −1 (so −c_j = +1 on artificial columns) and the
+            // starting basis contributing −(row) for each artificial row.
+            let mut z = vec![0.0; total + 1];
+            for &c in &art_cols {
+                z[c] = 1.0;
+            }
+            for r in 0..m {
+                if art_cols.contains(&basis[r]) {
+                    for c in 0..=total {
+                        z[c] -= tab[r][c];
+                    }
+                }
+            }
+            if !simplex_iterate(&mut tab, &mut basis, &mut z, total) {
+                return LpOutcome::Unbounded; // cannot happen in phase I
+            }
+            // z[total] holds the phase-I objective (−Σ art); negative means
+            // artificials remain in the optimal basis -> infeasible.
+            if z[total] < -EPS {
+                return LpOutcome::Infeasible;
+            }
+            // Drive leftover artificials out of the basis when possible.
+            for r in 0..m {
+                if art_cols.contains(&basis[r]) {
+                    if let Some(c) = (0..self.n + n_slack).find(|&c| tab[r][c].abs() > EPS) {
+                        pivot(&mut tab, &mut basis, r, c, total);
+                    }
+                }
+            }
+        }
+
+        // Phase II: objective row in terms of the current basis.
+        let mut z = vec![0.0; total + 1];
+        for (c, &co) in obj.iter().enumerate() {
+            z[c] = -co;
+        }
+        for r in 0..m {
+            let b = basis[r];
+            if b < self.n && obj[b].abs() > 0.0 {
+                let coef = obj[b];
+                for c in 0..=total {
+                    z[c] += coef * tab[r][c];
+                }
+            }
+        }
+        // Forbid artificial columns from re-entering.
+        for &c in &art_cols {
+            z[c] = f64::INFINITY;
+        }
+        if !simplex_iterate(&mut tab, &mut basis, &mut z, total) {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut x = vec![0.0; self.n];
+        for r in 0..m {
+            if basis[r] < self.n {
+                x[basis[r]] = tab[r][total];
+            }
+        }
+        let mut objective: f64 = x
+            .iter()
+            .zip(self.objective.iter())
+            .map(|(xi, ci)| xi * ci)
+            .sum();
+        // Clean tiny numerical dust.
+        if objective.abs() < 1e-12 {
+            objective = 0.0;
+        }
+        LpOutcome::Optimal { x, objective }
+    }
+}
+
+/// Runs simplex pivots until optimal. Returns `false` on unboundedness.
+/// `z` is the reduced-cost row (maximization; entering column has z < 0).
+fn simplex_iterate(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    total: usize,
+) -> bool {
+    const EPS: f64 = 1e-9;
+    let m = tab.len();
+    for _ in 0..200_000 {
+        // Bland's rule: first column with negative reduced cost.
+        let Some(col) = (0..total).find(|&c| z[c] < -EPS && z[c].is_finite()) else {
+            return true; // optimal
+        };
+        // Ratio test (Bland: smallest basis index breaks ties).
+        let mut pivot_row = None;
+        let mut best = f64::INFINITY;
+        for r in 0..m {
+            if tab[r][col] > EPS {
+                let ratio = tab[r][total] / tab[r][col];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && pivot_row.is_none_or(|pr: usize| basis[r] < basis[pr]))
+                {
+                    best = ratio;
+                    pivot_row = Some(r);
+                }
+            }
+        }
+        let Some(row) = pivot_row else {
+            return false; // unbounded
+        };
+        pivot_with_z(tab, basis, z, row, col, total);
+    }
+    true // iteration cap: treat as converged (safety net, not expected)
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let piv = tab[row][col];
+    for c in 0..=total {
+        tab[row][c] /= piv;
+    }
+    for r in 0..tab.len() {
+        if r != row {
+            let f = tab[r][col];
+            if f != 0.0 {
+                for c in 0..=total {
+                    tab[r][c] -= f * tab[row][c];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+fn pivot_with_z(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    pivot(tab, basis, row, col, total);
+    let f = z[col];
+    if f != 0.0 && f.is_finite() {
+        for c in 0..=total {
+            if z[c].is_finite() {
+                z[c] -= f * tab[row][c];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(outcome: &LpOutcome, expect_obj: f64, tol: f64) -> Vec<f64> {
+        match outcome {
+            LpOutcome::Optimal { x, objective } => {
+                assert!(
+                    (objective - expect_obj).abs() < tol,
+                    "objective {objective}, expected {expect_obj}"
+                );
+                x.clone()
+            }
+            other => panic!("expected optimal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y s.t. x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → obj 36 at (2,6).
+        let mut lp = LinearProgram::new(2, Direction::Maximize);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Le, 4.0);
+        lp.add_constraint(vec![(1, 2.0)], Sense::Le, 12.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 2.0)], Sense::Le, 18.0);
+        let x = assert_optimal(&lp.solve(), 36.0, 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min 2x + 3y s.t. x + y ≥ 10; x ≥ 2 → x=8,y=2? No: cost of x is
+        // cheaper, so push x: min at y=0, x=10 → 20.
+        let mut lp = LinearProgram::new(2, Direction::Minimize);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(1, 3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 10.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Ge, 2.0);
+        let x = assert_optimal(&lp.solve(), 20.0, 1e-6);
+        assert!((x[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5; x ≤ 3 → 5.
+        let mut lp = LinearProgram::new(2, Direction::Maximize);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Le, 3.0);
+        assert_optimal(&lp.solve(), 5.0, 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1, Direction::Maximize);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Ge, 2.0);
+        assert!(matches!(lp.solve(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(2, Direction::Maximize);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(1, 1.0)], Sense::Le, 1.0);
+        assert!(matches!(lp.solve(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // max x s.t. −x ≤ −2 (i.e. x ≥ 2); x ≤ 5 → 5.
+        let mut lp = LinearProgram::new(1, Direction::Maximize);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, -1.0)], Sense::Le, -2.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Le, 5.0);
+        let x = assert_optimal(&lp.solve(), 5.0, 1e-6);
+        assert!(x[0] >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // The classic Beale cycling example; Bland's rule must terminate.
+        let mut lp = LinearProgram::new(4, Direction::Maximize);
+        lp.set_objective(0, 0.75);
+        lp.set_objective(1, -150.0);
+        lp.set_objective(2, 0.02);
+        lp.set_objective(3, -6.0);
+        lp.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Sense::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(2, 1.0)], Sense::Le, 1.0);
+        assert_optimal(&lp.solve(), 0.05, 1e-6);
+    }
+
+    /// Randomized cross-check against brute-force vertex enumeration on
+    /// 2-variable programs.
+    #[test]
+    fn random_2d_vs_vertex_enumeration() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..50 {
+            let c = [rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)];
+            let mut rows = Vec::new();
+            for _ in 0..4 {
+                rows.push((
+                    [rng.gen_range(0.1..2.0), rng.gen_range(0.1..2.0)],
+                    rng.gen_range(1.0..8.0),
+                ));
+            }
+            let mut lp = LinearProgram::new(2, Direction::Maximize);
+            lp.set_objective(0, c[0]);
+            lp.set_objective(1, c[1]);
+            for (a, b) in &rows {
+                lp.add_constraint(vec![(0, a[0]), (1, a[1])], Sense::Le, *b);
+            }
+            // All constraints have positive coefficients and positive RHS,
+            // so the feasible region is a bounded polytope containing 0.
+            let LpOutcome::Optimal { objective, .. } = lp.solve() else {
+                panic!("trial {trial}: expected optimal");
+            };
+            // Brute force: evaluate all constraint-pair intersections + axes.
+            let mut best: f64 = 0.0; // origin is feasible
+            let feasible = |x: f64, y: f64| -> bool {
+                x >= -1e-9
+                    && y >= -1e-9
+                    && rows.iter().all(|(a, b)| a[0] * x + a[1] * y <= b + 1e-9)
+            };
+            let mut cands = vec![];
+            for i in 0..rows.len() {
+                let (a1, b1) = (&rows[i].0, rows[i].1);
+                // Axis intersections.
+                cands.push((b1 / a1[0], 0.0));
+                cands.push((0.0, b1 / a1[1]));
+                for (a2, b2) in rows.iter().skip(i + 1).map(|(a, b)| (a, *b)) {
+                    let det = a1[0] * a2[1] - a1[1] * a2[0];
+                    if det.abs() > 1e-9 {
+                        let x = (b1 * a2[1] - a1[1] * b2) / det;
+                        let y = (a1[0] * b2 - b1 * a2[0]) / det;
+                        cands.push((x, y));
+                    }
+                }
+            }
+            for (x, y) in cands {
+                if feasible(x, y) {
+                    best = best.max(c[0] * x + c[1] * y);
+                }
+            }
+            assert!(
+                (objective - best).abs() < 1e-5,
+                "trial {trial}: simplex {objective} vs brute {best}"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based simplex checks: the reported optimum dominates every
+//! feasible point we can sample, and solutions are primal-feasible.
+
+use proptest::prelude::*;
+use vmr_solver::simplex::{Direction, LinearProgram, LpOutcome, Sense};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// For box-bounded maximization problems (0 ≤ x ≤ u), the simplex
+    /// optimum must (a) be primal feasible and (b) dominate a grid of
+    /// sampled feasible points.
+    #[test]
+    fn optimum_dominates_feasible_samples(
+        n in 2usize..5,
+        obj_raw in prop::collection::vec(-3.0f64..3.0, 5),
+        rows_raw in prop::collection::vec((prop::collection::vec(0.1f64..2.0, 5), 1.0f64..9.0), 1..4),
+        samples in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 5), 8),
+    ) {
+        let mut lp = LinearProgram::new(n, Direction::Maximize);
+        for v in 0..n {
+            lp.set_objective(v, obj_raw[v]);
+            lp.add_constraint(vec![(v, 1.0)], Sense::Le, 5.0); // box
+        }
+        let rows: Vec<(Vec<f64>, f64)> = rows_raw
+            .iter()
+            .map(|(a, b)| (a[..n].to_vec(), *b))
+            .collect();
+        for (a, b) in &rows {
+            let coeffs: Vec<(usize, f64)> = a.iter().copied().enumerate().collect();
+            lp.add_constraint(coeffs, Sense::Le, *b);
+        }
+        let LpOutcome::Optimal { x, objective } = lp.solve() else {
+            // Bounded feasible region containing 0: must be optimal.
+            return Err(TestCaseError::fail("expected optimal"));
+        };
+        // (a) primal feasibility.
+        for (a, b) in &rows {
+            let lhs: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum();
+            prop_assert!(lhs <= b + 1e-6, "constraint violated: {} > {}", lhs, b);
+        }
+        prop_assert!(x.iter().all(|&v| (-1e-9..=5.0 + 1e-6).contains(&v)));
+        // (b) domination of sampled feasible points (scaled into the box).
+        for s in &samples {
+            let cand: Vec<f64> = s[..n].iter().map(|v| v * 5.0).collect();
+            let feasible = rows.iter().all(|(a, b)| {
+                a.iter().zip(&cand).map(|(ai, xi)| ai * xi).sum::<f64>() <= *b
+            });
+            if feasible {
+                let val: f64 = cand
+                    .iter()
+                    .zip(&obj_raw)
+                    .map(|(xi, ci)| xi * ci)
+                    .sum();
+                prop_assert!(
+                    objective >= val - 1e-6,
+                    "feasible point beats 'optimum': {} > {}",
+                    val,
+                    objective
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate baseline integration: every method from Fig. 9 runs on the
+//! same mapping, produces a legal plan, and respects the MNL.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::mcts::{mcts_solve, MctsConfig};
+use vmr_baselines::neuplan::{neuplan_solve, NeuPlanConfig};
+use vmr_baselines::vbpp::vbpp_solve;
+use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::Action;
+use vmr_sim::objective::Objective;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+const MNL: usize = 4;
+
+fn mapping() -> ClusterState {
+    generate_mapping(&ClusterConfig::tiny(), 99).unwrap()
+}
+
+fn assert_plan_legal(state: &ClusterState, plan: &[Action], reported: f64) {
+    assert!(plan.len() <= MNL + 1, "plan exceeds MNL: {}", plan.len());
+    let mut replay = state.clone();
+    for a in plan {
+        replay.migrate(a.vm, a.pm, 16).unwrap();
+    }
+    assert!(
+        (replay.fragment_rate(16) - reported).abs() < 1e-9,
+        "replayed {} vs reported {reported}",
+        replay.fragment_rate(16)
+    );
+}
+
+#[test]
+fn all_methods_produce_legal_plans() {
+    let s = mapping();
+    let cs = ConstraintSet::new(s.num_vms());
+    let obj = Objective::default();
+    let initial = obj.value(&s);
+
+    let ha = ha_solve(&s, &cs, obj, MNL);
+    assert_plan_legal(&s, &ha.plan, ha.objective);
+    assert!(ha.objective <= initial + 1e-12);
+
+    let vbpp = vbpp_solve(&s, &cs, obj, MNL, 2);
+    assert_plan_legal(&s, &vbpp.plan, vbpp.objective);
+
+    let solver_cfg = SolverConfig {
+        time_limit: Duration::from_millis(400),
+        beam_width: Some(12),
+        ..Default::default()
+    };
+    let mip = branch_and_bound(&s, &cs, obj, MNL, &solver_cfg);
+    assert_plan_legal(&s, &mip.plan, mip.objective);
+    // Exactness family property: the solver is at least as good as HA
+    // given the same budget class on this tiny instance.
+    assert!(mip.objective <= ha.objective + 1e-9);
+
+    let pop = pop_solve(
+        &s,
+        &cs,
+        obj,
+        MNL,
+        &PopConfig { partitions: 2, sub: solver_cfg, seed: 1 },
+    );
+    assert_plan_legal(&s, &pop.plan, pop.objective);
+
+    let mcts = mcts_solve(
+        &s,
+        &cs,
+        obj,
+        MNL,
+        &MctsConfig {
+            rollouts_per_step: 8,
+            branch_cap: 6,
+            time_limit: Duration::from_secs(1),
+            ..Default::default()
+        },
+    );
+    assert_plan_legal(&s, &mcts.plan, mcts.objective);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let agent = Vmr2lAgent::new(
+        Vmr2lModel::new(
+            ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 },
+            ExtractorKind::SparseAttention,
+            &mut rng,
+        ),
+        ActionMode::TwoStage,
+    );
+    let np = neuplan_solve(
+        &agent,
+        &s,
+        &cs,
+        obj,
+        MNL,
+        &NeuPlanConfig { beta: 2, solver: solver_cfg },
+        &mut rng,
+    )
+    .unwrap();
+    assert_plan_legal(&s, &np.plan, np.objective);
+}
+
+#[test]
+fn pop_partitions_cover_all_pms() {
+    let s = mapping();
+    let cs = ConstraintSet::new(s.num_vms());
+    // Extract every partition and check PM coverage is a disjoint union.
+    let mut seen = vec![false; s.num_pms()];
+    let k = 3;
+    let pm_ids: Vec<u32> = (0..s.num_pms() as u32).collect();
+    for part in 0..k {
+        let part_pms: Vec<u32> = pm_ids.iter().copied().skip(part).step_by(k).collect();
+        let sub = vmr_solver::pop::extract_subcluster(&s, &cs, &part_pms).unwrap();
+        for pm in &sub.pm_map {
+            assert!(!seen[pm.0 as usize], "PM {} appears in two partitions", pm.0);
+            seen[pm.0 as usize] = true;
+        }
+    }
+    assert!(seen.iter().all(|&b| b), "some PM missing from the partition");
+}
+
+#[test]
+fn solver_beats_heuristics_given_time() {
+    // The paper's core motivation claim, on a tiny exactly-solvable case.
+    let s = mapping();
+    let cs = ConstraintSet::new(s.num_vms());
+    let obj = Objective::default();
+    let ha = ha_solve(&s, &cs, obj, 2);
+    let exact = branch_and_bound(&s, &cs, obj, 2, &SolverConfig::exact());
+    assert!(exact.proved_optimal);
+    assert!(exact.objective <= ha.objective + 1e-12);
+}

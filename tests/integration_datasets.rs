@@ -1,0 +1,81 @@
+//! Dataset-level integration: preset shapes, workload ordering, dynamics
+//! replay, and serialization round trips.
+
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, Dataset};
+use vmr_sim::dynamics::DynamicCluster;
+use vmr_sim::obs::Observation;
+
+#[test]
+fn presets_have_paper_pm_counts() {
+    assert_eq!(ClusterConfig::medium().num_pms(), 280);
+    assert_eq!(ClusterConfig::large().num_pms(), 1176);
+    assert_eq!(ClusterConfig::multi_resource().num_pms(), 200);
+    assert_eq!(ClusterConfig::small_train().num_pms(), 40);
+}
+
+#[test]
+fn workload_levels_strictly_ordered() {
+    // §5.6.1: the three workload datasets have non-overlapping utilization.
+    let scale = |cfg: ClusterConfig| ClusterConfig {
+        pm_groups: vec![vmr_sim::dataset::PmGroup {
+            count: 12,
+            cpu_per_numa: 44,
+            mem_per_numa: 128,
+        }],
+        churn_cycles: 60,
+        ..cfg
+    };
+    let low = generate_mapping(&scale(ClusterConfig::workload_low()), 5).unwrap();
+    let mid = generate_mapping(&scale(ClusterConfig::workload_mid()), 5).unwrap();
+    let high = generate_mapping(&scale(ClusterConfig::workload_high()), 5).unwrap();
+    assert!(low.cpu_utilization() < mid.cpu_utilization());
+    assert!(mid.cpu_utilization() < high.cpu_utilization());
+}
+
+#[test]
+fn dataset_split_and_roundtrip() {
+    let cfg = ClusterConfig::tiny();
+    let ds = Dataset::generate(&cfg, 10, 3).unwrap();
+    assert_eq!(ds.train.len() + ds.val.len() + ds.test.len(), 10);
+    let back = Dataset::from_json(&ds.to_json()).unwrap();
+    assert_eq!(back.mappings.len(), 10);
+    for m in &back.mappings {
+        m.audit().unwrap();
+    }
+}
+
+#[test]
+fn observation_matches_cluster_shape_for_all_presets() {
+    for cfg in [ClusterConfig::tiny(), ClusterConfig::small_train()] {
+        let m = generate_mapping(&cfg, 1).unwrap();
+        let obs = Observation::extract(&m, 16);
+        assert_eq!(obs.num_pms, m.num_pms());
+        assert_eq!(obs.num_vms, m.num_vms());
+        assert!(obs.vm_src_pm.iter().all(|&p| (p as usize) < m.num_pms()));
+    }
+}
+
+#[test]
+fn dynamic_cluster_freeze_consistency_under_churn() {
+    let m = generate_mapping(&ClusterConfig::tiny(), 8).unwrap();
+    let mut d = DynamicCluster::from_state(&m);
+    let model = vmr_sim::trace::DiurnalModel { base_rate: 4.0, amplitude: 0.4, peak_minute: 900 };
+    let mix = vmr_sim::dataset::VmMix::standard();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    d.churn(0, 20, &model, 0.01, &mix, &mut rng);
+    let frozen = d.freeze().unwrap();
+    frozen.audit().unwrap();
+    assert!((frozen.fragment_rate(16) - d.fragment_rate(16)).abs() < 1e-12);
+}
+
+#[test]
+fn mixed_objectives_monotone_in_lambda_weights() {
+    // Objective value is a convex combination: endpoints bound the middle.
+    let m = generate_mapping(&ClusterConfig::tiny(), 12).unwrap();
+    let at = |lambda: f64| {
+        vmr_sim::objective::Objective::MixedVmType { lambda, small_cores: 16, large_cores: 64 }
+            .value(&m)
+    };
+    let (a, b, mid) = (at(0.0), at(1.0), at(0.5));
+    assert!(mid >= a.min(b) - 1e-12 && mid <= a.max(b) + 1e-12);
+}
