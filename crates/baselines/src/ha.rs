@@ -131,11 +131,7 @@ fn pm_score_of(pm: &vmr_sim::machine::Pm, objective: Objective) -> f64 {
     }
 }
 
-fn has_legal_destination(
-    state: &ClusterState,
-    constraints: &ConstraintSet,
-    vm: VmId,
-) -> bool {
+fn has_legal_destination(state: &ClusterState, constraints: &ConstraintSet, vm: VmId) -> bool {
     (0..state.num_pms()).any(|i| constraints.migration_legal(state, vm, PmId(i as u32)).is_ok())
 }
 
@@ -155,13 +151,13 @@ fn best_destination(
         if constraints.migration_legal(&probe, vm, pm).is_err() {
             continue;
         }
-        let before =
-            objective.pm_score(&probe, src) + if pm != src { objective.pm_score(&probe, pm) } else { 0.0 };
+        let before = objective.pm_score(&probe, src)
+            + if pm != src { objective.pm_score(&probe, pm) } else { 0.0 };
         let Ok(rec) = probe.migrate(vm, pm, objective.frag_cores()) else {
             continue;
         };
-        let after =
-            objective.pm_score(&probe, src) + if pm != src { objective.pm_score(&probe, pm) } else { 0.0 };
+        let after = objective.pm_score(&probe, src)
+            + if pm != src { objective.pm_score(&probe, pm) } else { 0.0 };
         probe.undo(&rec).expect("probe undo");
         let gain = before - after;
         if best.is_none_or(|(_, bg)| gain > bg) {

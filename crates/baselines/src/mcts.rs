@@ -89,10 +89,8 @@ pub fn mcts_solve(
             break;
         }
         let remaining_depth = mnl - step - 1;
-        let mut stats: Vec<Stats> = children
-            .iter()
-            .map(|_| Stats { visits: 0.0, total_reward: 0.0 })
-            .collect();
+        let mut stats: Vec<Stats> =
+            children.iter().map(|_| Stats { visits: 0.0, total_reward: 0.0 }).collect();
         let base_obj = objective.value(&state);
         for sim in 0..cfg.rollouts_per_step {
             if Instant::now() >= deadline {
@@ -107,8 +105,8 @@ pub fn mcts_solve(
                 let mut best_score = f64::NEG_INFINITY;
                 for (i, s) in stats.iter().enumerate() {
                     let mean = s.total_reward / s.visits.max(1.0);
-                    let ucb = mean
-                        + cfg.exploration * (total_visits.ln() / s.visits.max(1e-9)).sqrt();
+                    let ucb =
+                        mean + cfg.exploration * (total_visits.ln() / s.visits.max(1e-9)).sqrt();
                     if ucb > best_score {
                         best_score = ucb;
                         best = i;
@@ -167,12 +165,7 @@ pub fn mcts_solve(
         plan.push(action);
     }
 
-    MctsResult {
-        objective: objective.value(&state),
-        plan,
-        rollouts,
-        elapsed: start.elapsed(),
-    }
+    MctsResult { objective: objective.value(&state), plan, rollouts, elapsed: start.elapsed() }
 }
 
 /// Top-k legal moves by immediate objective gain.

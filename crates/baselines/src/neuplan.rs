@@ -84,12 +84,7 @@ pub fn neuplan_solve<P: Policy, R: Rng + ?Sized>(
     let mid_state = env.state().clone();
     let suffix = branch_and_bound(&mid_state, constraints, objective, beta, &cfg.solver);
     plan.extend(suffix.plan.iter().copied());
-    Ok(NeuPlanResult {
-        objective: suffix.objective,
-        plan,
-        prefix_len,
-        elapsed: start.elapsed(),
-    })
+    Ok(NeuPlanResult { objective: suffix.objective, plan, prefix_len, elapsed: start.elapsed() })
 }
 
 #[cfg(test)]
@@ -124,8 +119,7 @@ mod tests {
                 ..Default::default()
             },
         };
-        let res =
-            neuplan_solve(&a, &s, &cs, Objective::default(), 5, &cfg, &mut rng).unwrap();
+        let res = neuplan_solve(&a, &s, &cs, Objective::default(), 5, &cfg, &mut rng).unwrap();
         assert!(res.plan.len() <= 5);
         assert!(res.prefix_len <= 3);
         // Replay to verify the reported objective.
@@ -150,8 +144,7 @@ mod tests {
                 ..Default::default()
             },
         };
-        let res =
-            neuplan_solve(&a, &s, &cs, Objective::default(), 3, &cfg, &mut rng).unwrap();
+        let res = neuplan_solve(&a, &s, &cs, Objective::default(), 3, &cfg, &mut rng).unwrap();
         assert_eq!(res.prefix_len, 0, "β ≥ MNL means the solver owns the whole plan");
         assert!(res.plan.len() <= 3);
     }

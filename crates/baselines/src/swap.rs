@@ -89,11 +89,7 @@ pub fn swap_search_solve(
     let mut budget = mnl;
     loop {
         let single = best_single(&state, constraints, objective).filter(|_| budget >= 1);
-        let swap = if budget >= 2 {
-            best_swap(&state, constraints, objective, cfg)
-        } else {
-            None
-        };
+        let swap = if budget >= 2 { best_swap(&state, constraints, objective, cfg) } else { None };
         // Pick the move with the best gain per migration consumed.
         let pick = match (single, swap) {
             (Some((a, ga)), Some((s, gs))) => {
@@ -287,8 +283,7 @@ mod tests {
         let s = state(51);
         let cs = ConstraintSet::new(s.num_vms());
         for mnl in [0, 1, 4, 10] {
-            let res =
-                swap_search_solve(&s, &cs, Objective::default(), mnl, &Default::default());
+            let res = swap_search_solve(&s, &cs, Objective::default(), mnl, &Default::default());
             assert!(res.objective <= s.fragment_rate(16) + 1e-12);
             assert!(res.migrations_used <= mnl, "mnl {mnl}: used {}", res.migrations_used);
             let used: usize = res.moves.iter().map(SwapMove::migrations).sum();

@@ -86,9 +86,7 @@ pub fn vbpp_solve(
             let current = objective.value(&state);
             if let Some((pm, val)) = best {
                 if val < current - 1e-12 {
-                    state
-                        .migrate(vm, pm, objective.frag_cores())
-                        .expect("probed move");
+                    state.migrate(vm, pm, objective.frag_cores()).expect("probed move");
                     plan.push(Action { vm, pm });
                     moved_any = true;
                 }

@@ -10,10 +10,9 @@ use vmr_sim::types::{PmId, VmId};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
-    for (name, cfg) in [
-        ("small_40pm", ClusterConfig::small_train()),
-        ("medium_280pm", ClusterConfig::medium()),
-    ] {
+    for (name, cfg) in
+        [("small_40pm", ClusterConfig::small_train()), ("medium_280pm", ClusterConfig::medium())]
+    {
         let state = generate_mapping(&cfg, 7).expect("mapping");
         let cs = ConstraintSet::new(state.num_vms());
 

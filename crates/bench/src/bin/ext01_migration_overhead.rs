@@ -52,11 +52,8 @@ fn main() {
                 let plan = ha_solve(state, &cs, obj, mnl).plan;
                 let sched =
                     schedule_plan(state, &plan, &model, limits).expect("plan must schedule");
-                let per_vm = if plan.is_empty() {
-                    0.0
-                } else {
-                    sched.total_downtime_ms / plan.len() as f64
-                };
+                let per_vm =
+                    if plan.is_empty() { 0.0 } else { sched.total_downtime_ms / plan.len() as f64 };
                 acc.0 += plan.len() as f64;
                 acc.1 += sched.makespan_secs;
                 acc.2 += sched.sequential_secs;

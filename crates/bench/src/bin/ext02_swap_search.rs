@@ -78,11 +78,7 @@ fn run_regime(
             acc.2 += swap_search_solve(state, &cs, obj, mnl, single_only).objective;
             let full = swap_search_solve(state, &cs, obj, mnl, with_swaps);
             acc.3 += full.objective;
-            acc.4 += full
-                .moves
-                .iter()
-                .filter(|m| matches!(m, SwapMove::Swap(..)))
-                .count() as f64;
+            acc.4 += full.moves.iter().filter(|m| matches!(m, SwapMove::Swap(..))).count() as f64;
             acc.5 += full.elapsed.as_secs_f64();
         }
         let n = states.len() as f64;

@@ -19,11 +19,8 @@ use vmr_sim::scheduler::VmsPolicy;
 fn fill_and_churn(cfg: &ClusterConfig, policy: VmsPolicy, seed: u64) -> (f64, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cluster = DynamicCluster::from_pms(cfg.build_pms());
-    let total_cpu: u64 = cfg
-        .pm_groups
-        .iter()
-        .map(|g| (g.count as u64) * 2 * g.cpu_per_numa as u64)
-        .sum();
+    let total_cpu: u64 =
+        cfg.pm_groups.iter().map(|g| (g.count as u64) * 2 * g.cpu_per_numa as u64).sum();
     let target = (total_cpu as f64 * cfg.target_util) as u64;
     let mut failures = 0;
     while cluster.used_cpu() < target && failures < 64 {
@@ -42,8 +39,13 @@ fn fill_and_churn(cfg: &ClusterConfig, policy: VmsPolicy, seed: u64) -> (f64, us
             let mut attempts = 0;
             while cluster.used_cpu() < target && attempts < 4 {
                 let flavor = cfg.vm_mix.sample(&mut rng);
-                let _ =
-                    cluster.arrival_with_policy(flavor.cpu, flavor.mem, flavor.numa, policy, &mut rng);
+                let _ = cluster.arrival_with_policy(
+                    flavor.cpu,
+                    flavor.mem,
+                    flavor.numa,
+                    policy,
+                    &mut rng,
+                );
                 attempts += 1;
             }
         }

@@ -61,12 +61,7 @@ fn main() {
         }
         let n = eval_states.len() as f64;
         let final_reward = history.last().map(|h| h.mean_reward).unwrap_or(f64::NAN);
-        report.row(vec![
-            json!(label),
-            json!(greedy / n),
-            json!(risky / n),
-            json!(final_reward),
-        ]);
+        report.row(vec![json!(label), json!(greedy / n), json!(risky / n), json!(final_reward)]);
         eprintln!("{label} done");
     }
     report.emit();

@@ -67,8 +67,8 @@ fn main() {
     // Top-layer fine-tuning: freeze the shared extractor, adapt heads.
     let mut adapt_cfg = spec.train;
     adapt_cfg.updates = adapt_updates;
-    let mut top = Trainer::new(base_agent.clone(), high_train.clone(), vec![], adapt_cfg)
-        .expect("trainer");
+    let mut top =
+        Trainer::new(base_agent.clone(), high_train.clone(), vec![], adapt_cfg).expect("trainer");
     top.freeze_prefixes(&["vm_embed", "pm_embed", "block"]);
     top.train(|_| {}).expect("top-layer finetune");
     let top_agent = top.into_agent();
@@ -76,8 +76,8 @@ fn main() {
     eprintln!("top_layer done");
 
     // Full fine-tuning.
-    let mut full = Trainer::new(base_agent.clone(), high_train.clone(), vec![], adapt_cfg)
-        .expect("trainer");
+    let mut full =
+        Trainer::new(base_agent.clone(), high_train.clone(), vec![], adapt_cfg).expect("trainer");
     full.train(|_| {}).expect("full finetune");
     let full_agent = full.into_agent();
     report.row(vec![json!("full_finetune"), json!(adapt_updates), json!(eval(&full_agent))]);
@@ -85,8 +85,7 @@ fn main() {
 
     // From scratch with the same small budget.
     let fresh = build_agent(&spec);
-    let mut scratch =
-        Trainer::new(fresh, high_train, vec![], adapt_cfg).expect("trainer");
+    let mut scratch = Trainer::new(fresh, high_train, vec![], adapt_cfg).expect("trainer");
     scratch.train(|_| {}).expect("scratch");
     let scratch_agent = scratch.into_agent();
     report.row(vec![json!("from_scratch"), json!(adapt_updates), json!(eval(&scratch_agent))]);

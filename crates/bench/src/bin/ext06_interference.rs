@@ -55,11 +55,8 @@ fn main() {
     for (i, state) in states.iter().enumerate() {
         let profiles = UsageProfiles::generate(state, 0.2, args.seed + 77 + i as u64);
         let before = model.cluster_score(state, &profiles);
-        let noisy: Vec<_> = model
-            .noisiest_vms(state, &profiles, group_size)
-            .into_iter()
-            .map(|(v, _)| v)
-            .collect();
+        let noisy: Vec<_> =
+            model.noisiest_vms(state, &profiles, group_size).into_iter().map(|(v, _)| v).collect();
         let colocated = |s: &vmr_sim::cluster::ClusterState| -> f64 {
             let mut pairs = 0;
             for (j, &a) in noisy.iter().enumerate() {
@@ -84,9 +81,7 @@ fn main() {
         acc_unconstrained.3 += colocated(&free_state);
 
         // HA under the derived anti-affinity.
-        let cs = model
-            .derive_anti_affinity(state, &profiles, group_size)
-            .expect("constraints");
+        let cs = model.derive_anti_affinity(state, &profiles, group_size).expect("constraints");
         let bound = ha_solve(state, &cs, obj, mnl);
         let mut bound_state = state.clone();
         for a in &bound.plan {

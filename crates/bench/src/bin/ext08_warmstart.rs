@@ -51,8 +51,7 @@ fn main() {
             let cs = ConstraintSet::new(state.num_vms());
             let ha = ha_solve(state, &cs, obj, mnl);
             let cold = branch_and_bound(state, &cs, obj, mnl, &solver_cfg);
-            let warm =
-                branch_and_bound_warmstart(state, &cs, obj, mnl, &solver_cfg, &ha.plan);
+            let warm = branch_and_bound_warmstart(state, &cs, obj, mnl, &solver_cfg, &ha.plan);
             acc.0 += ha.objective;
             acc.1 += cold.objective;
             acc.2 += warm.objective;

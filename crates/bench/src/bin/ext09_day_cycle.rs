@@ -9,12 +9,14 @@
 
 use serde_json::json;
 use vmr_baselines::ha::ha_solve;
-use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_bench::{
+    mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode,
+};
 use vmr_core::eval::greedy_eval;
 use vmr_sim::cluster::ClusterState;
 use vmr_sim::constraints::ConstraintSet;
-use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
 use vmr_sim::dataset::VmMix;
+use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
 use vmr_sim::env::Action;
 use vmr_sim::objective::Objective;
 use vmr_sim::trace::DiurnalModel;

@@ -25,10 +25,8 @@ fn main() {
     report.meta("seed", args.seed);
     let bucket = 30u32;
     for start in (0..MINUTES_PER_DAY).step_by(bucket as usize) {
-        let slice: Vec<_> = trace
-            .iter()
-            .filter(|c| c.minute >= start && c.minute < start + bucket)
-            .collect();
+        let slice: Vec<_> =
+            trace.iter().filter(|c| c.minute >= start && c.minute < start + bucket).collect();
         let arr: f64 = slice.iter().map(|c| c.arrivals as f64).sum::<f64>() / slice.len() as f64;
         let ex: f64 = slice.iter().map(|c| c.exits as f64).sum::<f64>() / slice.len() as f64;
         let off_peak = model.off_peak_minute() >= start && model.off_peak_minute() < start + bucket;

@@ -31,7 +31,11 @@ fn main() {
         &cs,
         obj,
         mnl,
-        &SolverConfig { time_limit: solver_budget(args.mode) * 4, beam_width: Some(48), ..Default::default() },
+        &SolverConfig {
+            time_limit: solver_budget(args.mode) * 4,
+            beam_width: Some(48),
+            ..Default::default()
+        },
     );
 
     // Churn model scaled to the cluster size so the elbow is visible.
@@ -60,7 +64,8 @@ fn main() {
         let mut applied = 0usize;
         let mut dropped = 0usize;
         for s in 0..seeds {
-            let out = staleness_experiment(&state, &plan.plan, d, &model, 0.004, &mix, args.seed + s);
+            let out =
+                staleness_experiment(&state, &plan.plan, d, &model, 0.004, &mix, args.seed + s);
             fr += out.achieved_fr;
             applied += out.applied;
             dropped += out.dropped;

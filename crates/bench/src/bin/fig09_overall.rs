@@ -28,8 +28,8 @@ fn main() {
     let args = parse_args();
     let cfg = train_cluster_config(args.mode);
     let obj = Objective::default();
-    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
-        .expect("eval mappings");
+    let eval_states =
+        mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval mappings");
     let train_states = mappings(&cfg, 8, args.seed).expect("train mappings");
 
     // Train VMR2L and the Decima baseline (cached).
@@ -122,8 +122,8 @@ fn main() {
             push(&mut acc, "MCTS", r.objective, r.elapsed.as_secs_f64());
             // Decima (greedy single trajectory)
             let t0 = Instant::now();
-            let (fr, _) = vmr_core::eval::greedy_eval(&decima, state, &cs, obj, mnl)
-                .expect("decima eval");
+            let (fr, _) =
+                vmr_core::eval::greedy_eval(&decima, state, &cs, obj, mnl).expect("decima eval");
             push(&mut acc, "Decima", fr, t0.elapsed().as_secs_f64());
             // NeuPlan (VMR2L prefix + solver suffix)
             let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);

@@ -32,12 +32,13 @@ fn main() {
         let agent = vmr_bench::build_agent(&s);
         let mut tr = Trainer::new(agent, train_states.clone(), eval_states.clone(), s.train)
             .expect("trainer");
-        let hist = tr.train(|st| {
-            if !st.eval_objective.is_nan() {
-                eprintln!("  {kind:?} update {} test FR {:.4}", st.update, st.eval_objective);
-            }
-        })
-        .expect("train");
+        let hist = tr
+            .train(|st| {
+                if !st.eval_objective.is_nan() {
+                    eprintln!("  {kind:?} update {} test FR {:.4}", st.update, st.eval_objective);
+                }
+            })
+            .expect("train");
         curves.push((
             format!("{kind:?}"),
             hist.iter()

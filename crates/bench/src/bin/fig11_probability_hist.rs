@@ -25,8 +25,9 @@ fn main() {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
     let mut probs: Vec<f64> = Vec::new();
     for state in &eval_states {
-        let mut env = ReschedEnv::unconstrained(state.clone(), Objective::default(), spec.train.mnl)
-            .expect("env");
+        let mut env =
+            ReschedEnv::unconstrained(state.clone(), Objective::default(), spec.train.mnl)
+                .expect("env");
         while !env.is_done() {
             let Some(d) = agent
                 .decide(&env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })

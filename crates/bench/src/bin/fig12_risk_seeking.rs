@@ -2,7 +2,9 @@
 //! trajectories, with and without quantile action-thresholding (§3.4).
 
 use serde_json::json;
-use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_bench::{
+    mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode,
+};
 use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
 use vmr_sim::constraints::ConstraintSet;
 use vmr_sim::objective::Objective;

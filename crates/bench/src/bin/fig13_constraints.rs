@@ -7,7 +7,9 @@
 //! converge (M×N action space), Two-Stage converges fastest.
 
 use serde_json::json;
-use vmr_bench::{mappings, parse_args, scaled_config, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_bench::{
+    mappings, parse_args, scaled_config, train_cluster_config, AgentSpec, Report, RunMode,
+};
 use vmr_core::config::ActionMode;
 use vmr_core::train::Trainer;
 use vmr_sim::dataset::ClusterConfig;
@@ -59,13 +61,7 @@ fn main() {
         let points: Vec<usize> = curves[0].iter().map(|p| p.0).collect();
         for (i, u) in points.iter().enumerate() {
             let get = |c: usize| curves[c].get(i).map(|p| p.1).unwrap_or(f64::NAN);
-            report.row(vec![
-                json!(name),
-                json!(u),
-                json!(get(0)),
-                json!(get(1)),
-                json!(get(2)),
-            ]);
+            report.row(vec![json!(name), json!(u), json!(get(0)), json!(get(1)), json!(get(2))]);
         }
     }
     report.emit();

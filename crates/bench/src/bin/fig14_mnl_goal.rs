@@ -7,7 +7,10 @@
 
 use serde_json::json;
 use vmr_baselines::ha::ha_solve;
-use vmr_bench::{mappings, parse_args, solver_budget, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_bench::{
+    mappings, parse_args, solver_budget, train_agent, train_cluster_config, AgentSpec, Report,
+    RunMode,
+};
 use vmr_core::eval::greedy_eval;
 use vmr_sim::constraints::ConstraintSet;
 use vmr_sim::objective::Objective;
@@ -22,11 +25,8 @@ fn main() {
         RunMode::Smoke => 4,
         _ => 16,
     });
-    let initial = eval_states
-        .iter()
-        .map(|s| s.fragment_rate(16))
-        .sum::<f64>()
-        / eval_states.len() as f64;
+    let initial =
+        eval_states.iter().map(|s| s.fragment_rate(16)).sum::<f64>() / eval_states.len() as f64;
     // Sweep goals from just-below-initial downwards (paper: 0.55 → 0.25).
     let goals: Vec<f64> = match args.mode {
         RunMode::Smoke => vec![initial * 0.9, initial * 0.7],

@@ -3,7 +3,9 @@
 //! (VMR2L_SEP). The paper reports an average gap of ~1.16%.
 
 use serde_json::json;
-use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_bench::{
+    mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode,
+};
 use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
 use vmr_sim::constraints::ConstraintSet;
 use vmr_sim::objective::Objective;
@@ -12,8 +14,8 @@ fn main() {
     let args = parse_args();
     let cfg = train_cluster_config(args.mode);
     let train_states = mappings(&cfg, 6, args.seed).expect("train");
-    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
-        .expect("eval");
+    let eval_states =
+        mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval");
     let mnls: Vec<usize> = match args.mode {
         RunMode::Smoke => vec![2, 3],
         _ => vec![2, 4, 6, 8, 10, 12],
@@ -27,8 +29,13 @@ fn main() {
     }
     spec.train.mnl = max_mnl;
     eprintln!("training shared agent at MNL {max_mnl}...");
-    let (shared, _) = train_agent(&spec, train_states.clone(), vec![], Some(&format!("{}_mnl{max_mnl}", cfg.name)))
-        .expect("train");
+    let (shared, _) = train_agent(
+        &spec,
+        train_states.clone(),
+        vec![],
+        Some(&format!("{}_mnl{max_mnl}", cfg.name)),
+    )
+    .expect("train");
 
     let mut report = Report::new(
         "fig16_mnl_generalization",
@@ -58,9 +65,10 @@ fn main() {
         let mut fr_sep = 0.0;
         for state in &eval_states {
             let cs = ConstraintSet::new(state.num_vms());
-            fr_shared += risk_seeking_eval(&shared, state, &cs, Objective::default(), mnl, &rs(mnl))
-                .expect("eval")
-                .best_objective;
+            fr_shared +=
+                risk_seeking_eval(&shared, state, &cs, Objective::default(), mnl, &rs(mnl))
+                    .expect("eval")
+                    .best_objective;
             fr_sep += risk_seeking_eval(&sep, state, &cs, Objective::default(), mnl, &rs(mnl))
                 .expect("eval")
                 .best_objective;

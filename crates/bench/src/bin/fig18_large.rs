@@ -32,9 +32,8 @@ fn main() {
     spec.train.updates = args.updates.unwrap_or(spec.train.updates / 2).max(1);
     spec.train.mnl = max_mnl.min(16);
     eprintln!("training VMR2L on the large cluster ({} PMs)...", cfg.num_pms());
-    let (vmr2l, _) =
-        vmr_bench::train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name))
-            .expect("train");
+    let (vmr2l, _) = vmr_bench::train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name))
+        .expect("train");
     let mut dspec = spec.clone();
     dspec.extractor = ExtractorKind::VanillaAttention;
     dspec.pm_subset = Some(8);
@@ -49,7 +48,10 @@ fn main() {
     );
     report.meta("pms", eval_states[0].num_pms());
     report.meta("vms", eval_states[0].num_vms());
-    report.meta("initial_fr", eval_states.iter().map(|s| s.fragment_rate(16)).sum::<f64>() / eval_states.len() as f64);
+    report.meta(
+        "initial_fr",
+        eval_states.iter().map(|s| s.fragment_rate(16)).sum::<f64>() / eval_states.len() as f64,
+    );
     for &mnl in &mnls {
         let mut rows: Vec<(&str, f64, f64)> = Vec::new();
         for state in &eval_states {
@@ -73,7 +75,8 @@ fn main() {
             );
             rows.push(("POP", r.objective, r.elapsed.as_secs_f64()));
             let t0 = Instant::now();
-            let (fr, _) = greedy_eval(&decima, state, &cs, Objective::default(), mnl).expect("decima");
+            let (fr, _) =
+                greedy_eval(&decima, state, &cs, Objective::default(), mnl).expect("decima");
             rows.push(("Decima", fr, t0.elapsed().as_secs_f64()));
             let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
             let r = neuplan_solve(

@@ -34,13 +34,9 @@ fn main() {
         spec.train.updates = args.updates.unwrap_or(spec.train.updates / 2).max(1);
         spec.train.mnl = (*mnls.last().unwrap()).min(16);
         eprintln!("training on {name} workload...");
-        let (agent, _) = vmr_bench::train_agent(
-            &spec,
-            train_states,
-            vec![],
-            Some(&format!("fig19_{name}")),
-        )
-        .expect("train");
+        let (agent, _) =
+            vmr_bench::train_agent(&spec, train_states, vec![], Some(&format!("fig19_{name}")))
+                .expect("train");
         for &mnl in &mnls {
             let mut ha = 0.0;
             let mut pop = 0.0;

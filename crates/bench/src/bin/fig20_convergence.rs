@@ -32,8 +32,7 @@ fn main() {
         spec.train.eval_every = 2;
         spec.train.eval_episodes = 2;
         let agent = vmr_bench::build_agent(&spec);
-        let mut tr =
-            Trainer::new(agent, train_states, eval_states, spec.train).expect("trainer");
+        let mut tr = Trainer::new(agent, train_states, eval_states, spec.train).expect("trainer");
         let hist = tr.train(|_| {}).expect("train");
         curves.push(
             hist.iter()

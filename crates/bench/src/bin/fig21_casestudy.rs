@@ -7,7 +7,9 @@
 //! fragments) for long-term FR.
 
 use serde_json::json;
-use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode};
+use vmr_bench::{
+    mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode,
+};
 use vmr_core::agent::DecideOpts;
 use vmr_sim::env::ReschedEnv;
 use vmr_sim::objective::Objective;
@@ -23,8 +25,8 @@ fn main() {
     }
     let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
     spec.train.mnl = mnl;
-    let (agent, _) = train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name))
-        .expect("train");
+    let (agent, _) =
+        train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name)).expect("train");
 
     let state = mappings(&cfg, 1, args.seed + 4242).expect("case")[0].clone();
     let mut env = ReschedEnv::unconstrained(state, Objective::default(), mnl).expect("env");
@@ -46,7 +48,13 @@ fn main() {
         let vm = d.action.vm;
         let src = env.state().placement(vm).pm;
         let dst = d.action.pm;
-        println!("step {step}: migrate VM{} ({} cores) PM{} -> PM{}", vm.0, env.state().vm(vm).cpu, src.0, dst.0);
+        println!(
+            "step {step}: migrate VM{} ({} cores) PM{} -> PM{}",
+            vm.0,
+            env.state().vm(vm).cpu,
+            src.0,
+            dst.0
+        );
         println!("  before: {}\n          {}", bar(env.state(), src), bar(env.state(), dst));
         let out = match env.step(d.action) {
             Ok(o) => o,

@@ -17,8 +17,8 @@ fn main() {
     let args = parse_args();
     let cfg = train_cluster_config(args.mode);
     let train_states = mappings(&cfg, 8, args.seed).expect("train");
-    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
-        .expect("eval");
+    let eval_states =
+        mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval");
     let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
 
     let mut spec = AgentSpec::vmr2l(args.mode, args.seed);
@@ -27,13 +27,13 @@ fn main() {
     }
     spec.train.mnl = mnl;
     eprintln!("training sparse-attention agent...");
-    let (sparse, _) = train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name))
-        .expect("train sparse");
+    let (sparse, _) =
+        train_agent(&spec, train_states.clone(), vec![], Some(&cfg.name)).expect("train sparse");
     let mut vspec = spec.clone();
     vspec.extractor = ExtractorKind::VanillaAttention;
     eprintln!("training vanilla-attention agent...");
-    let (vanilla, _) = train_agent(&vspec, train_states, vec![], Some(&cfg.name))
-        .expect("train vanilla");
+    let (vanilla, _) =
+        train_agent(&vspec, train_states, vec![], Some(&cfg.name)).expect("train vanilla");
 
     let rs = RiskSeekingConfig {
         trajectories: if args.mode == RunMode::Smoke { 2 } else { 8 },
@@ -68,9 +68,7 @@ fn main() {
         rows[3].1 += risk_seeking_eval(&vanilla, state, &cs, Objective::default(), mnl, &rs)
             .expect("eval")
             .best_objective;
-        rows[4].1 += greedy_eval(&sparse, state, &cs, Objective::default(), mnl)
-            .expect("eval")
-            .0;
+        rows[4].1 += greedy_eval(&sparse, state, &cs, Objective::default(), mnl).expect("eval").0;
     }
     let n = eval_states.len() as f64;
     let mip = rows[1].1 / n;
@@ -85,11 +83,12 @@ fn main() {
         let fr = total / n;
         // "Room" metric as in §5.3: how much of (variant − MIP) the full
         // model closes: (variant − full)/(variant − MIP).
-        let room = if (fr - mip).abs() > 1e-9 && *name != "VMR2L (full)" && *name != "MIP (reference)" {
-            ((fr - full) / (fr - mip) * 1000.0).round() / 10.0
-        } else {
-            f64::NAN
-        };
+        let room =
+            if (fr - mip).abs() > 1e-9 && *name != "VMR2L (full)" && *name != "MIP (reference)" {
+                ((fr - full) / (fr - mip) * 1000.0).round() / 10.0
+            } else {
+                f64::NAN
+            };
         report.row(vec![json!(name), json!(fr), json!(room)]);
     }
     report.emit();

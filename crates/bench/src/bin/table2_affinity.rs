@@ -7,8 +7,8 @@
 
 use serde_json::json;
 use vmr_bench::{
-    mappings, parse_args, solver_budget, synthesize_affinity, train_agent,
-    train_cluster_config, AgentSpec, Report, RunMode,
+    mappings, parse_args, solver_budget, synthesize_affinity, train_agent, train_cluster_config,
+    AgentSpec, Report, RunMode,
 };
 use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
 use vmr_sim::objective::Objective;
@@ -18,21 +18,14 @@ fn main() {
     let args = parse_args();
     let cfg = train_cluster_config(args.mode);
     let train_states = mappings(&cfg, 6, args.seed).expect("train");
-    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
-        .expect("eval");
+    let eval_states =
+        mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval");
     let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
 
     // Paper's Table 2 target ratios per level.
     let levels: Vec<(u32, f64)> = match args.mode {
         RunMode::Smoke => vec![(0, 0.0), (4, 0.065)],
-        _ => vec![
-            (0, 0.0),
-            (1, 0.0112),
-            (2, 0.0186),
-            (3, 0.0346),
-            (4, 0.065),
-            (8, 0.383),
-        ],
+        _ => vec![(0, 0.0), (1, 0.0112), (2, 0.0186), (3, 0.0346), (4, 0.065), (8, 0.383)],
     };
 
     // Train once with moderate affinity so the policy has seen masks.

@@ -14,8 +14,8 @@ fn main() {
     let args = parse_args();
     let cfg = scaled_config(&ClusterConfig::multi_resource(), args.mode);
     let train_states = mappings(&cfg, 6, args.seed).expect("train");
-    let eval_states = mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000)
-        .expect("eval");
+    let eval_states =
+        mappings(&cfg, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval");
     let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 8 });
     let lambdas: Vec<f64> = match args.mode {
         RunMode::Smoke => vec![0.0, 1.0],
@@ -99,8 +99,20 @@ fn main() {
             pobj += p.objective;
         }
         let n = eval_states.len() as f64;
-        report.row(vec![json!(lambda), json!("VMR2L"), json!(v16 / n), json!(v64 / n), json!(vobj / n)]);
-        report.row(vec![json!(lambda), json!("POP"), json!(p16 / n), json!(p64 / n), json!(pobj / n)]);
+        report.row(vec![
+            json!(lambda),
+            json!("VMR2L"),
+            json!(v16 / n),
+            json!(v64 / n),
+            json!(vobj / n),
+        ]);
+        report.row(vec![
+            json!(lambda),
+            json!("POP"),
+            json!(p16 / n),
+            json!(p64 / n),
+            json!(pobj / n),
+        ]);
         eprintln!("lambda {lambda} done");
     }
     report.emit();

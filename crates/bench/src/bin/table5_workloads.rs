@@ -25,13 +25,13 @@ fn main() {
     ];
     let mnl = args.mnl.unwrap_or(if args.mode == RunMode::Smoke { 3 } else { 12 });
     let train_per: usize = if args.mode == RunMode::Smoke { 2 } else { 6 };
-    let train_sets: Vec<Vec<_>> = cfgs
-        .iter()
-        .map(|(_, c)| mappings(c, train_per, args.seed).expect("train"))
-        .collect();
+    let train_sets: Vec<Vec<_>> =
+        cfgs.iter().map(|(_, c)| mappings(c, train_per, args.seed).expect("train")).collect();
     let eval_sets: Vec<Vec<_>> = cfgs
         .iter()
-        .map(|(_, c)| mappings(c, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval"))
+        .map(|(_, c)| {
+            mappings(c, args.mode.eval_mappings().min(3), args.seed + 1000).expect("eval")
+        })
         .collect();
 
     // Agents: trained on L, M, H, and L+H.
@@ -51,9 +51,8 @@ fn main() {
             train.extend(train_sets[i].iter().cloned());
         }
         eprintln!("training {name}...");
-        let (agent, _) =
-            vmr_bench::train_agent(&spec, train, vec![], Some(&format!("t5_{name}")))
-                .expect("train");
+        let (agent, _) = vmr_bench::train_agent(&spec, train, vec![], Some(&format!("t5_{name}")))
+            .expect("train");
         agents.push((name.to_string(), agent));
     }
 
@@ -67,9 +66,7 @@ fn main() {
         eval_sets
             .iter()
             .map(|set| {
-                set.iter()
-                    .map(|s| f(s, &ConstraintSet::new(s.num_vms())))
-                    .sum::<f64>()
+                set.iter().map(|s| f(s, &ConstraintSet::new(s.num_vms()))).sum::<f64>()
                     / set.len() as f64
             })
             .collect()

@@ -77,9 +77,7 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
             "--updates" => out.updates = Some(next_num(&mut it, "--updates") as usize),
             "--mnl" => out.mnl = Some(next_num(&mut it, "--mnl") as usize),
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: <bin> [--smoke|--full] [--seed N] [--updates N] [--mnl N]"
-                );
+                eprintln!("usage: <bin> [--smoke|--full] [--seed N] [--updates N] [--mnl N]");
                 std::process::exit(0);
             }
             other => {
@@ -92,12 +90,10 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
 }
 
 fn next_num(it: &mut std::iter::Peekable<impl Iterator<Item = String>>, flag: &str) -> i64 {
-    it.next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} requires a numeric argument");
-            std::process::exit(2);
-        })
+    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} requires a numeric argument");
+        std::process::exit(2);
+    })
 }
 
 #[cfg(test)]

@@ -27,4 +27,7 @@ pub mod setup;
 
 pub use cli::{parse_args, BenchArgs, RunMode};
 pub use report::Report;
-pub use setup::{build_agent, mappings, scaled_config, solver_budget, synthesize_affinity, train_agent, train_cluster_config, AgentSpec};
+pub use setup::{
+    build_agent, mappings, scaled_config, solver_budget, synthesize_affinity, train_agent,
+    train_cluster_config, AgentSpec,
+};

@@ -71,11 +71,8 @@ impl Report {
             }
         };
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(fmt_cell).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(fmt_cell).collect()).collect();
         for row in &rendered {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -86,22 +83,15 @@ impl Report {
         for (k, v) in &self.meta {
             out.push_str(&format!("#   {k} = {v}\n"));
         }
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         out.push_str(&header.join("  "));
         out.push('\n');
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for row in &rendered {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }

@@ -191,9 +191,7 @@ pub fn synthesize_affinity(
     let group = ((target_ratio * m as f64).sqrt().ceil() as usize).clamp(2, m);
     let mut guard = 0;
     while cs.affinity_ratio() < target_ratio && guard < 10_000 {
-        let members: Vec<VmId> = (0..group)
-            .map(|_| VmId(rng.gen_range(0..m) as u32))
-            .collect();
+        let members: Vec<VmId> = (0..group).map(|_| VmId(rng.gen_range(0..m) as u32)).collect();
         let _ = cs.add_conflict_group(&members);
         guard += 1;
     }
@@ -205,9 +203,7 @@ pub fn mappings(cfg: &ClusterConfig, count: usize, seed: u64) -> SimResult<Vec<C
     if count == 0 {
         return Err(SimError::InvalidMapping("need at least one mapping".into()));
     }
-    (0..count)
-        .map(|i| vmr_sim::dataset::generate_mapping(cfg, seed + i as u64))
-        .collect()
+    (0..count).map(|i| vmr_sim::dataset::generate_mapping(cfg, seed + i as u64)).collect()
 }
 
 #[cfg(test)]

@@ -36,19 +36,14 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<String, String> {
-        self.flags
-            .get(key)
-            .cloned()
-            .ok_or_else(|| format!("missing required flag --{key}"))
+        self.flags.get(key).cloned().ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// Numeric flag with a default.
     pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
         }
     }
 

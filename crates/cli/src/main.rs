@@ -152,8 +152,14 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
         .mappings
         .get(index)
         .ok_or_else(|| format!("index {index} out of range ({} mappings)", ds.mappings.len()))?;
-    println!("dataset '{}': {} mappings (train/val/test {}/{}/{})",
-        ds.name, ds.mappings.len(), ds.train.len(), ds.val.len(), ds.test.len());
+    println!(
+        "dataset '{}': {} mappings (train/val/test {}/{}/{})",
+        ds.name,
+        ds.mappings.len(),
+        ds.train.len(),
+        ds.val.len(),
+        ds.test.len()
+    );
     println!("mapping {index}:");
     println!("  PMs: {}   VMs: {}", m.num_pms(), m.num_vms());
     println!("  CPU utilization: {:.2}%", m.cpu_utilization() * 100.0);
@@ -278,10 +284,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let index: usize = args.num("index", 0)?;
     let mnl: usize = args.num("mnl", 10)?;
     let budget = Duration::from_millis(args.num("budget-ms", 5000u64)?);
-    let state = ds
-        .mappings
-        .get(index)
-        .ok_or_else(|| format!("index {index} out of range"))?;
+    let state = ds.mappings.get(index).ok_or_else(|| format!("index {index} out of range"))?;
     let cs = ConstraintSet::new(state.num_vms());
     let obj = Objective::default();
     let method = args.require("method")?;
@@ -313,7 +316,11 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 mnl,
                 &PopConfig {
                     partitions: 4,
-                    sub: SolverConfig { time_limit: budget, beam_width: Some(24), ..Default::default() },
+                    sub: SolverConfig {
+                        time_limit: budget,
+                        beam_width: Some(24),
+                        ..Default::default()
+                    },
                     seed: 0,
                 },
             );
@@ -425,20 +432,15 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
     let index: usize = args.num("index", 0)?;
     let mnl: usize = args.num("mnl", 10)?;
     let streams: u32 = args.num("streams", 2)?;
-    let state = ds
-        .mappings
-        .get(index)
-        .ok_or_else(|| format!("index {index} out of range"))?;
+    let state = ds.mappings.get(index).ok_or_else(|| format!("index {index} out of range"))?;
     let cs = ConstraintSet::new(state.num_vms());
     let method = args.get("method", "ha");
     if method != "ha" {
         return Err("cost currently prices HA plans; use --method ha".into());
     }
     let plan = ha_solve(state, &cs, Objective::default(), mnl).plan;
-    let model = PrecopyModel {
-        bandwidth_gib_s: args.num("bandwidth", 2.5f64)?,
-        ..PrecopyModel::default()
-    };
+    let model =
+        PrecopyModel { bandwidth_gib_s: args.num("bandwidth", 2.5f64)?, ..PrecopyModel::default() };
     let sched = schedule_plan(state, &plan, &model, NicLimits { streams_per_pm: streams })
         .map_err(|e| e.to_string())?;
     if args.flag("json") {
@@ -460,15 +462,24 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
             streams,
             model.bandwidth_gib_s
         );
-        println!("  makespan    {:.1}s (sequential {:.1}s, speedup {:.2}x)",
-            sched.makespan_secs, sched.sequential_secs, sched.speedup());
+        println!(
+            "  makespan    {:.1}s (sequential {:.1}s, speedup {:.2}x)",
+            sched.makespan_secs,
+            sched.sequential_secs,
+            sched.speedup()
+        );
         println!("  downtime    {:.1} ms total across VMs", sched.total_downtime_ms);
         println!("  transferred {:.1} GiB", sched.total_transferred_gib);
         for m in &sched.migrations {
             println!(
                 "    t={:>6.1}s VM{:<4} PM{:<3} -> PM{:<3} ({:.1}s, {} rounds, {:.1} ms pause)",
-                m.start_secs, m.vm.0, m.src.0, m.dst.0,
-                m.cost.total_secs(), m.cost.rounds, m.cost.downtime_ms
+                m.start_secs,
+                m.vm.0,
+                m.src.0,
+                m.dst.0,
+                m.cost.total_secs(),
+                m.cost.rounds,
+                m.cost.downtime_ms
             );
         }
     }
@@ -478,15 +489,12 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
 /// `vmr simulate`: run the Figs. 1–3 daily loop — diurnal best-fit VMS
 /// churn with one off-peak VMR window per day.
 fn cmd_simulate(args: &Args) -> Result<(), String> {
-    use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
     use vmr_sim::dataset::VmMix;
+    use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
     use vmr_sim::trace::DiurnalModel;
     let ds = load_dataset(args)?;
     let index: usize = args.num("index", 0)?;
-    let state = ds
-        .mappings
-        .get(index)
-        .ok_or_else(|| format!("index {index} out of range"))?;
+    let state = ds.mappings.get(index).ok_or_else(|| format!("index {index} out of range"))?;
     let seed: u64 = args.num("seed", 0)?;
     let planner_name = args.get("planner", "ha");
 
@@ -506,14 +514,14 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     cfg.exit_frac = args.num("exit-frac", default_exit)?;
 
     let obj = Objective::default();
-    let mut planner: Box<dyn FnMut(&ClusterState, usize) -> Vec<Action>> =
-        match planner_name.as_str() {
-            "none" => Box::new(|_: &ClusterState, _| Vec::new()),
-            "ha" => Box::new(move |s: &ClusterState, mnl: usize| {
-                ha_solve(s, &ConstraintSet::new(s.num_vms()), obj, mnl).plan
-            }),
-            other => return Err(format!("unknown planner {other:?} (none|ha)")),
-        };
+    type Planner = Box<dyn FnMut(&ClusterState, usize) -> Vec<Action>>;
+    let mut planner: Planner = match planner_name.as_str() {
+        "none" => Box::new(|_: &ClusterState, _| Vec::new()),
+        "ha" => Box::new(move |s: &ClusterState, mnl: usize| {
+            ha_solve(s, &ConstraintSet::new(s.num_vms()), obj, mnl).plan
+        }),
+        other => return Err(format!("unknown planner {other:?} (none|ha)")),
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let out = run_day_cycle(state, &mut planner, &cfg, &mut rng).map_err(|e| e.to_string())?;
 
@@ -564,10 +572,7 @@ fn cmd_interfere(args: &Args) -> Result<(), String> {
     let threshold: f64 = args.num("threshold", 0.5f64)?;
     let top: usize = args.num("top", 10)?;
     let seed: u64 = args.num("seed", 0)?;
-    let state = ds
-        .mappings
-        .get(index)
-        .ok_or_else(|| format!("index {index} out of range"))?;
+    let state = ds.mappings.get(index).ok_or_else(|| format!("index {index} out of range"))?;
     let profiles = UsageProfiles::generate(state, noisy_frac, seed);
     let model = InterferenceModel { threshold, use_burst: true };
     let score = model.cluster_score(state, &profiles);

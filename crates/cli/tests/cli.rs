@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn vmr(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_vmr"))
-        .args(args)
-        .output()
-        .expect("spawn vmr")
+    Command::new(env!("CARGO_BIN_EXE_vmr")).args(args).output().expect("spawn vmr")
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -47,9 +44,7 @@ fn help_lists_all_subcommands() {
 #[test]
 fn simulate_runs_the_daily_loop() {
     let ds = gen_dataset("simulate.json");
-    let out = vmr(&[
-        "simulate", "--dataset", &ds, "--days", "1", "--mnl", "4", "--json",
-    ]);
+    let out = vmr(&["simulate", "--dataset", &ds, "--days", "1", "--mnl", "4", "--json"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
     assert_eq!(body["days"], 1);
@@ -80,11 +75,7 @@ fn solve_ha_and_swap_report_fr() {
     let ds = gen_dataset("solve.json");
     for method in ["ha", "swap"] {
         let out = vmr(&["solve", "--dataset", &ds, "--method", method, "--mnl", "4"]);
-        assert!(
-            out.status.success(),
-            "{method}: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "{method}: {}", String::from_utf8_lossy(&out.stderr));
         let text = String::from_utf8_lossy(&out.stdout);
         assert!(text.contains("FR"), "{method} output: {text}");
     }

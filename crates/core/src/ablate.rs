@@ -102,22 +102,10 @@ impl Policy for MlpPolicy {
         // the remaining slots hold inert constants of the right shapes.
         let dummy_vm = g.constant(Tensor::zeros(feats.num_vms, 1));
         let dummy_cross = g.constant(Tensor::zeros(feats.num_vms, feats.num_pms));
-        Stage1Out {
-            vm_logits,
-            pm_embs: h,
-            vm_embs: dummy_vm,
-            cross_probs: dummy_cross,
-            value,
-        }
+        Stage1Out { vm_logits, pm_embs: h, vm_embs: dummy_vm, cross_probs: dummy_cross, value }
     }
 
-    fn stage2(
-        &self,
-        g: &mut Graph,
-        s1: &Stage1Out,
-        feats: &FeatureTensors,
-        vm_idx: usize,
-    ) -> Var {
+    fn stage2(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors, vm_idx: usize) -> Var {
         let vm_row = g.constant(feats.vm.select_rows(&[vm_idx]));
         let joined = g.hcat(s1.pm_embs, vm_row); // trunk activation ++ VM feats
         let all = self.pm_out.forward(g, joined); // 1 × max_pms

@@ -28,8 +28,7 @@ pub trait Policy: Module {
     /// Feature extraction and stage-1 heads.
     fn stage1(&self, g: &mut Graph, feats: &FeatureTensors) -> Stage1Out;
     /// Stage-2 destination logits (`1 × N`) for a selected VM.
-    fn stage2(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors, vm_idx: usize)
-        -> Var;
+    fn stage2(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors, vm_idx: usize) -> Var;
     /// Generic per-PM logits (`1 × N`) for the joint (Full-Mask) space.
     fn pm_logits_generic(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors) -> Var;
 }
@@ -39,13 +38,7 @@ impl Policy for crate::model::Vmr2lModel {
         crate::model::Vmr2lModel::stage1(self, g, feats)
     }
 
-    fn stage2(
-        &self,
-        g: &mut Graph,
-        s1: &Stage1Out,
-        _feats: &FeatureTensors,
-        vm_idx: usize,
-    ) -> Var {
+    fn stage2(&self, g: &mut Graph, s1: &Stage1Out, _feats: &FeatureTensors, vm_idx: usize) -> Var {
         crate::model::Vmr2lModel::stage2(self, g, s1, vm_idx)
     }
 
@@ -170,8 +163,7 @@ impl<P: Policy> Vmr2lAgent<P> {
                         return Ok(None);
                     }
                     let vm_probs = masked_probs(&mut g, s1.vm_logits, &vm_mask);
-                    let Some((vm_idx, vm_lp)) =
-                        pick(&vm_probs, opts.vm_quantile, opts.greedy, rng)
+                    let Some((vm_idx, vm_lp)) = pick(&vm_probs, opts.vm_quantile, opts.greedy, rng)
                     else {
                         return Ok(None);
                     };
@@ -191,19 +183,13 @@ impl<P: Policy> Vmr2lAgent<P> {
                     }
                     let pm_logits = self.policy.stage2(&mut g, &s1, &feats, vm_idx);
                     let pm_probs = masked_probs(&mut g, pm_logits, &pm_mask);
-                    let Some((pm_idx, pm_lp)) =
-                        pick(&pm_probs, opts.pm_quantile, opts.greedy, rng)
+                    let Some((pm_idx, pm_lp)) = pick(&pm_probs, opts.pm_quantile, opts.greedy, rng)
                     else {
                         return Ok(None);
                     };
                     return Ok(Some(StepDecision {
                         action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
-                        stored_obs: StoredObs {
-                            obs,
-                            vm_mask,
-                            pm_mask,
-                            joint_mask: None,
-                        },
+                        stored_obs: StoredObs { obs, vm_mask, pm_mask, joint_mask: None },
                         stored_action: StoredAction { vm_idx, pm_idx },
                         log_prob: vm_lp + pm_lp,
                         value,
@@ -283,10 +269,8 @@ impl<P: Policy> Vmr2lAgent<P> {
                 let n = feats.num_pms;
                 let joint = self.joint_logits(g, &s1, &feats);
                 let flat = g.reshape(joint, 1, m * n);
-                let mask_bools = stored
-                    .joint_mask
-                    .as_ref()
-                    .expect("FullMask transitions carry a joint mask");
+                let mask_bools =
+                    stored.joint_mask.as_ref().expect("FullMask transitions carry a joint mask");
                 let mask = bool_mask_row(mask_bools);
                 let lp_row = g.masked_log_softmax_rows(flat, &mask);
                 let idx = action.vm_idx * n + action.pm_idx;
@@ -351,11 +335,7 @@ fn pick<R: Rng + ?Sized>(
 /// `true` entries (Decima-style destination subsampling). If fewer than
 /// `k` entries are legal the mask is unchanged.
 fn subsample_mask<R: Rng + ?Sized>(mask: &mut [bool], k: usize, rng: &mut R) {
-    let legal: Vec<usize> = mask
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &b)| b.then_some(i))
-        .collect();
+    let legal: Vec<usize> = mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
     if legal.len() <= k {
         return;
     }
@@ -439,10 +419,7 @@ mod tests {
     fn agent(mode: ActionMode) -> Vmr2lAgent<Vmr2lModel> {
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 32, critic_hidden: 16 };
-        Vmr2lAgent::new(
-            Vmr2lModel::new(cfg, ExtractorKind::SparseAttention, &mut rng),
-            mode,
-        )
+        Vmr2lAgent::new(Vmr2lModel::new(cfg, ExtractorKind::SparseAttention, &mut rng), mode)
     }
 
     fn env() -> ReschedEnv {
@@ -488,11 +465,7 @@ mod tests {
         let mut g = Graph::new();
         let ev = a.evaluate_actions(&mut g, &d.stored_obs, d.stored_action);
         let lp = g.value(ev.log_prob).get(0, 0);
-        assert!(
-            (lp - d.log_prob).abs() < 1e-9,
-            "evaluate {lp} vs behavior {}",
-            d.log_prob
-        );
+        assert!((lp - d.log_prob).abs() < 1e-9, "evaluate {lp} vs behavior {}", d.log_prob);
         let v = g.value(ev.value).get(0, 0);
         assert!((v - d.value).abs() < 1e-12);
         let ent = g.value(ev.entropy).get(0, 0);
@@ -550,7 +523,8 @@ mod tests {
         let mut e = env();
         let initial = e.initial_state().fragment_rate(16);
         let mut rng = StdRng::seed_from_u64(6);
-        let (final_fr, plan) = rollout_episode(&a, &mut e, &mut rng, &DecideOpts::default()).unwrap();
+        let (final_fr, plan) =
+            rollout_episode(&a, &mut e, &mut rng, &DecideOpts::default()).unwrap();
         assert!(plan.len() <= 4);
         // An untrained policy may not improve, but the value is a valid FR.
         assert!((0.0..=1.0).contains(&final_fr));
@@ -562,7 +536,8 @@ mod tests {
         let a = agent(ActionMode::TwoStage);
         let e = env();
         let mut rng = StdRng::seed_from_u64(7);
-        let opts = DecideOpts { vm_quantile: Some(0.9), pm_quantile: Some(0.9), ..Default::default() };
+        let opts =
+            DecideOpts { vm_quantile: Some(0.9), pm_quantile: Some(0.9), ..Default::default() };
         for _ in 0..10 {
             let d = a.decide(&e, &mut rng, &opts).unwrap().unwrap();
             assert!(e.action_legal(d.action).is_ok());

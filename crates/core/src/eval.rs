@@ -4,7 +4,7 @@
 //! trajectories away from low-probability (likely sub-optimal) actions.
 //!
 //! Trajectories are embarrassingly parallel; with `parallel = true` they
-//! are spread over OS threads via crossbeam's scoped threads — the CPU
+//! are spread over OS threads via `std::thread::scope` — the CPU
 //! analogue of the paper's multi-GPU generation.
 
 use std::time::{Duration, Instant};
@@ -73,35 +73,30 @@ pub fn risk_seeking_eval<P: Policy + Sync>(
     cfg: &RiskSeekingConfig,
 ) -> SimResult<RiskSeekingOutcome> {
     let start = Instant::now();
-    let opts = DecideOpts {
-        greedy: false,
-        vm_quantile: cfg.vm_quantile,
-        pm_quantile: cfg.pm_quantile,
-    };
+    let opts =
+        DecideOpts { greedy: false, vm_quantile: cfg.vm_quantile, pm_quantile: cfg.pm_quantile };
     let run_one = |t: usize| -> SimResult<(f64, Vec<Action>)> {
-        let mut env =
-            ReschedEnv::new(initial.clone(), constraints.clone(), objective, mnl)?;
+        let mut env = ReschedEnv::new(initial.clone(), constraints.clone(), objective, mnl)?;
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(t as u64));
         rollout_episode(agent, &mut env, &mut rng, &opts)
     };
 
-    let results: Vec<SimResult<(f64, Vec<Action>)>> = if cfg.parallel && cfg.trajectories > 1 {
+    type TrajResult = SimResult<(f64, Vec<Action>)>;
+    let results: Vec<TrajResult> = if cfg.parallel && cfg.trajectories > 1 {
         let threads = cfg.threads.clamp(1, cfg.trajectories);
-        let mut slots: Vec<Option<SimResult<(f64, Vec<Action>)>>> =
-            (0..cfg.trajectories).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        let mut slots: Vec<Option<TrajResult>> = (0..cfg.trajectories).map(|_| None).collect();
+        std::thread::scope(|scope| {
             for (worker, chunk) in slots.chunks_mut(cfg.trajectories.div_ceil(threads)).enumerate()
             {
                 let base = worker * cfg.trajectories.div_ceil(threads);
                 let run_one = &run_one;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(run_one(base + off));
                     }
                 });
             }
-        })
-        .expect("trajectory worker panicked");
+        });
         slots.into_iter().map(|s| s.expect("all slots filled")).collect()
     } else {
         (0..cfg.trajectories).map(run_one).collect()
@@ -135,12 +130,7 @@ pub fn greedy_eval<P: Policy>(
 ) -> SimResult<(f64, Vec<Action>)> {
     let mut env = ReschedEnv::new(initial.clone(), constraints.clone(), objective, mnl)?;
     let mut rng = StdRng::seed_from_u64(0);
-    rollout_episode(
-        agent,
-        &mut env,
-        &mut rng,
-        &DecideOpts { greedy: true, ..Default::default() },
-    )
+    rollout_episode(agent, &mut env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
 }
 
 #[cfg(test)]
@@ -173,8 +163,7 @@ mod tests {
             pm_quantile: None,
             ..Default::default()
         };
-        let out =
-            risk_seeking_eval(&agent, &state, &cs, Objective::default(), 3, &cfg).unwrap();
+        let out = risk_seeking_eval(&agent, &state, &cs, Objective::default(), 3, &cfg).unwrap();
         assert_eq!(out.all_objectives.len(), 6);
         let min = out.all_objectives.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((out.best_objective - min).abs() < 1e-12);
@@ -208,8 +197,10 @@ mod tests {
             &RiskSeekingConfig { parallel: true, threads: 2, ..base },
         )
         .unwrap();
-        assert_eq!(serial.all_objectives, parallel.all_objectives,
-            "same seeds must give identical trajectories regardless of threading");
+        assert_eq!(
+            serial.all_objectives, parallel.all_objectives,
+            "same seeds must give identical trajectories regardless of threading"
+        );
     }
 
     #[test]
@@ -223,10 +214,8 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let few =
-            risk_seeking_eval(&agent, &state, &cs, Objective::default(), 3, &mk(2)).unwrap();
-        let many =
-            risk_seeking_eval(&agent, &state, &cs, Objective::default(), 3, &mk(8)).unwrap();
+        let few = risk_seeking_eval(&agent, &state, &cs, Objective::default(), 3, &mk(2)).unwrap();
+        let many = risk_seeking_eval(&agent, &state, &cs, Objective::default(), 3, &mk(8)).unwrap();
         // Trajectory t uses seed+t, so the first 2 of `many` equal `few`.
         assert!(many.best_objective <= few.best_objective + 1e-12);
     }

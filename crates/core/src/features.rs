@@ -84,11 +84,7 @@ impl FeatureTensors {
 
 /// Converts a boolean legality mask into a `1 × n` additive mask row.
 pub fn bool_mask_row(mask: &[bool]) -> Tensor {
-    Tensor::row(
-        mask.iter()
-            .map(|&ok| if ok { 0.0 } else { MASK_OFF })
-            .collect(),
-    )
+    Tensor::row(mask.iter().map(|&ok| if ok { 0.0 } else { MASK_OFF }).collect())
 }
 
 #[cfg(test)]

@@ -66,10 +66,21 @@ impl SparseBlock {
     /// ablation (no tree stage).
     pub fn new(name: &str, cfg: &ModelConfig, use_local: bool, rng: &mut impl Rng) -> Self {
         SparseBlock {
-            local: use_local
-                .then(|| MultiHeadAttention::new(format!("{name}.local"), cfg.d_model, cfg.heads, rng)),
-            pm_self: MultiHeadAttention::new(format!("{name}.pm_self"), cfg.d_model, cfg.heads, rng),
-            vm_self: MultiHeadAttention::new(format!("{name}.vm_self"), cfg.d_model, cfg.heads, rng),
+            local: use_local.then(|| {
+                MultiHeadAttention::new(format!("{name}.local"), cfg.d_model, cfg.heads, rng)
+            }),
+            pm_self: MultiHeadAttention::new(
+                format!("{name}.pm_self"),
+                cfg.d_model,
+                cfg.heads,
+                rng,
+            ),
+            vm_self: MultiHeadAttention::new(
+                format!("{name}.vm_self"),
+                cfg.d_model,
+                cfg.heads,
+                rng,
+            ),
             cross: MultiHeadAttention::new(format!("{name}.cross"), cfg.d_model, cfg.heads, rng),
             pm_ff: FeedForward::new(format!("{name}.pm_ff"), cfg.d_model, cfg.d_ff, rng),
             vm_ff: FeedForward::new(format!("{name}.vm_ff"), cfg.d_model, cfg.d_ff, rng),
@@ -78,13 +89,7 @@ impl SparseBlock {
 
     /// Applies the block. `tree_mask` is required when the block has a
     /// local stage.
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        pm: Var,
-        vm: Var,
-        tree_mask: Option<&Tensor>,
-    ) -> BlockOut {
+    pub fn forward(&self, g: &mut Graph, pm: Var, vm: Var, tree_mask: Option<&Tensor>) -> BlockOut {
         let n = g.value(pm).rows();
         let m = g.value(vm).rows();
         // Stage 1: sparse local attention over the combined sequence.
@@ -218,10 +223,7 @@ impl Vmr2lModel {
     /// Builds the model. `extractor` must be `SparseAttention` or
     /// `VanillaAttention` (the MLP ablation is a separate type).
     pub fn new(cfg: ModelConfig, extractor: ExtractorKind, rng: &mut impl Rng) -> Self {
-        assert!(
-            extractor != ExtractorKind::Mlp,
-            "use ablate::MlpPolicy for the MLP extractor"
-        );
+        assert!(extractor != ExtractorKind::Mlp, "use ablate::MlpPolicy for the MLP extractor");
         let use_local = extractor == ExtractorKind::SparseAttention;
         let d = cfg.d_model;
         Vmr2lModel {
@@ -245,8 +247,8 @@ impl Vmr2lModel {
         let vm_in = g.constant(feats.vm.clone());
         let mut pm = self.pm_embed.forward(g, pm_in);
         let mut vm = self.vm_embed.forward(g, vm_in);
-        let tree_mask = (self.extractor == ExtractorKind::SparseAttention)
-            .then(|| feats.tree_mask());
+        let tree_mask =
+            (self.extractor == ExtractorKind::SparseAttention).then(|| feats.tree_mask());
         let mut cross_probs = None;
         for block in &self.blocks {
             let out = block.forward(g, pm, vm, tree_mask.as_ref());
@@ -327,7 +329,11 @@ mod tests {
 
     fn model(kind: ExtractorKind) -> Vmr2lModel {
         let mut rng = StdRng::seed_from_u64(0);
-        Vmr2lModel::new(ModelConfig { d_model: 16, heads: 2, blocks: 2, d_ff: 32, critic_hidden: 16 }, kind, &mut rng)
+        Vmr2lModel::new(
+            ModelConfig { d_model: 16, heads: 2, blocks: 2, d_ff: 32, critic_hidden: 16 },
+            kind,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -367,7 +373,14 @@ mod tests {
         let count = m.num_params();
         let f_small = feats(3);
         let bigger = generate_mapping(
-            &ClusterConfig { pm_groups: vec![vmr_sim::dataset::PmGroup { count: 12, cpu_per_numa: 44, mem_per_numa: 128 }], ..ClusterConfig::tiny() },
+            &ClusterConfig {
+                pm_groups: vec![vmr_sim::dataset::PmGroup {
+                    count: 12,
+                    cpu_per_numa: 44,
+                    mem_per_numa: 128,
+                }],
+                ..ClusterConfig::tiny()
+            },
             3,
         )
         .unwrap();
@@ -400,7 +413,14 @@ mod tests {
         let loss = g.add(partial, vsq);
         g.backward(loss);
         let grads = g.param_grads();
-        for name in ["vm_embed.l0.w", "pm_embed.l0.w", "vm_head.w", "pm_actor.out.w", "critic.l0.w", "block0.local.wq.w"] {
+        for name in [
+            "vm_embed.l0.w",
+            "pm_embed.l0.w",
+            "vm_head.w",
+            "pm_actor.out.w",
+            "critic.l0.w",
+            "block0.local.wq.w",
+        ] {
             let gr = grads.get(name).unwrap_or_else(|| panic!("no grad for {name}"));
             assert!(gr.norm() > 0.0, "zero grad for {name}");
         }

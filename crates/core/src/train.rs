@@ -118,10 +118,7 @@ impl<P: Policy> Trainer<P> {
         eval_set: Vec<ClusterState>,
         cfg: TrainConfig,
     ) -> SimResult<Self> {
-        let constraints = train_set
-            .iter()
-            .map(|m| ConstraintSet::new(m.num_vms()))
-            .collect();
+        let constraints = train_set.iter().map(|m| ConstraintSet::new(m.num_vms())).collect();
         Self::with_constraints(agent, train_set, eval_set, constraints, cfg)
     }
 
@@ -141,12 +138,8 @@ impl<P: Policy> Trainer<P> {
                 "one constraint set per training mapping required".into(),
             ));
         }
-        let env = ReschedEnv::new(
-            train_set[0].clone(),
-            constraints[0].clone(),
-            cfg.objective,
-            cfg.mnl,
-        )?;
+        let env =
+            ReschedEnv::new(train_set[0].clone(), constraints[0].clone(), cfg.objective, cfg.mnl)?;
         Ok(Trainer {
             agent,
             cfg,
@@ -260,10 +253,8 @@ impl<P: Policy> Trainer<P> {
 
     /// Critic value of the environment's current state.
     fn state_value(&self) -> f64 {
-        let obs = vmr_sim::obs::Observation::extract(
-            self.env.state(),
-            self.cfg.objective.frag_cores(),
-        );
+        let obs =
+            vmr_sim::obs::Observation::extract(self.env.state(), self.cfg.objective.frag_cores());
         let feats = FeatureTensors::from_observation(&obs);
         let mut g = Graph::new();
         let s1 = self.agent.policy.stage1(&mut g, &feats);
@@ -311,8 +302,16 @@ impl<P: Policy> Trainer<P> {
                     let e = entropies.expect("non-empty batch");
                     g.mean_all(e)
                 };
-                let (loss, stats) =
-                    ppo_loss(&mut g, logp, values, entropy_mean, &old_lp, &adv, &ret, &self.cfg.ppo);
+                let (loss, stats) = ppo_loss(
+                    &mut g,
+                    logp,
+                    values,
+                    entropy_mean,
+                    &old_lp,
+                    &adv,
+                    &ret,
+                    &self.cfg.ppo,
+                );
                 g.backward(loss);
                 let grads = g.param_grads();
                 self.opt.step(&mut self.agent.policy, &grads);
@@ -325,22 +324,16 @@ impl<P: Policy> Trainer<P> {
     /// Greedy evaluation: mean final objective over `episodes` eval
     /// mappings (falls back to training mappings when no eval set).
     pub fn evaluate(&mut self, episodes: usize) -> SimResult<f64> {
-        let pool: &[ClusterState] = if self.eval_set.is_empty() {
-            &self.train_set
-        } else {
-            &self.eval_set
-        };
+        let pool: &[ClusterState] =
+            if self.eval_set.is_empty() { &self.train_set } else { &self.eval_set };
         let episodes = episodes.min(pool.len()).max(1);
         let opts = DecideOpts { greedy: true, ..Default::default() };
         let mut total = 0.0;
         let mut eval_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
         for ep in 0..episodes {
             let mapping = &pool[ep % pool.len()];
-            let mut env = ReschedEnv::unconstrained(
-                mapping.clone(),
-                self.cfg.objective,
-                self.cfg.mnl,
-            )?;
+            let mut env =
+                ReschedEnv::unconstrained(mapping.clone(), self.cfg.objective, self.cfg.mnl)?;
             let (obj, _) =
                 crate::agent::rollout_episode(&self.agent, &mut env, &mut eval_rng, &opts)?;
             total += obj;
@@ -370,12 +363,7 @@ impl<P: Policy> Trainer<P> {
 fn reward_stats(buffer: &RolloutBuffer<StoredObs, StoredAction>) -> (f64, f64) {
     let n = buffer.len().max(1) as f64;
     let total: f64 = buffer.transitions().iter().map(|t| t.reward).sum();
-    let episodes = buffer
-        .transitions()
-        .iter()
-        .filter(|t| t.done)
-        .count()
-        .max(1) as f64;
+    let episodes = buffer.transitions().iter().filter(|t| t.done).count().max(1) as f64;
     (total / n, total / episodes)
 }
 
@@ -397,13 +385,19 @@ mod tests {
 
     fn trainer(mode: ActionMode, updates: usize) -> Trainer<Vmr2lModel> {
         let mut rng = StdRng::seed_from_u64(0);
-        let model_cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
+        let model_cfg =
+            ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
         let agent = Vmr2lAgent::new(
             Vmr2lModel::new(model_cfg, ExtractorKind::SparseAttention, &mut rng),
             mode,
         );
         let cfg = TrainConfig {
-            ppo: PpoConfig { rollout_steps: 24, minibatch_size: 8, epochs: 1, ..Default::default() },
+            ppo: PpoConfig {
+                rollout_steps: 24,
+                minibatch_size: 8,
+                epochs: 1,
+                ..Default::default()
+            },
             mnl: 4,
             updates,
             eval_every: 0,
@@ -479,8 +473,7 @@ mod tests {
     fn lr_schedule_anneals_during_training() {
         use vmr_rl::schedule::LinearSchedule;
         let mut t = trainer(ActionMode::TwoStage, 3);
-        t.cfg.lr_schedule =
-            Some(LinearSchedule { start: 1e-3, end: 1e-4, total: 3 });
+        t.cfg.lr_schedule = Some(LinearSchedule { start: 1e-3, end: 1e-4, total: 3 });
         t.train(|_| {}).unwrap();
         // After 3 updates the optimizer sits at the step-2 value of the
         // schedule (updates are 1-based, evaluated at update − 1).
@@ -497,13 +490,19 @@ mod tests {
     fn risk_seeking_training_runs_and_learns_from_elite_episodes() {
         use vmr_nn::layers::Module;
         let mut rng = StdRng::seed_from_u64(0);
-        let model_cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
+        let model_cfg =
+            ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
         let agent = Vmr2lAgent::new(
             Vmr2lModel::new(model_cfg, ExtractorKind::SparseAttention, &mut rng),
             ActionMode::TwoStage,
         );
         let cfg = TrainConfig {
-            ppo: PpoConfig { rollout_steps: 24, minibatch_size: 8, epochs: 1, ..Default::default() },
+            ppo: PpoConfig {
+                rollout_steps: 24,
+                minibatch_size: 8,
+                epochs: 1,
+                ..Default::default()
+            },
             mnl: 4,
             updates: 2,
             eval_every: 0,
@@ -524,7 +523,8 @@ mod tests {
     #[test]
     fn empty_train_set_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
-        let model_cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
+        let model_cfg =
+            ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
         let agent = Vmr2lAgent::new(
             Vmr2lModel::new(model_cfg, ExtractorKind::SparseAttention, &mut rng),
             ActionMode::TwoStage,

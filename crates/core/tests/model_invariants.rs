@@ -11,8 +11,8 @@ use vmr_nn::graph::Graph;
 use vmr_nn::layers::Module;
 use vmr_sim::dataset::{generate_mapping, ClusterConfig};
 use vmr_sim::env::ReschedEnv;
-use vmr_sim::obs::Observation;
 use vmr_sim::objective::Objective;
+use vmr_sim::obs::Observation;
 
 fn cfg() -> ModelConfig {
     ModelConfig { d_model: 16, heads: 2, blocks: 2, d_ff: 24, critic_hidden: 12 }
@@ -50,10 +50,7 @@ fn stage1_logits_change_after_migration() {
     };
     let before = logits(&env);
     let agent = Vmr2lAgent::new(model.clone(), ActionMode::TwoStage);
-    let d = agent
-        .decide(&env, &mut rng, &DecideOpts::default())
-        .unwrap()
-        .unwrap();
+    let d = agent.decide(&env, &mut rng, &DecideOpts::default()).unwrap().unwrap();
     env.step(d.action).unwrap();
     let after = logits(&env);
     assert_ne!(before, after, "state change must alter the policy's view");
@@ -108,17 +105,9 @@ fn untrained_policy_is_not_collapsed() {
     let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
     let state = generate_mapping(&ClusterConfig::tiny(), 6).unwrap();
     let env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
-    let d = agent
-        .decide(&env, &mut rng, &DecideOpts::default())
-        .unwrap()
-        .unwrap();
+    let d = agent.decide(&env, &mut rng, &DecideOpts::default()).unwrap().unwrap();
     let m = d.vm_probs.len() as f64;
-    let entropy: f64 = d
-        .vm_probs
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum();
+    let entropy: f64 = d.vm_probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
     assert!(
         entropy > m.ln() * 0.3,
         "untrained policy collapsed: entropy {entropy:.3} vs uniform {:.3}",

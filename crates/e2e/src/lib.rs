@@ -1,0 +1,3 @@
+//! Umbrella crate: registers the repo-level `tests/` suites and
+//! `examples/` as cargo targets. No library code of its own — see the
+//! `[[test]]` and `[[example]]` sections of this package's `Cargo.toml`.

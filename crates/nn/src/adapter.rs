@@ -101,7 +101,7 @@ mod tests {
         let y = a.forward(&mut g, xv);
         for (i, (&want, &got)) in x.data().iter().zip(g.value(y).data()).enumerate() {
             assert!(
-                ((want - got) as f64).abs() < 1e-12,
+                (want - got).abs() < 1e-12,
                 "slot {i}: {want} vs {got} — zero up-proj must give identity"
             );
         }

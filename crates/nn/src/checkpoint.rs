@@ -149,10 +149,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let ckpt = Checkpoint::default();
         let mut m = Linear::new("l", 2, 2, &mut rng);
-        assert!(matches!(
-            ckpt.restore(&mut m),
-            Err(CheckpointError::MissingParam(_))
-        ));
+        assert!(matches!(ckpt.restore(&mut m), Err(CheckpointError::MissingParam(_))));
     }
 
     #[test]
@@ -161,10 +158,7 @@ mod tests {
         let small = Linear::new("l", 2, 2, &mut rng);
         let ckpt = Checkpoint::capture(&small);
         let mut big = Linear::new("l", 3, 2, &mut rng);
-        assert!(matches!(
-            ckpt.restore(&mut big),
-            Err(CheckpointError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(ckpt.restore(&mut big), Err(CheckpointError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl Graph {
     /// Gradient of a node after [`Graph::backward`]; zeros if unreached.
     pub fn grad(&self, v: Var) -> Tensor {
         let n = &self.nodes[v.0];
-        n.grad
-            .clone()
-            .unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
+        n.grad.clone().unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
     }
 
     /// Number of nodes on the tape.
@@ -515,17 +513,16 @@ impl Graph {
                     let av = self.nodes[a.0].value.clone();
                     let bv = self.nodes[b.0].value.clone();
                     // Ties route gradient to `a` (subgradient choice).
-                    let da = g.zip(&av.zip(&bv, |x, y| if x <= y { 1.0 } else { 0.0 }), |gg, m| gg * m);
-                    let db = g.zip(&av.zip(&bv, |x, y| if x > y { 1.0 } else { 0.0 }), |gg, m| gg * m);
+                    let da =
+                        g.zip(&av.zip(&bv, |x, y| if x <= y { 1.0 } else { 0.0 }), |gg, m| gg * m);
+                    let db =
+                        g.zip(&av.zip(&bv, |x, y| if x > y { 1.0 } else { 0.0 }), |gg, m| gg * m);
                     self.accum(a, da);
                     self.accum(b, db);
                 }
                 Op::Clamp(x, lo, hi) => {
                     let xv = self.nodes[x.0].value.clone();
-                    self.accum(
-                        x,
-                        g.zip(&xv, |gg, v| if v > lo && v < hi { gg } else { 0.0 }),
-                    );
+                    self.accum(x, g.zip(&xv, |gg, v| if v > lo && v < hi { gg } else { 0.0 }));
                 }
                 Op::Transpose(x) => self.accum(x, g.transpose()),
             }
@@ -646,12 +643,7 @@ mod tests {
 
     /// Central finite-difference check of d(loss)/d(input) for a scalar
     /// loss built by `build` from a single input tensor.
-    fn gradcheck(
-        rows: usize,
-        cols: usize,
-        seed: u64,
-        build: impl Fn(&mut Graph, Var) -> Var,
-    ) {
+    fn gradcheck(rows: usize, cols: usize, seed: u64, build: impl Fn(&mut Graph, Var) -> Var) {
         let mut rng = StdRng::seed_from_u64(seed);
         let x0 = Tensor::from_vec(
             rows,
@@ -770,11 +762,8 @@ mod tests {
     #[test]
     fn gradcheck_broadcast_rows() {
         gradcheck(1, 4, 7, |g, x| {
-            let base = g.constant(Tensor::from_vec(
-                3,
-                4,
-                (0..12).map(|i| i as f64 * 0.1).collect(),
-            ));
+            let base =
+                g.constant(Tensor::from_vec(3, 4, (0..12).map(|i| i as f64 * 0.1).collect()));
             let y = g.add_row(base, x);
             let z = g.mul_row(y, x);
             g.mean_all(z)

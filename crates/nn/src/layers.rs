@@ -209,12 +209,7 @@ pub struct AttentionOut {
 impl MultiHeadAttention {
     /// Builds an attention layer over model width `d_model` with `heads`
     /// heads (`d_model % heads == 0`).
-    pub fn new(
-        name: impl Into<String>,
-        d_model: usize,
-        heads: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, d_model: usize, heads: usize, rng: &mut impl Rng) -> Self {
         assert!(heads > 0 && d_model.is_multiple_of(heads), "d_model must divide by heads");
         let name = name.into();
         MultiHeadAttention {

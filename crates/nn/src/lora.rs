@@ -207,13 +207,17 @@ mod tests {
         let mut r = rng();
         let base = Linear::new("enc", 3, 1, &mut r);
         let mut lora = LoraLinear::wrap(base, 1, 2.0, &mut r);
-        let x = Tensor::from_vec(4, 3, vec![
-            1.0, 0.0, 0.0,
-            0.0, 1.0, 0.0,
-            0.0, 0.0, 1.0,
-            1.0, 1.0, 1.0,
-        ]);
-        let target = Tensor::from_vec(4, 1, vec![1.0, -2.0, 0.5, 3.0]);
+        let x = Tensor::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        );
+        // The fourth row of x is the sum of the first three and the base
+        // bias is frozen, so the target must satisfy t4 = t1 + t2 + t3
+        // for the adapter's optimum to reach zero loss; an inconsistent
+        // target leaves an init-dependent floor and makes the halving
+        // assertion a coin flip over the RNG stream.
+        let target = Tensor::from_vec(4, 1, vec![1.0, -2.0, 0.5, -0.5]);
         let mut opt = Adam::new(AdamConfig { lr: 0.05, max_grad_norm: None, ..Default::default() });
         opt.freeze_prefixes(&[lora.base_prefix()]);
 

@@ -113,11 +113,7 @@ impl Adam {
 
 /// Global L2 norm of a gradient set.
 pub fn global_norm(grads: &HashMap<String, Tensor>) -> f64 {
-    grads
-        .values()
-        .map(|g| g.data().iter().map(|v| v * v).sum::<f64>())
-        .sum::<f64>()
-        .sqrt()
+    grads.values().map(|g| g.data().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
 }
 
 #[cfg(test)]
@@ -134,12 +130,11 @@ mod tests {
     fn adam_minimizes_quadratic() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut lin = Linear::new("l", 3, 1, &mut rng);
-        let x = Tensor::from_vec(4, 3, vec![
-            1.0, 0.0, 0.0,
-            0.0, 1.0, 0.0,
-            0.0, 0.0, 1.0,
-            1.0, 1.0, 1.0,
-        ]);
+        let x = Tensor::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        );
         let target = Tensor::from_vec(4, 1, vec![2.0, -1.0, 0.5, 1.5]);
         let mut opt = Adam::new(AdamConfig { lr: 0.05, max_grad_norm: None, ..Default::default() });
         let mut last = f64::INFINITY;
@@ -175,7 +170,8 @@ mod tests {
         assert!(norm_before > 1e6);
         let mut before = Vec::new();
         lin.visit_params(&mut |_, t| before.extend_from_slice(t.data()));
-        let mut opt = Adam::new(AdamConfig { lr: 0.01, max_grad_norm: Some(1.0), ..Default::default() });
+        let mut opt =
+            Adam::new(AdamConfig { lr: 0.01, max_grad_norm: Some(1.0), ..Default::default() });
         opt.step(&mut lin, &grads);
         let mut after = Vec::new();
         lin.visit_params(&mut |_, t| after.extend_from_slice(t.data()));

@@ -143,11 +143,7 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Elementwise binary zip.
@@ -160,12 +156,7 @@ impl Tensor {
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 

@@ -96,12 +96,8 @@ impl<O, A> RolloutBuffer<O, A> {
         }
         if normalize && n > 1 {
             let mean = self.advantages.iter().sum::<f64>() / n as f64;
-            let var = self
-                .advantages
-                .iter()
-                .map(|a| (a - mean) * (a - mean))
-                .sum::<f64>()
-                / n as f64;
+            let var =
+                self.advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
             let std = var.sqrt().max(1e-8);
             for a in &mut self.advantages {
                 *a = (*a - mean) / std;
@@ -178,8 +174,8 @@ impl<O, A> RolloutBuffer<O, A> {
         let returns = self.episode_returns();
         let mut sorted = returns.clone();
         sorted.sort_by(f64::total_cmp);
-        let idx = ((risk_quantile * (sorted.len() - 1) as f64).floor() as usize)
-            .min(sorted.len() - 1);
+        let idx =
+            ((risk_quantile * (sorted.len() - 1) as f64).floor() as usize).min(sorted.len() - 1);
         let threshold = sorted[idx];
 
         let mut keep = vec![false; self.transitions.len()];
@@ -189,8 +185,8 @@ impl<O, A> RolloutBuffer<O, A> {
             }
         }
         let mut slot = 0;
-        for i in 0..self.transitions.len() {
-            if keep[i] {
+        for (i, &keep_it) in keep.iter().enumerate() {
+            if keep_it {
                 self.transitions.swap(slot, i);
                 self.advantages.swap(slot, i);
                 self.returns.swap(slot, i);

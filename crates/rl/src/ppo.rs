@@ -74,6 +74,9 @@ pub struct PpoStats {
 ///
 /// Returns the scalar loss node and diagnostics computed from forward
 /// values.
+// The argument list mirrors the loss equation's inputs; bundling them
+// into a struct would just rename the problem.
+#[allow(clippy::too_many_arguments)]
 pub fn ppo_loss(
     g: &mut Graph,
     new_log_prob: Var,
@@ -117,11 +120,8 @@ pub fn ppo_loss(
 
     // Diagnostics from forward values.
     let ratio_vals = g.value(ratio).data().to_vec();
-    let clip_frac = ratio_vals
-        .iter()
-        .filter(|&&r| (r - 1.0).abs() > cfg.clip_eps)
-        .count() as f64
-        / k as f64;
+    let clip_frac =
+        ratio_vals.iter().filter(|&&r| (r - 1.0).abs() > cfg.clip_eps).count() as f64 / k as f64;
     let approx_kl = g
         .value(diff)
         .data()
@@ -167,11 +167,7 @@ mod tests {
         let (loss, stats) = ppo_loss(&mut g, lp, v, ent, &old_lp, &adv, &ret, cfg);
         g.backward(loss);
         let grads = g.param_grads();
-        (
-            grads["lp"].data().to_vec(),
-            grads["v"].data().to_vec(),
-            stats,
-        )
+        (grads["lp"].data().to_vec(), grads["v"].data().to_vec(), stats)
     }
 
     #[test]
@@ -195,14 +191,8 @@ mod tests {
         let cfg = PpoConfig { clip_eps: 0.2, ..Default::default() };
         // ratio = e^{1.0} ≈ 2.72, far above 1.2, with positive advantage:
         // min(ratio·A, clip·A) = clip·A which has zero grad w.r.t. lp.
-        let (glp, _, stats) = grads_for(
-            vec![0.0],
-            vec![0.0],
-            vec![-1.0],
-            vec![1.0],
-            vec![0.0],
-            &cfg,
-        );
+        let (glp, _, stats) =
+            grads_for(vec![0.0], vec![0.0], vec![-1.0], vec![1.0], vec![0.0], &cfg);
         assert!(glp[0].abs() < 1e-12, "clipped ratio must stop the gradient");
         assert!(stats.clip_frac > 0.99);
         assert!(stats.approx_kl > 0.0);

@@ -17,7 +17,8 @@ impl Categorical {
     pub fn new(probs: &[f64]) -> Option<Self> {
         let probs: Vec<f64> = probs.iter().map(|&p| p.max(0.0)).collect();
         let total: f64 = probs.iter().sum();
-        if !(total > 0.0) || !total.is_finite() {
+        // NaN totals fall through to the finiteness check.
+        if total <= 0.0 || !total.is_finite() {
             return None;
         }
         Some(Categorical { probs, total })
@@ -66,10 +67,7 @@ impl Categorical {
             }
         }
         // Floating-point tail: return the last positive-mass category.
-        self.probs
-            .iter()
-            .rposition(|&p| p > 0.0)
-            .expect("total > 0 implies a positive entry")
+        self.probs.iter().rposition(|&p| p > 0.0).expect("total > 0 implies a positive entry")
     }
 
     /// The highest-probability category (greedy decoding).
@@ -120,11 +118,7 @@ pub fn quantile_keep_mask(probs: &[f64], quantile: f64) -> Vec<bool> {
 
 /// Applies a keep-mask to probabilities (zeroing dropped entries).
 pub fn apply_keep_mask(probs: &[f64], mask: &[bool]) -> Vec<f64> {
-    probs
-        .iter()
-        .zip(mask)
-        .map(|(&p, &keep)| if keep { p } else { 0.0 })
-        .collect()
+    probs.iter().zip(mask).map(|(&p, &keep)| if keep { p } else { 0.0 }).collect()
 }
 
 #[cfg(test)]

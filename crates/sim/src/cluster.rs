@@ -455,11 +455,8 @@ impl ClusterState {
         if total == 0 {
             return 0.0;
         }
-        let used: u64 = self
-            .pms
-            .iter()
-            .map(|p| p.numas.iter().map(|n| n.cpu_used as u64).sum::<u64>())
-            .sum();
+        let used: u64 =
+            self.pms.iter().map(|p| p.numas.iter().map(|n| n.cpu_used as u64).sum::<u64>()).sum();
         used as f64 / total as f64
     }
 
@@ -491,10 +488,7 @@ impl ClusterState {
                     )));
                 }
                 if numa.cpu_used > numa.cpu_total || numa.mem_used > numa.mem_total {
-                    return Err(SimError::InvalidMapping(format!(
-                        "PM {} oversubscribed",
-                        pm.id.0
-                    )));
+                    return Err(SimError::InvalidMapping(format!("PM {} oversubscribed", pm.id.0)));
                 }
             }
         }
@@ -523,15 +517,13 @@ impl ClusterState {
 /// bookkeeping): the feasible placement minimizing the resulting X-core
 /// fragment, ties to the lower NUMA index.
 fn best_fit_on(pm: &Pm, vm: &Vm, frag_cores: u32) -> Option<NumaPlacement> {
-    vm.candidate_placements()
-        .iter()
-        .copied()
-        .filter(|&pl| placement_fits(pm, vm, pl))
-        .min_by_key(|&pl| {
+    vm.candidate_placements().iter().copied().filter(|&pl| placement_fits(pm, vm, pl)).min_by_key(
+        |&pl| {
             let mut scratch = pm.clone();
             alloc_to(&mut scratch, vm, pl);
             scratch.cpu_fragment(frag_cores)
-        })
+        },
+    )
 }
 
 fn release_from(pm: &mut Pm, vm: &Vm, numa: NumaPlacement) {
@@ -552,10 +544,9 @@ fn alloc_to(pm: &mut Pm, vm: &Vm, numa: NumaPlacement) {
         NumaPlacement::Single(j) => {
             pm.numas[j as usize].try_alloc(vm.cpu_per_numa(), vm.mem_per_numa())
         }
-        NumaPlacement::Double => pm
-            .numas
-            .iter_mut()
-            .all(|n| n.try_alloc(vm.cpu_per_numa(), vm.mem_per_numa())),
+        NumaPlacement::Double => {
+            pm.numas.iter_mut().all(|n| n.try_alloc(vm.cpu_per_numa(), vm.mem_per_numa()))
+        }
     };
     debug_assert!(ok, "alloc_to called without a prior capacity check");
 }
@@ -567,10 +558,7 @@ mod tests {
 
     fn small_cluster() -> ClusterState {
         // Two PMs with 44 cores / 128 GiB per NUMA; three VMs.
-        let pms = vec![
-            Pm::symmetric(PmId(0), 44, 128),
-            Pm::symmetric(PmId(1), 44, 128),
-        ];
+        let pms = vec![Pm::symmetric(PmId(0), 44, 128), Pm::symmetric(PmId(1), 44, 128)];
         let vms = vec![
             Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single },
             Vm { id: VmId(1), cpu: 8, mem: 16, numa: NumaPolicy::Single },

@@ -27,10 +27,7 @@ pub struct ConstraintSet {
 impl ConstraintSet {
     /// An empty constraint set sized for `num_vms` VMs.
     pub fn new(num_vms: usize) -> Self {
-        ConstraintSet {
-            conflicts: vec![Vec::new(); num_vms],
-            pinned: vec![false; num_vms],
-        }
+        ConstraintSet { conflicts: vec![Vec::new(); num_vms], pinned: vec![false; num_vms] }
     }
 
     /// Number of VMs this constraint set covers.
@@ -76,10 +73,7 @@ impl ConstraintSet {
 
     /// Pins a VM so it is never selected for migration.
     pub fn pin(&mut self, vm: VmId) -> SimResult<()> {
-        let slot = self
-            .pinned
-            .get_mut(vm.0 as usize)
-            .ok_or(SimError::UnknownVm(vm))?;
+        let slot = self.pinned.get_mut(vm.0 as usize).ok_or(SimError::UnknownVm(vm))?;
         *slot = true;
         Ok(())
     }
@@ -91,10 +85,7 @@ impl ConstraintSet {
 
     /// The conflict list of a VM.
     pub fn conflicts_of(&self, vm: VmId) -> &[VmId] {
-        self.conflicts
-            .get(vm.0 as usize)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.conflicts.get(vm.0 as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Affinity ratio as the paper defines it: the average fraction of all
@@ -110,21 +101,12 @@ impl ConstraintSet {
 
     /// Returns the first conflicting VM already hosted on `pm`, if any.
     /// When migrating, the VM's own presence on the PM is ignored.
-    pub fn conflict_on_pm(
-        &self,
-        state: &ClusterState,
-        vm: VmId,
-        pm: PmId,
-    ) -> Option<VmId> {
+    pub fn conflict_on_pm(&self, state: &ClusterState, vm: VmId, pm: PmId) -> Option<VmId> {
         let mine = self.conflicts_of(vm);
         if mine.is_empty() {
             return None;
         }
-        state
-            .vms_on(pm)
-            .iter()
-            .copied()
-            .find(|other| *other != vm && mine.contains(other))
+        state.vms_on(pm).iter().copied().find(|other| *other != vm && mine.contains(other))
     }
 
     /// Full legality check for migrating `vm` to `pm`: capacity (some NUMA
@@ -137,9 +119,7 @@ impl ConstraintSet {
         }
         let current = state.placement(vm);
         let feasible = state.feasible_placements(vm, pm)?;
-        let has_slot = feasible
-            .iter()
-            .any(|&pl| !(current.pm == pm && current.numa == pl));
+        let has_slot = feasible.iter().any(|&pl| !(current.pm == pm && current.numa == pl));
         if !has_slot {
             if current.pm == pm {
                 return Err(SimError::NoOpMigration(vm));

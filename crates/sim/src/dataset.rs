@@ -265,21 +265,15 @@ impl ClusterConfig {
 pub fn generate_mapping(config: &ClusterConfig, seed: u64) -> SimResult<ClusterState> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dyn_cluster = DynamicCluster::from_pms(config.build_pms());
-    let total_cpu: u64 = config
-        .pm_groups
-        .iter()
-        .map(|g| (g.count as u64) * 2 * g.cpu_per_numa as u64)
-        .sum();
+    let total_cpu: u64 =
+        config.pm_groups.iter().map(|g| (g.count as u64) * 2 * g.cpu_per_numa as u64).sum();
     let target_used = (total_cpu as f64 * config.target_util) as u64;
 
     // Phase 1: best-fit fill.
     let mut consecutive_failures = 0usize;
     while dyn_cluster.used_cpu() < target_used && consecutive_failures < 64 {
         let flavor = config.vm_mix.sample(&mut rng);
-        if dyn_cluster
-            .best_fit_arrival(flavor.cpu, flavor.mem, flavor.numa)
-            .is_some()
-        {
+        if dyn_cluster.best_fit_arrival(flavor.cpu, flavor.mem, flavor.numa).is_some() {
             consecutive_failures = 0;
         } else {
             consecutive_failures += 1;
@@ -471,8 +465,22 @@ mod tests {
 
     #[test]
     fn workload_presets_order_utilization() {
-        let low = generate_mapping(&ClusterConfig { pm_groups: vec![PmGroup { count: 10, cpu_per_numa: 44, mem_per_numa: 128 }], ..ClusterConfig::workload_low() }, 3).unwrap();
-        let high = generate_mapping(&ClusterConfig { pm_groups: vec![PmGroup { count: 10, cpu_per_numa: 44, mem_per_numa: 128 }], ..ClusterConfig::workload_high() }, 3).unwrap();
+        let low = generate_mapping(
+            &ClusterConfig {
+                pm_groups: vec![PmGroup { count: 10, cpu_per_numa: 44, mem_per_numa: 128 }],
+                ..ClusterConfig::workload_low()
+            },
+            3,
+        )
+        .unwrap();
+        let high = generate_mapping(
+            &ClusterConfig {
+                pm_groups: vec![PmGroup { count: 10, cpu_per_numa: 44, mem_per_numa: 128 }],
+                ..ClusterConfig::workload_high()
+            },
+            3,
+        )
+        .unwrap();
         assert!(high.cpu_utilization() > low.cpu_utilization());
     }
 

@@ -59,9 +59,7 @@ impl DayCycleConfig {
 
     fn validated(&self) -> SimResult<()> {
         if self.days == 0 || self.sample_every == 0 {
-            return Err(SimError::InvalidMapping(
-                "days and sample_every must be ≥ 1".into(),
-            ));
+            return Err(SimError::InvalidMapping("days and sample_every must be ≥ 1".into()));
         }
         if let Some(m) = self.vmr_minute {
             if m >= MINUTES_PER_DAY {
@@ -181,7 +179,7 @@ where
                     dropped,
                 });
             }
-            if minute % cfg.sample_every == 0 {
+            if minute.is_multiple_of(cfg.sample_every) {
                 samples.push(FrSample {
                     minute,
                     fr: cluster.fragment_rate(cfg.frag_cores),
@@ -278,13 +276,8 @@ mod tests {
     #[test]
     fn rescheduling_beats_no_rescheduling_on_average() {
         let (state, cfg) = setup();
-        let with = run_day_cycle(
-            &state,
-            &mut greedy_planner,
-            &cfg,
-            &mut StdRng::seed_from_u64(3),
-        )
-        .unwrap();
+        let with = run_day_cycle(&state, &mut greedy_planner, &cfg, &mut StdRng::seed_from_u64(3))
+            .unwrap();
         let without = run_day_cycle(
             &state,
             &mut |_: &ClusterState, _| Vec::new(),

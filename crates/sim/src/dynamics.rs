@@ -67,18 +67,12 @@ impl DynamicCluster {
 
     /// Total CPU currently allocated.
     pub fn used_cpu(&self) -> u64 {
-        self.pms
-            .iter()
-            .map(|p| p.numas.iter().map(|n| n.cpu_used as u64).sum::<u64>())
-            .sum()
+        self.pms.iter().map(|p| p.numas.iter().map(|n| n.cpu_used as u64).sum::<u64>()).sum()
     }
 
     /// Whether a VM id refers to an alive VM.
     pub fn is_alive(&self, vm: VmId) -> bool {
-        self.vms
-            .get(vm.0 as usize)
-            .map(|slot| slot.is_some())
-            .unwrap_or(false)
+        self.vms.get(vm.0 as usize).map(|slot| slot.is_some()).unwrap_or(false)
     }
 
     /// X-core fragment rate over the current PM population.
@@ -123,10 +117,7 @@ impl DynamicCluster {
 
     /// Removes a specific VM, freeing its resources.
     pub fn exit(&mut self, vm: VmId) -> SimResult<()> {
-        let slot = self
-            .vms
-            .get_mut(vm.0 as usize)
-            .ok_or(SimError::UnknownVm(vm))?;
+        let slot = self.vms.get_mut(vm.0 as usize).ok_or(SimError::UnknownVm(vm))?;
         let (v, pl) = slot.take().ok_or(SimError::UnknownVm(vm))?;
         release_unchecked(&mut self.pms[pl.pm.0 as usize], &v, pl.numa);
         self.alive -= 1;
@@ -157,12 +148,8 @@ impl DynamicCluster {
     /// Redeploys `frac` of alive VMs onto uniformly random feasible PMs
     /// (the dataset anonymization step).
     pub fn random_redeploy<R: Rng + ?Sized>(&mut self, frac: f64, rng: &mut R) {
-        let ids: Vec<usize> = self
-            .vms
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i))
-            .collect();
+        let ids: Vec<usize> =
+            self.vms.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i)).collect();
         for &idx in &ids {
             if rng.gen::<f64>() >= frac {
                 continue;
@@ -254,11 +241,7 @@ impl DynamicCluster {
     /// snapshot. Lets callers translate plans computed on a snapshot
     /// back onto the live cluster.
     pub fn alive_ids(&self) -> Vec<VmId> {
-        self.vms
-            .iter()
-            .flatten()
-            .map(|(vm, _)| vm.id)
-            .collect()
+        self.vms.iter().flatten().map(|(vm, _)| vm.id).collect()
     }
 
     /// Freezes the dynamic cluster into a static [`ClusterState`]: alive
@@ -281,10 +264,9 @@ fn alloc_unchecked(pm: &mut Pm, vm: &Vm, pl: NumaPlacement) {
         NumaPlacement::Single(j) => {
             pm.numas[j as usize].try_alloc(vm.cpu_per_numa(), vm.mem_per_numa())
         }
-        NumaPlacement::Double => pm
-            .numas
-            .iter_mut()
-            .all(|n| n.try_alloc(vm.cpu_per_numa(), vm.mem_per_numa())),
+        NumaPlacement::Double => {
+            pm.numas.iter_mut().all(|n| n.try_alloc(vm.cpu_per_numa(), vm.mem_per_numa()))
+        }
     };
     debug_assert!(ok, "caller must check placement_fits first");
 }
@@ -327,14 +309,7 @@ pub fn staleness_experiment(
 ) -> StalenessOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cluster = DynamicCluster::from_state(initial);
-    cluster.churn(
-        model.off_peak_minute(),
-        delay_minutes,
-        model,
-        exit_frac,
-        mix,
-        &mut rng,
-    );
+    cluster.churn(model.off_peak_minute(), delay_minutes, model, exit_frac, mix, &mut rng);
     let mut applied = 0;
     let mut dropped = 0;
     for &a in plan {
@@ -402,15 +377,13 @@ mod tests {
         // Find a VM and a destination with room.
         let vm = VmId(0);
         let src = s.placement(vm).pm;
-        let dest = (0..s.num_pms() as u32)
-            .map(PmId)
-            .find(|&p| p != src && {
+        let dest = (0..s.num_pms() as u32).map(PmId).find(|&p| {
+            p != src && {
                 let pm = &d.pms[p.0 as usize];
                 let v = s.vm(vm);
-                v.candidate_placements()
-                    .iter()
-                    .any(|&pl| placement_fits(pm, v, pl))
-            });
+                v.candidate_placements().iter().any(|&pl| placement_fits(pm, v, pl))
+            }
+        });
         if let Some(dest) = dest {
             assert!(d.try_apply(Action { vm, pm: dest }));
             let (_, pl) = d.vms[0].unwrap();

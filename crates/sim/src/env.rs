@@ -102,9 +102,7 @@ impl ReschedEnv {
     /// Replaces the initial mapping (a new episode sample) and resets.
     pub fn reset_to(&mut self, initial: ClusterState, constraints: ConstraintSet) -> SimResult<()> {
         if constraints.num_vms() != initial.num_vms() {
-            return Err(SimError::InvalidMapping(
-                "constraint set size mismatch on reset".into(),
-            ));
+            return Err(SimError::InvalidMapping("constraint set size mismatch on reset".into()));
         }
         self.initial = initial;
         self.constraints = constraints;
@@ -182,21 +180,16 @@ impl ReschedEnv {
             self.done = true;
             return Err(SimError::MnlExhausted);
         }
-        self.constraints
-            .migration_legal(&self.state, action.vm, action.pm)?;
+        self.constraints.migration_legal(&self.state, action.vm, action.pm)?;
         let src = self.state.placement(action.vm).pm;
         let dest = action.pm;
         let src_score = self.objective.pm_score(&self.state, src);
         let dest_score = self.objective.pm_score(&self.state, dest);
-        let record = self
-            .state
-            .migrate(action.vm, action.pm, self.objective.frag_cores())?;
+        let record = self.state.migrate(action.vm, action.pm, self.objective.frag_cores())?;
         self.steps_taken += 1;
         self.history.push(record);
 
-        let mut reward =
-            self.objective
-                .step_reward(&self.state, src, dest, src_score, dest_score);
+        let mut reward = self.objective.step_reward(&self.state, src, dest, src_score, dest_score);
         let objective = self.objective.value(&self.state);
         reward += self.objective.goal_bonus(objective);
         let goal_hit = self.objective.reached_goal(objective);
@@ -222,10 +215,7 @@ mod tests {
     use crate::types::{NumaPlacement, NumaPolicy};
 
     fn env(mnl: usize) -> ReschedEnv {
-        let pms = vec![
-            Pm::symmetric(PmId(0), 44, 128),
-            Pm::symmetric(PmId(1), 44, 128),
-        ];
+        let pms = vec![Pm::symmetric(PmId(0), 44, 128), Pm::symmetric(PmId(1), 44, 128)];
         let vms = vec![
             Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single },
             Vm { id: VmId(1), cpu: 8, mem: 16, numa: NumaPolicy::Single },
@@ -248,10 +238,7 @@ mod tests {
         let o2 = e.step(Action { vm: VmId(2), pm: PmId(1) }).unwrap();
         assert!(o2.done);
         assert!(e.is_done());
-        assert!(matches!(
-            e.step(Action { vm: VmId(2), pm: PmId(0) }),
-            Err(SimError::EpisodeDone)
-        ));
+        assert!(matches!(e.step(Action { vm: VmId(2), pm: PmId(0) }), Err(SimError::EpisodeDone)));
     }
 
     #[test]
@@ -297,12 +284,9 @@ mod tests {
         let state = ClusterState::new(pms, vms, placements).unwrap();
         // The initial FR is (12%16 + 16%16*3-ish)/free; pick a generous goal so
         // any step reaching it terminates the episode.
-        let mut e = ReschedEnv::unconstrained(
-            state,
-            Objective::MnlToGoal { fr_goal: 1.0, cores: 16 },
-            5,
-        )
-        .unwrap();
+        let mut e =
+            ReschedEnv::unconstrained(state, Objective::MnlToGoal { fr_goal: 1.0, cores: 16 }, 5)
+                .unwrap();
         let out = e.step(Action { vm: VmId(0), pm: PmId(1) }).unwrap();
         assert!(out.done, "goal reached should end the episode");
         assert!(out.reward >= 10.0 - 1.0); // bonus dominates

@@ -52,11 +52,9 @@ impl fmt::Display for SimError {
             SimError::NumaPolicyViolation(vm) => {
                 write!(f, "VM {} NUMA deployment policy cannot be satisfied", vm.0)
             }
-            SimError::AntiAffinityViolation { vm, conflicting } => write!(
-                f,
-                "VM {} conflicts with VM {} on the destination PM",
-                vm.0, conflicting.0
-            ),
+            SimError::AntiAffinityViolation { vm, conflicting } => {
+                write!(f, "VM {} conflicts with VM {} on the destination PM", vm.0, conflicting.0)
+            }
             SimError::NoOpMigration(vm) => {
                 write!(f, "VM {} is already on the destination PM", vm.0)
             }

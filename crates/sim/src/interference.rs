@@ -80,7 +80,10 @@ impl UsageProfiles {
                     VmUsage { mean_util: mean, burst_util: (mean + 0.05).min(1.0) }
                 } else {
                     let mean = rng.gen_range(0.05..0.35);
-                    VmUsage { mean_util: mean, burst_util: (mean + rng.gen_range(0.05..0.2)).min(1.0) }
+                    VmUsage {
+                        mean_util: mean,
+                        burst_util: (mean + rng.gen_range(0.05..0.2)).min(1.0),
+                    }
                 }
             })
             .collect();
@@ -204,9 +207,8 @@ impl InterferenceModel {
         if state.num_pms() == 0 {
             return 0.0;
         }
-        let sum: f64 = (0..state.num_pms())
-            .map(|i| self.pm_penalty(state, profiles, PmId(i as u32)))
-            .sum();
+        let sum: f64 =
+            (0..state.num_pms()).map(|i| self.pm_penalty(state, profiles, PmId(i as u32))).sum();
         sum / state.num_pms() as f64
     }
 
@@ -249,11 +251,8 @@ impl InterferenceModel {
         profiles: &UsageProfiles,
         group_size: usize,
     ) -> SimResult<ConstraintSet> {
-        let noisy: Vec<VmId> = self
-            .noisiest_vms(state, profiles, group_size)
-            .into_iter()
-            .map(|(v, _)| v)
-            .collect();
+        let noisy: Vec<VmId> =
+            self.noisiest_vms(state, profiles, group_size).into_iter().map(|(v, _)| v).collect();
         let mut cs = ConstraintSet::new(state.num_vms());
         cs.add_conflict_group(&noisy)?;
         Ok(cs)
@@ -343,11 +342,9 @@ mod tests {
     #[test]
     fn idle_cluster_scores_zero() {
         let (state, _) = setup();
-        let quiet = UsageProfiles::new(vec![
-            VmUsage { mean_util: 0.05, burst_util: 0.1 };
-            state.num_vms()
-        ])
-        .unwrap();
+        let quiet =
+            UsageProfiles::new(vec![VmUsage { mean_util: 0.05, burst_util: 0.1 }; state.num_vms()])
+                .unwrap();
         let m = InterferenceModel::default();
         assert_eq!(m.cluster_score(&state, &quiet), 0.0);
         assert!(m.noisiest_vms(&state, &quiet, 5).is_empty());
@@ -356,11 +353,9 @@ mod tests {
     #[test]
     fn saturated_cluster_scores_positive_and_burst_is_pessimistic() {
         let (state, _) = setup();
-        let hot = UsageProfiles::new(vec![
-            VmUsage { mean_util: 0.95, burst_util: 1.0 };
-            state.num_vms()
-        ])
-        .unwrap();
+        let hot =
+            UsageProfiles::new(vec![VmUsage { mean_util: 0.95, burst_util: 1.0 }; state.num_vms()])
+                .unwrap();
         let mean_model = InterferenceModel::default();
         let burst_model = InterferenceModel { use_burst: true, ..Default::default() };
         let s_mean = mean_model.cluster_score(&state, &hot);

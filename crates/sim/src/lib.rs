@@ -52,8 +52,8 @@ pub mod interference;
 pub mod lifetime;
 pub mod machine;
 pub mod migration;
-pub mod obs;
 pub mod objective;
+pub mod obs;
 pub mod scheduler;
 pub mod trace;
 pub mod types;

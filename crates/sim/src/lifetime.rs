@@ -55,8 +55,8 @@ impl LifetimeModel {
         let mut rng = StdRng::seed_from_u64(seed);
         // sigma 1.2 gives the long right tail observed in production VM
         // lifetime studies; mu = ln(median) by the log-normal identity.
-        let dist = LogNormal::new(median_secs.max(1.0).ln(), 1.2)
-            .expect("valid log-normal parameters");
+        let dist =
+            LogNormal::new(median_secs.max(1.0).ln(), 1.2).expect("valid log-normal parameters");
         let remaining_secs = (0..state.num_vms()).map(|_| dist.sample(&mut rng)).collect();
         LifetimeModel { remaining_secs }
     }
@@ -113,11 +113,7 @@ impl FilteredPlan {
 /// principle invalidate a later step that depended on the freed space,
 /// so callers should re-validate with a replay (the environment drops
 /// infeasible steps exactly like the paper's footnote 7).
-pub fn filter_plan(
-    plan: &[Action],
-    lifetimes: &LifetimeModel,
-    window_secs: f64,
-) -> FilteredPlan {
+pub fn filter_plan(plan: &[Action], lifetimes: &LifetimeModel, window_secs: f64) -> FilteredPlan {
     let mut kept = Vec::with_capacity(plan.len());
     let mut dropped = Vec::new();
     for &action in plan {
@@ -191,9 +187,7 @@ mod tests {
         assert!(plan.len() >= 2);
         // Hand-crafted lifetimes: even VM ids live 10 s, odd live 10 000 s.
         let lifetimes = LifetimeModel::new(
-            (0..s.num_vms())
-                .map(|k| if k % 2 == 0 { 10.0 } else { 10_000.0 })
-                .collect(),
+            (0..s.num_vms()).map(|k| if k % 2 == 0 { 10.0 } else { 10_000.0 }).collect(),
         )
         .unwrap();
         let filtered = filter_plan(&plan, &lifetimes, 60.0);

@@ -209,10 +209,9 @@ pub fn placement_fits(pm: &Pm, vm: &Vm, placement: NumaPlacement) -> bool {
         (NumaPolicy::Single, NumaPlacement::Single(j)) => {
             pm.numas[j as usize].fits(vm.cpu_per_numa(), vm.mem_per_numa())
         }
-        (NumaPolicy::Double, NumaPlacement::Double) => pm
-            .numas
-            .iter()
-            .all(|n| n.fits(vm.cpu_per_numa(), vm.mem_per_numa())),
+        (NumaPolicy::Double, NumaPlacement::Double) => {
+            pm.numas.iter().all(|n| n.fits(vm.cpu_per_numa(), vm.mem_per_numa()))
+        }
         // Placement shape must match the policy (Eq. 4 + Eq. 6).
         _ => false,
     }
@@ -255,8 +254,8 @@ mod tests {
         // 16-core VMs are 12 and 4; FR = 16/32 = 50%.
         let mut pm1 = pm(6, 128); // 2 NUMAs x 6 = 12 free
         let mut pm2 = pm(10, 128); // 2 NUMAs x 10 = 20 free
-        // Single-NUMA fragment accounting: 6%16=6 per numa -> 12; 10%16=10 per numa -> 20?
-        // The paper's example ignores NUMA; emulate by concentrating free CPU.
+                                   // Single-NUMA fragment accounting: 6%16=6 per numa -> 12; 10%16=10 per numa -> 20?
+                                   // The paper's example ignores NUMA; emulate by concentrating free CPU.
         pm1.numas[0] = Numa::new(12, 128);
         pm1.numas[1] = Numa { cpu_total: 12, mem_total: 128, cpu_used: 12, mem_used: 0 };
         pm2.numas[0] = Numa::new(20, 128);

@@ -270,7 +270,13 @@ pub fn schedule_plan(
             if (busy.len() as u32) < limits.streams_per_pm {
                 at
             } else {
-                busy.iter().cloned().fold(f64::INFINITY, f64::min)
+                // A slot opens only once the PM is back under its stream
+                // limit, i.e. at the (len − limit + 1)-th earliest end —
+                // not at the earliest end, which with further streams
+                // still running would oversubscribe the NIC.
+                let mut ends = busy.clone();
+                ends.sort_by(f64::total_cmp);
+                ends[ends.len() - limits.streams_per_pm as usize]
             }
         };
         // Iterate until a start time satisfies both endpoints (the
@@ -343,12 +349,7 @@ mod tests {
     fn hot_writer_hits_round_cap() {
         // Dirtying as fast as the link copies: residual stays at the hot
         // cap and never converges.
-        let m = PrecopyModel {
-            dirty_rate_gib_s: 2.5,
-            hot_fraction: 0.5,
-            max_rounds: 5,
-            ..model()
-        };
+        let m = PrecopyModel { dirty_rate_gib_s: 2.5, hot_fraction: 0.5, max_rounds: 5, ..model() };
         let c = migration_cost(64.0, &m);
         assert!(!c.converged);
         assert_eq!(c.rounds, 5);
@@ -415,11 +416,7 @@ mod tests {
         assert!(plan.len() >= 3, "tiny cluster must admit a few migrations");
         let sched = schedule_plan(&state, &plan, &model(), NicLimits::default()).unwrap();
         assert_eq!(sched.migrations.len(), plan.len());
-        let longest = sched
-            .migrations
-            .iter()
-            .map(|m| m.cost.total_secs())
-            .fold(0.0, f64::max);
+        let longest = sched.migrations.iter().map(|m| m.cost.total_secs()).fold(0.0, f64::max);
         assert!(sched.makespan_secs >= longest - 1e-9);
         assert!(sched.makespan_secs <= sched.sequential_secs + 1e-9);
         assert!(sched.speedup() >= 1.0 - 1e-12);
@@ -483,10 +480,7 @@ mod tests {
             Placement { pm: PmId(1), numa: NumaPlacement::Single(0) },
         ];
         let state = ClusterState::new(pms, vms, placements).unwrap();
-        let plan = vec![
-            Action { vm: VmId(0), pm: PmId(2) },
-            Action { vm: VmId(1), pm: PmId(2) },
-        ];
+        let plan = vec![Action { vm: VmId(0), pm: PmId(2) }, Action { vm: VmId(1), pm: PmId(2) }];
         let limits = NicLimits { streams_per_pm: 2 };
         let sched = schedule_plan(&state, &plan, &model(), limits).unwrap();
         assert_eq!(sched.migrations[0].start_secs, 0.0);

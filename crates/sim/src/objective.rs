@@ -159,10 +159,7 @@ mod tests {
     use crate::types::{NumaPlacement, NumaPolicy, VmId};
 
     fn state() -> ClusterState {
-        let pms = vec![
-            Pm::symmetric(PmId(0), 44, 128),
-            Pm::symmetric(PmId(1), 44, 128),
-        ];
+        let pms = vec![Pm::symmetric(PmId(0), 44, 128), Pm::symmetric(PmId(1), 44, 128)];
         let vms = vec![
             Vm { id: VmId(0), cpu: 16, mem: 32, numa: NumaPolicy::Single },
             Vm { id: VmId(1), cpu: 8, mem: 16, numa: NumaPolicy::Single },

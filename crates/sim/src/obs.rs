@@ -68,10 +68,10 @@ impl Observation {
 
         let mut vm_feats = vec![0f32; m * VM_FEAT];
         let mut vm_src_pm = vec![0u32; m];
-        for k in 0..m {
+        for (k, src_pm) in vm_src_pm.iter_mut().enumerate() {
             let vm = state.vm(crate::types::VmId(k as u32));
             let pl = state.placement(vm.id);
-            vm_src_pm[k] = pl.pm.0;
+            *src_pm = pl.pm.0;
             let base = k * VM_FEAT;
             // Requested CPU/memory per NUMA with zero padding (paper: "If a
             // single NUMA is requested, zeros are used as placeholders").

@@ -142,10 +142,8 @@ mod tests {
         let v = vm(4, 8, NumaPolicy::Single);
         let mut rng = StdRng::seed_from_u64(1);
         for policy in VmsPolicy::ALL {
-            let (pm_id, pl) =
-                choose_placement(&pms, &v, policy, 16, &mut rng).unwrap_or_else(|| {
-                    panic!("{} found no slot", policy.name())
-                });
+            let (pm_id, pl) = choose_placement(&pms, &v, policy, 16, &mut rng)
+                .unwrap_or_else(|| panic!("{} found no slot", policy.name()));
             assert!(placement_fits(&pms[pm_id.0 as usize], &v, pl));
         }
     }
@@ -193,8 +191,7 @@ mod tests {
         assert_eq!(a, b);
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
-            let (pm_id, pl) =
-                choose_placement(&pms, &v, VmsPolicy::Random, 16, &mut rng).unwrap();
+            let (pm_id, pl) = choose_placement(&pms, &v, VmsPolicy::Random, 16, &mut rng).unwrap();
             assert!(placement_fits(&pms[pm_id.0 as usize], &v, pl));
         }
     }

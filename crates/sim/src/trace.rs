@@ -143,10 +143,7 @@ mod tests {
         let window = |center: u32| -> f64 {
             let lo = center.saturating_sub(60);
             let hi = (center + 60).min(MINUTES_PER_DAY - 1);
-            let slice: Vec<_> = trace
-                .iter()
-                .filter(|c| c.minute >= lo && c.minute <= hi)
-                .collect();
+            let slice: Vec<_> = trace.iter().filter(|c| c.minute >= lo && c.minute <= hi).collect();
             slice.iter().map(|c| c.arrivals as f64).sum::<f64>() / slice.len() as f64
         };
         let peak = window(m.peak_minute);

@@ -75,7 +75,11 @@ impl NumaPolicy {
 }
 
 /// Static description of a VM flavor (one row of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serializes (the name travels as a plain string) but does not
+/// deserialize: rows borrow their `name` from the static table, so a
+/// reader should resolve names via [`vm_type_by_name`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct VmTypeSpec {
     /// Human-readable flavor name, e.g. `"4xlarge"`.
     pub name: &'static str,

@@ -200,10 +200,7 @@ fn dfs(ctx: &mut SearchCtx<'_>, remaining: usize) {
             ctx.budget_hit = true;
             return;
         }
-        let Ok(rec) = ctx
-            .state
-            .migrate(action.vm, action.pm, ctx.objective.frag_cores())
-        else {
+        let Ok(rec) = ctx.state.migrate(action.vm, action.pm, ctx.objective.frag_cores()) else {
             continue; // raced legality (shouldn't happen; moves pre-checked)
         };
         ctx.nodes += 1;
@@ -269,12 +266,7 @@ pub fn max_gain_per_move(state: &ClusterState, objective: Objective) -> f64 {
         Objective::MixedVmType { lambda, small_cores, large_cores } => {
             // Double-NUMA fragment on one PM is bounded by the PM's free
             // CPU; a conservative per-move bound uses the largest PM.
-            let max_pm_free = state
-                .pms()
-                .iter()
-                .map(|p| p.free_cpu())
-                .max()
-                .unwrap_or(0) as f64;
+            let max_pm_free = state.pms().iter().map(|p| p.free_cpu()).max().unwrap_or(0) as f64;
             lambda * 2.0 * max_pm_free.max((large_cores - 1) as f64 * 4.0) / free_cpu
                 + (1.0 - lambda) * 4.0 * (small_cores.saturating_sub(1)) as f64 / free_cpu
         }
@@ -487,8 +479,7 @@ mod tests {
         let cold = branch_and_bound(&s, &cs, obj, 2, &SolverConfig::exact());
         // Seed with cold's own plan: the optimum must be unchanged and
         // still proved.
-        let warm =
-            branch_and_bound_warmstart(&s, &cs, obj, 2, &SolverConfig::exact(), &cold.plan);
+        let warm = branch_and_bound_warmstart(&s, &cs, obj, 2, &SolverConfig::exact(), &cold.plan);
         assert!(warm.proved_optimal);
         assert!((warm.objective - cold.objective).abs() < 1e-12);
     }

@@ -150,11 +150,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(
-            res.objective >= lb - 1e-6,
-            "bnb {} beats the LP bound {lb}",
-            res.objective
-        );
+        assert!(res.objective >= lb - 1e-6, "bnb {} beats the LP bound {lb}", res.objective);
     }
 
     #[test]
@@ -167,12 +163,8 @@ mod tests {
         // And the bound is tight up to integrality of y: the relaxation can
         // only over-count usable slots, never under-count.
         let free = s.total_free_cpu() as f64;
-        let y_int: u64 = s
-            .pms()
-            .iter()
-            .flat_map(|p| p.numas.iter())
-            .map(|nn| (nn.free_cpu() / 16) as u64)
-            .sum();
+        let y_int: u64 =
+            s.pms().iter().flat_map(|p| p.numas.iter()).map(|nn| (nn.free_cpu() / 16) as u64).sum();
         let fr_int = (free - 16.0 * y_int as f64) / free;
         assert!(lb <= fr_int + 1e-9);
     }

@@ -62,12 +62,7 @@ pub fn pop_solve(
     let mut state = initial.clone();
 
     for part in 0..k {
-        let part_pms: Vec<u32> = pm_ids
-            .iter()
-            .copied()
-            .skip(part)
-            .step_by(k)
-            .collect();
+        let part_pms: Vec<u32> = pm_ids.iter().copied().skip(part).step_by(k).collect();
         if part_pms.is_empty() {
             continue;
         }
@@ -85,10 +80,8 @@ pub fn pop_solve(
         nodes += res.nodes_expanded;
         all_proved &= res.proved_optimal;
         for a in res.plan {
-            let global = Action {
-                vm: sub.vm_map[a.vm.0 as usize],
-                pm: sub.pm_map[a.pm.0 as usize],
-            };
+            let global =
+                Action { vm: sub.vm_map[a.vm.0 as usize], pm: sub.pm_map[a.pm.0 as usize] };
             // Apply to the global state; POP sub-plans are disjoint in PMs
             // so these cannot conflict, but re-check defensively.
             if state.migrate(global.vm, global.pm, objective.frag_cores()).is_ok() {
@@ -160,9 +153,7 @@ pub fn extract_subcluster(
         }
         for &other in constraints.conflicts_of(old_id) {
             if let Some(new_other) = vm_rev[other.0 as usize] {
-                sub_cs
-                    .add_conflict(VmId(new_idx as u32), VmId(new_other))
-                    .ok()?;
+                sub_cs.add_conflict(VmId(new_idx as u32), VmId(new_other)).ok()?;
             }
         }
     }
@@ -194,10 +185,7 @@ mod tests {
             assert_eq!((a.cpu, a.mem, a.numa), (b.cpu, b.mem, b.numa));
         }
         // Fragment mass of the subcluster equals the sum over its PMs.
-        let expect: u64 = [0u32, 2, 4]
-            .iter()
-            .map(|&i| s.pm(PmId(i)).cpu_fragment(16) as u64)
-            .sum();
+        let expect: u64 = [0u32, 2, 4].iter().map(|&i| s.pm(PmId(i)).cpu_fragment(16) as u64).sum();
         assert_eq!(sub.state.total_cpu_fragment(16), expect);
     }
 
@@ -216,10 +204,7 @@ mod tests {
             let new0 = sub.vm_map.iter().position(|&v| v == on0[0]).unwrap();
             let new1 = sub.vm_map.iter().position(|&v| v == on0[1]).unwrap();
             assert!(sub.constraints.is_pinned(VmId(new0 as u32)));
-            assert!(sub
-                .constraints
-                .conflicts_of(VmId(new0 as u32))
-                .contains(&VmId(new1 as u32)));
+            assert!(sub.constraints.conflicts_of(VmId(new0 as u32)).contains(&VmId(new1 as u32)));
         }
     }
 

@@ -242,11 +242,7 @@ impl LinearProgram {
                 x[basis[r]] = tab[r][total];
             }
         }
-        let mut objective: f64 = x
-            .iter()
-            .zip(self.objective.iter())
-            .map(|(xi, ci)| xi * ci)
-            .sum();
+        let mut objective: f64 = x.iter().zip(self.objective.iter()).map(|(xi, ci)| xi * ci).sum();
         // Clean tiny numerical dust.
         if objective.abs() < 1e-12 {
             objective = 0.0;
@@ -257,12 +253,7 @@ impl LinearProgram {
 
 /// Runs simplex pivots until optimal. Returns `false` on unboundedness.
 /// `z` is the reduced-cost row (maximization; entering column has z < 0).
-fn simplex_iterate(
-    tab: &mut [Vec<f64>],
-    basis: &mut [usize],
-    z: &mut [f64],
-    total: usize,
-) -> bool {
+fn simplex_iterate(tab: &mut [Vec<f64>], basis: &mut [usize], z: &mut [f64], total: usize) -> bool {
     const EPS: f64 = 1e-9;
     let m = tab.len();
     for _ in 0..200_000 {
@@ -295,16 +286,25 @@ fn simplex_iterate(
 
 fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
     let piv = tab[row][col];
-    for c in 0..=total {
-        tab[row][c] /= piv;
+    for cell in tab[row].iter_mut().take(total + 1) {
+        *cell /= piv;
     }
     for r in 0..tab.len() {
-        if r != row {
-            let f = tab[r][col];
-            if f != 0.0 {
-                for c in 0..=total {
-                    tab[r][c] -= f * tab[row][c];
-                }
+        if r == row {
+            continue;
+        }
+        // Split so the pivot row can be read while row `r` is written.
+        let (pivot_row, target_row) = if r < row {
+            let (head, tail) = tab.split_at_mut(row);
+            (&tail[0], &mut head[r])
+        } else {
+            let (head, tail) = tab.split_at_mut(r);
+            (&head[row], &mut tail[0])
+        };
+        let f = target_row[col];
+        if f != 0.0 {
+            for (cell, &p) in target_row.iter_mut().zip(pivot_row).take(total + 1) {
+                *cell -= f * p;
             }
         }
     }
@@ -420,16 +420,8 @@ mod tests {
         lp.set_objective(1, -150.0);
         lp.set_objective(2, 0.02);
         lp.set_objective(3, -6.0);
-        lp.add_constraint(
-            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
-            Sense::Le,
-            0.0,
-        );
-        lp.add_constraint(
-            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
-            Sense::Le,
-            0.0,
-        );
+        lp.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Sense::Le, 0.0);
+        lp.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Sense::Le, 0.0);
         lp.add_constraint(vec![(2, 1.0)], Sense::Le, 1.0);
         assert_optimal(&lp.solve(), 0.05, 1e-6);
     }

@@ -18,8 +18,8 @@ proptest! {
         samples in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 5), 8),
     ) {
         let mut lp = LinearProgram::new(n, Direction::Maximize);
-        for v in 0..n {
-            lp.set_objective(v, obj_raw[v]);
+        for (v, &c) in obj_raw.iter().enumerate().take(n) {
+            lp.set_objective(v, c);
             lp.add_constraint(vec![(v, 1.0)], Sense::Le, 5.0); // box
         }
         let rows: Vec<(Vec<f64>, f64)> = rows_raw

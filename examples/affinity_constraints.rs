@@ -42,9 +42,8 @@ fn main() {
     let mut constraints = ConstraintSet::new(state.num_vms());
     let mut groups = 0;
     for chunk_start in (0..state.num_vms()).step_by(9) {
-        let group: Vec<VmId> = (chunk_start..(chunk_start + 3).min(state.num_vms()))
-            .map(|k| VmId(k as u32))
-            .collect();
+        let group: Vec<VmId> =
+            (chunk_start..(chunk_start + 3).min(state.num_vms())).map(|k| VmId(k as u32)).collect();
         let mut hosts: Vec<_> = group.iter().map(|&v| state.placement(v).pm).collect();
         hosts.sort_unstable();
         hosts.dedup();
@@ -68,14 +67,10 @@ fn main() {
     );
     let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
     let mut env =
-        ReschedEnv::new(state.clone(), constraints.clone(), Objective::default(), 6)
-            .expect("env");
+        ReschedEnv::new(state.clone(), constraints.clone(), Objective::default(), 6).expect("env");
     let mut checked = 0;
     while !env.is_done() {
-        let Some(d) = agent
-            .decide(&env, &mut rng, &DecideOpts::default())
-            .expect("decide")
-        else {
+        let Some(d) = agent.decide(&env, &mut rng, &DecideOpts::default()).expect("decide") else {
             break;
         };
         // Double-check against the constraint engine before stepping.

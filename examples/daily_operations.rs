@@ -13,8 +13,8 @@ use rand::SeedableRng;
 use vmr_baselines::ha::ha_solve;
 use vmr_sim::cluster::ClusterState;
 use vmr_sim::constraints::ConstraintSet;
-use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
 use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup, VmMix};
+use vmr_sim::daycycle::{run_day_cycle, DayCycleConfig};
 use vmr_sim::objective::Objective;
 use vmr_sim::trace::DiurnalModel;
 
@@ -23,10 +23,7 @@ fn sparkline(values: &[f64]) -> String {
     let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let range = (hi - lo).max(1e-9);
-    values
-        .iter()
-        .map(|v| BARS[(((v - lo) / range) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| BARS[(((v - lo) / range) * 7.0).round() as usize]).collect()
 }
 
 fn main() {
@@ -52,14 +49,16 @@ fn main() {
     cycle.exit_frac = 0.0035;
 
     let obj = Objective::default();
-    let mut planner = |s: &ClusterState, mnl: usize| {
-        ha_solve(s, &ConstraintSet::new(s.num_vms()), obj, mnl).plan
-    };
+    let mut planner =
+        |s: &ClusterState, mnl: usize| ha_solve(s, &ConstraintSet::new(s.num_vms()), obj, mnl).plan;
     let mut rng = StdRng::seed_from_u64(5);
     let out = run_day_cycle(&initial, &mut planner, &cycle, &mut rng).expect("day cycle");
 
     let frs: Vec<f64> = out.samples.iter().map(|s| s.fr).collect();
-    println!("\nFR over {} days (one char per {} min, ▼ = VMR window):", cycle.days, cycle.sample_every);
+    println!(
+        "\nFR over {} days (one char per {} min, ▼ = VMR window):",
+        cycle.days, cycle.sample_every
+    );
     let line = sparkline(&frs);
     // Mark VMR windows above the sparkline.
     let mut marks = vec![' '; frs.len()];
@@ -91,9 +90,5 @@ fn main() {
             w.dropped
         );
     }
-    println!(
-        "\nmean FR {:.4}, mean drop per window {:.4}",
-        out.mean_fr(),
-        out.mean_window_drop()
-    );
+    println!("\nmean FR {:.4}, mean drop per window {:.4}", out.mean_fr(), out.mean_window_drop());
 }

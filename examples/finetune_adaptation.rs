@@ -64,7 +64,8 @@ fn main() {
         ..Default::default()
     };
     let mut pretrainer = Trainer::new(agent, low, vec![], base_cfg).expect("trainer");
-    pretrainer.train(|s| println!("pretrain update {:>2}: reward {:+.4}", s.update, s.mean_reward))
+    pretrainer
+        .train(|s| println!("pretrain update {:>2}: reward {:+.4}", s.update, s.mean_reward))
         .expect("pretrain");
     let pretrained = pretrainer.into_agent();
     println!("\nzero-shot FR on high workload: {:.4}", eval_fr(&pretrained, &high_eval));
@@ -94,5 +95,9 @@ fn main() {
         100 * (lora.num_params() - base_params) / base_params
     );
     let merged = lora.merge();
-    println!("merged deployment layer: {}x{} (zero runtime overhead)", merged.d_in(), merged.d_out());
+    println!(
+        "merged deployment layer: {}x{} (zero runtime overhead)",
+        merged.d_in(),
+        merged.d_out()
+    );
 }

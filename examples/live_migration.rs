@@ -43,7 +43,10 @@ fn main() {
     // 2. Per-VM pre-copy cost: every flavor from Table 1.
     let model = PrecopyModel::default();
     println!("pre-copy cost by VM memory size (bandwidth {} GiB/s):", model.bandwidth_gib_s);
-    println!("{:>8}  {:>6}  {:>12}  {:>11}  {:>11}", "mem_gib", "rounds", "precopy_s", "downtime_ms", "moved_gib");
+    println!(
+        "{:>8}  {:>6}  {:>12}  {:>11}  {:>11}",
+        "mem_gib", "rounds", "precopy_s", "downtime_ms", "moved_gib"
+    );
     for mem in [4.0, 16.0, 32.0, 64.0, 176.0] {
         let c = migration_cost(mem, &model);
         println!(
@@ -54,10 +57,14 @@ fn main() {
 
     // 3. Schedule the whole plan under NIC stream limits.
     println!("\nplan execution under per-PM NIC stream limits:");
-    println!("{:>8}  {:>11}  {:>13}  {:>8}  {:>12}", "streams", "makespan_s", "sequential_s", "speedup", "downtime_ms");
+    println!(
+        "{:>8}  {:>11}  {:>13}  {:>8}  {:>12}",
+        "streams", "makespan_s", "sequential_s", "speedup", "downtime_ms"
+    );
     for streams in [1, 2, 4, 8] {
-        let sched = schedule_plan(&state, &result.plan, &model, NicLimits { streams_per_pm: streams })
-            .expect("schedule");
+        let sched =
+            schedule_plan(&state, &result.plan, &model, NicLimits { streams_per_pm: streams })
+                .expect("schedule");
         println!(
             "{streams:>8}  {:>11.1}  {:>13.1}  {:>8.2}  {:>12.1}",
             sched.makespan_secs,

@@ -56,7 +56,11 @@ fn main() {
         &cs,
         obj,
         MNL,
-        &SolverConfig { time_limit: Duration::from_secs(2), beam_width: Some(24), ..Default::default() },
+        &SolverConfig {
+            time_limit: Duration::from_secs(2),
+            beam_width: Some(24),
+            ..Default::default()
+        },
     );
     row("B&B (MIP stand-in)", r.objective, r.elapsed, r.plan.len());
 
@@ -67,7 +71,11 @@ fn main() {
         MNL,
         &PopConfig {
             partitions: 3,
-            sub: SolverConfig { time_limit: Duration::from_secs(1), beam_width: Some(12), ..Default::default() },
+            sub: SolverConfig {
+                time_limit: Duration::from_secs(1),
+                beam_width: Some(12),
+                ..Default::default()
+            },
             seed: 0,
         },
     );
@@ -78,7 +86,12 @@ fn main() {
         &cs,
         obj,
         MNL,
-        &MctsConfig { rollouts_per_step: 24, branch_cap: 8, time_limit: Duration::from_secs(2), ..Default::default() },
+        &MctsConfig {
+            rollouts_per_step: 24,
+            branch_cap: 8,
+            time_limit: Duration::from_secs(2),
+            ..Default::default()
+        },
     );
     row("MCTS", r.objective, r.elapsed, r.plan.len());
 

@@ -114,6 +114,11 @@ fn main() {
         .collect();
     demands.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (pm, demand) in demands.iter().take(5) {
-        println!("  PM{:<3} demand {:.2}  ({} VMs)", pm, demand, after.vms_on(PmId(*pm as u32)).len());
+        println!(
+            "  PM{:<3} demand {:.2}  ({} VMs)",
+            pm,
+            demand,
+            after.vms_on(PmId(*pm as u32)).len()
+        );
     }
 }

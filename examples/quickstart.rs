@@ -55,13 +55,9 @@ fn main() {
         eval_episodes: 2,
         ..Default::default()
     };
-    let mut trainer = Trainer::new(
-        agent,
-        mappings[..3].to_vec(),
-        mappings[3..].to_vec(),
-        train_cfg,
-    )
-    .expect("trainer");
+    let mut trainer =
+        Trainer::new(agent, mappings[..3].to_vec(), mappings[3..].to_vec(), train_cfg)
+            .expect("trainer");
     trainer
         .train(|s| {
             println!(
@@ -100,12 +96,6 @@ fn main() {
     println!("deploy plan ({} migrations):", outcome.best_plan.len());
     for (i, a) in outcome.best_plan.iter().enumerate() {
         let src = target.placement(a.vm).pm;
-        println!(
-            "  {i}: VM{} ({} cores) PM{} -> PM{}",
-            a.vm.0,
-            target.vm(a.vm).cpu,
-            src.0,
-            a.pm.0
-        );
+        println!("  {i}: VM{} ({} cores) PM{} -> PM{}", a.vm.0, target.vm(a.vm).cpu, src.0, a.pm.0);
     }
 }

@@ -45,10 +45,7 @@ fn main() {
     println!(
         "training on {} mappings: utilizations {:?}",
         train.len(),
-        train
-            .iter()
-            .map(|m| (m.cpu_utilization() * 100.0).round() / 100.0)
-            .collect::<Vec<_>>()
+        train.iter().map(|m| (m.cpu_utilization() * 100.0).round() / 100.0).collect::<Vec<_>>()
     );
 
     let mut rng = StdRng::seed_from_u64(0);
@@ -66,7 +63,8 @@ fn main() {
         ..Default::default()
     };
     let mut trainer = Trainer::new(agent, train, vec![], cfg).expect("trainer");
-    trainer.train(|s| println!("update {:>2}: reward/step {:+.4}", s.update, s.mean_reward))
+    trainer
+        .train(|s| println!("update {:>2}: reward/step {:+.4}", s.update, s.mean_reward))
         .expect("training");
     let agent = trainer.into_agent();
 

@@ -1,0 +1,99 @@
+//! Value-generation strategies. Unlike real proptest there is no
+//! shrinking tree — a strategy is just a deterministic sampler.
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+use rand::Rng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A constant is a strategy for itself (used by `Just`-like positions).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3));
+
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec(element, len)` — vectors of strategy-driven
+/// elements with a fixed or ranged length.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let SizeRange(ref r) = self.size;
+        assert!(r.start < r.end, "empty size range in collection::vec");
+        let len = rng.gen_range(r.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

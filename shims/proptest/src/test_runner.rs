@@ -1,0 +1,124 @@
+//! Test execution plumbing: configuration, case outcomes, and the
+//! deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-block configuration, set via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps an offline CPU-only CI
+        // fast while still exploring a meaningful slice of the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample without counting the case.
+    Reject(String),
+    /// `prop_assert*!` failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure, mirroring `TestCaseError::fail`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection, mirroring `TestCaseError::reject`.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Builds the deterministic RNG for one named test. `PROPTEST_SEED`
+/// (a u64) perturbs every test's stream for exploratory reruns.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+        if let Ok(x) = extra.trim().parse::<u64>() {
+            seed = seed.rotate_left(17) ^ x;
+        }
+    }
+    TestRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold(x in 3u32..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vecs_respect_len(v in prop::collection::vec((0u32..5, prop::bool::ANY), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            for (n, _b) in v {
+                prop_assert!(n < 5);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut a = super::rng_for_test("alpha");
+        let mut b = super::rng_for_test("alpha");
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u32..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate: just the [`Poisson`] and [`LogNormal`] distributions the
+//! simulator's churn and lifetime models draw from, plus the
+//! [`Distribution`] trait that exposes `sample`.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SampleStandard};
+use std::fmt;
+
+/// Types that can generate samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Draws a standard normal via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let mut u1 = f64::sample_standard(rng);
+    if u1 <= f64::MIN_POSITIVE {
+        u1 = f64::MIN_POSITIVE;
+    }
+    let u2 = f64::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Poisson distribution with rate `lambda`. Samples are returned as
+/// `f64` counts, matching `rand_distr` 0.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Builds the distribution; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(ParamError("Poisson rate must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method; exact for small rates.
+            let limit = (-self.lambda).exp();
+            let mut count = 0u64;
+            let mut product = f64::sample_standard(rng);
+            while product > limit {
+                count += 1;
+                product *= f64::sample_standard(rng);
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction; adequate
+            // for the large-rate churn regimes the simulator uses.
+            let z = standard_normal(rng);
+            (self.lambda + self.lambda.sqrt() * z + 0.5).floor().max(0.0)
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Builds the distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal needs finite mu and sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &rate in &[0.5, 4.0, 80.0] {
+            let d = Poisson::new(rate).unwrap();
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - rate).abs() < rate.max(1.0) * 0.05, "rate {rate}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(3.0, 1.2).unwrap();
+        let mut xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[5000];
+        assert!((median.ln() - 3.0).abs() < 0.1, "ln(median) = {}", median.ln());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The real serde abstracts over data formats; this workspace only ever
+//! serializes to and from JSON, so the shim collapses the data model to
+//! a JSON value tree ([`__private::Value`], re-exported by the
+//! `serde_json` shim). [`Serialize`] and [`Deserialize`] convert to and
+//! from that tree, and the derive macros (re-exported from the
+//! `serde_derive` shim) generate those conversions for structs and
+//! enums following serde's default conventions: structs are objects,
+//! newtypes are transparent, enums are externally tagged.
+
+#![forbid(unsafe_code)]
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Everything the derive macros and the `serde_json` shim need.
+/// Not part of the emulated serde API surface.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::value::{Error, Map, Number, Value};
+}
+
+use crate::value::{Error, Map, Number, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Conversion into the JSON value tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    #[doc(hidden)]
+    fn __serialize(&self) -> Value;
+}
+
+/// Conversion from the JSON value tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of `Self` from a [`Value`].
+    #[doc(hidden)]
+    fn __deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __serialize(&self) -> Value {
+        (**self).__serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn __serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn __serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __serialize(&self) -> Value {
+                Value::Number(Number::from(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn __deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __serialize(&self) -> Value {
+                Value::Number(Number::from(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn __deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn __serialize(&self) -> Value {
+        Value::Number(Number::from(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn __serialize(&self) -> Value {
+        Value::Number(Number::from(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::custom("expected number"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn __serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn __serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn __serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __serialize(&self) -> Value {
+        match self {
+            Some(x) => x.__serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::__deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::__deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::__deserialize(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn __serialize(&self) -> Value {
+        (**self).__serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        T::__deserialize(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn __serialize(&self) -> Value {
+        Value::Array(vec![self.0.__serialize(), self.1.__serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::custom("expected pair"))?;
+        if a.len() != 2 {
+            return Err(Error::custom("expected array of length 2"));
+        }
+        Ok((A::__deserialize(&a[0])?, B::__deserialize(&a[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn __serialize(&self) -> Value {
+        Value::Array(vec![self.0.__serialize(), self.1.__serialize(), self.2.__serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::custom("expected triple"))?;
+        if a.len() != 3 {
+            return Err(Error::custom("expected array of length 3"));
+        }
+        Ok((A::__deserialize(&a[0])?, B::__deserialize(&a[1])?, C::__deserialize(&a[2])?))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn __serialize(&self) -> Value {
+        // Sort keys so output is deterministic across runs.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].__serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        obj.iter().map(|(k, val)| Ok((k.clone(), V::__deserialize(val)?))).collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn __serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, val) in self {
+            m.insert(k.clone(), val.__serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected object"))?;
+        obj.iter().map(|(k, val)| Ok((k.clone(), V::__deserialize(val)?))).collect()
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn __serialize(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Deserialize for Map<String, Value> {
+    fn __deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object().cloned().ok_or_else(|| Error::custom("expected object"))
+    }
+}

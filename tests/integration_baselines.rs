@@ -63,13 +63,7 @@ fn all_methods_produce_legal_plans() {
     // given the same budget class on this tiny instance.
     assert!(mip.objective <= ha.objective + 1e-9);
 
-    let pop = pop_solve(
-        &s,
-        &cs,
-        obj,
-        MNL,
-        &PopConfig { partitions: 2, sub: solver_cfg, seed: 1 },
-    );
+    let pop = pop_solve(&s, &cs, obj, MNL, &PopConfig { partitions: 2, sub: solver_cfg, seed: 1 });
     assert_plan_legal(&s, &pop.plan, pop.objective);
 
     let mcts = mcts_solve(

@@ -35,10 +35,7 @@ fn run_bin(name: &str) {
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr)
     );
-    assert!(
-        !output.stdout.is_empty(),
-        "{name} --smoke produced no report output"
-    );
+    assert!(!output.stdout.is_empty(), "{name} --smoke produced no report output");
 }
 
 macro_rules! smoke {

@@ -78,8 +78,7 @@ fn derived_constraints_respected_by_two_stage_agent() {
     let mut env = ReschedEnv::new(state, cs.clone(), Objective::default(), 6).expect("env");
     let mut steps = 0;
     while !env.is_done() {
-        let Some(d) = agent.decide(&env, &mut rng, &DecideOpts::default()).expect("decide")
-        else {
+        let Some(d) = agent.decide(&env, &mut rng, &DecideOpts::default()).expect("decide") else {
             break;
         };
         env.action_legal(d.action).expect("two-stage action must be legal");
@@ -97,13 +96,8 @@ fn swap_search_replays_through_simulator() {
     for seed in [21, 22, 23] {
         let state = mapping(seed);
         let cs = ConstraintSet::new(state.num_vms());
-        let res = swap_search_solve(
-            &state,
-            &cs,
-            Objective::default(),
-            10,
-            &SwapSearchConfig::default(),
-        );
+        let res =
+            swap_search_solve(&state, &cs, Objective::default(), 10, &SwapSearchConfig::default());
         let replay = apply_moves(&state, &res.moves, 16).expect("replay");
         replay.audit().expect("audit");
         assert!(
@@ -130,12 +124,8 @@ fn scheduling_is_snapshot_based() {
         .expect("schedule again");
     assert_eq!(a, b, "scheduling is deterministic");
     // Tighter NIC limits can only lengthen the window.
-    let tight = schedule_plan(
-        &state,
-        &plan,
-        &PrecopyModel::default(),
-        NicLimits { streams_per_pm: 1 },
-    )
-    .expect("schedule tight");
+    let tight =
+        schedule_plan(&state, &plan, &PrecopyModel::default(), NicLimits { streams_per_pm: 1 })
+            .expect("schedule tight");
     assert!(tight.makespan_secs >= a.makespan_secs - 1e-9);
 }

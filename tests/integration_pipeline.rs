@@ -71,7 +71,10 @@ fn train_then_eval_pipeline() {
     )
     .unwrap();
     assert_eq!(rs.all_objectives.len(), 4);
-    assert!(rs.best_objective <= rs.all_objectives.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-12);
+    assert!(
+        rs.best_objective
+            <= rs.all_objectives.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-12
+    );
 }
 
 #[test]
@@ -101,15 +104,14 @@ fn checkpoint_roundtrip_preserves_policy_outputs() {
 
 #[test]
 fn training_with_affinity_constraints_stays_legal() {
-    let mappings: Vec<_> = (0..2).map(|i| generate_mapping(&small_cfg(), 20 + i).unwrap()).collect();
+    let mappings: Vec<_> =
+        (0..2).map(|i| generate_mapping(&small_cfg(), 20 + i).unwrap()).collect();
     let constraints: Vec<_> = mappings
         .iter()
         .map(|m| {
             let mut cs = ConstraintSet::new(m.num_vms());
             // Conflict the first few VMs pairwise.
-            let ids: Vec<_> = (0..m.num_vms().min(4) as u32)
-                .map(vmr_sim::types::VmId)
-                .collect();
+            let ids: Vec<_> = (0..m.num_vms().min(4) as u32).map(vmr_sim::types::VmId).collect();
             cs.add_conflict_group(&ids).unwrap();
             cs
         })
@@ -128,7 +130,8 @@ fn training_with_affinity_constraints_stays_legal() {
 
 #[test]
 fn objective_variants_all_trainable() {
-    let mappings: Vec<_> = (0..2).map(|i| generate_mapping(&small_cfg(), 30 + i).unwrap()).collect();
+    let mappings: Vec<_> =
+        (0..2).map(|i| generate_mapping(&small_cfg(), 30 + i).unwrap()).collect();
     for objective in [
         Objective::FragRate { cores: 16 },
         Objective::MixedVmType { lambda: 0.5, small_cores: 16, large_cores: 64 },
