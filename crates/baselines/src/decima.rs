@@ -49,10 +49,10 @@ mod tests {
         let agent = decima_agent(cfg, 2, &mut rng);
         assert_eq!(agent.pm_subset_size, Some(2));
         let state = generate_mapping(&ClusterConfig::tiny(), 61).unwrap();
-        let env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
+        let mut env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
         for seed in 0..5u64 {
             let mut r = StdRng::seed_from_u64(seed);
-            let d = agent.decide(&env, &mut r, &DecideOpts::default()).unwrap().unwrap();
+            let d = agent.decide(&mut env, &mut r, &DecideOpts::default()).unwrap().unwrap();
             assert!(env.action_legal(d.action).is_ok());
             // The stored stage-2 mask never exceeds the subset size.
             let kept = d.stored_obs.pm_mask.iter().filter(|&&b| b).count();
@@ -66,11 +66,11 @@ mod tests {
         let cfg = ModelConfig { d_model: 16, heads: 2, blocks: 1, d_ff: 24, critic_hidden: 12 };
         let agent = decima_agent(cfg, 1, &mut rng);
         let state = generate_mapping(&ClusterConfig::tiny(), 62).unwrap();
-        let env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
+        let mut env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
         let mut seen = std::collections::HashSet::new();
         for seed in 0..12u64 {
             let mut r = StdRng::seed_from_u64(seed);
-            if let Some(d) = agent.decide(&env, &mut r, &DecideOpts::default()).unwrap() {
+            if let Some(d) = agent.decide(&mut env, &mut r, &DecideOpts::default()).unwrap() {
                 seen.insert(d.action.pm);
             }
         }

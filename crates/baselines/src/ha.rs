@@ -132,7 +132,8 @@ fn pm_score_of(pm: &vmr_sim::machine::Pm, objective: Objective) -> f64 {
 }
 
 fn has_legal_destination(state: &ClusterState, constraints: &ConstraintSet, vm: VmId) -> bool {
-    (0..state.num_pms()).any(|i| constraints.migration_legal(state, vm, PmId(i as u32)).is_ok())
+    // Early-exiting, allocation-free existence check from the engine work.
+    constraints.has_legal_destination(state, vm)
 }
 
 /// Scoring stage: the destination PM minimizing the post-move total score
@@ -146,9 +147,11 @@ fn best_destination(
     let mut probe = state.clone();
     let src = state.placement(vm).pm;
     let mut best: Option<(PmId, f64)> = None;
-    for i in 0..state.num_pms() {
+    let mut mask = Vec::new();
+    constraints.pm_mask_into(&probe, vm, &mut mask);
+    for (i, &legal) in mask.iter().enumerate() {
         let pm = PmId(i as u32);
-        if constraints.migration_legal(&probe, vm, pm).is_err() {
+        if !legal {
             continue;
         }
         let before = objective.pm_score(&probe, src)

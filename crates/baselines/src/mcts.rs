@@ -169,6 +169,11 @@ pub fn mcts_solve(
 }
 
 /// Top-k legal moves by immediate objective gain.
+///
+/// Destinations come from the allocation-free stage-2 mask
+/// ([`ConstraintSet::pm_mask_into`], one reused buffer) instead of a
+/// per-(vm, pm) `migration_legal` probe — the same O(M·N) shape, but
+/// without the per-pair feasibility allocations.
 fn top_moves(
     state: &ClusterState,
     constraints: &ConstraintSet,
@@ -178,16 +183,18 @@ fn top_moves(
     let mut probe = state.clone();
     let current = objective.value(&probe);
     let mut out = Vec::new();
+    let mut mask = Vec::new();
     for k in 0..probe.num_vms() {
         let vm = VmId(k as u32);
         if constraints.is_pinned(vm) {
             continue;
         }
-        for i in 0..probe.num_pms() {
-            let pm = PmId(i as u32);
-            if constraints.migration_legal(&probe, vm, pm).is_err() {
+        constraints.pm_mask_into(&probe, vm, &mut mask);
+        for (i, &legal) in mask.iter().enumerate() {
+            if !legal {
                 continue;
             }
+            let pm = PmId(i as u32);
             let Ok(rec) = probe.migrate(vm, pm, objective.frag_cores()) else {
                 continue;
             };

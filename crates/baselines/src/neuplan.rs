@@ -72,7 +72,7 @@ pub fn neuplan_solve<P: Policy, R: Rng + ?Sized>(
     let opts = DecideOpts { greedy: true, ..Default::default() };
     let mut plan = Vec::new();
     while !env.is_done() && env.steps_taken() < prefix_budget {
-        let Some(decision) = agent.decide(&env, rng, &opts)? else {
+        let Some(decision) = agent.decide(&mut env, rng, &opts)? else {
             break;
         };
         match env.step(decision.action) {

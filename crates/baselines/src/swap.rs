@@ -149,7 +149,9 @@ pub fn apply_moves(
     Ok(state)
 }
 
-/// Best single migration by objective gain.
+/// Best single migration by objective gain. Destinations come from the
+/// allocation-free stage-2 mask (one reused buffer) rather than per-pair
+/// `migration_legal` probes.
 fn best_single(
     state: &ClusterState,
     constraints: &ConstraintSet,
@@ -158,16 +160,18 @@ fn best_single(
     let mut probe = state.clone();
     let base = objective.value(&probe);
     let mut best: Option<(Action, f64)> = None;
+    let mut mask = Vec::new();
     for k in 0..probe.num_vms() {
         let vm = VmId(k as u32);
         if constraints.is_pinned(vm) {
             continue;
         }
-        for i in 0..probe.num_pms() {
-            let pm = PmId(i as u32);
-            if constraints.migration_legal(&probe, vm, pm).is_err() {
+        constraints.pm_mask_into(&probe, vm, &mut mask);
+        for (i, &legal) in mask.iter().enumerate() {
+            if !legal {
                 continue;
             }
+            let pm = PmId(i as u32);
             let Ok(rec) = probe.migrate(vm, pm, objective.frag_cores()) else {
                 continue;
             };

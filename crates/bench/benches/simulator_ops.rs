@@ -1,18 +1,31 @@
 //! Criterion benches of the simulator substrate's hot paths: migration
 //! apply/undo, fragment-rate computation, legality masks, and state
 //! featurization — the per-step costs every method in Fig. 9 pays.
+//!
+//! `observation_extract` measures the *per-step* cost of keeping an
+//! up-to-date observation: one migration (alternating apply/undo so the
+//! state doesn't drift) plus the incremental `ObsEngine` repair plus the
+//! read. `observation_full_rebuild` keeps tracking the old full
+//! `Observation::extract` path for comparison; `pm_mask` and
+//! `vm_mask_checked` cover the stage-2/stage-1 legality masks.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmr_sim::cluster::MigrationRecord;
 use vmr_sim::constraints::ConstraintSet;
 use vmr_sim::dataset::{generate_mapping, ClusterConfig};
 use vmr_sim::obs::Observation;
+use vmr_sim::obs_cache::ObsEngine;
 use vmr_sim::types::{PmId, VmId};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
-    for (name, cfg) in
-        [("small_40pm", ClusterConfig::small_train()), ("medium_280pm", ClusterConfig::medium())]
-    {
+    for (name, cfg) in [
+        ("small_40pm", ClusterConfig::small_train()),
+        ("medium_280pm", ClusterConfig::medium()),
+        // The paper's large-scale setting (beyond the 1176-PM Large
+        // dataset): where O(cluster) and O(touched) diverge the most.
+        ("large_1600pm", ClusterConfig::xlarge()),
+    ] {
         let state = generate_mapping(&cfg, 7).expect("mapping");
         let cs = ConstraintSet::new(state.num_vms());
 
@@ -20,9 +33,11 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| black_box(s.fragment_rate(16)))
         });
 
-        group.bench_with_input(BenchmarkId::new("observation_extract", name), &state, |b, s| {
-            b.iter(|| black_box(Observation::extract(s, 16)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("observation_full_rebuild", name),
+            &state,
+            |b, s| b.iter(|| black_box(Observation::extract(s, 16))),
+        );
 
         // Find one legal migration to measure apply+undo.
         let mut probe = state.clone();
@@ -44,9 +59,59 @@ fn bench_simulator(c: &mut Criterion) {
             })
         });
 
+        // The per-step observation hot path: a cross-PM migration
+        // (alternating apply/undo), the incremental engine repair, and
+        // the observation read. This is what one agent decision pays.
+        {
+            let mut inc_state = state.clone();
+            let mut cross = None;
+            'cross: for k in 0..inc_state.num_vms() {
+                for i in 0..inc_state.num_pms() {
+                    let (vm, pm) = (VmId(k as u32), PmId(i as u32));
+                    if inc_state.placement(vm).pm == pm {
+                        continue;
+                    }
+                    if cs.migration_legal(&inc_state, vm, pm).is_ok() {
+                        cross = Some((vm, pm));
+                        break 'cross;
+                    }
+                }
+            }
+            let (ivm, ipm) = cross.expect("a cross-PM move exists");
+            let mut engine = ObsEngine::new(&inc_state, 16);
+            let mut pending: Option<MigrationRecord> = None;
+            group.bench_function(BenchmarkId::new("observation_extract", name), |b| {
+                b.iter(|| {
+                    match pending.take() {
+                        None => {
+                            let rec = inc_state.migrate(ivm, ipm, 16).expect("legal");
+                            engine.note_migration(&inc_state, &rec);
+                            pending = Some(rec);
+                        }
+                        Some(rec) => {
+                            inc_state.undo(&rec).expect("undo");
+                            engine.note_undo(&inc_state, &rec);
+                        }
+                    }
+                    black_box(engine.observation(&inc_state));
+                })
+            });
+        }
+
         group.bench_with_input(BenchmarkId::new("pm_mask", name), &state, |b, s| {
             b.iter(|| black_box(cs.pm_mask(s, vm)))
         });
+
+        // Stage-1 mask with the per-VM destination-existence check.
+        {
+            let mut buf = Vec::new();
+            group.bench_with_input(BenchmarkId::new("vm_mask_checked", name), &state, |b, s| {
+                b.iter(|| {
+                    cs.vm_mask_into(s, true, &mut buf);
+                    black_box(buf.len())
+                })
+            });
+        }
 
         // Find one legal swap pair to measure the atomic exchange.
         let mut swap_pair = None;

@@ -1,0 +1,102 @@
+//! Compares two bench captures and fails on median regressions.
+//!
+//! ```text
+//! bench_diff <OLD.json> <NEW.json> [--threshold PCT]
+//! ```
+//!
+//! Accepts both the wrapped `BENCH_*.json` format and the raw JSON-lines
+//! stream the criterion shim writes via `VMR_BENCH_JSON`. Exits nonzero
+//! when any benchmark id present in both captures is more than
+//! `--threshold` percent (default 25) slower in NEW — the CI gate that
+//! keeps the simulator hot paths from silently regressing.
+
+use std::process::ExitCode;
+
+use vmr_bench::diff::{fmt_ns, parse_capture, BenchDiff};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                threshold_pct = v;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT]");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT]");
+        return ExitCode::from(2);
+    }
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        parse_capture(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let (old, new) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diff = BenchDiff::compare(&old, &new);
+    let threshold = threshold_pct / 100.0;
+    println!("{:<55} {:>12} {:>12} {:>8}", "benchmark", "old", "new", "ratio");
+    for e in &diff.entries {
+        let flag = if e.regressed(threshold) {
+            "  << REGRESSION"
+        } else if e.ratio() < 0.75 {
+            "  (improved)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<55} {:>12} {:>12} {:>7.2}x{}",
+            e.id,
+            fmt_ns(e.old_ns),
+            fmt_ns(e.new_ns),
+            e.ratio(),
+            flag
+        );
+    }
+    for id in &diff.only_old {
+        println!("{id:<55} (only in old capture)");
+    }
+    for id in &diff.only_new {
+        println!("{id:<55} (new benchmark)");
+    }
+
+    if diff.entries.is_empty() {
+        // Zero shared ids means the gate would pass vacuously — treat a
+        // comparison that compares nothing as an error, not a pass.
+        println!("\nFAIL: the captures share no benchmark ids; nothing was compared");
+        return ExitCode::from(2);
+    }
+    let regressions = diff.regressions(threshold);
+    if regressions.is_empty() {
+        println!(
+            "\nOK: no shared benchmark regressed by more than {threshold_pct:.0}% \
+             ({} compared)",
+            diff.entries.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nFAIL: {} benchmark(s) regressed by more than {threshold_pct:.0}%",
+            regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -30,7 +30,7 @@ fn main() {
                 .expect("env");
         while !env.is_done() {
             let Some(d) = agent
-                .decide(&env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
+                .decide(&mut env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
                 .expect("decide")
             else {
                 break;

@@ -40,7 +40,7 @@ fn main() {
     let mut step = 0;
     while !env.is_done() {
         let Some(d) = agent
-            .decide(&env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
+            .decide(&mut env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
             .expect("decide")
         else {
             break;

@@ -1,0 +1,209 @@
+//! Bench-capture comparison: the library behind the `bench_diff` binary.
+//!
+//! A capture is either a `BENCH_*.json` object (`{"results": [{"id": ...,
+//! "median_ns": ...}, ...]}`) or the raw JSON-lines stream the criterion
+//! shim appends under `VMR_BENCH_JSON`. Two captures are compared by
+//! benchmark id; ids present in only one capture are reported but never
+//! fail the gate. The gate fails on any shared id whose median regressed
+//! by more than the threshold (default 25%).
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// Median (ns) per benchmark id.
+pub type Capture = BTreeMap<String, f64>;
+
+/// Comparison of one shared benchmark id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Benchmark id, e.g. `simulator/pm_mask/medium_280pm`.
+    pub id: String,
+    /// Median in the old capture (ns).
+    pub old_ns: f64,
+    /// Median in the new capture (ns).
+    pub new_ns: f64,
+}
+
+impl DiffEntry {
+    /// `new / old` — values above 1 are slower.
+    pub fn ratio(&self) -> f64 {
+        if self.old_ns > 0.0 {
+            self.new_ns / self.old_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether this entry regressed beyond `threshold` (0.25 = +25%).
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio() > 1.0 + threshold
+    }
+}
+
+/// Result of comparing two captures.
+#[derive(Debug, Clone, Default)]
+pub struct BenchDiff {
+    /// Shared ids, in id order.
+    pub entries: Vec<DiffEntry>,
+    /// Ids only in the old capture (removed benchmarks).
+    pub only_old: Vec<String>,
+    /// Ids only in the new capture (added benchmarks).
+    pub only_new: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Compares two captures by id.
+    pub fn compare(old: &Capture, new: &Capture) -> Self {
+        let mut diff = BenchDiff::default();
+        for (id, &old_ns) in old {
+            match new.get(id) {
+                Some(&new_ns) => {
+                    diff.entries.push(DiffEntry { id: id.clone(), old_ns, new_ns });
+                }
+                None => diff.only_old.push(id.clone()),
+            }
+        }
+        for id in new.keys() {
+            if !old.contains_key(id) {
+                diff.only_new.push(id.clone());
+            }
+        }
+        diff
+    }
+
+    /// Shared entries that regressed beyond `threshold`.
+    pub fn regressions(&self, threshold: f64) -> Vec<&DiffEntry> {
+        self.entries.iter().filter(|e| e.regressed(threshold)).collect()
+    }
+}
+
+/// Parses a capture from either the wrapped-object or JSON-lines format.
+/// Entries missing `id` or `median_ns` are skipped; duplicate ids keep the
+/// last value (matches the shim's append semantics).
+pub fn parse_capture(text: &str) -> Result<Capture, String> {
+    // Wrapped object with a "results" array?
+    if let Ok(value) = serde_json::from_str::<Value>(text) {
+        if let Some(results) = value.get("results").and_then(Value::as_array) {
+            return Ok(collect_entries(results.iter()));
+        }
+        if value.get("id").is_some() {
+            // A single JSON-line file that happens to parse whole.
+            return Ok(collect_entries(std::iter::once(&value)));
+        }
+    }
+    // JSON-lines stream.
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Value =
+            serde_json::from_str(line).map_err(|e| format!("bad capture line {line:?}: {e:?}"))?;
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("capture contains no benchmark entries".into());
+    }
+    Ok(collect_entries(rows.iter()))
+}
+
+fn collect_entries<'a>(rows: impl Iterator<Item = &'a Value>) -> Capture {
+    let mut capture = Capture::new();
+    for row in rows {
+        let (Some(id), Some(median)) =
+            (row.get("id").and_then(Value::as_str), row.get("median_ns").and_then(Value::as_f64))
+        else {
+            continue;
+        };
+        capture.insert(id.to_string(), median);
+    }
+    capture
+}
+
+/// Human-readable nanosecond formatting (matches the criterion shim).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(pairs: &[(&str, f64)]) -> Capture {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn parse_wrapped_object() {
+        let text = r#"{
+            "captured": "2026-01-01",
+            "results": [
+                {"id": "a/b", "median_ns": 10.0, "min_ns": 9.0},
+                {"id": "c/d", "median_ns": 20.5}
+            ]
+        }"#;
+        let c = parse_capture(text).unwrap();
+        assert_eq!(c, cap(&[("a/b", 10.0), ("c/d", 20.5)]));
+    }
+
+    #[test]
+    fn parse_json_lines() {
+        let text = "{\"id\": \"a\", \"median_ns\": 1.0}\n{\"id\": \"b\", \"median_ns\": 2.0}\n";
+        let c = parse_capture(text).unwrap();
+        assert_eq!(c, cap(&[("a", 1.0), ("b", 2.0)]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_capture("not json").is_err());
+        assert!(parse_capture("").is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_keep_last() {
+        let text = "{\"id\": \"a\", \"median_ns\": 1.0}\n{\"id\": \"a\", \"median_ns\": 3.0}\n";
+        let c = parse_capture(text).unwrap();
+        assert_eq!(c, cap(&[("a", 3.0)]));
+    }
+
+    #[test]
+    fn compare_classifies_ids() {
+        let old = cap(&[("shared", 100.0), ("removed", 5.0)]);
+        let new = cap(&[("shared", 110.0), ("added", 7.0)]);
+        let diff = BenchDiff::compare(&old, &new);
+        assert_eq!(diff.entries.len(), 1);
+        assert_eq!(diff.only_old, vec!["removed".to_string()]);
+        assert_eq!(diff.only_new, vec!["added".to_string()]);
+        assert!((diff.entries[0].ratio() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_gate_uses_threshold() {
+        let old = cap(&[("fast", 100.0), ("slow", 100.0), ("improved", 100.0)]);
+        let new = cap(&[("fast", 120.0), ("slow", 130.0), ("improved", 10.0)]);
+        let diff = BenchDiff::compare(&old, &new);
+        let regressions = diff.regressions(0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].id, "slow");
+        // A tighter gate catches both.
+        assert_eq!(diff.regressions(0.1).len(), 2);
+    }
+
+    #[test]
+    fn zero_old_median_counts_as_regression() {
+        let old = cap(&[("a", 0.0)]);
+        let new = cap(&[("a", 1.0)]);
+        let diff = BenchDiff::compare(&old, &new);
+        assert!(diff.entries[0].regressed(0.25));
+    }
+}

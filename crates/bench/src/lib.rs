@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod diff;
 pub mod report;
 pub mod setup;
 

@@ -139,15 +139,21 @@ impl<P: Policy> Vmr2lAgent<P> {
 
     /// Chooses an action for the environment's current state.
     ///
+    /// Takes `&mut ReschedEnv` for the incrementally-maintained
+    /// featurization ([`ReschedEnv::observe`]): the per-decision cost is
+    /// O(entities touched by the episode's migrations), not O(cluster).
+    ///
     /// Returns `Ok(None)` when no legal action exists (all VMs pinned or
     /// dead-ended) — callers should end the episode.
     pub fn decide<R: Rng + ?Sized>(
         &self,
-        env: &ReschedEnv,
+        env: &mut ReschedEnv,
         rng: &mut R,
         opts: &DecideOpts,
     ) -> SimResult<Option<StepDecision>> {
-        let obs = Observation::extract(env.state(), env.objective().frag_cores());
+        // The clone out of the cache is the copy that ends up in
+        // `StoredObs`; no full featurization rebuild happens here.
+        let obs = env.observe().clone();
         let feats = FeatureTensors::from_observation(&obs);
         let mut g = Graph::new();
         let s1 = self.policy.stage1(&mut g, &feats);
@@ -157,6 +163,8 @@ impl<P: Policy> Vmr2lAgent<P> {
             ActionMode::TwoStage | ActionMode::Penalty => {
                 let masked_stage2 = self.mode == ActionMode::TwoStage;
                 let mut vm_mask = env.vm_mask();
+                // Scratch stage-2 mask, reused across resample attempts.
+                let mut pm_mask_buf: Vec<bool> = Vec::new();
                 // Up to a few resamples if the chosen VM has no destination.
                 for _attempt in 0..8 {
                     if !vm_mask.iter().any(|&b| b) {
@@ -167,11 +175,13 @@ impl<P: Policy> Vmr2lAgent<P> {
                     else {
                         return Ok(None);
                     };
-                    let mut pm_mask = if masked_stage2 {
-                        env.pm_mask(VmId(vm_idx as u32))
+                    let mut pm_mask = std::mem::take(&mut pm_mask_buf);
+                    if masked_stage2 {
+                        env.pm_mask_into(VmId(vm_idx as u32), &mut pm_mask);
                     } else {
-                        vec![true; env.state().num_pms()]
-                    };
+                        pm_mask.clear();
+                        pm_mask.resize(env.state().num_pms(), true);
+                    }
                     if let Some(k) = self.pm_subset_size {
                         subsample_mask(&mut pm_mask, k, rng);
                     }
@@ -179,6 +189,7 @@ impl<P: Policy> Vmr2lAgent<P> {
                         // Dead-end VM: exclude and retry under the reduced
                         // mask (stored mask stays consistent).
                         vm_mask[vm_idx] = false;
+                        pm_mask_buf = pm_mask;
                         continue;
                     }
                     let pm_logits = self.policy.stage2(&mut g, &s1, &feats, vm_idx);
@@ -205,9 +216,9 @@ impl<P: Policy> Vmr2lAgent<P> {
                 // The joint mask costs O(M·N) legality checks — exactly the
                 // expense the paper's two-stage design avoids.
                 let mut joint_mask = vec![false; m * n];
+                let mut row = Vec::new();
                 for k in 0..m {
-                    let vm = VmId(k as u32);
-                    let row = env.pm_mask(vm);
+                    env.pm_mask_into(VmId(k as u32), &mut row);
                     joint_mask[k * n..(k + 1) * n].copy_from_slice(&row);
                 }
                 if !joint_mask.iter().any(|&b| b) {
@@ -436,7 +447,7 @@ mod tests {
             if e.is_done() {
                 e.reset();
             }
-            let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+            let d = a.decide(&mut e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
             assert!(
                 e.action_legal(d.action).is_ok(),
                 "two-stage masking must preclude illegal actions"
@@ -448,9 +459,9 @@ mod tests {
     #[test]
     fn decision_log_prob_matches_probs() {
         let a = agent(ActionMode::TwoStage);
-        let e = env();
+        let mut e = env();
         let mut rng = StdRng::seed_from_u64(1);
-        let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+        let d = a.decide(&mut e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
         let expect = d.vm_probs[d.stored_action.vm_idx].max(1e-300).ln()
             + d.pm_probs[d.stored_action.pm_idx].max(1e-300).ln();
         assert!((d.log_prob - expect).abs() < 1e-9);
@@ -459,9 +470,9 @@ mod tests {
     #[test]
     fn evaluate_matches_behavior_log_prob() {
         let a = agent(ActionMode::TwoStage);
-        let e = env();
+        let mut e = env();
         let mut rng = StdRng::seed_from_u64(2);
-        let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+        let d = a.decide(&mut e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
         let mut g = Graph::new();
         let ev = a.evaluate_actions(&mut g, &d.stored_obs, d.stored_action);
         let lp = g.value(ev.log_prob).get(0, 0);
@@ -475,21 +486,21 @@ mod tests {
     #[test]
     fn greedy_is_deterministic() {
         let a = agent(ActionMode::TwoStage);
-        let e = env();
+        let mut e = env();
         let opts = DecideOpts { greedy: true, ..Default::default() };
         let mut r1 = StdRng::seed_from_u64(10);
         let mut r2 = StdRng::seed_from_u64(99);
-        let d1 = a.decide(&e, &mut r1, &opts).unwrap().unwrap();
-        let d2 = a.decide(&e, &mut r2, &opts).unwrap().unwrap();
+        let d1 = a.decide(&mut e, &mut r1, &opts).unwrap().unwrap();
+        let d2 = a.decide(&mut e, &mut r2, &opts).unwrap().unwrap();
         assert_eq!(d1.action, d2.action);
     }
 
     #[test]
     fn full_mask_actions_are_legal() {
         let a = agent(ActionMode::FullMask);
-        let e = env();
+        let mut e = env();
         let mut rng = StdRng::seed_from_u64(4);
-        let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+        let d = a.decide(&mut e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
         assert!(e.action_legal(d.action).is_ok());
         assert!(d.stored_obs.joint_mask.is_some());
         // Re-evaluation agrees.
@@ -504,11 +515,11 @@ mod tests {
         // Penalty mode has no stage-2 mask; over many samples it should
         // propose at least one illegal action on a busy cluster.
         let a = agent(ActionMode::Penalty);
-        let e = env();
+        let mut e = env();
         let mut rng = StdRng::seed_from_u64(5);
         let mut saw_illegal = false;
         for _ in 0..40 {
-            let d = a.decide(&e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+            let d = a.decide(&mut e, &mut rng, &DecideOpts::default()).unwrap().unwrap();
             if e.action_legal(d.action).is_err() {
                 saw_illegal = true;
                 break;
@@ -534,12 +545,12 @@ mod tests {
     #[test]
     fn thresholded_sampling_stays_legal() {
         let a = agent(ActionMode::TwoStage);
-        let e = env();
+        let mut e = env();
         let mut rng = StdRng::seed_from_u64(7);
         let opts =
             DecideOpts { vm_quantile: Some(0.9), pm_quantile: Some(0.9), ..Default::default() };
         for _ in 0..10 {
-            let d = a.decide(&e, &mut rng, &opts).unwrap().unwrap();
+            let d = a.decide(&mut e, &mut rng, &opts).unwrap().unwrap();
             assert!(e.action_legal(d.action).is_ok());
         }
     }

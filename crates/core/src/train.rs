@@ -108,6 +108,9 @@ pub struct Trainer<P: Policy> {
     env: ReschedEnv,
     mapping_idx: usize,
     attempts: usize,
+    /// Rollout storage, reused across updates (transitions keep their
+    /// capacity; `collect_rollout` clears rather than reallocates).
+    buffer: RolloutBuffer<StoredObs, StoredAction>,
 }
 
 impl<P: Policy> Trainer<P> {
@@ -151,6 +154,7 @@ impl<P: Policy> Trainer<P> {
             env,
             mapping_idx: 0,
             attempts: 0,
+            buffer: RolloutBuffer::new(),
         })
     }
 
@@ -166,9 +170,9 @@ impl<P: Policy> Trainer<P> {
             if let Some(schedule) = self.cfg.lr_schedule {
                 self.opt.config.lr = schedule.at(update as u64 - 1);
             }
-            let buffer = self.collect_rollout()?;
-            let (mean_reward, mean_ret) = reward_stats(&buffer);
-            let ppo = self.update_policy(buffer);
+            self.collect_rollout()?;
+            let (mean_reward, mean_ret) = reward_stats(&self.buffer);
+            let ppo = self.update_policy();
             let eval_objective = if self.cfg.eval_every > 0 && update % self.cfg.eval_every == 0 {
                 self.evaluate(self.cfg.eval_episodes)?
             } else {
@@ -202,15 +206,16 @@ impl<P: Policy> Trainer<P> {
         self.env.is_done() || self.attempts >= self.cfg.mnl
     }
 
-    /// Collects one rollout of `ppo.rollout_steps` transitions.
-    fn collect_rollout(&mut self) -> SimResult<RolloutBuffer<StoredObs, StoredAction>> {
-        let mut buffer = RolloutBuffer::new();
+    /// Collects one rollout of `ppo.rollout_steps` transitions into the
+    /// reused internal buffer.
+    fn collect_rollout(&mut self) -> SimResult<()> {
+        self.buffer.clear();
         let opts = DecideOpts::default();
-        while buffer.len() < self.cfg.ppo.rollout_steps {
+        while self.buffer.len() < self.cfg.ppo.rollout_steps {
             if self.episode_done() {
                 self.next_episode()?;
             }
-            let Some(decision) = self.agent.decide(&self.env, &mut self.rng, &opts)? else {
+            let Some(decision) = self.agent.decide(&mut self.env, &mut self.rng, &opts)? else {
                 // No legal action: abandon the episode.
                 self.next_episode()?;
                 continue;
@@ -229,7 +234,7 @@ impl<P: Policy> Trainer<P> {
                     (self.cfg.penalty_reward, self.attempts >= self.cfg.mnl)
                 }
             };
-            buffer.push(Transition {
+            self.buffer.push(Transition {
                 obs: decision.stored_obs,
                 action: decision.stored_action,
                 log_prob: decision.log_prob,
@@ -239,33 +244,32 @@ impl<P: Policy> Trainer<P> {
             });
         }
         let last_value = if self.episode_done() { 0.0 } else { self.state_value() };
-        buffer.compute_gae(
+        self.buffer.compute_gae(
             self.cfg.ppo.gamma,
             self.cfg.ppo.gae_lambda,
             last_value,
             self.cfg.ppo.normalize_adv,
         );
         if let Some(q) = self.cfg.risk_quantile {
-            buffer.retain_top_episodes(q);
+            self.buffer.retain_top_episodes(q);
         }
-        Ok(buffer)
+        Ok(())
     }
 
-    /// Critic value of the environment's current state.
-    fn state_value(&self) -> f64 {
-        let obs =
-            vmr_sim::obs::Observation::extract(self.env.state(), self.cfg.objective.frag_cores());
-        let feats = FeatureTensors::from_observation(&obs);
+    /// Critic value of the environment's current state (reads the env's
+    /// incrementally-maintained featurization; no full rebuild).
+    fn state_value(&mut self) -> f64 {
+        let feats = FeatureTensors::from_observation(self.env.observe());
         let mut g = Graph::new();
         let s1 = self.agent.policy.stage1(&mut g, &feats);
         g.value(s1.value).get(0, 0)
     }
 
-    /// Runs the PPO update epochs over the rollout.
-    fn update_policy(&mut self, buffer: RolloutBuffer<StoredObs, StoredAction>) -> PpoStats {
+    /// Runs the PPO update epochs over the collected rollout.
+    fn update_policy(&mut self) -> PpoStats {
         let mut last_stats = PpoStats::default();
         for _epoch in 0..self.cfg.ppo.epochs {
-            let batches = buffer.minibatch_indices(self.cfg.ppo.minibatch_size, &mut self.rng);
+            let batches = self.buffer.minibatch_indices(self.cfg.ppo.minibatch_size, &mut self.rng);
             for batch in batches {
                 if batch.is_empty() {
                     continue;
@@ -278,7 +282,7 @@ impl<P: Policy> Trainer<P> {
                 let mut adv = Vec::with_capacity(batch.len());
                 let mut ret = Vec::with_capacity(batch.len());
                 for &i in &batch {
-                    let t = &buffer.transitions()[i];
+                    let t = &self.buffer.transitions()[i];
                     let ev = self.agent.evaluate_actions(&mut g, &t.obs, t.action);
                     logp = Some(match logp {
                         Some(acc) => g.vcat(acc, ev.log_prob),
@@ -293,8 +297,8 @@ impl<P: Policy> Trainer<P> {
                         None => ev.entropy,
                     });
                     old_lp.push(t.log_prob);
-                    adv.push(buffer.advantages()[i]);
-                    ret.push(buffer.returns()[i]);
+                    adv.push(self.buffer.advantages()[i]);
+                    ret.push(self.buffer.returns()[i]);
                 }
                 let logp = logp.expect("non-empty batch");
                 let values = values.expect("non-empty batch");

@@ -50,7 +50,7 @@ fn stage1_logits_change_after_migration() {
     };
     let before = logits(&env);
     let agent = Vmr2lAgent::new(model.clone(), ActionMode::TwoStage);
-    let d = agent.decide(&env, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+    let d = agent.decide(&mut env, &mut rng, &DecideOpts::default()).unwrap().unwrap();
     env.step(d.action).unwrap();
     let after = logits(&env);
     assert_ne!(before, after, "state change must alter the policy's view");
@@ -79,17 +79,18 @@ fn vanilla_and_sparse_share_non_local_parameter_names() {
 
 #[test]
 fn decide_is_pure_with_respect_to_env() {
-    // decide() must not mutate the environment.
+    // decide() must not mutate the environment's episode state (it may
+    // warm the internal featurization cache, but never the cluster).
     let mut rng = StdRng::seed_from_u64(3);
     let model = Vmr2lModel::new(cfg(), ExtractorKind::SparseAttention, &mut rng);
     let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
     let state = generate_mapping(&ClusterConfig::tiny(), 5).unwrap();
-    let env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
+    let mut env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
     let fr_before = env.objective_value();
     let steps_before = env.steps_taken();
     for seed in 0..4u64 {
         let mut r = StdRng::seed_from_u64(seed);
-        let _ = agent.decide(&env, &mut r, &DecideOpts::default()).unwrap();
+        let _ = agent.decide(&mut env, &mut r, &DecideOpts::default()).unwrap();
     }
     assert_eq!(env.steps_taken(), steps_before);
     assert!((env.objective_value() - fr_before).abs() < 1e-15);
@@ -104,8 +105,8 @@ fn untrained_policy_is_not_collapsed() {
     let model = Vmr2lModel::new(cfg(), ExtractorKind::SparseAttention, &mut rng);
     let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
     let state = generate_mapping(&ClusterConfig::tiny(), 6).unwrap();
-    let env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
-    let d = agent.decide(&env, &mut rng, &DecideOpts::default()).unwrap().unwrap();
+    let mut env = ReschedEnv::unconstrained(state, Objective::default(), 4).unwrap();
+    let d = agent.decide(&mut env, &mut rng, &DecideOpts::default()).unwrap().unwrap();
     let m = d.vm_probs.len() as f64;
     let entropy: f64 = d.vm_probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
     assert!(

@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::cluster::ClusterState;
 use crate::error::{SimError, SimResult};
-use crate::types::{PmId, VmId};
+use crate::machine::{Placement, Pm};
+use crate::types::{NumaPlacement, PmId, VmId};
 
 /// Hard constraints layered on top of raw capacity.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -136,9 +137,56 @@ impl ConstraintSet {
     /// This is the operation the paper highlights as cheap (O(N) per chosen
     /// VM rather than O(M·N) for the joint action space).
     pub fn pm_mask(&self, state: &ClusterState, vm: VmId) -> Vec<bool> {
-        (0..state.num_pms())
-            .map(|i| self.migration_legal(state, vm, PmId(i as u32)).is_ok())
-            .collect()
+        let mut mask = Vec::new();
+        self.pm_mask_into(state, vm, &mut mask);
+        mask
+    }
+
+    /// Allocation-free stage-2 mask into a caller-owned buffer.
+    ///
+    /// Produces exactly the same mask as checking
+    /// [`ConstraintSet::migration_legal`] per PM (the proptest suite
+    /// asserts this), but in one tight O(N) capacity sweep plus an
+    /// O(conflicts) pass that marks the host PM of each conflicting VM
+    /// directly via the placement table — instead of the old per-PM scan
+    /// over every hosted VM's conflict list.
+    pub fn pm_mask_into(&self, state: &ClusterState, vm: VmId, out: &mut Vec<bool>) {
+        out.clear();
+        let n = state.num_pms();
+        if state.check_vm(vm).is_err() || self.is_pinned(vm) {
+            out.resize(n, false);
+            return;
+        }
+        let v = state.vm(vm);
+        let (cpu, mem) = (v.cpu_per_numa(), v.mem_per_numa());
+        let cur = state.placement(vm);
+        out.extend(state.pms().iter().map(|p| dest_capacity_ok(p, cpu, mem, cur)));
+        for &other in self.conflicts_of(vm) {
+            // A conflicting id outside the cluster is hosted nowhere.
+            if other != vm {
+                if let Some(pl) = state.placements().get(other.0 as usize) {
+                    out[pl.pm.0 as usize] = false;
+                }
+            }
+        }
+    }
+
+    /// Whether `vm` has at least one legal destination PM. Equivalent to
+    /// `pm_mask(..).iter().any(..)` but allocation-free and early-exiting
+    /// at the first legal PM.
+    pub fn has_legal_destination(&self, state: &ClusterState, vm: VmId) -> bool {
+        if state.check_vm(vm).is_err() || self.is_pinned(vm) {
+            return false;
+        }
+        let v = state.vm(vm);
+        let (cpu, mem) = (v.cpu_per_numa(), v.mem_per_numa());
+        let cur = state.placement(vm);
+        let conflicts = self.conflicts_of(vm);
+        let blocked = |pm: PmId| {
+            !conflicts.is_empty()
+                && state.vms_on(pm).iter().any(|&o| o != vm && conflicts.contains(&o))
+        };
+        state.pms().iter().any(|p| dest_capacity_ok(p, cpu, mem, cur) && !blocked(p.id))
     }
 
     /// Stage-1 mask: `mask[k] == true` iff VM `k` is eligible for migration
@@ -148,26 +196,62 @@ impl ConstraintSet {
     /// check of a destination is performed; the RL agent uses `false` and
     /// relies on the stage-2 mask, while exhaustive searches use `true`.
     pub fn vm_mask(&self, state: &ClusterState, require_destination: bool) -> Vec<bool> {
-        (0..state.num_vms())
-            .map(|k| {
-                let vm = VmId(k as u32);
-                if self.is_pinned(vm) {
-                    return false;
-                }
-                if !require_destination {
-                    return true;
-                }
-                self.pm_mask(state, vm).iter().any(|&ok| ok)
-            })
-            .collect()
+        let mut mask = Vec::new();
+        self.vm_mask_into(state, require_destination, &mut mask);
+        mask
+    }
+
+    /// Allocation-free stage-1 mask into a caller-owned buffer.
+    pub fn vm_mask_into(
+        &self,
+        state: &ClusterState,
+        require_destination: bool,
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
+        out.extend((0..state.num_vms()).map(|k| {
+            let vm = VmId(k as u32);
+            if self.is_pinned(vm) {
+                return false;
+            }
+            if !require_destination {
+                return true;
+            }
+            self.has_legal_destination(state, vm)
+        }));
+    }
+}
+
+/// Capacity-only destination legality shared by [`ConstraintSet::pm_mask_into`]
+/// and [`ConstraintSet::has_legal_destination`]: whether a VM demanding
+/// `cpu`/`mem` per NUMA, currently placed at `cur`, has some non-no-op
+/// placement on `p`. Mirrors `feasible_placements`' same-PM release
+/// semantics:
+///
+/// * Single-NUMA VM — fits wherever either NUMA has room; on its own PM
+///   only the *other* NUMA counts (its current slot is a no-op, and
+///   releasing its own allocation never helps the other NUMA).
+/// * Double-NUMA VM — needs room on both NUMAs; its own PM is always a
+///   no-op.
+#[inline]
+fn dest_capacity_ok(p: &Pm, cpu: u32, mem: u32, cur: Placement) -> bool {
+    match cur.numa {
+        NumaPlacement::Single(j) => {
+            if p.id == cur.pm {
+                p.numas[1 - j as usize].fits(cpu, mem)
+            } else {
+                p.numas.iter().any(|numa| numa.fits(cpu, mem))
+            }
+        }
+        NumaPlacement::Double => p.id != cur.pm && p.numas.iter().all(|numa| numa.fits(cpu, mem)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::{Placement, Pm, Vm};
-    use crate::types::{NumaPlacement, NumaPolicy};
+    use crate::machine::Vm;
+    use crate::types::NumaPolicy;
 
     fn cluster() -> ClusterState {
         let pms = vec![

@@ -188,6 +188,21 @@ impl ClusterConfig {
         }
     }
 
+    /// A production-scale benchmarking cluster beyond the paper's Large
+    /// dataset: 1600 PMs with the large-skewed VM mix. Used by the
+    /// `simulator_ops` bench (`large_1600pm`) to show hot-path scaling at
+    /// the size where O(cluster) and O(touched) diverge the most.
+    pub fn xlarge() -> Self {
+        ClusterConfig {
+            name: "xlarge".into(),
+            pm_groups: vec![PmGroup { count: 1600, cpu_per_numa: 44, mem_per_numa: 128 }],
+            vm_mix: VmMix::large_skewed(),
+            target_util: 0.62,
+            churn_cycles: 3000,
+            shuffle_frac: 0.15,
+        }
+    }
+
     /// The paper's **Multi-Resource** dataset (§5.4): two PM shapes
     /// (88 CPU/256 GiB and 128 CPU/364 GiB) and memory-boosted VM types.
     pub fn multi_resource() -> Self {

@@ -11,6 +11,8 @@ use crate::cluster::{ClusterState, MigrationRecord};
 use crate::constraints::ConstraintSet;
 use crate::error::{SimError, SimResult};
 use crate::objective::Objective;
+use crate::obs::Observation;
+use crate::obs_cache::ObsEngine;
 use crate::types::{PmId, VmId};
 
 /// An agent action: migrate `vm` to `pm` (the 2-tuple of §3.1; the source
@@ -48,6 +50,9 @@ pub struct ReschedEnv {
     steps_taken: usize,
     done: bool,
     history: Vec<MigrationRecord>,
+    /// Incremental featurization cache, created lazily on the first
+    /// [`ReschedEnv::observe`] and kept in sync by `step`/`reset`.
+    engine: Option<ObsEngine>,
 }
 
 impl ReschedEnv {
@@ -78,6 +83,7 @@ impl ReschedEnv {
             steps_taken: 0,
             done: false,
             history: Vec::new(),
+            engine: None,
         })
     }
 
@@ -97,6 +103,9 @@ impl ReschedEnv {
         self.steps_taken = 0;
         self.done = false;
         self.history.clear();
+        if let Some(engine) = &mut self.engine {
+            engine.mark_stale();
+        }
     }
 
     /// Replaces the initial mapping (a new episode sample) and resets.
@@ -186,6 +195,9 @@ impl ReschedEnv {
         let src_score = self.objective.pm_score(&self.state, src);
         let dest_score = self.objective.pm_score(&self.state, dest);
         let record = self.state.migrate(action.vm, action.pm, self.objective.frag_cores())?;
+        if let Some(engine) = &mut self.engine {
+            engine.note_migration(&self.state, &record);
+        }
         self.steps_taken += 1;
         self.history.push(record);
 
@@ -202,9 +214,44 @@ impl ReschedEnv {
         self.constraints.pm_mask(&self.state, vm)
     }
 
+    /// Stage-2 mask into a caller-owned buffer (zero allocation in steady
+    /// state). See [`ConstraintSet::pm_mask_into`].
+    pub fn pm_mask_into(&self, vm: VmId, out: &mut Vec<bool>) {
+        self.constraints.pm_mask_into(&self.state, vm, out);
+    }
+
     /// Eligibility mask over VMs (stage-1 mask).
     pub fn vm_mask(&self) -> Vec<bool> {
         self.constraints.vm_mask(&self.state, false)
+    }
+
+    /// Stage-1 mask into a caller-owned buffer. `require_destination`
+    /// additionally demands an existing legal destination (early-exiting
+    /// per VM instead of building a full stage-2 mask).
+    pub fn vm_mask_into(&self, require_destination: bool, out: &mut Vec<bool>) {
+        self.constraints.vm_mask_into(&self.state, require_destination, out);
+    }
+
+    /// The current state's featurization, maintained incrementally: the
+    /// first call builds an [`ObsEngine`]; subsequent calls pay only for
+    /// the rows the episode's migrations actually dirtied, instead of the
+    /// O(cluster) full rebuild of [`Observation::extract`].
+    ///
+    /// The returned reference is bit-identical to
+    /// `Observation::extract(env.state(), frag_cores)`.
+    pub fn observe(&mut self) -> &Observation {
+        let frag_cores = self.objective.frag_cores();
+        match &mut self.engine {
+            Some(engine) if engine.frag_cores() == frag_cores => {}
+            _ => self.engine = Some(ObsEngine::new(&self.state, frag_cores)),
+        }
+        self.engine.as_mut().expect("engine just ensured").observation(&self.state)
+    }
+
+    /// Copies the current featurization into `out` without allocating in
+    /// steady state.
+    pub fn observe_into(&mut self, out: &mut Observation) {
+        out.clone_from(self.observe());
     }
 }
 
@@ -290,6 +337,46 @@ mod tests {
         let out = e.step(Action { vm: VmId(0), pm: PmId(1) }).unwrap();
         assert!(out.done, "goal reached should end the episode");
         assert!(out.reward >= 10.0 - 1.0); // bonus dominates
+    }
+
+    #[test]
+    fn observe_matches_full_extract_across_steps_and_reset() {
+        let mut e = env(3);
+        let frag = e.objective().frag_cores();
+        let check = |e: &mut ReschedEnv| {
+            let fresh = Observation::extract(e.state(), frag);
+            assert_eq!(e.observe(), &fresh);
+        };
+        check(&mut e);
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        check(&mut e);
+        e.step(Action { vm: VmId(1), pm: PmId(1) }).unwrap();
+        check(&mut e);
+        e.reset();
+        check(&mut e);
+    }
+
+    #[test]
+    fn observe_into_reuses_buffers() {
+        let mut e = env(3);
+        let mut obs = Observation::empty();
+        e.observe_into(&mut obs);
+        let cap = obs.vm_feats.capacity();
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        e.observe_into(&mut obs);
+        assert_eq!(obs, Observation::extract(e.state(), e.objective().frag_cores()));
+        assert_eq!(obs.vm_feats.capacity(), cap);
+    }
+
+    #[test]
+    fn mask_into_matches_allocating_masks() {
+        let e = env(4);
+        let mut buf = Vec::new();
+        e.pm_mask_into(VmId(1), &mut buf);
+        assert_eq!(buf, e.pm_mask(VmId(1)));
+        let mut vbuf = Vec::new();
+        e.vm_mask_into(false, &mut vbuf);
+        assert_eq!(vbuf, e.vm_mask());
     }
 
     #[test]

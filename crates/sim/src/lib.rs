@@ -10,7 +10,8 @@
 //! * hard service constraints and legality masks
 //!   ([`constraints::ConstraintSet`]),
 //! * a Gym-style episodic environment ([`env::ReschedEnv`]),
-//! * state featurization ([`obs::Observation`]),
+//! * state featurization ([`obs::Observation`]) and its incremental
+//!   per-step engine ([`obs_cache::ObsEngine`]),
 //! * synthetic dataset generation replacing the proprietary traces
 //!   ([`dataset`]), and
 //! * dynamic churn + plan-staleness replay ([`dynamics`]).
@@ -54,6 +55,7 @@ pub mod machine;
 pub mod migration;
 pub mod objective;
 pub mod obs;
+pub mod obs_cache;
 pub mod scheduler;
 pub mod trace;
 pub mod types;
@@ -64,4 +66,5 @@ pub use env::{Action, ReschedEnv, StepOutcome};
 pub use error::{SimError, SimResult};
 pub use machine::{Numa, Placement, Pm, Vm};
 pub use objective::Objective;
+pub use obs_cache::ObsEngine;
 pub use types::{NumaPlacement, NumaPolicy, PmId, VmId};

@@ -43,72 +43,62 @@ pub struct Observation {
 }
 
 impl Observation {
+    /// An empty observation, ready to be filled by
+    /// [`Observation::extract_into`] (the zero-allocation path).
+    pub fn empty() -> Self {
+        Observation {
+            num_pms: 0,
+            num_vms: 0,
+            pm_feats: Vec::new(),
+            vm_feats: Vec::new(),
+            vm_src_pm: Vec::new(),
+        }
+    }
+
     /// Extracts and normalizes an observation from a cluster state.
     ///
     /// `frag_cores` is the fragment granularity of the active objective
     /// (16 for the default FR-16 objective).
     pub fn extract(state: &ClusterState, frag_cores: u32) -> Self {
+        let mut obs = Observation::empty();
+        Self::extract_into(state, frag_cores, &mut obs);
+        obs
+    }
+
+    /// Like [`Observation::extract`] but reuses the buffers of `out`: in
+    /// steady state (same cluster shape) no allocation happens. This is the
+    /// full-rebuild path; the incremental per-step path lives in
+    /// [`crate::obs_cache::ObsEngine`].
+    pub fn extract_into(state: &ClusterState, frag_cores: u32, out: &mut Observation) {
         let n = state.num_pms();
         let m = state.num_vms();
-        let mut pm_feats = vec![0f32; n * PM_FEAT];
+        out.num_pms = n;
+        out.num_vms = m;
+        out.pm_feats.clear();
+        out.pm_feats.resize(n * PM_FEAT, 0.0);
+        out.vm_feats.clear();
+        out.vm_feats.resize(m * VM_FEAT, 0.0);
+        out.vm_src_pm.clear();
+        out.vm_src_pm.resize(m, 0);
+
         for i in 0..n {
-            let pm = state.pm(PmId(i as u32));
-            for (j, numa) in pm.numas.iter().enumerate() {
-                let free_cpu = numa.free_cpu() as f32;
-                let free_mem = numa.free_mem() as f32;
-                let frag = numa.cpu_fragment(frag_cores) as f32;
-                let fr = if free_cpu > 0.0 { frag / free_cpu } else { 0.0 };
-                let base = i * PM_FEAT + j * 4;
-                pm_feats[base] = free_cpu;
-                pm_feats[base + 1] = free_mem;
-                pm_feats[base + 2] = fr;
-                pm_feats[base + 3] = frag;
-            }
+            fill_pm_row(state, i, frag_cores, &mut out.pm_feats[i * PM_FEAT..(i + 1) * PM_FEAT]);
         }
-
-        let mut vm_feats = vec![0f32; m * VM_FEAT];
-        let mut vm_src_pm = vec![0u32; m];
-        for (k, src_pm) in vm_src_pm.iter_mut().enumerate() {
-            let vm = state.vm(crate::types::VmId(k as u32));
-            let pl = state.placement(vm.id);
-            *src_pm = pl.pm.0;
-            let base = k * VM_FEAT;
-            // Requested CPU/memory per NUMA with zero padding (paper: "If a
-            // single NUMA is requested, zeros are used as placeholders").
-            match pl.numa {
-                NumaPlacement::Single(j) => {
-                    let j = j as usize;
-                    vm_feats[base + j] = vm.cpu_per_numa() as f32;
-                    vm_feats[base + 2 + j] = vm.mem_per_numa() as f32;
-                }
-                NumaPlacement::Double => {
-                    for j in 0..NUMA_PER_PM {
-                        vm_feats[base + j] = vm.cpu_per_numa() as f32;
-                        vm_feats[base + 2 + j] = vm.mem_per_numa() as f32;
-                    }
-                }
-            }
-            // Fragment-size delta on each source NUMA if this VM departed:
-            // (free + demand) % X − free % X, per NUMA it occupies.
-            let pm = state.pm(pl.pm);
-            for j in 0..NUMA_PER_PM {
-                if pl.numa.uses_numa(j) {
-                    let free = pm.numas[j].free_cpu();
-                    let after = (free + vm.cpu_per_numa()) % frag_cores;
-                    let now = free % frag_cores;
-                    vm_feats[base + 4 + j] = after as f32 - now as f32;
-                }
-            }
-            // Source PM features (raw; normalized jointly below).
-            let src = pl.pm.0 as usize;
+        for k in 0..m {
+            let src = state.placement(crate::types::VmId(k as u32)).pm.0 as usize;
+            out.vm_src_pm[k] = src as u32;
             let pm_base = src * PM_FEAT;
-            vm_feats[base + 6..base + 6 + PM_FEAT]
-                .copy_from_slice(&pm_feats[pm_base..pm_base + PM_FEAT]);
+            fill_vm_row(
+                state,
+                k,
+                frag_cores,
+                &out.pm_feats[pm_base..pm_base + PM_FEAT],
+                &mut out.vm_feats[k * VM_FEAT..(k + 1) * VM_FEAT],
+            );
         }
 
-        min_max_normalize(&mut pm_feats, PM_FEAT);
-        min_max_normalize(&mut vm_feats, VM_FEAT);
-        Observation { num_pms: n, num_vms: m, pm_feats, vm_feats, vm_src_pm }
+        min_max_normalize(&mut out.pm_feats, PM_FEAT);
+        min_max_normalize(&mut out.vm_feats, VM_FEAT);
     }
 
     /// Feature row of PM `i`.
@@ -120,6 +110,70 @@ impl Observation {
     pub fn vm_row(&self, k: usize) -> &[f32] {
         &self.vm_feats[k * VM_FEAT..(k + 1) * VM_FEAT]
     }
+}
+
+/// Writes the *raw* (un-normalized) feature row of PM `i` into `out`
+/// (length [`PM_FEAT`]). Shared by the full extraction above and the
+/// incremental [`crate::obs_cache::ObsEngine`], so both produce
+/// bit-identical values by construction.
+pub(crate) fn fill_pm_row(state: &ClusterState, i: usize, frag_cores: u32, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), PM_FEAT);
+    let pm = state.pm(PmId(i as u32));
+    for (j, numa) in pm.numas.iter().enumerate() {
+        let free_cpu = numa.free_cpu() as f32;
+        let free_mem = numa.free_mem() as f32;
+        let frag = numa.cpu_fragment(frag_cores) as f32;
+        let fr = if free_cpu > 0.0 { frag / free_cpu } else { 0.0 };
+        let base = j * 4;
+        out[base] = free_cpu;
+        out[base + 1] = free_mem;
+        out[base + 2] = fr;
+        out[base + 3] = frag;
+    }
+}
+
+/// Writes the *raw* feature row of VM `k` into `out` (length [`VM_FEAT`]).
+/// `host_raw` must be the raw feature row of the VM's current host PM.
+pub(crate) fn fill_vm_row(
+    state: &ClusterState,
+    k: usize,
+    frag_cores: u32,
+    host_raw: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), VM_FEAT);
+    debug_assert_eq!(host_raw.len(), PM_FEAT);
+    let vm = state.vm(crate::types::VmId(k as u32));
+    let pl = state.placement(vm.id);
+    out[..6].fill(0.0);
+    // Requested CPU/memory per NUMA with zero padding (paper: "If a
+    // single NUMA is requested, zeros are used as placeholders").
+    match pl.numa {
+        NumaPlacement::Single(j) => {
+            let j = j as usize;
+            out[j] = vm.cpu_per_numa() as f32;
+            out[2 + j] = vm.mem_per_numa() as f32;
+        }
+        NumaPlacement::Double => {
+            for j in 0..NUMA_PER_PM {
+                out[j] = vm.cpu_per_numa() as f32;
+                out[2 + j] = vm.mem_per_numa() as f32;
+            }
+        }
+    }
+    // Fragment-size delta on each source NUMA if this VM departed:
+    // (free + demand) % X − free % X, per NUMA it occupies.
+    let pm = state.pm(pl.pm);
+    for j in 0..NUMA_PER_PM {
+        if pl.numa.uses_numa(j) {
+            let free = pm.numas[j].free_cpu();
+            let after = (free + vm.cpu_per_numa()) % frag_cores;
+            let now = free % frag_cores;
+            out[4 + j] = after as f32 - now as f32;
+        }
+    }
+    // Source PM features (raw; normalized jointly with the other VM rows).
+    out[6..6 + PM_FEAT].copy_from_slice(host_raw);
 }
 
 /// In-place per-column min-max normalization of a row-major matrix.

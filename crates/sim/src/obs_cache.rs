@@ -1,0 +1,497 @@
+//! Incremental observation engine: O(touched entities) per step.
+//!
+//! [`crate::obs::Observation::extract`] rebuilds the whole featurization —
+//! O(N·8 + M·14) work plus a full min-max pass — even though a migration
+//! touches exactly two PMs and the VMs resident on them. At the paper's
+//! Medium scale (280 PMs, ≈2k VMs) that full rebuild costs ~1,800× the
+//! state transition it sits next to, and it is paid on *every* agent
+//! decision during rollouts, risk-seeking evaluation, and search-baseline
+//! probing.
+//!
+//! [`ObsEngine`] keeps the *raw* (un-normalized) PM/VM feature matrices
+//! alive across `migrate`/`swap`/undo and repairs only what a migration
+//! dirties:
+//!
+//! * **Dirty rows** — the two endpoint PMs plus the VMs hosted on them,
+//!   found in O(occupancy) through [`ClusterState::vms_on`] (the reverse
+//!   index) rather than an O(M) placement scan.
+//! * **Per-column min/max** — tracked incrementally with occupancy counts;
+//!   a full column rescan happens only when a dirty row held the column's
+//!   extremum and no other row does (count reaches zero).
+//! * **Materialized normalization** — the normalized [`Observation`] is
+//!   cached; after an update only dirty rows and columns whose min/max
+//!   moved are re-normalized.
+//!
+//! The engine's output is **bit-identical** to a fresh
+//! [`Observation::extract`] of the same state: raw rows are produced by
+//! the same `fill_*_row` code paths, f32 min/max is order-independent, and
+//! the normalization formula is shared. A tier-1 proptest
+//! (`prop_obs_engine.rs`) asserts this equivalence under arbitrary
+//! migrate/swap/undo sequences.
+
+use crate::cluster::{ClusterState, MigrationRecord, SwapRecord};
+use crate::obs::{fill_pm_row, fill_vm_row, Observation, PM_FEAT, VM_FEAT};
+use crate::types::{PmId, VmId};
+
+/// Incremental min/max of one feature column.
+///
+/// `lo_count`/`hi_count` track how many rows currently hold the extremum;
+/// when a row update drives a count to zero the column is rescanned once
+/// at the end of the batch.
+#[derive(Debug, Clone, Copy)]
+struct ColStat {
+    lo: f32,
+    hi: f32,
+    lo_count: u32,
+    hi_count: u32,
+}
+
+impl ColStat {
+    fn empty() -> Self {
+        ColStat { lo: f32::INFINITY, hi: f32::NEG_INFINITY, lo_count: 0, hi_count: 0 }
+    }
+
+    /// Applies one cell change `old → new`.
+    #[inline]
+    fn update(&mut self, old: f32, new: f32) {
+        if old == new {
+            return;
+        }
+        if old == self.lo {
+            self.lo_count -= 1;
+        }
+        if old == self.hi {
+            self.hi_count -= 1;
+        }
+        if new < self.lo {
+            self.lo = new;
+            self.lo_count = 1;
+        } else if new == self.lo {
+            self.lo_count += 1;
+        }
+        if new > self.hi {
+            self.hi = new;
+            self.hi_count = 1;
+        } else if new == self.hi {
+            self.hi_count += 1;
+        }
+    }
+
+    /// Whether the tracked extremum may be stale (holder count hit zero).
+    #[inline]
+    fn needs_rescan(&self) -> bool {
+        self.lo_count == 0 || self.hi_count == 0
+    }
+
+    /// Recomputes the column from scratch (same fold as
+    /// `min_max_normalize`: f32 min/max is order-independent, so the
+    /// result matches a full extraction bit-for-bit).
+    fn rescan(data: &[f32], width: usize, col: usize) -> Self {
+        let mut s = ColStat::empty();
+        let rows = data.len() / width.max(1);
+        for r in 0..rows {
+            let v = data[r * width + col];
+            if v < s.lo {
+                s.lo = v;
+                s.lo_count = 1;
+            } else if v == s.lo {
+                s.lo_count += 1;
+            }
+            if v > s.hi {
+                s.hi = v;
+                s.hi_count = 1;
+            } else if v == s.hi {
+                s.hi_count += 1;
+            }
+        }
+        s
+    }
+
+    /// Normalizes one raw value under this column's range — the exact
+    /// formula of `min_max_normalize`.
+    #[inline]
+    fn norm(&self, v: f32) -> f32 {
+        let range = self.hi - self.lo;
+        if range > 0.0 {
+            (v - self.lo) / range
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Maintains raw feature matrices, per-column min/max, and a materialized
+/// normalized [`Observation`] across cluster mutations.
+///
+/// Usage: build once per episode ([`ObsEngine::new`]), call one of the
+/// `note_*` methods after every state mutation, and read the current
+/// featurization through [`ObsEngine::observation`]. After a bulk state
+/// replacement (e.g. an environment reset) call [`ObsEngine::mark_stale`];
+/// the next read rebuilds in full, reusing every buffer.
+#[derive(Debug, Clone)]
+pub struct ObsEngine {
+    frag_cores: u32,
+    /// Raw `N × PM_FEAT` features.
+    raw_pm: Vec<f32>,
+    /// Raw `M × VM_FEAT` features.
+    raw_vm: Vec<f32>,
+    pm_cols: Vec<ColStat>,
+    vm_cols: Vec<ColStat>,
+    /// Materialized normalized observation (kept in sync lazily).
+    obs: Observation,
+    stale: bool,
+    /// Scratch: VM rows dirtied by the current batch.
+    dirty_vms: Vec<usize>,
+}
+
+impl ObsEngine {
+    /// Builds the engine with a full extraction of `state`.
+    pub fn new(state: &ClusterState, frag_cores: u32) -> Self {
+        let mut engine = ObsEngine {
+            frag_cores,
+            raw_pm: Vec::new(),
+            raw_vm: Vec::new(),
+            pm_cols: vec![ColStat::empty(); PM_FEAT],
+            vm_cols: vec![ColStat::empty(); VM_FEAT],
+            obs: Observation::empty(),
+            stale: true,
+            dirty_vms: Vec::new(),
+        };
+        engine.rebuild(state);
+        engine
+    }
+
+    /// The fragment granularity this engine featurizes with.
+    pub fn frag_cores(&self) -> u32 {
+        self.frag_cores
+    }
+
+    /// Marks every cached row dirty; the next [`ObsEngine::observation`]
+    /// call (or `rebuild`) recomputes everything, reusing the buffers.
+    pub fn mark_stale(&mut self) {
+        self.stale = true;
+    }
+
+    /// Full recomputation from `state` into the existing buffers.
+    pub fn rebuild(&mut self, state: &ClusterState) {
+        let n = state.num_pms();
+        let m = state.num_vms();
+        self.raw_pm.clear();
+        self.raw_pm.resize(n * PM_FEAT, 0.0);
+        self.raw_vm.clear();
+        self.raw_vm.resize(m * VM_FEAT, 0.0);
+        for i in 0..n {
+            fill_pm_row(state, i, self.frag_cores, &mut self.raw_pm[i * PM_FEAT..][..PM_FEAT]);
+        }
+        for k in 0..m {
+            let src = state.placement(VmId(k as u32)).pm.0 as usize;
+            fill_vm_row(
+                state,
+                k,
+                self.frag_cores,
+                &self.raw_pm[src * PM_FEAT..][..PM_FEAT],
+                &mut self.raw_vm[k * VM_FEAT..][..VM_FEAT],
+            );
+        }
+        for (col, stat) in self.pm_cols.iter_mut().enumerate() {
+            *stat = ColStat::rescan(&self.raw_pm, PM_FEAT, col);
+        }
+        for (col, stat) in self.vm_cols.iter_mut().enumerate() {
+            *stat = ColStat::rescan(&self.raw_vm, VM_FEAT, col);
+        }
+        // Materialize the normalized observation.
+        self.obs.num_pms = n;
+        self.obs.num_vms = m;
+        self.obs.pm_feats.clear();
+        self.obs.pm_feats.resize(n * PM_FEAT, 0.0);
+        self.obs.vm_feats.clear();
+        self.obs.vm_feats.resize(m * VM_FEAT, 0.0);
+        self.obs.vm_src_pm.clear();
+        self.obs.vm_src_pm.extend(state.placements().iter().map(|pl| pl.pm.0));
+        for col in 0..PM_FEAT {
+            renorm_col(&self.raw_pm, &mut self.obs.pm_feats, PM_FEAT, col, &self.pm_cols[col]);
+        }
+        for col in 0..VM_FEAT {
+            renorm_col(&self.raw_vm, &mut self.obs.vm_feats, VM_FEAT, col, &self.vm_cols[col]);
+        }
+        self.stale = false;
+    }
+
+    /// Repairs the engine after a migration was applied to `state`
+    /// (`state` must already reflect the move).
+    pub fn note_migration(&mut self, state: &ClusterState, rec: &MigrationRecord) {
+        self.refresh_pms(state, rec.from.pm, rec.to.pm);
+    }
+
+    /// Repairs the engine after an undo of `rec` (same endpoints).
+    pub fn note_undo(&mut self, state: &ClusterState, rec: &MigrationRecord) {
+        self.refresh_pms(state, rec.from.pm, rec.to.pm);
+    }
+
+    /// Repairs the engine after a swap was applied to `state`.
+    pub fn note_swap(&mut self, state: &ClusterState, rec: &SwapRecord) {
+        self.refresh_pms(state, rec.a.from.pm, rec.a.to.pm);
+    }
+
+    /// Repairs the engine after a swap was undone.
+    pub fn note_swap_undo(&mut self, state: &ClusterState, rec: &SwapRecord) {
+        self.refresh_pms(state, rec.a.from.pm, rec.a.to.pm);
+    }
+
+    /// Core repair: recomputes the rows of `pm_a`/`pm_b` and of every VM
+    /// they host, then fixes column stats and the materialized
+    /// normalization. O(occupancy of the two PMs + rescans of columns
+    /// whose extremum moved).
+    pub fn refresh_pms(&mut self, state: &ClusterState, pm_a: PmId, pm_b: PmId) {
+        if self.stale {
+            return; // a full rebuild is already pending
+        }
+        debug_assert_eq!(state.num_pms() * PM_FEAT, self.raw_pm.len());
+        debug_assert_eq!(state.num_vms() * VM_FEAT, self.raw_vm.len());
+
+        let mut pm_before = [(0f32, 0f32); PM_FEAT];
+        for (slot, s) in pm_before.iter_mut().zip(self.pm_cols.iter()) {
+            *slot = (s.lo, s.hi);
+        }
+        let mut vm_before = [(0f32, 0f32); VM_FEAT];
+        for (slot, s) in vm_before.iter_mut().zip(self.vm_cols.iter()) {
+            *slot = (s.lo, s.hi);
+        }
+
+        // 1. Raw PM rows (must precede VM rows: VM rows embed host raws).
+        self.update_pm_row(state, pm_a);
+        if pm_b != pm_a {
+            self.update_pm_row(state, pm_b);
+        }
+
+        // 2. Raw VM rows: every VM hosted on a touched PM. A migration
+        //    moves a VM between exactly these two PMs, so the mover is in
+        //    one of the lists.
+        let mut dirty_vms = std::mem::take(&mut self.dirty_vms);
+        dirty_vms.clear();
+        dirty_vms.extend(state.vms_on(pm_a).iter().map(|v| v.0 as usize));
+        if pm_b != pm_a {
+            dirty_vms.extend(state.vms_on(pm_b).iter().map(|v| v.0 as usize));
+        }
+        for &k in &dirty_vms {
+            self.update_vm_row(state, k);
+        }
+
+        // 3. Column repair: rescan any column whose extremum lost all
+        //    holders, then re-normalize what changed.
+        for (col, &before) in pm_before.iter().enumerate() {
+            if self.pm_cols[col].needs_rescan() {
+                self.pm_cols[col] = ColStat::rescan(&self.raw_pm, PM_FEAT, col);
+            }
+            if (self.pm_cols[col].lo, self.pm_cols[col].hi) != before {
+                renorm_col(&self.raw_pm, &mut self.obs.pm_feats, PM_FEAT, col, &self.pm_cols[col]);
+            }
+        }
+        for (col, &before) in vm_before.iter().enumerate() {
+            if self.vm_cols[col].needs_rescan() {
+                self.vm_cols[col] = ColStat::rescan(&self.raw_vm, VM_FEAT, col);
+            }
+            if (self.vm_cols[col].lo, self.vm_cols[col].hi) != before {
+                renorm_col(&self.raw_vm, &mut self.obs.vm_feats, VM_FEAT, col, &self.vm_cols[col]);
+            }
+        }
+
+        // 4. Re-normalize the dirty rows (cheap; columns already settled).
+        for pm in [pm_a, pm_b] {
+            let i = pm.0 as usize;
+            renorm_row(
+                &self.raw_pm[i * PM_FEAT..][..PM_FEAT],
+                &mut self.obs.pm_feats[i * PM_FEAT..][..PM_FEAT],
+                &self.pm_cols,
+            );
+            if pm_b == pm_a {
+                break;
+            }
+        }
+        for &k in &dirty_vms {
+            renorm_row(
+                &self.raw_vm[k * VM_FEAT..][..VM_FEAT],
+                &mut self.obs.vm_feats[k * VM_FEAT..][..VM_FEAT],
+                &self.vm_cols,
+            );
+            self.obs.vm_src_pm[k] = state.placement(VmId(k as u32)).pm.0;
+        }
+        self.dirty_vms = dirty_vms;
+    }
+
+    /// The current normalized observation; rebuilds first if stale.
+    pub fn observation(&mut self, state: &ClusterState) -> &Observation {
+        if self.stale {
+            self.rebuild(state);
+        }
+        &self.obs
+    }
+
+    /// Copies the current observation into a caller-owned buffer without
+    /// allocating in steady state (`clone_from` reuses `out`'s vectors).
+    pub fn extract_into(&mut self, state: &ClusterState, out: &mut Observation) {
+        out.clone_from(self.observation(state));
+    }
+
+    fn update_pm_row(&mut self, state: &ClusterState, pm: PmId) {
+        let i = pm.0 as usize;
+        let mut tmp = [0f32; PM_FEAT];
+        fill_pm_row(state, i, self.frag_cores, &mut tmp);
+        let row = &mut self.raw_pm[i * PM_FEAT..][..PM_FEAT];
+        for (col, (slot, &new)) in row.iter_mut().zip(tmp.iter()).enumerate() {
+            self.pm_cols[col].update(*slot, new);
+            *slot = new;
+        }
+    }
+
+    fn update_vm_row(&mut self, state: &ClusterState, k: usize) {
+        let src = state.placement(VmId(k as u32)).pm.0 as usize;
+        let mut tmp = [0f32; VM_FEAT];
+        fill_vm_row(state, k, self.frag_cores, &self.raw_pm[src * PM_FEAT..][..PM_FEAT], &mut tmp);
+        let row = &mut self.raw_vm[k * VM_FEAT..][..VM_FEAT];
+        for (col, (slot, &new)) in row.iter_mut().zip(tmp.iter()).enumerate() {
+            self.vm_cols[col].update(*slot, new);
+            *slot = new;
+        }
+    }
+}
+
+/// Re-normalizes one full column of the materialized observation.
+fn renorm_col(raw: &[f32], out: &mut [f32], width: usize, col: usize, stat: &ColStat) {
+    let rows = raw.len() / width.max(1);
+    for r in 0..rows {
+        out[r * width + col] = stat.norm(raw[r * width + col]);
+    }
+}
+
+/// Re-normalizes one row of the materialized observation.
+fn renorm_row(raw: &[f32], out: &mut [f32], cols: &[ColStat]) {
+    for ((slot, &v), stat) in out.iter_mut().zip(raw.iter()).zip(cols.iter()) {
+        *slot = stat.norm(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_mapping, ClusterConfig};
+    use crate::types::NumaPlacement;
+
+    fn state(seed: u64) -> ClusterState {
+        generate_mapping(&ClusterConfig::tiny(), seed).unwrap()
+    }
+
+    /// First legal cross-PM migration on the cluster.
+    fn legal_move(state: &ClusterState) -> (VmId, PmId) {
+        let mut probe = state.clone();
+        for k in 0..probe.num_vms() {
+            for i in 0..probe.num_pms() {
+                let (vm, pm) = (VmId(k as u32), PmId(i as u32));
+                if probe.placement(vm).pm == pm {
+                    continue;
+                }
+                if let Ok(rec) = probe.migrate(vm, pm, 16) {
+                    probe.undo(&rec).unwrap();
+                    return (vm, pm);
+                }
+            }
+        }
+        panic!("no legal move on test cluster");
+    }
+
+    #[test]
+    fn fresh_engine_matches_full_extract() {
+        let s = state(3);
+        let mut e = ObsEngine::new(&s, 16);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+    }
+
+    #[test]
+    fn migration_and_undo_stay_in_sync() {
+        let mut s = state(4);
+        let mut e = ObsEngine::new(&s, 16);
+        let (vm, pm) = legal_move(&s);
+        let rec = s.migrate(vm, pm, 16).unwrap();
+        e.note_migration(&s, &rec);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+        s.undo(&rec).unwrap();
+        e.note_undo(&s, &rec);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+    }
+
+    #[test]
+    fn swap_and_undo_stay_in_sync() {
+        let mut s = state(5);
+        let mut e = ObsEngine::new(&s, 16);
+        let mut pair = None;
+        'outer: for a in 0..s.num_vms() {
+            for b in (a + 1)..s.num_vms() {
+                let (va, vb) = (VmId(a as u32), VmId(b as u32));
+                if s.placement(va).pm == s.placement(vb).pm {
+                    continue;
+                }
+                if let Ok(rec) = s.swap(va, vb, 16) {
+                    pair = Some(rec);
+                    break 'outer;
+                }
+            }
+        }
+        let rec = pair.expect("a legal swap exists");
+        e.note_swap(&s, &rec);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+        s.undo_swap(&rec).unwrap();
+        e.note_swap_undo(&s, &rec);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+    }
+
+    #[test]
+    fn stale_engine_rebuilds_on_read() {
+        let s1 = state(6);
+        let s2 = state(7);
+        let mut e = ObsEngine::new(&s1, 16);
+        e.mark_stale();
+        assert_eq!(e.observation(&s2), &Observation::extract(&s2, 16));
+    }
+
+    #[test]
+    fn notes_are_noops_while_stale() {
+        let mut s = state(8);
+        let mut e = ObsEngine::new(&s, 16);
+        e.mark_stale();
+        let (vm, pm) = legal_move(&s);
+        let rec = s.migrate(vm, pm, 16).unwrap();
+        e.note_migration(&s, &rec); // must not touch stale buffers
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+    }
+
+    #[test]
+    fn extract_into_reuses_buffers() {
+        let s = state(9);
+        let mut e = ObsEngine::new(&s, 16);
+        let mut out = Observation::empty();
+        e.extract_into(&s, &mut out);
+        assert_eq!(out, Observation::extract(&s, 16));
+        let cap = out.vm_feats.capacity();
+        e.extract_into(&s, &mut out);
+        assert_eq!(out.vm_feats.capacity(), cap, "steady-state copy must not reallocate");
+    }
+
+    #[test]
+    fn same_pm_numa_flip_refreshes_one_pm() {
+        let mut s = state(10);
+        let mut e = ObsEngine::new(&s, 16);
+        for k in 0..s.num_vms() {
+            let vm = VmId(k as u32);
+            let pl = s.placement(vm);
+            if let NumaPlacement::Single(j) = pl.numa {
+                if let Ok(rec) = s.migrate_exact(vm, pl.pm, NumaPlacement::Single(1 - j)) {
+                    assert_eq!(rec.from.pm, rec.to.pm);
+                    e.note_migration(&s, &rec);
+                    assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+                    return;
+                }
+            }
+        }
+        // Cluster too packed for any same-PM flip: nothing to assert.
+    }
+}

@@ -1,0 +1,140 @@
+//! Tier-1 correctness gate for the incremental observation & mask engine:
+//! under arbitrary interleavings of migrate / swap / undo, the engine's
+//! cached featurization must stay **bit-identical** to a fresh
+//! `Observation::extract`, and the fast mask paths must agree with
+//! per-(vm, pm) `migration_legal` checks.
+
+use proptest::prelude::*;
+use vmr_sim::cluster::{ClusterState, MigrationRecord, SwapRecord};
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+use vmr_sim::obs::Observation;
+use vmr_sim::obs_cache::ObsEngine;
+use vmr_sim::types::{PmId, VmId};
+
+fn cluster(seed: u64) -> ClusterState {
+    let cfg = ClusterConfig {
+        pm_groups: vec![PmGroup { count: 5, cpu_per_numa: 44, mem_per_numa: 128 }],
+        churn_cycles: 30,
+        ..ClusterConfig::tiny()
+    };
+    generate_mapping(&cfg, seed).expect("mapping")
+}
+
+/// One record on the undo stack.
+enum Applied {
+    Migration(MigrationRecord),
+    Swap(SwapRecord),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence: after every op in a random
+    /// migrate/swap/undo sequence, the incremental observation equals a
+    /// full rebuild exactly (f32-equal in every cell, identical tree
+    /// index). This is what licenses every consumer to drop
+    /// `Observation::extract` from the per-step hot path.
+    #[test]
+    fn incremental_observation_matches_full_extract(
+        seed in 0u64..16,
+        ops in prop::collection::vec((0u8..4, 0u32..60, 0u32..60), 1..30),
+    ) {
+        let mut state = cluster(seed);
+        let mut engine = ObsEngine::new(&state, 16);
+        let n_vms = state.num_vms() as u32;
+        let mut undo_stack: Vec<Applied> = Vec::new();
+        for (kind, x, y) in ops {
+            match kind {
+                // Migrate a VM to a PM (best-fit NUMA), if legal.
+                0 | 1 => {
+                    let (vm, pm) = (VmId(x % n_vms), PmId(y % 5));
+                    if let Ok(rec) = state.migrate(vm, pm, 16) {
+                        engine.note_migration(&state, &rec);
+                        undo_stack.push(Applied::Migration(rec));
+                    }
+                }
+                // Swap two VMs, if legal.
+                2 => {
+                    let (a, b) = (VmId(x % n_vms), VmId(y % n_vms));
+                    if let Ok(rec) = state.swap(a, b, 16) {
+                        engine.note_swap(&state, &rec);
+                        undo_stack.push(Applied::Swap(rec));
+                    }
+                }
+                // Undo the most recent op (LIFO).
+                _ => match undo_stack.pop() {
+                    Some(Applied::Migration(rec)) => {
+                        state.undo(&rec).expect("undo");
+                        engine.note_undo(&state, &rec);
+                    }
+                    Some(Applied::Swap(rec)) => {
+                        state.undo_swap(&rec).expect("undo swap");
+                        engine.note_swap_undo(&state, &rec);
+                    }
+                    None => {}
+                },
+            }
+            let fresh = Observation::extract(&state, 16);
+            prop_assert_eq!(engine.observation(&state), &fresh);
+        }
+    }
+
+    /// The fast stage-2 mask agrees with `migration_legal` per (vm, pm),
+    /// including pinning and anti-affinity, after arbitrary migrations.
+    #[test]
+    fn pm_mask_into_matches_migration_legal(
+        seed in 0u64..10,
+        conflict_pairs in prop::collection::vec((0u32..40, 0u32..40), 0..6),
+        pins in prop::collection::vec(0u32..40, 0..3),
+        moves in prop::collection::vec((0u32..60, 0u32..5), 0..8),
+    ) {
+        let mut state = cluster(seed);
+        let n_vms = state.num_vms() as u32;
+        let mut cs = ConstraintSet::new(state.num_vms());
+        for (a, b) in conflict_pairs {
+            cs.add_conflict(VmId(a % n_vms), VmId(b % n_vms)).expect("in range");
+        }
+        for p in pins {
+            cs.pin(VmId(p % n_vms)).expect("in range");
+        }
+        for (vm_raw, pm_raw) in moves {
+            let _ = state.migrate(VmId(vm_raw % n_vms), PmId(pm_raw), 16);
+        }
+        let mut mask = Vec::new();
+        for k in 0..state.num_vms() {
+            let vm = VmId(k as u32);
+            cs.pm_mask_into(&state, vm, &mut mask);
+            for (i, &ok) in mask.iter().enumerate() {
+                let legal = cs.migration_legal(&state, vm, PmId(i as u32)).is_ok();
+                prop_assert_eq!(ok, legal, "mask mismatch at vm {} pm {}", k, i);
+            }
+            // The early-exit destination check agrees with the mask.
+            prop_assert_eq!(
+                cs.has_legal_destination(&state, vm),
+                mask.iter().any(|&b| b),
+                "has_legal_destination mismatch at vm {}", k
+            );
+        }
+    }
+
+    /// The stage-1 mask with destination checking equals the per-VM OR of
+    /// the stage-2 mask.
+    #[test]
+    fn vm_mask_matches_destination_existence(
+        seed in 0u64..10,
+        pins in prop::collection::vec(0u32..40, 0..4),
+    ) {
+        let state = cluster(seed);
+        let mut cs = ConstraintSet::new(state.num_vms());
+        for p in pins {
+            cs.pin(VmId(p % state.num_vms() as u32)).expect("in range");
+        }
+        let mask = cs.vm_mask(&state, true);
+        for (k, &ok) in mask.iter().enumerate() {
+            let vm = VmId(k as u32);
+            let expect = !cs.is_pinned(vm) && cs.pm_mask(&state, vm).iter().any(|&b| b);
+            prop_assert_eq!(ok, expect, "vm_mask mismatch at {}", k);
+        }
+    }
+}

@@ -70,7 +70,8 @@ fn main() {
         ReschedEnv::new(state.clone(), constraints.clone(), Objective::default(), 6).expect("env");
     let mut checked = 0;
     while !env.is_done() {
-        let Some(d) = agent.decide(&env, &mut rng, &DecideOpts::default()).expect("decide") else {
+        let Some(d) = agent.decide(&mut env, &mut rng, &DecideOpts::default()).expect("decide")
+        else {
             break;
         };
         // Double-check against the constraint engine before stepping.

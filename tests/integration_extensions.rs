@@ -78,7 +78,8 @@ fn derived_constraints_respected_by_two_stage_agent() {
     let mut env = ReschedEnv::new(state, cs.clone(), Objective::default(), 6).expect("env");
     let mut steps = 0;
     while !env.is_done() {
-        let Some(d) = agent.decide(&env, &mut rng, &DecideOpts::default()).expect("decide") else {
+        let Some(d) = agent.decide(&mut env, &mut rng, &DecideOpts::default()).expect("decide")
+        else {
             break;
         };
         env.action_legal(d.action).expect("two-stage action must be legal");

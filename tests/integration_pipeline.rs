@@ -92,12 +92,12 @@ fn checkpoint_roundtrip_preserves_policy_outputs() {
         ActionMode::TwoStage,
     );
     ckpt.restore(&mut clone_agent.policy).unwrap();
-    let env = ReschedEnv::unconstrained(mapping, Objective::default(), 3).unwrap();
+    let mut env = ReschedEnv::unconstrained(mapping, Objective::default(), 3).unwrap();
     let opts = DecideOpts { greedy: true, ..Default::default() };
     let mut r1 = StdRng::seed_from_u64(3);
     let mut r2 = StdRng::seed_from_u64(3);
-    let d1 = agent.decide(&env, &mut r1, &opts).unwrap().unwrap();
-    let d2 = clone_agent.decide(&env, &mut r2, &opts).unwrap().unwrap();
+    let d1 = agent.decide(&mut env, &mut r1, &opts).unwrap().unwrap();
+    let d2 = clone_agent.decide(&mut env, &mut r2, &opts).unwrap().unwrap();
     assert_eq!(d1.action, d2.action);
     assert!((d1.value - d2.value).abs() < 1e-12);
 }
