@@ -1,0 +1,105 @@
+//! Serving hot-path benches for the `vmr-serve` daemon at the paper's
+//! Medium scale (280 PMs, ~2.2k VMs).
+//!
+//! The acceptance bar from the PR 2 work: serving must not hide an
+//! O(cluster) featurization rebuild behind the socket. The in-process
+//! `session_delta_obs` id measures exactly the per-delta observation
+//! upkeep (apply one live delta, read the featurization) and must stay in
+//! the same order of magnitude as `simulator/observation_extract` (the
+//! PR 2 incremental per-step cost) — not the ~150 µs full rebuild. The
+//! loopback ids then price the wire: a cached plan answer is pure
+//! protocol cost; an uncached `plan` adds the policy invocation itself.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmr_serve::client::ServeClient;
+use vmr_serve::proto::PlanParams;
+use vmr_serve::server::{serve, ServerConfig};
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::{ClusterDelta, ReschedEnv};
+use vmr_sim::objective::Objective;
+use vmr_sim::types::VmId;
+
+const SIZE: &str = "medium_280pm";
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // --- In-process: the per-delta observation upkeep a session pays.
+    let state = generate_mapping(&ClusterConfig::medium(), 0).expect("mapping");
+    let mut env = ReschedEnv::unconstrained(state, Objective::default(), 8).expect("env");
+    let _ = env.observe(); // warm engine
+    let base = env.state().vm(VmId(0)).cpu;
+    let mut grow = true;
+    group.bench_function(BenchmarkId::new("session_delta_obs", SIZE), |b| {
+        b.iter(|| {
+            // Resize toggles between two legal sizes: every iteration is
+            // a real state change (dirty host PM + tenants), followed by
+            // an observation read off the repaired engine.
+            let cpu = if grow { base.saturating_sub(1).max(1) } else { base };
+            grow = !grow;
+            env.apply_delta(&ClusterDelta::VmResize { vm: VmId(0), cpu, mem: 4 }).expect("resize");
+            black_box(env.observe().num_vms)
+        })
+    });
+
+    // --- Loopback daemon shared by the wire-level benches.
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).expect("daemon");
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    client.create_session("bench", "medium", 0, 8).expect("create");
+
+    // Round-trip of one delta (resize toggle) over the socket.
+    let mut grow = true;
+    group.bench_function(BenchmarkId::new("apply_delta_roundtrip", SIZE), |b| {
+        b.iter(|| {
+            let cpu = if grow { base.saturating_sub(1).max(1) } else { base };
+            grow = !grow;
+            black_box(
+                client
+                    .apply_delta("bench", ClusterDelta::VmResize { vm: VmId(0), cpu, mem: 4 })
+                    .expect("delta"),
+            )
+            .info
+            .version
+        })
+    });
+
+    // Cached plan: identical request at an unchanged version — pure wire
+    // + coalescing-cache cost (the first iteration computes, the rest
+    // are memo hits).
+    let cached_params = || PlanParams {
+        session: "bench".into(),
+        policy: "ha".into(),
+        mnl: 2,
+        seed: 0,
+        budget_ms: 50,
+        commit: false,
+    };
+    group.bench_function(BenchmarkId::new("plan_request_cached", SIZE), |b| {
+        b.iter(|| black_box(client.plan(cached_params()).expect("plan")).plan.len())
+    });
+
+    // Uncached plan: a fresh seed per request defeats the memo, so every
+    // round-trip runs the HA policy (mnl 2) against the live session.
+    let mut seed = 1u64;
+    group.bench_function(BenchmarkId::new("plan_request_ha_mnl2", SIZE), |b| {
+        b.iter(|| {
+            seed += 1;
+            let params = PlanParams { seed, ..cached_params() };
+            black_box(client.plan(params).expect("plan")).plan.len()
+        })
+    });
+
+    group.finish();
+    drop(client);
+    handle.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(6));
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -27,7 +27,7 @@ fn fill_and_churn(cfg: &ClusterConfig, policy: VmsPolicy, seed: u64) -> (f64, us
         let flavor = cfg.vm_mix.sample(&mut rng);
         if cluster
             .arrival_with_policy(flavor.cpu, flavor.mem, flavor.numa, policy, &mut rng)
-            .is_some()
+            .is_ok()
         {
             failures = 0;
         } else {
@@ -39,13 +39,9 @@ fn fill_and_churn(cfg: &ClusterConfig, policy: VmsPolicy, seed: u64) -> (f64, us
             let mut attempts = 0;
             while cluster.used_cpu() < target && attempts < 4 {
                 let flavor = cfg.vm_mix.sample(&mut rng);
-                let _ = cluster.arrival_with_policy(
-                    flavor.cpu,
-                    flavor.mem,
-                    flavor.numa,
-                    policy,
-                    &mut rng,
-                );
+                let _ = cluster
+                    .arrival_with_policy(flavor.cpu, flavor.mem, flavor.numa, policy, &mut rng)
+                    .ok();
                 attempts += 1;
             }
         }

@@ -1,0 +1,140 @@
+//! Request/latency profile of the `vmr-serve` daemon over loopback TCP:
+//! per-policy `plan` latency percentiles plus delta-ingest throughput,
+//! measured end-to-end (client encode → socket → parse → session lock →
+//! policy → validation replay → response).
+//!
+//! Smoke mode uses the tiny preset and a handful of requests; the
+//! default mode profiles the paper's Medium scale.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use vmr_bench::{parse_args, Report, RunMode};
+use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::infer::SharedAgent;
+use vmr_core::model::Vmr2lModel;
+use vmr_serve::client::ServeClient;
+use vmr_serve::proto::PlanParams;
+use vmr_serve::server::{serve, ServerConfig};
+use vmr_sim::env::ClusterDelta;
+use vmr_sim::types::NumaPolicy;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let (preset, requests, mnl) = match args.mode {
+        RunMode::Smoke => ("tiny", 5usize, 2usize),
+        RunMode::Default => ("medium", 20, 4),
+        RunMode::Full => ("medium", 100, 10),
+    };
+
+    // Untrained weights: serving latency is architecture-dependent, not
+    // training-dependent.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    let agent = SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage));
+    let handle = serve(ServerConfig { threads: 4, agent: Some(agent), ..Default::default() })
+        .expect("daemon");
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    client.create_session("lat", preset, args.seed, mnl).expect("create");
+
+    let mut report = Report::new(
+        "serve_latency",
+        "vmr-serve per-request latency over loopback TCP",
+        &["op", "requests", "p50_us", "p90_us", "p99_us", "max_us"],
+    );
+    report.meta("preset", preset);
+    report.meta("mnl", mnl as u64);
+
+    // Delta ingest (VM create/delete pairs keep the population stable).
+    let mut lat = Vec::new();
+    for i in 0..requests {
+        let t = Instant::now();
+        let d = client
+            .apply_delta(
+                "lat",
+                ClusterDelta::VmCreate {
+                    cpu: 2 + (i as u32 % 4) * 2,
+                    mem: 4,
+                    numa: NumaPolicy::Single,
+                },
+            )
+            .expect("create delta");
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+        let vm = vmr_sim::types::VmId(d.created_vm.expect("created"));
+        let t = Instant::now();
+        client.apply_delta("lat", ClusterDelta::VmDelete { vm }).expect("delete delta");
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    emit_row(&mut report, "apply_delta", &mut lat);
+
+    // Per-policy plan latency; fresh seeds defeat the coalescing cache so
+    // every request runs its policy.
+    for policy in ["ha", "agent", "swap"] {
+        let mut lat = Vec::new();
+        for i in 0..requests {
+            let t = Instant::now();
+            client
+                .plan(PlanParams {
+                    session: "lat".into(),
+                    policy: policy.into(),
+                    mnl,
+                    seed: 1000 + i as u64,
+                    budget_ms: 200,
+                    commit: false,
+                })
+                .expect("plan");
+            lat.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        emit_row(&mut report, &format!("plan_{policy}"), &mut lat);
+    }
+
+    // Cached plans: identical parameters, answered from one invocation.
+    let mut lat = Vec::new();
+    for _ in 0..requests {
+        let t = Instant::now();
+        client
+            .plan(PlanParams {
+                session: "lat".into(),
+                policy: "ha".into(),
+                mnl,
+                seed: 0,
+                budget_ms: 200,
+                commit: false,
+            })
+            .expect("plan");
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    emit_row(&mut report, "plan_ha_cached", &mut lat);
+
+    let stats = client.stats("").expect("stats");
+    report.meta("plans_served", stats.plans_served);
+    report.meta("plans_computed", stats.plans_computed);
+    report.emit();
+    drop(client);
+    handle.shutdown();
+}
+
+fn emit_row(report: &mut Report, op: &str, lat: &mut [f64]) {
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let max = lat.last().copied().unwrap_or(0.0);
+    report.row(vec![
+        json!(op),
+        json!(lat.len()),
+        json!(percentile(lat, 0.5).round()),
+        json!(percentile(lat, 0.9).round()),
+        json!(percentile(lat, 0.99).round()),
+        json!(max.round()),
+    ]);
+}

@@ -64,6 +64,8 @@ fn main() -> ExitCode {
         "cost" => cmd_cost(&args),
         "interfere" => cmd_interfere(&args),
         "simulate" => cmd_simulate(&args),
+        "serve" => cmd_serve(&args),
+        "request" => cmd_request(&args),
         "" | "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -102,7 +104,16 @@ fn print_help() {
                     [--threshold F] [--top N] [--json]\n\
            simulate --dataset FILE [--index N] [--days N] [--mnl N]\n\
                     [--planner none|ha] [--base-rate F] [--exit-frac F]\n\
-                    [--seed N] [--json]"
+                    [--seed N] [--json]\n\
+           serve    [--addr HOST:PORT] [--threads N] [--agent CKPT]\n\
+           request  --op <create_session|apply_delta|plan|stats|snapshot|restore>\n\
+                    [--addr HOST:PORT] --session NAME [--json] ...\n\
+                    create_session: --preset NAME --seed N --mnl N\n\
+                    apply_delta:    --delta vm_create|vm_delete|vm_resize|pm_add|pm_drain\n\
+                                    [--vm N] [--pm N] [--cpu N] [--mem N] [--double]\n\
+                    plan:           --policy agent|ha|swap|mcts|solver|auto\n\
+                                    [--mnl N] [--seed N] [--budget-ms N] [--commit]\n\
+                    snapshot:       [--out FILE]    restore: --snapshot FILE"
     );
 }
 
@@ -219,17 +230,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 }
 
 fn load_agent(path: &str) -> Result<Vmr2lAgent<Vmr2lModel>, String> {
-    let ckpt = Checkpoint::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-    // Try both extractor variants; the checkpoint's parameter set
-    // disambiguates (sparse has `block*.local.*` weights).
-    for kind in [ExtractorKind::SparseAttention, ExtractorKind::VanillaAttention] {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut model = Vmr2lModel::new(ModelConfig::default(), kind, &mut rng);
-        if ckpt.restore(&mut model).is_ok() {
-            return Ok(Vmr2lAgent::new(model, ActionMode::TwoStage));
-        }
-    }
-    Err(format!("{path} does not match the default VMR2L architecture"))
+    // Shared with the `vmr-serve` daemon: tries both extractor variants,
+    // the checkpoint's parameter set disambiguates.
+    vmr_core::infer::load_checkpoint_agent(path)
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
@@ -559,6 +562,178 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             );
         }
         println!("mean FR {:.4}  mean drop/window {:.4}", out.mean_fr(), out.mean_window_drop());
+    }
+    Ok(())
+}
+
+/// `vmr serve`: run the online rescheduling daemon until killed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use vmr_serve::server::{serve, ServerConfig};
+    let agent = match args.get("agent", "").as_str() {
+        "" => None,
+        path => Some(vmr_core::infer::SharedAgent::load(path)?),
+    };
+    let has_agent = agent.is_some();
+    let config = ServerConfig {
+        addr: args.get("addr", "127.0.0.1:7171"),
+        threads: args.num("threads", 4)?,
+        agent,
+    };
+    let handle = serve(config).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("vmr-serve listening on {}", handle.addr());
+    println!(
+        "policies: ha, swap, mcts, solver{}  (try: vmr request --addr {} --op create_session \
+         --session prod --preset medium)",
+        if has_agent { ", agent, auto" } else { " (no --agent checkpoint: agent disabled)" },
+        handle.addr()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `vmr request`: one wire-protocol request against a running daemon.
+fn cmd_request(args: &Args) -> Result<(), String> {
+    use vmr_serve::client::ServeClient;
+    use vmr_serve::proto::{PlanParams, SessionSnapshot};
+    use vmr_sim::env::ClusterDelta;
+    use vmr_sim::types::{NumaPolicy, PmId, VmId};
+
+    let addr = args.get("addr", "127.0.0.1:7171");
+    let mut client =
+        ServeClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let op = args.require("op")?;
+    let session = args.get("session", "");
+    let json = args.flag("json");
+    match op.as_str() {
+        "create_session" => {
+            let info = client
+                .create_session(
+                    &args.require("session")?,
+                    &args.get("preset", "tiny"),
+                    args.num("seed", 0)?,
+                    args.num("mnl", 10)?,
+                )
+                .map_err(|e| e.to_string())?;
+            println!(
+                "created session '{}': {} PMs, {} VMs, FR {:.4}",
+                info.session, info.pms, info.vms, info.objective
+            );
+        }
+        "apply_delta" => {
+            let numa = if args.flag("double") { NumaPolicy::Double } else { NumaPolicy::Single };
+            let delta = match args.require("delta")?.as_str() {
+                "vm_create" => ClusterDelta::VmCreate {
+                    cpu: args.num("cpu", 4)?,
+                    mem: args.num("mem", 8)?,
+                    numa,
+                },
+                "vm_delete" => ClusterDelta::VmDelete { vm: VmId(args.num("vm", 0)?) },
+                "vm_resize" => ClusterDelta::VmResize {
+                    vm: VmId(args.num("vm", 0)?),
+                    cpu: args.num("cpu", 4)?,
+                    mem: args.num("mem", 8)?,
+                },
+                "pm_add" => ClusterDelta::PmAdd {
+                    cpu_per_numa: args.num("cpu", 44)?,
+                    mem_per_numa: args.num("mem", 128)?,
+                },
+                "pm_drain" => ClusterDelta::PmDrain { pm: PmId(args.num("pm", 0)?) },
+                other => return Err(format!("unknown delta {other:?}")),
+            };
+            let d =
+                client.apply_delta(&args.require("session")?, delta).map_err(|e| e.to_string())?;
+            println!(
+                "delta applied: v{} — {} PMs, {} VMs, FR {:.4}{}{}",
+                d.info.version,
+                d.info.pms,
+                d.info.vms,
+                d.info.objective,
+                d.created_vm.map(|v| format!(", created VM{v}")).unwrap_or_default(),
+                if d.migrations > 0 {
+                    format!(", {} evacuation migrations", d.migrations)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        "plan" => {
+            let planned = client
+                .plan(PlanParams {
+                    session: args.require("session")?,
+                    policy: args.get("policy", "auto"),
+                    mnl: args.num("mnl", 0)?,
+                    seed: args.num("seed", 0)?,
+                    budget_ms: args.num("budget-ms", 0)?,
+                    commit: args.flag("commit"),
+                })
+                .map_err(|e| e.to_string())?;
+            if json {
+                let body = serde_json::json!({
+                    "policy": planned.policy,
+                    "objective_before": planned.objective_before,
+                    "objective_after": planned.objective_after,
+                    "computed": planned.computed,
+                    "version": planned.version,
+                    "plan": planned.plan.iter().map(|a| serde_json::json!({
+                        "vm": a.vm, "from_pm": a.from_pm, "to_pm": a.to_pm,
+                    })).collect::<Vec<_>>(),
+                });
+                println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+            } else {
+                println!(
+                    "{}: FR {:.4} -> {:.4} with {} migrations ({})",
+                    planned.policy,
+                    planned.objective_before,
+                    planned.objective_after,
+                    planned.plan.len(),
+                    if planned.computed { "computed" } else { "from cache" }
+                );
+                for (i, a) in planned.plan.iter().enumerate() {
+                    println!("  {i}: VM{} PM{} -> PM{}", a.vm, a.from_pm, a.to_pm);
+                }
+            }
+        }
+        "stats" => {
+            let s = client.stats(&session).map_err(|e| e.to_string())?;
+            println!(
+                "sessions {}  requests {}  plans {}/{} (served/computed)  deltas {}  errors {}",
+                s.sessions, s.requests, s.plans_served, s.plans_computed, s.deltas, s.errors
+            );
+            if let Some(info) = s.session {
+                println!(
+                    "session '{}': v{} — {} PMs, {} VMs, FR {:.4}",
+                    info.session, info.version, info.pms, info.vms, info.objective
+                );
+            }
+        }
+        "snapshot" => {
+            let snap = client.snapshot(&args.require("session")?).map_err(|e| e.to_string())?;
+            let out = args.get("out", "snapshot.json");
+            let body = serde_json::to_string(&snap.snapshot).map_err(|e| format!("{e:?}"))?;
+            std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "snapshot v{} ({} PMs, {} VMs) written to {out}",
+                snap.snapshot.version,
+                snap.snapshot.state.num_pms(),
+                snap.snapshot.state.num_vms()
+            );
+        }
+        "restore" => {
+            let path = args.require("snapshot")?;
+            let body =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let snapshot: SessionSnapshot =
+                serde_json::from_str(&body).map_err(|e| format!("bad snapshot {path}: {e:?}"))?;
+            let info =
+                client.restore(&args.require("session")?, snapshot).map_err(|e| e.to_string())?;
+            println!(
+                "restored session '{}': v{} — {} PMs, {} VMs, FR {:.4}",
+                info.session, info.version, info.pms, info.vms, info.objective
+            );
+        }
+        other => return Err(format!("unknown op {other:?}; see `vmr help`")),
     }
     Ok(())
 }

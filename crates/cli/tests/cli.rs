@@ -36,9 +36,90 @@ fn help_lists_all_subcommands() {
     let out = vmr(&["help"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["gen", "inspect", "train", "eval", "solve", "cost", "interfere", "simulate"] {
+    for cmd in [
+        "gen",
+        "inspect",
+        "train",
+        "eval",
+        "solve",
+        "cost",
+        "interfere",
+        "simulate",
+        "serve",
+        "request",
+    ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
+}
+
+#[test]
+fn serve_and_request_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    // Start the daemon on an ephemeral port and parse the bound address
+    // from its first stdout line.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_vmr"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    // Keep the reader alive for the daemon's lifetime: dropping it would
+    // close the pipe and break the daemon's later prints.
+    let mut daemon_stdout = BufReader::new(daemon.stdout.take().expect("stdout piped"));
+    let mut first_line = String::new();
+    daemon_stdout.read_line(&mut first_line).expect("daemon announces its address");
+    let addr = first_line.trim().rsplit(' ').next().expect("address token").to_string();
+
+    let run = |args: &[&str]| -> Output {
+        let mut full = vec!["request", "--addr", &addr];
+        full.extend_from_slice(args);
+        vmr(&full)
+    };
+    let out = run(&[
+        "--op",
+        "create_session",
+        "--session",
+        "ops",
+        "--preset",
+        "tiny",
+        "--seed",
+        "3",
+        "--mnl",
+        "6",
+    ]);
+    assert!(out.status.success(), "create: {}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&[
+        "--op",
+        "apply_delta",
+        "--session",
+        "ops",
+        "--delta",
+        "vm_create",
+        "--cpu",
+        "4",
+        "--mem",
+        "8",
+    ]);
+    assert!(out.status.success(), "delta: {}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&["--op", "plan", "--session", "ops", "--policy", "ha", "--mnl", "4", "--json"]);
+    assert!(out.status.success(), "plan: {}", String::from_utf8_lossy(&out.stderr));
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(body["policy"], "ha");
+    assert!(
+        body["objective_after"].as_f64().unwrap() <= body["objective_before"].as_f64().unwrap()
+    );
+    let out = run(&["--op", "stats", "--session", "ops"]);
+    assert!(out.status.success(), "stats: {}", String::from_utf8_lossy(&out.stderr));
+    // Snapshot to a file, then restore from it.
+    let snap = tmp("cli-snap.json");
+    let out = run(&["--op", "snapshot", "--session", "ops", "--out", snap.to_str().unwrap()]);
+    assert!(out.status.success(), "snapshot: {}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&["--op", "restore", "--session", "ops", "--snapshot", snap.to_str().unwrap()]);
+    assert!(out.status.success(), "restore: {}", String::from_utf8_lossy(&out.stderr));
+
+    daemon.kill().expect("stop daemon");
+    let _ = daemon.wait();
 }
 
 #[test]

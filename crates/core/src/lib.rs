@@ -44,11 +44,13 @@ pub mod agent;
 pub mod config;
 pub mod eval;
 pub mod features;
+pub mod infer;
 pub mod model;
 pub mod train;
 
 pub use agent::{DecideOpts, Policy, StepDecision, Vmr2lAgent};
 pub use config::{ActionMode, ExtractorKind, ModelConfig};
 pub use eval::{greedy_eval, risk_seeking_eval, RiskSeekingConfig, RiskSeekingOutcome};
+pub use infer::{load_checkpoint_agent, SharedAgent};
 pub use model::Vmr2lModel;
 pub use train::{TrainConfig, TrainStats, Trainer};

@@ -1,0 +1,181 @@
+//! Blocking client for the `vmr-serve` wire protocol — the library behind
+//! `vmr request`, the loopback e2e suites, and the serving benches.
+
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vmr_sim::env::ClusterDelta;
+
+use crate::proto::{
+    self, ApplyDelta, CreateSession, DeltaApplied, Op, PlanParams, Planned, ReadOutcome, Reply,
+    ReplyBody, Request, Response, Restore, SessionInfo, SessionRef, SessionSnapshot, SnapshotReply,
+    StatsParams, StatsReply, WireError,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer sent something that is not a valid response (or closed
+    /// mid-exchange).
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One connection to a daemon. Requests are serial (send, then read the
+/// echoing response); open one client per thread for concurrency.
+pub struct ServeClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    buf: Vec<u8>,
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient { writer: stream, reader, next_id: 0, buf: Vec::new() })
+    }
+
+    /// Sets a read timeout on the underlying socket (useful in tests so
+    /// a hung server fails an assertion instead of blocking forever).
+    pub fn stream_timeout(&mut self, timeout: std::time::Duration) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(Some(timeout))
+    }
+
+    /// Sends one operation and reads its reply.
+    pub fn request(&mut self, op: Op) -> ClientResult<Reply> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let req = Request { v: proto::PROTO_VERSION, id, op };
+        proto::write_frame(&mut self.writer, &req)?;
+        self.buf.clear();
+        match proto::read_frame(&mut self.reader, &mut self.buf)? {
+            ReadOutcome::Eof => {
+                return Err(ClientError::Protocol("server closed the connection".into()))
+            }
+            ReadOutcome::Oversized => {
+                return Err(ClientError::Protocol("oversized response frame".into()))
+            }
+            ReadOutcome::Line => {}
+        }
+        let resp: Response = serde_json::from_slice(&self.buf)
+            .map_err(|e| ClientError::Protocol(format!("bad response: {e:?}")))?;
+        if resp.id != id && resp.id != 0 {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        match resp.body {
+            ReplyBody::Ok(reply) => Ok(reply),
+            ReplyBody::Err(e) => Err(ClientError::Server(e)),
+        }
+    }
+
+    /// `create_session`.
+    pub fn create_session(
+        &mut self,
+        name: &str,
+        preset: &str,
+        seed: u64,
+        mnl: usize,
+    ) -> ClientResult<SessionInfo> {
+        match self.request(Op::CreateSession(CreateSession {
+            name: name.into(),
+            preset: preset.into(),
+            seed,
+            mnl,
+        }))? {
+            Reply::Created(info) => Ok(info),
+            other => Err(unexpected("Created", &other)),
+        }
+    }
+
+    /// `apply_delta`.
+    pub fn apply_delta(
+        &mut self,
+        session: &str,
+        delta: ClusterDelta,
+    ) -> ClientResult<DeltaApplied> {
+        match self.request(Op::ApplyDelta(ApplyDelta { session: session.into(), delta }))? {
+            Reply::DeltaApplied(d) => Ok(d),
+            other => Err(unexpected("DeltaApplied", &other)),
+        }
+    }
+
+    /// `plan` with explicit parameters.
+    pub fn plan(&mut self, params: PlanParams) -> ClientResult<Planned> {
+        match self.request(Op::Plan(params))? {
+            Reply::Planned(p) => Ok(p),
+            other => Err(unexpected("Planned", &other)),
+        }
+    }
+
+    /// `stats` (empty session name = server-wide only).
+    pub fn stats(&mut self, session: &str) -> ClientResult<StatsReply> {
+        match self.request(Op::Stats(StatsParams { session: session.into() }))? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// `snapshot`.
+    pub fn snapshot(&mut self, session: &str) -> ClientResult<SnapshotReply> {
+        match self.request(Op::Snapshot(SessionRef { session: session.into() }))? {
+            Reply::Snapshot(s) => Ok(s),
+            other => Err(unexpected("Snapshot", &other)),
+        }
+    }
+
+    /// `restore`.
+    pub fn restore(
+        &mut self,
+        session: &str,
+        snapshot: SessionSnapshot,
+    ) -> ClientResult<SessionInfo> {
+        match self.request(Op::Restore(Restore { session: session.into(), snapshot }))? {
+            Reply::Restored(info) => Ok(info),
+            other => Err(unexpected("Restored", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ClientError {
+    let kind = match got {
+        Reply::Created(_) => "Created",
+        Reply::DeltaApplied(_) => "DeltaApplied",
+        Reply::Planned(_) => "Planned",
+        Reply::Stats(_) => "Stats",
+        Reply::Snapshot(_) => "Snapshot",
+        Reply::Restored(_) => "Restored",
+    };
+    ClientError::Protocol(format!("expected {wanted} reply, got {kind}"))
+}

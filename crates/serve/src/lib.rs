@@ -1,0 +1,67 @@
+//! # vmr-serve — the online rescheduling service
+//!
+//! The offline stack (train → eval binaries) exercises the paper's agent
+//! one episode at a time; this crate makes the whole repo *servable*: a
+//! long-running daemon that holds live clusters in memory, ingests typed
+//! state deltas, and answers rescheduling plan requests over a versioned
+//! JSON-lines TCP protocol — the subsystem every later scale-out PR
+//! (sharding, replication, multi-cluster) builds on.
+//!
+//! * [`session`] — named live clusters, each a [`vmr_sim::env::ReschedEnv`]
+//!   whose PR 2 incremental observation engine stays warm across
+//!   requests: deltas repair O(touched entities), plan rollouts rewind
+//!   instead of resetting, and **no request pays an O(cluster)
+//!   featurization rebuild**.
+//! * [`proto`] — the wire protocol: `create_session`, `apply_delta`,
+//!   `plan`, `stats`, `snapshot`, `restore`; malformed input yields
+//!   structured errors, oversized frames are rejected with a bounded
+//!   buffer.
+//! * [`server`] — `std::net` listener + worker thread pool; identical
+//!   concurrent `plan` requests against one session are **coalesced**
+//!   into a single policy invocation and memoized until a delta bumps
+//!   the state version.
+//! * [`policies`] — one [`policies::PlanPolicy`] trait over the trained
+//!   VMR2L checkpoint (via [`vmr_core::infer::SharedAgent`]), HA, swap
+//!   local search, MCTS, and the branch-and-bound solver; `auto` picks by
+//!   the request's latency budget.
+//! * [`client`] — the blocking client library behind `vmr request`, the
+//!   e2e suites, and the serving benches.
+//!
+//! ## Quick loopback example
+//!
+//! ```
+//! use vmr_serve::client::ServeClient;
+//! use vmr_serve::proto::PlanParams;
+//! use vmr_serve::server::{serve, ServerConfig};
+//!
+//! let handle = serve(ServerConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(handle.addr()).unwrap();
+//! client.create_session("prod", "tiny", 42, 8).unwrap();
+//! let planned = client
+//!     .plan(PlanParams {
+//!         session: "prod".into(),
+//!         policy: "ha".into(),
+//!         mnl: 4,
+//!         seed: 0,
+//!         budget_ms: 50,
+//!         commit: false,
+//!     })
+//!     .unwrap();
+//! assert!(planned.objective_after <= planned.objective_before);
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod policies;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientError, ServeClient};
+pub use policies::{PlanPolicy, PlanRequest, PolicyRegistry};
+pub use proto::{Op, Reply, Request, Response, PROTO_VERSION};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use session::Session;

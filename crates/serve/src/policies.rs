@@ -1,0 +1,272 @@
+//! The plan-policy registry: every way this repo knows how to produce a
+//! rescheduling plan — the trained VMR2L agent, the HA filtering
+//! heuristic, swap-aware local search, MCTS, and the branch-and-bound
+//! solver — behind one [`PlanPolicy`] trait, selected by request policy
+//! name plus latency budget.
+//!
+//! The contract: a policy receives the session's live environment
+//! (rewound to the committed state, MNL already set) and returns a
+//! *sequential* migration plan. It may step the environment while
+//! searching — the incremental observation engine makes that cheap — but
+//! the session rewinds afterwards and re-validates the plan by replay, so
+//! a policy can never corrupt a session or serve an illegal plan.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vmr_baselines::ha::ha_solve;
+use vmr_baselines::mcts::{mcts_solve, MctsConfig};
+use vmr_baselines::swap::{swap_search_solve, SwapMove, SwapSearchConfig};
+use vmr_core::agent::DecideOpts;
+use vmr_core::infer::SharedAgent;
+use vmr_sim::env::{Action, ReschedEnv};
+use vmr_sim::error::SimResult;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+
+/// Per-request planning parameters a policy sees.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest {
+    /// Migration number limit for this plan.
+    pub mnl: usize,
+    /// Sampling seed (stochastic policies must be deterministic given it).
+    pub seed: u64,
+    /// Wall-clock budget for anytime policies.
+    pub budget: Duration,
+}
+
+/// A way to produce a rescheduling plan for a live session.
+pub trait PlanPolicy: Send + Sync {
+    /// Registry name.
+    fn name(&self) -> &'static str;
+    /// Produces a sequential migration plan for the environment's current
+    /// (committed) state. May step `env`; the caller rewinds afterwards.
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>>;
+}
+
+/// The trained VMR2L agent, rolled out step by step against the session's
+/// incremental observation engine (no featurization rebuild per request).
+pub struct AgentPolicy {
+    handle: SharedAgent,
+}
+
+impl AgentPolicy {
+    /// Wraps a shared inference handle.
+    pub fn new(handle: SharedAgent) -> Self {
+        AgentPolicy { handle }
+    }
+}
+
+impl PlanPolicy for AgentPolicy {
+    fn name(&self) -> &'static str {
+        "agent"
+    }
+
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        let mut rng = StdRng::seed_from_u64(req.seed);
+        let opts = DecideOpts::default();
+        let mut plan = Vec::new();
+        while !env.is_done() {
+            let Some(decision) = self.handle.agent().decide(env, &mut rng, &opts)? else {
+                break;
+            };
+            env.step(decision.action)?;
+            plan.push(decision.action);
+        }
+        Ok(plan)
+    }
+}
+
+/// The filtering-based heuristic (HA) — the microsecond-budget fallback.
+pub struct HaPolicy;
+
+impl PlanPolicy for HaPolicy {
+    fn name(&self) -> &'static str {
+        "ha"
+    }
+
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        Ok(ha_solve(env.state(), env.constraints(), env.objective(), req.mnl).plan)
+    }
+}
+
+/// Swap-aware local search, flattened to a sequential plan: atomic
+/// exchanges are emitted only when some sequential order of their two
+/// migrations is feasible (the wire protocol ships executable sequences);
+/// the search stops at the first non-sequenceable exchange.
+pub struct SwapPolicy;
+
+impl PlanPolicy for SwapPolicy {
+    fn name(&self) -> &'static str {
+        "swap"
+    }
+
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        let result = swap_search_solve(
+            env.state(),
+            env.constraints(),
+            env.objective(),
+            req.mnl,
+            &SwapSearchConfig::default(),
+        );
+        // Sequence the moves on the live env (rewound by the session).
+        let mut plan = Vec::new();
+        'moves: for mv in &result.moves {
+            match *mv {
+                SwapMove::Single(action) => {
+                    if env.step(action).is_err() {
+                        break 'moves;
+                    }
+                    plan.push(action);
+                }
+                SwapMove::Swap(a, b) => {
+                    let (pa, pb) = (env.state().placement(a).pm, env.state().placement(b).pm);
+                    let orders = [
+                        [Action { vm: a, pm: pb }, Action { vm: b, pm: pa }],
+                        [Action { vm: b, pm: pa }, Action { vm: a, pm: pb }],
+                    ];
+                    let mut sequenced = false;
+                    for order in orders {
+                        if env.step(order[0]).is_err() {
+                            continue;
+                        }
+                        if env.step(order[1]).is_ok() {
+                            plan.extend_from_slice(&order);
+                            sequenced = true;
+                            break;
+                        }
+                        // Roll back the half-applied attempt and restore
+                        // the already-sequenced prefix.
+                        env.rewind();
+                        for &act in &plan {
+                            env.step(act)?;
+                        }
+                    }
+                    if !sequenced {
+                        break 'moves;
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Monte-Carlo tree search under the request's latency budget.
+pub struct MctsPolicy;
+
+impl PlanPolicy for MctsPolicy {
+    fn name(&self) -> &'static str {
+        "mcts"
+    }
+
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        let cfg = MctsConfig { time_limit: req.budget, seed: req.seed, ..Default::default() };
+        Ok(mcts_solve(env.state(), env.constraints(), env.objective(), req.mnl, &cfg).plan)
+    }
+}
+
+/// Branch-and-bound ("MIP") under the request's latency budget.
+pub struct SolverPolicy;
+
+impl PlanPolicy for SolverPolicy {
+    fn name(&self) -> &'static str {
+        "solver"
+    }
+
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        let cfg =
+            SolverConfig { time_limit: req.budget, beam_width: Some(24), ..Default::default() };
+        Ok(branch_and_bound(env.state(), env.constraints(), env.objective(), req.mnl, &cfg).plan)
+    }
+}
+
+/// Latency budget below which `auto` refuses anything slower than HA.
+const AUTO_HA_BUDGET: Duration = Duration::from_millis(10);
+/// Latency budget above which `auto` escalates from the agent to search.
+const AUTO_SEARCH_BUDGET: Duration = Duration::from_secs(2);
+
+/// Maps request `policy` names (plus the latency budget, for `auto`) onto
+/// registered [`PlanPolicy`] implementations.
+pub struct PolicyRegistry {
+    by_name: BTreeMap<&'static str, Arc<dyn PlanPolicy>>,
+    has_agent: bool,
+}
+
+impl PolicyRegistry {
+    /// The standard registry: HA, swap search, MCTS, and the solver are
+    /// always available; `agent` requires a loaded checkpoint handle.
+    pub fn standard(agent: Option<SharedAgent>) -> Self {
+        let mut by_name: BTreeMap<&'static str, Arc<dyn PlanPolicy>> = BTreeMap::new();
+        by_name.insert("ha", Arc::new(HaPolicy));
+        by_name.insert("swap", Arc::new(SwapPolicy));
+        by_name.insert("mcts", Arc::new(MctsPolicy));
+        by_name.insert("solver", Arc::new(SolverPolicy));
+        let has_agent = agent.is_some();
+        if let Some(handle) = agent {
+            by_name.insert("agent", Arc::new(AgentPolicy::new(handle)));
+        }
+        PolicyRegistry { by_name, has_agent }
+    }
+
+    /// Registered policy names (sorted).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.by_name.keys().copied().collect()
+    }
+
+    /// Resolves a request's policy. `auto` picks by latency budget:
+    /// microsecond budgets get HA, interactive budgets get the agent
+    /// (when a checkpoint is loaded), generous budgets get MCTS.
+    pub fn resolve(&self, name: &str, budget: Duration) -> Option<Arc<dyn PlanPolicy>> {
+        let effective = match name {
+            "auto" => {
+                if budget < AUTO_HA_BUDGET || (!self.has_agent && budget < AUTO_SEARCH_BUDGET) {
+                    "ha"
+                } else if budget < AUTO_SEARCH_BUDGET {
+                    "agent"
+                } else {
+                    "mcts"
+                }
+            }
+            other => other,
+        };
+        self.by_name.get(effective).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_without_agent() {
+        let reg = PolicyRegistry::standard(None);
+        assert_eq!(reg.names(), vec!["ha", "mcts", "solver", "swap"]);
+        assert!(reg.resolve("agent", Duration::from_millis(1)).is_none());
+        assert!(reg.resolve("nonsense", Duration::from_millis(1)).is_none());
+        // auto degrades to HA when no checkpoint is loaded and the budget
+        // is tight, and escalates to MCTS when generous.
+        assert_eq!(reg.resolve("auto", Duration::from_millis(1)).unwrap().name(), "ha");
+        assert_eq!(reg.resolve("auto", Duration::from_millis(500)).unwrap().name(), "ha");
+        assert_eq!(reg.resolve("auto", Duration::from_secs(10)).unwrap().name(), "mcts");
+    }
+
+    #[test]
+    fn auto_prefers_agent_at_interactive_budgets() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+        use vmr_core::model::Vmr2lModel;
+        use vmr_core::Vmr2lAgent;
+        let mut rng = StdRng::seed_from_u64(0);
+        let model =
+            Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+        let handle = SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage));
+        let reg = PolicyRegistry::standard(Some(handle));
+        assert_eq!(reg.resolve("auto", Duration::from_millis(100)).unwrap().name(), "agent");
+        assert_eq!(reg.resolve("auto", Duration::from_millis(1)).unwrap().name(), "ha");
+    }
+}

@@ -1,0 +1,515 @@
+//! The daemon: a `std::net` loopback listener, a worker thread pool, and
+//! per-session plan coalescing.
+//!
+//! Concurrency model: an acceptor thread pushes connections onto a
+//! bounded channel; `threads` workers each own one connection at a time
+//! and serve its request stream to EOF. Sessions live behind per-session
+//! locks, so requests against *different* sessions never contend.
+//!
+//! Plan coalescing: identical `plan` requests (same session, parameters,
+//! and state version) are answered from **one** policy invocation — the
+//! first requester computes while concurrent duplicates wait on a
+//! condvar, and later duplicates hit the memoized result until a delta
+//! bumps the version. The `computed` field of each response records
+//! whether it ran a policy, and the `stats` op exposes the aggregate
+//! (`plans_served` vs `plans_computed`).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vmr_core::infer::SharedAgent;
+use vmr_sim::error::SimError;
+
+use crate::policies::{PlanRequest, PolicyRegistry};
+use crate::proto::{
+    self, codes, ApplyDelta, CreateSession, Op, PlanParams, Planned, ReadOutcome, Reply, Request,
+    Response, Restore, SessionRef, SnapshotReply, StatsParams, StatsReply,
+};
+use crate::session::{preset_config, PlanResult, Session};
+
+/// Daemon configuration.
+#[derive(Default)]
+pub struct ServerConfig {
+    /// Bind address; empty = `127.0.0.1:0` (loopback, ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 = 4).
+    pub threads: usize,
+    /// Inference handle for the `agent` policy (e.g. from
+    /// [`SharedAgent::load`]); without it only the classical policies are
+    /// registered.
+    pub agent: Option<SharedAgent>,
+}
+
+/// Default latency budget for anytime policies when a request says 0.
+const DEFAULT_BUDGET: Duration = Duration::from_millis(200);
+
+/// Server-wide counters (see [`StatsReply`]).
+#[derive(Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    plans_served: AtomicU64,
+    plans_computed: AtomicU64,
+    deltas: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Key identifying one coalescable plan computation.
+#[derive(Clone, PartialEq, Eq)]
+struct PlanKey {
+    policy: String,
+    mnl: usize,
+    seed: u64,
+    budget_ms: u64,
+    version: u64,
+}
+
+/// Coalescing slot state for one session.
+enum PlanCacheState {
+    /// No computation in flight, nothing memoized.
+    Idle,
+    /// A worker is computing a plan; everyone else waits on the condvar
+    /// (same-key waiters then adopt the memoized result, different-key
+    /// waiters claim the slot next).
+    InFlight,
+    /// The last computation's result, valid while the key (incl. state
+    /// version) matches.
+    Ready(PlanKey, PlanResult),
+}
+
+struct SessionSlot {
+    session: Mutex<Session>,
+    /// Monotone state version: bumped by deltas, commits, and restores.
+    version: AtomicU64,
+    cache: Mutex<PlanCacheState>,
+    cache_cv: Condvar,
+}
+
+struct Shared {
+    sessions: Mutex<HashMap<String, Arc<SessionSlot>>>,
+    policies: PolicyRegistry,
+    stats: ServerStats,
+    stop: AtomicBool,
+    /// Live connection sockets, keyed by a monotone id, so shutdown can
+    /// unblock workers parked in blocking reads.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// A running daemon; dropping the handle leaves it running (detached) —
+/// call [`ServerHandle::shutdown`] for an orderly stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains workers, and joins all threads. In-flight
+    /// connections are served to completion of their current request
+    /// stream.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Unblock workers parked in blocking reads on live connections.
+        for (_, stream) in self.shared.conns.lock().expect("conn map lock").iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the daemon and returns its handle.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let addr = if config.addr.is_empty() { "127.0.0.1:0" } else { &config.addr };
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let threads = if config.threads == 0 { 4 } else { config.threads };
+    let shared = Arc::new(Shared {
+        sessions: Mutex::new(HashMap::new()),
+        policies: PolicyRegistry::standard(config.agent),
+        stats: ServerStats::default(),
+        stop: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+    });
+
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(threads * 4);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let rx = Arc::clone(&rx);
+        let requeue = tx.clone();
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || loop {
+            let stream = {
+                let guard = rx.lock().expect("worker queue lock");
+                // A bounded wait (instead of a blocking recv) lets the
+                // worker notice shutdown even though its own requeue
+                // sender keeps the channel alive.
+                guard.recv_timeout(READ_POLL)
+            };
+            match stream {
+                Ok(stream) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        continue; // drain the queue without serving
+                    }
+                    let mut current = Some(stream);
+                    while let Some(stream) = current.take() {
+                        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            shared.conns.lock().expect("conn map lock").insert(conn_id, clone);
+                        }
+                        let outcome = handle_connection(&shared, stream);
+                        shared.conns.lock().expect("conn map lock").remove(&conn_id);
+                        if let Ok(Some(idle)) = outcome {
+                            // Idle between frames: hand the connection
+                            // back to the queue so this worker can serve
+                            // others — a few silent peers must not pin
+                            // the whole pool. If the queue is full, keep
+                            // serving it here.
+                            match requeue.try_send(idle) {
+                                Ok(()) => {}
+                                Err(std::sync::mpsc::TrySendError::Full(s)) => current = Some(s),
+                                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {}
+                            }
+                        }
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }));
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping `tx` terminates the workers' recv loops.
+        })
+    };
+
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers })
+}
+
+/// How often a worker parked on an idle connection wakes to check the
+/// stop flag (and to stay preemptible by shutdown).
+const READ_POLL: Duration = Duration::from_millis(500);
+
+/// Serves one connection's request stream until EOF (`Ok(None)`) or an
+/// idle pause between frames (`Ok(Some(stream))` — the caller requeues
+/// the connection so silent peers cannot pin workers).
+fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<Option<TcpStream>> {
+    // A read timeout keeps a silent peer from pinning this worker: on
+    // each timeout the partial frame is preserved, the stop flag is
+    // re-checked, and a connection idle *between* frames is yielded back
+    // to the queue.
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let outcome = loop {
+            match proto::read_frame(&mut reader, &mut buf) {
+                Ok(outcome) => break outcome,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                    if buf.is_empty() {
+                        // Idle between frames: nothing buffered (a
+                        // partial frame would have been drained into
+                        // `buf`), so the raw stream can be handed off.
+                        return Ok(Some(reader.into_inner()));
+                    }
+                    // Mid-frame: keep accumulating on this worker.
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        match outcome {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Oversized => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = proto::error_response(
+                    0,
+                    codes::OVERSIZED,
+                    format!("line exceeds {} bytes; closing", proto::MAX_LINE_BYTES),
+                );
+                let _ = proto::write_frame(&mut writer, &resp);
+                return Ok(None);
+            }
+            ReadOutcome::Line => {
+                if buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue; // tolerate blank keep-alive lines
+                }
+                let resp = match serde_json::from_slice::<Request>(&buf) {
+                    Err(e) => {
+                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        proto::error_response(0, codes::BAD_REQUEST, format!("{e:?}"))
+                    }
+                    Ok(req) => dispatch(shared, req),
+                };
+                proto::write_frame(&mut writer, &resp)?;
+            }
+        }
+    }
+}
+
+/// Routes one parsed request.
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    if req.v != proto::PROTO_VERSION {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return proto::error_response(
+            req.id,
+            codes::UNSUPPORTED_VERSION,
+            format!("this daemon speaks v{}", proto::PROTO_VERSION),
+        );
+    }
+    let id = req.id;
+    let result = match req.op {
+        Op::CreateSession(p) => op_create(shared, p),
+        Op::ApplyDelta(p) => op_delta(shared, p),
+        Op::Plan(p) => op_plan(shared, p),
+        Op::Stats(p) => op_stats(shared, p),
+        Op::Snapshot(p) => op_snapshot(shared, p),
+        Op::Restore(p) => op_restore(shared, p),
+    };
+    match result {
+        Ok(reply) => proto::ok_response(id, reply),
+        Err((code, message)) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            proto::error_response(id, code, message)
+        }
+    }
+}
+
+type OpResult = Result<Reply, (&'static str, String)>;
+
+fn sim_err(e: SimError) -> (&'static str, String) {
+    (codes::SIM, e.to_string())
+}
+
+fn slot_of(shared: &Shared, name: &str) -> Result<Arc<SessionSlot>, (&'static str, String)> {
+    shared
+        .sessions
+        .lock()
+        .expect("session map lock")
+        .get(name)
+        .cloned()
+        .ok_or_else(|| (codes::UNKNOWN_SESSION, format!("no session named {name:?}")))
+}
+
+fn op_create(shared: &Shared, p: CreateSession) -> OpResult {
+    if p.name.is_empty() {
+        return Err((codes::BAD_REQUEST, "session name must be non-empty".into()));
+    }
+    let config = preset_config(&p.preset)
+        .ok_or_else(|| (codes::UNKNOWN_PRESET, format!("no preset named {:?}", p.preset)))?;
+    let mnl = if p.mnl == 0 { 10 } else { p.mnl };
+    let session = Session::from_preset(&p.name, &config, p.seed, mnl).map_err(sim_err)?;
+    let info = session.info(0);
+    let slot = Arc::new(SessionSlot {
+        session: Mutex::new(session),
+        version: AtomicU64::new(0),
+        cache: Mutex::new(PlanCacheState::Idle),
+        cache_cv: Condvar::new(),
+    });
+    let mut sessions = shared.sessions.lock().expect("session map lock");
+    if sessions.contains_key(&p.name) {
+        return Err((codes::SESSION_EXISTS, format!("session {:?} already exists", p.name)));
+    }
+    sessions.insert(p.name, slot);
+    Ok(Reply::Created(info))
+}
+
+fn op_delta(shared: &Shared, p: ApplyDelta) -> OpResult {
+    let slot = slot_of(shared, &p.session)?;
+    let mut session = slot.session.lock().expect("session lock");
+    let outcome = session.apply_delta(&p.delta).map_err(sim_err)?;
+    let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.stats.deltas.fetch_add(1, Ordering::Relaxed);
+    Ok(Reply::DeltaApplied(proto::DeltaApplied {
+        info: session.info(version),
+        created_vm: outcome.created.map(|v| v.0),
+        renumbered_from: outcome.renumbered.map(|r| r.from.0),
+        renumbered_to: outcome.renumbered.map(|r| r.to.0),
+        migrations: outcome.migrations.len(),
+    }))
+}
+
+fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
+    let slot = slot_of(shared, &p.session)?;
+    let budget = if p.budget_ms == 0 { DEFAULT_BUDGET } else { Duration::from_millis(p.budget_ms) };
+    let policy = shared
+        .policies
+        .resolve(&p.policy, budget)
+        .ok_or_else(|| (codes::UNKNOWN_POLICY, format!("no policy named {:?}", p.policy)))?;
+    let req = PlanRequest { mnl: p.mnl, seed: p.seed, budget };
+
+    // Committing plans mutate state: no coalescing, straight through.
+    if p.commit {
+        let mut session = slot.session.lock().expect("session lock");
+        let result = session.plan(policy.as_ref(), &req, true).map_err(sim_err)?;
+        let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
+        shared.stats.plans_computed.fetch_add(1, Ordering::Relaxed);
+        return Ok(planned_reply(&p, policy.name(), result, true, version));
+    }
+
+    // The version is only ever bumped while the session lock is held, so
+    // the read here is a *tentative* key: after claiming the cache slot
+    // and taking the session lock we re-read it, and restart if a delta
+    // slipped in between — otherwise a plan computed against the newer
+    // state would be memoized and served under the stale version.
+    loop {
+        let version = slot.version.load(Ordering::SeqCst);
+        let key = PlanKey {
+            policy: p.policy.clone(),
+            mnl: p.mnl,
+            seed: p.seed,
+            budget_ms: p.budget_ms,
+            version,
+        };
+
+        // Coalesce: adopt a memoized result or claim the slot.
+        let mut cache = slot.cache.lock().expect("plan cache lock");
+        loop {
+            match &*cache {
+                PlanCacheState::Ready(k, result) if *k == key => {
+                    let result = result.clone();
+                    drop(cache);
+                    shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
+                    return Ok(planned_reply(&p, policy.name(), result, false, version));
+                }
+                PlanCacheState::InFlight => {
+                    // Someone is computing (this key or another): wait,
+                    // then re-evaluate the cache.
+                    cache = slot.cache_cv.wait(cache).expect("plan cache lock");
+                }
+                PlanCacheState::Idle | PlanCacheState::Ready(..) => {
+                    *cache = PlanCacheState::InFlight;
+                    break;
+                }
+            }
+        }
+        drop(cache);
+
+        let mut session = slot.session.lock().expect("session lock");
+        if slot.version.load(Ordering::SeqCst) != version {
+            // A delta won the race between keying and locking: release
+            // the claim and restart against the fresh version.
+            drop(session);
+            *slot.cache.lock().expect("plan cache lock") = PlanCacheState::Idle;
+            slot.cache_cv.notify_all();
+            continue;
+        }
+        let computed = session.plan(policy.as_ref(), &req, false);
+        drop(session);
+
+        let mut cache = slot.cache.lock().expect("plan cache lock");
+        let reply = match computed {
+            Ok(result) => {
+                *cache = PlanCacheState::Ready(key, result.clone());
+                shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
+                shared.stats.plans_computed.fetch_add(1, Ordering::Relaxed);
+                Ok(planned_reply(&p, policy.name(), result, true, version))
+            }
+            Err(e) => {
+                *cache = PlanCacheState::Idle;
+                Err(sim_err(e))
+            }
+        };
+        drop(cache);
+        slot.cache_cv.notify_all();
+        return reply;
+    }
+}
+
+fn planned_reply(
+    p: &PlanParams,
+    policy: &str,
+    result: PlanResult,
+    computed: bool,
+    version: u64,
+) -> Reply {
+    Reply::Planned(Planned {
+        session: p.session.clone(),
+        policy: policy.to_string(),
+        objective_before: result.objective_before,
+        objective_after: result.objective_after,
+        plan: result.plan,
+        computed,
+        version,
+    })
+}
+
+fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
+    let session = if p.session.is_empty() {
+        None
+    } else {
+        let slot = slot_of(shared, &p.session)?;
+        let session = slot.session.lock().expect("session lock");
+        Some(session.info(slot.version.load(Ordering::SeqCst)))
+    };
+    let s = &shared.stats;
+    Ok(Reply::Stats(StatsReply {
+        sessions: shared.sessions.lock().expect("session map lock").len(),
+        requests: s.requests.load(Ordering::Relaxed),
+        plans_served: s.plans_served.load(Ordering::Relaxed),
+        plans_computed: s.plans_computed.load(Ordering::Relaxed),
+        deltas: s.deltas.load(Ordering::Relaxed),
+        errors: s.errors.load(Ordering::Relaxed),
+        session,
+    }))
+}
+
+fn op_snapshot(shared: &Shared, p: SessionRef) -> OpResult {
+    let slot = slot_of(shared, &p.session)?;
+    let mut session = slot.session.lock().expect("session lock");
+    let snapshot = session.snapshot(slot.version.load(Ordering::SeqCst));
+    Ok(Reply::Snapshot(SnapshotReply { snapshot }))
+}
+
+fn op_restore(shared: &Shared, p: Restore) -> OpResult {
+    let slot = slot_of(shared, &p.session)?;
+    let mut session = slot.session.lock().expect("session lock");
+    session.restore(p.snapshot).map_err(sim_err)?;
+    let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+    Ok(Reply::Restored(session.info(version)))
+}

@@ -1,0 +1,115 @@
+//! Malformed-input hardening: truncated, garbage, binary, and oversized
+//! frames must each yield a structured error response — and the daemon
+//! (and, for non-oversized inputs, the very same connection) must keep
+//! serving afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use vmr_serve::proto::{codes, ReplyBody, Response, MAX_LINE_BYTES};
+use vmr_serve::server::{serve, ServerConfig};
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("server must answer");
+    assert!(!line.is_empty(), "server closed instead of answering");
+    serde_json::from_str(&line).expect("every response is valid JSON")
+}
+
+fn expect_error(resp: &Response, code: &str) {
+    match &resp.body {
+        ReplyBody::Err(e) => assert_eq!(e.code, code, "unexpected error: {}", e.message),
+        ReplyBody::Ok(_) => panic!("expected {code} error, got success"),
+    }
+}
+
+#[test]
+fn garbage_lines_get_structured_errors_and_the_connection_survives() {
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // 1. Plain garbage.
+    writer.write_all(b"this is not json\n").unwrap();
+    expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
+
+    // 2. Truncated JSON.
+    writer.write_all(b"{\"v\":1,\"id\":\n").unwrap();
+    expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
+
+    // 3. Valid JSON, wrong shape.
+    writer.write_all(b"{\"hello\":\"world\"}\n").unwrap();
+    expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
+
+    // 4. Binary junk (invalid UTF-8).
+    writer.write_all(&[0x00, 0xff, 0xfe, 0x80, b'\n']).unwrap();
+    expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
+
+    // 5. Wrong protocol version with a parseable envelope.
+    writer.write_all(b"{\"v\":99,\"id\":5,\"op\":{\"Stats\":{\"session\":\"\"}}}\n").unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 5, "version errors still echo the request id");
+    expect_error(&resp, codes::UNSUPPORTED_VERSION);
+
+    // 6. The same connection still serves valid requests.
+    writer
+        .write_all(
+            b"{\"v\":1,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
+        )
+        .unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.id, 6);
+    assert!(matches!(resp.body, ReplyBody::Ok(_)), "valid request after garbage must succeed");
+
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_do_not_starve_the_worker_pool() {
+    // More silent connections than workers: a worker pool that dedicates
+    // one thread per connection would be fully pinned and the next
+    // request would hang forever.
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).unwrap();
+    let _idle: Vec<TcpStream> =
+        (0..6).map(|_| TcpStream::connect(handle.addr()).unwrap()).collect();
+    // Give the workers a moment to pick the idle connections up.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut client = vmr_serve::client::ServeClient::connect(handle.addr()).unwrap();
+    client
+        .stream_timeout(std::time::Duration::from_secs(10))
+        .expect("client read timeout guards the assertion");
+    let info = client.create_session("alive", "tiny", 0, 4).expect("idle peers must not starve");
+    assert!(info.vms > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_line_is_rejected_and_server_stays_up() {
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).unwrap();
+
+    {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // MAX + 2 payload bytes: the server caps its read at MAX + 1 and
+        // answers without ever buffering the rest.
+        let mut big = vec![b'x'; MAX_LINE_BYTES + 2];
+        big.push(b'\n');
+        writer.write_all(&big).unwrap();
+        let resp = read_response(&mut reader);
+        expect_error(&resp, codes::OVERSIZED);
+        // The connection is closed after an oversized frame.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "connection must close");
+    }
+
+    // The daemon itself keeps serving fresh connections.
+    let mut client = vmr_serve::client::ServeClient::connect(handle.addr()).unwrap();
+    let info = client.create_session("after", "tiny", 0, 4).unwrap();
+    assert!(info.vms > 0);
+    let stats = client.stats("").unwrap();
+    assert!(stats.errors >= 1, "hardening failures must be counted");
+
+    handle.shutdown();
+}

@@ -38,6 +38,20 @@ pub struct MigrationRecord {
     pub to: Placement,
 }
 
+/// Outcome of [`ClusterState::remove_vm`]: what left and which VM (if
+/// any) was renumbered to keep ids dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmRemoval {
+    /// The removed VM record (with its original id).
+    pub vm: Vm,
+    /// Where it was placed.
+    pub placement: Placement,
+    /// When the removed VM was not the last one, the previously-last VM
+    /// is moved into the freed id slot: this is its *old* id (its new id
+    /// is the removed VM's id).
+    pub renumbered: Option<VmId>,
+}
+
 /// Undo record for an atomic two-VM exchange, returned by
 /// [`ClusterState::swap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -237,6 +251,28 @@ impl ClusterState {
         Ok(best.map(|(_, pl)| pl))
     }
 
+    /// The destination PM's X-core fragment if `vm` were migrated onto it
+    /// under the best-fit NUMA rule — the cross-PM scoring used by drain
+    /// evacuation. `Ok(None)` when no placement fits.
+    pub fn fragment_after_move(
+        &self,
+        vm: VmId,
+        pm: PmId,
+        frag_cores: u32,
+    ) -> SimResult<Option<u32>> {
+        let v = *self.check_vm(vm)?;
+        let current = self.placements[vm.0 as usize];
+        let mut scratch = self.check_pm(pm)?.clone();
+        if current.pm == pm {
+            release_from(&mut scratch, &v, current.numa);
+        }
+        let Some(pl) = best_fit_on(&scratch, &v, frag_cores) else {
+            return Ok(None);
+        };
+        alloc_to(&mut scratch, &v, pl);
+        Ok(Some(scratch.cpu_fragment(frag_cores)))
+    }
+
     /// Migrates `vm` onto `pm` with an explicit NUMA placement.
     ///
     /// Returns an undo record. Fails without mutating state if the
@@ -394,6 +430,114 @@ impl ClusterState {
             self.vms_on_pm[to.0 as usize].push(vm);
         }
         Ok(())
+    }
+
+    /// Appends a new VM at an explicit placement (an online *create*
+    /// delta). The new VM takes the next dense id. Fails without mutating
+    /// state if the placement shape is illegal or lacks capacity.
+    pub fn add_vm(
+        &mut self,
+        cpu: u32,
+        mem: u32,
+        policy: NumaPolicy,
+        placement: Placement,
+    ) -> SimResult<VmId> {
+        if cpu == 0 {
+            return Err(SimError::InvalidMapping("new VM requests zero CPU".into()));
+        }
+        let id = VmId(self.vms.len() as u32);
+        let vm = Vm { id, cpu, mem, numa: policy };
+        match (policy, placement.numa) {
+            (NumaPolicy::Single, NumaPlacement::Single(_))
+            | (NumaPolicy::Double, NumaPlacement::Double) => {}
+            _ => return Err(SimError::NumaPolicyViolation(id)),
+        }
+        let pm_idx = placement.pm.0 as usize;
+        let pm = self.pms.get_mut(pm_idx).ok_or(SimError::UnknownPm(placement.pm))?;
+        if !placement_fits(pm, &vm, placement.numa) {
+            let numa: NumaIdx = match placement.numa {
+                NumaPlacement::Single(j) => j as usize,
+                NumaPlacement::Double => 0,
+            };
+            return Err(SimError::InsufficientResources { pm: placement.pm, numa });
+        }
+        alloc_to(pm, &vm, placement.numa);
+        self.vms.push(vm);
+        self.placements.push(placement);
+        self.vms_on_pm[pm_idx].push(id);
+        Ok(id)
+    }
+
+    /// Removes a VM (an online *delete* delta), freeing its resources.
+    ///
+    /// VM ids stay dense: unless the removed VM was the last one, the
+    /// last VM is renumbered into the freed slot (swap-remove). The
+    /// returned [`VmRemoval`] reports that renumbering so callers with
+    /// external id maps (sessions, constraint sets) can follow it.
+    pub fn remove_vm(&mut self, vm: VmId) -> SimResult<VmRemoval> {
+        self.check_vm(vm)?;
+        let idx = vm.0 as usize;
+        let last = self.vms.len() - 1;
+        let removed = self.vms[idx];
+        let placement = self.placements[idx];
+        release_from(&mut self.pms[placement.pm.0 as usize], &removed, placement.numa);
+        let host_list = &mut self.vms_on_pm[placement.pm.0 as usize];
+        let pos = host_list.iter().position(|&x| x == vm).expect("reverse index corrupt");
+        host_list.swap_remove(pos);
+        self.vms.swap_remove(idx);
+        self.placements.swap_remove(idx);
+        let renumbered = if idx != last {
+            let moved_old = VmId(last as u32);
+            self.vms[idx].id = vm;
+            let moved_host = &mut self.vms_on_pm[self.placements[idx].pm.0 as usize];
+            let pos =
+                moved_host.iter().position(|&x| x == moved_old).expect("reverse index corrupt");
+            moved_host[pos] = vm;
+            Some(moved_old)
+        } else {
+            None
+        };
+        Ok(VmRemoval { vm: removed, placement, renumbered })
+    }
+
+    /// Changes a VM's resource request in place (an online *resize*
+    /// delta). The VM keeps its placement; fails without mutating state
+    /// if the host NUMA node(s) cannot absorb the growth.
+    pub fn resize_vm(&mut self, vm: VmId, cpu: u32, mem: u32) -> SimResult<()> {
+        let old = *self.check_vm(vm)?;
+        if cpu == 0 {
+            return Err(SimError::InvalidMapping(format!("resize of VM {} to zero CPU", vm.0)));
+        }
+        if old.numa == NumaPolicy::Double && (!cpu.is_multiple_of(2) || !mem.is_multiple_of(2)) {
+            return Err(SimError::InvalidMapping(format!(
+                "double-NUMA VM {} needs even CPU and memory",
+                vm.0
+            )));
+        }
+        let pl = self.placements[vm.0 as usize];
+        let new = Vm { id: vm, cpu, mem, numa: old.numa };
+        let pm = &mut self.pms[pl.pm.0 as usize];
+        release_from(pm, &old, pl.numa);
+        if !placement_fits(pm, &new, pl.numa) {
+            alloc_to(pm, &old, pl.numa); // roll back
+            let numa: NumaIdx = match pl.numa {
+                NumaPlacement::Single(j) => j as usize,
+                NumaPlacement::Double => 0,
+            };
+            return Err(SimError::InsufficientResources { pm: pl.pm, numa });
+        }
+        alloc_to(pm, &new, pl.numa);
+        self.vms[vm.0 as usize] = new;
+        Ok(())
+    }
+
+    /// Appends a new empty PM with symmetric NUMA nodes (an online
+    /// *add-capacity* delta). Returns its dense id.
+    pub fn add_pm(&mut self, cpu_per_numa: u32, mem_per_numa: u32) -> PmId {
+        let id = PmId(self.pms.len() as u32);
+        self.pms.push(Pm::symmetric(id, cpu_per_numa, mem_per_numa));
+        self.vms_on_pm.push(Vec::new());
+        id
     }
 
     /// Total X-core CPU fragment across all PMs (numerator of FR).
@@ -758,6 +902,77 @@ mod tests {
         drop(rec);
         // Move VM0 off to PM1 numa0 fails (12 free), so free numa0 via VM1:
         // (documented behaviour: errors leave state untouched)
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn add_vm_appends_and_accounts() {
+        let mut c = small_cluster();
+        let pl = Placement { pm: PmId(1), numa: NumaPlacement::Single(0) };
+        let id = c.add_vm(4, 8, NumaPolicy::Single, pl).unwrap();
+        assert_eq!(id, VmId(3));
+        assert_eq!(c.num_vms(), 4);
+        assert_eq!(c.placement(id), pl);
+        assert!(c.vms_on(PmId(1)).contains(&id));
+        c.audit().unwrap();
+        // Shape and capacity violations leave state untouched.
+        assert!(matches!(
+            c.add_vm(4, 8, NumaPolicy::Double, pl),
+            Err(SimError::NumaPolicyViolation(_))
+        ));
+        assert!(matches!(
+            c.add_vm(400, 8, NumaPolicy::Single, pl),
+            Err(SimError::InsufficientResources { .. })
+        ));
+        assert!(matches!(c.add_vm(0, 8, NumaPolicy::Single, pl), Err(SimError::InvalidMapping(_))));
+        assert_eq!(c.num_vms(), 4);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn remove_vm_swap_renumbers_last() {
+        let mut c = small_cluster();
+        // Remove VM 0: VM 2 (the last) must take id 0.
+        let out = c.remove_vm(VmId(0)).unwrap();
+        assert_eq!(out.vm.cpu, 16);
+        assert_eq!(out.renumbered, Some(VmId(2)));
+        assert_eq!(c.num_vms(), 2);
+        assert_eq!(c.vm(VmId(0)).cpu, 64, "renumbered VM keeps its record");
+        assert_eq!(c.placement(VmId(0)).pm, PmId(1));
+        assert!(c.vms_on(PmId(1)).contains(&VmId(0)));
+        c.audit().unwrap();
+        // Removing the (new) last VM renumbers nothing.
+        let out = c.remove_vm(VmId(1)).unwrap();
+        assert_eq!(out.renumbered, None);
+        c.audit().unwrap();
+        assert!(matches!(c.remove_vm(VmId(5)), Err(SimError::UnknownVm(_))));
+    }
+
+    #[test]
+    fn resize_vm_checks_capacity_and_rolls_back() {
+        let mut c = small_cluster();
+        c.resize_vm(VmId(1), 12, 24).unwrap();
+        assert_eq!(c.vm(VmId(1)).cpu, 12);
+        assert_eq!(c.pm(PmId(0)).numas[1].cpu_used, 12);
+        c.audit().unwrap();
+        let before = c.clone();
+        assert!(matches!(
+            c.resize_vm(VmId(1), 100, 24),
+            Err(SimError::InsufficientResources { .. })
+        ));
+        assert_eq!(c, before, "failed resize must not mutate state");
+        assert!(matches!(c.resize_vm(VmId(2), 65, 128), Err(SimError::InvalidMapping(_))));
+    }
+
+    #[test]
+    fn add_pm_extends_cluster() {
+        let mut c = small_cluster();
+        let id = c.add_pm(44, 128);
+        assert_eq!(id, PmId(2));
+        assert_eq!(c.num_pms(), 3);
+        assert!(c.vms_on(id).is_empty());
+        // The new capacity is usable immediately.
+        c.migrate(VmId(0), id, 16).unwrap();
         c.audit().unwrap();
     }
 

@@ -36,6 +36,47 @@ impl ConstraintSet {
         self.conflicts.len()
     }
 
+    /// Grows the set by one unconstrained VM (follows a
+    /// [`crate::cluster::ClusterState::add_vm`] delta). Returns its id.
+    pub fn push_vm(&mut self) -> VmId {
+        self.conflicts.push(Vec::new());
+        self.pinned.push(false);
+        VmId((self.conflicts.len() - 1) as u32)
+    }
+
+    /// Shrinks the set after a [`crate::cluster::ClusterState::remove_vm`]
+    /// delta, mirroring its swap-remove renumbering: `vm`'s constraints
+    /// are dropped and, unless `vm` was last, the last VM's constraints
+    /// move into the freed slot with every reference renamed.
+    pub fn swap_remove_vm(&mut self, vm: VmId) -> SimResult<()> {
+        let idx = vm.0 as usize;
+        if idx >= self.conflicts.len() {
+            return Err(SimError::UnknownVm(vm));
+        }
+        let last = self.conflicts.len() - 1;
+        // Detach the removed VM from every partner's list.
+        let partners = std::mem::take(&mut self.conflicts[idx]);
+        for p in partners {
+            self.conflicts[p.0 as usize].retain(|&x| x != vm);
+        }
+        self.conflicts.swap_remove(idx);
+        self.pinned.swap_remove(idx);
+        if idx != last {
+            // The previously-last VM is now `vm`: rename it in the lists
+            // of all of its partners.
+            let moved_old = VmId(last as u32);
+            let moved_partners = self.conflicts[idx].clone();
+            for p in moved_partners {
+                for x in &mut self.conflicts[p.0 as usize] {
+                    if *x == moved_old {
+                        *x = vm;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Declares a symmetric anti-affinity pair: `a` and `b` may never share
     /// a PM. Self-conflicts are ignored. Duplicate declarations are
     /// deduplicated.
@@ -339,5 +380,39 @@ mod tests {
         let mut cs = ConstraintSet::new(2);
         assert!(cs.add_conflict(VmId(0), VmId(9)).is_err());
         assert!(cs.pin(VmId(5)).is_err());
+    }
+
+    #[test]
+    fn push_vm_grows_unconstrained() {
+        let mut cs = ConstraintSet::new(2);
+        let id = cs.push_vm();
+        assert_eq!(id, VmId(2));
+        assert_eq!(cs.num_vms(), 3);
+        assert!(cs.conflicts_of(id).is_empty());
+        assert!(!cs.is_pinned(id));
+        cs.add_conflict(VmId(0), id).unwrap();
+        assert_eq!(cs.conflicts_of(id), &[VmId(0)]);
+    }
+
+    #[test]
+    fn swap_remove_vm_renames_last() {
+        // 0-3, with conflicts {0,3} and {1,3} and {1,2}; 3 pinned.
+        let mut cs = ConstraintSet::new(4);
+        cs.add_conflict(VmId(0), VmId(3)).unwrap();
+        cs.add_conflict(VmId(1), VmId(3)).unwrap();
+        cs.add_conflict(VmId(1), VmId(2)).unwrap();
+        cs.pin(VmId(3)).unwrap();
+        // Remove VM 0: VM 3 becomes VM 0 and keeps its relations.
+        cs.swap_remove_vm(VmId(0)).unwrap();
+        assert_eq!(cs.num_vms(), 3);
+        assert!(cs.is_pinned(VmId(0)), "moved VM keeps its pin");
+        // Old {1,3} is now {1,0}; old {0,3} died with VM 0.
+        assert_eq!(cs.conflicts_of(VmId(0)), &[VmId(1)]);
+        assert!(cs.conflicts_of(VmId(1)).contains(&VmId(0)));
+        assert!(cs.conflicts_of(VmId(1)).contains(&VmId(2)));
+        // Removing the last VM renames nothing.
+        cs.swap_remove_vm(VmId(2)).unwrap();
+        assert_eq!(cs.conflicts_of(VmId(1)), &[VmId(0)]);
+        assert!(cs.swap_remove_vm(VmId(9)).is_err());
     }
 }

@@ -288,7 +288,7 @@ pub fn generate_mapping(config: &ClusterConfig, seed: u64) -> SimResult<ClusterS
     let mut consecutive_failures = 0usize;
     while dyn_cluster.used_cpu() < target_used && consecutive_failures < 64 {
         let flavor = config.vm_mix.sample(&mut rng);
-        if dyn_cluster.best_fit_arrival(flavor.cpu, flavor.mem, flavor.numa).is_some() {
+        if dyn_cluster.best_fit_arrival(flavor.cpu, flavor.mem, flavor.numa).is_ok() {
             consecutive_failures = 0;
         } else {
             consecutive_failures += 1;
@@ -303,7 +303,7 @@ pub fn generate_mapping(config: &ClusterConfig, seed: u64) -> SimResult<ClusterS
             let mut attempts = 0;
             while dyn_cluster.used_cpu() < target_used && attempts < 4 {
                 let flavor = config.vm_mix.sample(&mut rng);
-                let _ = dyn_cluster.best_fit_arrival(flavor.cpu, flavor.mem, flavor.numa);
+                let _ = dyn_cluster.best_fit_arrival(flavor.cpu, flavor.mem, flavor.numa).ok();
                 attempts += 1;
             }
         }

@@ -16,7 +16,7 @@ use crate::dataset::VmMix;
 use crate::env::Action;
 use crate::error::{SimError, SimResult};
 use crate::machine::{placement_fits, Placement, Pm, Vm};
-use crate::scheduler::{choose_placement, VmsPolicy};
+use crate::scheduler::{schedule_vm, VmsPolicy};
 use crate::trace::DiurnalModel;
 use crate::types::{NumaPlacement, NumaPolicy, VmId};
 
@@ -87,8 +87,9 @@ impl DynamicCluster {
 
     /// Places a new VM with best-fit (the production VMS algorithm: choose
     /// the feasible PM/NUMA minimizing the resulting 16-core fragment).
-    /// Returns the new VM's id, or `None` if nothing fits.
-    pub fn best_fit_arrival(&mut self, cpu: u32, mem: u32, numa: NumaPolicy) -> Option<VmId> {
+    /// Returns the new VM's id, or [`SimError::NoFeasiblePlacement`] if
+    /// nothing fits (production rejects the request).
+    pub fn best_fit_arrival(&mut self, cpu: u32, mem: u32, numa: NumaPolicy) -> SimResult<VmId> {
         // Best-fit never consults the RNG, so a throwaway fixed-seed RNG
         // keeps this entry point deterministic and allocation-free in
         // spirit (StdRng construction is cheap).
@@ -97,7 +98,7 @@ impl DynamicCluster {
     }
 
     /// Places a new VM under an arbitrary [`VmsPolicy`]. Returns the new
-    /// VM's id, or `None` if no PM can host it.
+    /// VM's id, or [`SimError::NoFeasiblePlacement`] if no PM can host it.
     pub fn arrival_with_policy<R: Rng + ?Sized>(
         &mut self,
         cpu: u32,
@@ -105,14 +106,14 @@ impl DynamicCluster {
         numa: NumaPolicy,
         policy: VmsPolicy,
         rng: &mut R,
-    ) -> Option<VmId> {
+    ) -> SimResult<VmId> {
         let id = VmId(self.vms.len() as u32);
         let vm = Vm { id, cpu, mem, numa };
-        let (pm_id, pl) = choose_placement(&self.pms, &vm, policy, 16, rng)?;
+        let (pm_id, pl) = schedule_vm(&self.pms, &vm, policy, 16, rng)?;
         alloc_unchecked(&mut self.pms[pm_id.0 as usize], &vm, pl);
         self.vms.push(Some((vm, Placement { pm: pm_id, numa: pl })));
         self.alive += 1;
-        Some(id)
+        Ok(id)
     }
 
     /// Removes a specific VM, freeing its resources.
@@ -230,7 +231,8 @@ impl DynamicCluster {
             let arrivals = model.sample_arrivals(minute, rng);
             for _ in 0..arrivals {
                 let f = mix.sample(rng);
-                let _ = self.best_fit_arrival(f.cpu, f.mem, f.numa);
+                // Production VMS rejects unplaceable requests.
+                let _ = self.best_fit_arrival(f.cpu, f.mem, f.numa).ok();
             }
         }
     }
@@ -447,7 +449,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(5);
             let mut placed = 0;
             for _ in 0..20 {
-                if d.arrival_with_policy(4, 8, NumaPolicy::Single, policy, &mut rng).is_some() {
+                if d.arrival_with_policy(4, 8, NumaPolicy::Single, policy, &mut rng).is_ok() {
                     placed += 1;
                 }
             }
@@ -476,7 +478,7 @@ mod tests {
                 &mut throwaway,
             );
             assert_eq!(a, b);
-            if a.is_none() {
+            if a.is_err() {
                 break;
             }
         }

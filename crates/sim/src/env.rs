@@ -5,15 +5,19 @@
 //! deterministic — the property that lets VMR2L train entirely offline and
 //! later re-simulate candidate trajectories for risk-seeking evaluation.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{ClusterState, MigrationRecord};
 use crate::constraints::ConstraintSet;
 use crate::error::{SimError, SimResult};
+use crate::machine::{Placement, Vm};
 use crate::objective::Objective;
 use crate::obs::Observation;
 use crate::obs_cache::ObsEngine;
-use crate::types::{PmId, VmId};
+use crate::scheduler::{schedule_vm, VmsPolicy};
+use crate::types::{NumaPolicy, PmId, VmId};
 
 /// An agent action: migrate `vm` to `pm` (the 2-tuple of §3.1; the source
 /// PM is implied by the current placement, and the destination NUMA is
@@ -24,6 +28,77 @@ pub struct Action {
     pub vm: VmId,
     /// Destination PM.
     pub pm: PmId,
+}
+
+/// A typed live-cluster mutation for long-running (serving) environments:
+/// the cluster a session tracks changes underneath it — VMs are created,
+/// deleted, and resized; capacity is added and drained — and each delta is
+/// applied incrementally so the observation engine never rebuilds from
+/// scratch. See [`ReschedEnv::apply_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterDelta {
+    /// A new VM arrives and is admitted by best-fit (the production VMS
+    /// rule). Fails with [`SimError::NoFeasiblePlacement`] when nothing
+    /// fits.
+    VmCreate {
+        /// Requested CPU cores.
+        cpu: u32,
+        /// Requested memory (GiB).
+        mem: u32,
+        /// Single- or double-NUMA deployment policy.
+        numa: NumaPolicy,
+    },
+    /// A VM exits. Ids stay dense: the last VM is renumbered into the
+    /// freed slot (reported via [`DeltaOutcome::renumbered`]).
+    VmDelete {
+        /// The departing VM.
+        vm: VmId,
+    },
+    /// A VM's resource request changes in place.
+    VmResize {
+        /// The VM being resized.
+        vm: VmId,
+        /// New total CPU cores.
+        cpu: u32,
+        /// New total memory (GiB).
+        mem: u32,
+    },
+    /// New empty capacity joins the cluster.
+    PmAdd {
+        /// CPU cores per NUMA node.
+        cpu_per_numa: u32,
+        /// Memory (GiB) per NUMA node.
+        mem_per_numa: u32,
+    },
+    /// Evacuate every VM off a PM (e.g. ahead of maintenance). The PM
+    /// stays in the cluster, empty. All-or-nothing: if any hosted VM has
+    /// no feasible destination the whole drain rolls back and fails with
+    /// [`SimError::NoFeasiblePlacement`].
+    PmDrain {
+        /// The PM to evacuate.
+        pm: PmId,
+    },
+}
+
+/// Renumbering performed by a [`ClusterDelta::VmDelete`]: the VM formerly
+/// known as `from` is now `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Renumbering {
+    /// The VM's id before the delete.
+    pub from: VmId,
+    /// Its id after the delete (the freed slot).
+    pub to: VmId,
+}
+
+/// What a [`ReschedEnv::apply_delta`] call did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaOutcome {
+    /// Id assigned to a created VM.
+    pub created: Option<VmId>,
+    /// Renumbering caused by a delete, if any.
+    pub renumbered: Option<Renumbering>,
+    /// Migrations performed by a drain.
+    pub migrations: Vec<MigrationRecord>,
 }
 
 /// Result of one environment step.
@@ -117,6 +192,150 @@ impl ReschedEnv {
         self.constraints = constraints;
         self.reset();
         Ok(())
+    }
+
+    /// Undoes every migration of the current episode in LIFO order,
+    /// returning to the episode's initial state *without* invalidating
+    /// the incremental observation engine: each undo is noted as a repair,
+    /// so the cost is O(steps · touched entities) instead of the
+    /// O(cluster) full rebuild a [`ReschedEnv::reset`] implies. This is
+    /// the serving path — a daemon answers many plan requests against the
+    /// same live state and must not pay a featurization rebuild per
+    /// request.
+    pub fn rewind(&mut self) {
+        while let Some(rec) = self.history.pop() {
+            self.state.undo(&rec).expect("episode history is invertible");
+            if let Some(engine) = &mut self.engine {
+                engine.note_undo(&self.state, &rec);
+            }
+        }
+        self.steps_taken = 0;
+        self.done = false;
+    }
+
+    /// Makes the current state the new episode start (e.g. after
+    /// deploying a plan): history is absorbed instead of undone. Keeps
+    /// the observation engine valid.
+    pub fn commit(&mut self) {
+        self.initial.clone_from(&self.state);
+        self.history.clear();
+        self.steps_taken = 0;
+        self.done = false;
+    }
+
+    /// Changes the migration number limit for subsequent episodes.
+    /// Intended for serving, where each plan request carries its own MNL;
+    /// call on a rewound environment.
+    pub fn set_mnl(&mut self, mnl: usize) {
+        self.mnl = mnl;
+        if self.steps_taken < mnl {
+            self.done = false;
+        }
+    }
+
+    /// Applies a live-cluster mutation (see [`ClusterDelta`]) to the
+    /// committed state, keeping the constraint set and the incremental
+    /// observation engine consistent — no full featurization rebuild.
+    /// Any in-progress episode is rewound first; on error the state is
+    /// unchanged. The mutated state becomes the new episode start.
+    pub fn apply_delta(&mut self, delta: &ClusterDelta) -> SimResult<DeltaOutcome> {
+        self.rewind();
+        let frag = self.objective.frag_cores();
+        let outcome = match *delta {
+            ClusterDelta::VmCreate { cpu, mem, numa } => {
+                let probe = Vm { id: VmId(self.state.num_vms() as u32), cpu, mem, numa };
+                if cpu == 0 {
+                    return Err(SimError::InvalidMapping("new VM requests zero CPU".into()));
+                }
+                // Best-fit never consults the RNG; fixed seed keeps the
+                // admission deterministic.
+                let mut rng = StdRng::seed_from_u64(0);
+                let (pm, pl) =
+                    schedule_vm(self.state.pms(), &probe, VmsPolicy::BestFit, frag, &mut rng)?;
+                let id = self.state.add_vm(cpu, mem, numa, Placement { pm, numa: pl })?;
+                let grown = self.constraints.push_vm();
+                debug_assert_eq!(id, grown);
+                if let Some(engine) = &mut self.engine {
+                    engine.note_vm_added(&self.state);
+                }
+                DeltaOutcome { created: Some(id), ..Default::default() }
+            }
+            ClusterDelta::VmDelete { vm } => {
+                let removal = self.state.remove_vm(vm)?;
+                self.constraints.swap_remove_vm(vm).expect("state removal validated the id");
+                if let Some(engine) = &mut self.engine {
+                    engine.note_vm_removed(&self.state, vm, removal.placement.pm);
+                }
+                DeltaOutcome {
+                    renumbered: removal.renumbered.map(|from| Renumbering { from, to: vm }),
+                    ..Default::default()
+                }
+            }
+            ClusterDelta::VmResize { vm, cpu, mem } => {
+                self.state.resize_vm(vm, cpu, mem)?;
+                let host = self.state.placement(vm).pm;
+                if let Some(engine) = &mut self.engine {
+                    engine.refresh_pms(&self.state, host, host);
+                }
+                DeltaOutcome::default()
+            }
+            ClusterDelta::PmAdd { cpu_per_numa, mem_per_numa } => {
+                if cpu_per_numa == 0 {
+                    return Err(SimError::InvalidMapping("new PM has zero CPU".into()));
+                }
+                self.state.add_pm(cpu_per_numa, mem_per_numa);
+                if let Some(engine) = &mut self.engine {
+                    engine.note_pm_added(&self.state);
+                }
+                DeltaOutcome::default()
+            }
+            ClusterDelta::PmDrain { pm } => self.drain_pm(pm)?,
+        };
+        self.initial.clone_from(&self.state);
+        Ok(outcome)
+    }
+
+    /// Evacuates every VM off `pm` (largest first), each to the legal
+    /// destination minimizing the resulting fragment. All-or-nothing:
+    /// rolls back and returns [`SimError::NoFeasiblePlacement`] if any
+    /// hosted VM is stuck (pinned, conflicted, or out of capacity).
+    fn drain_pm(&mut self, pm: PmId) -> SimResult<DeltaOutcome> {
+        self.state.check_pm(pm)?;
+        let frag = self.objective.frag_cores();
+        let mut victims: Vec<VmId> = self.state.vms_on(pm).to_vec();
+        victims.sort_by_key(|&v| (std::cmp::Reverse(self.state.vm(v).cpu), v.0));
+        let mut applied: Vec<MigrationRecord> = Vec::new();
+        for vm in victims {
+            let mut best: Option<(u32, PmId)> = None;
+            for i in 0..self.state.num_pms() {
+                let dest = PmId(i as u32);
+                if dest == pm || self.constraints.migration_legal(&self.state, vm, dest).is_err() {
+                    continue;
+                }
+                let Some(score) = self.state.fragment_after_move(vm, dest, frag)? else {
+                    continue;
+                };
+                if best.is_none_or(|(s, _)| score < s) {
+                    best = Some((score, dest));
+                }
+            }
+            let Some((_, dest)) = best else {
+                // Roll back already-applied evacuations: drains are atomic.
+                for rec in applied.iter().rev() {
+                    self.state.undo(rec).expect("drain rollback is invertible");
+                    if let Some(engine) = &mut self.engine {
+                        engine.note_undo(&self.state, rec);
+                    }
+                }
+                return Err(SimError::NoFeasiblePlacement(vm));
+            };
+            let rec = self.state.migrate(vm, dest, frag)?;
+            if let Some(engine) = &mut self.engine {
+                engine.note_migration(&self.state, &rec);
+            }
+            applied.push(rec);
+        }
+        Ok(DeltaOutcome { migrations: applied, ..Default::default() })
     }
 
     /// Current cluster state (read-only).
@@ -377,6 +596,135 @@ mod tests {
         let mut vbuf = Vec::new();
         e.vm_mask_into(false, &mut vbuf);
         assert_eq!(vbuf, e.vm_mask());
+    }
+
+    #[test]
+    fn rewind_restores_state_and_keeps_engine_valid() {
+        let mut e = env(3);
+        let frag = e.objective().frag_cores();
+        let before = e.state().clone();
+        let _ = e.observe(); // engine live
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        e.step(Action { vm: VmId(1), pm: PmId(1) }).unwrap();
+        e.rewind();
+        assert_eq!(e.steps_taken(), 0);
+        assert!(!e.is_done());
+        assert_eq!(e.state().placements(), before.placements());
+        assert_eq!(e.observe(), &Observation::extract(&before, frag));
+    }
+
+    #[test]
+    fn commit_absorbs_history() {
+        let mut e = env(3);
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        let committed = e.state().clone();
+        e.commit();
+        assert_eq!(e.steps_taken(), 0);
+        assert!(e.history().is_empty());
+        // reset now returns to the committed state, not the original one.
+        e.step(Action { vm: VmId(2), pm: PmId(1) }).unwrap();
+        e.reset();
+        assert_eq!(e.state().placements(), committed.placements());
+    }
+
+    #[test]
+    fn deltas_mutate_state_and_engine_without_rebuild() {
+        let mut e = env(4);
+        let frag = e.objective().frag_cores();
+        let _ = e.observe();
+        let check = |e: &mut ReschedEnv| {
+            let fresh = Observation::extract(e.state(), frag);
+            assert_eq!(e.observe(), &fresh);
+            e.state().audit().unwrap();
+            assert_eq!(e.constraints().num_vms(), e.state().num_vms());
+        };
+        let out = e
+            .apply_delta(&ClusterDelta::VmCreate { cpu: 4, mem: 8, numa: NumaPolicy::Single })
+            .unwrap();
+        assert_eq!(out.created, Some(VmId(3)));
+        check(&mut e);
+        e.apply_delta(&ClusterDelta::VmResize { vm: VmId(0), cpu: 8, mem: 16 }).unwrap();
+        assert_eq!(e.state().vm(VmId(0)).cpu, 8);
+        check(&mut e);
+        let out = e.apply_delta(&ClusterDelta::VmDelete { vm: VmId(1) }).unwrap();
+        assert_eq!(out.renumbered, Some(Renumbering { from: VmId(3), to: VmId(1) }));
+        check(&mut e);
+        e.apply_delta(&ClusterDelta::PmAdd { cpu_per_numa: 44, mem_per_numa: 128 }).unwrap();
+        assert_eq!(e.state().num_pms(), 3);
+        check(&mut e);
+        let out = e.apply_delta(&ClusterDelta::PmDrain { pm: PmId(0) }).unwrap();
+        assert!(!out.migrations.is_empty());
+        assert!(e.state().vms_on(PmId(0)).is_empty());
+        check(&mut e);
+        // Deltas commit: a reset stays on the mutated cluster.
+        e.reset();
+        assert!(e.state().vms_on(PmId(0)).is_empty());
+    }
+
+    #[test]
+    fn bad_deltas_return_typed_errors_and_leave_state_intact() {
+        let mut e = env(4);
+        let before = e.state().clone();
+        assert!(matches!(
+            e.apply_delta(&ClusterDelta::VmCreate { cpu: 500, mem: 8, numa: NumaPolicy::Single }),
+            Err(SimError::NoFeasiblePlacement(_))
+        ));
+        assert!(matches!(
+            e.apply_delta(&ClusterDelta::VmDelete { vm: VmId(99) }),
+            Err(SimError::UnknownVm(_))
+        ));
+        assert!(matches!(
+            e.apply_delta(&ClusterDelta::VmResize { vm: VmId(0), cpu: 500, mem: 8 }),
+            Err(SimError::InsufficientResources { .. })
+        ));
+        assert!(matches!(
+            e.apply_delta(&ClusterDelta::PmDrain { pm: PmId(9) }),
+            Err(SimError::UnknownPm(_))
+        ));
+        assert_eq!(e.state(), &before);
+    }
+
+    #[test]
+    fn drain_rolls_back_atomically_on_stuck_vm() {
+        // PM0 hosts an 8c VM (movable) and a 4c VM that conflicts with
+        // the VM on PM1: the drain moves the 8c VM first, then hits the
+        // conflict and must restore everything.
+        let pms = vec![Pm::symmetric(PmId(0), 44, 128), Pm::symmetric(PmId(1), 44, 128)];
+        let vms = vec![
+            Vm { id: VmId(0), cpu: 8, mem: 16, numa: NumaPolicy::Single },
+            Vm { id: VmId(1), cpu: 4, mem: 8, numa: NumaPolicy::Single },
+            Vm { id: VmId(2), cpu: 4, mem: 8, numa: NumaPolicy::Single },
+        ];
+        let placements = vec![
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(0) },
+            Placement { pm: PmId(0), numa: NumaPlacement::Single(1) },
+            Placement { pm: PmId(1), numa: NumaPlacement::Single(0) },
+        ];
+        let state = ClusterState::new(pms, vms, placements).unwrap();
+        let mut cs = ConstraintSet::new(3);
+        cs.add_conflict(VmId(1), VmId(2)).unwrap();
+        let mut e = ReschedEnv::new(state, cs, Objective::default(), 4).unwrap();
+        let frag = e.objective().frag_cores();
+        let _ = e.observe();
+        let before = e.state().clone();
+        assert_eq!(
+            e.apply_delta(&ClusterDelta::PmDrain { pm: PmId(0) }),
+            Err(SimError::NoFeasiblePlacement(VmId(1)))
+        );
+        assert_eq!(e.state().placements(), before.placements(), "rollback must be exact");
+        assert_eq!(e.observe(), &Observation::extract(&before, frag));
+    }
+
+    #[test]
+    fn set_mnl_changes_budget() {
+        let mut e = env(1);
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        assert!(e.is_done());
+        e.rewind();
+        e.set_mnl(3);
+        e.step(Action { vm: VmId(2), pm: PmId(0) }).unwrap();
+        assert!(!e.is_done());
+        assert_eq!(e.steps_remaining(), 2);
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub enum SimError {
     },
     /// The action migrates a VM onto the PM it already occupies.
     NoOpMigration(VmId),
+    /// No PM in the cluster can host the VM (scheduler admission or a
+    /// drain/evacuation found no feasible slot). A typed error instead of
+    /// a panic so a bad delta can never crash a long-running daemon.
+    NoFeasiblePlacement(VmId),
     /// The episode already used up its migration number limit.
     MnlExhausted,
     /// The episode has terminated; call `reset` before stepping again.
@@ -57,6 +61,9 @@ impl fmt::Display for SimError {
             }
             SimError::NoOpMigration(vm) => {
                 write!(f, "VM {} is already on the destination PM", vm.0)
+            }
+            SimError::NoFeasiblePlacement(vm) => {
+                write!(f, "no PM can host VM {}", vm.0)
             }
             SimError::MnlExhausted => write!(f, "migration number limit exhausted"),
             SimError::EpisodeDone => write!(f, "episode finished; reset the environment"),

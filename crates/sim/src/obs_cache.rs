@@ -33,6 +33,11 @@ use crate::cluster::{ClusterState, MigrationRecord, SwapRecord};
 use crate::obs::{fill_pm_row, fill_vm_row, Observation, PM_FEAT, VM_FEAT};
 use crate::types::{PmId, VmId};
 
+/// Per-column `(lo, hi)` snapshot of the PM feature matrix.
+type PmBounds = [(f32, f32); PM_FEAT];
+/// Per-column `(lo, hi)` snapshot of the VM feature matrix.
+type VmBounds = [(f32, f32); VM_FEAT];
+
 /// Incremental min/max of one feature column.
 ///
 /// `lo_count`/`hi_count` track how many rows currently hold the extremum;
@@ -57,23 +62,36 @@ impl ColStat {
         if old == new {
             return;
         }
-        if old == self.lo {
-            self.lo_count -= 1;
-        }
-        if old == self.hi {
-            self.hi_count -= 1;
-        }
-        if new < self.lo {
-            self.lo = new;
+        self.remove(old);
+        self.insert(new);
+    }
+
+    /// Folds a value of a *new* row into the stats (topology growth).
+    #[inline]
+    fn insert(&mut self, v: f32) {
+        if v < self.lo {
+            self.lo = v;
             self.lo_count = 1;
-        } else if new == self.lo {
+        } else if v == self.lo {
             self.lo_count += 1;
         }
-        if new > self.hi {
-            self.hi = new;
+        if v > self.hi {
+            self.hi = v;
             self.hi_count = 1;
-        } else if new == self.hi {
+        } else if v == self.hi {
             self.hi_count += 1;
+        }
+    }
+
+    /// Drops a value of a *removed* row from the stats (topology
+    /// shrinkage); may leave the column flagged for rescan.
+    #[inline]
+    fn remove(&mut self, v: f32) {
+        if v == self.lo {
+            self.lo_count -= 1;
+        }
+        if v == self.hi {
+            self.hi_count -= 1;
         }
     }
 
@@ -249,14 +267,7 @@ impl ObsEngine {
         debug_assert_eq!(state.num_pms() * PM_FEAT, self.raw_pm.len());
         debug_assert_eq!(state.num_vms() * VM_FEAT, self.raw_vm.len());
 
-        let mut pm_before = [(0f32, 0f32); PM_FEAT];
-        for (slot, s) in pm_before.iter_mut().zip(self.pm_cols.iter()) {
-            *slot = (s.lo, s.hi);
-        }
-        let mut vm_before = [(0f32, 0f32); VM_FEAT];
-        for (slot, s) in vm_before.iter_mut().zip(self.vm_cols.iter()) {
-            *slot = (s.lo, s.hi);
-        }
+        let (pm_before, vm_before) = self.col_bounds();
 
         // 1. Raw PM rows (must precede VM rows: VM rows embed host raws).
         self.update_pm_row(state, pm_a);
@@ -277,8 +288,140 @@ impl ObsEngine {
             self.update_vm_row(state, k);
         }
 
-        // 3. Column repair: rescan any column whose extremum lost all
-        //    holders, then re-normalize what changed.
+        if pm_b == pm_a {
+            self.settle(state, &[pm_a], dirty_vms, pm_before, vm_before);
+        } else {
+            self.settle(state, &[pm_a, pm_b], dirty_vms, pm_before, vm_before);
+        }
+    }
+
+    /// Repairs the engine after a [`ClusterState::add_vm`] delta (`state`
+    /// must already hold the new VM): appends the raw row, folds it into
+    /// the column stats, refreshes the host PM and its tenants, and grows
+    /// the materialized observation. O(host occupancy + moved columns).
+    pub fn note_vm_added(&mut self, state: &ClusterState) {
+        if self.stale {
+            return;
+        }
+        let k = state.num_vms() - 1;
+        debug_assert_eq!(self.raw_vm.len(), k * VM_FEAT, "note_vm_added must follow add_vm");
+        let (pm_before, vm_before) = self.col_bounds();
+        let host = state.placement(VmId(k as u32)).pm;
+        self.update_pm_row(state, host);
+        // Append the new raw VM row (reads the just-updated host raws).
+        let src = host.0 as usize;
+        let mut tmp = [0f32; VM_FEAT];
+        fill_vm_row(state, k, self.frag_cores, &self.raw_pm[src * PM_FEAT..][..PM_FEAT], &mut tmp);
+        for (col, &v) in tmp.iter().enumerate() {
+            self.vm_cols[col].insert(v);
+        }
+        self.raw_vm.extend_from_slice(&tmp);
+        // Grow the materialized observation; `settle` fills the values.
+        self.obs.num_vms = k + 1;
+        self.obs.vm_feats.resize((k + 1) * VM_FEAT, 0.0);
+        self.obs.vm_src_pm.push(host.0);
+        let mut dirty_vms = std::mem::take(&mut self.dirty_vms);
+        dirty_vms.clear();
+        dirty_vms.extend(state.vms_on(host).iter().map(|v| v.0 as usize));
+        for &t in &dirty_vms {
+            if t != k {
+                self.update_vm_row(state, t);
+            }
+        }
+        self.settle(state, &[host], dirty_vms, pm_before, vm_before);
+    }
+
+    /// Repairs the engine after a [`ClusterState::remove_vm`] delta
+    /// (`state` must already reflect it). `removed` is the removed VM's
+    /// id and `host` the PM it occupied; the engine mirrors the state's
+    /// swap-remove renumbering. O(host occupancy + moved columns).
+    pub fn note_vm_removed(&mut self, state: &ClusterState, removed: VmId, host: PmId) {
+        if self.stale {
+            return;
+        }
+        let new_m = state.num_vms();
+        debug_assert_eq!(self.raw_vm.len(), (new_m + 1) * VM_FEAT, "note must follow remove_vm");
+        let idx = removed.0 as usize;
+        let (pm_before, vm_before) = self.col_bounds();
+        // Drop the removed row from the column stats.
+        for col in 0..VM_FEAT {
+            let v = self.raw_vm[idx * VM_FEAT + col];
+            self.vm_cols[col].remove(v);
+        }
+        // Mirror the swap-remove: the last row moves into the freed slot
+        // (values unchanged, so the stats are untouched by the move).
+        let last = new_m;
+        if idx != last {
+            for col in 0..VM_FEAT {
+                self.raw_vm[idx * VM_FEAT + col] = self.raw_vm[last * VM_FEAT + col];
+                self.obs.vm_feats[idx * VM_FEAT + col] = self.obs.vm_feats[last * VM_FEAT + col];
+            }
+            self.obs.vm_src_pm[idx] = self.obs.vm_src_pm[last];
+        }
+        self.raw_vm.truncate(new_m * VM_FEAT);
+        self.obs.vm_feats.truncate(new_m * VM_FEAT);
+        self.obs.vm_src_pm.truncate(new_m);
+        self.obs.num_vms = new_m;
+        // The host PM regained the VM's resources.
+        self.update_pm_row(state, host);
+        let mut dirty_vms = std::mem::take(&mut self.dirty_vms);
+        dirty_vms.clear();
+        dirty_vms.extend(state.vms_on(host).iter().map(|v| v.0 as usize));
+        for &t in &dirty_vms {
+            self.update_vm_row(state, t);
+        }
+        self.settle(state, &[host], dirty_vms, pm_before, vm_before);
+    }
+
+    /// Repairs the engine after a [`ClusterState::add_pm`] delta (`state`
+    /// must already hold the new, empty PM). No VM row changes — VM rows
+    /// embed only their own host's raws. O(moved columns).
+    pub fn note_pm_added(&mut self, state: &ClusterState) {
+        if self.stale {
+            return;
+        }
+        let i = state.num_pms() - 1;
+        debug_assert_eq!(self.raw_pm.len(), i * PM_FEAT, "note_pm_added must follow add_pm");
+        let (pm_before, vm_before) = self.col_bounds();
+        let mut tmp = [0f32; PM_FEAT];
+        fill_pm_row(state, i, self.frag_cores, &mut tmp);
+        for (col, &v) in tmp.iter().enumerate() {
+            self.pm_cols[col].insert(v);
+        }
+        self.raw_pm.extend_from_slice(&tmp);
+        self.obs.num_pms = i + 1;
+        self.obs.pm_feats.resize((i + 1) * PM_FEAT, 0.0);
+        let mut dirty_vms = std::mem::take(&mut self.dirty_vms);
+        dirty_vms.clear();
+        self.settle(state, &[PmId(i as u32)], dirty_vms, pm_before, vm_before);
+    }
+
+    /// Current per-column normalization bounds, snapshotted before a
+    /// repair so [`ObsEngine::settle`] can tell which columns moved.
+    fn col_bounds(&self) -> (PmBounds, VmBounds) {
+        let mut pm = [(0f32, 0f32); PM_FEAT];
+        for (slot, s) in pm.iter_mut().zip(self.pm_cols.iter()) {
+            *slot = (s.lo, s.hi);
+        }
+        let mut vm = [(0f32, 0f32); VM_FEAT];
+        for (slot, s) in vm.iter_mut().zip(self.vm_cols.iter()) {
+            *slot = (s.lo, s.hi);
+        }
+        (pm, vm)
+    }
+
+    /// Shared tail of every repair: rescan columns whose extremum lost
+    /// all holders, re-normalize columns whose bounds moved, then
+    /// re-normalize the dirty rows. Returns the dirty-VM scratch buffer
+    /// to `self` for reuse.
+    fn settle(
+        &mut self,
+        state: &ClusterState,
+        dirty_pms: &[PmId],
+        dirty_vms: Vec<usize>,
+        pm_before: PmBounds,
+        vm_before: VmBounds,
+    ) {
         for (col, &before) in pm_before.iter().enumerate() {
             if self.pm_cols[col].needs_rescan() {
                 self.pm_cols[col] = ColStat::rescan(&self.raw_pm, PM_FEAT, col);
@@ -295,18 +438,13 @@ impl ObsEngine {
                 renorm_col(&self.raw_vm, &mut self.obs.vm_feats, VM_FEAT, col, &self.vm_cols[col]);
             }
         }
-
-        // 4. Re-normalize the dirty rows (cheap; columns already settled).
-        for pm in [pm_a, pm_b] {
+        for &pm in dirty_pms {
             let i = pm.0 as usize;
             renorm_row(
                 &self.raw_pm[i * PM_FEAT..][..PM_FEAT],
                 &mut self.obs.pm_feats[i * PM_FEAT..][..PM_FEAT],
                 &self.pm_cols,
             );
-            if pm_b == pm_a {
-                break;
-            }
         }
         for &k in &dirty_vms {
             renorm_row(
@@ -474,6 +612,72 @@ mod tests {
         let cap = out.vm_feats.capacity();
         e.extract_into(&s, &mut out);
         assert_eq!(out.vm_feats.capacity(), cap, "steady-state copy must not reallocate");
+    }
+
+    #[test]
+    fn vm_add_stays_in_sync() {
+        use crate::machine::Placement;
+        use crate::types::NumaPolicy;
+        let mut s = state(11);
+        let mut e = ObsEngine::new(&s, 16);
+        // Place a small VM on every PM that can take it.
+        for i in 0..s.num_pms() {
+            let pm = PmId(i as u32);
+            let pl = Placement { pm, numa: NumaPlacement::Single(0) };
+            if s.add_vm(2, 4, NumaPolicy::Single, pl).is_ok() {
+                e.note_vm_added(&s);
+                assert_eq!(e.observation(&s), &Observation::extract(&s, 16), "add on PM {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_remove_stays_in_sync() {
+        let mut s = state(12);
+        let mut e = ObsEngine::new(&s, 16);
+        // Remove from the middle (renumbers the last VM) and from the end.
+        while s.num_vms() > 1 {
+            let vm = VmId((s.num_vms() / 2) as u32);
+            let removal = s.remove_vm(vm).unwrap();
+            e.note_vm_removed(&s, vm, removal.placement.pm);
+            assert_eq!(
+                e.observation(&s),
+                &Observation::extract(&s, 16),
+                "remove at {} of {}",
+                vm.0,
+                s.num_vms() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn vm_resize_stays_in_sync() {
+        let mut s = state(13);
+        let mut e = ObsEngine::new(&s, 16);
+        for k in 0..s.num_vms() {
+            let vm = VmId(k as u32);
+            let v = *s.vm(vm);
+            if s.resize_vm(vm, v.cpu + v.numa.numa_count(), v.mem).is_ok() {
+                let host = s.placement(vm).pm;
+                e.refresh_pms(&s, host, host);
+                assert_eq!(e.observation(&s), &Observation::extract(&s, 16), "resize VM {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pm_add_stays_in_sync() {
+        let mut s = state(14);
+        let mut e = ObsEngine::new(&s, 16);
+        // A huge empty PM moves several column extrema at once.
+        s.add_pm(88, 256);
+        e.note_pm_added(&s);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
+        // And a migration onto the new PM keeps working incrementally.
+        let (vm, _) = legal_move(&s);
+        let rec = s.migrate(vm, PmId((s.num_pms() - 1) as u32), 16).unwrap();
+        e.note_migration(&s, &rec);
+        assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::error::{SimError, SimResult};
 use crate::machine::{placement_fits, Pm, Vm};
 use crate::types::{NumaPlacement, PmId};
 
@@ -112,6 +113,20 @@ pub fn choose_placement<R: Rng + ?Sized>(
     }
 }
 
+/// Fallible form of [`choose_placement`]: an admission decision that
+/// reports "nothing fits" as a typed [`SimError::NoFeasiblePlacement`]
+/// instead of `None`, so daemon-facing callers (cluster deltas, drain)
+/// can propagate a structured error rather than panic or silently drop.
+pub fn schedule_vm<R: Rng + ?Sized>(
+    pms: &[Pm],
+    vm: &Vm,
+    policy: VmsPolicy,
+    frag_cores: u32,
+    rng: &mut R,
+) -> SimResult<(PmId, NumaPlacement)> {
+    choose_placement(pms, vm, policy, frag_cores, rng).ok_or(SimError::NoFeasiblePlacement(vm.id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,8 +157,8 @@ mod tests {
         let v = vm(4, 8, NumaPolicy::Single);
         let mut rng = StdRng::seed_from_u64(1);
         for policy in VmsPolicy::ALL {
-            let (pm_id, pl) = choose_placement(&pms, &v, policy, 16, &mut rng)
-                .unwrap_or_else(|| panic!("{} found no slot", policy.name()));
+            let scheduled = schedule_vm(&pms, &v, policy, 16, &mut rng);
+            let (pm_id, pl) = scheduled.unwrap();
             assert!(placement_fits(&pms[pm_id.0 as usize], &v, pl));
         }
     }
@@ -218,6 +233,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for policy in VmsPolicy::ALL {
             assert!(choose_placement(&pms, &v, policy, 16, &mut rng).is_none());
+            assert_eq!(
+                schedule_vm(&pms, &v, policy, 16, &mut rng),
+                Err(crate::error::SimError::NoFeasiblePlacement(v.id)),
+                "{}: a full cluster must yield the typed error",
+                policy.name()
+            );
         }
     }
 }

@@ -80,6 +80,53 @@ proptest! {
         }
     }
 
+    /// Same equivalence under *topology* deltas — the serving path: VM
+    /// create/delete/resize and PM adds interleaved with migrations must
+    /// keep the engine bit-identical to a full rebuild (this is what lets
+    /// `vmr-serve` ingest live deltas without re-extraction).
+    #[test]
+    fn incremental_observation_survives_topology_deltas(
+        seed in 16u64..24,
+        ops in prop::collection::vec((0u8..5, 0u32..60, 0u32..60), 1..24),
+    ) {
+        use vmr_sim::env::{ClusterDelta, ReschedEnv};
+        use vmr_sim::objective::Objective;
+        use vmr_sim::types::NumaPolicy;
+
+        let state = cluster(seed);
+        let mut env = ReschedEnv::unconstrained(state, Objective::default(), 6).expect("env");
+        let _ = env.observe(); // engine live from here on
+        for (kind, x, y) in ops {
+            let m = env.state().num_vms() as u32;
+            let delta = match kind {
+                0 => ClusterDelta::VmCreate {
+                    cpu: 1 + (x % 8),
+                    mem: 1 + (y % 16),
+                    numa: NumaPolicy::Single,
+                },
+                1 => ClusterDelta::VmDelete { vm: VmId(x % m) },
+                2 => ClusterDelta::VmResize { vm: VmId(x % m), cpu: 1 + (y % 12), mem: 1 + (y % 24) },
+                3 => ClusterDelta::PmAdd { cpu_per_numa: 22 + (x % 23), mem_per_numa: 64 },
+                _ => {
+                    // A migration step between deltas, if legal (illegal
+                    // probes and MNL exhaustion leave state untouched).
+                    let (vm, pm) = (VmId(x % m), PmId(y % env.state().num_pms() as u32));
+                    let _ = env.step(vmr_sim::env::Action { vm, pm });
+                    let fresh = Observation::extract(env.state(), 16);
+                    prop_assert_eq!(env.observe(), &fresh);
+                    continue;
+                }
+            };
+            // Deltas may legitimately fail (full cluster, unknown id);
+            // state and engine must stay consistent either way.
+            let _ = env.apply_delta(&delta);
+            env.state().audit().expect("state stays sound");
+            prop_assert_eq!(env.constraints().num_vms(), env.state().num_vms());
+            let fresh = Observation::extract(env.state(), 16);
+            prop_assert_eq!(env.observe(), &fresh);
+        }
+    }
+
     /// The fast stage-2 mask agrees with `migration_legal` per (vm, pm),
     /// including pinning and anti-affinity, after arbitrary migrations.
     #[test]

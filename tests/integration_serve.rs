@@ -1,0 +1,284 @@
+//! Loopback end-to-end suite for the `vmr-serve` daemon: several
+//! concurrent client connections drive one daemon through the full
+//! session lifecycle — create, deltas, plans under two policies (trained
+//! agent + HA), snapshot/restore — and every served plan is re-validated
+//! for legality under the session's `ConstraintSet` on the client side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::infer::SharedAgent;
+use vmr_core::model::Vmr2lModel;
+use vmr_serve::client::ServeClient;
+use vmr_serve::proto::{PlanParams, Planned, SessionSnapshot};
+use vmr_serve::server::{serve, ServerConfig, ServerHandle};
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ClusterDelta;
+use vmr_sim::types::{NumaPolicy, PmId, VmId};
+
+/// Starts a daemon with an (untrained — latency is architecture-, not
+/// training-dependent) agent checkpoint handle loaded.
+fn daemon(threads: usize) -> ServerHandle {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    let agent = SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage));
+    serve(ServerConfig { threads, agent: Some(agent), ..Default::default() }).expect("daemon")
+}
+
+/// Replays a served plan on the snapshot it was computed against,
+/// asserting every migration is legal under the constraint set.
+fn assert_plan_legal(snapshot: &SessionSnapshot, planned: &Planned) {
+    let mut state = snapshot.state.clone();
+    let cs = &snapshot.constraints;
+    for step in &planned.plan {
+        let (vm, pm) = (VmId(step.vm), PmId(step.to_pm));
+        assert_eq!(state.placement(vm).pm.0, step.from_pm, "served from_pm must be truthful");
+        cs.migration_legal(&state, vm, pm).unwrap_or_else(|e| {
+            panic!("served migration VM{} -> PM{} illegal: {e}", step.vm, step.to_pm)
+        });
+        state.migrate(vm, pm, 16).expect("legal move applies");
+    }
+    state.audit().expect("replayed state stays sound");
+    let fr = state.fragment_rate(16);
+    assert!(
+        (fr - planned.objective_after).abs() < 1e-9,
+        "served objective_after {} disagrees with replay {fr}",
+        planned.objective_after
+    );
+}
+
+#[test]
+fn four_concurrent_clients_full_lifecycle() {
+    let handle = daemon(4);
+    let addr = handle.addr();
+    let coalesced_hits = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for client_id in 0..4u64 {
+            let hits = Arc::clone(&coalesced_hits);
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let name = format!("cluster-{client_id}");
+                let info = client.create_session(&name, "tiny", client_id, 6).expect("create");
+                assert!(info.pms > 0 && info.vms > 0);
+
+                // Deltas: create, resize, delete, add capacity.
+                let d = client
+                    .apply_delta(
+                        &name,
+                        ClusterDelta::VmCreate { cpu: 4, mem: 8, numa: NumaPolicy::Single },
+                    )
+                    .expect("vm create");
+                let created = d.created_vm.expect("created id");
+                // Shrink: always fits, regardless of how tight best-fit
+                // packed the new VM.
+                client
+                    .apply_delta(
+                        &name,
+                        ClusterDelta::VmResize { vm: VmId(created), cpu: 2, mem: 4 },
+                    )
+                    .expect("vm resize");
+                client
+                    .apply_delta(&name, ClusterDelta::VmDelete { vm: VmId(0) })
+                    .expect("vm delete");
+                let d = client
+                    .apply_delta(&name, ClusterDelta::PmAdd { cpu_per_numa: 44, mem_per_numa: 128 })
+                    .expect("pm add");
+                assert_eq!(d.info.pms, info.pms + 1);
+
+                // Snapshot the post-delta state: plans are validated
+                // against exactly this mapping.
+                let snap = client.snapshot(&name).expect("snapshot").snapshot;
+                assert_eq!(snap.state.num_pms(), info.pms + 1);
+
+                // Plans under two different policies.
+                for policy in ["agent", "ha"] {
+                    let planned = client
+                        .plan(PlanParams {
+                            session: name.clone(),
+                            policy: policy.into(),
+                            mnl: 4,
+                            seed: 11,
+                            budget_ms: 100,
+                            commit: false,
+                        })
+                        .unwrap_or_else(|e| panic!("{policy} plan: {e}"));
+                    assert_eq!(planned.policy, policy);
+                    assert!(
+                        planned.objective_after <= planned.objective_before + 1e-12,
+                        "{policy} must not worsen the objective"
+                    );
+                    assert_plan_legal(&snap, &planned);
+
+                    // An identical repeat at the same state version must
+                    // be answered from the coalescing cache.
+                    let repeat = client
+                        .plan(PlanParams {
+                            session: name.clone(),
+                            policy: policy.into(),
+                            mnl: 4,
+                            seed: 11,
+                            budget_ms: 100,
+                            commit: false,
+                        })
+                        .expect("repeat plan");
+                    assert_eq!(repeat.plan, planned.plan, "memoized plan must be identical");
+                    if !repeat.computed {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+
+                // Mutate, then restore the snapshot and verify the state
+                // rolled back.
+                client
+                    .apply_delta(
+                        &name,
+                        ClusterDelta::VmCreate { cpu: 8, mem: 16, numa: NumaPolicy::Single },
+                    )
+                    .expect("post-snapshot create");
+                let restored = client.restore(&name, snap.clone()).expect("restore");
+                assert_eq!(restored.vms, snap.state.num_vms());
+                let fresh = client.snapshot(&name).expect("re-snapshot").snapshot;
+                assert_eq!(fresh.state, snap.state, "restore must be exact");
+            });
+        }
+    });
+
+    // Every repeat request hit the memoized result: 4 clients × 2 policies.
+    assert_eq!(
+        coalesced_hits.load(Ordering::Relaxed),
+        8,
+        "repeat plans at an unchanged version must come from one batched invocation"
+    );
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let stats = client.stats("cluster-0").expect("stats");
+    assert_eq!(stats.sessions, 4);
+    assert!(stats.plans_served > stats.plans_computed, "coalescing must be visible in stats");
+    assert_eq!(stats.errors, 0);
+    let session = stats.session.expect("per-session info");
+    assert!(session.version >= 5, "deltas and restore bump the version");
+
+    handle.shutdown();
+}
+
+#[test]
+fn committed_plans_advance_the_live_state() {
+    let handle = daemon(2);
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    client.create_session("commit-me", "tiny", 9, 8).expect("create");
+    let before = client.snapshot("commit-me").expect("snap").snapshot;
+    let planned = client
+        .plan(PlanParams {
+            session: "commit-me".into(),
+            policy: "ha".into(),
+            mnl: 8,
+            seed: 0,
+            budget_ms: 50,
+            commit: true,
+        })
+        .expect("commit plan");
+    assert_plan_legal(&before, &planned);
+    let after = client.snapshot("commit-me").expect("snap").snapshot;
+    if planned.plan.is_empty() {
+        assert_eq!(after.state, before.state);
+    } else {
+        assert_ne!(after.state.placements(), before.state.placements());
+        assert!((after.state.fragment_rate(16) - planned.objective_after).abs() < 1e-9);
+    }
+    // A third policy family (search) serves from the same session.
+    let searched = client
+        .plan(PlanParams {
+            session: "commit-me".into(),
+            policy: "swap".into(),
+            mnl: 6,
+            seed: 1,
+            budget_ms: 100,
+            commit: false,
+        })
+        .expect("swap plan");
+    assert_plan_legal(&after, &searched);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_entities_yield_structured_errors() {
+    use vmr_serve::client::ClientError;
+    let handle = daemon(2);
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    client.create_session("x", "tiny", 0, 4).expect("create");
+
+    let err = client.create_session("x", "tiny", 0, 4).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(e) if e.code == "session_exists"), "{err}");
+    let err = client.create_session("y", "not-a-preset", 0, 4).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(e) if e.code == "unknown_preset"), "{err}");
+    let err = client
+        .plan(PlanParams {
+            session: "ghost".into(),
+            policy: "ha".into(),
+            mnl: 4,
+            seed: 0,
+            budget_ms: 10,
+            commit: false,
+        })
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(e) if e.code == "unknown_session"), "{err}");
+    let err = client
+        .plan(PlanParams {
+            session: "x".into(),
+            policy: "quantum".into(),
+            mnl: 4,
+            seed: 0,
+            budget_ms: 10,
+            commit: false,
+        })
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(e) if e.code == "unknown_policy"), "{err}");
+    // A delta the simulator rejects comes back typed, and the session
+    // keeps serving.
+    let err = client.apply_delta("x", ClusterDelta::VmDelete { vm: VmId(10_000) }).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(e) if e.code == "sim"), "{err}");
+    let stats = client.stats("x").expect("stats");
+    assert_eq!(stats.sessions, 1, "failed creates must not leak sessions");
+    handle.shutdown();
+}
+
+/// Regression guard for the serving hot path: a generated mapping's
+/// dataset → session → delta → plan flow must work at the paper's Medium
+/// scale within a test-friendly wall clock (the plan itself is HA at a
+/// tiny MNL; the point is that deltas and observation upkeep are
+/// incremental, not O(cluster) rebuilds per request).
+#[test]
+fn medium_scale_session_serves_deltas_and_plans() {
+    let handle = daemon(2);
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    let info = client.create_session("medium", "medium", 0, 4).expect("create");
+    let expect = generate_mapping(&ClusterConfig::medium(), 0).expect("mapping");
+    assert_eq!(info.pms, expect.num_pms());
+    assert_eq!(info.vms, expect.num_vms());
+    for i in 0..20 {
+        client
+            .apply_delta(
+                "medium",
+                ClusterDelta::VmCreate { cpu: 2 + (i % 4) * 2, mem: 4, numa: NumaPolicy::Single },
+            )
+            .expect("delta");
+    }
+    let planned = client
+        .plan(PlanParams {
+            session: "medium".into(),
+            policy: "ha".into(),
+            mnl: 2,
+            seed: 0,
+            budget_ms: 0,
+            commit: false,
+        })
+        .expect("plan");
+    assert!(planned.objective_after <= planned.objective_before + 1e-12);
+    handle.shutdown();
+}
