@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use rand::Rng;
 
-use vmr_core::agent::{DecideOpts, Policy, Vmr2lAgent};
+use vmr_core::agent::{DecideOpts, InferCtx, Policy, Vmr2lAgent};
 use vmr_sim::cluster::ClusterState;
 use vmr_sim::constraints::ConstraintSet;
 use vmr_sim::env::{Action, ReschedEnv};
@@ -71,8 +71,9 @@ pub fn neuplan_solve<P: Policy, R: Rng + ?Sized>(
     let mut env = ReschedEnv::new(initial.clone(), constraints.clone(), objective, prefix_budget)?;
     let opts = DecideOpts { greedy: true, ..Default::default() };
     let mut plan = Vec::new();
+    let mut ictx = InferCtx::new();
     while !env.is_done() && env.steps_taken() < prefix_budget {
-        let Some(decision) = agent.decide(&mut env, rng, &opts)? else {
+        let Some(decision) = agent.act(&mut env, &mut ictx, rng, &opts)? else {
             break;
         };
         match env.step(decision.action) {

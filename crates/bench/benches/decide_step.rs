@@ -1,0 +1,73 @@
+//! The PR 4 acceptance bench: one full agent decision (stage 1 + masks +
+//! stage 2 + sampling) on the Graph-based legacy path vs the tape-free
+//! fast path, on the same warm environment. The two paths produce
+//! bit-identical decisions (`fwd_equivalence`); only the engine differs.
+//!
+//! `graph_*` is the "old" side of the pair (PR 3's only path), kept in
+//! tree exactly for this measurement; `act_*` is what serving and
+//! evaluation now run, `decide_*` what rollout collection runs.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::agent::{DecideOpts, InferCtx, Vmr2lAgent};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+
+fn setup(cfg: &ClusterConfig) -> (Vmr2lAgent<Vmr2lModel>, ReschedEnv) {
+    let state = generate_mapping(cfg, 7).expect("mapping");
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
+    let mut env = ReschedEnv::unconstrained(state, Objective::default(), 64).expect("env");
+    let _ = env.observe(); // warm the incremental engine
+    (agent, env)
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_step");
+    let opts = DecideOpts::default();
+    for (label, cfg, samples) in [
+        ("small_40pm", ClusterConfig::small_train(), 10usize),
+        ("medium_280pm", ClusterConfig::medium(), 3),
+    ] {
+        let (agent, mut env) = setup(&cfg);
+        group.sample_size(samples.max(2));
+        group.measurement_time(Duration::from_secs(if samples > 3 { 3 } else { 4 }));
+
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(format!("graph_{label}"), |b| {
+            b.iter(|| {
+                black_box(agent.decide_via_graph(&mut env, &mut rng, &opts).unwrap());
+            })
+        });
+
+        let mut ictx = InferCtx::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(format!("fwd_decide_{label}"), |b| {
+            b.iter(|| {
+                black_box(agent.decide_in(&mut env, &mut ictx, &mut rng, &opts).unwrap());
+            })
+        });
+
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(format!("fwd_act_{label}"), |b| {
+            b.iter(|| {
+                black_box(agent.act(&mut env, &mut ictx, &mut rng, &opts).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decide
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! PPO rollout-collection throughput: the PR 3 pattern (single thread,
+//! Graph-based decide) vs the PR 4 episode-indexed collector on the
+//! tape-free path at 1 and 4 workers. Each benchmark collects one full
+//! rollout of `ROLLOUT_STEPS` transitions, so medians are directly
+//! comparable as time-per-rollout.
+//!
+//! Note: worker scaling beyond the host's core count cannot help — on a
+//! single-core runner the 4-worker result measures scheduling overhead
+//! only; the old-vs-new gap there comes from the forward engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::agent::{DecideOpts, Vmr2lAgent};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_core::train::{TrainConfig, Trainer};
+use vmr_rl::ppo::PpoConfig;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+
+const ROLLOUT_STEPS: usize = 64;
+
+fn mappings(n: usize) -> Vec<ClusterState> {
+    let cfg = ClusterConfig { churn_cycles: 200, ..ClusterConfig::small_train() };
+    (0..n).map(|i| generate_mapping(&cfg, 900 + i as u64).expect("mapping")).collect()
+}
+
+fn agent() -> Vmr2lAgent<Vmr2lModel> {
+    let mut rng = StdRng::seed_from_u64(0);
+    Vmr2lAgent::new(
+        Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng),
+        ActionMode::TwoStage,
+    )
+}
+
+fn trainer(workers: usize) -> Trainer<Vmr2lModel> {
+    let cfg = TrainConfig {
+        ppo: PpoConfig { rollout_steps: ROLLOUT_STEPS, ..Default::default() },
+        mnl: 4,
+        eval_every: 0,
+        rollout_workers: workers,
+        ..Default::default()
+    };
+    Trainer::new(agent(), mappings(6), vec![], cfg).expect("trainer")
+}
+
+/// The PR 3 collection pattern: one persistent environment, Graph-based
+/// decide, sequential episodes.
+fn collect_graph_single(a: &Vmr2lAgent<Vmr2lModel>, maps: &[ClusterState], rng: &mut StdRng) {
+    let mut collected = 0;
+    let mut idx = 0;
+    let opts = DecideOpts::default();
+    while collected < ROLLOUT_STEPS {
+        idx = (idx + 1) % maps.len();
+        let mut env =
+            ReschedEnv::unconstrained(maps[idx].clone(), Objective::default(), 4).expect("env");
+        let mut attempts = 0;
+        while !env.is_done() && attempts < 4 && collected < ROLLOUT_STEPS {
+            let Some(d) = a.decide_via_graph(&mut env, rng, &opts).expect("decide") else {
+                break;
+            };
+            attempts += 1;
+            if env.step(d.action).is_ok() {
+                collected += 1;
+            }
+            black_box(&d.stored_obs);
+        }
+    }
+}
+
+fn bench_rollouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollout_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    let a = agent();
+    let maps = mappings(6);
+    let mut rng = StdRng::seed_from_u64(3);
+    group.bench_function("graph_single_thread", |b| {
+        b.iter(|| collect_graph_single(&a, &maps, &mut rng))
+    });
+
+    for workers in [1usize, 4] {
+        let mut t = trainer(workers);
+        group.bench_function(format!("fwd_workers_{workers}"), |b| {
+            b.iter(|| {
+                let n = t.collect_rollout().expect("rollout");
+                black_box(n);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rollouts
+}
+criterion_main!(benches);

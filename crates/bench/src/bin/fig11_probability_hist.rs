@@ -6,7 +6,7 @@
 
 use serde_json::json;
 use vmr_bench::{mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report};
-use vmr_core::agent::DecideOpts;
+use vmr_core::agent::{DecideOpts, InferCtx};
 use vmr_sim::env::ReschedEnv;
 use vmr_sim::objective::Objective;
 
@@ -24,13 +24,19 @@ fn main() {
     // Collect stage-1 probabilities along greedy trajectories.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
     let mut probs: Vec<f64> = Vec::new();
+    let mut ictx = InferCtx::new();
     for state in &eval_states {
         let mut env =
             ReschedEnv::unconstrained(state.clone(), Objective::default(), spec.train.mnl)
                 .expect("env");
         while !env.is_done() {
             let Some(d) = agent
-                .decide(&mut env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
+                .decide_in(
+                    &mut env,
+                    &mut ictx,
+                    &mut rng,
+                    &DecideOpts { greedy: true, ..Default::default() },
+                )
                 .expect("decide")
             else {
                 break;

@@ -10,7 +10,7 @@ use serde_json::json;
 use vmr_bench::{
     mappings, parse_args, train_agent, train_cluster_config, AgentSpec, Report, RunMode,
 };
-use vmr_core::agent::DecideOpts;
+use vmr_core::agent::{DecideOpts, InferCtx};
 use vmr_sim::env::ReschedEnv;
 use vmr_sim::objective::Objective;
 use vmr_sim::types::PmId;
@@ -38,9 +38,10 @@ fn main() {
     );
     println!("initial FR = {:.4}\n", env.objective_value());
     let mut step = 0;
+    let mut ictx = InferCtx::new();
     while !env.is_done() {
         let Some(d) = agent
-            .decide(&mut env, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
+            .act(&mut env, &mut ictx, &mut rng, &DecideOpts { greedy: true, ..Default::default() })
             .expect("decide")
         else {
             break;

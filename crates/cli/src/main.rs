@@ -93,7 +93,7 @@ fn print_help() {
            inspect  --dataset FILE [--index N]\n\
            train    --dataset FILE [--updates N] [--mnl N] [--seed N]\n\
                     [--extractor sparse|vanilla] [--risk-quantile F]\n\
-                    [--out FILE]\n\
+                    [--rollout-workers N (0 = all cores)] [--out FILE]\n\
            eval     --dataset FILE --agent FILE [--mnl N] [--trajectories N]\n\
                     [--greedy] [--json]\n\
            solve    --dataset FILE [--index N] --method <ha|bnb|pop|vbpp|mcts|swap>\n\
@@ -198,6 +198,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown extractor {other:?} (sparse|vanilla)")),
     };
     let risk_quantile: f64 = args.num("risk-quantile", -1.0f64)?;
+    let rollout_workers: usize = args.num("rollout-workers", 0)?;
+    let rollout_workers = if rollout_workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        rollout_workers
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let model = Vmr2lModel::new(ModelConfig::default(), extractor, &mut rng);
     let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
@@ -207,6 +213,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         seed,
         eval_every: 0,
         risk_quantile: (0.0..1.0).contains(&risk_quantile).then_some(risk_quantile),
+        rollout_workers,
         ..Default::default()
     };
     let train: Vec<ClusterState> = ds.train_mappings().cloned().collect();

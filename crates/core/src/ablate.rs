@@ -10,13 +10,14 @@
 use rand::Rng;
 
 use vmr_nn::graph::{Graph, Var};
+use vmr_nn::infer::{FVar, FwdCtx};
 use vmr_nn::layers::{Linear, Mlp, Module};
 use vmr_nn::tensor::Tensor;
 use vmr_sim::obs::{PM_FEAT, VM_FEAT};
 
 use crate::agent::Policy;
-use crate::features::FeatureTensors;
-use crate::model::Stage1Out;
+use crate::features::{FeatureTensors, TreeIndex};
+use crate::model::{Stage1Fwd, Stage1Out};
 
 /// Flat-MLP policy sized for a maximum cluster shape.
 ///
@@ -116,6 +117,55 @@ impl Policy for MlpPolicy {
         // No per-VM conditioning available; reuse stage-2 with VM 0's
         // features as a neutral query.
         self.stage2(g, s1, feats, 0)
+    }
+
+    fn stage1_fwd(&self, ctx: &mut FwdCtx, feats: &FeatureTensors, _tree: &TreeIndex) -> Stage1Fwd {
+        assert!(
+            feats.num_vms <= self.max_vms && feats.num_pms <= self.max_pms,
+            "state exceeds the MLP's fixed input size ({}/{} vs {}/{})",
+            feats.num_vms,
+            feats.num_pms,
+            self.max_vms,
+            self.max_pms
+        );
+        let x = ctx.full(1, self.max_vms * VM_FEAT + self.max_pms * PM_FEAT, 0.0);
+        {
+            let data = ctx.value_mut(x).data_mut();
+            data[..feats.num_vms * VM_FEAT].copy_from_slice(feats.vm.data());
+            let pm_base = self.max_vms * VM_FEAT;
+            data[pm_base..pm_base + feats.num_pms * PM_FEAT].copy_from_slice(feats.pm.data());
+        }
+        let h = self.trunk.fwd(ctx, x);
+        let all_vm_logits = self.vm_out.fwd(ctx, h);
+        let vm_logits = ctx.slice_cols(all_vm_logits, 0, feats.num_vms);
+        let value = self.value_out.fwd(ctx, h);
+        // Same interface contract as the Graph path: the trunk activation
+        // rides in the `pm_embs` slot, the rest are inert placeholders.
+        let dummy_vm = ctx.full(feats.num_vms, 1, 0.0);
+        let dummy_cross = ctx.full(feats.num_vms, feats.num_pms, 0.0);
+        Stage1Fwd { vm_logits, pm_embs: h, vm_embs: dummy_vm, cross_probs: dummy_cross, value }
+    }
+
+    fn stage2_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        s1: &Stage1Fwd,
+        feats: &FeatureTensors,
+        vm_idx: usize,
+    ) -> FVar {
+        let vm_row = ctx.input_row(feats.vm.row_slice(vm_idx));
+        let joined = ctx.hcat(s1.pm_embs, vm_row);
+        let all = self.pm_out.fwd(ctx, joined);
+        ctx.slice_cols(all, 0, feats.num_pms)
+    }
+
+    fn pm_logits_generic_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        s1: &Stage1Fwd,
+        feats: &FeatureTensors,
+    ) -> FVar {
+        self.stage2_fwd(ctx, s1, feats, 0)
     }
 }
 

@@ -10,6 +10,8 @@
 use rand::Rng;
 
 use vmr_nn::graph::{Graph, Var};
+use vmr_nn::infer::{FVar, FwdCtx};
+use vmr_nn::kernels::masked_softmax_bool_row;
 use vmr_nn::layers::Module;
 use vmr_nn::tensor::Tensor;
 use vmr_rl::sample::{apply_keep_mask, quantile_keep_mask, Categorical};
@@ -19,11 +21,14 @@ use vmr_sim::obs::Observation;
 use vmr_sim::types::{PmId, VmId};
 
 use crate::config::ActionMode;
-use crate::features::{bool_mask_row, FeatureTensors};
-use crate::model::Stage1Out;
+use crate::features::{bool_mask_row, FeatureTensors, TreeIndex};
+use crate::model::{Stage1Fwd, Stage1Out};
 
 /// A policy network usable by the agent: stage-1 extraction + heads, and a
-/// stage-2 destination head conditioned on the selected VM.
+/// stage-2 destination head conditioned on the selected VM. Each stage
+/// exists twice — on the autodiff [`Graph`] (training re-evaluation) and
+/// on the tape-free [`FwdCtx`] (acting/serving); the two must be
+/// bit-identical (enforced by `tests/fwd_equivalence.rs`).
 pub trait Policy: Module {
     /// Feature extraction and stage-1 heads.
     fn stage1(&self, g: &mut Graph, feats: &FeatureTensors) -> Stage1Out;
@@ -31,6 +36,23 @@ pub trait Policy: Module {
     fn stage2(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors, vm_idx: usize) -> Var;
     /// Generic per-PM logits (`1 × N`) for the joint (Full-Mask) space.
     fn pm_logits_generic(&self, g: &mut Graph, s1: &Stage1Out, feats: &FeatureTensors) -> Var;
+    /// Tape-free stage 1 (bit-identical to [`Policy::stage1`]).
+    fn stage1_fwd(&self, ctx: &mut FwdCtx, feats: &FeatureTensors, tree: &TreeIndex) -> Stage1Fwd;
+    /// Tape-free stage 2 (bit-identical to [`Policy::stage2`]).
+    fn stage2_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        s1: &Stage1Fwd,
+        feats: &FeatureTensors,
+        vm_idx: usize,
+    ) -> FVar;
+    /// Tape-free generic per-PM logits.
+    fn pm_logits_generic_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        s1: &Stage1Fwd,
+        feats: &FeatureTensors,
+    ) -> FVar;
 }
 
 impl Policy for crate::model::Vmr2lModel {
@@ -45,6 +67,91 @@ impl Policy for crate::model::Vmr2lModel {
     fn pm_logits_generic(&self, g: &mut Graph, s1: &Stage1Out, _feats: &FeatureTensors) -> Var {
         crate::model::Vmr2lModel::pm_logits_generic(self, g, s1)
     }
+
+    fn stage1_fwd(&self, ctx: &mut FwdCtx, feats: &FeatureTensors, tree: &TreeIndex) -> Stage1Fwd {
+        crate::model::Vmr2lModel::stage1_fwd(self, ctx, feats, Some(&tree.groups))
+    }
+
+    fn stage2_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        s1: &Stage1Fwd,
+        _feats: &FeatureTensors,
+        vm_idx: usize,
+    ) -> FVar {
+        crate::model::Vmr2lModel::stage2_fwd(self, ctx, s1, vm_idx)
+    }
+
+    fn pm_logits_generic_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        s1: &Stage1Fwd,
+        _feats: &FeatureTensors,
+    ) -> FVar {
+        crate::model::Vmr2lModel::pm_logits_generic_fwd(self, ctx, s1)
+    }
+}
+
+/// Reusable per-caller inference state: the forward arena plus every
+/// scratch buffer the decision loop needs. One `InferCtx` per thread (or
+/// per episode loop); at steady state a decision performs no heap
+/// allocation inside the forward pass.
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    /// The tape-free forward arena.
+    pub ctx: FwdCtx,
+    /// Reused featurization (f32 → f64 refill, no rebuild).
+    pub feats: FeatureTensors,
+    /// Reused PM-tree CSR index for block-sparse local attention.
+    pub tree: TreeIndex,
+    /// Stage-1 legality mask scratch.
+    pub vm_mask: Vec<bool>,
+    /// Stage-2 legality mask scratch.
+    pub pm_mask: Vec<bool>,
+    /// Joint mask scratch (Full-Mask mode).
+    pub joint_mask: Vec<bool>,
+    /// Stage-1 probability scratch.
+    pub vm_probs: Vec<f64>,
+    /// Stage-2 probability scratch.
+    pub pm_probs: Vec<f64>,
+}
+
+impl InferCtx {
+    /// Fresh context (buffers grow on first use, then stabilize).
+    pub fn new() -> Self {
+        InferCtx { feats: FeatureTensors::empty(), ..Default::default() }
+    }
+
+    /// Refills the featurization and tree index from an observation and
+    /// rewinds the arena — the prologue of every forward.
+    pub fn prepare(&mut self, obs: &Observation) {
+        self.feats.refill_from(obs);
+        self.tree.rebuild(&self.feats);
+        self.ctx.reset();
+    }
+
+    /// [`InferCtx::prepare`] straight from the environment's cached
+    /// observation — borrows it, no clone.
+    pub fn prepare_from_env(&mut self, env: &mut ReschedEnv) {
+        {
+            let obs = env.observe();
+            self.feats.refill_from(obs);
+        }
+        self.tree.rebuild(&self.feats);
+        self.ctx.reset();
+    }
+}
+
+/// A lightweight acting decision: what serving and evaluation need,
+/// without the re-evaluation payload (no observation clone).
+#[derive(Debug, Clone, Copy)]
+pub struct ActDecision {
+    /// The environment action.
+    pub action: Action,
+    /// Joint log-probability under the (unthresholded) behavior policy.
+    pub log_prob: f64,
+    /// Critic value estimate.
+    pub value: f64,
 }
 
 /// Everything needed to re-evaluate a transition during the PPO update.
@@ -139,13 +246,28 @@ impl<P: Policy> Vmr2lAgent<P> {
 
     /// Chooses an action for the environment's current state.
     ///
-    /// Takes `&mut ReschedEnv` for the incrementally-maintained
-    /// featurization ([`ReschedEnv::observe`]): the per-decision cost is
-    /// O(entities touched by the episode's migrations), not O(cluster).
+    /// Runs on the tape-free fast path with a throwaway [`InferCtx`];
+    /// callers in a loop should hold their own context and use
+    /// [`Vmr2lAgent::decide_in`] (training) or [`Vmr2lAgent::act`]
+    /// (serving/evaluation) so the arena is reused across decisions.
     ///
     /// Returns `Ok(None)` when no legal action exists (all VMs pinned or
     /// dead-ended) — callers should end the episode.
     pub fn decide<R: Rng + ?Sized>(
+        &self,
+        env: &mut ReschedEnv,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<StepDecision>> {
+        let mut ictx = InferCtx::new();
+        self.decide_in(env, &mut ictx, rng, opts)
+    }
+
+    /// [`Vmr2lAgent::decide`] on the legacy autodiff engine: every forward
+    /// builds a full gradient tape. Kept as the bit-identity reference for
+    /// `tests/fwd_equivalence.rs` and as the "old" side of the
+    /// `decide_step` bench pair; not used by any production path.
+    pub fn decide_via_graph<R: Rng + ?Sized>(
         &self,
         env: &mut ReschedEnv,
         rng: &mut R,
@@ -247,6 +369,193 @@ impl<P: Policy> Vmr2lAgent<P> {
                 }))
             }
         }
+    }
+
+    /// [`Vmr2lAgent::decide`] with a caller-owned [`InferCtx`]: the
+    /// tape-free fast path plus the full re-evaluation payload for the
+    /// PPO buffer. Bit-identical decisions to
+    /// [`Vmr2lAgent::decide_via_graph`] (same kernels, same RNG draws).
+    pub fn decide_in<R: Rng + ?Sized>(
+        &self,
+        env: &mut ReschedEnv,
+        ictx: &mut InferCtx,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<StepDecision>> {
+        // Training needs an owned observation per transition; this clone
+        // feeds `StoredObs` (the pure acting path, `act`, skips it).
+        let obs = env.observe().clone();
+        ictx.prepare(&obs);
+        let s1 = self.policy.stage1_fwd(&mut ictx.ctx, &ictx.feats, &ictx.tree);
+        let Some(act) = self.act_core(env, ictx, &s1, rng, opts)? else {
+            return Ok(None);
+        };
+        let (vm_idx, pm_idx) = (act.action.vm.0 as usize, act.action.pm.0 as usize);
+        let stored_obs = match self.mode {
+            ActionMode::TwoStage | ActionMode::Penalty => StoredObs {
+                obs,
+                vm_mask: ictx.vm_mask.clone(),
+                pm_mask: ictx.pm_mask.clone(),
+                joint_mask: None,
+            },
+            ActionMode::FullMask => StoredObs {
+                obs,
+                vm_mask: vec![true; ictx.feats.num_vms],
+                pm_mask: vec![true; ictx.feats.num_pms],
+                joint_mask: Some(ictx.joint_mask.clone()),
+            },
+        };
+        Ok(Some(StepDecision {
+            action: act.action,
+            stored_obs,
+            stored_action: StoredAction { vm_idx, pm_idx },
+            log_prob: act.log_prob,
+            value: act.value,
+            vm_probs: ictx.vm_probs.clone(),
+            pm_probs: ictx.pm_probs.clone(),
+        }))
+    }
+
+    /// Pure acting: chooses an action on the tape-free fast path without
+    /// cloning the cached observation or materializing a re-evaluation
+    /// payload. This is the serving/evaluation hot path — at steady state
+    /// the forward pass performs no heap allocation.
+    pub fn act<R: Rng + ?Sized>(
+        &self,
+        env: &mut ReschedEnv,
+        ictx: &mut InferCtx,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<ActDecision>> {
+        ictx.prepare_from_env(env);
+        let s1 = self.policy.stage1_fwd(&mut ictx.ctx, &ictx.feats, &ictx.tree);
+        self.act_core(env, ictx, &s1, rng, opts)
+    }
+
+    /// Critic value of the environment's current state on the fast path.
+    pub fn state_value_in(&self, env: &mut ReschedEnv, ictx: &mut InferCtx) -> f64 {
+        ictx.prepare_from_env(env);
+        let s1 = self.policy.stage1_fwd(&mut ictx.ctx, &ictx.feats, &ictx.tree);
+        ictx.ctx.value(s1.value).get(0, 0)
+    }
+
+    /// The action-selection tail shared by [`Vmr2lAgent::act`] and
+    /// [`Vmr2lAgent::decide_in`]: masking, (re)sampling, and log-prob
+    /// accounting over an already-computed stage-1 output. Exposed so
+    /// callers that precompute embeddings elsewhere (vmr-serve's
+    /// cross-session batched GEMM) can rejoin the decision logic.
+    ///
+    /// On return, the context's scratch buffers describe the decision:
+    /// `vm_mask`/`pm_mask` (or `joint_mask`) are the masks the sampled
+    /// distribution used, `vm_probs`/`pm_probs` the post-mask
+    /// probabilities.
+    pub fn act_core<R: Rng + ?Sized>(
+        &self,
+        env: &ReschedEnv,
+        ictx: &mut InferCtx,
+        s1: &Stage1Fwd,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<ActDecision>> {
+        let value = ictx.ctx.value(s1.value).get(0, 0);
+        match self.mode {
+            ActionMode::TwoStage | ActionMode::Penalty => {
+                let masked_stage2 = self.mode == ActionMode::TwoStage;
+                env.vm_mask_into(false, &mut ictx.vm_mask);
+                // Up to a few resamples if the chosen VM has no destination.
+                for _attempt in 0..8 {
+                    if !ictx.vm_mask.iter().any(|&b| b) {
+                        return Ok(None);
+                    }
+                    masked_softmax_bool_row(
+                        ictx.ctx.value(s1.vm_logits).row_slice(0),
+                        &ictx.vm_mask,
+                        &mut ictx.vm_probs,
+                    );
+                    let Some((vm_idx, vm_lp)) =
+                        pick(&ictx.vm_probs, opts.vm_quantile, opts.greedy, rng)
+                    else {
+                        return Ok(None);
+                    };
+                    if masked_stage2 {
+                        env.pm_mask_into(VmId(vm_idx as u32), &mut ictx.pm_mask);
+                    } else {
+                        ictx.pm_mask.clear();
+                        ictx.pm_mask.resize(env.state().num_pms(), true);
+                    }
+                    if let Some(k) = self.pm_subset_size {
+                        subsample_mask(&mut ictx.pm_mask, k, rng);
+                    }
+                    if masked_stage2 && !ictx.pm_mask.iter().any(|&b| b) {
+                        // Dead-end VM: exclude and retry under the reduced
+                        // mask (stored mask stays consistent).
+                        ictx.vm_mask[vm_idx] = false;
+                        continue;
+                    }
+                    let pm_logits = self.policy.stage2_fwd(&mut ictx.ctx, s1, &ictx.feats, vm_idx);
+                    masked_softmax_bool_row(
+                        ictx.ctx.value(pm_logits).row_slice(0),
+                        &ictx.pm_mask,
+                        &mut ictx.pm_probs,
+                    );
+                    let Some((pm_idx, pm_lp)) =
+                        pick(&ictx.pm_probs, opts.pm_quantile, opts.greedy, rng)
+                    else {
+                        return Ok(None);
+                    };
+                    return Ok(Some(ActDecision {
+                        action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
+                        log_prob: vm_lp + pm_lp,
+                        value,
+                    }));
+                }
+                Ok(None)
+            }
+            ActionMode::FullMask => {
+                let m = env.state().num_vms();
+                let n = env.state().num_pms();
+                // The joint mask costs O(M·N) legality checks — exactly the
+                // expense the paper's two-stage design avoids.
+                ictx.joint_mask.clear();
+                ictx.joint_mask.resize(m * n, false);
+                for k in 0..m {
+                    env.pm_mask_into(VmId(k as u32), &mut ictx.pm_mask);
+                    ictx.joint_mask[k * n..(k + 1) * n].copy_from_slice(&ictx.pm_mask);
+                }
+                if !ictx.joint_mask.iter().any(|&b| b) {
+                    return Ok(None);
+                }
+                let InferCtx { ctx, feats, joint_mask, vm_probs, pm_probs, .. } = ictx;
+                let joint = self.joint_logits_fwd(ctx, s1, feats);
+                let flat = ctx.reshape(joint, 1, m * n);
+                masked_softmax_bool_row(ctx.value(flat).row_slice(0), joint_mask, vm_probs);
+                pm_probs.clear();
+                let Some((idx, lp)) = pick(vm_probs, None, opts.greedy, rng) else {
+                    return Ok(None);
+                };
+                let (vm_idx, pm_idx) = (idx / n, idx % n);
+                Ok(Some(ActDecision {
+                    action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
+                    log_prob: lp,
+                    value,
+                }))
+            }
+        }
+    }
+
+    /// Tape-free joint `M × N` logits for the Full-Mask mode (mirrors
+    /// [`Vmr2lAgent::joint_logits`]).
+    fn joint_logits_fwd(&self, ctx: &mut FwdCtx, s1: &Stage1Fwd, feats: &FeatureTensors) -> FVar {
+        let m = feats.num_vms;
+        let n = feats.num_pms;
+        let vm_col = ctx.reshape(s1.vm_logits, m, 1);
+        let ones_row = ctx.full(1, n, 1.0);
+        let vm_grid = ctx.matmul(vm_col, ones_row); // M × N
+        let pm_row = self.policy.pm_logits_generic_fwd(ctx, s1, feats); // 1 × N
+        let ones_col = ctx.full(m, 1, 1.0);
+        let pm_grid = ctx.matmul(ones_col, pm_row); // M × N
+        let sum = ctx.add(vm_grid, pm_grid);
+        ctx.add(sum, s1.cross_probs)
     }
 
     /// Differentiably re-evaluates a stored transition for the PPO loss.
@@ -389,10 +698,11 @@ pub fn rollout_episode<P: Policy, R: Rng + ?Sized>(
     const MAX_ILLEGAL_RETRIES: usize = 64;
 
     env.reset();
+    let mut ictx = InferCtx::new();
     let mut plan = Vec::new();
     let mut illegal_streak = 0usize;
     while !env.is_done() {
-        let Some(decision) = agent.decide(env, rng, opts)? else {
+        let Some(decision) = agent.act(env, &mut ictx, rng, opts)? else {
             break;
         };
         match env.step(decision.action) {

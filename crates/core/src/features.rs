@@ -7,6 +7,7 @@
 //! hosted VMs the leaves; every entity also attends to itself).
 
 use vmr_nn::graph::MASK_OFF;
+use vmr_nn::infer::TreeGroups;
 use vmr_nn::tensor::Tensor;
 use vmr_sim::obs::{Observation, PM_FEAT, VM_FEAT};
 
@@ -25,26 +26,50 @@ pub struct FeatureTensors {
     pub num_vms: usize,
 }
 
+impl Default for FeatureTensors {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl FeatureTensors {
+    /// An empty instance, ready to be filled by
+    /// [`FeatureTensors::refill_from`] (the zero-allocation path).
+    pub fn empty() -> Self {
+        FeatureTensors {
+            pm: Tensor::zeros(0, PM_FEAT),
+            vm: Tensor::zeros(0, VM_FEAT),
+            vm_src_pm: Vec::new(),
+            num_pms: 0,
+            num_vms: 0,
+        }
+    }
+
     /// Converts a simulator observation (f32) into model tensors (f64).
     pub fn from_observation(obs: &Observation) -> Self {
-        let pm = Tensor::from_vec(
-            obs.num_pms,
-            PM_FEAT,
-            obs.pm_feats.iter().map(|&v| v as f64).collect(),
-        );
-        let vm = Tensor::from_vec(
-            obs.num_vms,
-            VM_FEAT,
-            obs.vm_feats.iter().map(|&v| v as f64).collect(),
-        );
-        FeatureTensors {
-            pm,
-            vm,
-            vm_src_pm: obs.vm_src_pm.clone(),
-            num_pms: obs.num_pms,
-            num_vms: obs.num_vms,
+        let mut out = Self::empty();
+        out.refill_from(obs);
+        out
+    }
+
+    /// Overwrites this instance from an observation, reusing the existing
+    /// buffers — no allocation once the buffers have grown to the cluster
+    /// size. This is the per-decision path: the agent borrows the
+    /// environment's cached [`Observation`] and refills instead of
+    /// rebuilding.
+    pub fn refill_from(&mut self, obs: &Observation) {
+        self.pm.reshape_reuse(obs.num_pms, PM_FEAT);
+        for (dst, &src) in self.pm.data_mut().iter_mut().zip(&obs.pm_feats) {
+            *dst = src as f64;
         }
+        self.vm.reshape_reuse(obs.num_vms, VM_FEAT);
+        for (dst, &src) in self.vm.data_mut().iter_mut().zip(&obs.vm_feats) {
+            *dst = src as f64;
+        }
+        self.vm_src_pm.clear();
+        self.vm_src_pm.extend_from_slice(&obs.vm_src_pm);
+        self.num_pms = obs.num_pms;
+        self.num_vms = obs.num_vms;
     }
 
     /// Builds the `(N+M) × (N+M)` additive tree mask for sparse local
@@ -85,6 +110,63 @@ impl FeatureTensors {
 /// Converts a boolean legality mask into a `1 × n` additive mask row.
 pub fn bool_mask_row(mask: &[bool]) -> Tensor {
     Tensor::row(mask.iter().map(|&ok| if ok { 0.0 } else { MASK_OFF }).collect())
+}
+
+/// The PM-tree topology as reusable CSR groups for block-sparse local
+/// attention: group `p` = `[PM_p, its hosted VMs…]`, all indices into the
+/// combined `[PM_0…PM_{N−1}, VM_0…VM_{M−1}]` sequence, ascending. The
+/// clique union equals [`FeatureTensors::tree_mask`] — the dense mask is
+/// never materialized on the inference path.
+#[derive(Debug, Clone, Default)]
+pub struct TreeIndex {
+    /// CSR groups handed to [`vmr_nn::layers::MultiHeadAttention::fwd_tree`].
+    pub groups: TreeGroups,
+    /// Scratch: per-PM member cursor.
+    cursors: Vec<usize>,
+}
+
+impl TreeIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the groups from the current featurization, reusing the
+    /// existing buffers (no allocation at steady state).
+    pub fn rebuild(&mut self, feats: &FeatureTensors) {
+        let n = feats.num_pms;
+        let m = feats.num_vms;
+        let starts = &mut self.groups.starts;
+        starts.clear();
+        starts.resize(n + 1, 0);
+        // Group sizes: the PM itself plus its hosted VMs.
+        for &pm in &feats.vm_src_pm {
+            starts[pm as usize + 1] += 1;
+        }
+        let mut acc = 0;
+        for (p, s) in starts.iter_mut().enumerate() {
+            if p > 0 {
+                acc += *s + 1; // previous group: its VMs plus the PM itself
+            }
+            *s = acc;
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&starts[..n]);
+        let members = &mut self.groups.members;
+        members.clear();
+        members.resize(n + m, 0);
+        // The PM leads its group; VMs follow in ascending index order, so
+        // each group's member list is strictly ascending.
+        for (p, cursor) in self.cursors.iter_mut().enumerate() {
+            members[*cursor] = p;
+            *cursor += 1;
+        }
+        for (k, &pm) in feats.vm_src_pm.iter().enumerate() {
+            let cursor = &mut self.cursors[pm as usize];
+            members[*cursor] = n + k;
+            *cursor += 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,12 +17,29 @@
 use rand::Rng;
 
 use vmr_nn::graph::{Graph, Var};
+use vmr_nn::infer::{FVar, FwdCtx, TreeGroups};
 use vmr_nn::layers::{FeedForward, Linear, Mlp, Module, MultiHeadAttention};
 use vmr_nn::tensor::Tensor;
 use vmr_sim::obs::{PM_FEAT, VM_FEAT};
 
 use crate::config::{ExtractorKind, ModelConfig};
 use crate::features::FeatureTensors;
+
+/// Output of the shared feature extraction + stage-1 heads on the
+/// tape-free engine (mirrors [`Stage1Out`] with arena handles).
+#[derive(Debug, Clone, Copy)]
+pub struct Stage1Fwd {
+    /// `1 × M` stage-1 (VM-selection) logits, unmasked.
+    pub vm_logits: FVar,
+    /// `N × d` final PM embeddings.
+    pub pm_embs: FVar,
+    /// `M × d` final VM embeddings.
+    pub vm_embs: FVar,
+    /// `M × N` stage-3 cross-attention probabilities from the last block.
+    pub cross_probs: FVar,
+    /// `1 × 1` critic value.
+    pub value: FVar,
+}
 
 /// Output of the shared feature extraction + stage-1 heads.
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +134,40 @@ impl SparseBlock {
         let vm_out = self.vm_ff.forward(g, vm_c);
         BlockOut { pm: pm_out, vm: vm_out, cross_probs: cross.probs }
     }
+
+    /// Tape-free forward, bit-identical to [`SparseBlock::forward`] under
+    /// the dense tree mask equivalent to `tree`. The local stage runs
+    /// block-sparse per PM-tree — the `(N+M)²` score matrix and the mask
+    /// are never materialized.
+    pub fn fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        pm: FVar,
+        vm: FVar,
+        tree: Option<&TreeGroups>,
+        want_cross_probs: bool,
+    ) -> (FVar, FVar, Option<FVar>) {
+        let n = ctx.value(pm).rows();
+        let m = ctx.value(vm).rows();
+        let (pm_l, vm_l) = match (&self.local, tree) {
+            (Some(local), Some(tree)) => {
+                let combined = ctx.vcat(pm, vm);
+                let att = local.fwd_tree(ctx, combined, tree);
+                let res = ctx.add(combined, att);
+                (ctx.rows_range(res, 0, n), ctx.rows_range(res, n, m))
+            }
+            _ => (pm, vm),
+        };
+        let (pm_att, _) = self.pm_self.fwd(ctx, pm_l, pm_l, None, false);
+        let pm_s = ctx.add(pm_l, pm_att);
+        let (vm_att, _) = self.vm_self.fwd(ctx, vm_l, vm_l, None, false);
+        let vm_s = ctx.add(vm_l, vm_att);
+        let (cross_out, cross_probs) = self.cross.fwd(ctx, vm_s, pm_s, None, want_cross_probs);
+        let vm_c = ctx.add(vm_s, cross_out);
+        let pm_out = self.pm_ff.fwd(ctx, pm_s);
+        let vm_out = self.vm_ff.fwd(ctx, vm_c);
+        (pm_out, vm_out, cross_probs)
+    }
 }
 
 impl Module for SparseBlock {
@@ -182,6 +233,21 @@ impl PmActor {
         let with_score = g.hcat(dec, score_col);
         let logits = self.out.forward(g, with_score); // N × 1
         g.transpose(logits) // 1 × N
+    }
+
+    /// Tape-free forward (bit-identical to [`PmActor::forward`]; the row
+    /// ↔ column transposes are pure reshapes in row-major layout).
+    pub fn fwd(&self, ctx: &mut FwdCtx, pm_embs: FVar, selected: FVar, score_row: FVar) -> FVar {
+        let n = ctx.value(pm_embs).rows();
+        let enc = self.enc.fwd(ctx, selected);
+        ctx.relu_assign(enc);
+        let (att, _) = self.att.fwd(ctx, pm_embs, enc, None, false);
+        let dec = ctx.add(pm_embs, att);
+        let dec = self.ff.fwd(ctx, dec);
+        let score_col = ctx.reshape(score_row, n, 1);
+        let with_score = ctx.hcat(dec, score_col);
+        let logits = self.out.fwd(ctx, with_score); // N × 1
+        ctx.reshape(logits, 1, n)
     }
 }
 
@@ -284,6 +350,121 @@ impl Vmr2lModel {
     pub fn pm_logits_generic(&self, g: &mut Graph, s1: &Stage1Out) -> Var {
         let col = self.pm_head.forward(g, s1.pm_embs); // N × 1
         g.transpose(col)
+    }
+
+    // ---- tape-free inference path ------------------------------------
+
+    /// Runs only the entity embedding networks (the first, purely
+    /// row-wise GEMM chain of stage 1) on the tape-free engine.
+    pub fn embed_fwd(&self, ctx: &mut FwdCtx, feats: &FeatureTensors) -> (FVar, FVar) {
+        let pm_in = ctx.input(&feats.pm);
+        let vm_in = ctx.input(&feats.vm);
+        (self.pm_embed.fwd(ctx, pm_in), self.vm_embed.fwd(ctx, vm_in))
+    }
+
+    /// Batched embedding for concurrent requests over *different*
+    /// clusters: the per-request PM (and VM) feature matrices are stacked
+    /// row-wise and pushed through the shared embedding MLPs as **one**
+    /// GEMM chain, then split back per request. Because every op in the
+    /// chain is row-wise (matmul, bias add, ReLU), each returned slice is
+    /// bit-identical to running [`Vmr2lModel::embed_fwd`] alone — batching
+    /// can never change a served plan.
+    pub fn embed_batch(&self, items: &[(&Tensor, &Tensor)]) -> Vec<(Tensor, Tensor)> {
+        let mut ctx = FwdCtx::new();
+        let total_pm: usize = items.iter().map(|(pm, _)| pm.rows()).sum();
+        let total_vm: usize = items.iter().map(|(_, vm)| vm.rows()).sum();
+        let pm_in = ctx.alloc(total_pm, PM_FEAT);
+        let vm_in = ctx.alloc(total_vm, VM_FEAT);
+        let (mut pr, mut vr) = (0, 0);
+        for (pm, vm) in items {
+            let d = ctx.value_mut(pm_in).data_mut();
+            d[pr * PM_FEAT..pr * PM_FEAT + pm.len()].copy_from_slice(pm.data());
+            pr += pm.rows();
+            let d = ctx.value_mut(vm_in).data_mut();
+            d[vr * VM_FEAT..vr * VM_FEAT + vm.len()].copy_from_slice(vm.data());
+            vr += vm.rows();
+        }
+        let pm_emb = self.pm_embed.fwd(&mut ctx, pm_in);
+        let vm_emb = self.vm_embed.fwd(&mut ctx, vm_in);
+        let (mut pr, mut vr) = (0, 0);
+        items
+            .iter()
+            .map(|(pm, vm)| {
+                let p = ctx.value(pm_emb).select_rows(&(pr..pr + pm.rows()).collect::<Vec<_>>());
+                let v = ctx.value(vm_emb).select_rows(&(vr..vr + vm.rows()).collect::<Vec<_>>());
+                pr += pm.rows();
+                vr += vm.rows();
+                (p, v)
+            })
+            .collect()
+    }
+
+    /// Continues stage 1 from (possibly batch-computed) embeddings:
+    /// attention blocks, stage-1 head, and critic. `tree` is required for
+    /// the sparse extractor.
+    pub fn stage1_from_embeds_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        pm_emb: FVar,
+        vm_emb: FVar,
+        tree: Option<&TreeGroups>,
+    ) -> Stage1Fwd {
+        if self.extractor == ExtractorKind::SparseAttention {
+            assert!(tree.is_some(), "sparse extractor needs the tree index");
+        }
+        let tree = (self.extractor == ExtractorKind::SparseAttention).then_some(tree).flatten();
+        let mut pm = pm_emb;
+        let mut vm = vm_emb;
+        let mut cross_probs = None;
+        for (i, block) in self.blocks.iter().enumerate() {
+            // Only the last block's cross-attention probabilities are
+            // consumed (stage-2 score injection); skip the averaging for
+            // earlier blocks.
+            let last = i + 1 == self.blocks.len();
+            let (p, v, c) = block.fwd(ctx, pm, vm, tree, last);
+            pm = p;
+            vm = v;
+            cross_probs = c.or(cross_probs);
+        }
+        let m = ctx.value(vm).rows();
+        let vm_logits_col = self.vm_head.fwd(ctx, vm); // M × 1
+        let vm_logits = ctx.reshape(vm_logits_col, 1, m);
+        let pm_pool = ctx.mean_rows(pm);
+        let vm_pool = ctx.mean_rows(vm);
+        let pooled = ctx.hcat(pm_pool, vm_pool);
+        let value = self.critic.fwd(ctx, pooled);
+        Stage1Fwd {
+            vm_logits,
+            pm_embs: pm,
+            vm_embs: vm,
+            cross_probs: cross_probs.expect("at least one block"),
+            value,
+        }
+    }
+
+    /// Full tape-free stage 1 (bit-identical to [`Vmr2lModel::stage1`]).
+    pub fn stage1_fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        feats: &FeatureTensors,
+        tree: Option<&TreeGroups>,
+    ) -> Stage1Fwd {
+        let (pm_emb, vm_emb) = self.embed_fwd(ctx, feats);
+        self.stage1_from_embeds_fwd(ctx, pm_emb, vm_emb, tree)
+    }
+
+    /// Tape-free stage 2 (bit-identical to [`Vmr2lModel::stage2`]).
+    pub fn stage2_fwd(&self, ctx: &mut FwdCtx, s1: &Stage1Fwd, vm_idx: usize) -> FVar {
+        let selected = ctx.select_row(s1.vm_embs, vm_idx);
+        let score_row = ctx.select_row(s1.cross_probs, vm_idx);
+        self.pm_actor.fwd(ctx, s1.pm_embs, selected, score_row)
+    }
+
+    /// Tape-free generic per-PM logits (Full-Mask joint action space).
+    pub fn pm_logits_generic_fwd(&self, ctx: &mut FwdCtx, s1: &Stage1Fwd) -> FVar {
+        let n = ctx.value(s1.pm_embs).rows();
+        let col = self.pm_head.fwd(ctx, s1.pm_embs); // N × 1
+        ctx.reshape(col, 1, n)
     }
 }
 

@@ -1,0 +1,123 @@
+//! Tier-1 property test: the tape-free decision path (`decide_in` /
+//! `act`) must be **bit-identical** to the legacy Graph-based path
+//! (`decide_via_graph`) — same actions, same log-probs, same values, same
+//! stored masks and probabilities — across random clusters, episode
+//! prefixes, extractor variants, and all three [`ActionMode`]s.
+//!
+//! Identity here is exact f64 equality, not tolerance: the two engines
+//! share their kernels, and any drift (a reassociated sum, a divergent
+//! softmax shortcut) shows up immediately as a differing sample.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::agent::{DecideOpts, InferCtx, Vmr2lAgent};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+
+fn env_for(seed: u64, mnl: usize) -> ReschedEnv {
+    let state = generate_mapping(&ClusterConfig::tiny(), seed).expect("mapping");
+    ReschedEnv::unconstrained(state, Objective::default(), mnl).expect("env")
+}
+
+fn agent_for(mode: ActionMode, kind: ExtractorKind, seed: u64) -> Vmr2lAgent<Vmr2lModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = ModelConfig { d_model: 16, heads: 2, blocks: 2, d_ff: 24, critic_hidden: 12 };
+    Vmr2lAgent::new(Vmr2lModel::new(cfg, kind, &mut rng), mode)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decide_paths_bit_identical(
+        mode_idx in 0usize..3,
+        sparse in proptest::bool::ANY,
+        cluster_seed in 0u64..500,
+        model_seed in 0u64..500,
+        rng_seed in 0u64..500,
+        greedy in proptest::bool::ANY,
+        warm_steps in 0usize..3,
+    ) {
+        let mode = [ActionMode::TwoStage, ActionMode::Penalty, ActionMode::FullMask][mode_idx];
+        let kind = if sparse {
+            ExtractorKind::SparseAttention
+        } else {
+            ExtractorKind::VanillaAttention
+        };
+        let agent = agent_for(mode, kind, model_seed);
+        let opts = DecideOpts { greedy, ..Default::default() };
+        let mut ictx = InferCtx::new();
+
+        // Two identical environments, advanced in lockstep so the engines
+        // see mid-episode (incrementally repaired) observations too.
+        let mut env_a = env_for(cluster_seed, 6);
+        let mut env_b = env_for(cluster_seed, 6);
+        let mut rng_a = StdRng::seed_from_u64(rng_seed);
+        let mut rng_b = StdRng::seed_from_u64(rng_seed);
+
+        for step in 0..=warm_steps {
+            if env_a.is_done() {
+                break;
+            }
+            let via_graph = agent.decide_via_graph(&mut env_a, &mut rng_a, &opts).unwrap();
+            let via_fwd = agent.decide_in(&mut env_b, &mut ictx, &mut rng_b, &opts).unwrap();
+            match (via_graph, via_fwd) {
+                (None, None) => break,
+                (Some(g), Some(f)) => {
+                    prop_assert_eq!(g.action, f.action, "step {}", step);
+                    prop_assert_eq!(g.stored_action, f.stored_action);
+                    prop_assert_eq!(g.log_prob, f.log_prob, "log-probs must be bitwise equal");
+                    prop_assert_eq!(g.value, f.value, "values must be bitwise equal");
+                    prop_assert_eq!(&g.vm_probs, &f.vm_probs);
+                    prop_assert_eq!(&g.pm_probs, &f.pm_probs);
+                    prop_assert_eq!(&g.stored_obs.vm_mask, &f.stored_obs.vm_mask);
+                    prop_assert_eq!(&g.stored_obs.pm_mask, &f.stored_obs.pm_mask);
+                    prop_assert_eq!(&g.stored_obs.joint_mask, &f.stored_obs.joint_mask);
+                    prop_assert_eq!(&g.stored_obs.obs, &f.stored_obs.obs);
+                    // Step both environments identically; unmasked modes
+                    // may propose illegal actions — skip the step then.
+                    if env_a.action_legal(g.action).is_ok() {
+                        env_a.step(g.action).unwrap();
+                        env_b.step(f.action).unwrap();
+                    }
+                }
+                (g, f) => {
+                    prop_assert!(false, "one path decided, the other did not: {:?} vs {:?}",
+                        g.map(|d| d.action), f.map(|d| d.action));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn act_matches_decide(
+        cluster_seed in 0u64..500,
+        model_seed in 0u64..500,
+        rng_seed in 0u64..500,
+    ) {
+        // The lightweight acting path must sample exactly like decide_in.
+        let agent = agent_for(ActionMode::TwoStage, ExtractorKind::SparseAttention, model_seed);
+        let opts = DecideOpts::default();
+        let mut env_a = env_for(cluster_seed, 4);
+        let mut env_b = env_for(cluster_seed, 4);
+        let mut ictx_a = InferCtx::new();
+        let mut ictx_b = InferCtx::new();
+        let mut rng_a = StdRng::seed_from_u64(rng_seed);
+        let mut rng_b = StdRng::seed_from_u64(rng_seed);
+        let full = agent.decide_in(&mut env_a, &mut ictx_a, &mut rng_a, &opts).unwrap();
+        let lite = agent.act(&mut env_b, &mut ictx_b, &mut rng_b, &opts).unwrap();
+        match (full, lite) {
+            (None, None) => {}
+            (Some(d), Some(a)) => {
+                prop_assert_eq!(d.action, a.action);
+                prop_assert_eq!(d.log_prob, a.log_prob);
+                prop_assert_eq!(d.value, a.value);
+            }
+            (d, a) => prop_assert!(false, "mismatch: {:?} vs {:?}", d.map(|x| x.action), a),
+        }
+    }
+}

@@ -129,6 +129,15 @@ impl Graph {
         self.push(v, Op::MatMul(a, b))
     }
 
+    /// Matrix product whose left operand is known to be mostly exact
+    /// zeros (masked attention probabilities): the forward pass skips
+    /// zero multiplicands, the backward rule is ordinary matmul.
+    /// Bit-identical to [`Graph::matmul`] for finite operands.
+    pub fn matmul_sparse(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul_sparse(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
     /// Elementwise sum (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
@@ -221,10 +230,13 @@ impl Graph {
         self.push(v, Op::MaskedSoftmaxRows(x))
     }
 
-    /// Row-wise softmax without masking.
+    /// Row-wise softmax without masking (the kernels' unmasked fast
+    /// path — no zero mask is materialized).
     pub fn softmax_rows(&mut self, x: Var) -> Var {
-        let zeros = Tensor::zeros(self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
-        self.masked_softmax_rows(x, &zeros)
+        let xv = &self.nodes[x.0].value;
+        let mut out = Tensor::zeros(xv.rows(), xv.cols());
+        crate::kernels::masked_softmax_into(xv, None, &mut out);
+        self.push(out, Op::MaskedSoftmaxRows(x))
     }
 
     /// Row-wise log-softmax with an additive mask.
@@ -552,42 +564,18 @@ impl Graph {
     }
 }
 
-/// Additive-mask entries at or below this threshold are treated as fully
-/// masked (their gradient is forced to zero, their probability to ~0).
-pub const MASK_NEG_THRESHOLD: f64 = -1.0e20;
-
-/// The additive mask value used to exclude positions.
-pub const MASK_OFF: f64 = -1.0e30;
+pub use crate::kernels::{MASK_NEG_THRESHOLD, MASK_OFF};
 
 fn masked_softmax(x: &Tensor, mask: &Tensor) -> Tensor {
-    assert_eq!(x.rows(), mask.rows(), "mask row mismatch");
-    assert_eq!(x.cols(), mask.cols(), "mask col mismatch");
     let mut out = Tensor::zeros(x.rows(), x.cols());
-    for r in 0..x.rows() {
-        let mut mx = f64::NEG_INFINITY;
-        for c in 0..x.cols() {
-            mx = mx.max(x.get(r, c) + mask.get(r, c));
-        }
-        if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD {
-            // Fully masked row: emit zeros rather than NaN.
-            continue;
-        }
-        let mut z = 0.0;
-        for c in 0..x.cols() {
-            let e = (x.get(r, c) + mask.get(r, c) - mx).exp();
-            out.set(r, c, e);
-            z += e;
-        }
-        for c in 0..x.cols() {
-            out.set(r, c, out.get(r, c) / z);
-        }
-    }
+    crate::kernels::masked_softmax_into(x, Some(mask), &mut out);
     out
 }
 
 fn masked_log_softmax(x: &Tensor, mask: &Tensor) -> Tensor {
-    let p = masked_softmax(x, mask);
-    p.map(|v| if v > 0.0 { v.ln() } else { MASK_OFF })
+    let mut out = Tensor::zeros(x.rows(), x.cols());
+    crate::kernels::masked_log_softmax_into(x, Some(mask), &mut out);
+    out
 }
 
 fn softmax_backward(y: &Tensor, g: &Tensor) -> Tensor {
@@ -603,16 +591,7 @@ fn softmax_backward(y: &Tensor, g: &Tensor) -> Tensor {
 
 fn layer_norm(x: &Tensor, eps: f64) -> Tensor {
     let mut out = Tensor::zeros(x.rows(), x.cols());
-    let d = x.cols() as f64;
-    for r in 0..x.rows() {
-        let row = x.row_slice(r);
-        let mu: f64 = row.iter().sum::<f64>() / d;
-        let var: f64 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / d;
-        let sigma = (var + eps).sqrt();
-        for c in 0..x.cols() {
-            out.set(r, c, (x.get(r, c) - mu) / sigma);
-        }
-    }
+    crate::kernels::layer_norm_into(x, eps, &mut out);
     out
 }
 

@@ -1,0 +1,468 @@
+//! Tape-free forward evaluation with an arena of reusable scratch tensors.
+//!
+//! [`FwdCtx`] is the inference counterpart of [`crate::graph::Graph`]: it
+//! evaluates the same layer stacks through the same [`crate::kernels`],
+//! but records nothing — no ops, no parameter clones, no gradient
+//! bookkeeping. Every intermediate lives in an arena slot that is reused
+//! on the next [`FwdCtx::reset`], so a steady-state forward pass performs
+//! **zero heap allocations** (enforced by `tests/alloc_free.rs` with a
+//! counting allocator).
+//!
+//! Outputs are bit-identical to the `Graph` path by construction: both
+//! engines call the same kernels, and where this engine takes a shortcut
+//! (the transpose-free `A·Bᵀ` score kernel, block-sparse tree attention)
+//! the kernel-level accumulation order is provably unchanged (see
+//! `crates/nn/src/kernels.rs` and the `prop_fwdctx` suite).
+
+use crate::kernels;
+use crate::tensor::Tensor;
+
+/// Handle to an arena slot. Only valid for the [`FwdCtx`] that issued it,
+/// until the next [`FwdCtx::reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FVar(usize);
+
+/// Tree topology for block-sparse local attention, in CSR form: group `g`
+/// owns `members[starts[g]..starts[g + 1]]`, each a row index into the
+/// combined `[PMs ++ VMs]` sequence, strictly ascending within a group.
+///
+/// Running attention per group is bit-identical to dense attention under
+/// the equivalent additive tree mask: masked positions contribute an
+/// exact `0.0` probability, which drops out of every sum.
+#[derive(Debug, Clone, Default)]
+pub struct TreeGroups {
+    /// CSR offsets, `groups + 1` entries.
+    pub starts: Vec<usize>,
+    /// Concatenated member row indices.
+    pub members: Vec<usize>,
+}
+
+impl TreeGroups {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// True when no groups are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Member rows of group `g`.
+    pub fn group(&self, g: usize) -> &[usize] {
+        &self.members[self.starts[g]..self.starts[g + 1]]
+    }
+}
+
+/// The forward-only evaluation context.
+#[derive(Debug, Default)]
+pub struct FwdCtx {
+    slots: Vec<Tensor>,
+    cursor: usize,
+    /// Reusable flat scratch (per-tree attention scores).
+    scratch: Vec<f64>,
+}
+
+impl FwdCtx {
+    /// Empty context.
+    pub fn new() -> Self {
+        FwdCtx::default()
+    }
+
+    /// Rewinds the arena; existing slot buffers are kept for reuse.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Number of live slots since the last reset.
+    pub fn live(&self) -> usize {
+        self.cursor
+    }
+
+    /// Allocates (or reuses) a slot shaped `rows × cols`. Contents are
+    /// unspecified; every op fully overwrites its output.
+    pub fn alloc(&mut self, rows: usize, cols: usize) -> FVar {
+        if self.cursor == self.slots.len() {
+            self.slots.push(Tensor::zeros(rows, cols));
+        } else {
+            self.slots[self.cursor].reshape_reuse(rows, cols);
+        }
+        let v = FVar(self.cursor);
+        self.cursor += 1;
+        v
+    }
+
+    /// The tensor behind a slot.
+    pub fn value(&self, v: FVar) -> &Tensor {
+        &self.slots[v.0]
+    }
+
+    /// Mutable access to a slot (mask writing, in-place tweaks).
+    pub fn value_mut(&mut self, v: FVar) -> &mut Tensor {
+        &mut self.slots[v.0]
+    }
+
+    /// Splits the arena into the inputs (indices `< out`) and the output.
+    fn split(&mut self, out: FVar) -> (&[Tensor], &mut Tensor) {
+        let (head, tail) = self.slots.split_at_mut(out.0);
+        (head, &mut tail[0])
+    }
+
+    /// Copies an external tensor into the arena.
+    pub fn input(&mut self, t: &Tensor) -> FVar {
+        let v = self.alloc(t.rows(), t.cols());
+        self.slots[v.0].copy_from(t);
+        v
+    }
+
+    /// Copies a flat slice into a `1 × n` slot.
+    pub fn input_row(&mut self, data: &[f64]) -> FVar {
+        let v = self.alloc(1, data.len());
+        self.slots[v.0].data_mut().copy_from_slice(data);
+        v
+    }
+
+    /// Constant-filled slot.
+    pub fn full(&mut self, rows: usize, cols: usize, value: f64) -> FVar {
+        let v = self.alloc(rows, cols);
+        self.slots[v.0].data_mut().fill(value);
+        v
+    }
+
+    /// `x · W + b` (the [`crate::layers::Linear`] forward).
+    pub fn linear(&mut self, x: FVar, w: &Tensor, b: &Tensor) -> FVar {
+        let out = self.alloc(self.slots[x.0].rows(), w.cols());
+        let (head, o) = self.split(out);
+        kernels::matmul_into(&head[x.0], w, o);
+        debug_assert_eq!(b.rows(), 1, "bias must be a row");
+        let n = o.cols();
+        for r in 0..o.rows() {
+            let row = &mut o.data_mut()[r * n..(r + 1) * n];
+            for (ov, &bv) in row.iter_mut().zip(b.data()) {
+                *ov += bv;
+            }
+        }
+        out
+    }
+
+    /// Matrix product of two slots.
+    pub fn matmul(&mut self, a: FVar, b: FVar) -> FVar {
+        let out = self.alloc(self.slots[a.0].rows(), self.slots[b.0].cols());
+        let (head, o) = self.split(out);
+        kernels::matmul_into(&head[a.0], &head[b.0], o);
+        out
+    }
+
+    /// `a · bᵀ` without materializing the transpose.
+    pub fn matmul_nt(&mut self, a: FVar, b: FVar) -> FVar {
+        self.matmul_nt_scaled(a, b, 1.0)
+    }
+
+    /// `(a · bᵀ) * alpha` — the attention-score kernel with the head
+    /// scale fused into the store.
+    pub fn matmul_nt_scaled(&mut self, a: FVar, b: FVar, alpha: f64) -> FVar {
+        let out = self.alloc(self.slots[a.0].rows(), self.slots[b.0].rows());
+        let (head, o) = self.split(out);
+        kernels::matmul_nt_scaled_into(&head[a.0], &head[b.0], alpha, o);
+        out
+    }
+
+    /// Sparse-aware matrix product (left operand mostly exact zeros).
+    pub fn matmul_sparse(&mut self, a: FVar, b: FVar) -> FVar {
+        let out = self.alloc(self.slots[a.0].rows(), self.slots[b.0].cols());
+        let (head, o) = self.split(out);
+        kernels::matmul_sparse_into(&head[a.0], &head[b.0], o);
+        out
+    }
+
+    /// Elementwise sum into a fresh slot.
+    pub fn add(&mut self, a: FVar, b: FVar) -> FVar {
+        let out = self.alloc(self.slots[a.0].rows(), self.slots[a.0].cols());
+        let (head, o) = self.split(out);
+        let (av, bv) = (&head[a.0], &head[b.0]);
+        assert_eq!((av.rows(), av.cols()), (bv.rows(), bv.cols()), "add shape mismatch");
+        for ((ov, &x), &y) in o.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+            *ov = x + y;
+        }
+        out
+    }
+
+    /// `dst += src` in place.
+    pub fn add_assign(&mut self, dst: FVar, src: FVar) {
+        assert_ne!(dst.0, src.0, "add_assign needs distinct slots");
+        let (lo, hi) = (dst.0.min(src.0), dst.0.max(src.0));
+        let (head, tail) = self.slots.split_at_mut(hi);
+        let (d, s) =
+            if dst.0 < src.0 { (&mut head[lo], &tail[0]) } else { (&mut tail[0], &head[lo]) };
+        assert_eq!((d.rows(), d.cols()), (s.rows(), s.cols()), "add_assign shape mismatch");
+        for (dv, &sv) in d.data_mut().iter_mut().zip(s.data()) {
+            *dv += sv;
+        }
+    }
+
+    /// Scalar multiply in place.
+    pub fn scale_assign(&mut self, x: FVar, alpha: f64) {
+        for v in self.slots[x.0].data_mut() {
+            *v *= alpha;
+        }
+    }
+
+    /// ReLU in place.
+    pub fn relu_assign(&mut self, x: FVar) {
+        for v in self.slots[x.0].data_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Row-wise masked softmax (additive mask tensor, `None` = unmasked).
+    pub fn masked_softmax(&mut self, x: FVar, mask: Option<&Tensor>) -> FVar {
+        let out = self.alloc(self.slots[x.0].rows(), self.slots[x.0].cols());
+        let (head, o) = self.split(out);
+        kernels::masked_softmax_into(&head[x.0], mask, o);
+        out
+    }
+
+    /// Layer norm with affine parameters (the [`crate::layers::LayerNorm`]
+    /// forward): standardize, then `· gamma`, then `+ beta`.
+    pub fn layer_norm_affine(&mut self, x: FVar, gamma: &Tensor, beta: &Tensor, eps: f64) -> FVar {
+        let out = self.alloc(self.slots[x.0].rows(), self.slots[x.0].cols());
+        let (head, o) = self.split(out);
+        kernels::layer_norm_into(&head[x.0], eps, o);
+        let n = o.cols();
+        for r in 0..o.rows() {
+            let row = &mut o.data_mut()[r * n..(r + 1) * n];
+            for ((ov, &g), &b) in row.iter_mut().zip(gamma.data()).zip(beta.data()) {
+                *ov = *ov * g + b;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean over rows (`1 × d` pooling).
+    pub fn mean_rows(&mut self, x: FVar) -> FVar {
+        let out = self.alloc(1, self.slots[x.0].cols());
+        let (head, o) = self.split(out);
+        kernels::mean_rows_into(&head[x.0], o);
+        out
+    }
+
+    /// Horizontal concatenation.
+    pub fn hcat(&mut self, a: FVar, b: FVar) -> FVar {
+        let (ar, ac) = (self.slots[a.0].rows(), self.slots[a.0].cols());
+        let bc = self.slots[b.0].cols();
+        assert_eq!(ar, self.slots[b.0].rows(), "hcat row mismatch");
+        let out = self.alloc(ar, ac + bc);
+        let (head, o) = self.split(out);
+        for r in 0..ar {
+            let dst = &mut o.data_mut()[r * (ac + bc)..(r + 1) * (ac + bc)];
+            dst[..ac].copy_from_slice(head[a.0].row_slice(r));
+            dst[ac..].copy_from_slice(head[b.0].row_slice(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation.
+    pub fn vcat(&mut self, a: FVar, b: FVar) -> FVar {
+        let (ar, c) = (self.slots[a.0].rows(), self.slots[a.0].cols());
+        let br = self.slots[b.0].rows();
+        assert_eq!(c, self.slots[b.0].cols(), "vcat col mismatch");
+        let out = self.alloc(ar + br, c);
+        let (head, o) = self.split(out);
+        o.data_mut()[..ar * c].copy_from_slice(head[a.0].data());
+        o.data_mut()[ar * c..].copy_from_slice(head[b.0].data());
+        out
+    }
+
+    /// Copies a contiguous block of rows into a fresh slot.
+    pub fn rows_range(&mut self, x: FVar, start: usize, len: usize) -> FVar {
+        let c = self.slots[x.0].cols();
+        assert!(start + len <= self.slots[x.0].rows(), "row range out of bounds");
+        let out = self.alloc(len, c);
+        let (head, o) = self.split(out);
+        o.data_mut().copy_from_slice(&head[x.0].data()[start * c..(start + len) * c]);
+        out
+    }
+
+    /// Copies one row into a fresh `1 × d` slot.
+    pub fn select_row(&mut self, x: FVar, idx: usize) -> FVar {
+        self.rows_range(x, idx, 1)
+    }
+
+    /// Copies a contiguous block of columns into a fresh slot.
+    pub fn slice_cols(&mut self, x: FVar, start: usize, len: usize) -> FVar {
+        let (r, c) = (self.slots[x.0].rows(), self.slots[x.0].cols());
+        assert!(start + len <= c, "column slice out of bounds");
+        let out = self.alloc(r, len);
+        let (head, o) = self.split(out);
+        for i in 0..r {
+            o.data_mut()[i * len..(i + 1) * len]
+                .copy_from_slice(&head[x.0].row_slice(i)[start..start + len]);
+        }
+        out
+    }
+
+    /// Writes `src` into columns `[col_start, col_start + src.cols)` of
+    /// `dst` (head-concatenation without the intermediate copies).
+    pub fn write_cols(&mut self, dst: FVar, src: FVar, col_start: usize) {
+        assert_ne!(dst.0, src.0, "write_cols needs distinct slots");
+        let (lo, hi) = (dst.0.min(src.0), dst.0.max(src.0));
+        let (head, tail) = self.slots.split_at_mut(hi);
+        let (d, s) =
+            if dst.0 < src.0 { (&mut head[lo], &tail[0]) } else { (&mut tail[0], &head[lo]) };
+        assert_eq!(d.rows(), s.rows(), "write_cols row mismatch");
+        let (dc, sc) = (d.cols(), s.cols());
+        assert!(col_start + sc <= dc, "write_cols out of bounds");
+        for r in 0..s.rows() {
+            d.data_mut()[r * dc + col_start..r * dc + col_start + sc]
+                .copy_from_slice(s.row_slice(r));
+        }
+    }
+
+    /// Same data, new shape (row-major order preserved).
+    pub fn reshape(&mut self, x: FVar, rows: usize, cols: usize) -> FVar {
+        assert_eq!(self.slots[x.0].len(), rows * cols, "reshape element count mismatch");
+        let out = self.alloc(rows, cols);
+        let (head, o) = self.split(out);
+        o.data_mut().copy_from_slice(head[x.0].data());
+        out
+    }
+
+    /// Fused unmasked single-head attention (`softmax(q·kᵀ·scale)·v`)
+    /// through a cache-resident score tile — no n×n score or probability
+    /// matrix is ever materialized. Bit-identical to the unfused kernel
+    /// chain (see [`kernels::attention_head_into`]).
+    pub fn attention_head(&mut self, q: FVar, k: FVar, v: FVar, scale: f64) -> FVar {
+        let (m, dh) = (self.slots[q.0].rows(), self.slots[q.0].cols());
+        let out = self.alloc(m, dh);
+        let FwdCtx { slots, scratch, .. } = self;
+        let (head, tail) = slots.split_at_mut(out.0);
+        kernels::attention_head_into(
+            &head[q.0],
+            &head[k.0],
+            &head[v.0],
+            scale,
+            scratch,
+            &mut tail[0],
+        );
+        out
+    }
+
+    /// Block-sparse multi-head attention over a combined sequence whose
+    /// attention pattern is the union of the cliques in `groups` (the
+    /// paper's tree-local stage). `q_all`/`k_all`/`v_all` are the fully
+    /// projected `S × d_model` matrices; the result is the concatenated
+    /// per-head output (pre-`W_o`), rows outside every group untouched —
+    /// callers must ensure groups cover all rows (every entity is in its
+    /// host tree).
+    ///
+    /// Bit-identical to dense attention under the equivalent additive
+    /// mask: per row, the max/sum/product accumulations visit exactly the
+    /// unmasked entries in the same ascending order, and masked entries
+    /// contribute exact zeros.
+    pub fn tree_attention(
+        &mut self,
+        q_all: FVar,
+        k_all: FVar,
+        v_all: FVar,
+        heads: usize,
+        scale: f64,
+        groups: &TreeGroups,
+    ) -> FVar {
+        let s_rows = self.slots[q_all.0].rows();
+        let d_model = self.slots[q_all.0].cols();
+        let dh = d_model / heads;
+        let out = self.alloc(s_rows, d_model);
+        let FwdCtx { slots, scratch, .. } = self;
+        let (head_slots, tail) = slots.split_at_mut(out.0);
+        let o = &mut tail[0];
+        o.data_mut().fill(0.0);
+        let (q, k, v) = (&head_slots[q_all.0], &head_slots[k_all.0], &head_slots[v_all.0]);
+        for g in 0..groups.len() {
+            let members = groups.group(g);
+            let t = members.len();
+            if t == 0 {
+                continue;
+            }
+            scratch.clear();
+            scratch.resize(t * t, 0.0);
+            for h in 0..heads {
+                let col = h * dh;
+                // Scores: scaled dot products between member projections.
+                for (i, &a) in members.iter().enumerate() {
+                    let qa = &q.row_slice(a)[col..col + dh];
+                    for (j, &b) in members.iter().enumerate() {
+                        let kb = &k.row_slice(b)[col..col + dh];
+                        let mut acc = 0.0;
+                        for (&x, &y) in qa.iter().zip(kb) {
+                            acc += x * y;
+                        }
+                        scratch[i * t + j] = acc * scale;
+                    }
+                }
+                // Softmax each member row in place (the shared masked-path
+                // row flavor — same guard, same sequential sum as the
+                // dense masked kernel).
+                for i in 0..t {
+                    kernels::softmax_row_seq(&mut scratch[i * t..(i + 1) * t]);
+                }
+                // Output rows: probability-weighted sums of member values,
+                // ascending member order (== zero-skip over the dense row).
+                for (i, &a) in members.iter().enumerate() {
+                    let o_cols = o.cols();
+                    let o_row = &mut o.data_mut()[a * o_cols + col..a * o_cols + col + dh];
+                    for (j, &b) in members.iter().enumerate() {
+                        let p = scratch[i * t + j];
+                        if p == 0.0 {
+                            continue;
+                        }
+                        let vb = &v.row_slice(b)[col..col + dh];
+                        for (ov, &vv) in o_row.iter_mut().zip(vb) {
+                            *ov += p * vv;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_reuses_slots_across_resets() {
+        let mut ctx = FwdCtx::new();
+        let a = ctx.input(&Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = ctx.input(&Tensor::from_vec(2, 2, vec![0.5, 0.0, 0.0, 0.5]));
+        let c = ctx.matmul(a, b);
+        assert_eq!(ctx.value(c).data(), &[0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(ctx.live(), 3);
+        ctx.reset();
+        let a2 = ctx.input(&Tensor::from_vec(1, 3, vec![1.0, -1.0, 2.0]));
+        assert_eq!(a2, FVar(0), "slots are reissued after reset");
+        assert_eq!(ctx.value(a2).cols(), 3, "slot reshaped in place");
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let mut ctx = FwdCtx::new();
+        let w = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        let b = Tensor::row(vec![10.0, 20.0]);
+        let x = ctx.input(&Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        let y = ctx.linear(x, &w, &b);
+        assert_eq!(ctx.value(y).data(), &[13.0, 28.0]);
+    }
+
+    #[test]
+    fn write_cols_assembles_heads() {
+        let mut ctx = FwdCtx::new();
+        let dst = ctx.full(2, 4, 0.0);
+        let left = ctx.input(&Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let right = ctx.input(&Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        ctx.write_cols(dst, left, 0);
+        ctx.write_cols(dst, right, 2);
+        assert_eq!(ctx.value(dst).data(), &[1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0]);
+    }
+}

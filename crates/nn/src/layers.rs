@@ -8,6 +8,7 @@
 use rand::Rng;
 
 use crate::graph::{Graph, Var};
+use crate::infer::{FVar, FwdCtx, TreeGroups};
 use crate::tensor::Tensor;
 
 /// Anything holding named parameters.
@@ -65,6 +66,11 @@ impl Linear {
         let xw = g.matmul(x, w);
         g.add_row(xw, b)
     }
+
+    /// Tape-free forward (bit-identical to [`Linear::forward`]).
+    pub fn fwd(&self, ctx: &mut FwdCtx, x: FVar) -> FVar {
+        ctx.linear(x, &self.w, &self.b)
+    }
 }
 
 impl Module for Linear {
@@ -106,6 +112,11 @@ impl LayerNorm {
         let beta = g.param(&format!("{}.beta", self.name), &self.beta);
         let scaled = g.mul_row(normed, gamma);
         g.add_row(scaled, beta)
+    }
+
+    /// Tape-free forward (bit-identical to [`LayerNorm::forward`]).
+    pub fn fwd(&self, ctx: &mut FwdCtx, x: FVar) -> FVar {
+        ctx.layer_norm_affine(x, &self.gamma, &self.beta, self.eps)
     }
 }
 
@@ -160,6 +171,19 @@ impl Mlp {
             h = l.forward(g, h);
             if i + 1 < n || self.activate_last {
                 h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Tape-free forward (bit-identical to [`Mlp::forward`]).
+    pub fn fwd(&self, ctx: &mut FwdCtx, x: FVar) -> FVar {
+        let n = self.layers.len();
+        let mut h = x;
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.fwd(ctx, h);
+            if i + 1 < n || self.activate_last {
+                ctx.relu_assign(h);
             }
         }
         h
@@ -232,16 +256,11 @@ impl MultiHeadAttention {
         keys_values: Var,
         mask: Option<&Tensor>,
     ) -> AttentionOut {
-        let nq = g.value(query).rows();
-        let nk = g.value(keys_values).rows();
         let dh = self.d_model / self.heads;
         let scale = 1.0 / (dh as f64).sqrt();
         let q_all = self.wq.forward(g, query);
         let k_all = self.wk.forward(g, keys_values);
         let v_all = self.wv.forward(g, keys_values);
-        let zero_mask = Tensor::zeros(nq, nk);
-        let mask = mask.unwrap_or(&zero_mask);
-
         let mut head_outs: Option<Var> = None;
         let mut probs_sum: Option<Var> = None;
         for h in 0..self.heads {
@@ -251,8 +270,13 @@ impl MultiHeadAttention {
             let kt = g.transpose(k);
             let scores = g.matmul(q, kt);
             let scores = g.scale(scores, scale);
-            let probs = g.masked_softmax_rows(scores, mask);
-            let out = g.matmul(probs, v);
+            let probs = match mask {
+                Some(m) => g.masked_softmax_rows(scores, m),
+                None => g.softmax_rows(scores),
+            };
+            // Masked probabilities are mostly exact zeros; the sparse
+            // kernel is bit-identical and skips them.
+            let out = if mask.is_some() { g.matmul_sparse(probs, v) } else { g.matmul(probs, v) };
             head_outs = Some(match head_outs {
                 Some(acc) => g.hcat(acc, out),
                 None => out,
@@ -266,6 +290,74 @@ impl MultiHeadAttention {
         let out = self.wo.forward(g, concat);
         let probs = g.scale(probs_sum.expect("at least one head"), 1.0 / self.heads as f64);
         AttentionOut { out, probs }
+    }
+
+    /// Tape-free forward, bit-identical to [`MultiHeadAttention::forward`].
+    /// Scores are computed with the transpose-free `Q·Kᵀ` kernel; the
+    /// head-averaged probabilities are only materialized when
+    /// `want_probs` is set (the VM→PM cross stage needs them, the other
+    /// stages discard them).
+    pub fn fwd(
+        &self,
+        ctx: &mut FwdCtx,
+        query: FVar,
+        keys_values: FVar,
+        mask: Option<&Tensor>,
+        want_probs: bool,
+    ) -> (FVar, Option<FVar>) {
+        let nq = ctx.value(query).rows();
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let q_all = self.wq.fwd(ctx, query);
+        let k_all = self.wk.fwd(ctx, keys_values);
+        let v_all = self.wv.fwd(ctx, keys_values);
+        let concat = ctx.alloc(nq, self.d_model);
+        let mut probs_avg: Option<FVar> = None;
+        for h in 0..self.heads {
+            let q = ctx.slice_cols(q_all, h * dh, dh);
+            let k = ctx.slice_cols(k_all, h * dh, dh);
+            let v = ctx.slice_cols(v_all, h * dh, dh);
+            if mask.is_none() && !want_probs && dh <= 16 {
+                // Self-attention stages discard their probabilities: run
+                // the fused tiled kernel and never materialize the n×n
+                // score/probability matrices.
+                let out = ctx.attention_head(q, k, v, scale);
+                ctx.write_cols(concat, out, h * dh);
+                continue;
+            }
+            let scores = ctx.matmul_nt_scaled(q, k, scale);
+            let probs = ctx.masked_softmax(scores, mask);
+            let out =
+                if mask.is_some() { ctx.matmul_sparse(probs, v) } else { ctx.matmul(probs, v) };
+            ctx.write_cols(concat, out, h * dh);
+            if want_probs {
+                match probs_avg {
+                    Some(acc) => ctx.add_assign(acc, probs),
+                    None => probs_avg = Some(probs),
+                }
+            }
+        }
+        if let Some(acc) = probs_avg {
+            ctx.scale_assign(acc, 1.0 / self.heads as f64);
+        }
+        let out = self.wo.fwd(ctx, concat);
+        (out, probs_avg)
+    }
+
+    /// Tape-free block-sparse forward for tree-local self-attention:
+    /// bit-identical to [`MultiHeadAttention::forward`] under the
+    /// equivalent additive tree mask, but O(Σ tree²·d) instead of
+    /// O((N+M)²·d) — the dense score matrix and the mask are never
+    /// materialized. Probabilities are not produced (the local stage
+    /// discards them).
+    pub fn fwd_tree(&self, ctx: &mut FwdCtx, x: FVar, groups: &TreeGroups) -> FVar {
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let q_all = self.wq.fwd(ctx, x);
+        let k_all = self.wk.fwd(ctx, x);
+        let v_all = self.wv.fwd(ctx, x);
+        let concat = ctx.tree_attention(q_all, k_all, v_all, self.heads, scale, groups);
+        self.wo.fwd(ctx, concat)
     }
 }
 
@@ -314,6 +406,15 @@ impl FeedForward {
         let h = self.lin2.forward(g, h);
         let res = g.add(x, h);
         self.norm.forward(g, res)
+    }
+
+    /// Tape-free forward (bit-identical to [`FeedForward::forward`]).
+    pub fn fwd(&self, ctx: &mut FwdCtx, x: FVar) -> FVar {
+        let h = self.lin1.fwd(ctx, x);
+        ctx.relu_assign(h);
+        let h = self.lin2.fwd(ctx, h);
+        let res = ctx.add(x, h);
+        self.norm.fwd(ctx, res)
     }
 }
 

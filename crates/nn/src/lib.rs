@@ -49,6 +49,8 @@
 pub mod adapter;
 pub mod checkpoint;
 pub mod graph;
+pub mod infer;
+pub mod kernels;
 pub mod layers;
 pub mod lora;
 pub mod optim;
@@ -57,6 +59,7 @@ pub mod tensor;
 pub use adapter::Adapter;
 pub use checkpoint::Checkpoint;
 pub use graph::{Graph, Var, MASK_OFF};
+pub use infer::{FVar, FwdCtx, TreeGroups};
 pub use layers::{AttentionOut, FeedForward, LayerNorm, Linear, Mlp, Module, MultiHeadAttention};
 pub use lora::LoraLinear;
 pub use optim::{Adam, AdamConfig};

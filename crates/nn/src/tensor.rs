@@ -105,40 +105,58 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` (dense).
+    ///
+    /// Dense inputs take the branch-free i-k-j kernel; matrices that are
+    /// known to be mostly exact zeros (masked attention probabilities)
+    /// should use [`Tensor::matmul_sparse`] instead — the per-element
+    /// zero test that used to live here pays real cost on dense weight
+    /// matrices (see the `policy_forward/matmul_*` benches).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0; m * n];
-        // i-k-j order: streams through `other` rows for cache friendliness.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor { rows: m, cols: n, data: out }
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        crate::kernels::matmul_into(self, other, &mut out);
+        out
     }
 
-    /// Transpose.
+    /// Matrix product `self · other` skipping exact-zero multiplicands of
+    /// `self`. Bit-identical to [`Tensor::matmul`] when `other` is finite;
+    /// faster only when `self` is genuinely sparse.
+    pub fn matmul_sparse(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        crate::kernels::matmul_sparse_into(self, other, &mut out);
+        out
+    }
+
+    /// Transpose (cache-blocked).
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        crate::kernels::transpose_into(self, &mut out);
         out
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the existing buffer.
+    /// New elements (if the tensor grows) are zero; no allocation happens
+    /// while `rows * cols` fits the buffer's capacity. The prior contents
+    /// are *not* meaningful afterwards — this is the arena-reuse primitive
+    /// behind [`crate::infer::FwdCtx`].
+    pub fn reshape_reuse(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites this tensor with the shape and contents of `src`,
+    /// reusing the existing buffer where capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Elementwise map.

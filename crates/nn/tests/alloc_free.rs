@@ -1,0 +1,94 @@
+//! Proof that a steady-state [`FwdCtx`] forward pass performs zero heap
+//! allocations: a counting global allocator wraps `System`, the stack is
+//! run once to warm the arena, and the next passes must leave the
+//! allocation counter untouched.
+//!
+//! This lives in its own harness-free integration-test binary (see the
+//! `[[test]]` entry in Cargo.toml): with no libtest threads, every
+//! allocation in the process is the test's own, so the counter cannot
+//! be perturbed by harness bookkeeping.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_nn::infer::{FwdCtx, TreeGroups};
+use vmr_nn::layers::{FeedForward, Mlp, MultiHeadAttention};
+use vmr_nn::tensor::Tensor;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One representative forward: embed → tree attention → dense self
+/// attention → cross attention with probs → feed-forward → pooled head.
+fn forward(
+    ctx: &mut FwdCtx,
+    embed: &Mlp,
+    local: &MultiHeadAttention,
+    dense: &MultiHeadAttention,
+    ff: &FeedForward,
+    x0: &Tensor,
+    tree: &TreeGroups,
+) -> f64 {
+    ctx.reset();
+    let x = ctx.input(x0);
+    let e = embed.fwd(ctx, x);
+    let t = local.fwd_tree(ctx, e, tree);
+    let r = ctx.add(e, t);
+    let (a, probs) = dense.fwd(ctx, r, r, None, true);
+    let r = ctx.add(r, a);
+    let y = ff.fwd(ctx, r);
+    let pooled = ctx.mean_rows(y);
+    ctx.value(pooled).get(0, 0) + ctx.value(probs.expect("probs")).get(0, 0)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let d = 16;
+    let rows = 24;
+    let embed = Mlp::new("e", &[6, d, d], false, &mut rng);
+    let local = MultiHeadAttention::new("l", d, 2, &mut rng);
+    let dense = MultiHeadAttention::new("s", d, 2, &mut rng);
+    let ff = FeedForward::new("f", d, 2 * d, &mut rng);
+    let x0 = Tensor::xavier(rows, 6, &mut rng);
+    let tree = TreeGroups {
+        starts: (0..=rows / 4).map(|g| g * 4).collect(),
+        members: (0..rows).collect(),
+    };
+
+    let mut ctx = FwdCtx::new();
+    // Warm the arena (allocates the slots and the scratch buffer).
+    let warm = forward(&mut ctx, &embed, &local, &dense, &ff, &x0, &tree);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut sink = 0.0;
+    for _ in 0..8 {
+        sink += forward(&mut ctx, &embed, &local, &dense, &ff, &x0, &tree);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(after - before, 0, "steady-state FwdCtx forward must not allocate");
+    assert_eq!(sink, warm * 8.0, "repeat passes must reproduce the warm result");
+    println!("alloc_free: ok (0 allocations across 8 steady-state forwards)");
+}

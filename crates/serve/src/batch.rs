@@ -1,0 +1,205 @@
+//! Cross-session GEMM batching for checkpoint-backed plan requests.
+//!
+//! PR 3's plan coalescing deduplicates *identical* requests within one
+//! session; this module batches the policy work of *different* sessions.
+//! Every decision step of an agent plan starts with the entity embedding
+//! networks — purely row-wise GEMM chains — so concurrent plans can stack
+//! their PM/VM feature matrices and run **one** batched GEMM
+//! ([`vmr_core::model::Vmr2lModel::embed_batch`]) instead of k separate
+//! ones. Row-wise ops make the split results bit-identical to solo
+//! evaluation, so batching can never change a served plan (enforced by
+//! `tests/batching.rs`).
+//!
+//! Protocol: submissions rendezvous on a mutex'd queue. The first
+//! arrival of a round becomes the leader; it waits up to the batch
+//! window for the other *active* plans to submit (when only one plan is
+//! in flight it computes immediately — the single-tenant case pays zero
+//! added latency), then claims the queue, computes the batch, and
+//! publishes per-submission results under a round id. Arrivals during a
+//! computation simply open the next round, so no submission can strand.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vmr_core::model::Vmr2lModel;
+use vmr_nn::tensor::Tensor;
+
+/// Default leader wait for peers (only paid when ≥ 2 plans are active).
+pub const DEFAULT_WINDOW: Duration = Duration::from_micros(500);
+
+/// Aggregate batching counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batched GEMM rounds computed.
+    pub batches: u64,
+    /// Total submissions served across all rounds.
+    pub items: u64,
+    /// Largest round size observed.
+    pub peak: u64,
+}
+
+#[derive(Default)]
+struct RoundOut {
+    results: Vec<Option<(Tensor, Tensor)>>,
+    remaining: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Plans currently inside [`EmbedBatcher::plan_guard`] scopes.
+    active: usize,
+    /// Round id of the currently-collecting queue.
+    round: u64,
+    /// Pending submissions (feature matrices) of the current round.
+    queue: Vec<(Tensor, Tensor)>,
+    /// Published results by round id.
+    done: HashMap<u64, RoundOut>,
+}
+
+/// The rendezvous point. One per policy registry; shared by every worker
+/// thread serving an agent plan.
+pub struct EmbedBatcher {
+    window: Duration,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    batches: AtomicU64,
+    items: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// RAII marker for an in-flight agent plan (maintains the `active` gauge
+/// the leader uses to decide whether waiting for peers is worthwhile).
+pub struct PlanGuard<'a> {
+    batcher: &'a EmbedBatcher,
+}
+
+impl Drop for PlanGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.batcher.inner.lock().expect("batcher lock");
+        inner.active -= 1;
+        drop(inner);
+        // A leader may be waiting for this plan's next submission.
+        self.batcher.cv.notify_all();
+    }
+}
+
+impl EmbedBatcher {
+    /// Batcher with the given peer-wait window.
+    pub fn new(window: Duration) -> Self {
+        EmbedBatcher {
+            window,
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            batches: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks a plan as in flight for the guard's lifetime.
+    pub fn plan_guard(&self) -> PlanGuard<'_> {
+        self.inner.lock().expect("batcher lock").active += 1;
+        PlanGuard { batcher: self }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            peak: self.peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Computes the entity embeddings for one decision step, batched with
+    /// whatever other active plans submit within the window. Returns the
+    /// `(pm_embeddings, vm_embeddings)` pair — bit-identical to
+    /// `model.embed_fwd` run alone.
+    pub fn embed(&self, model: &Vmr2lModel, pm: &Tensor, vm: &Tensor) -> (Tensor, Tensor) {
+        let mut inner = self.inner.lock().expect("batcher lock");
+        let round = inner.round;
+        let idx = inner.queue.len();
+        inner.queue.push((pm.clone(), vm.clone()));
+        if idx == 0 {
+            // Leader of this round: wait (bounded) for the other active
+            // plans to submit — unless this is the only plan in flight,
+            // in which case compute immediately (the single-tenant case
+            // pays zero added latency).
+            let deadline = Instant::now() + self.window;
+            while inner.active > 1 && inner.queue.len() < inner.active {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.cv.wait_timeout(inner, deadline - now).expect("batcher lock");
+                inner = guard;
+            }
+            let batch = std::mem::take(&mut inner.queue);
+            inner.round += 1;
+            drop(inner);
+
+            // If the computation unwinds (a panicking kernel assert on a
+            // malformed session), the guard publishes an all-`None` round
+            // so followers fall back to solo evaluation instead of
+            // blocking forever on the condvar.
+            let mut abandon = AbandonGuard { batcher: self, round, followers: batch.len() - 1 };
+            let refs: Vec<(&Tensor, &Tensor)> = batch.iter().map(|(p, v)| (p, v)).collect();
+            let outs = model.embed_batch(&refs);
+            abandon.followers = 0; // disarm: publish real results instead
+            std::mem::forget(abandon);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.items.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.peak.fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+            let remaining = outs.len();
+            let results = outs.into_iter().map(Some).collect();
+            let mut guard = self.inner.lock().expect("batcher lock");
+            guard.done.insert(round, RoundOut { results, remaining });
+            inner = guard;
+        } else {
+            // Wake a leader that may be waiting for this submission.
+            self.cv.notify_all();
+        }
+        self.cv.notify_all();
+        loop {
+            if let Some(out) = inner.done.get_mut(&round) {
+                let slot = out.results.get_mut(idx).and_then(Option::take);
+                out.remaining -= 1;
+                if out.remaining == 0 {
+                    inner.done.remove(&round);
+                }
+                return match slot {
+                    Some(result) => result,
+                    None => {
+                        // Abandoned round (leader panicked): evaluate solo.
+                        drop(inner);
+                        let mut outs = model.embed_batch(&[(pm, vm)]);
+                        outs.remove(0)
+                    }
+                };
+            }
+            inner = self.cv.wait(inner).expect("batcher lock");
+        }
+    }
+}
+
+/// Publishes an abandoned round on unwind so followers never strand.
+struct AbandonGuard<'a> {
+    batcher: &'a EmbedBatcher,
+    round: u64,
+    followers: usize,
+}
+
+impl Drop for AbandonGuard<'_> {
+    fn drop(&mut self) {
+        if self.followers == 0 {
+            return;
+        }
+        let mut inner = self.batcher.inner.lock().expect("batcher lock");
+        inner.done.insert(self.round, RoundOut { results: Vec::new(), remaining: self.followers });
+        drop(inner);
+        self.batcher.cv.notify_all();
+    }
+}

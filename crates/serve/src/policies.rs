@@ -21,11 +21,13 @@ use rand::SeedableRng;
 use vmr_baselines::ha::ha_solve;
 use vmr_baselines::mcts::{mcts_solve, MctsConfig};
 use vmr_baselines::swap::{swap_search_solve, SwapMove, SwapSearchConfig};
-use vmr_core::agent::DecideOpts;
+use vmr_core::agent::{DecideOpts, InferCtx};
 use vmr_core::infer::SharedAgent;
 use vmr_sim::env::{Action, ReschedEnv};
 use vmr_sim::error::SimResult;
 use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+
+use crate::batch::{BatchStats, EmbedBatcher, DEFAULT_WINDOW};
 
 /// Per-request planning parameters a policy sees.
 #[derive(Debug, Clone, Copy)]
@@ -48,15 +50,31 @@ pub trait PlanPolicy: Send + Sync {
 }
 
 /// The trained VMR2L agent, rolled out step by step against the session's
-/// incremental observation engine (no featurization rebuild per request).
+/// incremental observation engine (no featurization rebuild per request)
+/// on the tape-free fast path. Each decision's embedding GEMM goes
+/// through the shared [`EmbedBatcher`], so concurrent plans from
+/// *different* sessions share one batched GEMM per step — bit-identical
+/// to solo evaluation, batching never changes a plan.
 pub struct AgentPolicy {
     handle: SharedAgent,
+    batcher: Arc<EmbedBatcher>,
 }
 
 impl AgentPolicy {
-    /// Wraps a shared inference handle.
+    /// Wraps a shared inference handle with the default batch window.
     pub fn new(handle: SharedAgent) -> Self {
-        AgentPolicy { handle }
+        Self::with_batcher(handle, Arc::new(EmbedBatcher::new(DEFAULT_WINDOW)))
+    }
+
+    /// Wraps a shared inference handle around an explicit batcher (tests
+    /// use a long window to make the rendezvous deterministic).
+    pub fn with_batcher(handle: SharedAgent, batcher: Arc<EmbedBatcher>) -> Self {
+        AgentPolicy { handle, batcher }
+    }
+
+    /// The shared batcher (stats inspection).
+    pub fn batcher(&self) -> &Arc<EmbedBatcher> {
+        &self.batcher
     }
 }
 
@@ -66,11 +84,27 @@ impl PlanPolicy for AgentPolicy {
     }
 
     fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        let agent = self.handle.agent();
         let mut rng = StdRng::seed_from_u64(req.seed);
         let opts = DecideOpts::default();
+        let mut ictx = InferCtx::new();
         let mut plan = Vec::new();
+        let _in_flight = self.batcher.plan_guard();
         while !env.is_done() {
-            let Some(decision) = self.handle.agent().decide(env, &mut rng, &opts)? else {
+            ictx.prepare_from_env(env);
+            // Stage-1 embeddings: one batched GEMM shared with every
+            // other in-flight agent plan.
+            let (pm_emb, vm_emb) =
+                self.batcher.embed(&agent.policy, &ictx.feats.pm, &ictx.feats.vm);
+            let pm_v = ictx.ctx.input(&pm_emb);
+            let vm_v = ictx.ctx.input(&vm_emb);
+            let s1 = agent.policy.stage1_from_embeds_fwd(
+                &mut ictx.ctx,
+                pm_v,
+                vm_v,
+                Some(&ictx.tree.groups),
+            );
+            let Some(decision) = agent.act_core(env, &mut ictx, &s1, &mut rng, &opts)? else {
                 break;
             };
             env.step(decision.action)?;
@@ -194,6 +228,7 @@ const AUTO_SEARCH_BUDGET: Duration = Duration::from_secs(2);
 pub struct PolicyRegistry {
     by_name: BTreeMap<&'static str, Arc<dyn PlanPolicy>>,
     has_agent: bool,
+    batcher: Option<Arc<EmbedBatcher>>,
 }
 
 impl PolicyRegistry {
@@ -206,10 +241,18 @@ impl PolicyRegistry {
         by_name.insert("mcts", Arc::new(MctsPolicy));
         by_name.insert("solver", Arc::new(SolverPolicy));
         let has_agent = agent.is_some();
+        let mut batcher = None;
         if let Some(handle) = agent {
-            by_name.insert("agent", Arc::new(AgentPolicy::new(handle)));
+            let policy = AgentPolicy::new(handle);
+            batcher = Some(Arc::clone(policy.batcher()));
+            by_name.insert("agent", Arc::new(policy));
         }
-        PolicyRegistry { by_name, has_agent }
+        PolicyRegistry { by_name, has_agent, batcher }
+    }
+
+    /// Cross-session embed-batching counters (None without a checkpoint).
+    pub fn batch_stats(&self) -> Option<BatchStats> {
+        self.batcher.as_ref().map(|b| b.stats())
     }
 
     /// Registered policy names (sorted).

@@ -1,0 +1,119 @@
+//! Cross-session embed batching: concurrent agent plans from different
+//! sessions must (a) share at least one batched GEMM round and (b)
+//! produce exactly the plans a solo (unbatched) evaluation produces —
+//! batching is a throughput optimization, never a behavior change.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::infer::SharedAgent;
+use vmr_core::model::Vmr2lModel;
+use vmr_core::Vmr2lAgent;
+use vmr_serve::batch::EmbedBatcher;
+use vmr_serve::policies::{AgentPolicy, PlanRequest};
+use vmr_serve::session::{preset_config, Session};
+
+fn shared_agent() -> SharedAgent {
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage))
+}
+
+fn session(name: &str, seed: u64) -> Session {
+    Session::from_preset(name, &preset_config("tiny").unwrap(), seed, 6).unwrap()
+}
+
+fn req(seed: u64) -> PlanRequest {
+    PlanRequest { mnl: 6, seed, budget: Duration::from_millis(200) }
+}
+
+#[test]
+fn concurrent_plans_batch_and_match_solo() {
+    let handle = shared_agent();
+
+    // Solo reference: each session planned alone through its own policy.
+    let solo_policy = AgentPolicy::new(handle.clone());
+    let solo_a = session("a", 1).plan(&solo_policy, &req(7), false).unwrap();
+    let solo_b = session("b", 2).plan(&solo_policy, &req(9), false).unwrap();
+
+    // Concurrent: one shared batcher with a generous window so the two
+    // worker threads reliably rendezvous.
+    let batcher = Arc::new(EmbedBatcher::new(Duration::from_millis(100)));
+    let policy = Arc::new(AgentPolicy::with_batcher(handle, Arc::clone(&batcher)));
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let (out_a, out_b) = std::thread::scope(|s| {
+        let pa = Arc::clone(&policy);
+        let ba = Arc::clone(&barrier);
+        let ha = s.spawn(move || {
+            let mut sess = session("a", 1);
+            ba.wait();
+            sess.plan(pa.as_ref(), &req(7), false).unwrap()
+        });
+        let pb = Arc::clone(&policy);
+        let bb = Arc::clone(&barrier);
+        let hb = s.spawn(move || {
+            let mut sess = session("b", 2);
+            bb.wait();
+            sess.plan(pb.as_ref(), &req(9), false).unwrap()
+        });
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+
+    // (a) Identical results: batching must not change a single migration
+    // or objective bit.
+    assert_eq!(out_a.plan, solo_a.plan, "session a plan changed under batching");
+    assert_eq!(out_b.plan, solo_b.plan, "session b plan changed under batching");
+    assert_eq!(out_a.objective_after, solo_a.objective_after);
+    assert_eq!(out_b.objective_after, solo_b.objective_after);
+
+    // (b) The two plans really shared work: fewer rounds than items.
+    let stats = batcher.stats();
+    assert!(stats.items >= 2, "both plans must submit embeddings");
+    assert!(
+        stats.peak >= 2,
+        "concurrent plans should share at least one batched round (stats: {stats:?})"
+    );
+    assert!(stats.batches < stats.items, "batching must coalesce rounds (stats: {stats:?})");
+}
+
+#[test]
+fn single_plan_does_not_wait_for_peers() {
+    // With one active plan the leader computes immediately; a generous
+    // window must not slow the single-tenant case down.
+    let handle = shared_agent();
+    let batcher = Arc::new(EmbedBatcher::new(Duration::from_secs(5)));
+    let policy = AgentPolicy::with_batcher(handle, Arc::clone(&batcher));
+    let mut sess = session("solo", 3);
+    let start = std::time::Instant::now();
+    let out = sess.plan(&policy, &req(5), false).unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "single plan must not block on the batch window"
+    );
+    assert!(out.objective_after <= out.objective_before + 1e-12);
+    assert!(batcher.stats().batches >= 1);
+}
+
+#[test]
+fn leader_panic_does_not_poison_the_batcher() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use vmr_nn::tensor::Tensor;
+    use vmr_sim::obs::{PM_FEAT, VM_FEAT};
+
+    let handle = shared_agent();
+    let model = &handle.agent().policy;
+    let batcher = EmbedBatcher::new(Duration::from_millis(1));
+    // An oversized feature matrix panics the batch-assembly copy while
+    // the leader computes (lock not held).
+    let bad = Tensor::zeros(1, 40 * PM_FEAT.max(VM_FEAT));
+    let result = catch_unwind(AssertUnwindSafe(|| batcher.embed(model, &bad, &bad)));
+    assert!(result.is_err(), "malformed widths must panic in the kernel asserts");
+    // The round was claimed before the panic; the batcher must keep
+    // serving fresh rounds afterwards instead of deadlocking.
+    let (pm, vm) = batcher.embed(model, &Tensor::zeros(2, PM_FEAT), &Tensor::zeros(4, VM_FEAT));
+    assert_eq!(pm.rows(), 2);
+    assert_eq!(vm.rows(), 4);
+}
