@@ -1,0 +1,105 @@
+//! The PR 5 acceptance bench: planning a 10,000-PM fleet (`xxl_10000pm`,
+//! an order of magnitude beyond the paper's Large dataset) unsharded vs
+//! through the shard-parallel fleet planner, at an **equal global
+//! migration budget** within every pair.
+//!
+//! The subject is the serving path itself (`vmr_serve::policies`): the
+//! trained-agent architecture rolled out step by step, where every
+//! decision's featurization + stage-1 attention cost scales with the
+//! cluster — O(fleet) unsharded (the global attention over PM-tree
+//! groups is quadratic in the fleet), O(shard) sharded. One unsharded
+//! agent decision on `xxl_10000pm` costs ~50–80 s on this class of
+//! host, which is the whole point of the fleet planner; the agent pair
+//! therefore runs at an equal **MNL 2** so the unsharded side stays
+//! measurable at all, while the HA pair runs the full MNL 16. The fleet
+//! plan is byte-identical for any worker count (`prop_fleet`), so the
+//! sharded numbers here are the same plans a multi-core host would
+//! serve, just slower on fewer cores. `medium_280pm` keeps a CI-sized
+//! agent pair at MNL 16 in the capture so regressions show up on hosts
+//! that cannot afford the 10k-PM setup repeatedly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::infer::SharedAgent;
+use vmr_core::model::Vmr2lModel;
+use vmr_serve::policies::{AgentPolicy, FleetPolicy, HaPolicy, PlanPolicy, PlanRequest};
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+
+fn agent_handle() -> SharedAgent {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage))
+}
+
+fn plan_request(mnl: usize, shards: usize) -> PlanRequest {
+    PlanRequest { mnl, seed: 3, budget: Duration::from_secs(120), shards, workers: 0 }
+}
+
+/// Benchmarks one unsharded-vs-fleet pair at an equal global MNL.
+#[allow(clippy::too_many_arguments)]
+fn bench_pair(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    env: &mut ReschedEnv,
+    label: &str,
+    kind: &str,
+    unsharded: &Arc<dyn PlanPolicy>,
+    fleet: &FleetPolicy,
+    mnl: usize,
+    shards: usize,
+) {
+    env.rewind();
+    env.set_mnl(mnl);
+    let req = plan_request(mnl, shards);
+    group.bench_function(format!("{kind}_unsharded_mnl{mnl}_{label}"), |b| {
+        b.iter(|| {
+            let plan = unsharded.plan(env, &req).expect("plan");
+            env.rewind();
+            black_box(plan.len())
+        })
+    });
+    group.bench_function(format!("{kind}_fleet_{shards}shard_mnl{mnl}_{label}"), |b| {
+        b.iter(|| {
+            let plan = fleet.plan(env, &req).expect("plan");
+            env.rewind();
+            black_box(plan.len())
+        })
+    });
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_plan");
+    for (label, cfg, shards, samples, agent_mnl) in [
+        ("medium_280pm", ClusterConfig::medium(), 4usize, 5usize, 16usize),
+        ("xxl_10000pm", ClusterConfig::xxl(), 32, 2, 2),
+    ] {
+        let state = generate_mapping(&cfg, 7).expect("mapping");
+        let mut env = ReschedEnv::unconstrained(state, Objective::default(), 16).expect("env");
+        let _ = env.observe(); // warm the incremental engine
+        group.sample_size(samples.max(2));
+        group.measurement_time(Duration::from_secs(if samples > 3 { 4 } else { 8 }));
+
+        let agent: Arc<dyn PlanPolicy> = Arc::new(AgentPolicy::new(agent_handle()));
+        let agent_fleet = FleetPolicy::new(Arc::clone(&agent));
+        let ha: Arc<dyn PlanPolicy> = Arc::new(HaPolicy);
+        let ha_fleet = FleetPolicy::new(Arc::clone(&ha));
+
+        bench_pair(&mut group, &mut env, label, "agent", &agent, &agent_fleet, agent_mnl, shards);
+        bench_pair(&mut group, &mut env, label, "ha", &ha, &ha_fleet, 16, shards);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet
+}
+criterion_main!(benches);

@@ -75,6 +75,8 @@ fn bench_serve(c: &mut Criterion) {
         mnl: 2,
         seed: 0,
         budget_ms: 50,
+        shards: 0,
+        workers: 0,
         commit: false,
     };
     group.bench_function(BenchmarkId::new("plan_request_cached", SIZE), |b| {

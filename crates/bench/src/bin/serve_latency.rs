@@ -92,6 +92,8 @@ fn main() {
                     mnl,
                     seed: 1000 + i as u64,
                     budget_ms: 200,
+                    shards: 0,
+                    workers: 0,
                     commit: false,
                 })
                 .expect("plan");
@@ -111,6 +113,8 @@ fn main() {
                 mnl,
                 seed: 0,
                 budget_ms: 200,
+                shards: 0,
+                workers: 0,
                 commit: false,
             })
             .expect("plan");

@@ -88,7 +88,7 @@ fn print_help() {
          usage: vmr <command> [--flags]\n\
          \n\
          commands:\n\
-           gen      --preset <tiny|small|medium|large|multi|low|mid|high>\n\
+           gen      --preset <tiny|small|medium|large|multi|low|mid|high|xxl>\n\
                     --count N --seed N --out FILE\n\
            inspect  --dataset FILE [--index N]\n\
            train    --dataset FILE [--updates N] [--mnl N] [--seed N]\n\
@@ -98,6 +98,7 @@ fn print_help() {
                     [--greedy] [--json]\n\
            solve    --dataset FILE [--index N] --method <ha|bnb|pop|vbpp|mcts|swap>\n\
                     [--mnl N] [--budget-ms N] [--json]\n\
+                    [--fleet [--shards N] [--workers N]]  (shard-parallel ha|bnb|mcts)\n\
            cost     --dataset FILE [--index N] [--method ha] [--mnl N]\n\
                     [--streams N] [--bandwidth GIB_S] [--json]\n\
            interfere --dataset FILE [--index N] [--noisy-frac F]\n\
@@ -111,8 +112,9 @@ fn print_help() {
                     create_session: --preset NAME --seed N --mnl N\n\
                     apply_delta:    --delta vm_create|vm_delete|vm_resize|pm_add|pm_drain\n\
                                     [--vm N] [--pm N] [--cpu N] [--mem N] [--double]\n\
-                    plan:           --policy agent|ha|swap|mcts|solver|auto\n\
+                    plan:           --policy agent|ha|swap|mcts|solver|fleet|auto\n\
                                     [--mnl N] [--seed N] [--budget-ms N] [--commit]\n\
+                                    [--shards N] [--workers N]  (fleet policy)\n\
                     snapshot:       [--out FILE]    restore: --snapshot FILE"
     );
 }
@@ -127,6 +129,7 @@ fn preset(name: &str) -> Result<ClusterConfig, String> {
         "low" => ClusterConfig::workload_low(),
         "mid" => ClusterConfig::workload_mid(),
         "high" => ClusterConfig::workload_high(),
+        "xxl" => ClusterConfig::xxl(),
         other => return Err(format!("unknown preset {other:?}")),
     })
 }
@@ -299,6 +302,9 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let obj = Objective::default();
     let method = args.require("method")?;
     let t0 = std::time::Instant::now();
+    if args.flag("fleet") {
+        return solve_fleet(args, state, &cs, obj, mnl, budget, &method, t0);
+    }
     let (plan, fr): (Vec<Action>, f64) = match method.as_str() {
         "ha" => {
             let r = ha_solve(state, &cs, obj, mnl);
@@ -382,6 +388,118 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 state.placement(a.vm).pm.0,
                 a.pm.0
             );
+        }
+    }
+    Ok(())
+}
+
+/// `solve --fleet`: run a classical method per shard through the
+/// shard-parallel fleet planner — PMs are partitioned
+/// fragmentation-balanced, every shard is solved concurrently, and the
+/// stitched plan honors the *global* MNL exactly (leftover budget goes
+/// to the cross-shard refinement pass).
+#[allow(clippy::too_many_arguments)]
+fn solve_fleet(
+    args: &Args,
+    state: &ClusterState,
+    cs: &ConstraintSet,
+    obj: Objective,
+    mnl: usize,
+    budget: Duration,
+    method: &str,
+    t0: std::time::Instant,
+) -> Result<(), String> {
+    use vmr_sim::shard::{fleet_plan, FleetConfig, ShardStrategy};
+    let shards: usize = args.num("shards", 16)?;
+    let workers: usize = args.num("workers", 0)?;
+    let cfg = FleetConfig {
+        shards,
+        strategy: ShardStrategy::FragBalanced,
+        seed: args.num("seed", 0)?,
+        workers,
+        refine: true,
+    };
+    // `--budget-ms` is the *total* wall-clock budget. Shards run in
+    // waves of `workers`, so each deadline-bound sub-solve gets the
+    // budget divided by the number of waves — otherwise 32 sequential
+    // shards at the full budget each would overrun the request 32×.
+    let effective_workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+    .clamp(1, shards.max(1));
+    let waves = shards.max(1).div_ceil(effective_workers) as u32;
+    let sub_budget = (budget / waves).max(Duration::from_millis(1));
+    let out = match method {
+        "ha" => fleet_plan(state, cs, obj, mnl, &cfg, |_, sub, m| {
+            ha_solve(&sub.state, &sub.constraints, obj, m).plan
+        }),
+        "bnb" => {
+            let sub_cfg =
+                SolverConfig { time_limit: sub_budget, beam_width: Some(48), ..Default::default() };
+            fleet_plan(state, cs, obj, mnl, &cfg, |_, sub, m| {
+                branch_and_bound(&sub.state, &sub.constraints, obj, m, &sub_cfg).plan
+            })
+        }
+        "mcts" => {
+            let sub_cfg = MctsConfig { time_limit: sub_budget, ..Default::default() };
+            fleet_plan(state, cs, obj, mnl, &cfg, |i, sub, m| {
+                mcts_solve(
+                    &sub.state,
+                    &sub.constraints,
+                    obj,
+                    m,
+                    &MctsConfig { seed: sub_cfg.seed.wrapping_add(i as u64), ..sub_cfg },
+                )
+                .plan
+            })
+        }
+        other => return Err(format!("--fleet supports ha|bnb|mcts, not {other:?}")),
+    };
+    let elapsed = t0.elapsed();
+    // Source hosts are read while *replaying* the plan: a VM the
+    // refinement pass moves a second time has left its initial host, and
+    // an operator executing the printed sequence needs the true source
+    // of each step.
+    let mut replay = state.clone();
+    let mut steps = Vec::with_capacity(out.plan.len());
+    for a in &out.plan {
+        let from = replay.placement(a.vm).pm;
+        replay.migrate(a.vm, a.pm, obj.frag_cores()).map_err(|e| e.to_string())?;
+        steps.push((a.vm, from, a.pm));
+    }
+    if args.flag("json") {
+        let body = serde_json::json!({
+            "method": format!("fleet:{method}"),
+            "mnl": mnl,
+            "shards": out.shards,
+            "refined": out.refined,
+            "initial_fr": state.fragment_rate(16),
+            "final_fr": out.objective,
+            "elapsed_s": elapsed.as_secs_f64(),
+            "plan": steps.iter().map(|&(vm, from, to)| {
+                serde_json::json!({
+                    "vm": vm.0,
+                    "from_pm": from.0,
+                    "to_pm": to.0,
+                })
+            }).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&body).expect("serializable"));
+    } else {
+        println!(
+            "fleet:{method} ({} shards): FR {:.4} -> {:.4} with {} migrations \
+             ({} from refinement) in {:.2}s",
+            out.shards,
+            state.fragment_rate(16),
+            out.objective,
+            out.plan.len(),
+            out.refined,
+            elapsed.as_secs_f64()
+        );
+        for (i, &(vm, from, to)) in steps.iter().enumerate() {
+            println!("  {i}: VM{} ({}c) PM{} -> PM{}", vm.0, state.vm(vm).cpu, from.0, to.0);
         }
     }
     Ok(())
@@ -589,8 +707,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let handle = serve(config).map_err(|e| format!("cannot bind: {e}"))?;
     println!("vmr-serve listening on {}", handle.addr());
     println!(
-        "policies: ha, swap, mcts, solver{}  (try: vmr request --addr {} --op create_session \
-         --session prod --preset medium)",
+        "policies: ha, swap, mcts, solver, fleet{}  (try: vmr request --addr {} --op \
+         create_session --session prod --preset medium)",
         if has_agent { ", agent, auto" } else { " (no --agent checkpoint: agent disabled)" },
         handle.addr()
     );
@@ -673,6 +791,8 @@ fn cmd_request(args: &Args) -> Result<(), String> {
                     mnl: args.num("mnl", 0)?,
                     seed: args.num("seed", 0)?,
                     budget_ms: args.num("budget-ms", 0)?,
+                    shards: args.num("shards", 0)?,
+                    workers: args.num("workers", 0)?,
                     commit: args.flag("commit"),
                 })
                 .map_err(|e| e.to_string())?;

@@ -43,7 +43,7 @@
 //!         policy: "ha".into(),
 //!         mnl: 4,
 //!         seed: 0,
-//!         budget_ms: 50,
+//!         budget_ms: 50, shards: 0, workers: 0,
 //!         commit: false,
 //!     })
 //!     .unwrap();

@@ -1,8 +1,9 @@
 //! The plan-policy registry: every way this repo knows how to produce a
 //! rescheduling plan — the trained VMR2L agent, the HA filtering
-//! heuristic, swap-aware local search, MCTS, and the branch-and-bound
-//! solver — behind one [`PlanPolicy`] trait, selected by request policy
-//! name plus latency budget.
+//! heuristic, swap-aware local search, MCTS, the branch-and-bound
+//! solver, and the shard-parallel fleet planner — behind one
+//! [`PlanPolicy`] trait, selected by request policy name plus latency
+//! budget.
 //!
 //! The contract: a policy receives the session's live environment
 //! (rewound to the committed state, MNL already set) and returns a
@@ -25,6 +26,7 @@ use vmr_core::agent::{DecideOpts, InferCtx};
 use vmr_core::infer::SharedAgent;
 use vmr_sim::env::{Action, ReschedEnv};
 use vmr_sim::error::SimResult;
+use vmr_sim::shard::{FleetConfig, ShardStrategy};
 use vmr_solver::bnb::{branch_and_bound, SolverConfig};
 
 use crate::batch::{BatchStats, EmbedBatcher, DEFAULT_WINDOW};
@@ -32,12 +34,18 @@ use crate::batch::{BatchStats, EmbedBatcher, DEFAULT_WINDOW};
 /// Per-request planning parameters a policy sees.
 #[derive(Debug, Clone, Copy)]
 pub struct PlanRequest {
-    /// Migration number limit for this plan.
+    /// Migration number limit for this plan. A *global* budget: the
+    /// fleet policy apportions it across shards under one ledger.
     pub mnl: usize,
     /// Sampling seed (stochastic policies must be deterministic given it).
     pub seed: u64,
     /// Wall-clock budget for anytime policies.
     pub budget: Duration,
+    /// Shard count for the fleet policy (0 = sized from the cluster).
+    pub shards: usize,
+    /// Shard-solver worker threads for the fleet policy (0 = all cores).
+    /// Plans are byte-identical for any value; only latency changes.
+    pub workers: usize,
 }
 
 /// A way to produce a rescheduling plan for a live session.
@@ -218,6 +226,122 @@ impl PlanPolicy for SolverPolicy {
     }
 }
 
+/// Shard-parallel fleet planning: partitions the session's cluster with
+/// the shared [`vmr_sim::shard`] layer, runs the wrapped policy per
+/// shard on scoped worker threads, stitches sub-plans under one global
+/// MNL ledger, and spends leftover budget on cross-shard refinement.
+/// This is the 10k-PM path: per-shard planning cost scales with the
+/// shard, not the fleet, and shards solve concurrently.
+///
+/// The served plan is byte-identical for any worker count (enforced by
+/// `crates/solver/tests/prop_fleet.rs`), so plan coalescing and the
+/// session memo stay sound.
+pub struct FleetPolicy {
+    inner: Arc<dyn PlanPolicy>,
+}
+
+/// PMs per shard the fleet policy targets when the request leaves the
+/// shard count to the server (`shards == 0`).
+const PMS_PER_SHARD: usize = 256;
+
+impl FleetPolicy {
+    /// Wraps a per-shard policy.
+    pub fn new(inner: Arc<dyn PlanPolicy>) -> Self {
+        FleetPolicy { inner }
+    }
+
+    /// Deterministic per-shard seed derivation (SplitMix64 over the
+    /// request seed and shard index) so shards sample independently but
+    /// reproducibly.
+    fn shard_seed(seed: u64, shard: usize) -> u64 {
+        let mut z = seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl PlanPolicy for FleetPolicy {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+
+    fn plan(&self, env: &mut ReschedEnv, req: &PlanRequest) -> SimResult<Vec<Action>> {
+        let shards = if req.shards == 0 {
+            (env.state().num_pms() / PMS_PER_SHARD).clamp(2, 64)
+        } else {
+            req.shards
+        };
+        let cfg = FleetConfig {
+            shards,
+            strategy: ShardStrategy::FragBalanced,
+            seed: req.seed,
+            workers: req.workers,
+            refine: true,
+        };
+        // Shards solve concurrently, so each gets the full wall-clock
+        // budget (bounded below so huge shard counts stay well-defined).
+        // Deliberately NOT divided by the worker count: the registered
+        // inner policies (agent, HA) are not deadline-bound, and scaling
+        // a deadline by `workers` would make plan bytes depend on it —
+        // breaking the worker-invariance guarantee.
+        let shard_budget = req.budget.max(Duration::from_millis(1));
+        let objective = env.objective();
+        let inner = &self.inner;
+        // A failing shard fails the whole request with its typed error
+        // (lowest shard index wins, deterministically) — silently
+        // dropping a sub-plan would serve a quietly degraded fleet plan
+        // as a success, against the registry's typed-error contract.
+        let first_err: std::sync::Mutex<Option<(usize, vmr_sim::SimError)>> =
+            std::sync::Mutex::new(None);
+        let record_err = |i: usize, e: vmr_sim::SimError| {
+            let mut slot = first_err.lock().expect("fleet error slot");
+            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                *slot = Some((i, e));
+            }
+        };
+        let out = vmr_sim::shard::fleet_plan(
+            env.state(),
+            env.constraints(),
+            objective,
+            req.mnl,
+            &cfg,
+            |i, sub, sub_mnl| {
+                let mut shard_env = match ReschedEnv::new(
+                    sub.state.clone(),
+                    sub.constraints.clone(),
+                    objective,
+                    sub_mnl,
+                ) {
+                    Ok(env) => env,
+                    Err(e) => {
+                        record_err(i, e);
+                        return Vec::new();
+                    }
+                };
+                let shard_req = PlanRequest {
+                    mnl: sub_mnl,
+                    seed: Self::shard_seed(req.seed, i),
+                    budget: shard_budget,
+                    shards: 0,
+                    workers: 0,
+                };
+                match inner.plan(&mut shard_env, &shard_req) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        record_err(i, e);
+                        Vec::new()
+                    }
+                }
+            },
+        );
+        if let Some((_, e)) = first_err.into_inner().expect("fleet error slot") {
+            return Err(e);
+        }
+        Ok(out.plan)
+    }
+}
+
 /// Latency budget below which `auto` refuses anything slower than HA.
 const AUTO_HA_BUDGET: Duration = Duration::from_millis(10);
 /// Latency budget above which `auto` escalates from the agent to search.
@@ -232,8 +356,10 @@ pub struct PolicyRegistry {
 }
 
 impl PolicyRegistry {
-    /// The standard registry: HA, swap search, MCTS, and the solver are
-    /// always available; `agent` requires a loaded checkpoint handle.
+    /// The standard registry: HA, swap search, MCTS, the solver, and the
+    /// shard-parallel `fleet` planner are always available; `agent`
+    /// requires a loaded checkpoint handle. `fleet` runs the trained
+    /// agent per shard when a checkpoint is loaded and HA otherwise.
     pub fn standard(agent: Option<SharedAgent>) -> Self {
         let mut by_name: BTreeMap<&'static str, Arc<dyn PlanPolicy>> = BTreeMap::new();
         by_name.insert("ha", Arc::new(HaPolicy));
@@ -242,11 +368,15 @@ impl PolicyRegistry {
         by_name.insert("solver", Arc::new(SolverPolicy));
         let has_agent = agent.is_some();
         let mut batcher = None;
+        let mut fleet_inner: Arc<dyn PlanPolicy> = Arc::new(HaPolicy);
         if let Some(handle) = agent {
             let policy = AgentPolicy::new(handle);
             batcher = Some(Arc::clone(policy.batcher()));
-            by_name.insert("agent", Arc::new(policy));
+            let policy: Arc<dyn PlanPolicy> = Arc::new(policy);
+            fleet_inner = Arc::clone(&policy);
+            by_name.insert("agent", policy);
         }
+        by_name.insert("fleet", Arc::new(FleetPolicy::new(fleet_inner)));
         PolicyRegistry { by_name, has_agent, batcher }
     }
 
@@ -287,7 +417,7 @@ mod tests {
     #[test]
     fn standard_registry_without_agent() {
         let reg = PolicyRegistry::standard(None);
-        assert_eq!(reg.names(), vec!["ha", "mcts", "solver", "swap"]);
+        assert_eq!(reg.names(), vec!["fleet", "ha", "mcts", "solver", "swap"]);
         assert!(reg.resolve("agent", Duration::from_millis(1)).is_none());
         assert!(reg.resolve("nonsense", Duration::from_millis(1)).is_none());
         // auto degrades to HA when no checkpoint is loaded and the budget
@@ -295,6 +425,102 @@ mod tests {
         assert_eq!(reg.resolve("auto", Duration::from_millis(1)).unwrap().name(), "ha");
         assert_eq!(reg.resolve("auto", Duration::from_millis(500)).unwrap().name(), "ha");
         assert_eq!(reg.resolve("auto", Duration::from_secs(10)).unwrap().name(), "mcts");
+    }
+
+    #[test]
+    fn fleet_policy_respects_global_mnl_and_worker_invariance() {
+        use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+        use vmr_sim::objective::Objective;
+        let state = generate_mapping(&ClusterConfig::small_train(), 11).unwrap();
+        let n = state.num_vms();
+        let mk_env = || {
+            ReschedEnv::new(state.clone(), vmr_sim::ConstraintSet::new(n), Objective::default(), 6)
+                .unwrap()
+        };
+        let fleet = FleetPolicy::new(Arc::new(HaPolicy));
+        let base = PlanRequest {
+            mnl: 6,
+            seed: 3,
+            budget: Duration::from_millis(100),
+            shards: 4,
+            workers: 1,
+        };
+        let plan1 = fleet.plan(&mut mk_env(), &base).unwrap();
+        assert!(plan1.len() <= 6, "fleet must honor the global MNL");
+        // Replays legally on the committed state.
+        let mut replay = state.clone();
+        for a in &plan1 {
+            replay.migrate(a.vm, a.pm, 16).unwrap();
+        }
+        // Worker count changes wall-clock, never the plan bytes.
+        for workers in [2, 4, 7] {
+            let req = PlanRequest { workers, ..base };
+            assert_eq!(fleet.plan(&mut mk_env(), &req).unwrap(), plan1, "workers={workers}");
+        }
+        // Repeated requests through a *session* must also be identical:
+        // every request's validation replay permutes the state's
+        // `vms_on` reverse indexes — exactly the hidden order the
+        // refinement pass's equal-gain tie-breaking once leaked (the
+        // first and second identical wire request served different
+        // final refinement moves). This instance (small_train seed 4,
+        // request seed 0) reproduced that divergence before the
+        // canonical candidate ordering in `refine_cross_shard`.
+        use crate::session::Session;
+        let tie_state = generate_mapping(&ClusterConfig::small_train(), 4).unwrap();
+        let tn = tie_state.num_vms();
+        let mut session =
+            Session::new("s", tie_state, vmr_sim::ConstraintSet::new(tn), 8).expect("session");
+        let tie_req = PlanRequest {
+            mnl: 6,
+            seed: 0,
+            budget: Duration::from_millis(200),
+            shards: 4,
+            workers: 1,
+        };
+        let p1 = session.plan(&fleet, &tie_req, false).unwrap().plan;
+        for workers in [1, 4] {
+            let req = PlanRequest { workers, ..tie_req };
+            let again = session.plan(&fleet, &req, false).unwrap().plan;
+            assert_eq!(again, p1, "repeat request, workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fleet_agent_plans_are_invariant_across_workers_and_repeat_calls() {
+        // Regression for the extraction-order bug: `vms_on` reverse
+        // indexes are permuted by migrate/undo cycles, and an extraction
+        // that iterated them leaked that hidden state into sub-VM ids —
+        // the agent (order-sensitive featurization) then returned
+        // *different plans for identical repeated requests* on a rewound
+        // session env. Plans must be identical across worker counts AND
+        // across repeated calls on the same session.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+        use vmr_core::model::Vmr2lModel;
+        use vmr_core::Vmr2lAgent;
+
+        use crate::session::{preset_config, Session};
+        let mut rng = StdRng::seed_from_u64(0);
+        let model =
+            Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+        let handle = SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage));
+        let fleet = FleetPolicy::new(Arc::new(AgentPolicy::new(handle)));
+        let mut session = Session::from_preset("s", &preset_config("tiny").unwrap(), 9, 8).unwrap();
+        let mut plans = Vec::new();
+        for workers in [1usize, 4, 1, 4] {
+            let req = PlanRequest {
+                mnl: 5,
+                seed: 2,
+                budget: Duration::from_millis(200),
+                shards: 2,
+                workers,
+            };
+            plans.push(session.plan(&fleet, &req, false).unwrap().plan);
+        }
+        assert_eq!(plans[0], plans[1], "1 vs 4 workers");
+        assert_eq!(plans[0], plans[2], "repeat call on the rewound session");
+        assert_eq!(plans[0], plans[3], "repeat at 4 workers");
     }
 
     #[test]

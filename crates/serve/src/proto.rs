@@ -19,7 +19,11 @@ use vmr_sim::env::ClusterDelta;
 
 /// Protocol version spoken by this build. Requests with a different `v`
 /// are rejected with [`codes::UNSUPPORTED_VERSION`].
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2 (PR 5): [`PlanParams`] grew required `shards`/`workers` fields for
+/// the fleet policy — a v1 plan request no longer parses, so the version
+/// was bumped rather than silently changing the v1 shape.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Hard cap on one framed line (requests *and* responses). Snapshots of
 /// paper-scale clusters are ~1 MiB of JSON; 32 MiB leaves headroom while
@@ -103,15 +107,23 @@ pub struct ApplyDelta {
 pub struct PlanParams {
     /// Target session.
     pub session: String,
-    /// Policy name (`agent|ha|swap|mcts|solver|auto`).
+    /// Policy name (`agent|ha|swap|mcts|solver|fleet|auto`).
     pub policy: String,
     /// Migration number limit for this plan (0 = the session default).
+    /// Always a *global* budget: the `fleet` policy apportions it across
+    /// shards and never serves a longer plan.
     pub mnl: usize,
     /// Sampling seed (stochastic policies are deterministic given it).
     pub seed: u64,
     /// Latency budget in milliseconds; bounds anytime policies (MCTS,
     /// solver) and steers `auto` policy selection. 0 = policy default.
     pub budget_ms: u64,
+    /// Shard count for the `fleet` policy (0 = sized from the cluster).
+    /// Ignored by non-partitioned policies.
+    pub shards: usize,
+    /// Worker threads for the `fleet` policy (0 = all cores). Changes
+    /// wall-clock only — the served plan is byte-identical for any value.
+    pub workers: usize,
     /// Deploy the plan into the session's live state on success.
     pub commit: bool,
 }
@@ -374,6 +386,8 @@ mod tests {
                 mnl: 10,
                 seed: 3,
                 budget_ms: 50,
+                shards: 0,
+                workers: 0,
                 commit: false,
             }),
         };

@@ -61,11 +61,15 @@ struct ServerStats {
 
 /// Key identifying one coalescable plan computation.
 #[derive(Clone, PartialEq, Eq)]
+/// `workers` is deliberately absent: fleet plans are byte-identical for
+/// any worker count (enforced by `prop_fleet`), so requests differing
+/// only in `workers` coalesce onto one computation and share the memo.
 struct PlanKey {
     policy: String,
     mnl: usize,
     seed: u64,
     budget_ms: u64,
+    shards: usize,
     version: u64,
 }
 
@@ -380,7 +384,8 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
         .policies
         .resolve(&p.policy, budget)
         .ok_or_else(|| (codes::UNKNOWN_POLICY, format!("no policy named {:?}", p.policy)))?;
-    let req = PlanRequest { mnl: p.mnl, seed: p.seed, budget };
+    let req =
+        PlanRequest { mnl: p.mnl, seed: p.seed, budget, shards: p.shards, workers: p.workers };
 
     // Committing plans mutate state: no coalescing, straight through.
     if p.commit {
@@ -404,6 +409,7 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
             mnl: p.mnl,
             seed: p.seed,
             budget_ms: p.budget_ms,
+            shards: p.shards,
             version,
         };
 

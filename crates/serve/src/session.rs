@@ -25,6 +25,7 @@ pub fn preset_config(name: &str) -> Option<ClusterConfig> {
         "low" => ClusterConfig::workload_low(),
         "mid" => ClusterConfig::workload_mid(),
         "high" => ClusterConfig::workload_high(),
+        "xxl" => ClusterConfig::xxl(),
         _ => return None,
     })
 }
@@ -202,12 +203,12 @@ mod tests {
     }
 
     fn req(mnl: usize) -> PlanRequest {
-        PlanRequest { mnl, seed: 0, budget: Duration::from_millis(100) }
+        PlanRequest { mnl, seed: 0, budget: Duration::from_millis(100), shards: 0, workers: 0 }
     }
 
     #[test]
     fn preset_vocabulary() {
-        for p in ["tiny", "small", "medium", "large", "multi", "low", "mid", "high"] {
+        for p in ["tiny", "small", "medium", "large", "multi", "low", "mid", "high", "xxl"] {
             assert!(preset_config(p).is_some(), "{p}");
         }
         assert!(preset_config("nope").is_none());

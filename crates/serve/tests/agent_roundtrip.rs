@@ -62,6 +62,8 @@ fn served_plan_matches_in_process_decide() {
             mnl: MNL,
             seed: PLAN_SEED,
             budget_ms: 0,
+            shards: 0,
+            workers: 0,
             commit: false,
         })
         .unwrap();

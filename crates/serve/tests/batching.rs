@@ -27,7 +27,7 @@ fn session(name: &str, seed: u64) -> Session {
 }
 
 fn req(seed: u64) -> PlanRequest {
-    PlanRequest { mnl: 6, seed, budget: Duration::from_millis(200) }
+    PlanRequest { mnl: 6, seed, budget: Duration::from_millis(200), shards: 0, workers: 0 }
 }
 
 #[test]

@@ -35,7 +35,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 2. Truncated JSON.
-    writer.write_all(b"{\"v\":1,\"id\":\n").unwrap();
+    writer.write_all(b"{\"v\":2,\"id\":\n").unwrap();
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 3. Valid JSON, wrong shape.
@@ -55,7 +55,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     // 6. The same connection still serves valid requests.
     writer
         .write_all(
-            b"{\"v\":1,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
+            b"{\"v\":2,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
         )
         .unwrap();
     let resp = read_response(&mut reader);
@@ -111,5 +111,54 @@ fn oversized_line_is_rejected_and_server_stays_up() {
     let stats = client.stats("").unwrap();
     assert!(stats.errors >= 1, "hardening failures must be counted");
 
+    handle.shutdown();
+}
+
+#[test]
+fn degenerate_deltas_get_structured_sim_errors_over_the_wire() {
+    use vmr_serve::client::{ClientError, ServeClient};
+    use vmr_sim::env::ClusterDelta;
+    use vmr_sim::types::{NumaPolicy, VmId};
+
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let info = client.create_session("deg", "tiny", 1, 4).unwrap();
+    let vms_before = info.vms;
+
+    // The full audit of degenerate create/resize/add requests: each must
+    // come back as a structured `sim` error, not a success, a crash, or a
+    // silently mis-allocated VM.
+    for delta in [
+        ClusterDelta::VmCreate { cpu: 0, mem: 8, numa: NumaPolicy::Single },
+        ClusterDelta::VmCreate { cpu: 4, mem: 0, numa: NumaPolicy::Single },
+        ClusterDelta::VmCreate { cpu: 3, mem: 8, numa: NumaPolicy::Double },
+        ClusterDelta::VmCreate { cpu: 4, mem: 9, numa: NumaPolicy::Double },
+        ClusterDelta::VmResize { vm: VmId(0), cpu: 0, mem: 8 },
+        ClusterDelta::VmResize { vm: VmId(0), cpu: 4, mem: 0 },
+        ClusterDelta::PmAdd { cpu_per_numa: 0, mem_per_numa: 64 },
+        ClusterDelta::PmAdd { cpu_per_numa: 44, mem_per_numa: 0 },
+    ] {
+        match client.apply_delta("deg", delta) {
+            Err(ClientError::Server(e)) => assert_eq!(e.code, codes::SIM, "{}", e.message),
+            other => panic!("degenerate {delta:?} must yield a sim error, got {other:?}"),
+        }
+    }
+
+    // The session is unharmed and still plans.
+    let stats = client.stats("deg").unwrap();
+    assert_eq!(stats.session.as_ref().unwrap().vms, vms_before, "no delta may have landed");
+    let planned = client
+        .plan(vmr_serve::proto::PlanParams {
+            session: "deg".into(),
+            policy: "ha".into(),
+            mnl: 2,
+            seed: 0,
+            budget_ms: 50,
+            shards: 0,
+            workers: 0,
+            commit: false,
+        })
+        .unwrap();
+    assert!(planned.plan.len() <= 2);
     handle.shutdown();
 }

@@ -1,0 +1,95 @@
+//! Renumbering-staleness audit: a `vm_delete` renumbers the tail VM into
+//! the freed slot, so any client-side cache of VM ids goes stale. This
+//! suite pins down the server-side guarantees that make that survivable:
+//!
+//! * every delete reports the renumbering (`renumbered_from`/`to`) so a
+//!   client can repair its cache,
+//! * a plan memoized before the delete is never served afterwards (the
+//!   coalescing key includes the state version a delta bumps), and
+//! * a snapshot → delete → restore round-trip interprets VM ids against
+//!   the restored state — a plan after the restore is identical to one
+//!   computed before the delete, never one targeting renumbered ids.
+
+use vmr_serve::client::ServeClient;
+use vmr_serve::proto::PlanParams;
+use vmr_serve::server::{serve, ServerConfig};
+use vmr_sim::env::ClusterDelta;
+use vmr_sim::types::VmId;
+
+fn plan_params(mnl: usize) -> PlanParams {
+    PlanParams {
+        session: "r".into(),
+        policy: "ha".into(),
+        mnl,
+        seed: 0,
+        budget_ms: 100,
+        shards: 0,
+        workers: 0,
+        commit: false,
+    }
+}
+
+#[test]
+fn delete_then_plan_then_restore_never_serves_stale_vm_ids() {
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    let info = client.create_session("r", "tiny", 3, 4).unwrap();
+    assert!(info.vms > 2, "need several VMs for the renumbering to occur");
+
+    // Capture the pre-delete world and a plan against it.
+    let snap0 = client.snapshot("r").unwrap().snapshot;
+    let plan0 = client.plan(plan_params(4)).unwrap();
+    assert!(plan0.computed);
+    let v0 = plan0.version;
+    // Identical request: served from the coalescing memo, same version.
+    let cached = client.plan(plan_params(4)).unwrap();
+    assert!(!cached.computed, "identical request at the same version hits the memo");
+    assert_eq!(cached.plan, plan0.plan);
+
+    // Delete VM 0: the tail VM is renumbered into slot 0 and the reply
+    // says so — the client-side repair contract.
+    let d = client.apply_delta("r", ClusterDelta::VmDelete { vm: VmId(0) }).unwrap();
+    assert_eq!(d.info.vms, info.vms - 1);
+    assert_eq!(d.renumbered_from, Some(info.vms as u32 - 1));
+    assert_eq!(d.renumbered_to, Some(0));
+    assert!(d.info.version > v0, "a delete must bump the state version");
+
+    // Same plan request after the delete: the memoized pre-delete plan
+    // (whose VM ids may now denote different machines) must NOT be
+    // served — the version key forces a fresh computation.
+    let plan1 = client.plan(plan_params(4)).unwrap();
+    assert!(plan1.computed, "stale cached plan must not survive a renumbering delta");
+    assert_eq!(plan1.version, d.info.version);
+    // Every served action resolves against the *current* state: ids in
+    // range, and `from_pm` is the VM's live host in a fresh snapshot.
+    let snap1 = client.snapshot("r").unwrap().snapshot;
+    for a in &plan1.plan {
+        assert!((a.vm as usize) < snap1.state.num_vms(), "plan targets a live VM");
+        assert_eq!(
+            snap1.state.placement(VmId(a.vm)).pm.0,
+            a.from_pm,
+            "served source host must match the post-delete state"
+        );
+    }
+
+    // Restore the pre-delete snapshot: ids revert to the old meaning and
+    // the same request reproduces the original plan exactly — proof the
+    // plan is interpreted against the restored state, not a renumbered
+    // leftover.
+    let restored = client.restore("r", snap0).unwrap();
+    assert_eq!(restored.vms, info.vms);
+    assert!(restored.version > plan1.version);
+    let plan2 = client.plan(plan_params(4)).unwrap();
+    assert!(plan2.computed, "restore bumps the version; the post-delete memo is dead");
+    assert_eq!(plan2.plan, plan0.plan, "restored state must reproduce the pre-delete plan");
+    assert_eq!(plan2.objective_after, plan0.objective_after);
+
+    // And a committing plan against the restored state still replays
+    // legally end to end (the full delete → plan → restore interleaving
+    // leaves a session that can mutate onward).
+    let committed = client.plan(PlanParams { commit: true, ..plan_params(4) }).unwrap();
+    assert!(committed.computed);
+    let stats = client.stats("r").unwrap();
+    assert_eq!(stats.session.unwrap().vms, info.vms);
+    handle.shutdown();
+}

@@ -442,8 +442,15 @@ impl ClusterState {
         policy: NumaPolicy,
         placement: Placement,
     ) -> SimResult<VmId> {
-        if cpu == 0 {
-            return Err(SimError::InvalidMapping("new VM requests zero CPU".into()));
+        if cpu == 0 || mem == 0 {
+            return Err(SimError::InvalidMapping("new VM requests zero CPU or memory".into()));
+        }
+        if policy == NumaPolicy::Double && (!cpu.is_multiple_of(2) || !mem.is_multiple_of(2)) {
+            // cpu_per_numa()/mem_per_numa() halve by truncation; an odd
+            // request would silently under-allocate one core or GiB.
+            return Err(SimError::InvalidMapping(
+                "double-NUMA VM needs even CPU and memory".into(),
+            ));
         }
         let id = VmId(self.vms.len() as u32);
         let vm = Vm { id, cpu, mem, numa: policy };
@@ -505,8 +512,11 @@ impl ClusterState {
     /// if the host NUMA node(s) cannot absorb the growth.
     pub fn resize_vm(&mut self, vm: VmId, cpu: u32, mem: u32) -> SimResult<()> {
         let old = *self.check_vm(vm)?;
-        if cpu == 0 {
-            return Err(SimError::InvalidMapping(format!("resize of VM {} to zero CPU", vm.0)));
+        if cpu == 0 || mem == 0 {
+            return Err(SimError::InvalidMapping(format!(
+                "resize of VM {} to zero CPU or memory",
+                vm.0
+            )));
         }
         if old.numa == NumaPolicy::Double && (!cpu.is_multiple_of(2) || !mem.is_multiple_of(2)) {
             return Err(SimError::InvalidMapping(format!(
@@ -532,12 +542,17 @@ impl ClusterState {
     }
 
     /// Appends a new empty PM with symmetric NUMA nodes (an online
-    /// *add-capacity* delta). Returns its dense id.
-    pub fn add_pm(&mut self, cpu_per_numa: u32, mem_per_numa: u32) -> PmId {
+    /// *add-capacity* delta). Returns its dense id. Zero-capacity PMs
+    /// are rejected — they would distort fragment-rate denominators and
+    /// feature normalization.
+    pub fn add_pm(&mut self, cpu_per_numa: u32, mem_per_numa: u32) -> SimResult<PmId> {
+        if cpu_per_numa == 0 || mem_per_numa == 0 {
+            return Err(SimError::InvalidMapping("new PM has zero CPU or memory".into()));
+        }
         let id = PmId(self.pms.len() as u32);
         self.pms.push(Pm::symmetric(id, cpu_per_numa, mem_per_numa));
         self.vms_on_pm.push(Vec::new());
-        id
+        Ok(id)
     }
 
     /// Total X-core CPU fragment across all PMs (numerator of FR).
@@ -967,7 +982,7 @@ mod tests {
     #[test]
     fn add_pm_extends_cluster() {
         let mut c = small_cluster();
-        let id = c.add_pm(44, 128);
+        let id = c.add_pm(44, 128).unwrap();
         assert_eq!(id, PmId(2));
         assert_eq!(c.num_pms(), 3);
         assert!(c.vms_on(id).is_empty());

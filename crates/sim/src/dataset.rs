@@ -203,6 +203,23 @@ impl ClusterConfig {
         }
     }
 
+    /// A 10,000-PM fleet — the scale regime shard-parallel planning
+    /// exists for, one order of magnitude beyond the paper's Large
+    /// dataset. Used by the `fleet_plan` bench (`xxl_10000pm`): at this
+    /// size any O(PMs·VMs)-per-move planner is minutes-per-plan
+    /// unsharded, while per-shard cost stays at the Medium scale.
+    /// Churn is kept moderate so bench setup stays tractable.
+    pub fn xxl() -> Self {
+        ClusterConfig {
+            name: "xxl".into(),
+            pm_groups: vec![PmGroup { count: 10_000, cpu_per_numa: 44, mem_per_numa: 128 }],
+            vm_mix: VmMix::large_skewed(),
+            target_util: 0.62,
+            churn_cycles: 1500,
+            shuffle_frac: 0.10,
+        }
+    }
+
     /// The paper's **Multi-Resource** dataset (§5.4): two PM shapes
     /// (88 CPU/256 GiB and 128 CPU/364 GiB) and memory-boosted VM types.
     pub fn multi_resource() -> Self {

@@ -243,10 +243,22 @@ impl ReschedEnv {
         let frag = self.objective.frag_cores();
         let outcome = match *delta {
             ClusterDelta::VmCreate { cpu, mem, numa } => {
-                let probe = Vm { id: VmId(self.state.num_vms() as u32), cpu, mem, numa };
-                if cpu == 0 {
-                    return Err(SimError::InvalidMapping("new VM requests zero CPU".into()));
+                // Reject degenerate requests before admission probing:
+                // zero-resource VMs would distort fragment accounting,
+                // and odd double-NUMA shapes would silently lose a core
+                // or GiB to per-NUMA truncation.
+                if cpu == 0 || mem == 0 {
+                    return Err(SimError::InvalidMapping(
+                        "new VM requests zero CPU or memory".into(),
+                    ));
                 }
+                if numa == NumaPolicy::Double && (!cpu.is_multiple_of(2) || !mem.is_multiple_of(2))
+                {
+                    return Err(SimError::InvalidMapping(
+                        "double-NUMA VM needs even CPU and memory".into(),
+                    ));
+                }
+                let probe = Vm { id: VmId(self.state.num_vms() as u32), cpu, mem, numa };
                 // Best-fit never consults the RNG; fixed seed keeps the
                 // admission deterministic.
                 let mut rng = StdRng::seed_from_u64(0);
@@ -280,10 +292,7 @@ impl ReschedEnv {
                 DeltaOutcome::default()
             }
             ClusterDelta::PmAdd { cpu_per_numa, mem_per_numa } => {
-                if cpu_per_numa == 0 {
-                    return Err(SimError::InvalidMapping("new PM has zero CPU".into()));
-                }
-                self.state.add_pm(cpu_per_numa, mem_per_numa);
+                self.state.add_pm(cpu_per_numa, mem_per_numa)?;
                 if let Some(engine) = &mut self.engine {
                     engine.note_pm_added(&self.state);
                 }
@@ -682,6 +691,50 @@ mod tests {
             Err(SimError::UnknownPm(_))
         ));
         assert_eq!(e.state(), &before);
+    }
+
+    #[test]
+    fn degenerate_deltas_are_rejected() {
+        let mut e = env(4);
+        let before = e.state().clone();
+        // Zero-resource creates and resizes, odd double-NUMA shapes, and
+        // zero-capacity PMs are all InvalidMapping, with state untouched.
+        for delta in [
+            ClusterDelta::VmCreate { cpu: 0, mem: 8, numa: NumaPolicy::Single },
+            ClusterDelta::VmCreate { cpu: 4, mem: 0, numa: NumaPolicy::Single },
+            ClusterDelta::VmCreate { cpu: 5, mem: 8, numa: NumaPolicy::Double },
+            ClusterDelta::VmCreate { cpu: 4, mem: 7, numa: NumaPolicy::Double },
+            ClusterDelta::VmResize { vm: VmId(0), cpu: 0, mem: 8 },
+            ClusterDelta::VmResize { vm: VmId(0), cpu: 4, mem: 0 },
+            ClusterDelta::PmAdd { cpu_per_numa: 0, mem_per_numa: 128 },
+            ClusterDelta::PmAdd { cpu_per_numa: 44, mem_per_numa: 0 },
+        ] {
+            assert!(
+                matches!(e.apply_delta(&delta), Err(SimError::InvalidMapping(_))),
+                "{delta:?} must be rejected as InvalidMapping"
+            );
+            assert_eq!(e.state(), &before, "{delta:?} must not mutate state");
+        }
+        // The direct cluster mutators enforce the same rules (the delta
+        // path is not the only entry).
+        let mut s = before.clone();
+        assert!(s
+            .add_vm(
+                4,
+                0,
+                NumaPolicy::Single,
+                Placement { pm: PmId(0), numa: NumaPlacement::Single(0) }
+            )
+            .is_err());
+        assert!(s
+            .add_vm(
+                3,
+                8,
+                NumaPolicy::Double,
+                Placement { pm: PmId(0), numa: NumaPlacement::Double }
+            )
+            .is_err());
+        assert!(s.resize_vm(VmId(0), 4, 0).is_err());
     }
 
     #[test]

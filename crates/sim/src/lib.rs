@@ -13,8 +13,10 @@
 //! * state featurization ([`obs::Observation`]) and its incremental
 //!   per-step engine ([`obs_cache::ObsEngine`]),
 //! * synthetic dataset generation replacing the proprietary traces
-//!   ([`dataset`]), and
-//! * dynamic churn + plan-staleness replay ([`dynamics`]).
+//!   ([`dataset`]),
+//! * dynamic churn + plan-staleness replay ([`dynamics`]), and
+//! * shard-parallel fleet planning under one global migration budget
+//!   ([`shard`]).
 //!
 //! Determinism is the load-bearing property: given a state and an action
 //! the next state is exact, which lets agents train offline and lets the
@@ -57,6 +59,7 @@ pub mod objective;
 pub mod obs;
 pub mod obs_cache;
 pub mod scheduler;
+pub mod shard;
 pub mod trace;
 pub mod types;
 
@@ -67,4 +70,8 @@ pub use error::{SimError, SimResult};
 pub use machine::{Numa, Placement, Pm, Vm};
 pub use objective::Objective;
 pub use obs_cache::ObsEngine;
+pub use shard::{
+    apportion_mnl, extract_subcluster, fleet_plan, partition_pms, FleetConfig, FleetOutcome,
+    MnlLedger, ShardStrategy, SubCluster,
+};
 pub use types::{NumaPlacement, NumaPolicy, PmId, VmId};

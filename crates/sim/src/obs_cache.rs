@@ -670,7 +670,7 @@ mod tests {
         let mut s = state(14);
         let mut e = ObsEngine::new(&s, 16);
         // A huge empty PM moves several column extrema at once.
-        s.add_pm(88, 256);
+        s.add_pm(88, 256).unwrap();
         e.note_pm_added(&s);
         assert_eq!(e.observation(&s), &Observation::extract(&s, 16));
         // And a migration onto the new PM keeps working incrementally.

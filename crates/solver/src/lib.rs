@@ -24,5 +24,5 @@ pub use bnb::{
     branch_and_bound, branch_and_bound_warmstart, max_gain_per_move, SolveResult, SolverConfig,
 };
 pub use lp_bound::fragment_rate_lower_bound;
-pub use pop::{extract_subcluster, pop_solve, PopConfig, SubCluster};
+pub use pop::{extract_subcluster, pop_solve, PopConfig, SubCluster, MIN_PARTITION_TIME};
 pub use simplex::{Direction, LinearProgram, LpOutcome, Sense};

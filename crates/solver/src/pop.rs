@@ -8,19 +8,38 @@
 //! the sub-plans. Solutions are only locally optimal — cross-partition
 //! moves are never considered — which is exactly the deficiency the paper
 //! measures.
+//!
+//! Since PR 5 the partitioning machinery lives in the shared
+//! [`vmr_sim::shard`] layer (re-exported here for compatibility): POP is
+//! `fleet_plan` with [`ShardStrategy::Random`], branch-and-bound as the
+//! per-shard planner, sequential workers, and **no** cross-shard
+//! refinement — faithfully the baseline, but with the global MNL honored
+//! exactly. Sub-budgets come from largest-remainder apportionment
+//! (`Σ sub_mnl ≤ mnl`; the old per-partition `round().max(1)` could
+//! overdraw the operator's budget by up to the partition count) and the
+//! stitched plan is additionally capped by the shared [`MnlLedger`].
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 use vmr_sim::cluster::ClusterState;
 use vmr_sim::constraints::ConstraintSet;
-use vmr_sim::env::Action;
-use vmr_sim::machine::{Placement, Pm, Vm};
 use vmr_sim::objective::Objective;
-use vmr_sim::types::{PmId, VmId};
+use vmr_sim::shard::{fleet_plan, FleetConfig, ShardStrategy};
+
+// Compatibility re-exports: the extraction machinery was promoted from
+// this module into the shared shard layer in PR 5.
+pub use vmr_sim::shard::{extract_subcluster, SubCluster};
 
 use crate::bnb::{branch_and_bound, SolveResult, SolverConfig};
+
+/// Minimum wall-clock budget any partition receives. Dividing a small
+/// total budget by a large partition count used to integer-divide to a
+/// zero `Duration`, turning every subproblem into an instant deadline
+/// miss; clamping keeps a 16-partition solve under a 1 ms total budget
+/// well-defined (each partition gets a token slice and returns its best
+/// anytime plan, possibly empty).
+pub const MIN_PARTITION_TIME: Duration = Duration::from_millis(1);
 
 /// POP configuration.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +47,8 @@ pub struct PopConfig {
     /// Number of subproblems (the paper uses 16 on the Medium dataset).
     pub partitions: usize,
     /// Per-subproblem solver configuration. The time budget here is the
-    /// *total* budget; it is divided evenly across partitions.
+    /// *total* budget; it is divided evenly across partitions (clamped to
+    /// [`MIN_PARTITION_TIME`] each).
     pub sub: SolverConfig,
     /// RNG seed for the random partition.
     pub seed: u64,
@@ -41,6 +61,10 @@ impl Default for PopConfig {
 }
 
 /// Solves by random partitioning + per-partition branch-and-bound.
+///
+/// The returned plan never exceeds the global `mnl`: partition budgets
+/// are apportioned by largest remainder over VM populations and the
+/// stitched plan is routed through the shared global ledger.
 pub fn pop_solve(
     initial: &ClusterState,
     constraints: &ConstraintSet,
@@ -48,117 +72,36 @@ pub fn pop_solve(
     mnl: usize,
     cfg: &PopConfig,
 ) -> SolveResult {
-    let start = std::time::Instant::now();
     let k = cfg.partitions.max(1).min(initial.num_pms().max(1));
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut pm_ids: Vec<u32> = (0..initial.num_pms() as u32).collect();
-    pm_ids.shuffle(&mut rng);
-
-    let mut plan = Vec::new();
-    let mut nodes = 0;
-    let mut all_proved = true;
-    let per_part_time = cfg.sub.time_limit / k as u32;
-    let total_vms = initial.num_vms().max(1);
-    let mut state = initial.clone();
-
-    for part in 0..k {
-        let part_pms: Vec<u32> = pm_ids.iter().copied().skip(part).step_by(k).collect();
-        if part_pms.is_empty() {
-            continue;
-        }
-        let Some(sub) = extract_subcluster(&state, constraints, &part_pms) else {
-            continue;
-        };
-        if sub.state.num_vms() == 0 {
-            continue;
-        }
-        // MNL share proportional to the partition's VM population.
-        let sub_mnl = ((mnl * sub.state.num_vms()) as f64 / total_vms as f64).round() as usize;
-        let sub_mnl = sub_mnl.max(1);
-        let sub_cfg = SolverConfig { time_limit: per_part_time, ..cfg.sub };
+    let per_part_time = (cfg.sub.time_limit / k as u32).max(MIN_PARTITION_TIME);
+    let sub_cfg = SolverConfig { time_limit: per_part_time, ..cfg.sub };
+    let nodes = AtomicUsize::new(0);
+    let some_unproved = AtomicBool::new(false);
+    let fleet_cfg = FleetConfig {
+        shards: k,
+        strategy: ShardStrategy::Random,
+        seed: cfg.seed,
+        // The baseline is sequential (its production deployments solve
+        // partitions on one MIP license); parallel sharding is the fleet
+        // planner's upgrade, not POP's.
+        workers: 1,
+        refine: false,
+    };
+    let out = fleet_plan(initial, constraints, objective, mnl, &fleet_cfg, |_, sub, sub_mnl| {
         let res = branch_and_bound(&sub.state, &sub.constraints, objective, sub_mnl, &sub_cfg);
-        nodes += res.nodes_expanded;
-        all_proved &= res.proved_optimal;
-        for a in res.plan {
-            let global =
-                Action { vm: sub.vm_map[a.vm.0 as usize], pm: sub.pm_map[a.pm.0 as usize] };
-            // Apply to the global state; POP sub-plans are disjoint in PMs
-            // so these cannot conflict, but re-check defensively.
-            if state.migrate(global.vm, global.pm, objective.frag_cores()).is_ok() {
-                plan.push(global);
-            }
+        nodes.fetch_add(res.nodes_expanded, Ordering::Relaxed);
+        if !res.proved_optimal {
+            some_unproved.store(true, Ordering::Relaxed);
         }
-    }
+        res.plan
+    });
     SolveResult {
-        objective: objective.value(&state),
-        plan,
-        nodes_expanded: nodes,
-        elapsed: start.elapsed(),
-        proved_optimal: all_proved,
+        objective: out.objective,
+        plan: out.plan,
+        nodes_expanded: nodes.into_inner(),
+        elapsed: out.elapsed,
+        proved_optimal: !some_unproved.into_inner(),
     }
-}
-
-/// A subcluster extracted from a global state, with id re-mappings.
-pub struct SubCluster {
-    /// The reindexed subcluster state.
-    pub state: ClusterState,
-    /// Constraints restricted to the subcluster's VMs.
-    pub constraints: ConstraintSet,
-    /// Sub VM id → global VM id.
-    pub vm_map: Vec<VmId>,
-    /// Sub PM id → global PM id.
-    pub pm_map: Vec<PmId>,
-}
-
-/// Restricts a cluster to a subset of PMs (VMs follow their host PM).
-/// Returns `None` if reconstruction fails (cannot happen for consistent
-/// inputs; defensive).
-pub fn extract_subcluster(
-    state: &ClusterState,
-    constraints: &ConstraintSet,
-    pm_subset: &[u32],
-) -> Option<SubCluster> {
-    let mut pm_map = Vec::with_capacity(pm_subset.len());
-    let mut pm_rev = vec![None; state.num_pms()];
-    let mut pms: Vec<Pm> = Vec::with_capacity(pm_subset.len());
-    for (new_id, &old) in pm_subset.iter().enumerate() {
-        let mut pm = state.pm(PmId(old)).clone();
-        pm.id = PmId(new_id as u32);
-        pm_rev[old as usize] = Some(new_id as u32);
-        pm_map.push(PmId(old));
-        pms.push(pm);
-    }
-    let mut vms: Vec<Vm> = Vec::new();
-    let mut placements: Vec<Placement> = Vec::new();
-    let mut vm_map = Vec::new();
-    let mut vm_rev = vec![None; state.num_vms()];
-    for &old_pm in pm_subset {
-        for &vm_id in state.vms_on(PmId(old_pm)) {
-            let mut vm = *state.vm(vm_id);
-            let old_pl = state.placement(vm_id);
-            vm_rev[vm_id.0 as usize] = Some(vms.len() as u32);
-            vm.id = VmId(vms.len() as u32);
-            vm_map.push(vm_id);
-            vms.push(vm);
-            placements.push(Placement {
-                pm: PmId(pm_rev[old_pl.pm.0 as usize].expect("host PM in subset")),
-                numa: old_pl.numa,
-            });
-        }
-    }
-    let mut sub_cs = ConstraintSet::new(vms.len());
-    for (new_idx, &old_id) in vm_map.iter().enumerate() {
-        if constraints.is_pinned(old_id) {
-            sub_cs.pin(VmId(new_idx as u32)).ok()?;
-        }
-        for &other in constraints.conflicts_of(old_id) {
-            if let Some(new_other) = vm_rev[other.0 as usize] {
-                sub_cs.add_conflict(VmId(new_idx as u32), VmId(new_other)).ok()?;
-            }
-        }
-    }
-    let state = ClusterState::new(pms, vms, placements).ok()?;
-    Some(SubCluster { state, constraints: sub_cs, vm_map, pm_map })
 }
 
 #[cfg(test)]
@@ -169,43 +112,6 @@ mod tests {
 
     fn state() -> ClusterState {
         generate_mapping(&ClusterConfig::tiny(), 21).unwrap()
-    }
-
-    #[test]
-    fn subcluster_preserves_local_structure() {
-        let s = state();
-        let cs = ConstraintSet::new(s.num_vms());
-        let sub = extract_subcluster(&s, &cs, &[0, 2, 4]).unwrap();
-        sub.state.audit().unwrap();
-        assert_eq!(sub.state.num_pms(), 3);
-        // Every extracted VM keeps its flavor.
-        for (new_idx, old_id) in sub.vm_map.iter().enumerate() {
-            let a = sub.state.vm(VmId(new_idx as u32));
-            let b = s.vm(*old_id);
-            assert_eq!((a.cpu, a.mem, a.numa), (b.cpu, b.mem, b.numa));
-        }
-        // Fragment mass of the subcluster equals the sum over its PMs.
-        let expect: u64 = [0u32, 2, 4].iter().map(|&i| s.pm(PmId(i)).cpu_fragment(16) as u64).sum();
-        assert_eq!(sub.state.total_cpu_fragment(16), expect);
-    }
-
-    #[test]
-    fn subcluster_restricts_constraints() {
-        let s = state();
-        let mut cs = ConstraintSet::new(s.num_vms());
-        // Pin the first VM hosted on PM 0 and conflict the first two VMs there.
-        let on0 = s.vms_on(PmId(0)).to_vec();
-        if on0.len() >= 2 {
-            cs.pin(on0[0]).unwrap();
-            cs.add_conflict(on0[0], on0[1]).unwrap();
-        }
-        let sub = extract_subcluster(&s, &cs, &[0]).unwrap();
-        if on0.len() >= 2 {
-            let new0 = sub.vm_map.iter().position(|&v| v == on0[0]).unwrap();
-            let new1 = sub.vm_map.iter().position(|&v| v == on0[1]).unwrap();
-            assert!(sub.constraints.is_pinned(VmId(new0 as u32)));
-            assert!(sub.constraints.conflicts_of(VmId(new0 as u32)).contains(&VmId(new1 as u32)));
-        }
     }
 
     #[test]
@@ -230,11 +136,12 @@ mod tests {
         }
         assert!((Objective::default().value(&replay) - res.objective).abs() < 1e-12);
         assert!(res.objective <= s.fragment_rate(16) + 1e-12);
-        assert!(res.plan.len() <= 6 + cfg.partitions); // rounding slack
+        // The global budget is exact — no per-partition rounding slack.
+        assert!(res.plan.len() <= 6);
     }
 
     #[test]
-    fn pop_respects_mnl_roughly() {
+    fn pop_respects_global_mnl_exactly() {
         let s = state();
         let cs = ConstraintSet::new(s.num_vms());
         let cfg = PopConfig {
@@ -247,6 +154,35 @@ mod tests {
             seed: 3,
         };
         let res = pop_solve(&s, &cs, Objective::default(), 4, &cfg);
-        assert!(res.plan.len() <= 4 + 2, "each partition may round up by one");
+        assert!(res.plan.len() <= 4, "no partition round-up may overdraw the budget");
+        // A budget smaller than the partition count stays exact too —
+        // the old `.max(1)` floor made this case overdraw.
+        let res = pop_solve(&s, &cs, Objective::default(), 1, &cfg);
+        assert!(res.plan.len() <= 1);
+    }
+
+    #[test]
+    fn pop_survives_zero_budget_partitions() {
+        // 16 partitions sharing a 1 ms budget used to integer-divide to a
+        // 0 ns per-partition deadline; the clamp keeps every subproblem
+        // well-defined and the solve returns a (possibly empty) plan.
+        let s = state();
+        let cs = ConstraintSet::new(s.num_vms());
+        let cfg = PopConfig {
+            partitions: 16,
+            sub: SolverConfig {
+                time_limit: Duration::from_millis(1),
+                beam_width: Some(4),
+                ..Default::default()
+            },
+            seed: 5,
+        };
+        let res = pop_solve(&s, &cs, Objective::default(), 8, &cfg);
+        assert!(res.plan.len() <= 8);
+        let mut replay = s.clone();
+        for a in &res.plan {
+            replay.migrate(a.vm, a.pm, 16).unwrap();
+        }
+        assert!(res.objective <= s.fragment_rate(16) + 1e-12, "anytime result never regresses");
     }
 }

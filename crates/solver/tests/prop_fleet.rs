@@ -1,0 +1,147 @@
+//! Tier-1 correctness gate for shard-parallel fleet planning: for random
+//! clusters, constraint sets, shard counts, strategies, and worker
+//! counts, the stitched plan must
+//!
+//! * replay **legally** under the live `ConstraintSet` (every action
+//!   passes `migration_legal` at its point in the sequence),
+//! * never exceed the **global** MNL — the deployment constraint the old
+//!   per-partition `round().max(1)` apportionment violated, and
+//! * be **byte-identical for 1 vs N workers** — the property that lets
+//!   the serving layer memoize fleet plans and parallelize freely.
+//!
+//! POP rides the same machinery, so the suite also pins `pop_solve` to
+//! the exact global budget.
+
+use proptest::prelude::*;
+use vmr_sim::cluster::ClusterState;
+use vmr_sim::constraints::ConstraintSet;
+use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
+use vmr_sim::objective::Objective;
+use vmr_sim::shard::{fleet_plan, FleetConfig, ShardStrategy, SubCluster};
+use vmr_sim::types::VmId;
+use vmr_solver::bnb::{branch_and_bound, SolverConfig};
+use vmr_solver::pop::{pop_solve, PopConfig};
+
+fn cluster(seed: u64, pms: usize) -> ClusterState {
+    let cfg = ClusterConfig {
+        pm_groups: vec![PmGroup { count: pms, cpu_per_numa: 44, mem_per_numa: 128 }],
+        churn_cycles: 25,
+        ..ClusterConfig::tiny()
+    };
+    generate_mapping(&cfg, seed).expect("mapping")
+}
+
+/// Random pins and conflicts over the cluster's VMs, derived
+/// deterministically from `seed`.
+fn constraints(state: &ClusterState, seed: u64) -> ConstraintSet {
+    let n = state.num_vms();
+    let mut cs = ConstraintSet::new(n);
+    let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        z
+    };
+    for _ in 0..n / 8 {
+        let _ = cs.pin(VmId((next() % n as u64) as u32));
+    }
+    for _ in 0..n / 6 {
+        let (a, b) = (VmId((next() % n as u64) as u32), VmId((next() % n as u64) as u32));
+        if a != b {
+            let _ = cs.add_conflict(a, b);
+        }
+    }
+    cs
+}
+
+/// The deterministic per-shard planner the properties use: bounded
+/// branch-and-bound whose wall-clock deadline is far beyond what the
+/// tiny shards need, so its result depends only on the subproblem.
+fn bnb_shard_solver(sub: &SubCluster, sub_mnl: usize) -> Vec<vmr_sim::env::Action> {
+    let cfg = SolverConfig {
+        time_limit: std::time::Duration::from_secs(60),
+        node_limit: 4000,
+        beam_width: Some(6),
+        improving_only: true,
+    };
+    branch_and_bound(&sub.state, &sub.constraints, Objective::default(), sub_mnl, &cfg).plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fleet_plans_are_legal_budgeted_and_worker_invariant(
+        seed in 0u64..12,
+        pms in 4usize..9,
+        shards in 1usize..6,
+        mnl in 0usize..8,
+        strategy_pick in 0u8..3,
+        refine_pick in 0u8..2,
+        workers in 2usize..5,
+    ) {
+        let state = cluster(seed, pms);
+        let cs = constraints(&state, seed);
+        let strategy = match strategy_pick {
+            0 => ShardStrategy::Random,
+            1 => ShardStrategy::Contiguous,
+            _ => ShardStrategy::FragBalanced,
+        };
+        let refine = refine_pick == 1;
+        let cfg = FleetConfig { shards, strategy, seed, workers: 1, refine };
+        let out = fleet_plan(&state, &cs, Objective::default(), mnl, &cfg, |_, sub, m| {
+            bnb_shard_solver(sub, m)
+        });
+
+        // Global MNL respected — the acceptance criterion: no fleet path
+        // may emit a plan longer than the requested budget.
+        prop_assert!(out.plan.len() <= mnl, "{} > MNL {}", out.plan.len(), mnl);
+
+        // Legality by sequential replay under the live constraints.
+        let mut replay = state.clone();
+        for a in &out.plan {
+            prop_assert!(cs.migration_legal(&replay, a.vm, a.pm).is_ok());
+            replay.migrate(a.vm, a.pm, 16).expect("stitched action must apply");
+        }
+        let obj = Objective::default().value(&replay);
+        prop_assert!((obj - out.objective).abs() < 1e-12);
+        prop_assert!(out.objective <= state.fragment_rate(16) + 1e-12, "never regresses");
+
+        // Worker-count invariance: N workers, same bytes.
+        let cfg_n = FleetConfig { workers, ..cfg };
+        let out_n = fleet_plan(&state, &cs, Objective::default(), mnl, &cfg_n, |_, sub, m| {
+            bnb_shard_solver(sub, m)
+        });
+        prop_assert_eq!(&out.plan, &out_n.plan, "1 vs {} workers must agree", workers);
+        prop_assert_eq!(out.objective, out_n.objective);
+    }
+
+    #[test]
+    fn pop_never_exceeds_the_global_mnl(
+        seed in 0u64..10,
+        partitions in 1usize..7,
+        mnl in 0usize..7,
+    ) {
+        let state = cluster(seed.wrapping_add(100), 6);
+        let cs = constraints(&state, seed);
+        let cfg = PopConfig {
+            partitions,
+            sub: SolverConfig {
+                time_limit: std::time::Duration::from_millis(40),
+                node_limit: 2000,
+                beam_width: Some(4),
+                improving_only: true,
+            },
+            seed,
+        };
+        let res = pop_solve(&state, &cs, Objective::default(), mnl, &cfg);
+        prop_assert!(res.plan.len() <= mnl, "POP overdraw: {} > {}", res.plan.len(), mnl);
+        let mut replay = state.clone();
+        for a in &res.plan {
+            prop_assert!(cs.migration_legal(&replay, a.vm, a.pm).is_ok());
+            replay.migrate(a.vm, a.pm, 16).expect("POP action must apply");
+        }
+        prop_assert!((Objective::default().value(&replay) - res.objective).abs() < 1e-12);
+    }
+}

@@ -105,6 +105,8 @@ fn four_concurrent_clients_full_lifecycle() {
                             mnl: 4,
                             seed: 11,
                             budget_ms: 100,
+                            shards: 0,
+                            workers: 0,
                             commit: false,
                         })
                         .unwrap_or_else(|e| panic!("{policy} plan: {e}"));
@@ -124,6 +126,8 @@ fn four_concurrent_clients_full_lifecycle() {
                             mnl: 4,
                             seed: 11,
                             budget_ms: 100,
+                            shards: 0,
+                            workers: 0,
                             commit: false,
                         })
                         .expect("repeat plan");
@@ -180,6 +184,8 @@ fn committed_plans_advance_the_live_state() {
             mnl: 8,
             seed: 0,
             budget_ms: 50,
+            shards: 0,
+            workers: 0,
             commit: true,
         })
         .expect("commit plan");
@@ -199,10 +205,36 @@ fn committed_plans_advance_the_live_state() {
             mnl: 6,
             seed: 1,
             budget_ms: 100,
+            shards: 0,
+            workers: 0,
             commit: false,
         })
         .expect("swap plan");
     assert_plan_legal(&after, &searched);
+    // And the shard-parallel fleet planner: legal, within the global
+    // MNL, and byte-identical for any worker count (the request's
+    // `workers` is a pure latency knob).
+    let fleet_params = |workers: usize| PlanParams {
+        session: "commit-me".into(),
+        policy: "fleet".into(),
+        mnl: 5,
+        seed: 2,
+        budget_ms: 200,
+        shards: 2,
+        workers,
+        commit: false,
+    };
+    let fleet1 = client.plan(fleet_params(1)).expect("fleet plan");
+    assert_eq!(fleet1.policy, "fleet");
+    assert!(fleet1.plan.len() <= 5, "fleet must honor the global MNL over the wire");
+    assert_plan_legal(&after, &fleet1);
+    // `workers` is a pure latency knob (plans are worker-invariant, see
+    // prop_fleet), so it is normalized out of the coalescing key: the
+    // same request at another worker count is a memo hit, not a second
+    // computation — and serves the identical plan.
+    let fleet4 = client.plan(fleet_params(4)).expect("fleet plan, 4 workers");
+    assert_eq!(fleet4.plan, fleet1.plan, "worker count must not change the served plan");
+    assert!(!fleet4.computed, "worker-count-only variation must hit the plan memo");
     handle.shutdown();
 }
 
@@ -224,6 +256,8 @@ fn unknown_entities_yield_structured_errors() {
             mnl: 4,
             seed: 0,
             budget_ms: 10,
+            shards: 0,
+            workers: 0,
             commit: false,
         })
         .unwrap_err();
@@ -235,6 +269,8 @@ fn unknown_entities_yield_structured_errors() {
             mnl: 4,
             seed: 0,
             budget_ms: 10,
+            shards: 0,
+            workers: 0,
             commit: false,
         })
         .unwrap_err();
@@ -276,6 +312,8 @@ fn medium_scale_session_serves_deltas_and_plans() {
             mnl: 2,
             seed: 0,
             budget_ms: 0,
+            shards: 0,
+            workers: 0,
             commit: false,
         })
         .expect("plan");
