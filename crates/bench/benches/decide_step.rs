@@ -6,6 +6,11 @@
 //! `graph_*` is the "old" side of the pair (PR 3's only path), kept in
 //! tree exactly for this measurement; `act_*` is what serving and
 //! evaluation now run, `decide_*` what rollout collection runs.
+//!
+//! The `decide_step_f32` group is the PR 6 acceptance pair: the same
+//! full decision through the f32/SIMD fast path (`act_f32` on a
+//! once-cast [`Vmr2lModelF32`]) against `decide_step/fwd_act_*` — the
+//! tolerance-gated twin, not a bit-identical engine swap.
 
 use std::time::Duration;
 
@@ -14,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vmr_core::agent::{DecideOpts, InferCtx, Vmr2lAgent};
 use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
-use vmr_core::model::Vmr2lModel;
+use vmr_core::model::{Vmr2lModel, Vmr2lModelF32};
 use vmr_sim::dataset::{generate_mapping, ClusterConfig};
 use vmr_sim::env::ReschedEnv;
 use vmr_sim::objective::Objective;
@@ -32,28 +37,35 @@ fn setup(cfg: &ClusterConfig) -> (Vmr2lAgent<Vmr2lModel>, ReschedEnv) {
 fn bench_decide(c: &mut Criterion) {
     let mut group = c.benchmark_group("decide_step");
     let opts = DecideOpts::default();
-    for (label, cfg, samples) in [
-        ("small_40pm", ClusterConfig::small_train(), 10usize),
-        ("medium_280pm", ClusterConfig::medium(), 3),
+    // The xxl fleet runs `fwd_act` only: the legacy graph path takes
+    // minutes *per iteration* at 10k PMs, and `fwd_decide` differs from
+    // `fwd_act` only by the StoredObs clone — the medium pair already
+    // tracks that delta.
+    for (label, cfg, samples, act_only) in [
+        ("small_40pm", ClusterConfig::small_train(), 10usize, false),
+        ("medium_280pm", ClusterConfig::medium(), 3, false),
+        ("xxl_10000pm", ClusterConfig::xxl(), 2, true),
     ] {
         let (agent, mut env) = setup(&cfg);
         group.sample_size(samples.max(2));
         group.measurement_time(Duration::from_secs(if samples > 3 { 3 } else { 4 }));
 
-        let mut rng = StdRng::seed_from_u64(1);
-        group.bench_function(format!("graph_{label}"), |b| {
-            b.iter(|| {
-                black_box(agent.decide_via_graph(&mut env, &mut rng, &opts).unwrap());
-            })
-        });
-
         let mut ictx = InferCtx::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        group.bench_function(format!("fwd_decide_{label}"), |b| {
-            b.iter(|| {
-                black_box(agent.decide_in(&mut env, &mut ictx, &mut rng, &opts).unwrap());
-            })
-        });
+        if !act_only {
+            let mut rng = StdRng::seed_from_u64(1);
+            group.bench_function(format!("graph_{label}"), |b| {
+                b.iter(|| {
+                    black_box(agent.decide_via_graph(&mut env, &mut rng, &opts).unwrap());
+                })
+            });
+
+            let mut rng = StdRng::seed_from_u64(1);
+            group.bench_function(format!("fwd_decide_{label}"), |b| {
+                b.iter(|| {
+                    black_box(agent.decide_in(&mut env, &mut ictx, &mut rng, &opts).unwrap());
+                })
+            });
+        }
 
         let mut rng = StdRng::seed_from_u64(1);
         group.bench_function(format!("fwd_act_{label}"), |b| {
@@ -65,9 +77,33 @@ fn bench_decide(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_decide_f32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_step_f32");
+    let opts = DecideOpts::default();
+    for (label, cfg, samples) in [
+        ("small_40pm", ClusterConfig::small_train(), 10usize),
+        ("medium_280pm", ClusterConfig::medium(), 3),
+        ("xxl_10000pm", ClusterConfig::xxl(), 2),
+    ] {
+        let (agent, mut env) = setup(&cfg);
+        let m32 = Vmr2lModelF32::from_f64(&agent.policy);
+        group.sample_size(samples.max(2));
+        group.measurement_time(Duration::from_secs(if samples > 3 { 3 } else { 4 }));
+
+        let mut ictx = InferCtx::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(format!("act_{label}"), |b| {
+            b.iter(|| {
+                black_box(agent.act_f32(&m32, &mut env, &mut ictx, &mut rng, &opts).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_decide
+    targets = bench_decide, bench_decide_f32
 }
 criterion_main!(benches);

@@ -40,7 +40,14 @@ fn agent_handle() -> SharedAgent {
 }
 
 fn plan_request(mnl: usize, shards: usize) -> PlanRequest {
-    PlanRequest { mnl, seed: 3, budget: Duration::from_secs(120), shards, workers: 0 }
+    PlanRequest {
+        mnl,
+        seed: 3,
+        budget: Duration::from_secs(120),
+        shards,
+        workers: 0,
+        precision: vmr_core::config::PrecisionConfig::Exact64,
+    }
 }
 
 /// Benchmarks one unsharded-vs-fleet pair at an equal global MNL.

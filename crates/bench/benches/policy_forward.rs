@@ -10,9 +10,10 @@ use rand::{Rng, SeedableRng};
 use vmr_core::agent::Policy;
 use vmr_core::config::{ExtractorKind, ModelConfig};
 use vmr_core::features::{FeatureTensors, TreeIndex};
-use vmr_core::model::Vmr2lModel;
+use vmr_core::model::{Vmr2lModel, Vmr2lModelF32};
 use vmr_nn::graph::Graph;
 use vmr_nn::infer::FwdCtx;
+use vmr_nn::infer32::FwdCtx32;
 use vmr_nn::kernels::{matmul_into, matmul_nt_into, matmul_sparse_into};
 use vmr_nn::tensor::Tensor;
 use vmr_sim::dataset::{generate_mapping, ClusterConfig, PmGroup};
@@ -73,6 +74,46 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The f32/SIMD twin of `policy_forward`: the same stage-1 (and stage-1 +
+/// stage-2) forward through [`Vmr2lModelF32`], cast once outside the
+/// timed region — the A/B family behind the PR 6 acceptance ratio.
+fn bench_engines_f32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_forward_f32");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    let m32 = Vmr2lModelF32::from_f64(&model);
+    for pms in [40usize, 80] {
+        let feats = feats_for(pms);
+        let mut tree = TreeIndex::new();
+        tree.rebuild(&feats);
+        let mut ctx = FwdCtx32::new();
+        group.bench_with_input(
+            BenchmarkId::new("stage1_fwd", format!("{pms}pm_{}vm", feats.num_vms)),
+            &feats,
+            |b, f| {
+                b.iter(|| {
+                    ctx.reset();
+                    black_box(m32.stage1_fwd(&mut ctx, f, Some(&tree.groups)));
+                })
+            },
+        );
+        let mut ctx2 = FwdCtx32::new();
+        group.bench_with_input(
+            BenchmarkId::new("stage1_plus_stage2_fwd", format!("{pms}pm")),
+            &feats,
+            |b, f| {
+                b.iter(|| {
+                    ctx2.reset();
+                    let s1 = m32.stage1_fwd(&mut ctx2, f, Some(&tree.groups));
+                    black_box(m32.stage2_fwd(&mut ctx2, &s1, 0));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul_kernels");
     group.sample_size(20);
@@ -122,6 +163,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engines, bench_kernels
+    targets = bench_engines, bench_engines_f32, bench_kernels
 }
 criterion_main!(benches);

@@ -13,6 +13,7 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmr_core::config::PrecisionConfig;
 use vmr_serve::client::ServeClient;
 use vmr_serve::proto::PlanParams;
 use vmr_serve::server::{serve, ServerConfig};
@@ -77,6 +78,7 @@ fn bench_serve(c: &mut Criterion) {
         budget_ms: 50,
         shards: 0,
         workers: 0,
+        precision: PrecisionConfig::Exact64,
         commit: false,
     };
     group.bench_function(BenchmarkId::new("plan_request_cached", SIZE), |b| {

@@ -1,23 +1,30 @@
 //! Compares two bench captures and fails on median regressions.
 //!
 //! ```text
-//! bench_diff <OLD.json> <NEW.json> [--threshold PCT]
+//! bench_diff <OLD.json> <NEW.json> [--threshold PCT] [--threshold-for FAMILY=PCT]...
 //! ```
 //!
 //! Accepts both the wrapped `BENCH_*.json` format and the raw JSON-lines
 //! stream the criterion shim writes via `VMR_BENCH_JSON`. Exits nonzero
-//! when any benchmark id present in both captures is more than
-//! `--threshold` percent (default 25) slower in NEW — the CI gate that
-//! keeps the simulator hot paths from silently regressing.
+//! when any benchmark id present in both captures is more than its gate
+//! percentage slower in NEW — the CI gate that keeps the simulator hot
+//! paths from silently regressing. The gate is `--threshold` (default
+//! 25) unless the id's family — its first `/`-segment — has a
+//! `--threshold-for` override, e.g. `--threshold-for policy_forward=50`
+//! for a noisy family; the flag repeats. An override whose family
+//! matches no compared id is a config error (exit 2), not a no-op.
 
 use std::process::ExitCode;
 
-use vmr_bench::diff::{fmt_ns, parse_capture, BenchDiff};
+use vmr_bench::diff::{fmt_ns, parse_capture, BenchDiff, Thresholds};
+
+const USAGE: &str =
+    "usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT] [--threshold-for FAMILY=PCT]...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut threshold_pct = 25.0f64;
+    let mut thresholds = Thresholds::uniform(0.25);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -26,17 +33,29 @@ fn main() -> ExitCode {
                     eprintln!("--threshold needs a numeric percentage");
                     return ExitCode::from(2);
                 };
-                threshold_pct = v;
+                thresholds.default = v / 100.0;
+            }
+            "--threshold-for" => {
+                let parsed = it.next().and_then(|s| {
+                    let (family, pct) = s.split_once('=')?;
+                    let pct = pct.parse::<f64>().ok()?;
+                    (!family.is_empty()).then(|| (family.to_string(), pct / 100.0))
+                });
+                let Some((family, gate)) = parsed else {
+                    eprintln!("--threshold-for needs FAMILY=PCT, e.g. policy_forward=50");
+                    return ExitCode::from(2);
+                };
+                thresholds.per_family.insert(family, gate);
             }
             "--help" | "-h" => {
-                eprintln!("usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => paths.push(arg.clone()),
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
     let load = |path: &str| -> Result<_, String> {
@@ -52,10 +71,9 @@ fn main() -> ExitCode {
     };
 
     let diff = BenchDiff::compare(&old, &new);
-    let threshold = threshold_pct / 100.0;
     println!("{:<55} {:>12} {:>12} {:>8}", "benchmark", "old", "new", "ratio");
     for e in &diff.entries {
-        let flag = if e.regressed(threshold) {
+        let flag = if e.regressed(thresholds.for_id(&e.id)) {
             "  << REGRESSION"
         } else if e.ratio() < 0.75 {
             "  (improved)"
@@ -84,18 +102,40 @@ fn main() -> ExitCode {
         println!("\nFAIL: the captures share no benchmark ids; nothing was compared");
         return ExitCode::from(2);
     }
-    let regressions = diff.regressions(threshold);
+    let unmatched = diff.unmatched_families(&thresholds);
+    if !unmatched.is_empty() {
+        // An override naming no compared family is a config error (most
+        // likely a typo'd family), not a loosened gate — fail loudly
+        // rather than silently keeping that family on the default.
+        println!(
+            "\nFAIL: --threshold-for famil{} matched no compared benchmark id: {}",
+            if unmatched.len() == 1 { "y" } else { "ies" },
+            unmatched.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    let overrides = if thresholds.per_family.is_empty() {
+        String::new()
+    } else {
+        let list: Vec<String> =
+            thresholds.per_family.iter().map(|(f, t)| format!("{f}={:.0}%", t * 100.0)).collect();
+        format!(", overrides: {}", list.join(" "))
+    };
+    let regressions = diff.regressions_with(&thresholds);
     if regressions.is_empty() {
         println!(
-            "\nOK: no shared benchmark regressed by more than {threshold_pct:.0}% \
-             ({} compared)",
+            "\nOK: no shared benchmark regressed beyond its gate \
+             (default {:.0}%{overrides}; {} compared)",
+            thresholds.default * 100.0,
             diff.entries.len()
         );
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nFAIL: {} benchmark(s) regressed by more than {threshold_pct:.0}%",
-            regressions.len()
+            "\nFAIL: {} benchmark(s) regressed beyond the gate \
+             (default {:.0}%{overrides})",
+            regressions.len(),
+            thresholds.default * 100.0
         );
         ExitCode::FAILURE
     }

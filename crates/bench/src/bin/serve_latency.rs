@@ -14,6 +14,7 @@ use serde_json::json;
 
 use vmr_bench::{parse_args, Report, RunMode};
 use vmr_core::agent::Vmr2lAgent;
+use vmr_core::config::PrecisionConfig;
 use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
 use vmr_core::infer::SharedAgent;
 use vmr_core::model::Vmr2lModel;
@@ -94,6 +95,7 @@ fn main() {
                     budget_ms: 200,
                     shards: 0,
                     workers: 0,
+                    precision: PrecisionConfig::Exact64,
                     commit: false,
                 })
                 .expect("plan");
@@ -115,6 +117,7 @@ fn main() {
                 budget_ms: 200,
                 shards: 0,
                 workers: 0,
+                precision: PrecisionConfig::Exact64,
                 commit: false,
             })
             .expect("plan");

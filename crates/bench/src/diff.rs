@@ -76,6 +76,50 @@ impl BenchDiff {
     pub fn regressions(&self, threshold: f64) -> Vec<&DiffEntry> {
         self.entries.iter().filter(|e| e.regressed(threshold)).collect()
     }
+
+    /// Shared entries that regressed beyond their *per-family* threshold.
+    pub fn regressions_with(&self, thresholds: &Thresholds) -> Vec<&DiffEntry> {
+        self.entries.iter().filter(|e| e.regressed(thresholds.for_id(&e.id))).collect()
+    }
+
+    /// Per-family override names matching no *compared* (shared) id —
+    /// a typo'd `--threshold-for` family would otherwise be silently
+    /// ignored, leaving the noisy family on the tight default gate.
+    pub fn unmatched_families<'a>(&self, thresholds: &'a Thresholds) -> Vec<&'a str> {
+        let compared: std::collections::BTreeSet<&str> =
+            self.entries.iter().map(|e| family(&e.id)).collect();
+        thresholds.per_family.keys().map(String::as_str).filter(|f| !compared.contains(f)).collect()
+    }
+}
+
+/// Benchmark family of an id: the first `/`-separated segment, so
+/// `policy_forward/medium_280pm` and `policy_forward/xxl` share the
+/// `policy_forward` gate.
+pub fn family(id: &str) -> &str {
+    id.split('/').next().unwrap_or(id)
+}
+
+/// Regression gate with per-family overrides. Noisy families (sub-µs
+/// kernels, allocator-bound paths) can carry a looser gate than the
+/// default without loosening it for everything else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Gate for families without an override (0.25 = +25%).
+    pub default: f64,
+    /// Per-family overrides, keyed by [`family`] name.
+    pub per_family: BTreeMap<String, f64>,
+}
+
+impl Thresholds {
+    /// Uniform gate with no overrides.
+    pub fn uniform(default: f64) -> Self {
+        Thresholds { default, per_family: BTreeMap::new() }
+    }
+
+    /// Gate applying to benchmark `id`.
+    pub fn for_id(&self, id: &str) -> f64 {
+        self.per_family.get(family(id)).copied().unwrap_or(self.default)
+    }
 }
 
 /// Parses a capture from either the wrapped-object or JSON-lines format.
@@ -197,6 +241,49 @@ mod tests {
         assert_eq!(regressions[0].id, "slow");
         // A tighter gate catches both.
         assert_eq!(diff.regressions(0.1).len(), 2);
+    }
+
+    #[test]
+    fn per_family_thresholds_override_the_default() {
+        let old = cap(&[("policy_forward/medium", 100.0), ("simulator/pm_mask", 100.0)]);
+        let new = cap(&[("policy_forward/medium", 140.0), ("simulator/pm_mask", 140.0)]);
+        let diff = BenchDiff::compare(&old, &new);
+        // Uniform 25% gate flags both...
+        assert_eq!(diff.regressions_with(&Thresholds::uniform(0.25)).len(), 2);
+        // ...a 50% override on policy_forward exempts only that family.
+        let mut t = Thresholds::uniform(0.25);
+        t.per_family.insert("policy_forward".into(), 0.5);
+        let r = diff.regressions_with(&t);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "simulator/pm_mask");
+        // Overrides can also tighten below the default.
+        let mut tight = Thresholds::uniform(0.5);
+        tight.per_family.insert("simulator".into(), 0.1);
+        let r = diff.regressions_with(&tight);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "simulator/pm_mask");
+    }
+
+    #[test]
+    fn unmatched_override_families_are_reported() {
+        let old = cap(&[("policy_forward/medium", 100.0), ("only_old/x", 5.0)]);
+        let new = cap(&[("policy_forward/medium", 110.0), ("only_new/y", 7.0)]);
+        let diff = BenchDiff::compare(&old, &new);
+        let mut t = Thresholds::uniform(0.25);
+        t.per_family.insert("policy_forward".into(), 0.5);
+        assert!(diff.unmatched_families(&t).is_empty());
+        // A typo'd family matches nothing...
+        t.per_family.insert("policy_forwrad".into(), 3.0);
+        // ...and so does a family present only on one side (it is never
+        // compared, so a gate for it is inert).
+        t.per_family.insert("only_new".into(), 3.0);
+        assert_eq!(diff.unmatched_families(&t), vec!["only_new", "policy_forwrad"]);
+    }
+
+    #[test]
+    fn family_is_the_first_segment() {
+        assert_eq!(family("policy_forward/medium_280pm"), "policy_forward");
+        assert_eq!(family("bare_id"), "bare_id");
     }
 
     #[test]

@@ -34,9 +34,9 @@ use vmr_baselines::ha::ha_solve;
 use vmr_baselines::mcts::{mcts_solve, MctsConfig};
 use vmr_baselines::vbpp::vbpp_solve;
 use vmr_core::agent::Vmr2lAgent;
-use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
-use vmr_core::eval::{risk_seeking_eval, RiskSeekingConfig};
-use vmr_core::model::Vmr2lModel;
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig, PrecisionConfig};
+use vmr_core::eval::{risk_seeking_eval, risk_seeking_eval_f32, RiskSeekingConfig};
+use vmr_core::model::{Vmr2lModel, Vmr2lModelF32};
 use vmr_core::train::{TrainConfig, Trainer};
 use vmr_nn::checkpoint::Checkpoint;
 use vmr_sim::cluster::ClusterState;
@@ -95,9 +95,9 @@ fn print_help() {
                     [--extractor sparse|vanilla] [--risk-quantile F]\n\
                     [--rollout-workers N (0 = all cores)] [--out FILE]\n\
            eval     --dataset FILE --agent FILE [--mnl N] [--trajectories N]\n\
-                    [--greedy] [--json]\n\
+                    [--greedy] [--json] [--precision f64|f32]\n\
            solve    --dataset FILE [--index N] --method <ha|bnb|pop|vbpp|mcts|swap>\n\
-                    [--mnl N] [--budget-ms N] [--json]\n\
+                    [--mnl N] [--budget-ms N] [--json] [--precision f64|f32]\n\
                     [--fleet [--shards N] [--workers N]]  (shard-parallel ha|bnb|mcts)\n\
            cost     --dataset FILE [--index N] [--method ha] [--mnl N]\n\
                     [--streams N] [--bandwidth GIB_S] [--json]\n\
@@ -115,6 +115,7 @@ fn print_help() {
                     plan:           --policy agent|ha|swap|mcts|solver|fleet|auto\n\
                                     [--mnl N] [--seed N] [--budget-ms N] [--commit]\n\
                                     [--shards N] [--workers N]  (fleet policy)\n\
+                                    [--precision f64|f32]  (agent-backed policies)\n\
                     snapshot:       [--out FILE]    restore: --snapshot FILE"
     );
 }
@@ -138,6 +139,13 @@ fn load_dataset(args: &Args) -> Result<Dataset, String> {
     let path = args.require("dataset")?;
     let json = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Dataset::from_json(&json).map_err(|e| format!("bad dataset {path}: {e}"))
+}
+
+/// Parses `--precision f64|f32` (default f64 — the exact path).
+fn parse_precision(args: &Args) -> Result<PrecisionConfig, String> {
+    let spelling = args.get("precision", "f64");
+    PrecisionConfig::parse(&spelling)
+        .ok_or_else(|| format!("unknown precision {spelling:?} (f64|f32)"))
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -217,6 +225,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         eval_every: 0,
         risk_quantile: (0.0..1.0).contains(&risk_quantile).then_some(risk_quantile),
         rollout_workers,
+        // Training always runs f64; the field records the precision
+        // downstream evaluation/serving of this agent should use.
+        precision: parse_precision(args)?,
         ..Default::default()
     };
     let train: Vec<ClusterState> = ds.train_mappings().cloned().collect();
@@ -251,6 +262,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let mnl: usize = args.num("mnl", 10)?;
     let trajectories: usize = args.num("trajectories", 16)?;
     let seed: u64 = args.num("seed", 0)?;
+    let precision = parse_precision(args)?;
+    // Cast the weights once up front; every trajectory reuses the mirror.
+    let m32 =
+        (precision == PrecisionConfig::Fast32).then(|| Vmr2lModelF32::from_f64(&agent.policy));
     let test: Vec<&ClusterState> = ds.test_mappings().collect();
     if test.is_empty() {
         return Err("dataset has no test mappings".into());
@@ -260,14 +275,13 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let mut secs = 0.0;
     for (i, state) in test.iter().enumerate() {
         let cs = ConstraintSet::new(state.num_vms());
-        let out = risk_seeking_eval(
-            &agent,
-            state,
-            &cs,
-            Objective::default(),
-            mnl,
-            &RiskSeekingConfig { trajectories, seed: seed + i as u64, ..Default::default() },
-        )
+        let cfg = RiskSeekingConfig { trajectories, seed: seed + i as u64, ..Default::default() };
+        let out = match &m32 {
+            Some(m32) => {
+                risk_seeking_eval_f32(&agent, m32, state, &cs, Objective::default(), mnl, &cfg)
+            }
+            None => risk_seeking_eval(&agent, state, &cs, Objective::default(), mnl, &cfg),
+        }
         .map_err(|e| e.to_string())?;
         init += state.fragment_rate(16);
         achieved += out.best_objective;
@@ -282,12 +296,13 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     }
     let n = test.len() as f64;
     println!(
-        "\nmean over {} test mappings: FR {:.4} -> {:.4}  ({:.2}s/mapping, {} trajectories)",
+        "\nmean over {} test mappings: FR {:.4} -> {:.4}  ({:.2}s/mapping, {} trajectories, {})",
         test.len(),
         init / n,
         achieved / n,
         secs / n,
-        trajectories
+        trajectories,
+        precision.as_str()
     );
     Ok(())
 }
@@ -301,6 +316,11 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let cs = ConstraintSet::new(state.num_vms());
     let obj = Objective::default();
     let method = args.require("method")?;
+    // Classical solvers run precision-independent arithmetic; the flag is
+    // validated for CLI consistency but only `f64` describes them.
+    if parse_precision(args)? == PrecisionConfig::Fast32 {
+        eprintln!("note: --precision f32 only affects agent inference; {method} ignores it");
+    }
     let t0 = std::time::Instant::now();
     if args.flag("fleet") {
         return solve_fleet(args, state, &cs, obj, mnl, budget, &method, t0);
@@ -793,6 +813,7 @@ fn cmd_request(args: &Args) -> Result<(), String> {
                     budget_ms: args.num("budget-ms", 0)?,
                     shards: args.num("shards", 0)?,
                     workers: args.num("workers", 0)?,
+                    precision: parse_precision(args)?,
                     commit: args.flag("commit"),
                 })
                 .map_err(|e| e.to_string())?;

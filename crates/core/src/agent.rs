@@ -11,7 +11,9 @@ use rand::Rng;
 
 use vmr_nn::graph::{Graph, Var};
 use vmr_nn::infer::{FVar, FwdCtx};
+use vmr_nn::infer32::{FVar32, FwdCtx32};
 use vmr_nn::kernels::masked_softmax_bool_row;
+use vmr_nn::kernels_f32::masked_softmax_bool_row_f32;
 use vmr_nn::layers::Module;
 use vmr_nn::tensor::Tensor;
 use vmr_rl::sample::{apply_keep_mask, quantile_keep_mask, Categorical};
@@ -22,7 +24,7 @@ use vmr_sim::types::{PmId, VmId};
 
 use crate::config::ActionMode;
 use crate::features::{bool_mask_row, FeatureTensors, TreeIndex};
-use crate::model::{Stage1Fwd, Stage1Out};
+use crate::model::{Stage1Fwd, Stage1Fwd32, Stage1Out, Vmr2lModel, Vmr2lModelF32};
 
 /// A policy network usable by the agent: stage-1 extraction + heads, and a
 /// stage-2 destination head conditioned on the selected VM. Each stage
@@ -100,6 +102,9 @@ impl Policy for crate::model::Vmr2lModel {
 pub struct InferCtx {
     /// The tape-free forward arena.
     pub ctx: FwdCtx,
+    /// The f32 forward arena ([`crate::config::PrecisionConfig::Fast32`]
+    /// paths only; empty and cost-free otherwise).
+    pub ctx32: FwdCtx32,
     /// Reused featurization (f32 → f64 refill, no rebuild).
     pub feats: FeatureTensors,
     /// Reused PM-tree CSR index for block-sparse local attention.
@@ -128,6 +133,7 @@ impl InferCtx {
         self.feats.refill_from(obs);
         self.tree.rebuild(&self.feats);
         self.ctx.reset();
+        self.ctx32.reset();
     }
 
     /// [`InferCtx::prepare`] straight from the environment's cached
@@ -139,6 +145,7 @@ impl InferCtx {
         }
         self.tree.rebuild(&self.feats);
         self.ctx.reset();
+        self.ctx32.reset();
     }
 }
 
@@ -617,6 +624,165 @@ impl<P: Policy> Vmr2lAgent<P> {
     }
 }
 
+/// The f32 fast acting path ([`crate::config::PrecisionConfig::Fast32`]).
+///
+/// These are inherent methods on the transformer agent rather than
+/// [`Policy`] extensions: the f32 mirror exists only for
+/// [`Vmr2lModel`], and the caller supplies the pre-cast
+/// [`Vmr2lModelF32`] explicitly (weights are cast once and reused, see
+/// [`crate::infer::SharedAgent`]). The control flow — masking, the
+/// resample loop, quantile thresholds, RNG draw order — is identical to
+/// the f64 path; only the forward arithmetic differs, so decisions are
+/// *tolerance*-equivalent, not bit-identical (`tests/
+/// integration_precision.rs` gates the plan-level agreement).
+impl Vmr2lAgent<Vmr2lModel> {
+    /// [`Vmr2lAgent::act`] on the f32 arena.
+    pub fn act_f32<R: Rng + ?Sized>(
+        &self,
+        m32: &Vmr2lModelF32,
+        env: &mut ReschedEnv,
+        ictx: &mut InferCtx,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<ActDecision>> {
+        ictx.prepare_from_env(env);
+        let s1 = m32.stage1_fwd(&mut ictx.ctx32, &ictx.feats, Some(&ictx.tree.groups));
+        self.act_core_f32(m32, env, ictx, &s1, rng, opts)
+    }
+
+    /// [`Vmr2lAgent::state_value_in`] on the f32 arena.
+    pub fn state_value_in_f32(
+        &self,
+        m32: &Vmr2lModelF32,
+        env: &mut ReschedEnv,
+        ictx: &mut InferCtx,
+    ) -> f64 {
+        ictx.prepare_from_env(env);
+        let s1 = m32.stage1_fwd(&mut ictx.ctx32, &ictx.feats, Some(&ictx.tree.groups));
+        f64::from(ictx.ctx32.value(s1.value).get(0, 0))
+    }
+
+    /// [`Vmr2lAgent::act_core`] on the f32 arena: identical masking,
+    /// resampling, and log-prob accounting over an f32 stage-1 output.
+    /// Probabilities are normalized in f64 (see
+    /// [`masked_softmax_bool_row_f32`]) so the sampling stack — RNG draw
+    /// order included — is shared verbatim with the f64 path.
+    pub fn act_core_f32<R: Rng + ?Sized>(
+        &self,
+        m32: &Vmr2lModelF32,
+        env: &ReschedEnv,
+        ictx: &mut InferCtx,
+        s1: &Stage1Fwd32,
+        rng: &mut R,
+        opts: &DecideOpts,
+    ) -> SimResult<Option<ActDecision>> {
+        let value = f64::from(ictx.ctx32.value(s1.value).get(0, 0));
+        match self.mode {
+            ActionMode::TwoStage | ActionMode::Penalty => {
+                let masked_stage2 = self.mode == ActionMode::TwoStage;
+                env.vm_mask_into(false, &mut ictx.vm_mask);
+                // Up to a few resamples if the chosen VM has no destination.
+                for _attempt in 0..8 {
+                    if !ictx.vm_mask.iter().any(|&b| b) {
+                        return Ok(None);
+                    }
+                    masked_softmax_bool_row_f32(
+                        ictx.ctx32.value(s1.vm_logits).row_slice(0),
+                        &ictx.vm_mask,
+                        &mut ictx.vm_probs,
+                    );
+                    let Some((vm_idx, vm_lp)) =
+                        pick(&ictx.vm_probs, opts.vm_quantile, opts.greedy, rng)
+                    else {
+                        return Ok(None);
+                    };
+                    if masked_stage2 {
+                        env.pm_mask_into(VmId(vm_idx as u32), &mut ictx.pm_mask);
+                    } else {
+                        ictx.pm_mask.clear();
+                        ictx.pm_mask.resize(env.state().num_pms(), true);
+                    }
+                    if let Some(k) = self.pm_subset_size {
+                        subsample_mask(&mut ictx.pm_mask, k, rng);
+                    }
+                    if masked_stage2 && !ictx.pm_mask.iter().any(|&b| b) {
+                        // Dead-end VM: exclude and retry under the reduced
+                        // mask (stored mask stays consistent).
+                        ictx.vm_mask[vm_idx] = false;
+                        continue;
+                    }
+                    let pm_logits = m32.stage2_fwd(&mut ictx.ctx32, s1, vm_idx);
+                    masked_softmax_bool_row_f32(
+                        ictx.ctx32.value(pm_logits).row_slice(0),
+                        &ictx.pm_mask,
+                        &mut ictx.pm_probs,
+                    );
+                    let Some((pm_idx, pm_lp)) =
+                        pick(&ictx.pm_probs, opts.pm_quantile, opts.greedy, rng)
+                    else {
+                        return Ok(None);
+                    };
+                    return Ok(Some(ActDecision {
+                        action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
+                        log_prob: vm_lp + pm_lp,
+                        value,
+                    }));
+                }
+                Ok(None)
+            }
+            ActionMode::FullMask => {
+                let m = env.state().num_vms();
+                let n = env.state().num_pms();
+                // The joint mask costs O(M·N) legality checks — exactly the
+                // expense the paper's two-stage design avoids.
+                ictx.joint_mask.clear();
+                ictx.joint_mask.resize(m * n, false);
+                for k in 0..m {
+                    env.pm_mask_into(VmId(k as u32), &mut ictx.pm_mask);
+                    ictx.joint_mask[k * n..(k + 1) * n].copy_from_slice(&ictx.pm_mask);
+                }
+                if !ictx.joint_mask.iter().any(|&b| b) {
+                    return Ok(None);
+                }
+                let InferCtx { ctx32, feats, joint_mask, vm_probs, pm_probs, .. } = ictx;
+                let joint = joint_logits_fwd_f32(m32, ctx32, s1, feats);
+                let flat = ctx32.reshape(joint, 1, m * n);
+                masked_softmax_bool_row_f32(ctx32.value(flat).row_slice(0), joint_mask, vm_probs);
+                pm_probs.clear();
+                let Some((idx, lp)) = pick(vm_probs, None, opts.greedy, rng) else {
+                    return Ok(None);
+                };
+                let (vm_idx, pm_idx) = (idx / n, idx % n);
+                Ok(Some(ActDecision {
+                    action: Action { vm: VmId(vm_idx as u32), pm: PmId(pm_idx as u32) },
+                    log_prob: lp,
+                    value,
+                }))
+            }
+        }
+    }
+}
+
+/// f32 joint `M × N` logits for the Full-Mask mode (mirrors
+/// `Vmr2lAgent::joint_logits_fwd`).
+fn joint_logits_fwd_f32(
+    m32: &Vmr2lModelF32,
+    ctx: &mut FwdCtx32,
+    s1: &Stage1Fwd32,
+    feats: &FeatureTensors,
+) -> FVar32 {
+    let m = feats.num_vms;
+    let n = feats.num_pms;
+    let vm_col = ctx.reshape(s1.vm_logits, m, 1);
+    let ones_row = ctx.full(1, n, 1.0);
+    let vm_grid = ctx.matmul(vm_col, ones_row); // M × N
+    let pm_row = m32.pm_logits_generic_fwd(ctx, s1); // 1 × N
+    let ones_col = ctx.full(m, 1, 1.0);
+    let pm_grid = ctx.matmul(ones_col, pm_row); // M × N
+    let sum = ctx.add(vm_grid, pm_grid);
+    ctx.add(sum, s1.cross_probs)
+}
+
 /// Masked softmax probabilities as plain `f64`s (acting path — no grads
 /// needed, but we reuse the graph for the forward computation).
 fn masked_probs(g: &mut Graph, logits: Var, mask: &[bool]) -> Vec<f64> {
@@ -715,6 +881,45 @@ pub fn rollout_episode<P: Policy, R: Rng + ?Sized>(
             // (training assigns the −5 penalty, evaluation retries a
             // bounded number of times — a greedy policy is deterministic
             // and would otherwise loop forever).
+            Err(_) if agent.mode != ActionMode::TwoStage => {
+                illegal_streak += 1;
+                if opts.greedy || illegal_streak >= MAX_ILLEGAL_RETRIES {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((env.objective_value(), plan))
+}
+
+/// [`rollout_episode`] on the f32 fast path: same episode loop and
+/// illegal-action policy, forwards on the pre-cast [`Vmr2lModelF32`].
+pub fn rollout_episode_f32<R: Rng + ?Sized>(
+    agent: &Vmr2lAgent<Vmr2lModel>,
+    m32: &Vmr2lModelF32,
+    env: &mut ReschedEnv,
+    rng: &mut R,
+    opts: &DecideOpts,
+) -> SimResult<(f64, Vec<Action>)> {
+    /// Same bound as [`rollout_episode`]: unmasked modes can re-propose
+    /// illegal actions, so retries must be finite.
+    const MAX_ILLEGAL_RETRIES: usize = 64;
+
+    env.reset();
+    let mut ictx = InferCtx::new();
+    let mut plan = Vec::new();
+    let mut illegal_streak = 0usize;
+    while !env.is_done() {
+        let Some(decision) = agent.act_f32(m32, env, &mut ictx, rng, opts)? else {
+            break;
+        };
+        match env.step(decision.action) {
+            Ok(_) => {
+                illegal_streak = 0;
+                plan.push(decision.action);
+            }
+            Err(SimError::EpisodeDone | SimError::MnlExhausted) => break,
             Err(_) if agent.mode != ActionMode::TwoStage => {
                 illegal_streak += 1;
                 if opts.greedy || illegal_streak >= MAX_ILLEGAL_RETRIES {
@@ -850,6 +1055,59 @@ mod tests {
         // An untrained policy may not improve, but the value is a valid FR.
         assert!((0.0..=1.0).contains(&final_fr));
         let _ = initial;
+    }
+
+    #[test]
+    fn f32_actions_are_legal_and_value_tracks_f64() {
+        let a = agent(ActionMode::TwoStage);
+        let m32 = Vmr2lModelF32::from_f64(&a.policy);
+        let mut e = env();
+        let mut ictx = InferCtx::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            if e.is_done() {
+                e.reset();
+            }
+            let d = a.act_f32(&m32, &mut e, &mut ictx, &mut rng, &DecideOpts::default());
+            let Some(d) = d.unwrap() else { break };
+            assert!(e.action_legal(d.action).is_ok(), "f32 masking must stay exact");
+            let v64 = a.state_value_in(&mut e, &mut ictx);
+            let v32 = a.state_value_in_f32(&m32, &mut e, &mut ictx);
+            assert!((v64 - v32).abs() < 1e-3, "critic value f32 {v32} vs f64 {v64}");
+            e.step(d.action).unwrap();
+        }
+    }
+
+    #[test]
+    fn f32_greedy_matches_f64_greedy_on_episode() {
+        // Tolerance contract, checked end-to-end on a tiny instance: the
+        // same untrained checkpoint, rolled out greedily under both
+        // precisions, should produce the same plan unless two logits tie
+        // within f32 noise — which this seed does not.
+        let a = agent(ActionMode::TwoStage);
+        let m32 = Vmr2lModelF32::from_f64(&a.policy);
+        let opts = DecideOpts { greedy: true, ..Default::default() };
+        let mut e = env();
+        let mut r1 = StdRng::seed_from_u64(21);
+        let (obj64, plan64) = rollout_episode(&a, &mut e, &mut r1, &opts).unwrap();
+        let mut r2 = StdRng::seed_from_u64(22);
+        let (obj32, plan32) = rollout_episode_f32(&a, &m32, &mut e, &mut r2, &opts).unwrap();
+        assert_eq!(plan64, plan32, "greedy plans diverged between precisions");
+        assert!((obj64 - obj32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_full_mask_actions_are_legal() {
+        let a = agent(ActionMode::FullMask);
+        let m32 = Vmr2lModelF32::from_f64(&a.policy);
+        let mut e = env();
+        let mut ictx = InferCtx::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = a
+            .act_f32(&m32, &mut e, &mut ictx, &mut rng, &DecideOpts::default())
+            .unwrap()
+            .expect("joint space has legal pairs");
+        assert!(e.action_legal(d.action).is_ok());
     }
 
     #[test]

@@ -57,6 +57,43 @@ pub enum ExtractorKind {
     Mlp,
 }
 
+/// Numeric precision of the inference forward pass.
+///
+/// Training always runs the f64 engines (autodiff gradients need the
+/// headroom, and the `Graph`/`FwdCtx` bit-identity contract is part of
+/// the PPO correctness story). Acting, evaluation, and serving may drop
+/// to the f32 fast path, whose equivalence with `Exact64` is a
+/// *tolerance* contract — per-kernel ULP bounds plus an end-to-end plan
+/// equivalence gate — rather than bit-identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecisionConfig {
+    /// f64 everywhere; acting is bit-identical to the training engines.
+    #[default]
+    Exact64,
+    /// f32 weights and activations on the SIMD-friendly kernel twins;
+    /// decisions are tolerance-equivalent, not bit-identical.
+    Fast32,
+}
+
+impl PrecisionConfig {
+    /// Parses the CLI / wire spelling (`"f64"` / `"f32"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f64" | "exact64" => Some(PrecisionConfig::Exact64),
+            "f32" | "fast32" => Some(PrecisionConfig::Fast32),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI / wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PrecisionConfig::Exact64 => "f64",
+            PrecisionConfig::Fast32 => "f32",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +114,17 @@ mod tests {
         let m = ActionMode::TwoStage;
         let j = serde_json::to_string(&m).unwrap();
         assert_eq!(serde_json::from_str::<ActionMode>(&j).unwrap(), m);
+        let p = PrecisionConfig::Fast32;
+        let j = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<PrecisionConfig>(&j).unwrap(), p);
+    }
+
+    #[test]
+    fn precision_spellings_roundtrip() {
+        for p in [PrecisionConfig::Exact64, PrecisionConfig::Fast32] {
+            assert_eq!(PrecisionConfig::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(PrecisionConfig::default(), PrecisionConfig::Exact64);
+        assert_eq!(PrecisionConfig::parse("f16"), None);
     }
 }

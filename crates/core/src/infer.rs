@@ -17,7 +17,7 @@ use vmr_nn::checkpoint::Checkpoint;
 
 use crate::agent::Vmr2lAgent;
 use crate::config::{ActionMode, ExtractorKind, ModelConfig};
-use crate::model::Vmr2lModel;
+use crate::model::{Vmr2lModel, Vmr2lModelF32};
 
 /// Loads a default-architecture VMR2L agent from a checkpoint file.
 ///
@@ -52,12 +52,18 @@ pub fn restore_default_agent(ckpt: &Checkpoint) -> Option<Vmr2lAgent<Vmr2lModel>
 #[derive(Debug, Clone)]
 pub struct SharedAgent {
     inner: Arc<Vmr2lAgent<Vmr2lModel>>,
+    /// The weights cast to f32 once at construction — the
+    /// [`crate::config::PrecisionConfig::Fast32`] serving path reads this
+    /// pre-cast mirror on every decision instead of re-casting per call.
+    model32: Arc<Vmr2lModelF32>,
 }
 
 impl SharedAgent {
-    /// Wraps an agent for shared read-only use.
+    /// Wraps an agent for shared read-only use. Also casts the weights to
+    /// f32 once, so both precision tiers are ready to serve.
     pub fn new(agent: Vmr2lAgent<Vmr2lModel>) -> Self {
-        SharedAgent { inner: Arc::new(agent) }
+        let model32 = Arc::new(Vmr2lModelF32::from_f64(&agent.policy));
+        SharedAgent { inner: Arc::new(agent), model32 }
     }
 
     /// Loads a checkpoint into a shared handle (see
@@ -69,6 +75,11 @@ impl SharedAgent {
     /// The underlying agent.
     pub fn agent(&self) -> &Vmr2lAgent<Vmr2lModel> {
         &self.inner
+    }
+
+    /// The cached f32 weight mirror for the fast inference path.
+    pub fn model32(&self) -> &Vmr2lModelF32 {
+        &self.model32
     }
 }
 
@@ -102,6 +113,16 @@ mod tests {
         );
         let clone = handle.clone();
         assert!(std::ptr::eq(handle.agent(), clone.agent()), "clones share one policy");
+    }
+
+    #[test]
+    fn shared_agent_caches_f32_mirror() {
+        let handle = SharedAgent::new(
+            restore_default_agent(&tiny_checkpoint(ExtractorKind::SparseAttention)).unwrap(),
+        );
+        let clone = handle.clone();
+        assert!(std::ptr::eq(handle.model32(), clone.model32()), "clones share one f32 cast");
+        assert_eq!(handle.model32().cfg, handle.agent().policy.cfg);
     }
 
     #[test]

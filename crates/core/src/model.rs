@@ -18,8 +18,11 @@ use rand::Rng;
 
 use vmr_nn::graph::{Graph, Var};
 use vmr_nn::infer::{FVar, FwdCtx, TreeGroups};
+use vmr_nn::infer32::{FVar32, FwdCtx32};
 use vmr_nn::layers::{FeedForward, Linear, Mlp, Module, MultiHeadAttention};
+use vmr_nn::layers::{FeedForward32, Linear32, Mlp32, MultiHeadAttention32};
 use vmr_nn::tensor::Tensor;
+use vmr_nn::tensor32::Tensor32;
 use vmr_sim::obs::{PM_FEAT, VM_FEAT};
 
 use crate::config::{ExtractorKind, ModelConfig};
@@ -468,6 +471,279 @@ impl Vmr2lModel {
     }
 }
 
+// ---- f32 inference mirror --------------------------------------------
+
+/// [`Stage1Fwd`] on the f32 arena.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage1Fwd32 {
+    /// `1 × M` stage-1 (VM-selection) logits, unmasked.
+    pub vm_logits: FVar32,
+    /// `N × d` final PM embeddings.
+    pub pm_embs: FVar32,
+    /// `M × d` final VM embeddings.
+    pub vm_embs: FVar32,
+    /// `M × N` stage-3 cross-attention probabilities from the last block.
+    pub cross_probs: FVar32,
+    /// `1 × 1` critic value.
+    pub value: FVar32,
+}
+
+/// f32 mirror of [`SparseBlock`].
+#[derive(Debug, Clone)]
+struct SparseBlock32 {
+    local: Option<MultiHeadAttention32>,
+    pm_self: MultiHeadAttention32,
+    vm_self: MultiHeadAttention32,
+    cross: MultiHeadAttention32,
+    pm_ff: FeedForward32,
+    vm_ff: FeedForward32,
+}
+
+impl SparseBlock32 {
+    fn from_f64(b: &SparseBlock) -> Self {
+        SparseBlock32 {
+            local: b.local.as_ref().map(MultiHeadAttention32::from_f64),
+            pm_self: MultiHeadAttention32::from_f64(&b.pm_self),
+            vm_self: MultiHeadAttention32::from_f64(&b.vm_self),
+            cross: MultiHeadAttention32::from_f64(&b.cross),
+            pm_ff: FeedForward32::from_f64(&b.pm_ff),
+            vm_ff: FeedForward32::from_f64(&b.vm_ff),
+        }
+    }
+
+    /// f32 forward mirroring [`SparseBlock::fwd`] stage for stage.
+    fn fwd(
+        &self,
+        ctx: &mut FwdCtx32,
+        pm: FVar32,
+        vm: FVar32,
+        tree: Option<&TreeGroups>,
+        want_cross_probs: bool,
+    ) -> (FVar32, FVar32, Option<FVar32>) {
+        let n = ctx.value(pm).rows();
+        let m = ctx.value(vm).rows();
+        let (pm_l, vm_l) = match (&self.local, tree) {
+            (Some(local), Some(tree)) => {
+                let combined = ctx.vcat(pm, vm);
+                let att = local.fwd_tree(ctx, combined, tree);
+                let res = ctx.add(combined, att);
+                (ctx.rows_range(res, 0, n), ctx.rows_range(res, n, m))
+            }
+            _ => (pm, vm),
+        };
+        let (pm_att, _) = self.pm_self.fwd(ctx, pm_l, pm_l, None, false);
+        let pm_s = ctx.add(pm_l, pm_att);
+        let (vm_att, _) = self.vm_self.fwd(ctx, vm_l, vm_l, None, false);
+        let vm_s = ctx.add(vm_l, vm_att);
+        let (cross_out, cross_probs) = self.cross.fwd(ctx, vm_s, pm_s, None, want_cross_probs);
+        let vm_c = ctx.add(vm_s, cross_out);
+        let pm_out = self.pm_ff.fwd(ctx, pm_s);
+        let vm_out = self.vm_ff.fwd(ctx, vm_c);
+        (pm_out, vm_out, cross_probs)
+    }
+}
+
+/// f32 mirror of [`PmActor`].
+#[derive(Debug, Clone)]
+struct PmActor32 {
+    enc: Linear32,
+    att: MultiHeadAttention32,
+    ff: FeedForward32,
+    out: Linear32,
+}
+
+impl PmActor32 {
+    fn from_f64(a: &PmActor) -> Self {
+        PmActor32 {
+            enc: Linear32::from_f64(&a.enc),
+            att: MultiHeadAttention32::from_f64(&a.att),
+            ff: FeedForward32::from_f64(&a.ff),
+            out: Linear32::from_f64(&a.out),
+        }
+    }
+
+    fn fwd(
+        &self,
+        ctx: &mut FwdCtx32,
+        pm_embs: FVar32,
+        selected: FVar32,
+        score_row: FVar32,
+    ) -> FVar32 {
+        let n = ctx.value(pm_embs).rows();
+        let enc = self.enc.fwd(ctx, selected);
+        ctx.relu_assign(enc);
+        let (att, _) = self.att.fwd(ctx, pm_embs, enc, None, false);
+        let dec = ctx.add(pm_embs, att);
+        let dec = self.ff.fwd(ctx, dec);
+        let score_col = ctx.reshape(score_row, n, 1);
+        let with_score = ctx.hcat(dec, score_col);
+        let logits = self.out.fwd(ctx, with_score); // N × 1
+        ctx.reshape(logits, 1, n)
+    }
+}
+
+/// Weight-cast-once f32 build of a trained [`Vmr2lModel`] — the
+/// inference fast path ([`crate::config::PrecisionConfig::Fast32`]).
+///
+/// Constructed from the f64 model exactly once (checkpoint load /
+/// `SharedAgent` construction); every forward thereafter runs f32
+/// weights through the [`vmr_nn::kernels_f32`] kernels on a
+/// [`FwdCtx32`] arena. Decisions are tolerance-equivalent to the f64
+/// path (see `tests/integration_precision.rs`), not bit-identical.
+#[derive(Debug, Clone)]
+pub struct Vmr2lModelF32 {
+    /// Architecture configuration (copied from the source model).
+    pub cfg: ModelConfig,
+    /// Which feature extractor variant this model uses.
+    pub extractor: ExtractorKind,
+    vm_embed: Mlp32,
+    pm_embed: Mlp32,
+    blocks: Vec<SparseBlock32>,
+    vm_head: Linear32,
+    pm_head: Linear32,
+    pm_actor: PmActor32,
+    critic: Mlp32,
+}
+
+impl Vmr2lModelF32 {
+    /// Casts a trained f64 model down, weight by weight.
+    pub fn from_f64(m: &Vmr2lModel) -> Self {
+        Vmr2lModelF32 {
+            cfg: m.cfg,
+            extractor: m.extractor,
+            vm_embed: Mlp32::from_f64(&m.vm_embed),
+            pm_embed: Mlp32::from_f64(&m.pm_embed),
+            blocks: m.blocks.iter().map(SparseBlock32::from_f64).collect(),
+            vm_head: Linear32::from_f64(&m.vm_head),
+            pm_head: Linear32::from_f64(&m.pm_head),
+            pm_actor: PmActor32::from_f64(&m.pm_actor),
+            critic: Mlp32::from_f64(&m.critic),
+        }
+    }
+
+    /// Runs only the entity embedding networks (f32 mirror of
+    /// [`Vmr2lModel::embed_fwd`]). Features are cast down at the arena
+    /// boundary.
+    pub fn embed_fwd(&self, ctx: &mut FwdCtx32, feats: &FeatureTensors) -> (FVar32, FVar32) {
+        let pm_in = ctx.input(&feats.pm);
+        let vm_in = ctx.input(&feats.vm);
+        (self.pm_embed.fwd(ctx, pm_in), self.vm_embed.fwd(ctx, vm_in))
+    }
+
+    /// Batched f32 embedding over stacked per-request feature matrices
+    /// (mirror of [`Vmr2lModel::embed_batch`]; the row-wise-op argument
+    /// for batching carries over unchanged — in f32 each returned slice
+    /// still exactly equals the unbatched f32 forward).
+    pub fn embed_batch(&self, items: &[(&Tensor, &Tensor)]) -> Vec<(Tensor32, Tensor32)> {
+        let mut ctx = FwdCtx32::new();
+        let total_pm: usize = items.iter().map(|(pm, _)| pm.rows()).sum();
+        let total_vm: usize = items.iter().map(|(_, vm)| vm.rows()).sum();
+        let pm_in = ctx.alloc(total_pm, PM_FEAT);
+        let vm_in = ctx.alloc(total_vm, VM_FEAT);
+        let (mut pr, mut vr) = (0, 0);
+        for (pm, vm) in items {
+            let d = ctx.value_mut(pm_in).data_mut();
+            for (dst, &src) in d[pr * PM_FEAT..pr * PM_FEAT + pm.len()].iter_mut().zip(pm.data()) {
+                *dst = src as f32;
+            }
+            pr += pm.rows();
+            let d = ctx.value_mut(vm_in).data_mut();
+            for (dst, &src) in d[vr * VM_FEAT..vr * VM_FEAT + vm.len()].iter_mut().zip(vm.data()) {
+                *dst = src as f32;
+            }
+            vr += vm.rows();
+        }
+        let pm_emb = self.pm_embed.fwd(&mut ctx, pm_in);
+        let vm_emb = self.vm_embed.fwd(&mut ctx, vm_in);
+        let (mut pr, mut vr) = (0, 0);
+        items
+            .iter()
+            .map(|(pm, vm)| {
+                let pe = ctx.value(pm_emb);
+                let d = pe.cols();
+                let p = Tensor32::from_vec(
+                    pm.rows(),
+                    d,
+                    pe.data()[pr * d..(pr + pm.rows()) * d].to_vec(),
+                );
+                let ve = ctx.value(vm_emb);
+                let v = Tensor32::from_vec(
+                    vm.rows(),
+                    d,
+                    ve.data()[vr * d..(vr + vm.rows()) * d].to_vec(),
+                );
+                pr += pm.rows();
+                vr += vm.rows();
+                (p, v)
+            })
+            .collect()
+    }
+
+    /// Continues stage 1 from (possibly batch-computed) f32 embeddings
+    /// (mirror of [`Vmr2lModel::stage1_from_embeds_fwd`]).
+    pub fn stage1_from_embeds_fwd(
+        &self,
+        ctx: &mut FwdCtx32,
+        pm_emb: FVar32,
+        vm_emb: FVar32,
+        tree: Option<&TreeGroups>,
+    ) -> Stage1Fwd32 {
+        if self.extractor == ExtractorKind::SparseAttention {
+            assert!(tree.is_some(), "sparse extractor needs the tree index");
+        }
+        let tree = (self.extractor == ExtractorKind::SparseAttention).then_some(tree).flatten();
+        let mut pm = pm_emb;
+        let mut vm = vm_emb;
+        let mut cross_probs = None;
+        for (i, block) in self.blocks.iter().enumerate() {
+            let last = i + 1 == self.blocks.len();
+            let (p, v, c) = block.fwd(ctx, pm, vm, tree, last);
+            pm = p;
+            vm = v;
+            cross_probs = c.or(cross_probs);
+        }
+        let m = ctx.value(vm).rows();
+        let vm_logits_col = self.vm_head.fwd(ctx, vm); // M × 1
+        let vm_logits = ctx.reshape(vm_logits_col, 1, m);
+        let pm_pool = ctx.mean_rows(pm);
+        let vm_pool = ctx.mean_rows(vm);
+        let pooled = ctx.hcat(pm_pool, vm_pool);
+        let value = self.critic.fwd(ctx, pooled);
+        Stage1Fwd32 {
+            vm_logits,
+            pm_embs: pm,
+            vm_embs: vm,
+            cross_probs: cross_probs.expect("at least one block"),
+            value,
+        }
+    }
+
+    /// Full f32 stage 1 (mirror of [`Vmr2lModel::stage1_fwd`]).
+    pub fn stage1_fwd(
+        &self,
+        ctx: &mut FwdCtx32,
+        feats: &FeatureTensors,
+        tree: Option<&TreeGroups>,
+    ) -> Stage1Fwd32 {
+        let (pm_emb, vm_emb) = self.embed_fwd(ctx, feats);
+        self.stage1_from_embeds_fwd(ctx, pm_emb, vm_emb, tree)
+    }
+
+    /// f32 stage 2 (mirror of [`Vmr2lModel::stage2_fwd`]).
+    pub fn stage2_fwd(&self, ctx: &mut FwdCtx32, s1: &Stage1Fwd32, vm_idx: usize) -> FVar32 {
+        let selected = ctx.select_row(s1.vm_embs, vm_idx);
+        let score_row = ctx.select_row(s1.cross_probs, vm_idx);
+        self.pm_actor.fwd(ctx, s1.pm_embs, selected, score_row)
+    }
+
+    /// f32 generic per-PM logits (Full-Mask joint action space).
+    pub fn pm_logits_generic_fwd(&self, ctx: &mut FwdCtx32, s1: &Stage1Fwd32) -> FVar32 {
+        let n = ctx.value(s1.pm_embs).rows();
+        let col = self.pm_head.fwd(ctx, s1.pm_embs); // N × 1
+        ctx.reshape(col, 1, n)
+    }
+}
+
 impl Module for Vmr2lModel {
     fn visit_params(&self, f: &mut dyn FnMut(&str, &Tensor)) {
         self.vm_embed.visit_params(f);
@@ -604,6 +880,46 @@ mod tests {
         ] {
             let gr = grads.get(name).unwrap_or_else(|| panic!("no grad for {name}"));
             assert!(gr.norm() > 0.0, "zero grad for {name}");
+        }
+    }
+
+    #[test]
+    fn f32_stage1_tracks_f64_within_tolerance() {
+        use crate::features::TreeIndex;
+        let m = model(ExtractorKind::SparseAttention);
+        let m32 = Vmr2lModelF32::from_f64(&m);
+        let f = feats(6);
+        let mut tree = TreeIndex::default();
+        tree.rebuild(&f);
+
+        let mut ctx = FwdCtx::new();
+        let s64 = m.stage1_fwd(&mut ctx, &f, Some(&tree.groups));
+        let mut ctx32 = FwdCtx32::new();
+        let s32 = m32.stage1_fwd(&mut ctx32, &f, Some(&tree.groups));
+
+        let l64 = ctx.value(s64.vm_logits).data();
+        let l32 = ctx32.value(s32.vm_logits).data();
+        assert_eq!(l64.len(), l32.len());
+        for (a, &b) in l32.iter().zip(l64) {
+            assert!((f64::from(*a) - b).abs() < 1e-3, "vm logit f32 {a} vs f64 {b}");
+        }
+        let v64 = ctx.value(s64.value).get(0, 0);
+        let v32 = ctx32.value(s32.value).get(0, 0);
+        assert!((f64::from(v32) - v64).abs() < 1e-3, "value f32 {v32} vs f64 {v64}");
+    }
+
+    #[test]
+    fn f32_embed_batch_matches_solo_embed() {
+        let m = model(ExtractorKind::SparseAttention);
+        let m32 = Vmr2lModelF32::from_f64(&m);
+        let f1 = feats(7);
+        let f2 = feats(8);
+        let batched = m32.embed_batch(&[(&f1.pm, &f1.vm), (&f2.pm, &f2.vm)]);
+        for (f, (bp, bv)) in [&f1, &f2].into_iter().zip(&batched) {
+            let mut ctx = FwdCtx32::new();
+            let (pe, ve) = m32.embed_fwd(&mut ctx, f);
+            assert_eq!(ctx.value(pe).data(), bp.data(), "batched PM embedding must match solo");
+            assert_eq!(ctx.value(ve).data(), bv.data(), "batched VM embedding must match solo");
         }
     }
 

@@ -26,6 +26,13 @@ pub const MASK_NEG_THRESHOLD: f64 = -1.0e20;
 /// The additive mask value used to exclude positions.
 pub const MASK_OFF: f64 = -1.0e30;
 
+/// Square cache-tile edge shared by the blocked kernels: the f64
+/// transpose (32×32 f64 tiles = 8 KiB in + 8 KiB out), the fused
+/// attention row tiling, and the f32 GEMM blocking in
+/// [`crate::kernels_f32`]. One named constant so the tilings cannot
+/// drift apart.
+pub const L1_TILE: usize = 32;
+
 /// `out = a · b` (dense). `out` must be pre-shaped `a.rows × b.cols`;
 /// its prior contents are overwritten.
 ///
@@ -245,7 +252,7 @@ pub fn attention_head_into(
     assert_eq!((out.rows(), out.cols()), (m, dh), "attention output shape mismatch");
     assert!(dh <= 16, "fused attention head supports widths up to 16");
     /// Score rows held at once (`TILE_ROWS · n` scratch f64s).
-    const TILE_ROWS: usize = 32;
+    const TILE_ROWS: usize = L1_TILE;
     /// `k`/`v` rows per inner tile (stays L1-resident across the rows).
     const KB: usize = 64;
     tile.clear();
@@ -643,9 +650,10 @@ pub fn layer_norm_into(x: &Tensor, eps: f64, out: &mut Tensor) {
 pub fn transpose_into(x: &Tensor, out: &mut Tensor) {
     let (r, c) = (x.rows(), x.cols());
     assert_eq!((out.rows(), out.cols()), (c, r), "transpose output shape mismatch");
-    /// Square tile edge; 32×32 f64 tiles (8 KiB in + 8 KiB out) keep both
-    /// the read rows and the written columns L1-resident.
-    const TB: usize = 32;
+    // Square tile edge shared with the f32 GEMM blocking (`L1_TILE`):
+    // 32×32 f64 tiles (8 KiB in + 8 KiB out) keep both the read rows and
+    // the written columns L1-resident.
+    const TB: usize = L1_TILE;
     let xd = x.data();
     let od = out.data_mut();
     for rb in (0..r).step_by(TB) {

@@ -1,0 +1,740 @@
+//! Single-precision twins of the hot [`crate::kernels`] routines — the
+//! f32/SIMD inference fast path.
+//!
+//! These kernels trade the f64 engines' bit-identity discipline for
+//! throughput: halving the element width doubles the useful SIMD lane
+//! count and halves memory traffic, and the inner loops are restructured
+//! into fixed-width eight-lane chunks so the autovectorizer emits packed
+//! f32 arithmetic. Equivalence with the f64 reference is therefore a
+//! *tolerance contract*, not an equality: each kernel's result must land
+//! within a condition-aware ULP/epsilon bound of the f64 kernel run on
+//! the same (f32-cast) inputs — enforced by
+//! `crates/nn/tests/prop_f32_kernels.rs` and, end to end, by the plan
+//! equivalence suite in `tests/integration_precision.rs`.
+//!
+//! Accumulation order deliberately differs from the f64 kernels where it
+//! buys speed (eight-lane partial sums instead of one sequential
+//! accumulator); nothing downstream of this module may assume bitwise
+//! reproducibility against the f64 path.
+
+use crate::kernels::L1_TILE;
+use crate::tensor32::Tensor32;
+
+/// f32 analog of [`crate::kernels::MASK_NEG_THRESHOLD`].
+pub const MASK_NEG_THRESHOLD_F32: f32 = -1.0e20;
+
+/// f32 analog of [`crate::kernels::MASK_OFF`]. Still well inside the f32
+/// range (max ≈ 3.4e38), and `exp(x − 1.0e30)` underflows to an exact
+/// `+0.0` for any representable `x`.
+pub const MASK_OFF_F32: f32 = -1.0e30;
+
+/// Column-tile width of the cache-blocked GEMM: eight SIMD lanes per
+/// [`L1_TILE`] step, so an output row tile (1 KiB) plus the streamed `b`
+/// rows stay L1-resident for the wide embedding matmuls.
+const NB: usize = 8 * L1_TILE;
+
+/// `y += alpha · x` over eight-lane chunks. The chunk slices are cast to
+/// `[f32; 8]` arrays so the lane loop carries no bounds checks — without
+/// the cast the autovectorizer refuses the loop and every kernel built
+/// on this pattern runs scalar.
+#[inline]
+fn axpy8(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let mut yc = y.chunks_exact_mut(8);
+    let mut xc = x.chunks_exact(8);
+    for (y8, x8) in yc.by_ref().zip(xc.by_ref()) {
+        let y8: &mut [f32; 8] = y8.try_into().expect("chunk");
+        let x8: &[f32; 8] = x8.try_into().expect("chunk");
+        for l in 0..8 {
+            y8[l] += alpha * x8[l];
+        }
+    }
+    for (o, &bv) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += alpha * bv;
+    }
+}
+
+/// `out = a · b` (dense, f32). `out` must be pre-shaped `a.rows × b.cols`.
+///
+/// Cache-blocked over output columns ([`NB`]-wide tiles) with the inner
+/// loop split into `chunks_exact(8)` lanes — the shape the
+/// autovectorizer turns into packed f32 FMAs. Narrow outputs (≤ 16
+/// columns) take a stack-accumulator path instead.
+pub fn matmul_into(a: &Tensor32, b: &Tensor32, out: &mut Tensor32) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows(), "matmul inner dimension mismatch");
+    assert_eq!((out.rows(), out.cols()), (m, n), "matmul output shape mismatch");
+    let bd = b.data();
+    if n <= 16 {
+        // Head-width outputs get const-width instantiations whose inner
+        // loops fully unroll, like the f64 twin's `matmul_narrow`.
+        return match n {
+            8 => matmul_narrow::<8>(a, bd, out),
+            12 => matmul_narrow::<12>(a, bd, out),
+            16 => matmul_narrow::<16>(a, bd, out),
+            _ => matmul_narrow_dyn(a, bd, n, out),
+        };
+    }
+    for jb in (0..n).step_by(NB) {
+        let jh = (jb + NB).min(n);
+        for i in 0..m {
+            let a_row = a.row_slice(i);
+            let o_row = &mut out.data_mut()[i * n + jb..i * n + jh];
+            o_row.fill(0.0);
+            for (kk, &av) in a_row.iter().enumerate() {
+                axpy8(av, &bd[kk * n + jb..kk * n + jh], o_row);
+            }
+        }
+    }
+}
+
+/// Narrow-output f32 matmul with a compile-time width: two rows of `a`
+/// per `b` pass, stack accumulators, fully unrollable lane loops
+/// (attention `probs · V` at a head width).
+fn matmul_narrow<const N: usize>(a: &Tensor32, bd: &[f32], out: &mut Tensor32) {
+    let m = a.rows();
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = a.row_slice(i);
+        let a1 = a.row_slice(i + 1);
+        let mut acc0 = [0.0f32; N];
+        let mut acc1 = [0.0f32; N];
+        for (kk, (&x0, &x1)) in a0.iter().zip(a1).enumerate() {
+            let b_row: &[f32; N] = bd[kk * N..(kk + 1) * N].try_into().expect("width");
+            for l in 0..N {
+                acc0[l] += x0 * b_row[l];
+                acc1[l] += x1 * b_row[l];
+            }
+        }
+        out.data_mut()[i * N..(i + 1) * N].copy_from_slice(&acc0);
+        out.data_mut()[(i + 1) * N..(i + 2) * N].copy_from_slice(&acc1);
+        i += 2;
+    }
+    if i < m {
+        let a_row = a.row_slice(i);
+        let mut acc = [0.0f32; N];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row: &[f32; N] = bd[kk * N..(kk + 1) * N].try_into().expect("width");
+            for l in 0..N {
+                acc[l] += av * b_row[l];
+            }
+        }
+        out.data_mut()[i * N..(i + 1) * N].copy_from_slice(&acc);
+    }
+}
+
+/// Runtime-width fallback of [`matmul_narrow`] (odd head widths).
+fn matmul_narrow_dyn(a: &Tensor32, bd: &[f32], n: usize, out: &mut Tensor32) {
+    let m = a.rows();
+    let mut acc = [0.0f32; 16];
+    for i in 0..m {
+        let a_row = a.row_slice(i);
+        acc[..n].fill(0.0);
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in acc[..n].iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        out.data_mut()[i * n..(i + 1) * n].copy_from_slice(&acc[..n]);
+    }
+}
+
+/// `out = (a · bᵀ) * alpha` (f32) — the attention-score kernel. Shape
+/// checks match [`crate::kernels::matmul_nt_scaled_into`] exactly.
+///
+/// Large outputs materialize `bᵀ` once (an `O(n·k)` scratch against the
+/// `O(m·n·k)` product) so the inner loop becomes contiguous [`axpy8`]
+/// passes — strided eight-dot blocks cannot vectorize without gather
+/// loads, which the SSE2 baseline lacks. Small outputs keep the direct
+/// dot-product path; the scratch would cost more than it saves.
+pub fn matmul_nt_scaled_into(a: &Tensor32, b: &Tensor32, alpha: f32, out: &mut Tensor32) {
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    assert_eq!(k, b.cols(), "matmul_nt inner dimension mismatch");
+    assert_eq!((out.rows(), out.cols()), (m, n), "matmul_nt output shape mismatch");
+    if n >= 32 && m >= 4 {
+        let mut bt = vec![0.0f32; k * n];
+        transpose_into(b.data(), n, k, &mut bt);
+        return matmul_t_scaled(a, &bt, alpha, out);
+    }
+    /// Rows of `b` per tile (tile bytes ≈ 64 · k · 4; k is a head width
+    /// here, so tiles stay well inside L1).
+    const JB: usize = 64;
+    let bd = b.data();
+    for jb in (0..n).step_by(JB) {
+        let jh = (jb + JB).min(n);
+        for i in 0..m {
+            let a_row = a.row_slice(i);
+            let o_row = &mut out.data_mut()[i * n..(i + 1) * n];
+            let mut j = jb;
+            while j + 8 <= jh {
+                let b0 = &bd[j * k..(j + 1) * k];
+                let b1 = &bd[(j + 1) * k..(j + 2) * k];
+                let b2 = &bd[(j + 2) * k..(j + 3) * k];
+                let b3 = &bd[(j + 3) * k..(j + 4) * k];
+                let b4 = &bd[(j + 4) * k..(j + 5) * k];
+                let b5 = &bd[(j + 5) * k..(j + 6) * k];
+                let b6 = &bd[(j + 6) * k..(j + 7) * k];
+                let b7 = &bd[(j + 7) * k..(j + 8) * k];
+                let mut acc = [0.0f32; 8];
+                for (kk, &x) in a_row.iter().enumerate() {
+                    acc[0] += x * b0[kk];
+                    acc[1] += x * b1[kk];
+                    acc[2] += x * b2[kk];
+                    acc[3] += x * b3[kk];
+                    acc[4] += x * b4[kk];
+                    acc[5] += x * b5[kk];
+                    acc[6] += x * b6[kk];
+                    acc[7] += x * b7[kk];
+                }
+                for (step, &a) in acc.iter().enumerate() {
+                    o_row[j + step] = a * alpha;
+                }
+                j += 8;
+            }
+            for jr in j..jh {
+                let b_row = &bd[jr * k..(jr + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                o_row[jr] = acc * alpha;
+            }
+        }
+    }
+}
+
+/// `dst[c][r] = src[r][c]` for a row-major `rows × cols` source — the
+/// scratch transpose behind the large-`n` score kernels.
+fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose source shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "transpose dest shape mismatch");
+    for r in 0..rows {
+        let s_row = &src[r * cols..(r + 1) * cols];
+        for (c, &v) in s_row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
+}
+
+/// `out = (a · bt) * alpha` where `bt` is already transposed (`k × n`
+/// row-major): contiguous-axpy GEMM over [`L1_TILE`]-sized column blocks
+/// of `bt`, so a block (`k · 512` f32s at head widths) stays L1-resident
+/// across all rows of `a`. Scale is applied in a separate pass to keep
+/// the per-element rounding profile of the direct path.
+fn matmul_t_scaled(a: &Tensor32, bt: &[f32], alpha: f32, out: &mut Tensor32) {
+    let m = a.rows();
+    let n = out.cols();
+    /// Columns per block: `k` head-width rows of 2 KiB stay L1-resident.
+    const JB: usize = 512;
+    for jb in (0..n).step_by(JB) {
+        let jh = (jb + JB).min(n);
+        for i in 0..m {
+            let a_row = a.row_slice(i);
+            let o_row = &mut out.data_mut()[i * n + jb..i * n + jh];
+            o_row.fill(0.0);
+            for (kk, &av) in a_row.iter().enumerate() {
+                axpy8(av, &bt[kk * n + jb..kk * n + jh], o_row);
+            }
+            for o in o_row.iter_mut() {
+                *o *= alpha;
+            }
+        }
+    }
+}
+
+/// Fused single-head attention (f32): `out = softmax(q·kᵀ·scale)·v`
+/// through an L1-resident score tile, mirroring
+/// [`crate::kernels::attention_head_into`]. `kᵀ` is materialized once in
+/// the scratch so score rows are produced by contiguous [`axpy8`] passes
+/// over [`L1_TILE`]-row tiles, softmaxed in place with the polynomial
+/// [`exp_shifted`], and folded into probability-weighted value sums four
+/// rows per `v` pass (const-width at the supported head widths).
+pub fn attention_head_into(
+    q: &Tensor32,
+    k: &Tensor32,
+    v: &Tensor32,
+    scale: f32,
+    tile: &mut Vec<f32>,
+    out: &mut Tensor32,
+) {
+    let (m, dh, n) = (q.rows(), q.cols(), k.rows());
+    assert_eq!(dh, k.cols(), "attention q/k width mismatch");
+    assert_eq!((v.rows(), v.cols()), (n, dh), "attention v shape mismatch");
+    assert_eq!((out.rows(), out.cols()), (m, dh), "attention output shape mismatch");
+    assert!(dh <= 16, "fused attention head supports widths up to 16");
+    /// Score rows held at once (`TILE_ROWS · n` scratch f32s — half the
+    /// bytes of the f64 tile at the same row count).
+    const TILE_ROWS: usize = L1_TILE;
+    // Scratch layout: the score tile, then `kᵀ` (`dh × n`) so the score
+    // phase runs as contiguous axpy passes (see [`matmul_t_scaled`] for
+    // why the strided dot-product shape cannot vectorize).
+    tile.clear();
+    tile.resize(TILE_ROWS * n + dh * n, 0.0);
+    let (stile, kt) = tile.split_at_mut(TILE_ROWS * n);
+    transpose_into(k.data(), n, dh, kt);
+    let vd = v.data();
+    for ib in (0..m).step_by(TILE_ROWS) {
+        let ih = (ib + TILE_ROWS).min(m);
+        /// Score columns per block: `dh` kᵀ rows of 2 KiB stay
+        /// L1-resident across the tile's query rows.
+        const JB: usize = 512;
+        for jb in (0..n).step_by(JB) {
+            let jh = (jb + JB).min(n);
+            for i in ib..ih {
+                let a_row = q.row_slice(i);
+                let s_row = &mut stile[(i - ib) * n + jb..(i - ib) * n + jh];
+                s_row.fill(0.0);
+                for (kk, &x) in a_row.iter().enumerate() {
+                    axpy8(x, &kt[kk * n + jb..kk * n + jh], s_row);
+                }
+                for s in s_row.iter_mut() {
+                    *s *= scale;
+                }
+            }
+        }
+        for ti in 0..(ih - ib) {
+            let s_row = &mut stile[ti * n..(ti + 1) * n];
+            let mx = row_max(s_row);
+            if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD_F32 {
+                s_row.fill(0.0);
+                continue;
+            }
+            for s in s_row.iter_mut() {
+                *s = exp_shifted(*s - mx);
+            }
+            let inv = 1.0 / striped_sum(s_row);
+            for s in s_row.iter_mut() {
+                *s *= inv;
+            }
+        }
+        match dh {
+            8 => weighted_value_sums::<8>(stile, n, ib, ih, vd, out.data_mut()),
+            12 => weighted_value_sums::<12>(stile, n, ib, ih, vd, out.data_mut()),
+            16 => weighted_value_sums::<16>(stile, n, ib, ih, vd, out.data_mut()),
+            _ => weighted_value_sums_dyn(stile, n, dh, ib, ih, vd, out.data_mut()),
+        }
+    }
+}
+
+/// Const-width output phase of the fused attention kernel: probability-
+/// weighted value sums, four score rows per `v` pass, fully unrollable
+/// lane loops.
+fn weighted_value_sums<const DH: usize>(
+    tile: &[f32],
+    n: usize,
+    ib: usize,
+    ih: usize,
+    vd: &[f32],
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; DH]; 4];
+    let mut i = ib;
+    while i < ih {
+        let rows = (ih - i).min(4);
+        for a in acc.iter_mut().take(rows) {
+            a.fill(0.0);
+        }
+        for kk in 0..n {
+            let b_row: &[f32; DH] = vd[kk * DH..(kk + 1) * DH].try_into().expect("width");
+            for (r, a) in acc.iter_mut().take(rows).enumerate() {
+                let p = tile[(i - ib + r) * n + kk];
+                for l in 0..DH {
+                    a[l] += p * b_row[l];
+                }
+            }
+        }
+        for (r, a) in acc.iter().take(rows).enumerate() {
+            out[(i + r) * DH..(i + r + 1) * DH].copy_from_slice(a);
+        }
+        i += rows;
+    }
+}
+
+/// The fused attention kernel's output phase: probability-weighted value
+/// sums, four score rows per `v` pass.
+fn weighted_value_sums_dyn(
+    tile: &[f32],
+    n: usize,
+    dh: usize,
+    ib: usize,
+    ih: usize,
+    vd: &[f32],
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; 16]; 4];
+    let mut i = ib;
+    while i < ih {
+        let rows = (ih - i).min(4);
+        for a in acc.iter_mut().take(rows) {
+            a[..dh].fill(0.0);
+        }
+        for kk in 0..n {
+            let b_row = &vd[kk * dh..(kk + 1) * dh];
+            for (r, a) in acc.iter_mut().take(rows).enumerate() {
+                let p = tile[(i - ib + r) * n + kk];
+                for (o, &bv) in a[..dh].iter_mut().zip(b_row) {
+                    *o += p * bv;
+                }
+            }
+        }
+        for (r, a) in acc.iter().take(rows).enumerate() {
+            out[(i + r) * dh..(i + r + 1) * dh].copy_from_slice(&a[..dh]);
+        }
+        i += rows;
+    }
+}
+
+/// `out = a · b` with exact-zero skip on the left operand (masked
+/// attention probabilities, f32).
+pub fn matmul_sparse_into(a: &Tensor32, b: &Tensor32, out: &mut Tensor32) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows(), "matmul inner dimension mismatch");
+    assert_eq!((out.rows(), out.cols()), (m, n), "matmul output shape mismatch");
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = a.row_slice(i);
+        let o_row = &mut out.data_mut()[i * n..(i + 1) * n];
+        o_row.fill(0.0);
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Row-wise softmax of `x + mask` (f32); `mask = None` is the unmasked
+/// fast path. Fully-masked / non-finite rows come out all-zero, like the
+/// f64 kernel.
+pub fn masked_softmax_into(x: &Tensor32, mask: Option<&Tensor32>, out: &mut Tensor32) {
+    assert_eq!((out.rows(), out.cols()), (x.rows(), x.cols()), "softmax output shape mismatch");
+    let Some(mask) = mask else {
+        for r in 0..x.rows() {
+            let row = x.row_slice(r);
+            let o_row = &mut out.data_mut()[r * row.len()..(r + 1) * row.len()];
+            let mx = row_max(row);
+            if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD_F32 {
+                o_row.fill(0.0);
+                continue;
+            }
+            for (o, &v) in o_row.iter_mut().zip(row) {
+                *o = exp_shifted(v - mx);
+            }
+            let inv = 1.0 / striped_sum(o_row);
+            for o in o_row.iter_mut() {
+                *o *= inv;
+            }
+        }
+        return;
+    };
+    assert_eq!(x.rows(), mask.rows(), "mask row mismatch");
+    assert_eq!(x.cols(), mask.cols(), "mask col mismatch");
+    for r in 0..x.rows() {
+        let row = x.row_slice(r);
+        let mrow = mask.row_slice(r);
+        let o_row = &mut out.data_mut()[r * row.len()..(r + 1) * row.len()];
+        let mut mx = f32::NEG_INFINITY;
+        for (&v, &mv) in row.iter().zip(mrow) {
+            mx = mx.max(v + mv);
+        }
+        if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD_F32 {
+            o_row.fill(0.0);
+            continue;
+        }
+        let mut z = 0.0f32;
+        for ((o, &v), &mv) in o_row.iter_mut().zip(row).zip(mrow) {
+            let e = if mv <= MASK_NEG_THRESHOLD_F32 { 0.0 } else { (v + mv - mx).exp() };
+            *o = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for o in o_row.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// f32 `exp` for max-shifted softmax arguments (`x ≤ 0`): the f32
+/// build of [`crate::kernels`]' branchless range-reduced polynomial.
+/// Relative error ≤ ~2 f32 ULPs over the softmax input range;
+/// `exp_shifted(0.0)` is exactly `1.0`.
+#[inline]
+// The LN2_HI literal spells out the exactly-representable 11-bit value;
+// truncating it as clippy suggests would hide that it is exact.
+#[allow(clippy::excessive_precision)]
+pub(crate) fn exp_shifted(x: f32) -> f32 {
+    // Clamp so `k ≥ −126` keeps 2^k in the normal f32 range (the bit
+    // trick below builds the exponent field directly).
+    let x = x.max(-87.0);
+    const INV_LN2: f32 = std::f32::consts::LOG2_E;
+    // ln2 split hi/lo: the hi part has 11 mantissa bits, so `k · LN2_HI`
+    // is exact for every |k| ≤ 4096 that the clamp admits.
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // Round-to-nearest via the 1.5·2^23 magic constant.
+    const MAGIC: f32 = 12_582_912.0;
+    let t = x * INV_LN2 + MAGIC;
+    let kf = t - MAGIC;
+    let r = (x - kf * LN2_HI) - kf * LN2_LO;
+    // `t` is exactly MAGIC + k, so its low mantissa bits hold 2^22 + k;
+    // 2^k is rebuilt with integer arithmetic only (auto-vectorizable).
+    let mantissa = t.to_bits() & ((1u32 << 23) - 1);
+    let exp2k = f32::from_bits((mantissa - ((1u32 << 22) - 127)) << 23);
+    // Degree-7 Taylor of exp(r) on |r| ≤ ln2/2 (tail ≈ 5e-9 relative,
+    // far below f32 epsilon).
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0
+                    + r * (1.0 / 24.0
+                        + r * (1.0 / 120.0 + r * (1.0 / 720.0 + r * (1.0 / 5040.0)))))));
+    p * exp2k
+}
+
+/// Sequential-sum softmax of one f32 row in place (tree-attention member
+/// rows). Fully-masked / non-finite rows become all-zero.
+pub(crate) fn softmax_row_seq(row: &mut [f32]) {
+    let mut mx = f32::NEG_INFINITY;
+    for &s in row.iter() {
+        mx = mx.max(s);
+    }
+    if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD_F32 {
+        row.fill(0.0);
+        return;
+    }
+    let mut z = 0.0f32;
+    for s in row.iter_mut() {
+        *s = (*s - mx).exp();
+        z += *s;
+    }
+    let inv = 1.0 / z;
+    for s in row.iter_mut() {
+        *s *= inv;
+    }
+}
+
+/// Eight-stripe f32 sum (matches the SIMD lane width the rest of the
+/// module is shaped for).
+fn striped_sum(row: &[f32]) -> f32 {
+    let mut s = [0.0f32; 8];
+    let mut chunks = row.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let c: &[f32; 8] = c.try_into().expect("chunk");
+        for l in 0..8 {
+            s[l] += c[l];
+        }
+    }
+    let mut z = ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+    for &v in chunks.remainder() {
+        z += v;
+    }
+    z
+}
+
+/// Row maximum with eight independent running maxima.
+fn row_max(row: &[f32]) -> f32 {
+    let mut m = [f32::NEG_INFINITY; 8];
+    let mut chunks = row.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let c: &[f32; 8] = c.try_into().expect("chunk");
+        for l in 0..8 {
+            m[l] = m[l].max(c[l]);
+        }
+    }
+    let mut mx = m.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    for &v in chunks.remainder() {
+        mx = mx.max(v);
+    }
+    mx
+}
+
+/// Boolean-keep-mask softmax over one f32 logit row, emitting **f64**
+/// probabilities so the sampling stack (`Categorical`, quantile
+/// thresholds, log-prob accounting) is shared verbatim with the f64
+/// path. The max/exp run in f32; normalization runs in f64 so the
+/// probabilities sum to 1 at f64 precision.
+pub fn masked_softmax_bool_row_f32(x: &[f32], keep: &[bool], out: &mut Vec<f64>) {
+    assert_eq!(x.len(), keep.len(), "bool mask length mismatch");
+    out.clear();
+    out.resize(x.len(), 0.0);
+    let mut mx = f32::NEG_INFINITY;
+    for (&v, &k) in x.iter().zip(keep) {
+        let mv = if k { 0.0 } else { MASK_OFF_F32 };
+        mx = mx.max(v + mv);
+    }
+    if !mx.is_finite() || mx <= MASK_NEG_THRESHOLD_F32 {
+        return;
+    }
+    let mut z = 0.0f64;
+    for (c, (&v, &k)) in x.iter().zip(keep).enumerate() {
+        let e = if k { f64::from((v - mx).exp()) } else { 0.0 };
+        out[c] = e;
+        z += e;
+    }
+    let inv = 1.0 / z;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Row-wise standardization `(x − μ)/σ` with ε-stabilized variance (f32).
+pub fn layer_norm_into(x: &Tensor32, eps: f32, out: &mut Tensor32) {
+    assert_eq!((out.rows(), out.cols()), (x.rows(), x.cols()), "layer_norm output shape mismatch");
+    let d = x.cols() as f32;
+    for r in 0..x.rows() {
+        let row = x.row_slice(r);
+        let mu: f32 = row.iter().sum::<f32>() / d;
+        let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d;
+        let sigma = (var + eps).sqrt();
+        let o_row = &mut out.data_mut()[r * row.len()..(r + 1) * row.len()];
+        for (o, &v) in o_row.iter_mut().zip(row) {
+            *o = (v - mu) / sigma;
+        }
+    }
+}
+
+/// Column-wise mean over rows into a `1 × d` output (f32 mean pooling).
+pub fn mean_rows_into(x: &Tensor32, out: &mut Tensor32) {
+    assert_eq!((out.rows(), out.cols()), (1, x.cols()), "mean_rows output shape mismatch");
+    out.data_mut().fill(0.0);
+    for r in 0..x.rows() {
+        let row = x.row_slice(r);
+        for (o, &v) in out.data_mut().iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    let n = x.rows().max(1) as f32;
+    for o in out.data_mut() {
+        *o /= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_t32(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor32 {
+        Tensor32::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn matmul_close_to_f64_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(3, 5, 40), (17, 24, 24), (2, 24, 1), (33, 16, 300)] {
+            let a = rand_t32(m, k, &mut rng);
+            let b = rand_t32(k, n, &mut rng);
+            let mut out = Tensor32::zeros(m, n);
+            matmul_into(&a, &b, &mut out);
+            let mut reference = Tensor::zeros(m, n);
+            kernels::matmul_into(&a.to_tensor(), &b.to_tensor(), &mut reference);
+            for (got, want) in out.data().iter().zip(reference.data()) {
+                let bound = (k as f64).sqrt() * 4.0 * f64::from(f32::EPSILON);
+                assert!(
+                    (f64::from(*got) - want).abs() <= bound + want.abs() * bound,
+                    "matmul {m}x{k}x{n}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_scaled_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = rand_t32(9, 12, &mut rng);
+        let b = rand_t32(37, 12, &mut rng);
+        let mut out = Tensor32::zeros(9, 37);
+        matmul_nt_scaled_into(&a, &b, 0.25, &mut out);
+        let mut reference = Tensor::zeros(9, 37);
+        kernels::matmul_nt_scaled_into(&a.to_tensor(), &b.to_tensor(), 0.25, &mut reference);
+        for (got, want) in out.data().iter().zip(reference.data()) {
+            assert!((f64::from(*got) - want).abs() < 1e-5, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exp_shifted_accuracy_and_edges() {
+        assert_eq!(exp_shifted(0.0), 1.0);
+        assert!(exp_shifted(-100.0) >= 0.0);
+        let mut worst = 0.0f64;
+        let mut x = -80.0f32;
+        while x < 0.0 {
+            let got = f64::from(exp_shifted(x));
+            let want = f64::from(x).exp();
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+            x += 0.003_17;
+        }
+        assert!(worst < 4.0 * f64::from(f32::EPSILON), "worst rel err {worst:e}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = rand_t32(5, 100, &mut rng);
+        let mut out = Tensor32::zeros(5, 100);
+        masked_softmax_into(&x, None, &mut out);
+        for r in 0..5 {
+            let s: f32 = out.row_slice(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn fused_attention_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (m, dh, n) = (70, 12, 90);
+        let q = rand_t32(m, dh, &mut rng);
+        let k = rand_t32(n, dh, &mut rng);
+        let v = rand_t32(n, dh, &mut rng);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut tile = Vec::new();
+        let mut fused = Tensor32::zeros(m, dh);
+        attention_head_into(&q, &k, &v, scale, &mut tile, &mut fused);
+        let mut scores = Tensor32::zeros(m, n);
+        matmul_nt_scaled_into(&q, &k, scale, &mut scores);
+        let mut probs = Tensor32::zeros(m, n);
+        masked_softmax_into(&scores, None, &mut probs);
+        let mut unfused = Tensor32::zeros(m, dh);
+        matmul_into(&probs, &v, &mut unfused);
+        for (a, b) in fused.data().iter().zip(unfused.data()) {
+            assert!((a - b).abs() < 1e-5, "fused {a} vs unfused {b}");
+        }
+    }
+
+    #[test]
+    fn bool_row_softmax_masks_and_normalizes() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let keep = [true, false, true, false];
+        let mut out = Vec::new();
+        masked_softmax_bool_row_f32(&x, &keep, &mut out);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[3], 0.0);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[2] > out[0]);
+    }
+
+    #[test]
+    fn layer_norm_standardizes() {
+        let x = Tensor32::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = Tensor32::zeros(1, 4);
+        layer_norm_into(&x, 1e-5, &mut out);
+        let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_rows_pools() {
+        let x = Tensor32::from_vec(2, 3, vec![1.0, 2.0, 3.0, 3.0, 4.0, 5.0]);
+        let mut out = Tensor32::zeros(1, 3);
+        mean_rows_into(&x, &mut out);
+        assert_eq!(out.data(), &[2.0, 3.0, 4.0]);
+    }
+}

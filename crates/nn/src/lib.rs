@@ -50,17 +50,23 @@ pub mod adapter;
 pub mod checkpoint;
 pub mod graph;
 pub mod infer;
+pub mod infer32;
 pub mod kernels;
+pub mod kernels_f32;
 pub mod layers;
 pub mod lora;
 pub mod optim;
 pub mod tensor;
+pub mod tensor32;
 
 pub use adapter::Adapter;
 pub use checkpoint::Checkpoint;
 pub use graph::{Graph, Var, MASK_OFF};
 pub use infer::{FVar, FwdCtx, TreeGroups};
+pub use infer32::{FVar32, FwdCtx32};
 pub use layers::{AttentionOut, FeedForward, LayerNorm, Linear, Mlp, Module, MultiHeadAttention};
+pub use layers::{FeedForward32, LayerNorm32, Linear32, Mlp32, MultiHeadAttention32};
 pub use lora::LoraLinear;
 pub use optim::{Adam, AdamConfig};
 pub use tensor::Tensor;
+pub use tensor32::Tensor32;

@@ -23,8 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use vmr_core::model::Vmr2lModel;
+use vmr_core::model::{Vmr2lModel, Vmr2lModelF32};
 use vmr_nn::tensor::Tensor;
+use vmr_nn::tensor32::Tensor32;
 
 /// Default leader wait for peers (only paid when ≥ 2 plans are active).
 pub const DEFAULT_WINDOW: Duration = Duration::from_micros(500);
@@ -47,15 +48,31 @@ struct RoundOut {
 }
 
 #[derive(Default)]
+struct RoundOut32 {
+    results: Vec<Option<(Tensor32, Tensor32)>>,
+    remaining: usize,
+}
+
+#[derive(Default)]
 struct Inner {
     /// Plans currently inside [`EmbedBatcher::plan_guard`] scopes.
     active: usize,
-    /// Round id of the currently-collecting queue.
+    /// Round id of the currently-collecting f64 queue.
     round: u64,
-    /// Pending submissions (feature matrices) of the current round.
+    /// Pending f64 submissions (feature matrices) of the current round.
     queue: Vec<(Tensor, Tensor)>,
-    /// Published results by round id.
+    /// Published f64 results by round id.
     done: HashMap<u64, RoundOut>,
+    /// Round id of the currently-collecting f32 queue. The two precision
+    /// lanes never share a round: a batched GEMM runs entirely in one
+    /// numeric type, so mixing submissions would force the leader to pick
+    /// a precision some caller did not ask for.
+    round32: u64,
+    /// Pending f32-lane submissions (features are still f64 — the cast
+    /// happens inside the batched forward).
+    queue32: Vec<(Tensor, Tensor)>,
+    /// Published f32 results by round id.
+    done32: HashMap<u64, RoundOut32>,
 }
 
 /// The rendezvous point. One per policy registry; shared by every worker
@@ -183,6 +200,79 @@ impl EmbedBatcher {
             inner = self.cv.wait(inner).expect("batcher lock");
         }
     }
+
+    /// [`EmbedBatcher::embed`] on the f32 lane: batches only with other
+    /// f32 submissions (rounds are per-precision) and returns the cast
+    /// embeddings — bit-identical to `model32.embed_fwd` run alone.
+    ///
+    /// The `active` gauge counts in-flight plans of *both* precisions, so
+    /// a leader here may wait out the window for peers that turn out to
+    /// be on the f64 lane; that costs bounded latency, never correctness.
+    pub fn embed_f32(
+        &self,
+        model32: &Vmr2lModelF32,
+        pm: &Tensor,
+        vm: &Tensor,
+    ) -> (Tensor32, Tensor32) {
+        let mut inner = self.inner.lock().expect("batcher lock");
+        let round = inner.round32;
+        let idx = inner.queue32.len();
+        inner.queue32.push((pm.clone(), vm.clone()));
+        if idx == 0 {
+            let deadline = Instant::now() + self.window;
+            while inner.active > 1 && inner.queue32.len() < inner.active {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.cv.wait_timeout(inner, deadline - now).expect("batcher lock");
+                inner = guard;
+            }
+            let batch = std::mem::take(&mut inner.queue32);
+            inner.round32 += 1;
+            drop(inner);
+
+            // Same unwind story as the f64 lane: publish an all-`None`
+            // round on panic so followers fall back to solo evaluation.
+            let mut abandon = AbandonGuard32 { batcher: self, round, followers: batch.len() - 1 };
+            let refs: Vec<(&Tensor, &Tensor)> = batch.iter().map(|(p, v)| (p, v)).collect();
+            let outs = model32.embed_batch(&refs);
+            abandon.followers = 0; // disarm: publish real results instead
+            std::mem::forget(abandon);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.items.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.peak.fetch_max(batch.len() as u64, Ordering::Relaxed);
+
+            let remaining = outs.len();
+            let results = outs.into_iter().map(Some).collect();
+            let mut guard = self.inner.lock().expect("batcher lock");
+            guard.done32.insert(round, RoundOut32 { results, remaining });
+            inner = guard;
+        } else {
+            // Wake a leader that may be waiting for this submission.
+            self.cv.notify_all();
+        }
+        self.cv.notify_all();
+        loop {
+            if let Some(out) = inner.done32.get_mut(&round) {
+                let slot = out.results.get_mut(idx).and_then(Option::take);
+                out.remaining -= 1;
+                if out.remaining == 0 {
+                    inner.done32.remove(&round);
+                }
+                return match slot {
+                    Some(result) => result,
+                    None => {
+                        // Abandoned round (leader panicked): evaluate solo.
+                        drop(inner);
+                        let mut outs = model32.embed_batch(&[(pm, vm)]);
+                        outs.remove(0)
+                    }
+                };
+            }
+            inner = self.cv.wait(inner).expect("batcher lock");
+        }
+    }
 }
 
 /// Publishes an abandoned round on unwind so followers never strand.
@@ -199,6 +289,27 @@ impl Drop for AbandonGuard<'_> {
         }
         let mut inner = self.batcher.inner.lock().expect("batcher lock");
         inner.done.insert(self.round, RoundOut { results: Vec::new(), remaining: self.followers });
+        drop(inner);
+        self.batcher.cv.notify_all();
+    }
+}
+
+/// [`AbandonGuard`] for the f32 lane.
+struct AbandonGuard32<'a> {
+    batcher: &'a EmbedBatcher,
+    round: u64,
+    followers: usize,
+}
+
+impl Drop for AbandonGuard32<'_> {
+    fn drop(&mut self) {
+        if self.followers == 0 {
+            return;
+        }
+        let mut inner = self.batcher.inner.lock().expect("batcher lock");
+        inner
+            .done32
+            .insert(self.round, RoundOut32 { results: Vec::new(), remaining: self.followers });
         drop(inner);
         self.batcher.cv.notify_all();
     }

@@ -44,6 +44,7 @@
 //!         mnl: 4,
 //!         seed: 0,
 //!         budget_ms: 50, shards: 0, workers: 0,
+//!         precision: vmr_core::config::PrecisionConfig::Exact64,
 //!         commit: false,
 //!     })
 //!     .unwrap();

@@ -23,6 +23,7 @@ use vmr_baselines::ha::ha_solve;
 use vmr_baselines::mcts::{mcts_solve, MctsConfig};
 use vmr_baselines::swap::{swap_search_solve, SwapMove, SwapSearchConfig};
 use vmr_core::agent::{DecideOpts, InferCtx};
+use vmr_core::config::PrecisionConfig;
 use vmr_core::infer::SharedAgent;
 use vmr_sim::env::{Action, ReschedEnv};
 use vmr_sim::error::SimResult;
@@ -46,6 +47,9 @@ pub struct PlanRequest {
     /// Shard-solver worker threads for the fleet policy (0 = all cores).
     /// Plans are byte-identical for any value; only latency changes.
     pub workers: usize,
+    /// Inference numerics for checkpoint-backed policies (`agent`, and
+    /// `fleet` when it wraps the agent). Heuristic policies ignore it.
+    pub precision: PrecisionConfig,
 }
 
 /// A way to produce a rescheduling plan for a live session.
@@ -98,21 +102,37 @@ impl PlanPolicy for AgentPolicy {
         let mut ictx = InferCtx::new();
         let mut plan = Vec::new();
         let _in_flight = self.batcher.plan_guard();
+        let fast32 = req.precision == PrecisionConfig::Fast32;
         while !env.is_done() {
             ictx.prepare_from_env(env);
             // Stage-1 embeddings: one batched GEMM shared with every
-            // other in-flight agent plan.
-            let (pm_emb, vm_emb) =
-                self.batcher.embed(&agent.policy, &ictx.feats.pm, &ictx.feats.vm);
-            let pm_v = ictx.ctx.input(&pm_emb);
-            let vm_v = ictx.ctx.input(&vm_emb);
-            let s1 = agent.policy.stage1_from_embeds_fwd(
-                &mut ictx.ctx,
-                pm_v,
-                vm_v,
-                Some(&ictx.tree.groups),
-            );
-            let Some(decision) = agent.act_core(env, &mut ictx, &s1, &mut rng, &opts)? else {
+            // other in-flight agent plan (per-precision rounds).
+            let decision = if fast32 {
+                let m32 = self.handle.model32();
+                let (pm_emb, vm_emb) = self.batcher.embed_f32(m32, &ictx.feats.pm, &ictx.feats.vm);
+                let pm_v = ictx.ctx32.input32(&pm_emb);
+                let vm_v = ictx.ctx32.input32(&vm_emb);
+                let s1 = m32.stage1_from_embeds_fwd(
+                    &mut ictx.ctx32,
+                    pm_v,
+                    vm_v,
+                    Some(&ictx.tree.groups),
+                );
+                agent.act_core_f32(m32, env, &mut ictx, &s1, &mut rng, &opts)?
+            } else {
+                let (pm_emb, vm_emb) =
+                    self.batcher.embed(&agent.policy, &ictx.feats.pm, &ictx.feats.vm);
+                let pm_v = ictx.ctx.input(&pm_emb);
+                let vm_v = ictx.ctx.input(&vm_emb);
+                let s1 = agent.policy.stage1_from_embeds_fwd(
+                    &mut ictx.ctx,
+                    pm_v,
+                    vm_v,
+                    Some(&ictx.tree.groups),
+                );
+                agent.act_core(env, &mut ictx, &s1, &mut rng, &opts)?
+            };
+            let Some(decision) = decision else {
                 break;
             };
             env.step(decision.action)?;
@@ -325,6 +345,7 @@ impl PlanPolicy for FleetPolicy {
                     budget: shard_budget,
                     shards: 0,
                     workers: 0,
+                    precision: req.precision,
                 };
                 match inner.plan(&mut shard_env, &shard_req) {
                     Ok(plan) => plan,
@@ -444,6 +465,7 @@ mod tests {
             budget: Duration::from_millis(100),
             shards: 4,
             workers: 1,
+            precision: PrecisionConfig::Exact64,
         };
         let plan1 = fleet.plan(&mut mk_env(), &base).unwrap();
         assert!(plan1.len() <= 6, "fleet must honor the global MNL");
@@ -476,6 +498,7 @@ mod tests {
             budget: Duration::from_millis(200),
             shards: 4,
             workers: 1,
+            precision: PrecisionConfig::Exact64,
         };
         let p1 = session.plan(&fleet, &tie_req, false).unwrap().plan;
         for workers in [1, 4] {
@@ -515,12 +538,44 @@ mod tests {
                 budget: Duration::from_millis(200),
                 shards: 2,
                 workers,
+                precision: PrecisionConfig::Exact64,
             };
             plans.push(session.plan(&fleet, &req, false).unwrap().plan);
         }
         assert_eq!(plans[0], plans[1], "1 vs 4 workers");
         assert_eq!(plans[0], plans[2], "repeat call on the rewound session");
         assert_eq!(plans[0], plans[3], "repeat at 4 workers");
+    }
+
+    #[test]
+    fn agent_policy_f32_plans_are_legal_and_deterministic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+        use vmr_core::model::Vmr2lModel;
+        use vmr_core::Vmr2lAgent;
+
+        use crate::session::{preset_config, Session};
+        let mut rng = StdRng::seed_from_u64(0);
+        let model =
+            Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+        let handle = SharedAgent::new(Vmr2lAgent::new(model, ActionMode::TwoStage));
+        let policy = AgentPolicy::new(handle);
+        let mut session = Session::from_preset("s", &preset_config("tiny").unwrap(), 5, 6).unwrap();
+        let req = PlanRequest {
+            mnl: 5,
+            seed: 8,
+            budget: Duration::from_millis(200),
+            shards: 0,
+            workers: 0,
+            precision: PrecisionConfig::Fast32,
+        };
+        // The session replays the plan against the committed state, so a
+        // successful `plan` call already proves legality end to end.
+        let p1 = session.plan(&policy, &req, false).unwrap().plan;
+        let p2 = session.plan(&policy, &req, false).unwrap().plan;
+        assert_eq!(p1, p2, "f32 planning must be deterministic given the seed");
+        assert!(p1.len() <= 5);
     }
 
     #[test]

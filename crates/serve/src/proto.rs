@@ -13,6 +13,7 @@ use std::io::{self, BufRead, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
+use vmr_core::config::PrecisionConfig;
 use vmr_sim::cluster::ClusterState;
 use vmr_sim::constraints::ConstraintSet;
 use vmr_sim::env::ClusterDelta;
@@ -23,7 +24,12 @@ use vmr_sim::env::ClusterDelta;
 /// v2 (PR 5): [`PlanParams`] grew required `shards`/`workers` fields for
 /// the fleet policy — a v1 plan request no longer parses, so the version
 /// was bumped rather than silently changing the v1 shape.
-pub const PROTO_VERSION: u32 = 2;
+///
+/// v3 (PR 6): [`PlanParams`] grew a required `precision` field selecting
+/// the inference numerics (`"f64"` exact / `"f32"` SIMD fast path). The
+/// field is typed and has no serde default by design: a v2 request would
+/// otherwise silently plan at a precision the caller never chose.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Hard cap on one framed line (requests *and* responses). Snapshots of
 /// paper-scale clusters are ~1 MiB of JSON; 32 MiB leaves headroom while
@@ -124,6 +130,11 @@ pub struct PlanParams {
     /// Worker threads for the `fleet` policy (0 = all cores). Changes
     /// wall-clock only — the served plan is byte-identical for any value.
     pub workers: usize,
+    /// Inference numerics for the `agent`/`fleet` policies: `Exact64`
+    /// plans bit-identically to training, `Fast32` runs the SIMD f32
+    /// fast path (tolerance-equivalent decisions). Heuristic policies
+    /// ignore it.
+    pub precision: PrecisionConfig,
     /// Deploy the plan into the session's live state on success.
     pub commit: bool,
 }
@@ -388,6 +399,7 @@ mod tests {
                 budget_ms: 50,
                 shards: 0,
                 workers: 0,
+                precision: PrecisionConfig::Fast32,
                 commit: false,
             }),
         };

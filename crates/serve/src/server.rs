@@ -70,6 +70,7 @@ struct PlanKey {
     seed: u64,
     budget_ms: u64,
     shards: usize,
+    precision: vmr_core::config::PrecisionConfig,
     version: u64,
 }
 
@@ -384,8 +385,14 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
         .policies
         .resolve(&p.policy, budget)
         .ok_or_else(|| (codes::UNKNOWN_POLICY, format!("no policy named {:?}", p.policy)))?;
-    let req =
-        PlanRequest { mnl: p.mnl, seed: p.seed, budget, shards: p.shards, workers: p.workers };
+    let req = PlanRequest {
+        mnl: p.mnl,
+        seed: p.seed,
+        budget,
+        shards: p.shards,
+        workers: p.workers,
+        precision: p.precision,
+    };
 
     // Committing plans mutate state: no coalescing, straight through.
     if p.commit {
@@ -410,6 +417,7 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
             seed: p.seed,
             budget_ms: p.budget_ms,
             shards: p.shards,
+            precision: p.precision,
             version,
         };
 

@@ -203,7 +203,14 @@ mod tests {
     }
 
     fn req(mnl: usize) -> PlanRequest {
-        PlanRequest { mnl, seed: 0, budget: Duration::from_millis(100), shards: 0, workers: 0 }
+        PlanRequest {
+            mnl,
+            seed: 0,
+            budget: Duration::from_millis(100),
+            shards: 0,
+            workers: 0,
+            precision: vmr_core::config::PrecisionConfig::Exact64,
+        }
     }
 
     #[test]

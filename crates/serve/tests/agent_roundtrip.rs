@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vmr_core::agent::{DecideOpts, Vmr2lAgent};
-use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig, PrecisionConfig};
 use vmr_core::infer::{load_checkpoint_agent, SharedAgent};
 use vmr_core::model::Vmr2lModel;
 use vmr_core::train::{TrainConfig, Trainer};
@@ -64,6 +64,7 @@ fn served_plan_matches_in_process_decide() {
             budget_ms: 0,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: false,
         })
         .unwrap();

@@ -27,7 +27,14 @@ fn session(name: &str, seed: u64) -> Session {
 }
 
 fn req(seed: u64) -> PlanRequest {
-    PlanRequest { mnl: 6, seed, budget: Duration::from_millis(200), shards: 0, workers: 0 }
+    PlanRequest {
+        mnl: 6,
+        seed,
+        budget: Duration::from_millis(200),
+        shards: 0,
+        workers: 0,
+        precision: vmr_core::config::PrecisionConfig::Exact64,
+    }
 }
 
 #[test]

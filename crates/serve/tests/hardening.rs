@@ -6,6 +6,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
+use vmr_core::config::PrecisionConfig;
 use vmr_serve::proto::{codes, ReplyBody, Response, MAX_LINE_BYTES};
 use vmr_serve::server::{serve, ServerConfig};
 
@@ -35,7 +36,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 2. Truncated JSON.
-    writer.write_all(b"{\"v\":2,\"id\":\n").unwrap();
+    writer.write_all(b"{\"v\":3,\"id\":\n").unwrap();
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 3. Valid JSON, wrong shape.
@@ -55,7 +56,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     // 6. The same connection still serves valid requests.
     writer
         .write_all(
-            b"{\"v\":2,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
+            b"{\"v\":3,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
         )
         .unwrap();
     let resp = read_response(&mut reader);
@@ -156,6 +157,7 @@ fn degenerate_deltas_get_structured_sim_errors_over_the_wire() {
             budget_ms: 50,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: false,
         })
         .unwrap();

@@ -10,6 +10,7 @@
 //!   the restored state — a plan after the restore is identical to one
 //!   computed before the delete, never one targeting renumbered ids.
 
+use vmr_core::config::PrecisionConfig;
 use vmr_serve::client::ServeClient;
 use vmr_serve::proto::PlanParams;
 use vmr_serve::server::{serve, ServerConfig};
@@ -25,6 +26,7 @@ fn plan_params(mnl: usize) -> PlanParams {
         budget_ms: 100,
         shards: 0,
         workers: 0,
+        precision: PrecisionConfig::Exact64,
         commit: false,
     }
 }

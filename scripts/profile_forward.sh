@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Profile the policy forward pass per precision tier.
+#
+# Runs the policy_forward (f64) and policy_forward_f32 criterion benches
+# under `perf record` and, when a flamegraph toolchain is available,
+# renders one SVG per precision — the side-by-side that shows where the
+# f32 fast path actually spends its time (GEMM vs softmax vs layer norm)
+# compared to the f64 exact path.
+#
+#   scripts/profile_forward.sh [f64|f32|both] [OUTDIR]
+#
+# Defaults: both tiers, output under target/profile/. Degrades
+# gracefully: without `perf` it falls back to timing the bench bodies;
+# without `flamegraph`/`inferno` it leaves the perf.data for manual
+# inspection (`perf report -i <file>`).
+
+set -euo pipefail
+
+TIER="${1:-both}"
+OUTDIR="${2:-target/profile}"
+case "$TIER" in
+    f64|f32|both) ;;
+    *) echo "usage: $0 [f64|f32|both] [OUTDIR]" >&2; exit 2 ;;
+esac
+mkdir -p "$OUTDIR"
+
+benches_for() {
+    case "$1" in
+        f64) echo "policy_forward" ;;
+        f32) echo "policy_forward_f32" ;;
+    esac
+}
+
+# Criterion benches accept a filter argument: the group name restricts
+# the run to one precision family inside policy_forward.rs.
+run_one() {
+    local tier="$1"
+    local group
+    group="$(benches_for "$tier")"
+    local perfdata="$OUTDIR/forward_${tier}.perf.data"
+    local svg="$OUTDIR/forward_${tier}.svg"
+
+    echo "==> $tier tier (bench group: $group)"
+    if command -v perf >/dev/null 2>&1; then
+        # perf may be installed but unusable (unprivileged container,
+        # perf_event_paranoid); probe once and fall back cleanly.
+        if perf stat -e task-clock true >/dev/null 2>&1; then
+            perf record -g --call-graph dwarf -o "$perfdata" -- \
+                cargo bench -p vmr-bench --bench policy_forward -- "^$group/" \
+                || { echo "perf record failed for $tier" >&2; return 1; }
+            echo "    perf data: $perfdata"
+            if command -v flamegraph >/dev/null 2>&1; then
+                flamegraph --perfdata "$perfdata" -o "$svg" \
+                    && echo "    flamegraph: $svg"
+            elif command -v inferno-collapse-perf >/dev/null 2>&1; then
+                perf script -i "$perfdata" | inferno-collapse-perf \
+                    | inferno-flamegraph > "$svg" \
+                    && echo "    flamegraph: $svg"
+            else
+                echo "    no flamegraph/inferno on PATH; inspect with:" \
+                     "perf report -i $perfdata"
+            fi
+            return 0
+        fi
+        echo "    perf present but cannot count events here" \
+             "(perf_event_paranoid?); timing only"
+    else
+        echo "    perf not found; timing only"
+    fi
+    # Fallback: still produce numbers so the script is useful anywhere —
+    # the criterion shim prints per-benchmark medians.
+    cargo bench -p vmr-bench --bench policy_forward -- "^$group/"
+}
+
+if [ "$TIER" = "both" ]; then
+    run_one f64
+    run_one f32
+else
+    run_one "$TIER"
+fi
+echo "done; artifacts in $OUTDIR"

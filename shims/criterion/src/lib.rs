@@ -12,6 +12,16 @@
 //! (e.g. `cargo test` running the bench target) runs each benchmark
 //! body once as a smoke check.
 //!
+//! Like real criterion, the first free (non-flag) CLI argument is a
+//! benchmark filter: a plain substring of the full id, or — one notch
+//! of anchoring — a leading `^` for a prefix match, so
+//! `cargo bench --bench policy_forward -- '^policy_forward_f32/'`
+//! measures only the f32 group (used by `scripts/profile_forward.sh`
+//! to profile one precision tier at a time). Values of flags that take
+//! a separate argument (`--sample-size 10`, libtest's `--skip`, …) are
+//! never mistaken for a filter; a literal `--` forces the next
+//! argument to be the filter.
+//!
 //! When `VMR_BENCH_JSON` names a file, one JSON line per benchmark
 //! (`{"id": ..., "median_ns": ..., ...}`) is appended — used to capture
 //! `BENCH_seed.json` trajectories without parsing stdout.
@@ -31,6 +41,7 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     full: bool,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
@@ -39,7 +50,64 @@ impl Default for Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(3),
             full: std::env::args().any(|a| a == "--bench"),
+            filter: parse_filter(std::env::args().skip(1)),
         }
+    }
+}
+
+/// Extracts the benchmark filter from CLI arguments: the first free
+/// argument that is neither a flag nor the value of a value-taking
+/// flag. A literal `--` ends flag parsing — the argument after it is
+/// the filter even if it starts with `-`.
+fn parse_filter(args: impl Iterator<Item = String>) -> Option<String> {
+    // Flags (criterion's and libtest's) that consume a *separate* value
+    // argument; their value must not be mistaken for a filter.
+    const VALUE_FLAGS: &[&str] = &[
+        "--sample-size",
+        "--measurement-time",
+        "--warm-up-time",
+        "--nresamples",
+        "--noise-threshold",
+        "--confidence-level",
+        "--significance-level",
+        "--save-baseline",
+        "--baseline",
+        "--load-baseline",
+        "--profile-time",
+        "--color",
+        "--colour",
+        "--output-format",
+        "--format",
+        "--logfile",
+        "--skip",
+        "--test-threads",
+        "-Z",
+    ];
+    let mut it = args;
+    while let Some(a) = it.next() {
+        if a == "--" {
+            return it.next();
+        }
+        if a.starts_with('-') {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                it.next();
+            }
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+/// Whether `id` passes `filter` (substring; leading `^` anchors to a
+/// prefix match).
+fn filter_matches(filter: Option<&str>, id: &str) -> bool {
+    match filter {
+        None => true,
+        Some(f) => match f.strip_prefix('^') {
+            Some(prefix) => id.starts_with(prefix),
+            None => id.contains(f),
+        },
     }
 }
 
@@ -70,6 +138,9 @@ impl Criterion {
     /// Runs one benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
         let full_id = id.into_benchmark_id().render();
+        if !filter_matches(self.filter.as_deref(), &full_id) {
+            return;
+        }
         run_benchmark(&full_id, self.sample_size, self.measurement_time, self.full, f);
     }
 }
@@ -100,6 +171,9 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark in this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
         let full_id = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        if !filter_matches(self.criterion.filter.as_deref(), &full_id) {
+            return;
+        }
         run_benchmark(
             &full_id,
             self.sample_size.unwrap_or(self.criterion.sample_size),
@@ -319,8 +393,12 @@ mod tests {
     #[test]
     fn smoke_mode_runs_each_body_once() {
         let mut calls = 0u32;
-        let mut c =
-            Criterion { sample_size: 10, measurement_time: Duration::from_millis(10), full: false };
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(10),
+            full: false,
+            filter: None,
+        };
         let mut g = c.benchmark_group("g");
         g.bench_function("f", |b| b.iter(|| calls += 1));
         g.finish();
@@ -328,9 +406,57 @@ mod tests {
     }
 
     #[test]
+    fn filters_select_by_substring_or_prefix() {
+        assert!(filter_matches(None, "policy_forward/a"));
+        assert!(filter_matches(Some("forward"), "policy_forward/a"));
+        assert!(filter_matches(Some("^policy_forward/"), "policy_forward/a"));
+        assert!(!filter_matches(Some("^policy_forward/"), "policy_forward_f32/a"));
+        assert!(filter_matches(Some("policy_forward"), "policy_forward_f32/a"));
+        assert!(!filter_matches(Some("decide"), "policy_forward/a"));
+        let mut calls = 0u32;
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(10),
+            full: false,
+            filter: Some("^g/yes".into()),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("yes", |b| b.iter(|| calls += 1));
+        g.bench_function("no", |b| b.iter(|| calls += 100));
+        g.finish();
+        assert_eq!(calls, 1, "only the matching benchmark body runs");
+    }
+
+    #[test]
+    fn parse_filter_skips_flags_and_their_values() {
+        let parse = |args: &[&str]| parse_filter(args.iter().map(|s| s.to_string()));
+        // Plain flags are not filters.
+        assert_eq!(parse(&["--bench"]), None);
+        // The filter is the first free argument.
+        assert_eq!(
+            parse(&["--bench", "^policy_forward_f32/"]),
+            Some("^policy_forward_f32/".into())
+        );
+        // A value-taking flag's value is NOT a filter...
+        assert_eq!(parse(&["--bench", "--sample-size", "10"]), None);
+        assert_eq!(parse(&["--skip", "slow", "--bench"]), None);
+        // ...but a free argument after it still is.
+        assert_eq!(parse(&["--sample-size", "10", "decide"]), Some("decide".into()));
+        // `--` forces the next argument to be the filter, flags included.
+        assert_eq!(parse(&["--bench", "--", "--weird"]), Some("--weird".into()));
+        assert_eq!(parse(&["--", "decide"]), Some("decide".into()));
+        assert_eq!(parse(&["--"]), None);
+        assert_eq!(parse(&[]), None);
+    }
+
+    #[test]
     fn measure_mode_reports_plausible_time() {
-        let mut c =
-            Criterion { sample_size: 5, measurement_time: Duration::from_millis(50), full: true };
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(50),
+            full: true,
+            filter: None,
+        };
         c.bench_function(BenchmarkId::new("spin", 1), |b| {
             b.iter(|| black_box((0..100u64).sum::<u64>()))
         });

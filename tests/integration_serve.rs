@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vmr_core::agent::Vmr2lAgent;
-use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig, PrecisionConfig};
 use vmr_core::infer::SharedAgent;
 use vmr_core::model::Vmr2lModel;
 use vmr_serve::client::ServeClient;
@@ -107,6 +107,7 @@ fn four_concurrent_clients_full_lifecycle() {
                             budget_ms: 100,
                             shards: 0,
                             workers: 0,
+                            precision: PrecisionConfig::Exact64,
                             commit: false,
                         })
                         .unwrap_or_else(|e| panic!("{policy} plan: {e}"));
@@ -128,6 +129,7 @@ fn four_concurrent_clients_full_lifecycle() {
                             budget_ms: 100,
                             shards: 0,
                             workers: 0,
+                            precision: PrecisionConfig::Exact64,
                             commit: false,
                         })
                         .expect("repeat plan");
@@ -186,6 +188,7 @@ fn committed_plans_advance_the_live_state() {
             budget_ms: 50,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: true,
         })
         .expect("commit plan");
@@ -207,6 +210,7 @@ fn committed_plans_advance_the_live_state() {
             budget_ms: 100,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: false,
         })
         .expect("swap plan");
@@ -222,6 +226,7 @@ fn committed_plans_advance_the_live_state() {
         budget_ms: 200,
         shards: 2,
         workers,
+        precision: PrecisionConfig::Exact64,
         commit: false,
     };
     let fleet1 = client.plan(fleet_params(1)).expect("fleet plan");
@@ -258,6 +263,7 @@ fn unknown_entities_yield_structured_errors() {
             budget_ms: 10,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: false,
         })
         .unwrap_err();
@@ -271,6 +277,7 @@ fn unknown_entities_yield_structured_errors() {
             budget_ms: 10,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: false,
         })
         .unwrap_err();
@@ -314,6 +321,7 @@ fn medium_scale_session_serves_deltas_and_plans() {
             budget_ms: 0,
             shards: 0,
             workers: 0,
+            precision: PrecisionConfig::Exact64,
             commit: false,
         })
         .expect("plan");
