@@ -1,0 +1,94 @@
+//! Durability-path benches for the `vmr-serve` write-ahead log.
+//!
+//! `wal_append` prices what every acknowledged mutation now pays before
+//! its response: encode + CRC + write + fsync under the default
+//! every-record group commit, and the same without the fsync under a
+//! 64-record group commit (the acked-but-unsynced crash window trade).
+//! `recover_replay` prices a boot: snapshot parse + CRC scan + replay of
+//! a populated log into a warm observation engine.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmr_serve::recovery::replay_durable;
+use vmr_serve::session::{preset_config, Session};
+use vmr_serve::wal::{DurabilityConfig, SessionLog, WalBody};
+use vmr_sim::env::ClusterDelta;
+use vmr_sim::types::VmId;
+
+const REPLAY_RECORDS: usize = 512;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vmr_bench_wal_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A resize toggle: every record is a real, replayable state change.
+fn toggle_delta(i: usize) -> ClusterDelta {
+    ClusterDelta::VmResize { vm: VmId(0), cpu: if i.is_multiple_of(2) { 1 } else { 2 }, mem: 4 }
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(10);
+
+    // --- Append cost under both fsync policies.
+    for (label, sync_every) in [("fsync_every_record", 1usize), ("group_commit_64", 64)] {
+        let dir = scratch(label);
+        let mut cfg = DurabilityConfig::new(&dir);
+        cfg.sync_every = sync_every;
+        cfg.snapshot_every = usize::MAX; // isolate the append path
+        let mut session =
+            Session::from_preset("bench", &preset_config("tiny").unwrap(), 0, 4).expect("session");
+        let snapshot = session.snapshot(0);
+        let mut log = SessionLog::install(dir.clone(), &cfg, &snapshot, 0).expect("install");
+        session.apply_delta(&toggle_delta(0)).expect("warm delta");
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("wal_append", label), |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(log.append(&WalBody::Delta(toggle_delta(i))).expect("append"))
+            })
+        });
+        drop(log);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // --- Boot cost: replay a populated directory into a warm session.
+    let dir = scratch("replay");
+    let cfg = DurabilityConfig::new(&dir);
+    let mut session =
+        Session::from_preset("bench", &preset_config("tiny").unwrap(), 0, 4).expect("session");
+    let snapshot = session.snapshot(0);
+    let mut log = SessionLog::install(dir.clone(), &cfg, &snapshot, 0).expect("install");
+    for i in 0..REPLAY_RECORDS {
+        let delta = toggle_delta(i);
+        session.apply_delta(&delta).expect("delta");
+        log.append(&WalBody::Delta(delta)).expect("append");
+    }
+    drop(log);
+    group.bench_function(
+        BenchmarkId::new("recover_replay", format!("tiny_{REPLAY_RECORDS}rec")),
+        |b| {
+            b.iter(|| {
+                let (mut recovered, lsn) = replay_durable("bench", &dir).expect("replay");
+                assert_eq!(lsn, REPLAY_RECORDS as u64);
+                black_box(recovered.env_mut().observe().num_vms)
+            })
+        },
+    );
+    let _ = fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(6));
+    targets = bench_wal
+}
+criterion_main!(benches);

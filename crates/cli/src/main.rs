@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         "interfere" => cmd_interfere(&args),
         "simulate" => cmd_simulate(&args),
         "serve" => cmd_serve(&args),
+        "recover" => cmd_recover(&args),
         "request" => cmd_request(&args),
         "" | "help" | "--help" | "-h" => {
             print_help();
@@ -107,6 +108,11 @@ fn print_help() {
                     [--planner none|ha] [--base-rate F] [--exit-frac F]\n\
                     [--seed N] [--json]\n\
            serve    [--addr HOST:PORT] [--threads N] [--agent CKPT]\n\
+                    [--data-dir DIR [--sync-every N] [--snapshot-every N]]\n\
+                    (durable sessions: WAL + snapshots, recovered at boot)\n\
+           recover  --data-dir DIR [--verify]\n\
+                    (offline recovery report; --verify audits every session\n\
+                     and re-recovers to check bit-identical determinism)\n\
            request  --op <create_session|apply_delta|plan|stats|snapshot|restore>\n\
                     [--addr HOST:PORT] --session NAME [--json] ...\n\
                     create_session: --preset NAME --seed N --mnl N\n\
@@ -714,17 +720,31 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 /// `vmr serve`: run the online rescheduling daemon until killed.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use vmr_serve::server::{serve, ServerConfig};
+    use vmr_serve::wal::DurabilityConfig;
     let agent = match args.get("agent", "").as_str() {
         "" => None,
         path => Some(vmr_core::infer::SharedAgent::load(path)?),
     };
     let has_agent = agent.is_some();
+    let durability = match args.get("data-dir", "").as_str() {
+        "" => None,
+        dir => {
+            let mut cfg = DurabilityConfig::new(dir);
+            cfg.sync_every = args.num("sync-every", cfg.sync_every)?;
+            cfg.snapshot_every = args.num("snapshot-every", cfg.snapshot_every)?;
+            Some(cfg)
+        }
+    };
     let config = ServerConfig {
         addr: args.get("addr", "127.0.0.1:7171"),
         threads: args.num("threads", 4)?,
         agent,
+        durability,
     };
-    let handle = serve(config).map_err(|e| format!("cannot bind: {e}"))?;
+    let handle = serve(config).map_err(|e| format!("cannot start: {e}"))?;
+    if let Some(report) = handle.recovery_report() {
+        print!("{report}");
+    }
     println!("vmr-serve listening on {}", handle.addr());
     println!(
         "policies: ha, swap, mcts, solver, fleet{}  (try: vmr request --addr {} --op \
@@ -735,6 +755,59 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // Serve until the process is killed.
     loop {
         std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `vmr recover`: offline recovery of a durable data dir — prints the
+/// per-session report; `--verify` additionally audits every recovered
+/// state and re-runs recovery to prove it is deterministic
+/// (bit-identical observations). Exits nonzero when any session is
+/// degraded (dead or read-only) or a verification fails.
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    use vmr_serve::recovery::{recover_dir, recover_session, RecoveryNote};
+    use vmr_serve::wal::DurabilityConfig;
+    let data_dir = args.require("data-dir")?;
+    let cfg = DurabilityConfig::new(&data_dir);
+    let mut rec = recover_dir(&cfg).map_err(|e| format!("cannot scan {data_dir}: {e}"))?;
+    print!("{}", rec.report());
+    let mut failures: Vec<String> =
+        rec.dead.iter().map(|d| format!("'{}' is unrecoverable: {}", d.name, d.reason)).collect();
+    for s in &rec.live {
+        if let RecoveryNote::CorruptReadOnly { reason } = &s.note {
+            failures.push(format!("'{}' degraded to read-only: {reason}", s.name));
+        }
+    }
+    if args.flag("verify") {
+        for s in &mut rec.live {
+            let name = s.name.clone();
+            if let Err(e) = s.session.env_mut().state().audit() {
+                failures.push(format!("'{name}' fails its state audit: {e}"));
+                continue;
+            }
+            // Recovery must be deterministic: running it again over the
+            // re-anchored artifacts yields a bit-identical observation.
+            match recover_session(&name, s.log.dir(), &cfg) {
+                Err(e) => failures.push(format!("'{name}' failed re-recovery: {e}")),
+                Ok(mut twin) => {
+                    if twin.session.env_mut().observe() != s.session.env_mut().observe() {
+                        failures.push(format!(
+                            "'{name}' re-recovery observation differs (non-deterministic!)"
+                        ));
+                    }
+                }
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "verify: {} session(s) audited, re-recovered, and bit-identical",
+                rec.live.len()
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
     }
 }
 
@@ -845,14 +918,34 @@ fn cmd_request(args: &Args) -> Result<(), String> {
         }
         "stats" => {
             let s = client.stats(&session).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", serde_json::to_string_pretty(&s).expect("serializable"));
+                return Ok(());
+            }
             println!(
                 "sessions {}  requests {}  plans {}/{} (served/computed)  deltas {}  errors {}",
                 s.sessions, s.requests, s.plans_served, s.plans_computed, s.deltas, s.errors
             );
+            if s.recoveries > 0 || s.degraded_sessions > 0 {
+                println!(
+                    "durability: {} recovered at boot, {} degraded",
+                    s.recoveries, s.degraded_sessions
+                );
+            }
             if let Some(info) = s.session {
                 println!(
                     "session '{}': v{} — {} PMs, {} VMs, FR {:.4}",
                     info.session, info.version, info.pms, info.vms, info.objective
+                );
+            }
+            if let Some(d) = s.durability {
+                println!(
+                    "  wal: lsn {} (durable {}, snapshot {}), {} log bytes{}",
+                    d.appended_lsn,
+                    d.durable_lsn,
+                    d.snapshot_lsn,
+                    d.log_bytes,
+                    if d.read_only { format!(", READ-ONLY: {}", d.reason) } else { String::new() }
                 );
             }
         }

@@ -1,9 +1,22 @@
 //! Blocking client for the `vmr-serve` wire protocol — the library behind
 //! `vmr request`, the loopback e2e suites, and the serving benches.
+//!
+//! ## Retry discipline
+//!
+//! [`ServeClient::connect_with_retry`] retries the initial TCP connect,
+//! and a client built that way transparently retries **idempotent**
+//! requests (`plan` without commit, `stats`, `snapshot`) across
+//! transport failures, reconnecting with full-jitter exponential
+//! backoff. Mutating requests (`create_session`, `apply_delta`,
+//! committing `plan`, `restore`) are **never** retried automatically:
+//! a transport error after the frame was sent leaves the mutation's
+//! fate unknown, and replaying it could double-apply. Callers see the
+//! original [`ClientError`] and decide (e.g. re-check via `stats`).
 
 use std::fmt;
 use std::io::{self, BufReader};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use vmr_sim::env::ClusterDelta;
 
@@ -46,6 +59,53 @@ impl From<io::Error> for ClientError {
 /// Convenience alias.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Bounded retry with full-jitter exponential backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed (deterministic for tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (0-based): full jitter —
+    /// uniform in `[0, min(cap, base * 2^retry)]` — so a thundering herd
+    /// of reconnecting clients spreads out instead of stampeding.
+    pub fn backoff(&mut self, retry: u32) -> Duration {
+        let ceil = self
+            .base
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .min(self.cap)
+            .as_nanos() as u64;
+        Duration::from_nanos(if ceil == 0 { 0 } else { self.next_rand() % (ceil + 1) })
+    }
+
+    /// SplitMix64 step (no external RNG dependency; deterministic).
+    fn next_rand(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// One connection to a daemon. Requests are serial (send, then read the
 /// echoing response); open one client per thread for concurrency.
 pub struct ServeClient {
@@ -53,6 +113,9 @@ pub struct ServeClient {
     reader: BufReader<TcpStream>,
     next_id: u64,
     buf: Vec<u8>,
+    /// Set by [`ServeClient::connect_with_retry`]: enables transparent
+    /// reconnect + retry for idempotent requests.
+    retry: Option<(SocketAddr, RetryPolicy)>,
 }
 
 impl ServeClient {
@@ -61,7 +124,45 @@ impl ServeClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(ServeClient { writer: stream, reader, next_id: 0, buf: Vec::new() })
+        Ok(ServeClient { writer: stream, reader, next_id: 0, buf: Vec::new(), retry: None })
+    }
+
+    /// Connects with bounded retry (the daemon may still be booting —
+    /// e.g. replaying a long recovery log). The returned client keeps the
+    /// policy and transparently retries *idempotent* requests over
+    /// reconnects; see the module docs for what is never retried.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        mut policy: RetryPolicy,
+    ) -> io::Result<Self> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let mut retry = 0u32;
+        loop {
+            match Self::connect(resolved) {
+                Ok(mut client) => {
+                    client.retry = Some((resolved, policy));
+                    return Ok(client);
+                }
+                Err(e) => {
+                    retry += 1;
+                    if retry >= policy.attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(retry - 1));
+                }
+            }
+        }
+    }
+
+    /// Drops the current socket and dials the remembered address again.
+    fn reconnect(&mut self, addr: SocketAddr) -> io::Result<()> {
+        let fresh = Self::connect(addr)?;
+        self.writer = fresh.writer;
+        self.reader = fresh.reader;
+        Ok(())
     }
 
     /// Sets a read timeout on the underlying socket (useful in tests so
@@ -70,8 +171,43 @@ impl ServeClient {
         self.reader.get_ref().set_read_timeout(Some(timeout))
     }
 
-    /// Sends one operation and reads its reply.
+    /// Whether a request may be replayed after a transport failure of
+    /// unknown outcome: reads, and plans that do not commit.
+    fn idempotent(op: &Op) -> bool {
+        match op {
+            Op::Plan(p) => !p.commit,
+            Op::Stats(_) | Op::Snapshot(_) => true,
+            Op::CreateSession(_) | Op::ApplyDelta(_) | Op::Restore(_) => false,
+        }
+    }
+
+    /// Sends one operation and reads its reply. Clients built via
+    /// [`ServeClient::connect_with_retry`] transparently reconnect and
+    /// retry transport failures — but only for idempotent operations.
     pub fn request(&mut self, op: Op) -> ClientResult<Reply> {
+        let Some((addr, mut policy)) = self.retry.clone().filter(|_| Self::idempotent(&op)) else {
+            return self.request_once(op);
+        };
+        let mut retry = 0u32;
+        loop {
+            let transient = match self.request_once(op.clone()) {
+                Ok(reply) => return Ok(reply),
+                // A structured server error is an answer, not a failure.
+                Err(ClientError::Server(e)) => return Err(ClientError::Server(e)),
+                Err(e) => e,
+            };
+            retry += 1;
+            if retry >= policy.attempts.max(1) {
+                return Err(transient);
+            }
+            std::thread::sleep(policy.backoff(retry - 1));
+            // A dead socket poisons every later exchange; reconnect (or
+            // keep backing off until the daemon is reachable again).
+            let _ = self.reconnect(addr);
+        }
+    }
+
+    fn request_once(&mut self, op: Op) -> ClientResult<Reply> {
         self.next_id += 1;
         let id = self.next_id;
         let req = Request { v: proto::PROTO_VERSION, id, op };

@@ -25,7 +25,15 @@
 //!   local search, MCTS, and the branch-and-bound solver; `auto` picks by
 //!   the request's latency budget.
 //! * [`client`] — the blocking client library behind `vmr request`, the
-//!   e2e suites, and the serving benches.
+//!   e2e suites, and the serving benches; bounded retry with full-jitter
+//!   exponential backoff for idempotent requests.
+//! * [`wal`] — per-session write-ahead log: length-prefixed,
+//!   CRC32-checksummed records with monotone LSNs, group-commit fsync,
+//!   snapshot compaction, and a fault-injection harness.
+//! * [`recovery`] — boot-time crash recovery: snapshot + log-tail replay,
+//!   bit-identical to a never-crashed twin; torn tails dropped whole,
+//!   corruption degrades to read-only, dead sessions never take down the
+//!   daemon.
 //!
 //! ## Quick loopback example
 //!
@@ -59,11 +67,14 @@ pub mod batch;
 pub mod client;
 pub mod policies;
 pub mod proto;
+pub mod recovery;
 pub mod server;
 pub mod session;
+pub mod wal;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use policies::{PlanPolicy, PlanRequest, PolicyRegistry};
 pub use proto::{Op, Reply, Request, Response, PROTO_VERSION};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::Session;
+pub use wal::{DurabilityConfig, FaultControl, SessionLog};

@@ -29,7 +29,13 @@ use vmr_sim::env::ClusterDelta;
 /// the inference numerics (`"f64"` exact / `"f32"` SIMD fast path). The
 /// field is typed and has no serde default by design: a v2 request would
 /// otherwise silently plan at a precision the caller never chose.
-pub const PROTO_VERSION: u32 = 3;
+///
+/// v4 (PR 7): [`StatsReply`] grew required durability fields
+/// (`recoveries`, `degraded_sessions`, `durability`) for the
+/// write-ahead-log layer, and invalid `restore` snapshots now answer
+/// [`codes::BAD_REQUEST`] instead of [`codes::SIM`] — a v3 client would
+/// misparse the stats reply, so the version was bumped.
+pub const PROTO_VERSION: u32 = 4;
 
 /// Hard cap on one framed line (requests *and* responses). Snapshots of
 /// paper-scale clusters are ~1 MiB of JSON; 32 MiB leaves headroom while
@@ -55,6 +61,14 @@ pub mod codes {
     /// A simulator-level rejection (typed `SimError` rendered in
     /// `message`); the session state is unchanged.
     pub const SIM: &str = "sim";
+    /// The session (or an operation against it) is degraded: its durable
+    /// log could not be written or its state could not be recovered. The
+    /// daemon keeps serving other sessions.
+    pub const DEGRADED: &str = "degraded";
+    /// The session serves reads but refuses mutations: a durability
+    /// failure (failed append/fsync, corrupt recovered log) froze its
+    /// write path.
+    pub const READ_ONLY: &str = "read_only";
 }
 
 /// One client request.
@@ -299,8 +313,35 @@ pub struct StatsReply {
     pub deltas: u64,
     /// Error responses returned.
     pub errors: u64,
+    /// Sessions recovered from the data dir at boot (0 when the daemon
+    /// runs without `--data-dir`).
+    pub recoveries: u64,
+    /// Sessions registered on disk but unrecoverable (every request
+    /// against them answers [`codes::DEGRADED`]).
+    pub degraded_sessions: usize,
     /// Per-session detail when requested.
     pub session: Option<SessionInfo>,
+    /// Durability gauges of the requested session (`None` when the
+    /// daemon is not durable or no session was named).
+    pub durability: Option<DurabilityStats>,
+}
+
+/// Durability gauges of one session (see [`StatsReply::durability`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityStats {
+    /// LSN of the last record appended to the write-ahead log.
+    pub appended_lsn: u64,
+    /// LSN of the last record known fsynced (≤ `appended_lsn`; equal
+    /// under the default every-record group-commit policy).
+    pub durable_lsn: u64,
+    /// LSN the current snapshot file covers (compaction floor).
+    pub snapshot_lsn: u64,
+    /// Bytes in the live log segment (since the last compaction).
+    pub log_bytes: u64,
+    /// Whether the session refuses mutations.
+    pub read_only: bool,
+    /// Why it refuses them (empty when healthy).
+    pub reason: String,
 }
 
 /// Payload of [`Reply::Snapshot`].

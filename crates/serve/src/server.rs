@@ -31,7 +31,9 @@ use crate::proto::{
     self, codes, ApplyDelta, CreateSession, Op, PlanParams, Planned, ReadOutcome, Reply, Request,
     Response, Restore, SessionRef, SnapshotReply, StatsParams, StatsReply,
 };
+use crate::recovery;
 use crate::session::{preset_config, PlanResult, Session};
+use crate::wal::{self, DurabilityConfig, SessionLog, WalBody};
 
 /// Daemon configuration.
 #[derive(Default)]
@@ -44,6 +46,11 @@ pub struct ServerConfig {
     /// [`SharedAgent::load`]); without it only the classical policies are
     /// registered.
     pub agent: Option<SharedAgent>,
+    /// Durable sessions: with a data dir every acknowledged mutation is
+    /// written ahead to a per-session CRC32-checksummed log (group-commit
+    /// fsync), compacted into snapshot files, and recovered on boot.
+    /// `None` keeps the PR 3 in-memory behavior.
+    pub durability: Option<DurabilityConfig>,
 }
 
 /// Default latency budget for anytime policies when a request says 0.
@@ -93,6 +100,9 @@ struct SessionSlot {
     version: AtomicU64,
     cache: Mutex<PlanCacheState>,
     cache_cv: Condvar,
+    /// The session's durable stream (`None` on a non-durable daemon).
+    /// Lock order: `session` before `log`; never the reverse.
+    log: Mutex<Option<SessionLog>>,
 }
 
 struct Shared {
@@ -104,6 +114,14 @@ struct Shared {
     /// unblock workers parked in blocking reads.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// Durability settings (for sessions created after boot).
+    durable: Option<DurabilityConfig>,
+    /// Sessions present on disk but unrecoverable: every request against
+    /// them answers a structured `degraded` error while the rest of the
+    /// daemon serves normally.
+    dead: Mutex<HashMap<String, String>>,
+    /// Sessions recovered at boot.
+    recoveries: u64,
 }
 
 /// A running daemon; dropping the handle leaves it running (detached) —
@@ -113,12 +131,18 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    recovery_report: Option<String>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The boot-time recovery report (`None` on a non-durable daemon).
+    pub fn recovery_report(&self) -> Option<&str> {
+        self.recovery_report.as_deref()
     }
 
     /// Stops accepting, drains workers, and joins all threads. In-flight
@@ -147,13 +171,44 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let threads = if config.threads == 0 { 4 } else { config.threads };
+
+    // Durable boot: recover every session found under the data dir
+    // before accepting a single connection.
+    let mut sessions = HashMap::new();
+    let mut dead = HashMap::new();
+    let mut recoveries = 0u64;
+    let mut recovery_report = None;
+    if let Some(cfg) = &config.durability {
+        let recovered = recovery::recover_dir(cfg)?;
+        recovery_report = Some(recovered.report());
+        recoveries = recovered.live.len() as u64;
+        for d in recovered.dead {
+            dead.insert(d.name, d.reason);
+        }
+        for s in recovered.live {
+            sessions.insert(
+                s.name.clone(),
+                Arc::new(SessionSlot {
+                    session: Mutex::new(s.session),
+                    version: AtomicU64::new(s.lsn),
+                    cache: Mutex::new(PlanCacheState::Idle),
+                    cache_cv: Condvar::new(),
+                    log: Mutex::new(Some(s.log)),
+                }),
+            );
+        }
+    }
+
     let shared = Arc::new(Shared {
-        sessions: Mutex::new(HashMap::new()),
+        sessions: Mutex::new(sessions),
         policies: PolicyRegistry::standard(config.agent),
         stats: ServerStats::default(),
         stop: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
         next_conn: AtomicU64::new(0),
+        durable: config.durability,
+        dead: Mutex::new(dead),
+        recoveries,
     });
 
     let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(threads * 4);
@@ -225,7 +280,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         })
     };
 
-    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers })
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers, recovery_report })
 }
 
 /// How often a worker parked on an idle connection wakes to check the
@@ -331,43 +386,136 @@ fn sim_err(e: SimError) -> (&'static str, String) {
 }
 
 fn slot_of(shared: &Shared, name: &str) -> Result<Arc<SessionSlot>, (&'static str, String)> {
-    shared
-        .sessions
-        .lock()
-        .expect("session map lock")
-        .get(name)
-        .cloned()
-        .ok_or_else(|| (codes::UNKNOWN_SESSION, format!("no session named {name:?}")))
+    if let Some(slot) = shared.sessions.lock().expect("session map lock").get(name).cloned() {
+        return Ok(slot);
+    }
+    // A session that exists on disk but failed recovery answers with a
+    // structured degradation, not "unknown".
+    if let Some(reason) = shared.dead.lock().expect("dead map lock").get(name) {
+        return Err((codes::DEGRADED, format!("session {name:?} is unrecoverable: {reason}")));
+    }
+    Err((codes::UNKNOWN_SESSION, format!("no session named {name:?}")))
+}
+
+/// Refuses mutations against a read-only (degraded) session up front.
+fn check_writable(slot: &SessionSlot) -> Result<(), (&'static str, String)> {
+    let log = slot.log.lock().expect("log lock");
+    if let Some(reason) = log.as_ref().and_then(|l| l.read_only()) {
+        return Err((codes::READ_ONLY, format!("session is read-only: {reason}")));
+    }
+    Ok(())
+}
+
+/// Makes one acknowledged mutation durable: append + group-commit fsync,
+/// then compaction when due. Called with the session lock held (lock
+/// order: session before log). The mutation is already applied in
+/// memory; on a write failure the session degrades to read-only and the
+/// client gets a `degraded` error instead of an ack — so the set of
+/// *acknowledged* mutations always matches the durable log.
+fn durable_append(
+    slot: &SessionSlot,
+    session: &mut Session,
+    name: &str,
+    version: u64,
+    body: WalBody,
+) -> Result<(), (&'static str, String)> {
+    let mut guard = slot.log.lock().expect("log lock");
+    let Some(log) = guard.as_mut() else { return Ok(()) };
+    if let Err(e) = log.append(&body) {
+        // The mutation was applied in memory before the append. It is
+        // being refused, so the read-only session must serve exactly the
+        // acknowledged history: re-align from the durable files (reads
+        // usually still work on a disk whose writes fail).
+        let reason = match recovery::replay_durable(name, log.dir()) {
+            Ok((rebuilt, lsn)) => {
+                *session = rebuilt;
+                slot.version.store(lsn, Ordering::SeqCst);
+                format!("wal append failed: {e}")
+            }
+            // Unreadable too: keep serving, flag the divergence.
+            Err(r) => {
+                format!("wal append failed: {e}; state may include the refused mutation ({r})")
+            }
+        };
+        log.mark_read_only(reason);
+        return Err((
+            codes::DEGRADED,
+            format!(
+                "durable log append failed ({e}); the mutation was rolled back and the session \
+                 is now read-only"
+            ),
+        ));
+    }
+    if log.compaction_due() {
+        // Compaction failure is safe to skip: the old snapshot + log
+        // remain a complete recovery source.
+        let snapshot = session.snapshot(version);
+        let _ = log.maybe_compact(&snapshot);
+    }
+    Ok(())
 }
 
 fn op_create(shared: &Shared, p: CreateSession) -> OpResult {
     if p.name.is_empty() {
         return Err((codes::BAD_REQUEST, "session name must be non-empty".into()));
     }
+    if shared.durable.is_some() && wal::session_dir_name(&p.name).is_none() {
+        return Err((
+            codes::BAD_REQUEST,
+            format!(
+                "session name {:?} is not filesystem-safe (durable daemons allow up to 128 \
+                 ASCII alphanumerics, '-', '_', '.'; no leading dot)",
+                p.name
+            ),
+        ));
+    }
     let config = preset_config(&p.preset)
         .ok_or_else(|| (codes::UNKNOWN_PRESET, format!("no preset named {:?}", p.preset)))?;
     let mnl = if p.mnl == 0 { 10 } else { p.mnl };
-    let session = Session::from_preset(&p.name, &config, p.seed, mnl).map_err(sim_err)?;
+    let mut session = Session::from_preset(&p.name, &config, p.seed, mnl).map_err(sim_err)?;
     let info = session.info(0);
+    // The existence check is done under the map lock *before* any disk
+    // write so two racing creates cannot both install artifacts.
+    let mut sessions = shared.sessions.lock().expect("session map lock");
+    if sessions.contains_key(&p.name)
+        || shared.dead.lock().expect("dead map lock").contains_key(&p.name)
+    {
+        return Err((codes::SESSION_EXISTS, format!("session {:?} already exists", p.name)));
+    }
+    let log = match &shared.durable {
+        None => None,
+        Some(cfg) => {
+            let dir = cfg.sessions_dir().join(&p.name);
+            let snapshot = session.snapshot(0);
+            match SessionLog::install(dir, cfg, &snapshot, 0) {
+                Ok(log) => Some(log),
+                Err(e) => {
+                    return Err((
+                        codes::DEGRADED,
+                        format!("cannot create durable session artifacts: {e}"),
+                    ))
+                }
+            }
+        }
+    };
     let slot = Arc::new(SessionSlot {
         session: Mutex::new(session),
         version: AtomicU64::new(0),
         cache: Mutex::new(PlanCacheState::Idle),
         cache_cv: Condvar::new(),
+        log: Mutex::new(log),
     });
-    let mut sessions = shared.sessions.lock().expect("session map lock");
-    if sessions.contains_key(&p.name) {
-        return Err((codes::SESSION_EXISTS, format!("session {:?} already exists", p.name)));
-    }
     sessions.insert(p.name, slot);
     Ok(Reply::Created(info))
 }
 
 fn op_delta(shared: &Shared, p: ApplyDelta) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
+    check_writable(&slot)?;
     let mut session = slot.session.lock().expect("session lock");
     let outcome = session.apply_delta(&p.delta).map_err(sim_err)?;
     let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+    durable_append(&slot, &mut session, &p.session, version, WalBody::Delta(p.delta))?;
     shared.stats.deltas.fetch_add(1, Ordering::Relaxed);
     Ok(Reply::DeltaApplied(proto::DeltaApplied {
         info: session.info(version),
@@ -396,9 +544,17 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
 
     // Committing plans mutate state: no coalescing, straight through.
     if p.commit {
+        check_writable(&slot)?;
         let mut session = slot.session.lock().expect("session lock");
         let result = session.plan(policy.as_ref(), &req, true).map_err(sim_err)?;
         let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+        durable_append(
+            &slot,
+            &mut session,
+            &p.session,
+            version,
+            WalBody::Commit(result.plan.clone()),
+        )?;
         shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
         shared.stats.plans_computed.fetch_add(1, Ordering::Relaxed);
         return Ok(planned_reply(&p, policy.name(), result, true, version));
@@ -494,14 +650,26 @@ fn planned_reply(
 }
 
 fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
-    let session = if p.session.is_empty() {
-        None
+    let (session, durability) = if p.session.is_empty() {
+        (None, None)
     } else {
         let slot = slot_of(shared, &p.session)?;
         let session = slot.session.lock().expect("session lock");
-        Some(session.info(slot.version.load(Ordering::SeqCst)))
+        let info = session.info(slot.version.load(Ordering::SeqCst));
+        let durability = slot.log.lock().expect("log lock").as_ref().map(|l| l.stats());
+        drop(session);
+        (Some(info), durability)
     };
     let s = &shared.stats;
+    let read_only_sessions = {
+        let sessions = shared.sessions.lock().expect("session map lock");
+        sessions
+            .values()
+            .filter(|slot| {
+                slot.log.lock().expect("log lock").as_ref().is_some_and(|l| l.read_only().is_some())
+            })
+            .count()
+    };
     Ok(Reply::Stats(StatsReply {
         sessions: shared.sessions.lock().expect("session map lock").len(),
         requests: s.requests.load(Ordering::Relaxed),
@@ -509,7 +677,10 @@ fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
         plans_computed: s.plans_computed.load(Ordering::Relaxed),
         deltas: s.deltas.load(Ordering::Relaxed),
         errors: s.errors.load(Ordering::Relaxed),
+        recoveries: shared.recoveries,
+        degraded_sessions: shared.dead.lock().expect("dead map lock").len() + read_only_sessions,
         session,
+        durability,
     }))
 }
 
@@ -522,8 +693,29 @@ fn op_snapshot(shared: &Shared, p: SessionRef) -> OpResult {
 
 fn op_restore(shared: &Shared, p: Restore) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
+    check_writable(&slot)?;
     let mut session = slot.session.lock().expect("session lock");
-    session.restore(p.snapshot).map_err(sim_err)?;
+    // The snapshot is untrusted input: it goes through the same
+    // validation as the live delta path, and a rejection is the client's
+    // fault (`bad_request`), not a simulator failure.
+    session
+        .restore(p.snapshot)
+        .map_err(|e| (codes::BAD_REQUEST, format!("snapshot rejected: {e}")))?;
     let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+    // Durable daemons re-anchor: the installed snapshot becomes the new
+    // history (snapshot file at the bumped LSN + fresh empty log).
+    {
+        let mut guard = slot.log.lock().expect("log lock");
+        if let Some(log) = guard.as_mut() {
+            let snapshot = session.snapshot(version);
+            if let Err(e) = log.reanchor(&snapshot, version) {
+                log.mark_read_only(format!("restore re-anchor failed: {e}"));
+                return Err((
+                    codes::DEGRADED,
+                    format!("restored in memory but not durably ({e}); session is now read-only"),
+                ));
+            }
+        }
+    }
     Ok(Reply::Restored(session.info(version)))
 }

@@ -172,21 +172,28 @@ impl Session {
         }
     }
 
-    /// Replaces the session's state from a snapshot (validates shape).
-    pub fn restore(&mut self, snapshot: SessionSnapshot) -> SimResult<()> {
-        snapshot.state.audit()?;
+    /// Builds a session directly from a snapshot (the recovery path).
+    ///
+    /// The snapshot is *untrusted*: it goes through the same validation
+    /// as the live delta path ([`ClusterState::audit_strict`] — no
+    /// zero-resource VMs or PMs, even CPU/memory on double-NUMA VMs,
+    /// in-range placements) before anything is installed.
+    pub fn from_snapshot(name: impl Into<String>, snapshot: SessionSnapshot) -> SimResult<Self> {
+        snapshot.state.audit_strict()?;
         if snapshot.constraints.num_vms() != snapshot.state.num_vms() {
             return Err(SimError::InvalidMapping(
                 "snapshot constraint set does not cover the cluster".into(),
             ));
         }
-        self.env = ReschedEnv::new(
-            snapshot.state,
-            snapshot.constraints,
-            Objective::default(),
-            snapshot.mnl,
-        )?;
-        self.default_mnl = snapshot.mnl;
+        Self::new(name, snapshot.state, snapshot.constraints, snapshot.mnl)
+    }
+
+    /// Replaces the session's state from a snapshot (validated like
+    /// [`Session::from_snapshot`]; on error the session is unchanged).
+    pub fn restore(&mut self, snapshot: SessionSnapshot) -> SimResult<()> {
+        let fresh = Self::from_snapshot(self.name.clone(), snapshot)?;
+        self.env = fresh.env;
+        self.default_mnl = fresh.default_mnl;
         Ok(())
     }
 }

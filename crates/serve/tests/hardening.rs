@@ -36,7 +36,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 2. Truncated JSON.
-    writer.write_all(b"{\"v\":3,\"id\":\n").unwrap();
+    writer.write_all(b"{\"v\":4,\"id\":\n").unwrap();
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 3. Valid JSON, wrong shape.
@@ -56,7 +56,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     // 6. The same connection still serves valid requests.
     writer
         .write_all(
-            b"{\"v\":3,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
+            b"{\"v\":4,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
         )
         .unwrap();
     let resp = read_response(&mut reader);
@@ -162,5 +162,92 @@ fn degenerate_deltas_get_structured_sim_errors_over_the_wire() {
         })
         .unwrap();
     assert!(planned.plan.len() <= 2);
+    handle.shutdown();
+}
+
+#[test]
+fn restore_validates_snapshots_like_the_delta_path() {
+    use vmr_serve::client::{ClientError, ServeClient};
+    use vmr_serve::proto::SessionSnapshot;
+    use vmr_sim::types::NumaPlacement;
+
+    let handle = serve(ServerConfig { threads: 2, ..Default::default() }).unwrap();
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    client.create_session("res", "tiny", 1, 4).unwrap();
+    let good = client.snapshot("res").unwrap().snapshot;
+    let objective = client.stats("res").unwrap().session.unwrap().objective;
+    let pms = good.state.num_pms() as u64;
+    let double_vm = good
+        .state
+        .placements()
+        .iter()
+        .position(|p| matches!(p.numa, NumaPlacement::Double))
+        .expect("tiny preset has double-NUMA VMs");
+
+    // Each corruption mirrors a rule the live delta path enforces. A
+    // hostile snapshot arrives as wire JSON, so that is where the test
+    // tampers — `restore` must reject each with `bad_request`, leaving
+    // the session untouched (and never panicking a worker).
+    let wire = serde_json::to_value(&good).unwrap();
+    fn state_array<'a>(
+        v: &'a mut serde_json::Value,
+        field: &str,
+    ) -> &'a mut Vec<serde_json::Value> {
+        v.as_object_mut()
+            .unwrap()
+            .get_mut("state")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .get_mut(field)
+            .unwrap()
+            .as_array_mut()
+            .unwrap()
+    }
+    fn set(v: &mut serde_json::Value, field: &str, idx: usize, key: &str, num: u64) {
+        state_array(v, field)[idx]
+            .as_object_mut()
+            .unwrap()
+            .insert(key.to_string(), serde_json::json!(num));
+    }
+
+    let mut zero_mem = wire.clone();
+    set(&mut zero_mem, "vms", 0, "mem", 0);
+    let mut odd_double = wire.clone();
+    set(&mut odd_double, "vms", double_vm, "cpu", 3);
+    let mut out_of_range = wire.clone();
+    set(&mut out_of_range, "placements", 0, "pm", pms + 7);
+    let mut stale_index = wire.clone();
+    state_array(&mut stale_index, "vms_on_pm")[0] = serde_json::json!([u32::MAX]);
+
+    for (what, tampered) in [
+        ("zero-memory VM", &zero_mem),
+        ("odd-resource double-NUMA VM", &odd_double),
+        ("out-of-range placement", &out_of_range),
+        ("corrupt reverse index", &stale_index),
+    ] {
+        let bad: SessionSnapshot =
+            serde_json::from_value(tampered).expect("shape survives tampering");
+        match client.restore("res", bad) {
+            Err(ClientError::Server(e)) => {
+                assert_eq!(e.code, codes::BAD_REQUEST, "{what}: {}", e.message)
+            }
+            other => panic!("{what} must be rejected, got {other:?}"),
+        }
+    }
+
+    // A constraint set not covering the cluster is caught too.
+    let mut short_constraints = good.clone();
+    short_constraints.constraints = vmr_sim::ConstraintSet::new(1);
+    match client.restore("res", short_constraints) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, codes::BAD_REQUEST, "{}", e.message),
+        other => panic!("undersized constraint set must be rejected, got {other:?}"),
+    }
+
+    // The session survived every attempt unchanged, and a good snapshot
+    // still restores.
+    let stats = client.stats("res").unwrap();
+    assert_eq!(stats.session.unwrap().objective, objective, "state must be untouched");
+    client.restore("res", good).expect("valid snapshot restores");
     handle.shutdown();
 }

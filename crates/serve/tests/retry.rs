@@ -1,0 +1,189 @@
+//! Client retry discipline against a flaky peer: idempotent requests are
+//! transparently retried over reconnects with bounded backoff, mutating
+//! requests are never replayed, and `connect_with_retry` outlasts a
+//! daemon that is still booting.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use vmr_serve::client::{ClientError, RetryPolicy, ServeClient};
+use vmr_serve::proto::{Reply, ReplyBody, Request, Response, StatsReply, PROTO_VERSION};
+use vmr_sim::env::ClusterDelta;
+use vmr_sim::types::NumaPolicy;
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 6,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(10),
+        seed: 1,
+    }
+}
+
+fn empty_stats() -> StatsReply {
+    StatsReply {
+        sessions: 0,
+        requests: 0,
+        plans_served: 0,
+        plans_computed: 0,
+        deltas: 0,
+        errors: 0,
+        recoveries: 0,
+        degraded_sessions: 0,
+        session: None,
+        durability: None,
+    }
+}
+
+/// A hand-rolled peer that drops the first `drop_first` accepted
+/// connections on the floor (accept, then immediately close — the
+/// client sees EOF mid-exchange), then serves the wire protocol for
+/// real. Counts connections and served requests.
+struct FlakyServer {
+    addr: SocketAddr,
+    conns: Arc<AtomicUsize>,
+    served: Arc<AtomicUsize>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FlakyServer {
+    fn start(drop_first: usize) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conns = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicUsize::new(0));
+        let (c, s) = (Arc::clone(&conns), Arc::clone(&served));
+        let handle = thread::spawn(move || {
+            loop {
+                let Ok((stream, _)) = listener.accept() else { return };
+                let n = c.fetch_add(1, Ordering::SeqCst);
+                if n < drop_first {
+                    drop(stream); // flake: vanish mid-handshake
+                    continue;
+                }
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                while {
+                    line.clear();
+                    reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false)
+                } {
+                    let req: Request = serde_json::from_str(&line).unwrap();
+                    s.fetch_add(1, Ordering::SeqCst);
+                    let resp = Response {
+                        v: PROTO_VERSION,
+                        id: req.id,
+                        body: ReplyBody::Ok(Reply::Stats(empty_stats())),
+                    };
+                    let mut out = serde_json::to_string(&resp).unwrap();
+                    out.push('\n');
+                    if writer.write_all(out.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+                return; // one good connection is enough for these tests
+            }
+        });
+        FlakyServer { addr, conns, served, handle: Some(handle) }
+    }
+
+    fn stop(mut self) {
+        let _ = TcpStream::connect(self.addr); // unblock accept if needed
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[test]
+fn idempotent_requests_survive_dropped_connections() {
+    let server = FlakyServer::start(2);
+    let mut client = ServeClient::connect_with_retry(server.addr, fast_policy()).unwrap();
+    // Connection #0 was accepted and dropped; the first request hits EOF,
+    // reconnects (dropped again), reconnects once more, and succeeds.
+    let stats = client.stats("").expect("stats must ride out two dropped connections");
+    assert_eq!(stats.sessions, 0);
+    assert!(server.conns.load(Ordering::SeqCst) >= 3, "retry must have reconnected");
+    assert_eq!(server.served.load(Ordering::SeqCst), 1);
+    drop(client); // EOF ends the serving loop so stop() can join
+    server.stop();
+}
+
+#[test]
+fn mutations_are_never_retried() {
+    let server = FlakyServer::start(1);
+    let mut client = ServeClient::connect_with_retry(server.addr, fast_policy()).unwrap();
+    // The sole connection so far is the dropped one: the mutation fails
+    // with a transport error and MUST surface it rather than replay.
+    let delta = ClusterDelta::VmCreate { cpu: 1, mem: 2, numa: NumaPolicy::Single };
+    match client.apply_delta("s", delta) {
+        Err(ClientError::Protocol(_)) | Err(ClientError::Io(_)) => {}
+        other => panic!("a mutation over a dead socket must error, got {other:?}"),
+    }
+    assert_eq!(
+        server.conns.load(Ordering::SeqCst),
+        1,
+        "no reconnect may happen for a non-idempotent request"
+    );
+    assert_eq!(server.served.load(Ordering::SeqCst), 0, "the mutation must not be replayed");
+
+    // The same client heals on the next idempotent request.
+    client.stats("").expect("reads reconnect and recover the client");
+    assert_eq!(server.served.load(Ordering::SeqCst), 1);
+    drop(client); // EOF ends the serving loop so stop() can join
+    server.stop();
+}
+
+#[test]
+fn connect_with_retry_waits_out_a_booting_daemon() {
+    // Reserve an address, release it, and only rebind after a delay —
+    // the window where a recovering daemon has not bound yet.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    let booter = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(100));
+        let listener = TcpListener::bind(addr).expect("rebind the reserved address");
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+    });
+    let policy = RetryPolicy {
+        attempts: 50,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(20),
+        seed: 7,
+    };
+    ServeClient::connect_with_retry(addr, policy).expect("connect must wait out the boot");
+    booter.join().unwrap();
+
+    // And a bounded policy against a dead address gives up with the error.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead = listener.local_addr().unwrap();
+    drop(listener);
+    let err = ServeClient::connect_with_retry(dead, fast_policy());
+    assert!(err.is_err(), "a dead address must exhaust the retry budget");
+}
+
+#[test]
+fn backoff_is_bounded_and_jittered() {
+    let mut policy = RetryPolicy {
+        attempts: 8,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(80),
+        seed: 42,
+    };
+    let mut saw_nonzero = false;
+    for retry in 0..32 {
+        let ceiling = Duration::from_millis(10)
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .min(Duration::from_millis(80));
+        let b = policy.backoff(retry);
+        assert!(b <= ceiling, "retry {retry}: backoff {b:?} above ceiling {ceiling:?}");
+        saw_nonzero |= b > Duration::ZERO;
+    }
+    assert!(saw_nonzero, "full jitter must not collapse to zero");
+}

@@ -670,6 +670,90 @@ impl ClusterState {
         }
         Ok(())
     }
+
+    /// Full validation of an *untrusted* state (a deserialized snapshot
+    /// from the wire or from disk): shape and index bounds first — so a
+    /// hostile blob can never make [`ClusterState::audit`]'s unchecked
+    /// indexing panic — then the same per-entity spec rules the live
+    /// delta path enforces (no zero-resource VMs or PMs, even CPU/memory
+    /// on double-NUMA VMs, placement shape matching the NUMA policy),
+    /// and finally the usual bookkeeping audit.
+    pub fn audit_strict(&self) -> SimResult<()> {
+        if self.placements.len() != self.vms.len() {
+            return Err(SimError::InvalidMapping(format!(
+                "{} VMs but {} placements",
+                self.vms.len(),
+                self.placements.len()
+            )));
+        }
+        if self.vms_on_pm.len() != self.pms.len() {
+            return Err(SimError::InvalidMapping(format!(
+                "reverse index covers {} PMs, expected {}",
+                self.vms_on_pm.len(),
+                self.pms.len()
+            )));
+        }
+        for (idx, pm) in self.pms.iter().enumerate() {
+            if pm.id.0 as usize != idx {
+                return Err(SimError::InvalidMapping(format!(
+                    "PM ids must be dense: slot {idx} holds id {}",
+                    pm.id.0
+                )));
+            }
+            for numa in &pm.numas {
+                if numa.cpu_total == 0 || numa.mem_total == 0 {
+                    return Err(SimError::InvalidMapping(format!(
+                        "PM {idx} has a zero-capacity NUMA node"
+                    )));
+                }
+            }
+        }
+        for (idx, (vm, pl)) in self.vms.iter().zip(self.placements.iter()).enumerate() {
+            if vm.id.0 as usize != idx {
+                return Err(SimError::InvalidMapping(format!(
+                    "VM ids must be dense: slot {idx} holds id {}",
+                    vm.id.0
+                )));
+            }
+            if vm.cpu == 0 || vm.mem == 0 {
+                return Err(SimError::InvalidMapping(format!(
+                    "VM {idx} requests zero CPU or memory"
+                )));
+            }
+            if vm.numa == NumaPolicy::Double
+                && (!vm.cpu.is_multiple_of(2) || !vm.mem.is_multiple_of(2))
+            {
+                return Err(SimError::InvalidMapping(format!(
+                    "double-NUMA VM {idx} needs even CPU and memory"
+                )));
+            }
+            if pl.pm.0 as usize >= self.pms.len() {
+                return Err(SimError::UnknownPm(pl.pm));
+            }
+            match (vm.numa, pl.numa) {
+                (NumaPolicy::Single, NumaPlacement::Single(j)) => {
+                    if (j as usize) >= NUMA_PER_PM {
+                        return Err(SimError::InvalidMapping(format!(
+                            "VM {idx} placed on NUMA index {j} (only {NUMA_PER_PM} exist)"
+                        )));
+                    }
+                }
+                (NumaPolicy::Double, NumaPlacement::Double) => {}
+                _ => return Err(SimError::NumaPolicyViolation(vm.id)),
+            }
+        }
+        for (pm_idx, hosted) in self.vms_on_pm.iter().enumerate() {
+            for &vm in hosted {
+                if vm.0 as usize >= self.vms.len() {
+                    return Err(SimError::InvalidMapping(format!(
+                        "reverse index of PM {pm_idx} lists unknown VM {}",
+                        vm.0
+                    )));
+                }
+            }
+        }
+        self.audit()
+    }
 }
 
 /// Best-fit NUMA placement of `vm` on a detached PM value (no placement
@@ -739,6 +823,56 @@ mod tests {
         assert_eq!(c.pm(PmId(1)).numas[0].cpu_used, 32);
         assert_eq!(c.pm(PmId(1)).numas[1].cpu_used, 32);
         c.audit().unwrap();
+    }
+
+    type Corruption = Box<dyn Fn(&mut ClusterState)>;
+
+    #[test]
+    fn audit_strict_rejects_hostile_deserialized_states() {
+        // A healthy state passes.
+        small_cluster().audit_strict().unwrap();
+        // Each corruption below is representable by deserializing a
+        // hostile snapshot blob (the fields are plain data on the wire);
+        // audit_strict must reject every one with an error, never panic.
+        let corrupt: Vec<Corruption> = vec![
+            // Zero-resource VM (consistent accounting, so audit() alone
+            // would pass it after usage is zeroed too).
+            Box::new(|c| {
+                c.pms[0].numas[0].cpu_used -= c.vms[0].cpu;
+                c.pms[0].numas[0].mem_used -= c.vms[0].mem;
+                c.vms[0].cpu = 0;
+                c.vms[0].mem = 0;
+            }),
+            // Odd double-NUMA split (cpu_per_numa truncates).
+            Box::new(|c| c.vms[2].cpu = 63),
+            // Out-of-range host PM: audit() would panic indexing usage.
+            Box::new(|c| c.placements[0].pm = PmId(999)),
+            // Out-of-range NUMA index: alloc paths would panic.
+            Box::new(|c| c.placements[0].numa = NumaPlacement::Single(7)),
+            // Placement shape disagreeing with the NUMA policy.
+            Box::new(|c| c.placements[2].numa = NumaPlacement::Single(0)),
+            // Zero-capacity PM.
+            Box::new(|c| {
+                c.pms[1].numas[0].cpu_total = 0;
+                c.pms[1].numas[0].cpu_used = 0;
+                c.vms.truncate(2);
+                c.placements.truncate(2);
+                c.vms_on_pm[1].clear();
+            }),
+            // Non-dense VM ids.
+            Box::new(|c| c.vms[1].id = VmId(5)),
+            // Reverse index naming an unknown VM.
+            Box::new(|c| c.vms_on_pm[0].push(VmId(42))),
+            // Reverse index shorter than the PM list.
+            Box::new(|c| {
+                c.vms_on_pm.pop();
+            }),
+        ];
+        for (i, f) in corrupt.iter().enumerate() {
+            let mut c = small_cluster();
+            f(&mut c);
+            assert!(c.audit_strict().is_err(), "corruption {i} must be rejected");
+        }
     }
 
     #[test]

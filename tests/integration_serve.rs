@@ -291,6 +291,112 @@ fn unknown_entities_yield_structured_errors() {
     handle.shutdown();
 }
 
+/// The durable lifecycle end to end: a daemon with a data dir is
+/// mutated, shut down, and rebooted on the same directory — every
+/// session must come back bit-for-bit (state, version, warm planning),
+/// and the `stats` durability gauges must tell the story at each step.
+#[test]
+fn durable_daemon_survives_restart_bit_for_bit() {
+    use vmr_serve::wal::DurabilityConfig;
+    let dir = std::env::temp_dir().join(format!("vmr_e2e_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = |threads| ServerConfig {
+        threads,
+        durability: Some(DurabilityConfig::new(&dir)),
+        ..Default::default()
+    };
+
+    // First life: create two sessions, mutate one, commit a plan.
+    let (snap_before, version_before) = {
+        let handle = serve(durable(2)).expect("durable daemon");
+        let mut client = ServeClient::connect(handle.addr()).expect("connect");
+        client.create_session("persist", "tiny", 3, 6).expect("create");
+        client.create_session("sibling", "tiny", 4, 6).expect("create");
+        client
+            .apply_delta(
+                "persist",
+                ClusterDelta::VmCreate { cpu: 4, mem: 8, numa: NumaPolicy::Single },
+            )
+            .expect("delta 1");
+        client
+            .apply_delta("persist", ClusterDelta::PmAdd { cpu_per_numa: 44, mem_per_numa: 128 })
+            .expect("delta 2");
+        let planned = client
+            .plan(PlanParams {
+                session: "persist".into(),
+                policy: "ha".into(),
+                mnl: 4,
+                seed: 0,
+                budget_ms: 50,
+                shards: 0,
+                workers: 0,
+                precision: PrecisionConfig::Exact64,
+                commit: true,
+            })
+            .expect("committed plan");
+        assert!(planned.computed, "committing plans are never coalesced");
+
+        let stats = client.stats("persist").expect("stats");
+        assert_eq!(stats.recoveries, 0, "first life recovered nothing");
+        let session = stats.session.expect("session info");
+        assert_eq!(session.version, 3, "two deltas + one commit");
+        let dur = stats.durability.expect("durable gauges");
+        assert_eq!(dur.appended_lsn, session.version, "version and LSN advance in lockstep");
+        assert_eq!(dur.durable_lsn, dur.appended_lsn, "default policy fsyncs every record");
+        assert!(!dur.read_only);
+        assert!(dur.log_bytes > 0, "three records live in the log segment");
+
+        let snap = client.snapshot("persist").expect("snapshot").snapshot;
+        handle.shutdown();
+        (snap, session.version)
+    };
+
+    // Second life: same directory, everything must come back.
+    let handle = serve(durable(2)).expect("rebooted daemon");
+    assert!(
+        handle.recovery_report().expect("durable boot reports").matches("recovered").count() >= 2,
+        "both sessions must recover"
+    );
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    let stats = client.stats("persist").expect("stats");
+    assert_eq!(stats.sessions, 2, "both sessions serve again");
+    assert_eq!(stats.recoveries, 2);
+    assert_eq!(stats.degraded_sessions, 0);
+    let session = stats.session.expect("session info");
+    assert_eq!(session.version, version_before, "version survives the restart");
+    let dur = stats.durability.expect("durable gauges");
+    assert_eq!(dur.appended_lsn, version_before);
+    assert_eq!(dur.snapshot_lsn, version_before, "recovery re-anchors the snapshot");
+    assert_eq!(dur.log_bytes, 0, "re-anchored log starts empty");
+    assert!(!dur.read_only);
+
+    let snap_after = client.snapshot("persist").expect("snapshot").snapshot;
+    assert_eq!(snap_after, snap_before, "recovered session must be bit-identical");
+
+    // The recovered session plans and keeps mutating.
+    let planned = client
+        .plan(PlanParams {
+            session: "persist".into(),
+            policy: "ha".into(),
+            mnl: 2,
+            seed: 1,
+            budget_ms: 50,
+            shards: 0,
+            workers: 0,
+            precision: PrecisionConfig::Exact64,
+            commit: false,
+        })
+        .expect("plan after recovery");
+    assert_plan_legal(&snap_after, &planned);
+    let d = client
+        .apply_delta("persist", ClusterDelta::VmCreate { cpu: 2, mem: 4, numa: NumaPolicy::Single })
+        .expect("delta after recovery");
+    assert_eq!(d.info.version, version_before + 1);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Regression guard for the serving hot path: a generated mapping's
 /// dataset → session → delta → plan flow must work at the paper's Medium
 /// scale within a test-friendly wall clock (the plan itself is HA at a
