@@ -1,0 +1,100 @@
+//! The PR 8 acceptance pair: instrumented hot paths with telemetry
+//! enabled vs disabled. Each pair runs the *same* code — only the
+//! process-wide [`vmr_telemetry::set_enabled`] flag differs — so the
+//! ratio prices exactly the observability tax: clock reads plus
+//! lock-free histogram records on the spans the serve daemon and the
+//! decision path emit. The `bench_diff --max-ratio` CI gate holds
+//! `enabled / disabled` under 1.03 for both pairs.
+//!
+//! The disabled id of each pair runs first so a daemon boot (which sets
+//! the flag per its config) can never leak an enabled flag into the
+//! disabled measurement.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmr_core::agent::{DecideOpts, InferCtx, Vmr2lAgent};
+use vmr_core::config::{ActionMode, ExtractorKind, ModelConfig, PrecisionConfig};
+use vmr_core::model::Vmr2lModel;
+use vmr_serve::client::ServeClient;
+use vmr_serve::proto::PlanParams;
+use vmr_serve::server::{serve, ServerConfig};
+use vmr_sim::dataset::{generate_mapping, ClusterConfig};
+use vmr_sim::env::ReschedEnv;
+use vmr_sim::objective::Objective;
+
+fn bench_decide_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let state = generate_mapping(&ClusterConfig::medium(), 7).expect("mapping");
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Vmr2lModel::new(ModelConfig::default(), ExtractorKind::SparseAttention, &mut rng);
+    let agent = Vmr2lAgent::new(model, ActionMode::TwoStage);
+    let mut env = ReschedEnv::unconstrained(state, Objective::default(), 64).expect("env");
+    let _ = env.observe(); // warm the incremental engine
+    let opts = DecideOpts::default();
+    let mut ictx = InferCtx::new();
+
+    for (id, enabled) in
+        [("decide_disabled_medium_280pm", false), ("decide_enabled_medium_280pm", true)]
+    {
+        vmr_telemetry::set_enabled(enabled);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                black_box(agent.act(&mut env, &mut ictx, &mut rng, &opts).unwrap());
+            })
+        });
+    }
+    vmr_telemetry::set_enabled(false);
+    group.finish();
+}
+
+fn bench_serve_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    // Uncached HA plans (fresh seed each round trip) against a Medium
+    // session: the request walks every instrumented serve phase — frame
+    // decode, session lock, plan compute, response write.
+    for (id, enabled) in [("serve_plan_disabled", false), ("serve_plan_enabled", true)] {
+        let handle = serve(ServerConfig { threads: 2, telemetry: enabled, ..Default::default() })
+            .expect("daemon");
+        let mut client = ServeClient::connect(handle.addr()).expect("connect");
+        client.create_session("bench", "medium", 0, 8).expect("create");
+        let mut seed = 1u64;
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                seed += 1;
+                let params = PlanParams {
+                    session: "bench".into(),
+                    policy: "ha".into(),
+                    mnl: 2,
+                    seed,
+                    budget_ms: 50,
+                    shards: 0,
+                    workers: 0,
+                    precision: PrecisionConfig::Exact64,
+                    commit: false,
+                };
+                black_box(client.plan(params).expect("plan")).plan.len()
+            })
+        });
+        drop(client);
+        handle.shutdown();
+    }
+    vmr_telemetry::set_enabled(false);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decide_pair, bench_serve_pair
+}
+criterion_main!(benches);

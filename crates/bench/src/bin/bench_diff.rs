@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_diff <OLD.json> <NEW.json> [--threshold PCT] [--threshold-for FAMILY=PCT]...
+//!            [--max-ratio NUM_ID:DEN_ID=R]...
 //! ```
 //!
 //! Accepts both the wrapped `BENCH_*.json` format and the raw JSON-lines
@@ -13,18 +14,25 @@
 //! `--threshold-for` override, e.g. `--threshold-for policy_forward=50`
 //! for a noisy family; the flag repeats. An override whose family
 //! matches no compared id is a config error (exit 2), not a no-op.
+//!
+//! `--max-ratio` adds a *within-NEW* gate between two paired ids —
+//! `median(NUM_ID) <= R * median(DEN_ID)` — for costs best expressed
+//! host-independently, like holding telemetry's enabled-vs-disabled
+//! overhead under 3%. Either id missing from NEW is a config error
+//! (exit 2). The flag repeats.
 
 use std::process::ExitCode;
 
-use vmr_bench::diff::{fmt_ns, parse_capture, BenchDiff, Thresholds};
+use vmr_bench::diff::{fmt_ns, parse_capture, BenchDiff, RatioGate, Thresholds};
 
-const USAGE: &str =
-    "usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT] [--threshold-for FAMILY=PCT]...";
+const USAGE: &str = "usage: bench_diff <OLD.json> <NEW.json> [--threshold PCT] \
+                     [--threshold-for FAMILY=PCT]... [--max-ratio NUM_ID:DEN_ID=R]...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut thresholds = Thresholds::uniform(0.25);
+    let mut ratio_gates: Vec<RatioGate> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,6 +54,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 thresholds.per_family.insert(family, gate);
+            }
+            "--max-ratio" => {
+                let Some(gate) = it.next().and_then(|s| RatioGate::parse(s)) else {
+                    eprintln!(
+                        "--max-ratio needs NUM_ID:DEN_ID=R, e.g. \
+                         telemetry_overhead/serve_plan_enabled:telemetry_overhead/serve_plan_disabled=1.03"
+                    );
+                    return ExitCode::from(2);
+                };
+                ratio_gates.push(gate);
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -121,7 +139,38 @@ fn main() -> ExitCode {
             thresholds.per_family.iter().map(|(f, t)| format!("{f}={:.0}%", t * 100.0)).collect();
         format!(", overrides: {}", list.join(" "))
     };
+    // Within-NEW ratio gates (paired-benchmark overhead budgets).
+    let mut ratio_failures = 0usize;
+    for gate in &ratio_gates {
+        let check = match gate.check(&new) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("\nFAIL: --max-ratio {}:{}={}: {e}", gate.num_id, gate.den_id, gate.max);
+                return ExitCode::from(2);
+            }
+        };
+        let verdict = if check.passed() { "ok" } else { "EXCEEDED" };
+        println!(
+            "ratio {} / {} = {:.4} (gate {:.4}, {} vs {}): {verdict}",
+            gate.num_id,
+            gate.den_id,
+            check.ratio(),
+            gate.max,
+            fmt_ns(check.num_ns),
+            fmt_ns(check.den_ns),
+        );
+        ratio_failures += usize::from(!check.passed());
+    }
+
     let regressions = diff.regressions_with(&thresholds);
+    if ratio_failures > 0 {
+        println!(
+            "\nFAIL: {ratio_failures} --max-ratio gate(s) exceeded \
+             (plus {} median regression(s))",
+            regressions.len()
+        );
+        return ExitCode::FAILURE;
+    }
     if regressions.is_empty() {
         println!(
             "\nOK: no shared benchmark regressed beyond its gate \

@@ -122,6 +122,76 @@ impl Thresholds {
     }
 }
 
+/// A within-capture ratio gate: `median(num_id) <= max * median(den_id)`,
+/// evaluated against the NEW capture only. This is how CI prices paired
+/// benchmarks whose absolute medians drift with the host — e.g. the
+/// instrumentation-overhead gate holding
+/// `telemetry_overhead/decide_enabled_* / .../decide_disabled_*` under
+/// 1.03 regardless of what the machine was doing that day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioGate {
+    /// Numerator benchmark id (the instrumented / expensive side).
+    pub num_id: String,
+    /// Denominator benchmark id (the baseline side).
+    pub den_id: String,
+    /// Largest acceptable `num / den` (1.03 = +3%).
+    pub max: f64,
+}
+
+impl RatioGate {
+    /// Parses the `--max-ratio` argument form `NUM_ID:DEN_ID=R`.
+    pub fn parse(spec: &str) -> Option<RatioGate> {
+        let (ids, max) = spec.rsplit_once('=')?;
+        let max = max.parse::<f64>().ok()?;
+        let (num_id, den_id) = ids.split_once(':')?;
+        (!num_id.is_empty() && !den_id.is_empty() && max > 0.0).then(|| RatioGate {
+            num_id: num_id.to_string(),
+            den_id: den_id.to_string(),
+            max,
+        })
+    }
+
+    /// Evaluates this gate against `capture`; `Err` when either id is
+    /// absent (a gate comparing nothing must not pass vacuously).
+    pub fn check(&self, capture: &Capture) -> Result<RatioCheck, String> {
+        let lookup = |id: &str| {
+            capture.get(id).copied().ok_or_else(|| format!("ratio gate id {id:?} not in capture"))
+        };
+        Ok(RatioCheck {
+            num_ns: lookup(&self.num_id)?,
+            den_ns: lookup(&self.den_id)?,
+            gate: self.clone(),
+        })
+    }
+}
+
+/// Outcome of evaluating one [`RatioGate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioCheck {
+    /// The gate evaluated.
+    pub gate: RatioGate,
+    /// Numerator median (ns).
+    pub num_ns: f64,
+    /// Denominator median (ns).
+    pub den_ns: f64,
+}
+
+impl RatioCheck {
+    /// `num / den` (infinite when the denominator is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.den_ns > 0.0 {
+            self.num_ns / self.den_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the measured ratio is within the gate.
+    pub fn passed(&self) -> bool {
+        self.ratio() <= self.gate.max
+    }
+}
+
 /// Parses a capture from either the wrapped-object or JSON-lines format.
 /// Entries missing `id` or `median_ns` are skipped; duplicate ids keep the
 /// last value (matches the shim's append semantics).
@@ -284,6 +354,44 @@ mod tests {
     fn family_is_the_first_segment() {
         assert_eq!(family("policy_forward/medium_280pm"), "policy_forward");
         assert_eq!(family("bare_id"), "bare_id");
+    }
+
+    #[test]
+    fn ratio_gate_parses_the_cli_form() {
+        let g = RatioGate::parse("a/enabled:a/disabled=1.03").unwrap();
+        assert_eq!(g.num_id, "a/enabled");
+        assert_eq!(g.den_id, "a/disabled");
+        assert!((g.max - 1.03).abs() < 1e-12);
+        for bad in ["a:b", "a=1.0", ":b=1.0", "a:=1.0", "a:b=zero", "a:b=0"] {
+            assert!(RatioGate::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn ratio_gate_checks_within_one_capture() {
+        let capture = cap(&[("t/enabled", 102.0), ("t/disabled", 100.0)]);
+        let gate = RatioGate::parse("t/enabled:t/disabled=1.03").unwrap();
+        let check = gate.check(&capture).unwrap();
+        assert!((check.ratio() - 1.02).abs() < 1e-12);
+        assert!(check.passed());
+        let tight = RatioGate::parse("t/enabled:t/disabled=1.01").unwrap();
+        assert!(!tight.check(&capture).unwrap().passed());
+    }
+
+    #[test]
+    fn ratio_gate_missing_id_is_an_error_not_a_pass() {
+        let capture = cap(&[("t/enabled", 102.0)]);
+        let gate = RatioGate::parse("t/enabled:t/disabled=1.03").unwrap();
+        assert!(gate.check(&capture).is_err());
+        let gate = RatioGate::parse("t/gone:t/enabled=1.03").unwrap();
+        assert!(gate.check(&capture).is_err());
+    }
+
+    #[test]
+    fn ratio_gate_zero_denominator_fails() {
+        let capture = cap(&[("n", 1.0), ("d", 0.0)]);
+        let gate = RatioGate::parse("n:d=1000").unwrap();
+        assert!(!gate.check(&capture).unwrap().passed());
     }
 
     #[test]

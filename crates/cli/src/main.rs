@@ -67,6 +67,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "recover" => cmd_recover(&args),
         "request" => cmd_request(&args),
+        "top" => cmd_top(&args),
         "" | "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -109,11 +110,17 @@ fn print_help() {
                     [--seed N] [--json]\n\
            serve    [--addr HOST:PORT] [--threads N] [--agent CKPT]\n\
                     [--data-dir DIR [--sync-every N] [--snapshot-every N]]\n\
-                    (durable sessions: WAL + snapshots, recovered at boot)\n\
+                    [--slow-ms N] [--event-log FILE] [--no-telemetry]\n\
+                    (durable sessions: WAL + snapshots, recovered at boot;\n\
+                     --slow-ms emits JSONL slow-request records by trace id)\n\
            recover  --data-dir DIR [--verify]\n\
                     (offline recovery report; --verify audits every session\n\
                      and re-recovers to check bit-identical determinism)\n\
-           request  --op <create_session|apply_delta|plan|stats|snapshot|restore>\n\
+           top      [--addr HOST:PORT] [--interval-ms N] [--once]\n\
+                    (live daemon dashboard: throughput, phase tail latencies,\n\
+                     durability gauges, per-session table)\n\
+           request  --op <create_session|apply_delta|plan|stats|snapshot|\n\
+                          restore|metrics>\n\
                     [--addr HOST:PORT] --session NAME [--json] ...\n\
                     create_session: --preset NAME --seed N --mnl N\n\
                     apply_delta:    --delta vm_create|vm_delete|vm_resize|pm_add|pm_drain\n\
@@ -122,7 +129,8 @@ fn print_help() {
                                     [--mnl N] [--seed N] [--budget-ms N] [--commit]\n\
                                     [--shards N] [--workers N]  (fleet policy)\n\
                                     [--precision f64|f32]  (agent-backed policies)\n\
-                    snapshot:       [--out FILE]    restore: --snapshot FILE"
+                    snapshot:       [--out FILE]    restore: --snapshot FILE\n\
+                    metrics:        [--prometheus] [--json]"
     );
 }
 
@@ -721,6 +729,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use vmr_serve::server::{serve, ServerConfig};
     use vmr_serve::wal::DurabilityConfig;
+    use vmr_telemetry::EventLog;
     let agent = match args.get("agent", "").as_str() {
         "" => None,
         path => Some(vmr_core::infer::SharedAgent::load(path)?),
@@ -735,11 +744,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             Some(cfg)
         }
     };
+    let events = match args.get("event-log", "").as_str() {
+        "" => None,
+        path => Some(std::sync::Arc::new(
+            EventLog::to_file(path).map_err(|e| format!("cannot open event log {path}: {e}"))?,
+        )),
+    };
     let config = ServerConfig {
         addr: args.get("addr", "127.0.0.1:7171"),
         threads: args.num("threads", 4)?,
         agent,
         durability,
+        telemetry: !args.flag("no-telemetry"),
+        slow_ms: args.num("slow-ms", 0)?,
+        events,
     };
     let handle = serve(config).map_err(|e| format!("cannot start: {e}"))?;
     if let Some(report) = handle.recovery_report() {
@@ -926,6 +944,7 @@ fn cmd_request(args: &Args) -> Result<(), String> {
                 "sessions {}  requests {}  plans {}/{} (served/computed)  deltas {}  errors {}",
                 s.sessions, s.requests, s.plans_served, s.plans_computed, s.deltas, s.errors
             );
+            println!("uptime {}  queue depth {}", fmt_uptime(s.uptime_ms), s.queue_depth);
             if s.recoveries > 0 || s.degraded_sessions > 0 {
                 println!(
                     "durability: {} recovered at boot, {} degraded",
@@ -961,6 +980,43 @@ fn cmd_request(args: &Args) -> Result<(), String> {
                 snap.snapshot.state.num_vms()
             );
         }
+        "metrics" => {
+            let m = client.metrics(args.flag("prometheus")).map_err(|e| e.to_string())?;
+            if let Some(text) = m.prometheus {
+                print!("{text}");
+            } else if json {
+                println!("{}", serde_json::to_string_pretty(&m.snapshot).expect("serializable"));
+            } else {
+                for c in &m.snapshot.counters {
+                    println!("{:<34} {}", c.name, c.value);
+                }
+                for g in &m.snapshot.gauges {
+                    println!("{:<34} {}", g.name, g.value);
+                }
+                println!(
+                    "{:<26} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                    "histogram", "count", "p50", "p99", "p999", "max"
+                );
+                for h in &m.snapshot.histograms {
+                    let v = |x: u64| {
+                        if h.unit == "ns" {
+                            fmt_ns(x)
+                        } else {
+                            x.to_string()
+                        }
+                    };
+                    println!(
+                        "{:<26} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                        h.name,
+                        h.count,
+                        v(h.p50),
+                        v(h.p99),
+                        v(h.p999),
+                        v(h.max)
+                    );
+                }
+            }
+        }
         "restore" => {
             let path = args.require("snapshot")?;
             let body =
@@ -977,6 +1033,161 @@ fn cmd_request(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown op {other:?}; see `vmr help`")),
     }
     Ok(())
+}
+
+/// Human-scale latency: picks ns/µs/ms/s.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Human-scale uptime: `42s`, `7m02s`, `3h07m`.
+fn fmt_uptime(ms: u64) -> String {
+    let secs = ms / 1000;
+    if secs >= 3600 {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// `vmr top`: poll a daemon's `stats` + `metrics` ops and redraw a live
+/// table — throughput, phase tail latencies, durability gauges, and the
+/// per-session table. `--once` prints a single frame (no screen clear).
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use vmr_serve::client::ServeClient;
+    let addr = args.get("addr", "127.0.0.1:7171");
+    let interval = Duration::from_millis(args.num("interval-ms", 1000u64)?.max(100));
+    let once = args.flag("once");
+    let mut client =
+        ServeClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    // Per-poll deltas turn monotone counters into rates.
+    let mut last: Option<(std::time::Instant, u64, u64)> = None;
+    loop {
+        let stats = client.stats("").map_err(|e| e.to_string())?;
+        let metrics = client.metrics(false).map_err(|e| e.to_string())?;
+        let now = std::time::Instant::now();
+        let (req_s, plan_s) = match last {
+            None => (0.0, 0.0),
+            Some((t0, req0, plans0)) => {
+                let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+                (
+                    stats.requests.saturating_sub(req0) as f64 / dt,
+                    stats.plans_served.saturating_sub(plans0) as f64 / dt,
+                )
+            }
+        };
+        last = Some((now, stats.requests, stats.plans_served));
+        if !once {
+            print!("\x1b[2J\x1b[H"); // clear screen, cursor home
+        }
+        render_top(&addr, &stats, &metrics.snapshot, req_s, plan_s);
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn render_top(
+    addr: &str,
+    stats: &vmr_serve::proto::StatsReply,
+    snap: &vmr_telemetry::MetricsSnapshot,
+    req_s: f64,
+    plan_s: f64,
+) {
+    println!(
+        "vmr top — {addr}   uptime {}   queue {}   {:.1} req/s   {:.1} plans/s",
+        fmt_uptime(stats.uptime_ms),
+        stats.queue_depth,
+        req_s,
+        plan_s
+    );
+    println!(
+        "requests {}   plans {}/{} (served/computed, {} coalesced)   deltas {}   errors {}   \
+         slow {}",
+        stats.requests,
+        stats.plans_served,
+        stats.plans_computed,
+        snap.counter("serve_plans_coalesced").unwrap_or(0),
+        stats.deltas,
+        stats.errors,
+        snap.counter("serve_slow_requests").unwrap_or(0),
+    );
+    if stats.recoveries > 0 || stats.degraded_sessions > 0 {
+        println!(
+            "durability: {} recovered at boot, {} degraded",
+            stats.recoveries, stats.degraded_sessions
+        );
+    }
+    println!();
+    println!("{:<22} {:>9} {:>10} {:>10} {:>10}", "phase", "count", "p50", "p99", "p999");
+    for name in [
+        "serve_request",
+        "serve_frame_decode",
+        "serve_lock_wait",
+        "serve_plan_compute",
+        "serve_plan_wait",
+        "serve_wal_append",
+        "serve_wal_fsync",
+        "serve_wal_compact",
+        "serve_resp_write",
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            if h.count > 0 {
+                println!(
+                    "{:<22} {:>9} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_ns(h.p50),
+                    fmt_ns(h.p99),
+                    fmt_ns(h.p999)
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "{:<18} {:>8} {:>6} {:>6} {:>8}  {:>9} {:>9}  {}",
+        "session", "version", "pms", "vms", "FR", "lsn", "durable", "flags"
+    );
+    for d in &stats.sessions_detail {
+        let (pms, vms, fr) = match &d.info {
+            Some(i) => (i.pms.to_string(), i.vms.to_string(), format!("{:.4}", i.objective)),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        let (lsn, durable) = match &d.durability {
+            Some(w) => (w.appended_lsn.to_string(), w.durable_lsn.to_string()),
+            None => ("-".into(), "-".into()),
+        };
+        let mut flags = Vec::new();
+        if d.busy {
+            flags.push("busy");
+        }
+        if d.read_only {
+            flags.push("read-only");
+        }
+        println!(
+            "{:<18} {:>8} {:>6} {:>6} {:>8}  {:>9} {:>9}  {}",
+            d.session,
+            d.version,
+            pms,
+            vms,
+            fr,
+            lsn,
+            durable,
+            flags.join(",")
+        );
+    }
 }
 
 /// `vmr interfere`: noisy-neighbor interference report.

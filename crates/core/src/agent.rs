@@ -26,6 +26,19 @@ use crate::config::ActionMode;
 use crate::features::{bool_mask_row, FeatureTensors, TreeIndex};
 use crate::model::{Stage1Fwd, Stage1Fwd32, Stage1Out, Vmr2lModel, Vmr2lModelF32};
 
+/// Per-decision latency histograms (`core_decide_f64` / `core_decide_f32`
+/// in the process-wide registry), recorded by the serving entry points
+/// [`Vmr2lAgent::act`] and [`Vmr2lAgent::act_f32`] — one sample per full
+/// decision (featurize + stage-1 forward + masked sampling).
+fn decide_hist(f32_path: bool) -> &'static std::sync::Arc<vmr_telemetry::Histogram> {
+    static F64: std::sync::OnceLock<std::sync::Arc<vmr_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    static F32: std::sync::OnceLock<std::sync::Arc<vmr_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    let (cell, name) = if f32_path { (&F32, "core_decide_f32") } else { (&F64, "core_decide_f64") };
+    cell.get_or_init(|| vmr_telemetry::global().histogram(name, vmr_telemetry::Unit::Nanos))
+}
+
 /// A policy network usable by the agent: stage-1 extraction + heads, and a
 /// stage-2 destination head conditioned on the selected VM. Each stage
 /// exists twice — on the autodiff [`Graph`] (training re-evaluation) and
@@ -434,9 +447,12 @@ impl<P: Policy> Vmr2lAgent<P> {
         rng: &mut R,
         opts: &DecideOpts,
     ) -> SimResult<Option<ActDecision>> {
+        let t = vmr_telemetry::Timer::start();
         ictx.prepare_from_env(env);
         let s1 = self.policy.stage1_fwd(&mut ictx.ctx, &ictx.feats, &ictx.tree);
-        self.act_core(env, ictx, &s1, rng, opts)
+        let decision = self.act_core(env, ictx, &s1, rng, opts);
+        t.observe(decide_hist(false));
+        decision
     }
 
     /// Critic value of the environment's current state on the fast path.
@@ -645,9 +661,12 @@ impl Vmr2lAgent<Vmr2lModel> {
         rng: &mut R,
         opts: &DecideOpts,
     ) -> SimResult<Option<ActDecision>> {
+        let t = vmr_telemetry::Timer::start();
         ictx.prepare_from_env(env);
         let s1 = m32.stage1_fwd(&mut ictx.ctx32, &ictx.feats, Some(&ictx.tree.groups));
-        self.act_core_f32(m32, env, ictx, &s1, rng, opts)
+        let decision = self.act_core_f32(m32, env, ictx, &s1, rng, opts);
+        t.observe(decide_hist(true));
+        decision
     }
 
     /// [`Vmr2lAgent::state_value_in`] on the f32 arena.

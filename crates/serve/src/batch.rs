@@ -30,6 +30,19 @@ use vmr_nn::tensor32::Tensor32;
 /// Default leader wait for peers (only paid when ≥ 2 plans are active).
 pub const DEFAULT_WINDOW: Duration = Duration::from_micros(500);
 
+/// Batch-occupancy histogram (`serve_embed_batch_occupancy`, unit
+/// `count`, in the process-wide registry): one sample per computed round
+/// with the number of submissions it carried — the distribution tells an
+/// operator whether cross-session batching is actually firing (p50 > 1)
+/// or every plan is running solo.
+fn occupancy_hist() -> &'static std::sync::Arc<vmr_telemetry::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<vmr_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        vmr_telemetry::global().histogram("serve_embed_batch_occupancy", vmr_telemetry::Unit::Count)
+    })
+}
+
 /// Aggregate batching counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
@@ -169,6 +182,9 @@ impl EmbedBatcher {
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.items.fetch_add(batch.len() as u64, Ordering::Relaxed);
             self.peak.fetch_max(batch.len() as u64, Ordering::Relaxed);
+            if vmr_telemetry::enabled() {
+                occupancy_hist().record(batch.len() as u64);
+            }
 
             let remaining = outs.len();
             let results = outs.into_iter().map(Some).collect();
@@ -242,6 +258,9 @@ impl EmbedBatcher {
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.items.fetch_add(batch.len() as u64, Ordering::Relaxed);
             self.peak.fetch_max(batch.len() as u64, Ordering::Relaxed);
+            if vmr_telemetry::enabled() {
+                occupancy_hist().record(batch.len() as u64);
+            }
 
             let remaining = outs.len();
             let results = outs.into_iter().map(Some).collect();

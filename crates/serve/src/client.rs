@@ -21,9 +21,9 @@ use std::time::Duration;
 use vmr_sim::env::ClusterDelta;
 
 use crate::proto::{
-    self, ApplyDelta, CreateSession, DeltaApplied, Op, PlanParams, Planned, ReadOutcome, Reply,
-    ReplyBody, Request, Response, Restore, SessionInfo, SessionRef, SessionSnapshot, SnapshotReply,
-    StatsParams, StatsReply, WireError,
+    self, ApplyDelta, CreateSession, DeltaApplied, MetricsParams, MetricsReply, Op, PlanParams,
+    Planned, ReadOutcome, Reply, ReplyBody, Request, Response, Restore, SessionInfo, SessionRef,
+    SessionSnapshot, SnapshotReply, StatsParams, StatsReply, WireError,
 };
 
 /// Client-side failures.
@@ -176,7 +176,7 @@ impl ServeClient {
     fn idempotent(op: &Op) -> bool {
         match op {
             Op::Plan(p) => !p.commit,
-            Op::Stats(_) | Op::Snapshot(_) => true,
+            Op::Stats(_) | Op::Snapshot(_) | Op::Metrics(_) => true,
             Op::CreateSession(_) | Op::ApplyDelta(_) | Op::Restore(_) => false,
         }
     }
@@ -283,6 +283,15 @@ impl ServeClient {
         }
     }
 
+    /// `metrics` (`prometheus: true` additionally requests the text
+    /// exposition rendering).
+    pub fn metrics(&mut self, prometheus: bool) -> ClientResult<MetricsReply> {
+        match self.request(Op::Metrics(MetricsParams { prometheus }))? {
+            Reply::Metrics(m) => Ok(m),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// `snapshot`.
     pub fn snapshot(&mut self, session: &str) -> ClientResult<SnapshotReply> {
         match self.request(Op::Snapshot(SessionRef { session: session.into() }))? {
@@ -312,6 +321,7 @@ fn unexpected(wanted: &str, got: &Reply) -> ClientError {
         Reply::Stats(_) => "Stats",
         Reply::Snapshot(_) => "Snapshot",
         Reply::Restored(_) => "Restored",
+        Reply::Metrics(_) => "Metrics",
     };
     ClientError::Protocol(format!("expected {wanted} reply, got {kind}"))
 }

@@ -34,6 +34,12 @@
 //!   bit-identical to a never-crashed twin; torn tails dropped whole,
 //!   corruption degrades to read-only, dead sessions never take down the
 //!   daemon.
+//! * telemetry (via [`vmr_telemetry`]) — every request carries a trace id
+//!   and per-phase span timings (decode, lock wait, plan compute/wait,
+//!   WAL append/fsync, response write) recorded into lock-free
+//!   histograms; the `metrics` wire op exports them as JSON or Prometheus
+//!   text, slow requests emit leveled JSONL events, and `vmr top` renders
+//!   the live picture.
 //!
 //! ## Quick loopback example
 //!

@@ -32,6 +32,16 @@ use vmr_solver::bnb::{branch_and_bound, SolverConfig};
 
 use crate::batch::{BatchStats, EmbedBatcher, DEFAULT_WINDOW};
 
+/// Per-shard fleet-plan latency (`serve_fleet_shard` in the process-wide
+/// registry): one sample per sub-cluster solve, across all worker
+/// threads — the spread between p50 and max shows shard imbalance.
+fn fleet_shard_hist() -> &'static Arc<vmr_telemetry::Histogram> {
+    static H: std::sync::OnceLock<Arc<vmr_telemetry::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        vmr_telemetry::global().histogram("serve_fleet_shard", vmr_telemetry::Unit::Nanos)
+    })
+}
+
 /// Per-request planning parameters a policy sees.
 #[derive(Debug, Clone, Copy)]
 pub struct PlanRequest {
@@ -327,6 +337,7 @@ impl PlanPolicy for FleetPolicy {
             req.mnl,
             &cfg,
             |i, sub, sub_mnl| {
+                let t = vmr_telemetry::Timer::start();
                 let mut shard_env = match ReschedEnv::new(
                     sub.state.clone(),
                     sub.constraints.clone(),
@@ -347,13 +358,15 @@ impl PlanPolicy for FleetPolicy {
                     workers: 0,
                     precision: req.precision,
                 };
-                match inner.plan(&mut shard_env, &shard_req) {
+                let plan = match inner.plan(&mut shard_env, &shard_req) {
                     Ok(plan) => plan,
                     Err(e) => {
                         record_err(i, e);
                         Vec::new()
                     }
-                }
+                };
+                t.observe(fleet_shard_hist());
+                plan
             },
         );
         if let Some((_, e)) = first_err.into_inner().expect("fleet error slot") {

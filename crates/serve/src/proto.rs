@@ -35,7 +35,15 @@ use vmr_sim::env::ClusterDelta;
 /// write-ahead-log layer, and invalid `restore` snapshots now answer
 /// [`codes::BAD_REQUEST`] instead of [`codes::SIM`] — a v3 client would
 /// misparse the stats reply, so the version was bumped.
-pub const PROTO_VERSION: u32 = 4;
+///
+/// v5 (PR 8): the telemetry layer. A new [`Op::Metrics`] op exports the
+/// metrics registry (JSON + Prometheus text), [`Response`] grew a
+/// required `trace` field (the per-request trace id correlating replies
+/// with slow-request JSONL records), and [`StatsReply`] grew required
+/// observability fields (`errors_by_code`, `uptime_ms`, `queue_depth`,
+/// `sessions_detail`) — a v4 client would misparse both envelopes, so
+/// the version was bumped.
+pub const PROTO_VERSION: u32 = 5;
 
 /// Hard cap on one framed line (requests *and* responses). Snapshots of
 /// paper-scale clusters are ~1 MiB of JSON; 32 MiB leaves headroom while
@@ -97,6 +105,9 @@ pub enum Op {
     Snapshot(SessionRef),
     /// Replace a session's state from a snapshot.
     Restore(Restore),
+    /// Export the daemon's metrics registry (counters, gauges, latency
+    /// histograms with p50/p99/p999 per request phase).
+    Metrics(MetricsParams),
 }
 
 /// Parameters of [`Op::CreateSession`].
@@ -153,6 +164,25 @@ pub struct PlanParams {
     pub commit: bool,
 }
 
+/// Parameters of [`Op::Metrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsParams {
+    /// Also render the snapshot as Prometheus text exposition (the JSON
+    /// snapshot is always included).
+    pub prometheus: bool,
+}
+
+/// Payload of [`Reply::Metrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// The structured export: daemon-scoped request/WAL metrics merged
+    /// with the process-wide hot-path metrics (simulator repair,
+    /// per-precision forward, embed batching, fleet shards).
+    pub snapshot: vmr_telemetry::MetricsSnapshot,
+    /// Prometheus text exposition of the same snapshot (when requested).
+    pub prometheus: Option<String>,
+}
+
 /// Parameters of [`Op::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsParams {
@@ -196,6 +226,11 @@ pub struct Response {
     pub v: u32,
     /// Echo of the request id (0 when the request was unparseable).
     pub id: u64,
+    /// Per-request trace id (daemon-assigned, never 0 for dispatched
+    /// requests): quote it to correlate this reply with the daemon's
+    /// slow-request JSONL records and coalesced-follower spans. 0 when
+    /// the request never reached dispatch (unparseable / oversized).
+    pub trace: u64,
     /// Outcome.
     pub body: ReplyBody,
 }
@@ -233,6 +268,8 @@ pub enum Reply {
     Snapshot(SnapshotReply),
     /// Snapshot installed.
     Restored(SessionInfo),
+    /// Metrics export.
+    Metrics(MetricsReply),
 }
 
 /// Shared session summary.
@@ -313,16 +350,73 @@ pub struct StatsReply {
     pub deltas: u64,
     /// Error responses returned.
     pub errors: u64,
+    /// `errors`, broken out by [`WireError`] code (sums to `errors`).
+    pub errors_by_code: ErrorBreakdown,
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Connections waiting in the worker queue right now (admitted but
+    /// not being served — the backpressure gauge).
+    pub queue_depth: u64,
     /// Sessions recovered from the data dir at boot (0 when the daemon
     /// runs without `--data-dir`).
     pub recoveries: u64,
     /// Sessions registered on disk but unrecoverable (every request
     /// against them answers [`codes::DEGRADED`]).
     pub degraded_sessions: usize,
+    /// One row per live session (lock-free best effort: a session busy
+    /// computing reports `busy` with its detail omitted rather than
+    /// blocking the stats op behind a minutes-long plan).
+    pub sessions_detail: Vec<SessionDetail>,
     /// Per-session detail when requested.
     pub session: Option<SessionInfo>,
     /// Durability gauges of the requested session (`None` when the
     /// daemon is not durable or no session was named).
+    pub durability: Option<DurabilityStats>,
+}
+
+/// Error responses by [`WireError`] code (see [`StatsReply::errors_by_code`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBreakdown {
+    /// [`codes::BAD_REQUEST`] responses.
+    pub bad_request: u64,
+    /// [`codes::UNSUPPORTED_VERSION`] responses.
+    pub unsupported_version: u64,
+    /// [`codes::OVERSIZED`] responses.
+    pub oversized: u64,
+    /// [`codes::SESSION_EXISTS`] responses.
+    pub session_exists: u64,
+    /// [`codes::UNKNOWN_SESSION`] responses.
+    pub unknown_session: u64,
+    /// [`codes::UNKNOWN_POLICY`] responses.
+    pub unknown_policy: u64,
+    /// [`codes::UNKNOWN_PRESET`] responses.
+    pub unknown_preset: u64,
+    /// [`codes::SIM`] responses.
+    pub sim: u64,
+    /// [`codes::DEGRADED`] responses.
+    pub degraded: u64,
+    /// [`codes::READ_ONLY`] responses.
+    pub read_only: u64,
+    /// Responses with a code this build does not know (future-proofing;
+    /// always 0 today).
+    pub other: u64,
+}
+
+/// One session row of [`StatsReply::sessions_detail`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionDetail {
+    /// Session name.
+    pub session: String,
+    /// Monotone state version.
+    pub version: u64,
+    /// Whether the session lock was held (a plan in flight) when stats
+    /// were sampled; `info` is `None` in that case.
+    pub busy: bool,
+    /// Entity counts and objective (omitted while `busy`).
+    pub info: Option<SessionInfo>,
+    /// Whether the session refuses mutations (durability degradation).
+    pub read_only: bool,
+    /// Durability gauges (`None` on a non-durable daemon).
     pub durability: Option<DurabilityStats>,
 }
 
@@ -408,18 +502,21 @@ pub fn write_frame<T: Serialize>(writer: &mut impl Write, value: &T) -> io::Resu
     writer.flush()
 }
 
-/// Convenience constructor for an error response.
+/// Convenience constructor for an error response (trace 0 — dispatch
+/// stamps the request's trace id before writing).
 pub fn error_response(id: u64, code: &str, message: impl Into<String>) -> Response {
     Response {
         v: PROTO_VERSION,
         id,
+        trace: 0,
         body: ReplyBody::Err(WireError { code: code.to_string(), message: message.into() }),
     }
 }
 
-/// Convenience constructor for a success response.
+/// Convenience constructor for a success response (trace 0 — dispatch
+/// stamps the request's trace id before writing).
 pub fn ok_response(id: u64, reply: Reply) -> Response {
-    Response { v: PROTO_VERSION, id, body: ReplyBody::Ok(reply) }
+    Response { v: PROTO_VERSION, id, trace: 0, body: ReplyBody::Ok(reply) }
 }
 
 #[cfg(test)]
@@ -490,6 +587,68 @@ mod tests {
         let err = error_response(0, codes::BAD_REQUEST, "nope");
         let back: Response = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
         assert_eq!(err, back);
+    }
+
+    #[test]
+    fn metrics_op_and_reply_roundtrip() {
+        let req = Request {
+            v: PROTO_VERSION,
+            id: 3,
+            op: Op::Metrics(MetricsParams { prometheus: true }),
+        };
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(req, back);
+
+        let mut snapshot = vmr_telemetry::MetricsSnapshot::default();
+        snapshot.push_counter("serve_requests", 9);
+        snapshot.push_gauge("serve_queue_depth", 1);
+        let resp = ok_response(
+            3,
+            Reply::Metrics(MetricsReply { prometheus: Some(snapshot.to_prometheus()), snapshot }),
+        );
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn stats_reply_roundtrips_with_observability_fields() {
+        let reply = Reply::Stats(StatsReply {
+            sessions: 1,
+            requests: 10,
+            plans_served: 4,
+            plans_computed: 2,
+            deltas: 3,
+            errors: 2,
+            errors_by_code: ErrorBreakdown {
+                bad_request: 1,
+                unknown_session: 1,
+                ..ErrorBreakdown::default()
+            },
+            uptime_ms: 1234,
+            queue_depth: 2,
+            recoveries: 0,
+            degraded_sessions: 0,
+            sessions_detail: vec![SessionDetail {
+                session: "prod".into(),
+                version: 7,
+                busy: false,
+                info: Some(SessionInfo {
+                    session: "prod".into(),
+                    pms: 40,
+                    vms: 200,
+                    version: 7,
+                    objective: 0.25,
+                }),
+                read_only: false,
+                durability: None,
+            }],
+            session: None,
+            durability: None,
+        });
+        let mut resp = ok_response(1, reply);
+        resp.trace = 99;
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(resp, back);
     }
 
     #[test]

@@ -21,22 +21,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use serde_json::json;
 
 use vmr_core::infer::SharedAgent;
 use vmr_sim::error::SimError;
+use vmr_telemetry::{Counter, EventLog, Gauge, Histogram, Level, Registry, Timer, Unit};
 
 use crate::policies::{PlanRequest, PolicyRegistry};
 use crate::proto::{
-    self, codes, ApplyDelta, CreateSession, Op, PlanParams, Planned, ReadOutcome, Reply, Request,
-    Response, Restore, SessionRef, SnapshotReply, StatsParams, StatsReply,
+    self, codes, ApplyDelta, CreateSession, ErrorBreakdown, MetricsParams, MetricsReply, Op,
+    PlanParams, Planned, ReadOutcome, Reply, Request, Response, Restore, SessionDetail, SessionRef,
+    SnapshotReply, StatsParams, StatsReply,
 };
 use crate::recovery;
 use crate::session::{preset_config, PlanResult, Session};
-use crate::wal::{self, DurabilityConfig, SessionLog, WalBody};
+use crate::wal::{self, DurabilityConfig, SessionLog, WalBody, WalMetrics};
 
 /// Daemon configuration.
-#[derive(Default)]
 pub struct ServerConfig {
     /// Bind address; empty = `127.0.0.1:0` (loopback, ephemeral port).
     pub addr: String,
@@ -51,10 +54,53 @@ pub struct ServerConfig {
     /// fsync), compacted into snapshot files, and recovered on boot.
     /// `None` keeps the PR 3 in-memory behavior.
     pub durability: Option<DurabilityConfig>,
+    /// Span timing switch, on by default (instrumentation is cheap
+    /// enough to leave on — the `telemetry_overhead` bench gates it at
+    /// <3%). Sets the *process-wide* [`vmr_telemetry::set_enabled`]
+    /// flag at boot; request counters and the `metrics` op work either
+    /// way, but latency histograms and slow-request records need it on.
+    pub telemetry: bool,
+    /// Slow-request threshold in milliseconds: a dispatched request
+    /// slower than this emits a leveled JSONL record (level `error`
+    /// at ≥ 10×) correlated by trace id. 0 disables slow records.
+    pub slow_ms: u64,
+    /// Sink for JSONL event records (boot, recovery, slow requests).
+    /// `None` with `slow_ms > 0` falls back to stderr.
+    pub events: Option<Arc<EventLog>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: String::new(),
+            threads: 0,
+            agent: None,
+            durability: None,
+            telemetry: true,
+            slow_ms: 0,
+            events: None,
+        }
+    }
 }
 
 /// Default latency budget for anytime policies when a request says 0.
 const DEFAULT_BUDGET: Duration = Duration::from_millis(200);
+
+/// [`WireError`](proto::WireError) codes with a dedicated error-counter
+/// bucket, in [`ErrorBreakdown`] field order. Codes outside this list
+/// land in the trailing `other` bucket.
+const ERROR_CODES: [&str; 10] = [
+    codes::BAD_REQUEST,
+    codes::UNSUPPORTED_VERSION,
+    codes::OVERSIZED,
+    codes::SESSION_EXISTS,
+    codes::UNKNOWN_SESSION,
+    codes::UNKNOWN_POLICY,
+    codes::UNKNOWN_PRESET,
+    codes::SIM,
+    codes::DEGRADED,
+    codes::READ_ONLY,
+];
 
 /// Server-wide counters (see [`StatsReply`]).
 #[derive(Default)]
@@ -64,6 +110,121 @@ struct ServerStats {
     plans_computed: AtomicU64,
     deltas: AtomicU64,
     errors: AtomicU64,
+    /// Per-code error counters ([`ERROR_CODES`] order, then `other`).
+    errors_by_code: [AtomicU64; ERROR_CODES.len() + 1],
+}
+
+impl ServerStats {
+    /// Counts one error response: the compatibility total plus the
+    /// code's bucket.
+    fn note_error(&self, code: &str) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        let idx = ERROR_CODES.iter().position(|&c| c == code).unwrap_or(ERROR_CODES.len());
+        self.errors_by_code[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The wire-shaped per-code breakdown.
+    fn breakdown(&self) -> ErrorBreakdown {
+        let at = |i: usize| self.errors_by_code[i].load(Ordering::Relaxed);
+        ErrorBreakdown {
+            bad_request: at(0),
+            unsupported_version: at(1),
+            oversized: at(2),
+            session_exists: at(3),
+            unknown_session: at(4),
+            unknown_policy: at(5),
+            unknown_preset: at(6),
+            sim: at(7),
+            degraded: at(8),
+            read_only: at(9),
+            other: at(10),
+        }
+    }
+}
+
+/// The daemon's pre-registered metric handles (one registry per server,
+/// so a restarted daemon's counters start from zero; the process-wide
+/// [`vmr_telemetry::global`] registry holding the library hot-path
+/// metrics is merged in at export time).
+struct Metrics {
+    registry: Arc<Registry>,
+    /// Request-line JSON parse time.
+    frame_decode: Arc<Histogram>,
+    /// Session-mutex acquisition wait.
+    lock_wait: Arc<Histogram>,
+    /// Policy compute time (leader's span; coalesced followers share it
+    /// by trace id instead of re-recording).
+    plan_compute: Arc<Histogram>,
+    /// Condvar wait of coalesced followers adopting a leader's result.
+    plan_wait: Arc<Histogram>,
+    /// Response serialize + socket write time.
+    resp_write: Arc<Histogram>,
+    /// End-to-end dispatched-request time (decode through write).
+    request_ns: Arc<Histogram>,
+    /// WAL phase histograms, handed to every [`SessionLog`].
+    wal: WalMetrics,
+    /// Plan responses answered from a leader's computation.
+    coalesced: Arc<Counter>,
+    /// Requests that crossed the slow threshold.
+    slow_requests: Arc<Counter>,
+    /// Connections sitting in the worker queue.
+    queue_depth: Arc<Gauge>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        let hist = |name: &str| registry.histogram(name, Unit::Nanos);
+        Metrics {
+            frame_decode: hist("serve_frame_decode"),
+            lock_wait: hist("serve_lock_wait"),
+            plan_compute: hist("serve_plan_compute"),
+            plan_wait: hist("serve_plan_wait"),
+            resp_write: hist("serve_resp_write"),
+            request_ns: hist("serve_request"),
+            wal: WalMetrics {
+                append: Some(hist("serve_wal_append")),
+                fsync: Some(hist("serve_wal_fsync")),
+                compact: Some(hist("serve_wal_compact")),
+            },
+            coalesced: registry.counter("serve_plans_coalesced"),
+            slow_requests: registry.counter("serve_slow_requests"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            registry,
+        }
+    }
+}
+
+/// Per-request phase timings and identity, accumulated through dispatch
+/// for the end-of-request slow check. All spans are 0 when telemetry is
+/// disabled.
+#[derive(Default)]
+struct ReqSpans {
+    /// Daemon-assigned trace id (echoed in the [`Response`]).
+    trace: u64,
+    /// Wire op name.
+    op: &'static str,
+    /// Target session ("" for server-wide ops).
+    session: String,
+    /// Request-line parse.
+    decode_ns: u64,
+    /// Session-mutex wait.
+    lock_wait_ns: u64,
+    /// Coalesced-follower condvar wait.
+    coalesce_wait_ns: u64,
+    /// Policy compute (leaders only).
+    compute_ns: u64,
+    /// Durable append + fsync + compaction.
+    wal_ns: u64,
+    /// Response serialize + write.
+    write_ns: u64,
+    /// Served from the coalescing cache.
+    coalesced: bool,
+    /// Trace id of the leader whose computation this reply shares
+    /// (0 = computed here / not a plan).
+    leader_trace: u64,
+    /// Error code of a failed request.
+    code: Option<&'static str>,
 }
 
 /// Key identifying one coalescable plan computation.
@@ -87,11 +248,16 @@ enum PlanCacheState {
     Idle,
     /// A worker is computing a plan; everyone else waits on the condvar
     /// (same-key waiters then adopt the memoized result, different-key
-    /// waiters claim the slot next).
-    InFlight,
+    /// waiters claim the slot next). `trace` identifies the computing
+    /// leader so followers' replies and slow records can share its
+    /// compute span instead of re-measuring.
+    InFlight {
+        /// The computing request's trace id.
+        trace: u64,
+    },
     /// The last computation's result, valid while the key (incl. state
-    /// version) matches.
-    Ready(PlanKey, PlanResult),
+    /// version) matches. `trace` is the leader that computed it.
+    Ready(PlanKey, PlanResult, u64),
 }
 
 struct SessionSlot {
@@ -122,6 +288,14 @@ struct Shared {
     dead: Mutex<HashMap<String, String>>,
     /// Sessions recovered at boot.
     recoveries: u64,
+    /// Pre-registered metric handles + the per-daemon registry.
+    metrics: Metrics,
+    /// Boot instant (for `uptime_ms`).
+    started: Instant,
+    /// Slow-request threshold in ms (0 = off).
+    slow_ms: u64,
+    /// JSONL event sink (`None` = no event log configured).
+    events: Option<Arc<EventLog>>,
 }
 
 /// A running daemon; dropping the handle leaves it running (detached) —
@@ -172,6 +346,17 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let threads = if config.threads == 0 { 4 } else { config.threads };
 
+    // The span-timing switch is process-wide: one daemon per process is
+    // the deployment shape, and library hot paths (simulator, inference)
+    // cannot see a per-server registry.
+    vmr_telemetry::set_enabled(config.telemetry);
+    let metrics = Metrics::new();
+    let events = match config.events {
+        Some(sink) => Some(sink),
+        None if config.slow_ms > 0 => Some(Arc::new(EventLog::to_stderr())),
+        None => None,
+    };
+
     // Durable boot: recover every session found under the data dir
     // before accepting a single connection.
     let mut sessions = HashMap::new();
@@ -183,9 +368,25 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         recovery_report = Some(recovered.report());
         recoveries = recovered.live.len() as u64;
         for d in recovered.dead {
+            if let Some(events) = &events {
+                events.emit(
+                    Level::Error,
+                    "session_unrecoverable",
+                    &[("session", json!(d.name.clone())), ("reason", json!(d.reason.clone()))],
+                );
+            }
             dead.insert(d.name, d.reason);
         }
         for s in recovered.live {
+            let mut log = s.log;
+            log.set_metrics(metrics.wal.clone());
+            if let Some(events) = &events {
+                events.emit(
+                    Level::Info,
+                    "session_recovered",
+                    &[("session", json!(s.name.clone())), ("lsn", json!(s.lsn))],
+                );
+            }
             sessions.insert(
                 s.name.clone(),
                 Arc::new(SessionSlot {
@@ -193,10 +394,22 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                     version: AtomicU64::new(s.lsn),
                     cache: Mutex::new(PlanCacheState::Idle),
                     cache_cv: Condvar::new(),
-                    log: Mutex::new(Some(s.log)),
+                    log: Mutex::new(Some(log)),
                 }),
             );
         }
+    }
+    if let Some(events) = &events {
+        events.emit(
+            Level::Info,
+            "server_start",
+            &[
+                ("addr", json!(addr.to_string())),
+                ("threads", json!(threads as u64)),
+                ("recovered", json!(recoveries)),
+                ("telemetry", json!(config.telemetry)),
+            ],
+        );
     }
 
     let shared = Arc::new(Shared {
@@ -209,6 +422,10 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         durable: config.durability,
         dead: Mutex::new(dead),
         recoveries,
+        metrics,
+        started: Instant::now(),
+        slow_ms: config.slow_ms,
+        events,
     });
 
     let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(threads * 4);
@@ -228,6 +445,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             };
             match stream {
                 Ok(stream) => {
+                    shared.metrics.queue_depth.add(-1);
                     if shared.stop.load(Ordering::SeqCst) {
                         continue; // drain the queue without serving
                     }
@@ -246,7 +464,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                             // the whole pool. If the queue is full, keep
                             // serving it here.
                             match requeue.try_send(idle) {
-                                Ok(()) => {}
+                                Ok(()) => shared.metrics.queue_depth.add(1),
                                 Err(std::sync::mpsc::TrySendError::Full(s)) => current = Some(s),
                                 Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {}
                             }
@@ -271,7 +489,11 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                     break;
                 }
                 if let Ok(stream) = stream {
+                    // Count the connection as queued before handing it
+                    // over so a worker's decrement cannot race ahead.
+                    shared.metrics.queue_depth.add(1);
                     if tx.send(stream).is_err() {
+                        shared.metrics.queue_depth.add(-1);
                         break;
                     }
                 }
@@ -324,7 +546,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<Option<Tc
         match outcome {
             ReadOutcome::Eof => return Ok(None),
             ReadOutcome::Oversized => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.note_error(codes::OVERSIZED);
                 let resp = proto::error_response(
                     0,
                     codes::OVERSIZED,
@@ -337,46 +559,133 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<Option<Tc
                 if buf.iter().all(|b| b.is_ascii_whitespace()) {
                     continue; // tolerate blank keep-alive lines
                 }
-                let resp = match serde_json::from_slice::<Request>(&buf) {
+                let total = Timer::start();
+                let mut spans = ReqSpans::default();
+                let decode = Timer::start();
+                let parsed = serde_json::from_slice::<Request>(&buf);
+                spans.decode_ns = decode.observe(&shared.metrics.frame_decode);
+                let resp = match parsed {
                     Err(e) => {
-                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.note_error(codes::BAD_REQUEST);
+                        spans.op = "unparseable";
+                        spans.code = Some(codes::BAD_REQUEST);
                         proto::error_response(0, codes::BAD_REQUEST, format!("{e:?}"))
                     }
-                    Ok(req) => dispatch(shared, req),
+                    Ok(req) => dispatch(shared, req, &mut spans),
                 };
+                let write = Timer::start();
                 proto::write_frame(&mut writer, &resp)?;
+                spans.write_ns = write.observe(&shared.metrics.resp_write);
+                let total_ns = total.observe(&shared.metrics.request_ns);
+                maybe_slow(shared, &spans, total_ns);
             }
         }
     }
 }
 
-/// Routes one parsed request.
-fn dispatch(shared: &Shared, req: Request) -> Response {
+/// Routes one parsed request. Stamps a fresh trace id into the reply
+/// and accumulates phase spans for the end-of-request slow check.
+fn dispatch(shared: &Shared, req: Request, spans: &mut ReqSpans) -> Response {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    spans.trace = vmr_telemetry::next_trace_id();
+    spans.op = op_name(&req.op);
+    spans.session = op_session(&req.op).to_string();
     if req.v != proto::PROTO_VERSION {
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-        return proto::error_response(
+        shared.stats.note_error(codes::UNSUPPORTED_VERSION);
+        spans.code = Some(codes::UNSUPPORTED_VERSION);
+        let mut resp = proto::error_response(
             req.id,
             codes::UNSUPPORTED_VERSION,
             format!("this daemon speaks v{}", proto::PROTO_VERSION),
         );
+        resp.trace = spans.trace;
+        return resp;
     }
     let id = req.id;
     let result = match req.op {
         Op::CreateSession(p) => op_create(shared, p),
-        Op::ApplyDelta(p) => op_delta(shared, p),
-        Op::Plan(p) => op_plan(shared, p),
+        Op::ApplyDelta(p) => op_delta(shared, p, spans),
+        Op::Plan(p) => op_plan(shared, p, spans),
         Op::Stats(p) => op_stats(shared, p),
         Op::Snapshot(p) => op_snapshot(shared, p),
         Op::Restore(p) => op_restore(shared, p),
+        Op::Metrics(p) => op_metrics(shared, p),
     };
-    match result {
+    let mut resp = match result {
         Ok(reply) => proto::ok_response(id, reply),
         Err((code, message)) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.note_error(code);
+            spans.code = Some(code);
             proto::error_response(id, code, message)
         }
+    };
+    resp.trace = spans.trace;
+    resp
+}
+
+/// The wire-level op name (for slow-request records).
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::CreateSession(_) => "create_session",
+        Op::ApplyDelta(_) => "apply_delta",
+        Op::Plan(_) => "plan",
+        Op::Stats(_) => "stats",
+        Op::Snapshot(_) => "snapshot",
+        Op::Restore(_) => "restore",
+        Op::Metrics(_) => "metrics",
     }
+}
+
+/// The session a request targets ("" for server-wide ops).
+fn op_session(op: &Op) -> &str {
+    match op {
+        Op::CreateSession(p) => &p.name,
+        Op::ApplyDelta(p) => &p.session,
+        Op::Plan(p) => &p.session,
+        Op::Stats(p) => &p.session,
+        Op::Snapshot(p) => &p.session,
+        Op::Restore(p) => &p.session,
+        Op::Metrics(_) => "",
+    }
+}
+
+/// Emits the leveled JSONL slow-request record when a dispatched request
+/// crosses the configured threshold (level `error` at ≥ 10×), and bumps
+/// the `serve_slow_requests` counter. Phase spans are reported in
+/// microseconds — the resolution humans read tail latencies at.
+fn maybe_slow(shared: &Shared, spans: &ReqSpans, total_ns: u64) {
+    if shared.slow_ms == 0 {
+        return;
+    }
+    let threshold_ns = shared.slow_ms.saturating_mul(1_000_000);
+    if total_ns < threshold_ns {
+        return;
+    }
+    shared.metrics.slow_requests.inc();
+    let Some(events) = &shared.events else { return };
+    let level =
+        if total_ns >= threshold_ns.saturating_mul(10) { Level::Error } else { Level::Warn };
+    let us = |ns: u64| ns / 1_000;
+    let mut fields = vec![
+        ("trace", json!(spans.trace)),
+        ("op", json!(spans.op)),
+        ("session", json!(spans.session.clone())),
+        ("total_us", json!(us(total_ns))),
+        ("decode_us", json!(us(spans.decode_ns))),
+        ("lock_wait_us", json!(us(spans.lock_wait_ns))),
+        ("compute_us", json!(us(spans.compute_ns))),
+        ("wal_us", json!(us(spans.wal_ns))),
+        ("write_us", json!(us(spans.write_ns))),
+    ];
+    if spans.coalesced {
+        fields.push(("coalesced", json!(true)));
+        fields.push(("coalesce_wait_us", json!(us(spans.coalesce_wait_ns))));
+        fields.push(("leader_trace", json!(spans.leader_trace)));
+    }
+    if let Some(code) = spans.code {
+        fields.push(("code", json!(code)));
+    }
+    events.emit(level, "slow_request", &fields);
 }
 
 type OpResult = Result<Reply, (&'static str, String)>;
@@ -488,7 +797,10 @@ fn op_create(shared: &Shared, p: CreateSession) -> OpResult {
             let dir = cfg.sessions_dir().join(&p.name);
             let snapshot = session.snapshot(0);
             match SessionLog::install(dir, cfg, &snapshot, 0) {
-                Ok(log) => Some(log),
+                Ok(mut log) => {
+                    log.set_metrics(shared.metrics.wal.clone());
+                    Some(log)
+                }
                 Err(e) => {
                     return Err((
                         codes::DEGRADED,
@@ -509,13 +821,17 @@ fn op_create(shared: &Shared, p: CreateSession) -> OpResult {
     Ok(Reply::Created(info))
 }
 
-fn op_delta(shared: &Shared, p: ApplyDelta) -> OpResult {
+fn op_delta(shared: &Shared, p: ApplyDelta, spans: &mut ReqSpans) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
     check_writable(&slot)?;
+    let lock = Timer::start();
     let mut session = slot.session.lock().expect("session lock");
+    spans.lock_wait_ns = lock.observe(&shared.metrics.lock_wait);
     let outcome = session.apply_delta(&p.delta).map_err(sim_err)?;
     let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+    let wal = Timer::start();
     durable_append(&slot, &mut session, &p.session, version, WalBody::Delta(p.delta))?;
+    spans.wal_ns = wal.elapsed_ns().unwrap_or(0);
     shared.stats.deltas.fetch_add(1, Ordering::Relaxed);
     Ok(Reply::DeltaApplied(proto::DeltaApplied {
         info: session.info(version),
@@ -526,7 +842,7 @@ fn op_delta(shared: &Shared, p: ApplyDelta) -> OpResult {
     }))
 }
 
-fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
+fn op_plan(shared: &Shared, p: PlanParams, spans: &mut ReqSpans) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
     let budget = if p.budget_ms == 0 { DEFAULT_BUDGET } else { Duration::from_millis(p.budget_ms) };
     let policy = shared
@@ -545,9 +861,14 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
     // Committing plans mutate state: no coalescing, straight through.
     if p.commit {
         check_writable(&slot)?;
+        let lock = Timer::start();
         let mut session = slot.session.lock().expect("session lock");
+        spans.lock_wait_ns = lock.observe(&shared.metrics.lock_wait);
+        let compute = Timer::start();
         let result = session.plan(policy.as_ref(), &req, true).map_err(sim_err)?;
+        spans.compute_ns = compute.observe(&shared.metrics.plan_compute);
         let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
+        let wal = Timer::start();
         durable_append(
             &slot,
             &mut session,
@@ -555,6 +876,7 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
             version,
             WalBody::Commit(result.plan.clone()),
         )?;
+        spans.wal_ns = wal.elapsed_ns().unwrap_or(0);
         shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
         shared.stats.plans_computed.fetch_add(1, Ordering::Relaxed);
         return Ok(planned_reply(&p, policy.name(), result, true, version));
@@ -579,28 +901,52 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
 
         // Coalesce: adopt a memoized result or claim the slot.
         let mut cache = slot.cache.lock().expect("plan cache lock");
+        let mut waited: Option<Timer> = None;
         loop {
             match &*cache {
-                PlanCacheState::Ready(k, result) if *k == key => {
-                    let result = result.clone();
+                PlanCacheState::Ready(k, result, leader) if *k == key => {
+                    let (result, leader) = (result.clone(), *leader);
                     drop(cache);
+                    if let Some(w) = waited.take() {
+                        spans.coalesce_wait_ns = w.observe(&shared.metrics.plan_wait);
+                    }
+                    // This reply shares the leader's computation: record
+                    // its trace so a slow follower's record points at
+                    // the span that actually did the work.
+                    spans.coalesced = true;
+                    spans.leader_trace = leader;
+                    shared.metrics.coalesced.inc();
                     shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
                     return Ok(planned_reply(&p, policy.name(), result, false, version));
                 }
-                PlanCacheState::InFlight => {
+                PlanCacheState::InFlight { trace } => {
                     // Someone is computing (this key or another): wait,
-                    // then re-evaluate the cache.
+                    // then re-evaluate the cache. Note whose computation
+                    // this request is parked behind — if it ends up slow,
+                    // the record should name the blocking trace.
+                    spans.leader_trace = *trace;
+                    if waited.is_none() {
+                        waited = Some(Timer::start());
+                    }
                     cache = slot.cache_cv.wait(cache).expect("plan cache lock");
                 }
                 PlanCacheState::Idle | PlanCacheState::Ready(..) => {
-                    *cache = PlanCacheState::InFlight;
+                    *cache = PlanCacheState::InFlight { trace: spans.trace };
+                    spans.leader_trace = 0; // became the leader after all
                     break;
                 }
             }
         }
         drop(cache);
+        if let Some(w) = waited.take() {
+            // Waited out someone else's computation, then became the
+            // leader for this key: the wait still counts.
+            spans.coalesce_wait_ns = w.observe(&shared.metrics.plan_wait);
+        }
 
+        let lock = Timer::start();
         let mut session = slot.session.lock().expect("session lock");
+        spans.lock_wait_ns = lock.observe(&shared.metrics.lock_wait);
         if slot.version.load(Ordering::SeqCst) != version {
             // A delta won the race between keying and locking: release
             // the claim and restart against the fresh version.
@@ -609,13 +955,15 @@ fn op_plan(shared: &Shared, p: PlanParams) -> OpResult {
             slot.cache_cv.notify_all();
             continue;
         }
+        let compute = Timer::start();
         let computed = session.plan(policy.as_ref(), &req, false);
         drop(session);
+        spans.compute_ns = compute.observe(&shared.metrics.plan_compute);
 
         let mut cache = slot.cache.lock().expect("plan cache lock");
         let reply = match computed {
             Ok(result) => {
-                *cache = PlanCacheState::Ready(key, result.clone());
+                *cache = PlanCacheState::Ready(key, result.clone(), spans.trace);
                 shared.stats.plans_served.fetch_add(1, Ordering::Relaxed);
                 shared.stats.plans_computed.fetch_add(1, Ordering::Relaxed);
                 Ok(planned_reply(&p, policy.name(), result, true, version))
@@ -661,27 +1009,71 @@ fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
         (Some(info), durability)
     };
     let s = &shared.stats;
-    let read_only_sessions = {
+    // The per-session table behind `vmr top` must never block behind a
+    // long-running plan: `try_lock` reports a held session as `busy`
+    // with `info: None` instead of waiting.
+    let sessions_detail = {
         let sessions = shared.sessions.lock().expect("session map lock");
-        sessions
-            .values()
-            .filter(|slot| {
-                slot.log.lock().expect("log lock").as_ref().is_some_and(|l| l.read_only().is_some())
+        let mut detail: Vec<SessionDetail> = sessions
+            .iter()
+            .map(|(name, slot)| {
+                let version = slot.version.load(Ordering::SeqCst);
+                let (busy, info) = match slot.session.try_lock() {
+                    Ok(session) => (false, Some(session.info(version))),
+                    Err(_) => (true, None),
+                };
+                let (read_only, durability) = match slot.log.lock().expect("log lock").as_ref() {
+                    Some(l) => (l.read_only().is_some(), Some(l.stats())),
+                    None => (false, None),
+                };
+                SessionDetail { session: name.clone(), version, busy, info, read_only, durability }
             })
-            .count()
+            .collect();
+        detail.sort_by(|a, b| a.session.cmp(&b.session));
+        detail
     };
+    let read_only_sessions = sessions_detail.iter().filter(|d| d.read_only).count();
     Ok(Reply::Stats(StatsReply {
-        sessions: shared.sessions.lock().expect("session map lock").len(),
+        sessions: sessions_detail.len(),
         requests: s.requests.load(Ordering::Relaxed),
         plans_served: s.plans_served.load(Ordering::Relaxed),
         plans_computed: s.plans_computed.load(Ordering::Relaxed),
         deltas: s.deltas.load(Ordering::Relaxed),
         errors: s.errors.load(Ordering::Relaxed),
+        errors_by_code: s.breakdown(),
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        queue_depth: shared.metrics.queue_depth.get().max(0) as u64,
         recoveries: shared.recoveries,
         degraded_sessions: shared.dead.lock().expect("dead map lock").len() + read_only_sessions,
+        sessions_detail,
         session,
         durability,
     }))
+}
+
+/// The `metrics` op: the daemon registry merged with the process-wide
+/// library registry, plus the [`ServerStats`] counters synthesized in so
+/// one export carries the full picture. `prometheus: true` additionally
+/// renders the text exposition.
+fn op_metrics(shared: &Shared, p: MetricsParams) -> OpResult {
+    let mut snapshot = shared.metrics.registry.snapshot();
+    snapshot.merge(vmr_telemetry::global().snapshot());
+    let s = &shared.stats;
+    let mut extra = vmr_telemetry::MetricsSnapshot::default();
+    extra.push_counter("serve_requests", s.requests.load(Ordering::Relaxed));
+    extra.push_counter("serve_plans_served", s.plans_served.load(Ordering::Relaxed));
+    extra.push_counter("serve_plans_computed", s.plans_computed.load(Ordering::Relaxed));
+    extra.push_counter("serve_deltas", s.deltas.load(Ordering::Relaxed));
+    extra.push_counter("serve_errors", s.errors.load(Ordering::Relaxed));
+    extra.push_counter("serve_recoveries", shared.recoveries);
+    extra.push_gauge(
+        "serve_sessions",
+        shared.sessions.lock().expect("session map lock").len() as i64,
+    );
+    extra.push_gauge("serve_uptime_ms", shared.started.elapsed().as_millis() as i64);
+    snapshot.merge(extra);
+    let prometheus = p.prometheus.then(|| snapshot.to_prometheus());
+    Ok(Reply::Metrics(MetricsReply { snapshot, prometheus }))
 }
 
 fn op_snapshot(shared: &Shared, p: SessionRef) -> OpResult {

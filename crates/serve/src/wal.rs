@@ -46,8 +46,32 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use vmr_sim::env::ClusterDelta;
+use vmr_telemetry::{Histogram, Timer};
 
 use crate::proto::{DurabilityStats, SessionSnapshot, WireAction};
+
+/// Optional phase histograms a [`SessionLog`] records into. `Default`
+/// (all `None`) records nothing; the daemon hands every log its
+/// pre-registered `serve_wal_*` handles so append, fsync, and compaction
+/// time show up split out in the `metrics` op.
+#[derive(Clone, Default)]
+pub struct WalMetrics {
+    /// Record encode + file append time (excludes the group-commit
+    /// fsync, which has its own histogram).
+    pub append: Option<Arc<Histogram>>,
+    /// Group-commit fsync time.
+    pub fsync: Option<Arc<Histogram>>,
+    /// Snapshot compaction time (serialize + atomic rename + log swap).
+    pub compact: Option<Arc<Histogram>>,
+}
+
+impl WalMetrics {
+    fn observe(hist: &Option<Arc<Histogram>>, t: Timer) {
+        if let Some(h) = hist {
+            t.observe(h);
+        }
+    }
+}
 
 /// Sanity cap on one record's payload (far above any real delta; a
 /// length field beyond this is treated as corruption, not allocation
@@ -422,6 +446,7 @@ pub struct SessionLog {
     since_snapshot: usize,
     log_bytes: u64,
     read_only: Option<String>,
+    metrics: WalMetrics,
 }
 
 impl std::fmt::Debug for SessionLog {
@@ -462,6 +487,7 @@ impl SessionLog {
             since_snapshot: 0,
             log_bytes: 0,
             read_only: None,
+            metrics: WalMetrics::default(),
         };
         log.write_snapshot_and_reset(snapshot)?;
         Ok(log)
@@ -489,7 +515,14 @@ impl SessionLog {
             since_snapshot: 0,
             log_bytes: 0,
             read_only: Some(reason),
+            metrics: WalMetrics::default(),
         }
+    }
+
+    /// Attaches the daemon's WAL phase histograms (recording is skipped
+    /// while unset, e.g. in unit tests).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 
     /// Why the session refuses mutations, if it does.
@@ -514,6 +547,7 @@ impl SessionLog {
         if let Some(reason) = &self.read_only {
             return Err(io::Error::new(io::ErrorKind::ReadOnlyFilesystem, reason.clone()));
         }
+        let t = Timer::start();
         let lsn = self.appended_lsn + 1;
         let bytes = encode_record(&WalRecord { lsn, body: body.clone() })?;
         let writer = self
@@ -521,6 +555,7 @@ impl SessionLog {
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "log writer missing"))?;
         writer.append(&bytes)?;
+        WalMetrics::observe(&self.metrics.append, t);
         self.appended_lsn = lsn;
         self.log_bytes += bytes.len() as u64;
         self.unsynced += 1;
@@ -540,7 +575,9 @@ impl SessionLog {
             .writer
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "log writer missing"))?;
+        let t = Timer::start();
         writer.sync()?;
+        WalMetrics::observe(&self.metrics.fsync, t);
         self.durable_lsn = self.appended_lsn;
         self.unsynced = 0;
         Ok(())
@@ -575,8 +612,10 @@ impl SessionLog {
         if self.read_only.is_some() || self.since_snapshot < self.snapshot_every {
             return Ok(false);
         }
+        let t = Timer::start();
         self.sync()?;
         self.write_snapshot_and_reset(snapshot)?;
+        WalMetrics::observe(&self.metrics.compact, t);
         Ok(true)
     }
 

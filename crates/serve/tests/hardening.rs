@@ -36,7 +36,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 2. Truncated JSON.
-    writer.write_all(b"{\"v\":4,\"id\":\n").unwrap();
+    writer.write_all(b"{\"v\":5,\"id\":\n").unwrap();
     expect_error(&read_response(&mut reader), codes::BAD_REQUEST);
 
     // 3. Valid JSON, wrong shape.
@@ -56,7 +56,7 @@ fn garbage_lines_get_structured_errors_and_the_connection_survives() {
     // 6. The same connection still serves valid requests.
     writer
         .write_all(
-            b"{\"v\":4,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
+            b"{\"v\":5,\"id\":6,\"op\":{\"CreateSession\":{\"name\":\"s\",\"preset\":\"tiny\",\"seed\":1,\"mnl\":4}}}\n",
         )
         .unwrap();
     let resp = read_response(&mut reader);

@@ -32,8 +32,12 @@ fn empty_stats() -> StatsReply {
         plans_computed: 0,
         deltas: 0,
         errors: 0,
+        errors_by_code: Default::default(),
+        uptime_ms: 0,
+        queue_depth: 0,
         recoveries: 0,
         degraded_sessions: 0,
+        sessions_detail: Vec::new(),
         session: None,
         durability: None,
     }
@@ -77,6 +81,7 @@ impl FlakyServer {
                     let resp = Response {
                         v: PROTO_VERSION,
                         id: req.id,
+                        trace: 0,
                         body: ReplyBody::Ok(Reply::Stats(empty_stats())),
                     };
                     let mut out = serde_json::to_string(&resp).unwrap();

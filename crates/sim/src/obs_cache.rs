@@ -33,6 +33,17 @@ use crate::cluster::{ClusterState, MigrationRecord, SwapRecord};
 use crate::obs::{fill_pm_row, fill_vm_row, Observation, PM_FEAT, VM_FEAT};
 use crate::types::{PmId, VmId};
 
+/// Incremental-repair latency histogram (`sim_obs_repair` in the
+/// process-wide registry): recorded once per stale→fresh rebuild, so the
+/// export shows how often decisions pay a repair and how long it takes.
+fn obs_repair_hist() -> &'static std::sync::Arc<vmr_telemetry::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<vmr_telemetry::Histogram>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        vmr_telemetry::global().histogram("sim_obs_repair", vmr_telemetry::Unit::Nanos)
+    })
+}
+
 /// Per-column `(lo, hi)` snapshot of the PM feature matrix.
 type PmBounds = [(f32, f32); PM_FEAT];
 /// Per-column `(lo, hi)` snapshot of the VM feature matrix.
@@ -460,7 +471,9 @@ impl ObsEngine {
     /// The current normalized observation; rebuilds first if stale.
     pub fn observation(&mut self, state: &ClusterState) -> &Observation {
         if self.stale {
+            let t = vmr_telemetry::Timer::start();
             self.rebuild(state);
+            t.observe(obs_repair_hist());
         }
         &self.obs
     }

@@ -1,0 +1,145 @@
+//! Structured JSONL event log with leveled records.
+//!
+//! One JSON document per line, written atomically under a mutex (event
+//! emission is a cold path — boot, recovery, and requests that crossed
+//! the slow threshold — so a lock is fine). Every record carries a
+//! wall-clock `ts_ms`, a `level`, an `event` name, and arbitrary typed
+//! fields; slow-request records additionally carry the request `trace`
+//! id so a log line correlates with the `metrics` op and client-visible
+//! replies.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde_json::Value;
+
+/// Severity of one event record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Lifecycle events (boot, recovery, session create).
+    Info,
+    /// A request crossed the slow threshold.
+    Warn,
+    /// A request crossed ten times the slow threshold, or a durability
+    /// degradation.
+    Error,
+}
+
+impl Level {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+enum Sink {
+    File(File),
+    Stderr,
+    /// In-memory buffer for tests.
+    Memory(Vec<String>),
+}
+
+/// A shared JSONL event sink.
+pub struct EventLog {
+    sink: Mutex<Sink>,
+}
+
+impl EventLog {
+    /// Appends to (or creates) the file at `path`.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog { sink: Mutex::new(Sink::File(file)) })
+    }
+
+    /// Writes to stderr (the default when only `--slow-ms` is given).
+    pub fn to_stderr() -> Self {
+        EventLog { sink: Mutex::new(Sink::Stderr) }
+    }
+
+    /// Collects lines in memory (for tests).
+    pub fn in_memory() -> Self {
+        EventLog { sink: Mutex::new(Sink::Memory(Vec::new())) }
+    }
+
+    /// Emits one record. Field values are serialized as-is; emission
+    /// never panics on I/O failure (monitoring must not take down the
+    /// daemon).
+    pub fn emit(&self, level: Level, event: &str, fields: &[(&str, Value)]) {
+        let ts_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        let mut line =
+            format!("{{\"ts_ms\":{ts_ms},\"level\":{:?},\"event\":{event:?}", level.as_str());
+        for (key, value) in fields {
+            let encoded = serde_json::to_string(value).unwrap_or_else(|_| "null".to_string());
+            line.push_str(&format!(",{key:?}:{encoded}"));
+        }
+        line.push('}');
+        let mut sink = self.sink.lock().expect("event log lock");
+        match &mut *sink {
+            Sink::File(f) => {
+                let _ = writeln!(f, "{line}");
+            }
+            Sink::Stderr => {
+                let _ = writeln!(io::stderr(), "{line}");
+            }
+            Sink::Memory(buf) => buf.push(line),
+        }
+    }
+
+    /// The lines collected by an [`EventLog::in_memory`] sink (empty for
+    /// other sinks).
+    pub fn lines(&self) -> Vec<String> {
+        match &*self.sink.lock().expect("event log lock") {
+            Sink::Memory(buf) => buf.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn records_are_one_json_line_each() {
+        let log = EventLog::in_memory();
+        log.emit(Level::Warn, "slow_request", &[("trace", json!(42)), ("op", json!("plan"))]);
+        log.emit(Level::Info, "boot", &[]);
+        let lines = log.lines();
+        assert_eq!(lines.len(), 2);
+        let v: Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(v.get("level").and_then(Value::as_str), Some("warn"));
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("slow_request"));
+        assert_eq!(v.get("trace").and_then(Value::as_f64), Some(42.0));
+        assert!(v.get("ts_ms").is_some());
+    }
+
+    #[test]
+    fn file_sink_appends() {
+        let dir = std::env::temp_dir().join(format!("vmr_evlog_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = EventLog::to_file(&path).unwrap();
+            log.emit(Level::Info, "a", &[]);
+        }
+        {
+            let log = EventLog::to_file(&path).unwrap();
+            log.emit(Level::Error, "b", &[("why", json!("disk"))]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"why\":\"disk\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

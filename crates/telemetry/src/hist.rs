@@ -1,0 +1,265 @@
+//! Allocation-free log-linear latency histograms with mergeable buckets.
+//!
+//! The value domain (`u64`, typically nanoseconds) is split into
+//! power-of-two octaves, each divided into [`SUB`] linear sub-buckets, so
+//! every bucket is at most `1/16` of its lower bound wide — quantile
+//! readout is exact rank selection over the bucket counts and lands
+//! within one bucket width (≤ 6.25%) of the true sample quantile. The
+//! layout is fixed at construction: recording touches four relaxed
+//! atomics and never allocates, and two histograms recorded with the same
+//! scheme merge by element-wise bucket addition — the merged counts are
+//! *identical* to a histogram of the concatenated samples (enforced by
+//! `tests/prop_hist.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the linear sub-buckets per octave.
+const SUB_BITS: usize = 4;
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB: usize = 1 << SUB_BITS;
+/// Total buckets: `SUB` exact unit buckets for values below [`SUB`], then
+/// `SUB` per octave for the remaining `64 - SUB_BITS` octaves.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS) * SUB;
+
+/// Bucket index of a value. Values below [`SUB`] get exact unit buckets;
+/// larger values are keyed by (octave, top [`SUB_BITS`] mantissa bits).
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize; // e >= SUB_BITS
+    let sub = ((v >> (e - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (e - SUB_BITS) * SUB + sub
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let oct = (idx - SUB) / SUB + SUB_BITS;
+    let sub = ((idx - SUB) % SUB) as u64;
+    (1u64 << oct) + (sub << (oct - SUB_BITS))
+}
+
+/// Width of a bucket (1 for the exact unit buckets).
+pub fn bucket_width(idx: usize) -> u64 {
+    if idx < SUB {
+        1
+    } else {
+        let oct = (idx - SUB) / SUB + SUB_BITS;
+        1u64 << (oct - SUB_BITS)
+    }
+}
+
+/// What a histogram's values measure — selects the Prometheus rendering
+/// (nanoseconds are exposed as a `_seconds` summary; counts stay raw).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Durations in nanoseconds (the [`crate::Timer`] convention).
+    Nanos,
+    /// Dimensionless counts (batch sizes, plan lengths).
+    Count,
+}
+
+impl Unit {
+    /// Stable wire name (`"ns"` / `"count"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Nanos => "ns",
+            Unit::Count => "count",
+        }
+    }
+}
+
+/// A concurrent log-linear histogram. `record` is lock-free and
+/// allocation-free (four relaxed atomic RMWs); readers take a coherent
+/// enough view for monitoring without stopping writers.
+pub struct Histogram {
+    unit: Unit,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    /// An empty histogram (the full bucket layout is allocated up front;
+    /// nothing allocates after this).
+    pub fn new(unit: Unit) -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, || AtomicU64::new(0));
+        Histogram {
+            unit,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// The histogram's value unit.
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Quantile readout (`0.5` = p50). See [`HistSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// An owned copy of the bucket counts, mergeable and queryable
+    /// without holding the live histogram.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            unit: self.unit,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// The value unit.
+    pub unit: Unit,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Element-wise merge: afterwards `self` is exactly the snapshot a
+    /// single histogram would hold had it recorded both sample streams.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "mismatched histogram layouts");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Exact rank selection over the bucket counts: the value returned is
+    /// the inclusive upper bound of the bucket holding the sample of rank
+    /// `ceil(q * count)` — within one bucket width above the true sample
+    /// quantile, and exact for values below [`SUB`]. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                // Never report past the observed maximum: the top bucket
+                // of a single large sample can be orders of magnitude
+                // wide.
+                return (bucket_lower(idx) + bucket_width(idx) - 1).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        let mut prev_lower = 0u64;
+        for idx in 1..BUCKETS {
+            let lower = bucket_lower(idx);
+            assert!(lower > prev_lower, "bucket {idx} lower bound not monotone");
+            prev_lower = lower;
+        }
+        // Every value maps into the bucket whose range contains it.
+        for v in [0u64, 1, 15, 16, 17, 255, 256, 1_000_000, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            let lower = bucket_lower(idx);
+            assert!(lower <= v, "v={v} below bucket {idx} lower {lower}");
+            assert!(v - lower < bucket_width(idx), "v={v} past bucket {idx} width");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new(Unit::Count);
+        for v in [3u64, 3, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn quantile_is_within_one_bucket_width() {
+        let h = Histogram::new(Unit::Nanos);
+        let mut xs: Vec<u64> = (0..1000).map(|i| (i * i) % 90_007 + 17).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let truth = xs[rank - 1];
+            let got = h.quantile(q);
+            let width = bucket_width(bucket_index(truth));
+            assert!(got >= truth && got - truth <= width, "q={q}: got {got}, truth {truth}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new(Unit::Nanos);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let h = Histogram::new(Unit::Nanos);
+        h.record(1_000_003);
+        assert_eq!(h.quantile(0.999), 1_000_003);
+    }
+}

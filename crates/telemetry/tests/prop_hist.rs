@@ -1,0 +1,111 @@
+//! Histogram-core guarantees: merge exactness, quantile error bounds,
+//! and lock-free concurrent recording.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use vmr_telemetry::hist::{bucket_index, bucket_width, Histogram, Unit};
+
+fn hist_of(xs: &[u64]) -> Histogram {
+    let h = Histogram::new(Unit::Nanos);
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+/// Sample quantile with the same rank convention the histogram uses
+/// (`ceil(q * n)`, 1-based).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// merge(h1, h2) is *exactly* the histogram of the concatenated
+    /// samples: identical bucket layouts make element-wise addition
+    /// lossless, so every quantile of the merged snapshot equals the
+    /// concatenated histogram's quantile — and both land within one
+    /// bucket width of the true sample quantile.
+    #[test]
+    fn merge_quantiles_match_concatenation(
+        xs in proptest::collection::vec(0u64..10_000_000_001, 1..200),
+        ys in proptest::collection::vec(0u64..10_000_000_001, 1..200),
+    ) {
+        let h1 = hist_of(&xs);
+        let h2 = hist_of(&ys);
+        let mut merged = h1.snapshot();
+        merged.merge(&h2.snapshot());
+
+        let mut all: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        let concat = hist_of(&all);
+        all.sort_unstable();
+
+        prop_assert_eq!(merged.count, all.len() as u64);
+        prop_assert_eq!(&merged.buckets, &concat.snapshot().buckets);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let m = merged.quantile(q);
+            // Merged and concatenated agree exactly.
+            prop_assert_eq!(m, concat.quantile(q));
+            // And sit within one bucket width above the true quantile.
+            let truth = true_quantile(&all, q);
+            let width = bucket_width(bucket_index(truth));
+            prop_assert!(m >= truth, "q={}: merged {} below truth {}", q, m, truth);
+            prop_assert!(
+                m - truth <= width,
+                "q={}: merged {} further than one bucket width ({}) from truth {}",
+                q, m, width, truth
+            );
+        }
+    }
+
+    /// Sum/max merge losslessly too.
+    #[test]
+    fn merge_preserves_sum_and_max(
+        xs in proptest::collection::vec(0u64..1_000_001, 0..100),
+        ys in proptest::collection::vec(0u64..1_000_001, 0..100),
+    ) {
+        let mut merged = hist_of(&xs).snapshot();
+        merged.merge(&hist_of(&ys).snapshot());
+        let sum: u64 = xs.iter().chain(ys.iter()).sum();
+        let max = xs.iter().chain(ys.iter()).copied().max().unwrap_or(0);
+        prop_assert_eq!(merged.sum, sum);
+        prop_assert_eq!(merged.max, max);
+    }
+}
+
+/// N threads hammer one histogram; every recorded value must land —
+/// the total count, sum, and per-bucket tallies are deterministic even
+/// though the interleaving is not.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25_000;
+    let h = Arc::new(Histogram::new(Unit::Nanos));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Same value set per thread, visited in different
+                    // orders, so the expected totals are closed-form.
+                    h.record((i.wrapping_mul(t + 1)) % 1000 + 1);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    // All values are in [1, 1000]; the quantiles must be too.
+    for q in [0.5, 0.99, 0.999] {
+        let v = h.quantile(q);
+        assert!((1..=1000 + 63).contains(&v), "quantile {q} out of range: {v}");
+    }
+    assert!(h.max() <= 1000);
+    assert!(h.sum() > 0);
+}

@@ -307,7 +307,7 @@ fn durable_daemon_survives_restart_bit_for_bit() {
     };
 
     // First life: create two sessions, mutate one, commit a plan.
-    let (snap_before, version_before) = {
+    let (snap_before, version_before, requests_before) = {
         let handle = serve(durable(2)).expect("durable daemon");
         let mut client = ServeClient::connect(handle.addr()).expect("connect");
         client.create_session("persist", "tiny", 3, 6).expect("create");
@@ -346,9 +346,22 @@ fn durable_daemon_survives_restart_bit_for_bit() {
         assert!(!dur.read_only);
         assert!(dur.log_bytes > 0, "three records live in the log segment");
 
+        // First life's metrics: request counters have accumulated and
+        // the WAL spans were recorded (default policy fsyncs each
+        // record). The counts anchor the post-restart reset assertions.
+        let m = client.metrics(false).expect("metrics").snapshot;
+        let requests_before = m.counter("serve_requests").expect("request counter");
+        assert!(requests_before >= 6, "create x2 + delta x2 + plan + stats");
+        assert_eq!(m.counter("serve_recoveries"), Some(0));
+        assert!(
+            m.histogram("serve_wal_append").expect("wal span").count >= 3,
+            "three durable records were appended"
+        );
+        assert!(m.histogram("serve_wal_fsync").expect("fsync span").count >= 3);
+
         let snap = client.snapshot("persist").expect("snapshot").snapshot;
         handle.shutdown();
-        (snap, session.version)
+        (snap, session.version, requests_before)
     };
 
     // Second life: same directory, everything must come back.
@@ -369,6 +382,23 @@ fn durable_daemon_survives_restart_bit_for_bit() {
     assert_eq!(dur.snapshot_lsn, version_before, "recovery re-anchors the snapshot");
     assert_eq!(dur.log_bytes, 0, "re-anchored log starts empty");
     assert!(!dur.read_only);
+
+    // Metrics survive recovery the right way around: the per-server
+    // registry is fresh (request counters reset, WAL spans empty until
+    // new appends) while the recovery counter and the durability gauges
+    // above are re-anchored to the recovered LSNs.
+    let m = client.metrics(false).expect("metrics").snapshot;
+    let requests_now = m.counter("serve_requests").expect("request counter");
+    assert!(
+        requests_now < requests_before,
+        "restart must reset request counters ({requests_now} >= {requests_before})"
+    );
+    assert_eq!(m.counter("serve_recoveries"), Some(2), "both sessions recovered");
+    assert_eq!(
+        m.histogram("serve_wal_append").expect("wal span").count,
+        0,
+        "no durable append has happened since the restart"
+    );
 
     let snap_after = client.snapshot("persist").expect("snapshot").snapshot;
     assert_eq!(snap_after, snap_before, "recovered session must be bit-identical");
@@ -392,6 +422,14 @@ fn durable_daemon_survives_restart_bit_for_bit() {
         .apply_delta("persist", ClusterDelta::VmCreate { cpu: 2, mem: 4, numa: NumaPolicy::Single })
         .expect("delta after recovery");
     assert_eq!(d.info.version, version_before + 1);
+
+    // The re-anchored log is instrumented again from zero.
+    let m = client.metrics(false).expect("metrics").snapshot;
+    assert_eq!(
+        m.histogram("serve_wal_append").expect("wal span").count,
+        1,
+        "exactly the post-recovery delta was appended"
+    );
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
