@@ -1,0 +1,12 @@
+// Fixture: atomics orderings outside their allow-lists. Analyzed under
+// a path that is in `a001_seqcst_hot` but NOT in `a001_relaxed_allow`
+// (e.g. crates/sim/src/env.rs): both the Relaxed and the SeqCst uses
+// below must fire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64, gate: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    gate.store(1, Ordering::SeqCst);
+    gate.load(Ordering::SeqCst)
+}

@@ -1,0 +1,10 @@
+// Fixture: orderings A001 accepts everywhere — Acquire/Release/AcqRel
+// need no allow-list. Zero findings expected even in hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn publish(seq: &AtomicU64, data: &AtomicU64) -> u64 {
+    data.store(42, Ordering::Release);
+    seq.fetch_add(1, Ordering::AcqRel);
+    data.load(Ordering::Acquire)
+}

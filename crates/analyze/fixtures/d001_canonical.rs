@@ -1,0 +1,23 @@
+// Fixture: the canonical-order spellings D001 must accept. Analyzed
+// under a plan-producing path; zero findings expected.
+
+fn refine_cross_shard(state: &ClusterState, src: u32) -> Option<Action> {
+    let mut best: Option<(f64, Action)> = None;
+    // `vms_on_sorted` is a different identifier, not a raw access.
+    for vm in state.vms_on_sorted(PmId(src)) {
+        let gain = gain_of(state, vm);
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, Action { vm, pm: PmId(src) }));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    // Raw access in test code is exempt: tests may probe the reverse
+    // index directly.
+    fn probe(state: &ClusterState) {
+        let _ = state.vms_on(PmId(0));
+    }
+}

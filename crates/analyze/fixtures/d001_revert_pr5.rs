@@ -1,0 +1,20 @@
+// Fixture: PR 5's nondeterminism bug, reintroduced. This is the exact
+// shape `refine_cross_shard` had before the canonical-order fix — the
+// candidate walk iterates the raw `vms_on` reverse index, whose order
+// is an artifact of migrate/undo history, so with strict-improvement
+// tie-breaking the chosen plan depends on that hidden order.
+// Analyzed under a plan-producing path (crates/sim/src/shard.rs);
+// D001 must fire on both `vms_on` uses.
+
+fn refine_cross_shard(state: &ClusterState, src: u32) -> Option<Action> {
+    let mut best: Option<(f64, Action)> = None;
+    for &vm in state.vms_on(PmId(src)) {
+        let gain = gain_of(state, vm);
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, Action { vm, pm: PmId(src) }));
+        }
+    }
+    let hosted: Vec<VmId> = state.vms_on(PmId(src)).to_vec();
+    let _ = hosted;
+    best.map(|(_, a)| a)
+}

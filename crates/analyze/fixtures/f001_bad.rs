@@ -1,0 +1,12 @@
+// Fixture: narrowing casts outside the f32 tier boundary. Analyzed
+// under e.g. crates/nn/src/layers.rs — each `as f32` below must fire.
+
+fn embed(features: &[f64]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(features.len());
+    for &f in features {
+        out.push(f as f32);
+    }
+    let scale = (features.len() as f64).sqrt() as f32;
+    out.push(scale);
+    out
+}

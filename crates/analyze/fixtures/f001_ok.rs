@@ -1,0 +1,20 @@
+// Fixture: casts F001 accepts outside the tier boundary. Widening to
+// f64 is lossless for every f32; integer casts are not precision
+// narrowing in the sense this lint polices. Zero findings expected.
+
+fn widen(xs: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in xs {
+        acc += x as f64;
+    }
+    let n = xs.len() as u32;
+    acc / f64::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may narrow freely to build f32 expectations.
+    fn narrow_for_assert(x: f64) -> f32 {
+        x as f32
+    }
+}

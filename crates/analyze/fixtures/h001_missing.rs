@@ -1,0 +1,8 @@
+//! A crate root without `#![forbid(unsafe_code)]`. Analyzed under a
+//! `crates/<x>/src/lib.rs` path — H001 must fire. (Mentioning
+//! forbid(unsafe_code) in a doc comment, as this one does, must not
+//! satisfy the check: it looks for the token sequence in code.)
+
+#![deny(unreachable_pub)]
+
+pub fn entry() {}

@@ -1,0 +1,6 @@
+//! A compliant crate root. Zero H001 findings expected.
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
+pub fn entry() {}

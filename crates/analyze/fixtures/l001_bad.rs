@@ -1,0 +1,18 @@
+// Fixture: file I/O under a held session lock. Analyzed under a serve
+// path — L001 must fire on `File::create` and `sync_all`, both
+// lexically inside the scope that acquired `self.sessions` (so every
+// request touching the table stalls on the disk).
+
+use std::fs::File;
+use std::io::Write;
+
+impl Daemon {
+    fn checkpoint(&self) -> std::io::Result<()> {
+        let guard = self.sessions.lock_recover();
+        let mut f = File::create(&self.snapshot_path)?;
+        f.write_all(&guard.serialize())?;
+        f.sync_all()?;
+        drop(guard);
+        Ok(())
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: the lock-discipline shapes L001 accepts. The rule is
+// lexical — the accepted pattern is a *narrowed block*: snapshot under
+// the lock, do the I/O after the block closes. Locks on non-session
+// state may do I/O freely. Zero findings expected.
+
+use std::fs::File;
+use std::io::Write;
+
+impl Daemon {
+    fn checkpoint(&self) -> std::io::Result<()> {
+        let snapshot = {
+            let guard = self.sessions.lock_recover();
+            guard.serialize()
+        };
+        let mut f = File::create(&self.snapshot_path)?;
+        f.write_all(&snapshot)?;
+        f.sync_all()
+    }
+
+    fn dump_metrics(&self) -> std::io::Result<()> {
+        // Not a session lock: telemetry state, I/O under it is allowed
+        // (still a bad idea, but not this lint's invariant).
+        let guard = self.metrics.lock_recover();
+        let mut f = File::create(&self.metrics_path)?;
+        f.write_all(&guard.render())?;
+        Ok(())
+    }
+}

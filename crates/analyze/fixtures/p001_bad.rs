@@ -1,0 +1,19 @@
+// Fixture: panic vectors in a serve request path. P001 must fire on
+// every unwrap/expect/panicking-macro/unchecked-index below.
+
+fn handle(req: &Request, sessions: &SessionTable) -> Response {
+    let sess = sessions.get(req.session_id).unwrap();
+    let plan = sess.plan.as_ref().expect("plan must exist");
+    if plan.steps.is_empty() {
+        panic!("empty plan");
+    }
+    let first = plan.steps[0];
+    let by_name = req.fields["name"];
+    match req.kind {
+        Kind::Infer => {}
+        _ => unreachable!("unexpected kind"),
+    }
+    assert!(first.vm != by_name.vm, "self-move");
+    assert_eq!(plan.version, req.version);
+    todo!()
+}

@@ -1,0 +1,45 @@
+// Fixture: the error-propagating spellings P001 must accept, plus the
+// syntactic shapes the indexing heuristic must NOT mistake for
+// indexing. Zero findings expected.
+
+fn handle(req: &Request, sessions: &SessionTable) -> Result<Response, ServeError> {
+    // `?` and explicit matches instead of unwrap/expect.
+    let sess = sessions
+        .get(req.session_id)
+        .ok_or(ServeError::UnknownSession(req.session_id))?;
+    let plan = match sess.plan.as_ref() {
+        Some(p) => p,
+        None => return Err(ServeError::NoPlan),
+    };
+    // `.first()` / `.get()` instead of unchecked indexing.
+    let first = plan.steps.first().ok_or(ServeError::EmptyPlan)?;
+
+    // Slice-type syntax: `[` after `&mut` / `&` / `:` is a type, not an
+    // index expression.
+    let _scratch: &mut [u8] = sess.scratch();
+    let _tags: &[u32] = &plan.tags;
+    let _boxed: Box<[f64]> = plan.weights();
+
+    // Array literals and repeat expressions are not indexing.
+    let pair = [first.vm, first.pm];
+    let zeroed = [0u8; 16];
+    let _ = (pair, zeroed);
+
+    // debug_assert* is compiled out of release serving — allowed.
+    debug_assert!(plan.version >= 1);
+    debug_assert_eq!(sess.id, req.session_id);
+
+    Ok(Response::ok(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let arr = vec![1, 2, 3];
+        assert!(arr[0] == 1);
+    }
+}

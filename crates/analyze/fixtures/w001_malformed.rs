@@ -1,0 +1,18 @@
+// Fixture: waiver hygiene. The four comments below are malformed in
+// four distinct ways — each must produce a W001 — and the valid waiver
+// at the end excuses nothing, so it must produce a W002.
+
+// vmr-analyze: allow(P001)
+fn missing_reason() {}
+
+// vmr-analyze: allow(P001) reason=""
+fn empty_reason() {}
+
+// vmr-analyze: allow(Q999) reason="no such lint"
+fn unknown_id() {}
+
+// vmr-analyze: forgive(P001) reason="wrong verb"
+fn wrong_verb() {}
+
+// vmr-analyze: allow(D001) reason="stale: nothing on the next line trips D001"
+fn stale_waiver() {}

@@ -1,0 +1,141 @@
+//! The committed findings baseline.
+//!
+//! `analyze-baseline.json` at the workspace root records findings that
+//! were reviewed and accepted wholesale at a point in time. Under
+//! `--deny`, baselined findings report but don't fail; anything *new*
+//! does. The baseline is keyed by `(lint, path, trimmed line text)` —
+//! not line numbers — so unrelated edits that shift lines don't churn
+//! it, while editing the offending line itself (or adding a second
+//! identical offense) surfaces as new. This workspace's baseline is
+//! committed empty: every real finding was either fixed or waived
+//! inline in this PR, and the mechanism exists so a future emergency
+//! landing can baseline instead of waiving forever.
+
+use crate::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One accepted finding class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Lint id, e.g. `"P001"`.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed text of the offending line.
+    pub key: String,
+    /// How many findings with this (lint, path, key) are accepted.
+    pub count: u32,
+}
+
+/// The baseline file contents.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Accepted finding classes, sorted by (path, lint, key).
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the JSON baseline format.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("malformed baseline: {e}"))
+    }
+
+    /// Renders the baseline back to its committed JSON form.
+    pub fn to_json(&self) -> String {
+        // Serialization of this tree cannot fail; fall back to the
+        // empty document rather than panicking an analysis run.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{\"entries\":[]}".to_string())
+    }
+
+    /// Marks findings covered by the baseline, consuming counts in
+    /// order. Waived findings don't consume baseline budget.
+    pub fn apply(&self, findings: &mut [Finding]) {
+        let mut budget: HashMap<(&str, &str, &str), u32> = HashMap::new();
+        for e in &self.entries {
+            *budget.entry((e.lint.as_str(), e.path.as_str(), e.key.as_str())).or_insert(0) +=
+                e.count;
+        }
+        for f in findings {
+            if f.waived {
+                continue;
+            }
+            if let Some(n) = budget.get_mut(&(f.lint.as_str(), f.path.as_str(), f.snippet.as_str()))
+            {
+                if *n > 0 {
+                    *n -= 1;
+                    f.baselined = true;
+                }
+            }
+        }
+    }
+
+    /// Builds a baseline accepting every current non-waived finding.
+    pub fn capture(findings: &[Finding]) -> Self {
+        let mut counts: HashMap<(String, String, String), u32> = HashMap::new();
+        for f in findings.iter().filter(|f| !f.waived) {
+            *counts.entry((f.lint.clone(), f.path.clone(), f.snippet.clone())).or_insert(0) += 1;
+        }
+        let mut entries: Vec<BaselineEntry> = counts
+            .into_iter()
+            .map(|((lint, path, key), count)| BaselineEntry { lint, path, key, count })
+            .collect();
+        entries.sort_by(|a, b| (&a.path, &a.lint, &a.key).cmp(&(&b.path, &b.lint, &b.key)));
+        Baseline { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            lint: lint.to_string(),
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+            waived: false,
+            waive_reason: None,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn baseline_consumes_counts_in_order() {
+        let bl = Baseline {
+            entries: vec![BaselineEntry {
+                lint: "P001".into(),
+                path: "a.rs".into(),
+                key: "x.unwrap()".into(),
+                count: 1,
+            }],
+        };
+        let mut fs =
+            vec![finding("P001", "a.rs", "x.unwrap()"), finding("P001", "a.rs", "x.unwrap()")];
+        bl.apply(&mut fs);
+        assert!(fs[0].baselined);
+        assert!(!fs[1].baselined, "second identical finding is new");
+    }
+
+    #[test]
+    fn capture_then_apply_roundtrip() {
+        let fs = vec![
+            finding("D001", "b.rs", "for v in state.vms_on(pm)"),
+            finding("D001", "b.rs", "for v in state.vms_on(pm)"),
+            finding("F001", "c.rs", "x as f32"),
+        ];
+        let bl = Baseline::capture(&fs);
+        let reparsed = Baseline::from_json(&bl.to_json()).unwrap();
+        let mut fs2 = fs.clone();
+        reparsed.apply(&mut fs2);
+        assert!(fs2.iter().all(|f| f.baselined));
+    }
+
+    #[test]
+    fn empty_json_is_empty_baseline() {
+        let bl = Baseline::from_json("{\"entries\": []}").unwrap();
+        assert!(bl.entries.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Lint scoping configuration.
+//!
+//! Every lint is scoped to the paths where its invariant actually
+//! holds; the scope lists are part of the reviewed configuration (this
+//! file), not per-file annotations, so widening or narrowing a lint's
+//! reach shows up in diffs here. Paths are workspace-relative with
+//! forward slashes; an entry ending in `/` is a prefix, otherwise an
+//! exact file match.
+
+/// Scope configuration for all lints.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// D001: plan-producing modules where raw `vms_on`/HashMap
+    /// iteration order can leak into emitted plans.
+    pub d001_paths: Vec<String>,
+    /// P001: vmr-serve request-path modules bound by the zero-panic
+    /// contract. `client.rs` is deliberately absent: it is a
+    /// client-side test/tooling library whose process is not the
+    /// daemon.
+    pub p001_paths: Vec<String>,
+    /// A001: files allowed to use `Ordering::Relaxed` (telemetry
+    /// counters and other monotone stats whose readers tolerate
+    /// staleness).
+    pub a001_relaxed_allow: Vec<String>,
+    /// A001: hot-path files where `SeqCst` (a full fence on every
+    /// access) is flagged — use Acquire/Release or move the atomic out
+    /// of the loop.
+    pub a001_seqcst_hot: Vec<String>,
+    /// F001: crates participating in the f32/f64 precision-tier scheme.
+    pub f001_paths: Vec<String>,
+    /// F001: the tier-boundary files where narrowing `as f32` casts are
+    /// the point (cast-once weight mirrors and f32 kernels).
+    pub f001_tier_files: Vec<String>,
+    /// L001: crates holding session locks around durable state.
+    pub l001_paths: Vec<String>,
+}
+
+/// Does `path` fall under any scope entry?
+pub fn in_scope(path: &str, scopes: &[String]) -> bool {
+    scopes.iter().any(|s| if s.ends_with('/') { path.starts_with(s.as_str()) } else { path == s })
+}
+
+fn v(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+impl Config {
+    /// The scope map for this workspace. Rationale for each exclusion
+    /// lives in ARCHITECTURE.md's lint catalog.
+    pub fn workspace_default() -> Self {
+        Config {
+            d001_paths: v(&[
+                "crates/baselines/src/",
+                "crates/solver/src/",
+                "crates/sim/src/shard.rs",
+                "crates/sim/src/env.rs",
+                "crates/sim/src/migration.rs",
+                "crates/sim/src/scheduler.rs",
+                "crates/sim/src/interference.rs",
+                "crates/serve/src/policies.rs",
+            ]),
+            p001_paths: v(&[
+                "crates/serve/src/server.rs",
+                "crates/serve/src/proto.rs",
+                "crates/serve/src/session.rs",
+                "crates/serve/src/wal.rs",
+                "crates/serve/src/policies.rs",
+                "crates/serve/src/recovery.rs",
+                "crates/serve/src/batch.rs",
+            ]),
+            a001_relaxed_allow: v(&[
+                "crates/telemetry/src/",
+                "crates/serve/src/server.rs",
+                "crates/serve/src/batch.rs",
+                "crates/sim/src/shard.rs",
+                "crates/solver/src/pop.rs",
+            ]),
+            a001_seqcst_hot: v(&["crates/sim/src/", "crates/nn/src/", "crates/serve/src/batch.rs"]),
+            f001_paths: v(&["crates/nn/src/", "crates/core/src/", "crates/rl/src/"]),
+            f001_tier_files: v(&[
+                "crates/nn/src/kernels_f32.rs",
+                "crates/nn/src/tensor32.rs",
+                "crates/nn/src/infer32.rs",
+                "crates/nn/src/layers_f32.rs",
+            ]),
+            l001_paths: v(&["crates/serve/src/"]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_exact_matching() {
+        let scopes = v(&["crates/sim/src/", "crates/serve/src/policies.rs"]);
+        assert!(in_scope("crates/sim/src/env.rs", &scopes));
+        assert!(in_scope("crates/serve/src/policies.rs", &scopes));
+        assert!(!in_scope("crates/serve/src/server.rs", &scopes));
+        assert!(!in_scope("crates/sim/tests/prop_cluster.rs", &scopes));
+    }
+}

@@ -1,0 +1,412 @@
+//! A total, hand-rolled Rust lexer.
+//!
+//! "Total" means every byte sequence lexes: unknown bytes become
+//! [`TokenKind::Unknown`] tokens instead of errors, and the produced
+//! token spans partition the input exactly — concatenating
+//! `&src[t.start..t.end]` over all tokens reproduces the source
+//! byte-identically (enforced by the round-trip proptest over random
+//! inputs and every real workspace file). The lints only need faithful
+//! *classification* of comments, strings, identifiers, and punctuation;
+//! they never need a parse tree, so this stays a few hundred lines with
+//! no crates.io dependency — the same precedent as the `serde_derive`
+//! shim's hand-parsed token streams.
+//!
+//! Classification corner cases handled: nested block comments, raw
+//! strings with arbitrary `#` counts (`r##"..."##`), byte and byte-raw
+//! strings, char literals vs. lifetimes (`'a'` vs `'a`), escapes inside
+//! char/string literals, and numeric literals that stop before `..`
+//! range punctuation.
+
+/// What a token is. Only the classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Whitespace run.
+    Ws,
+    /// `// ...` to end of line (including `///` and `//!` doc forms).
+    LineComment,
+    /// `/* ... */`, nesting tracked (an unterminated comment runs to
+    /// end of input).
+    BlockComment,
+    /// Identifier or keyword (also raw `r#ident`).
+    Ident,
+    /// `'lifetime` (not a char literal).
+    Lifetime,
+    /// `'c'` char or `b'c'` byte literal.
+    CharLit,
+    /// `"..."` / `b"..."` (escape-aware) or `r"..."` / `br#"..."#` raw
+    /// forms (an unterminated literal runs to end of input).
+    StrLit,
+    /// Numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// A single punctuation byte (`::` is two `Punct` tokens).
+    Punct,
+    /// Any byte that starts none of the above.
+    Unknown,
+}
+
+/// One token: a classification plus the byte span and 1-based line of
+/// its first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What this span lexed as.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Is `b` an identifier-start byte? Non-ASCII bytes count so that
+/// multi-byte unicode identifiers (and any stray multi-byte text) stay
+/// glued into one token rather than splitting mid-character.
+fn ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn ident_continue(b: u8) -> bool {
+    ident_start(b) || b.is_ascii_digit()
+}
+
+/// The lexer state over raw bytes.
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"`-terminated body honoring `\` escapes. The opening
+    /// quote is already consumed.
+    fn quoted_body(&mut self, quote: u8) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump_n(2);
+            } else if b == quote {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a raw-string body `#*" ... "#*`. `self.pos` sits on the
+    /// first `#` or the opening quote. Returns false if this is not
+    /// actually a raw string opener (caller falls back to ident).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(hashes + 1);
+        // Scan for `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' {
+                let mut k = 0;
+                while k < hashes && self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.bump_n(hashes);
+                    return true;
+                }
+            }
+        }
+        true // unterminated: runs to EOF
+    }
+
+    /// Lexes one token starting at `self.pos` (not at EOF).
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+                self.bump();
+            }
+            return TokenKind::Ws;
+        }
+        // Comments.
+        if b == b'/' && self.peek(1) == Some(b'/') {
+            while self.peek(0).is_some_and(|b| b != b'\n') {
+                self.bump();
+            }
+            return TokenKind::LineComment;
+        }
+        if b == b'/' && self.peek(1) == Some(b'*') {
+            self.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (self.peek(0), self.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        self.bump_n(2);
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        self.bump_n(2);
+                    }
+                    (Some(_), _) => self.bump(),
+                    (None, _) => break,
+                }
+            }
+            return TokenKind::BlockComment;
+        }
+        // Raw strings / raw identifiers / byte strings — before plain
+        // identifiers so the `r`/`b` prefixes classify right.
+        if b == b'r' || b == b'b' {
+            // br"..." / br#"..."#
+            if b == b'b' && self.peek(1) == Some(b'r') {
+                let save = (self.pos, self.line);
+                self.bump_n(2);
+                if self.raw_string() {
+                    return TokenKind::StrLit;
+                }
+                (self.pos, self.line) = save;
+            }
+            // b"..."
+            if b == b'b' && self.peek(1) == Some(b'"') {
+                self.bump_n(2);
+                self.quoted_body(b'"');
+                return TokenKind::StrLit;
+            }
+            // b'c'
+            if b == b'b' && self.peek(1) == Some(b'\'') {
+                self.bump_n(2);
+                self.quoted_body(b'\'');
+                return TokenKind::CharLit;
+            }
+            // r"..." / r#"..."# / r#ident
+            if b == b'r' {
+                if self.peek(1) == Some(b'"') || self.peek(1) == Some(b'#') {
+                    let save = (self.pos, self.line);
+                    self.bump();
+                    if self.raw_string() {
+                        return TokenKind::StrLit;
+                    }
+                    (self.pos, self.line) = save;
+                }
+                if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(ident_start) {
+                    self.bump_n(3);
+                    while self.peek(0).is_some_and(ident_continue) {
+                        self.bump();
+                    }
+                    return TokenKind::Ident;
+                }
+            }
+        }
+        // Identifiers / keywords.
+        if ident_start(b) {
+            while self.peek(0).is_some_and(ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Ident;
+        }
+        // Strings.
+        if b == b'"' {
+            self.bump();
+            self.quoted_body(b'"');
+            return TokenKind::StrLit;
+        }
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            // `'\...'` is always a char; `'x'` is a char; `'x` (no
+            // closing quote after one identifier run) is a lifetime.
+            if self.peek(1) == Some(b'\\') {
+                self.bump();
+                self.quoted_body(b'\'');
+                return TokenKind::CharLit;
+            }
+            if self.peek(1).is_some_and(ident_start) {
+                let mut k = 2;
+                while self.peek(k).is_some_and(ident_continue) {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'\'') {
+                    self.bump_n(k + 1);
+                    return TokenKind::CharLit;
+                }
+                self.bump_n(k);
+                return TokenKind::Lifetime;
+            }
+            if self.peek(1).is_some() && self.peek(2) == Some(b'\'') {
+                self.bump_n(3);
+                return TokenKind::CharLit;
+            }
+            self.bump();
+            return TokenKind::Punct;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            // Base prefix consumes any alphanumeric run (hex digits,
+            // suffixes, `_` separators).
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            // Fractional part only when `.` is followed by a digit —
+            // `0..10` must leave the range dots alone. A trailing `1.`
+            // (legal Rust) lexes as NumLit + Punct('.'), which is fine:
+            // spans still partition the source.
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+                while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                    self.bump();
+                }
+            }
+            // Exponent sign (`1e-5`): the alphanumeric runs above stop
+            // at `-`/`+`.
+            if self.peek(0) == Some(b'-') || self.peek(0) == Some(b'+') {
+                let prev = self.src[self.pos - 1];
+                if (prev == b'e' || prev == b'E')
+                    && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.bump();
+                    while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                        self.bump();
+                    }
+                }
+            }
+            return TokenKind::NumLit;
+        }
+        // Single-byte punctuation (multi-byte operators come out as
+        // adjacent Punct tokens; the rules match sequences).
+        if b.is_ascii_punctuation() {
+            self.bump();
+            return TokenKind::Punct;
+        }
+        self.bump();
+        TokenKind::Unknown
+    }
+}
+
+/// Lexes `src` into a token stream whose spans partition the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::with_capacity(src.len() / 4 + 8);
+    while lx.pos < lx.src.len() {
+        let start = lx.pos;
+        let line = lx.line;
+        let kind = lx.next_kind();
+        debug_assert!(lx.pos > start, "lexer must make progress");
+        out.push(Token { kind, start, end: lx.pos, line });
+    }
+    out
+}
+
+/// Re-emits a token stream against its source. Byte-identity with the
+/// source is the lexer's partitioning invariant.
+pub fn reemit(src: &str, tokens: &[Token]) -> String {
+    let mut out = String::with_capacity(src.len());
+    for t in tokens {
+        out.push_str(t.text(src));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Ws)
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        for src in [
+            "fn main() { let x = a.unwrap(); }",
+            "let s = \"a \\\" quote // not a comment\";",
+            "let r = r#\"raw \" body\"#; let rr = r##\"x\"# y\"##;",
+            "let b = b\"bytes\"; let br = br#\"raw bytes\"#;",
+            "let c = 'x'; let esc = '\\''; let lt: &'static str = \"\";",
+            "/* nested /* comment */ still */ fn f() {}",
+            "// line comment\nlet n = 0..10; let f = 1.5e-3_f64; let h = 0xFF_u8;",
+            "let r#type = 1; 'label: loop { break 'label; }",
+            "let trailing = 1.;",
+            "unicode: let déjà = \"vu\";",
+        ] {
+            assert_eq!(reemit(src, &lex(src)), src, "roundtrip failed for {src:?}");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let k = kinds("a.unwrap() // c\n'l 'c' \"s\" 1.5 r#\"x\"#");
+        assert_eq!(k[0], (TokenKind::Ident, "a"));
+        assert_eq!(k[1], (TokenKind::Punct, "."));
+        assert_eq!(k[2], (TokenKind::Ident, "unwrap"));
+        assert_eq!(k[5], (TokenKind::LineComment, "// c"));
+        assert_eq!(k[6], (TokenKind::Lifetime, "'l"));
+        assert_eq!(k[7], (TokenKind::CharLit, "'c'"));
+        assert_eq!(k[8], (TokenKind::StrLit, "\"s\""));
+        assert_eq!(k[9], (TokenKind::NumLit, "1.5"));
+        assert_eq!(k[10], (TokenKind::StrLit, "r#\"x\"#"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Lint-relevant tokens inside literals must not surface as
+        // idents — this is what keeps config tables (which *name*
+        // `vms_on`, `unwrap`, `Relaxed` in strings) from self-flagging.
+        let src = "let s = \"state.vms_on(pm).unwrap() Ordering::Relaxed\";";
+        let idents: Vec<&str> =
+            lex(src).iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src)).collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\n  c";
+        let t = lex(src);
+        let lines: Vec<(u32, &str)> = t
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text(src)))
+            .collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof() {
+        for src in ["\"open", "r#\"open", "/* open", "'\\", "b\"open"] {
+            assert_eq!(reemit(src, &lex(src)), src);
+        }
+    }
+}

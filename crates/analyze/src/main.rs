@@ -1,0 +1,154 @@
+//! The `vmr-analyze` binary.
+//!
+//! ```text
+//! vmr-analyze [ROOT] [--deny] [--json] [--quiet] [--list]
+//!             [--baseline PATH] [--update-baseline] [--max-ms N]
+//! ```
+//!
+//! Exit codes: 0 = clean (all findings waived or baselined), 1 = new
+//! findings under `--deny` or `--max-ms` exceeded, 2 = usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use vmr_analyze::baseline::Baseline;
+use vmr_analyze::config::Config;
+use vmr_analyze::report::Report;
+use vmr_analyze::{analyze_workspace, CATALOG};
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    json: bool,
+    quiet: bool,
+    list: bool,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    max_ms: Option<u64>,
+}
+
+fn usage() -> String {
+    "usage: vmr-analyze [ROOT] [--deny] [--json] [--quiet] [--list]\n\
+     \x20                  [--baseline PATH] [--update-baseline] [--max-ms N]\n\
+     \n\
+     ROOT defaults to the current directory; the baseline defaults to\n\
+     ROOT/analyze-baseline.json when that file exists."
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        json: false,
+        quiet: false,
+        list: false,
+        baseline: None,
+        update_baseline: false,
+        max_ms: None,
+    };
+    let mut root_set = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--quiet" => args.quiet = true,
+            "--list" => args.list = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a path")?;
+                args.baseline = Some(PathBuf::from(p));
+            }
+            "--max-ms" => {
+                let n = it.next().ok_or("--max-ms requires a number")?;
+                args.max_ms = Some(n.parse().map_err(|_| format!("invalid --max-ms value `{n}`"))?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') && !root_set => {
+                args.root = PathBuf::from(other);
+                root_set = true;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    if args.list {
+        for (id, desc) in CATALOG {
+            println!("{id}  {desc}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cfg = Config::workspace_default();
+    let started = Instant::now();
+    let analysis =
+        analyze_workspace(&args.root, &cfg).map_err(|e| format!("workspace walk failed: {e}"))?;
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    let baseline_path =
+        args.baseline.clone().unwrap_or_else(|| args.root.join("analyze-baseline.json"));
+    let mut findings = analysis.findings;
+
+    if args.update_baseline {
+        let bl = Baseline::capture(&findings);
+        std::fs::write(&baseline_path, bl.to_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!("vmr-analyze: wrote {} ({} entries)", baseline_path.display(), bl.entries.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        Baseline::from_json(&text)?.apply(&mut findings);
+    } else if args.baseline.is_some() {
+        return Err(format!("baseline {} not found", baseline_path.display()));
+    }
+
+    let report = Report::new(analysis.files, findings, elapsed_ms);
+    if args.json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.human(args.quiet));
+    }
+
+    if let Some(max) = args.max_ms {
+        if elapsed_ms > max {
+            eprintln!("vmr-analyze: analysis took {elapsed_ms} ms, budget is {max} ms");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    if args.deny && report.summary.new > 0 {
+        eprintln!(
+            "vmr-analyze: {} new finding(s) — fix, waive inline with a reason, or baseline",
+            report.summary.new
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("vmr-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

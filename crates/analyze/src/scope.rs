@@ -1,0 +1,182 @@
+//! Scope tracking over a lexed file.
+//!
+//! The lints need three questions answered that raw tokens can't:
+//! which tokens are *significant* (not whitespace or comments), which
+//! byte ranges are *test code* (`#[cfg(test)] mod` bodies and `#[test]`
+//! fn bodies — exempt from the production-invariant lints), and what
+//! the *brace depth* is at each significant token (L001 uses it to
+//! bound "while the session lock is held" to the enclosing block).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Derived structure for one file: the significant-token view plus
+/// test-range and depth information.
+pub struct FileScope {
+    /// Indices into the token slice of non-whitespace, non-comment
+    /// tokens, in order.
+    pub sig: Vec<usize>,
+    /// Brace depth at each significant token (depth *before* the token
+    /// itself is processed, so a `{` sees the depth outside it).
+    pub depth: Vec<u32>,
+    /// Byte ranges (start inclusive, end exclusive) covered by
+    /// `#[cfg(test)]` / `#[test]` item bodies.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileScope {
+    /// Is the byte offset inside a test-gated item body?
+    pub fn is_test(&self, byte: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+}
+
+/// Does an outer attribute's ident list mark a test item? `#[test]` and
+/// `#[cfg(test)]` (and `#[cfg(all(test, ...))]`) do; `#[cfg(not(test))]`
+/// is production code and must NOT be exempted — the presence of `not`
+/// anywhere in the attribute vetoes the exemption (conservatively, since
+/// the lexer does not build a cfg-predicate tree).
+fn attr_is_test(idents: &[&str]) -> bool {
+    idents.contains(&"test") && !idents.contains(&"not")
+}
+
+/// Builds the [`FileScope`] for a token stream.
+pub fn build(src: &str, tokens: &[Token]) -> FileScope {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(t.kind, TokenKind::Ws | TokenKind::LineComment | TokenKind::BlockComment)
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut depth = 0u32;
+    let mut depths = Vec::with_capacity(sig.len());
+    let mut test_ranges = Vec::new();
+    // An outer test attribute arms `pending`; the next `{` at item level
+    // opens the test body, a `;` (body-less item) disarms it.
+    let mut pending = false;
+    // Depth at which the current (outermost) test body opened.
+    let mut open_at: Option<(u32, usize)> = None;
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = &tokens[sig[i]];
+        depths.push(depth);
+        let txt = t.text(src);
+        match (t.kind, txt) {
+            // Outer attribute `#[...]`: scan its idents for test markers.
+            // Inner attributes (`#![...]`) never gate items below them.
+            (TokenKind::Punct, "#")
+                if sig.get(i + 1).is_some_and(|&j| tokens[j].text(src) == "[") =>
+            {
+                let mut idents = Vec::new();
+                let mut brackets = 0i32;
+                let mut j = i + 1;
+                while j < sig.len() {
+                    // The attribute itself contributes no brace depth,
+                    // but the depths vector must stay aligned with sig.
+                    depths.push(depth);
+                    let a = &tokens[sig[j]];
+                    match a.text(src) {
+                        "[" => brackets += 1,
+                        "]" => {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        }
+                        _ if a.kind == TokenKind::Ident => idents.push(a.text(src)),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if attr_is_test(&idents) && open_at.is_none() {
+                    pending = true;
+                }
+                i = j + 1;
+                continue;
+            }
+            (TokenKind::Punct, "{") => {
+                if pending && open_at.is_none() {
+                    open_at = Some((depth, t.start));
+                }
+                pending = false;
+                depth += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                if let Some((d, start)) = open_at {
+                    if depth == d {
+                        test_ranges.push((start, t.end));
+                        open_at = None;
+                    }
+                }
+            }
+            (TokenKind::Punct, ";") => pending = false,
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unterminated test body (unbalanced braces): runs to end of file.
+    if let Some((_, start)) = open_at {
+        test_ranges.push((start, src.len()));
+    }
+    debug_assert_eq!(depths.len(), sig.len());
+    FileScope { sig, depth: depths, test_ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scope(src: &str) -> (Vec<crate::lexer::Token>, FileScope) {
+        let toks = lex(src);
+        let sc = build(src, &toks);
+        (toks, sc)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_range() {
+        let src =
+            "fn prod() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\nfn prod2() {}";
+        let (_, sc) = scope(src);
+        let a = src.find("a()").unwrap();
+        let b = src.find("b()").unwrap();
+        let p2 = src.find("prod2").unwrap();
+        assert!(!sc.is_test(a));
+        assert!(sc.is_test(b));
+        assert!(!sc.is_test(p2));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))]\nfn prod() { a(); }";
+        let (_, sc) = scope(src);
+        assert!(!sc.is_test(src.find("a()").unwrap()));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[allow(dead_code)]\nfn t() { x(); }\nfn p() { y(); }";
+        let (_, sc) = scope(src);
+        assert!(sc.is_test(src.find("x()").unwrap()));
+        assert!(!sc.is_test(src.find("y()").unwrap()));
+    }
+
+    #[test]
+    fn bodyless_item_disarms() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn p() { z(); }";
+        let (_, sc) = scope(src);
+        assert!(!sc.is_test(src.find("z()").unwrap()));
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let src = "fn f() { if x { y(); } }";
+        let (toks, sc) = scope(src);
+        let yi = sc.sig.iter().position(|&j| toks[j].text(src) == "y").unwrap();
+        assert_eq!(sc.depth[yi], 2);
+    }
+}

@@ -14,6 +14,7 @@
 //! | Extension (§8) | Swap-aware local search | [`swap`] |
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod decima;

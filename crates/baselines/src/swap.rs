@@ -233,7 +233,10 @@ fn swap_candidates(
     });
     let mut out = Vec::with_capacity(limit);
     for pm_idx in pm_order {
-        for &vm in state.vms_on(PmId(pm_idx as u32)) {
+        // Ascending-id order within each PM: `out` is truncated at
+        // `limit`, so which VMs make the candidate set would otherwise
+        // depend on the reverse index's migration-history order.
+        for &vm in &state.vms_on_sorted(PmId(pm_idx as u32)) {
             if constraints.is_pinned(vm) {
                 continue;
             }
@@ -264,7 +267,7 @@ fn violates_affinity_after_swap(
     let conflict = |vm: VmId, dest: PmId, leaving: VmId| {
         let mine = constraints.conflicts_of(vm);
         state
-            .vms_on(dest)
+            .vms_on(dest) // vmr-analyze: allow(D001) reason="order-insensitive membership test; `any` over an unordered set"
             .iter()
             .any(|&other| other != vm && other != leaving && mine.contains(&other))
     };

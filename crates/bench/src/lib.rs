@@ -19,6 +19,7 @@
 //! under `results/`.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod cli;

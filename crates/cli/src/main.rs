@@ -21,6 +21,8 @@
 //! Every command prints human-readable output to stdout; `--json` switches
 //! plan output to machine-readable JSON.
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use std::process::ExitCode;
@@ -1157,8 +1159,8 @@ fn render_top(
     }
     println!();
     println!(
-        "{:<18} {:>8} {:>6} {:>6} {:>8}  {:>9} {:>9}  {}",
-        "session", "version", "pms", "vms", "FR", "lsn", "durable", "flags"
+        "{:<18} {:>8} {:>6} {:>6} {:>8}  {:>9} {:>9}  flags",
+        "session", "version", "pms", "vms", "FR", "lsn", "durable"
     );
     for d in &stats.sessions_detail {
         let (pms, vms, fr) = match &d.info {

@@ -20,7 +20,7 @@ use vmr_nn::graph::{Graph, Var};
 use vmr_nn::infer::{FVar, FwdCtx, TreeGroups};
 use vmr_nn::infer32::{FVar32, FwdCtx32};
 use vmr_nn::layers::{FeedForward, Linear, Mlp, Module, MultiHeadAttention};
-use vmr_nn::layers::{FeedForward32, Linear32, Mlp32, MultiHeadAttention32};
+use vmr_nn::layers_f32::{FeedForward32, Linear32, Mlp32, MultiHeadAttention32};
 use vmr_nn::tensor::Tensor;
 use vmr_nn::tensor32::Tensor32;
 use vmr_sim::obs::{PM_FEAT, VM_FEAT};
@@ -644,11 +644,13 @@ impl Vmr2lModelF32 {
         for (pm, vm) in items {
             let d = ctx.value_mut(pm_in).data_mut();
             for (dst, &src) in d[pr * PM_FEAT..pr * PM_FEAT + pm.len()].iter_mut().zip(pm.data()) {
+                // vmr-analyze: allow(F001) reason="cast-once staging of f64 features into the f32 tier's input buffer"
                 *dst = src as f32;
             }
             pr += pm.rows();
             let d = ctx.value_mut(vm_in).data_mut();
             for (dst, &src) in d[vr * VM_FEAT..vr * VM_FEAT + vm.len()].iter_mut().zip(vm.data()) {
+                // vmr-analyze: allow(F001) reason="cast-once staging of f64 features into the f32 tier's input buffer"
                 *dst = src as f32;
             }
             vr += vm.rows();

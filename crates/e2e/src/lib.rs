@@ -1,3 +1,6 @@
 //! Umbrella crate: registers the repo-level `tests/` suites and
 //! `examples/` as cargo targets. No library code of its own — see the
 //! `[[test]]` and `[[example]]` sections of this package's `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]

@@ -44,6 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod adapter;
@@ -54,6 +55,7 @@ pub mod infer32;
 pub mod kernels;
 pub mod kernels_f32;
 pub mod layers;
+pub mod layers_f32;
 pub mod lora;
 pub mod optim;
 pub mod tensor;
@@ -65,7 +67,7 @@ pub use graph::{Graph, Var, MASK_OFF};
 pub use infer::{FVar, FwdCtx, TreeGroups};
 pub use infer32::{FVar32, FwdCtx32};
 pub use layers::{AttentionOut, FeedForward, LayerNorm, Linear, Mlp, Module, MultiHeadAttention};
-pub use layers::{FeedForward32, LayerNorm32, Linear32, Mlp32, MultiHeadAttention32};
+pub use layers_f32::{FeedForward32, LayerNorm32, Linear32, Mlp32, MultiHeadAttention32};
 pub use lora::LoraLinear;
 pub use optim::{Adam, AdamConfig};
 pub use tensor::Tensor;

@@ -10,6 +10,7 @@
 //! * [`schedule`] — linear hyper-parameter schedules.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod buffer;

@@ -27,6 +27,8 @@ use vmr_core::model::{Vmr2lModel, Vmr2lModelF32};
 use vmr_nn::tensor::Tensor;
 use vmr_nn::tensor32::Tensor32;
 
+use crate::sync::LockExt;
+
 /// Default leader wait for peers (only paid when ≥ 2 plans are active).
 pub const DEFAULT_WINDOW: Duration = Duration::from_micros(500);
 
@@ -107,7 +109,7 @@ pub struct PlanGuard<'a> {
 
 impl Drop for PlanGuard<'_> {
     fn drop(&mut self) {
-        let mut inner = self.batcher.inner.lock().expect("batcher lock");
+        let mut inner = self.batcher.inner.lock_recover();
         inner.active -= 1;
         drop(inner);
         // A leader may be waiting for this plan's next submission.
@@ -130,7 +132,7 @@ impl EmbedBatcher {
 
     /// Marks a plan as in flight for the guard's lifetime.
     pub fn plan_guard(&self) -> PlanGuard<'_> {
-        self.inner.lock().expect("batcher lock").active += 1;
+        self.inner.lock_recover().active += 1;
         PlanGuard { batcher: self }
     }
 
@@ -148,7 +150,7 @@ impl EmbedBatcher {
     /// `(pm_embeddings, vm_embeddings)` pair — bit-identical to
     /// `model.embed_fwd` run alone.
     pub fn embed(&self, model: &Vmr2lModel, pm: &Tensor, vm: &Tensor) -> (Tensor, Tensor) {
-        let mut inner = self.inner.lock().expect("batcher lock");
+        let mut inner = self.inner.lock_recover();
         let round = inner.round;
         let idx = inner.queue.len();
         inner.queue.push((pm.clone(), vm.clone()));
@@ -163,7 +165,7 @@ impl EmbedBatcher {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = self.cv.wait_timeout(inner, deadline - now).expect("batcher lock");
+                let guard = crate::sync::cv_wait_timeout(&self.cv, inner, deadline - now);
                 inner = guard;
             }
             let batch = std::mem::take(&mut inner.queue);
@@ -188,7 +190,7 @@ impl EmbedBatcher {
 
             let remaining = outs.len();
             let results = outs.into_iter().map(Some).collect();
-            let mut guard = self.inner.lock().expect("batcher lock");
+            let mut guard = self.inner.lock_recover();
             guard.done.insert(round, RoundOut { results, remaining });
             inner = guard;
         } else {
@@ -213,7 +215,7 @@ impl EmbedBatcher {
                     }
                 };
             }
-            inner = self.cv.wait(inner).expect("batcher lock");
+            inner = crate::sync::cv_wait(&self.cv, inner);
         }
     }
 
@@ -230,7 +232,7 @@ impl EmbedBatcher {
         pm: &Tensor,
         vm: &Tensor,
     ) -> (Tensor32, Tensor32) {
-        let mut inner = self.inner.lock().expect("batcher lock");
+        let mut inner = self.inner.lock_recover();
         let round = inner.round32;
         let idx = inner.queue32.len();
         inner.queue32.push((pm.clone(), vm.clone()));
@@ -241,7 +243,7 @@ impl EmbedBatcher {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = self.cv.wait_timeout(inner, deadline - now).expect("batcher lock");
+                let guard = crate::sync::cv_wait_timeout(&self.cv, inner, deadline - now);
                 inner = guard;
             }
             let batch = std::mem::take(&mut inner.queue32);
@@ -264,7 +266,7 @@ impl EmbedBatcher {
 
             let remaining = outs.len();
             let results = outs.into_iter().map(Some).collect();
-            let mut guard = self.inner.lock().expect("batcher lock");
+            let mut guard = self.inner.lock_recover();
             guard.done32.insert(round, RoundOut32 { results, remaining });
             inner = guard;
         } else {
@@ -289,7 +291,7 @@ impl EmbedBatcher {
                     }
                 };
             }
-            inner = self.cv.wait(inner).expect("batcher lock");
+            inner = crate::sync::cv_wait(&self.cv, inner);
         }
     }
 }
@@ -306,7 +308,7 @@ impl Drop for AbandonGuard<'_> {
         if self.followers == 0 {
             return;
         }
-        let mut inner = self.batcher.inner.lock().expect("batcher lock");
+        let mut inner = self.batcher.inner.lock_recover();
         inner.done.insert(self.round, RoundOut { results: Vec::new(), remaining: self.followers });
         drop(inner);
         self.batcher.cv.notify_all();
@@ -325,7 +327,7 @@ impl Drop for AbandonGuard32<'_> {
         if self.followers == 0 {
             return;
         }
-        let mut inner = self.batcher.inner.lock().expect("batcher lock");
+        let mut inner = self.batcher.inner.lock_recover();
         inner
             .done32
             .insert(self.round, RoundOut32 { results: Vec::new(), remaining: self.followers });

@@ -67,6 +67,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -76,6 +77,7 @@ pub mod proto;
 pub mod recovery;
 pub mod server;
 pub mod session;
+pub(crate) mod sync;
 pub mod wal;
 
 pub use client::{ClientError, RetryPolicy, ServeClient};

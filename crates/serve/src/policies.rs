@@ -31,6 +31,7 @@ use vmr_sim::shard::{FleetConfig, ShardStrategy};
 use vmr_solver::bnb::{branch_and_bound, SolverConfig};
 
 use crate::batch::{BatchStats, EmbedBatcher, DEFAULT_WINDOW};
+use crate::sync::LockExt;
 
 /// Per-shard fleet-plan latency (`serve_fleet_shard` in the process-wide
 /// registry): one sample per sub-cluster solve, across all worker
@@ -202,9 +203,11 @@ impl PlanPolicy for SwapPolicy {
                     ];
                     let mut sequenced = false;
                     for order in orders {
+                        // vmr-analyze: allow(P001) reason="order is a fixed [Action; 2]; indices 0 and 1 are total"
                         if env.step(order[0]).is_err() {
                             continue;
                         }
+                        // vmr-analyze: allow(P001) reason="order is a fixed [Action; 2]; indices 0 and 1 are total"
                         if env.step(order[1]).is_ok() {
                             plan.extend_from_slice(&order);
                             sequenced = true;
@@ -325,7 +328,7 @@ impl PlanPolicy for FleetPolicy {
         let first_err: std::sync::Mutex<Option<(usize, vmr_sim::SimError)>> =
             std::sync::Mutex::new(None);
         let record_err = |i: usize, e: vmr_sim::SimError| {
-            let mut slot = first_err.lock().expect("fleet error slot");
+            let mut slot = first_err.lock_recover();
             if slot.as_ref().is_none_or(|(j, _)| i < *j) {
                 *slot = Some((i, e));
             }
@@ -369,7 +372,8 @@ impl PlanPolicy for FleetPolicy {
                 plan
             },
         );
-        if let Some((_, e)) = first_err.into_inner().expect("fleet error slot") {
+        let first_err = first_err.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, e)) = first_err {
             return Err(e);
         }
         Ok(out.plan)

@@ -236,6 +236,10 @@ pub struct Response {
 }
 
 /// Success-or-error envelope.
+// A ReplyBody is built, serialized onto the wire, and dropped — never
+// stored in collections — so the size asymmetry between Ok and Err
+// costs one stack frame, and boxing would add an allocation per reply.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ReplyBody {
     /// The operation succeeded.

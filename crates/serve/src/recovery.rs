@@ -169,6 +169,7 @@ pub fn recover_session(
             // does not describe this snapshot: stop at the good prefix
             // and degrade to read-only rather than guess.
             let reason = format!("replay of lsn {} failed: {e}", record.lsn);
+            // vmr-analyze: allow(P001) reason="replayed > 0 in this branch and replayed <= records.len() by the loop bound"
             let lsn = if replayed == 0 { snap.lsn } else { scan.records[replayed - 1].lsn };
             warm(&mut session);
             return Ok(RecoveredSession {

@@ -37,6 +37,7 @@ use crate::proto::{
 };
 use crate::recovery;
 use crate::session::{preset_config, PlanResult, Session};
+use crate::sync::LockExt;
 use crate::wal::{self, DurabilityConfig, SessionLog, WalBody, WalMetrics};
 
 /// Daemon configuration.
@@ -120,11 +121,13 @@ impl ServerStats {
     fn note_error(&self, code: &str) {
         self.errors.fetch_add(1, Ordering::Relaxed);
         let idx = ERROR_CODES.iter().position(|&c| c == code).unwrap_or(ERROR_CODES.len());
+        // vmr-analyze: allow(P001) reason="idx clamped to ERROR_CODES.len(), the array's last slot, by unwrap_or above"
         self.errors_by_code[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// The wire-shaped per-code breakdown.
     fn breakdown(&self) -> ErrorBreakdown {
+        // vmr-analyze: allow(P001) reason="called with literal indices 0..=10 against the ERROR_CODES.len()+1 = 11 slot array"
         let at = |i: usize| self.errors_by_code[i].load(Ordering::Relaxed);
         ErrorBreakdown {
             bad_request: at(0),
@@ -330,7 +333,7 @@ impl ServerHandle {
             let _ = h.join();
         }
         // Unblock workers parked in blocking reads on live connections.
-        for (_, stream) in self.shared.conns.lock().expect("conn map lock").iter() {
+        for (_, stream) in self.shared.conns.lock_recover().iter() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         for h in self.workers.drain(..) {
@@ -437,7 +440,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         let shared = Arc::clone(&shared);
         workers.push(std::thread::spawn(move || loop {
             let stream = {
-                let guard = rx.lock().expect("worker queue lock");
+                let guard = rx.lock_recover();
                 // A bounded wait (instead of a blocking recv) lets the
                 // worker notice shutdown even though its own requeue
                 // sender keeps the channel alive.
@@ -453,10 +456,10 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
                     while let Some(stream) = current.take() {
                         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                         if let Ok(clone) = stream.try_clone() {
-                            shared.conns.lock().expect("conn map lock").insert(conn_id, clone);
+                            shared.conns.lock_recover().insert(conn_id, clone);
                         }
                         let outcome = handle_connection(&shared, stream);
-                        shared.conns.lock().expect("conn map lock").remove(&conn_id);
+                        shared.conns.lock_recover().remove(&conn_id);
                         if let Ok(Some(idle)) = outcome {
                             // Idle between frames: hand the connection
                             // back to the queue so this worker can serve
@@ -695,12 +698,12 @@ fn sim_err(e: SimError) -> (&'static str, String) {
 }
 
 fn slot_of(shared: &Shared, name: &str) -> Result<Arc<SessionSlot>, (&'static str, String)> {
-    if let Some(slot) = shared.sessions.lock().expect("session map lock").get(name).cloned() {
+    if let Some(slot) = shared.sessions.lock_recover().get(name).cloned() {
         return Ok(slot);
     }
     // A session that exists on disk but failed recovery answers with a
     // structured degradation, not "unknown".
-    if let Some(reason) = shared.dead.lock().expect("dead map lock").get(name) {
+    if let Some(reason) = shared.dead.lock_recover().get(name) {
         return Err((codes::DEGRADED, format!("session {name:?} is unrecoverable: {reason}")));
     }
     Err((codes::UNKNOWN_SESSION, format!("no session named {name:?}")))
@@ -708,7 +711,7 @@ fn slot_of(shared: &Shared, name: &str) -> Result<Arc<SessionSlot>, (&'static st
 
 /// Refuses mutations against a read-only (degraded) session up front.
 fn check_writable(slot: &SessionSlot) -> Result<(), (&'static str, String)> {
-    let log = slot.log.lock().expect("log lock");
+    let log = slot.log.lock_recover();
     if let Some(reason) = log.as_ref().and_then(|l| l.read_only()) {
         return Err((codes::READ_ONLY, format!("session is read-only: {reason}")));
     }
@@ -728,7 +731,7 @@ fn durable_append(
     version: u64,
     body: WalBody,
 ) -> Result<(), (&'static str, String)> {
-    let mut guard = slot.log.lock().expect("log lock");
+    let mut guard = slot.log.lock_recover();
     let Some(log) = guard.as_mut() else { return Ok(()) };
     if let Err(e) = log.append(&body) {
         // The mutation was applied in memory before the append. It is
@@ -785,10 +788,8 @@ fn op_create(shared: &Shared, p: CreateSession) -> OpResult {
     let info = session.info(0);
     // The existence check is done under the map lock *before* any disk
     // write so two racing creates cannot both install artifacts.
-    let mut sessions = shared.sessions.lock().expect("session map lock");
-    if sessions.contains_key(&p.name)
-        || shared.dead.lock().expect("dead map lock").contains_key(&p.name)
-    {
+    let mut sessions = shared.sessions.lock_recover();
+    if sessions.contains_key(&p.name) || shared.dead.lock_recover().contains_key(&p.name) {
         return Err((codes::SESSION_EXISTS, format!("session {:?} already exists", p.name)));
     }
     let log = match &shared.durable {
@@ -825,7 +826,7 @@ fn op_delta(shared: &Shared, p: ApplyDelta, spans: &mut ReqSpans) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
     check_writable(&slot)?;
     let lock = Timer::start();
-    let mut session = slot.session.lock().expect("session lock");
+    let mut session = slot.session.lock_recover();
     spans.lock_wait_ns = lock.observe(&shared.metrics.lock_wait);
     let outcome = session.apply_delta(&p.delta).map_err(sim_err)?;
     let version = slot.version.fetch_add(1, Ordering::SeqCst) + 1;
@@ -862,7 +863,7 @@ fn op_plan(shared: &Shared, p: PlanParams, spans: &mut ReqSpans) -> OpResult {
     if p.commit {
         check_writable(&slot)?;
         let lock = Timer::start();
-        let mut session = slot.session.lock().expect("session lock");
+        let mut session = slot.session.lock_recover();
         spans.lock_wait_ns = lock.observe(&shared.metrics.lock_wait);
         let compute = Timer::start();
         let result = session.plan(policy.as_ref(), &req, true).map_err(sim_err)?;
@@ -900,7 +901,7 @@ fn op_plan(shared: &Shared, p: PlanParams, spans: &mut ReqSpans) -> OpResult {
         };
 
         // Coalesce: adopt a memoized result or claim the slot.
-        let mut cache = slot.cache.lock().expect("plan cache lock");
+        let mut cache = slot.cache.lock_recover();
         let mut waited: Option<Timer> = None;
         loop {
             match &*cache {
@@ -928,7 +929,7 @@ fn op_plan(shared: &Shared, p: PlanParams, spans: &mut ReqSpans) -> OpResult {
                     if waited.is_none() {
                         waited = Some(Timer::start());
                     }
-                    cache = slot.cache_cv.wait(cache).expect("plan cache lock");
+                    cache = crate::sync::cv_wait(&slot.cache_cv, cache);
                 }
                 PlanCacheState::Idle | PlanCacheState::Ready(..) => {
                     *cache = PlanCacheState::InFlight { trace: spans.trace };
@@ -945,13 +946,13 @@ fn op_plan(shared: &Shared, p: PlanParams, spans: &mut ReqSpans) -> OpResult {
         }
 
         let lock = Timer::start();
-        let mut session = slot.session.lock().expect("session lock");
+        let mut session = slot.session.lock_recover();
         spans.lock_wait_ns = lock.observe(&shared.metrics.lock_wait);
         if slot.version.load(Ordering::SeqCst) != version {
             // A delta won the race between keying and locking: release
             // the claim and restart against the fresh version.
             drop(session);
-            *slot.cache.lock().expect("plan cache lock") = PlanCacheState::Idle;
+            *slot.cache.lock_recover() = PlanCacheState::Idle;
             slot.cache_cv.notify_all();
             continue;
         }
@@ -960,7 +961,7 @@ fn op_plan(shared: &Shared, p: PlanParams, spans: &mut ReqSpans) -> OpResult {
         drop(session);
         spans.compute_ns = compute.observe(&shared.metrics.plan_compute);
 
-        let mut cache = slot.cache.lock().expect("plan cache lock");
+        let mut cache = slot.cache.lock_recover();
         let reply = match computed {
             Ok(result) => {
                 *cache = PlanCacheState::Ready(key, result.clone(), spans.trace);
@@ -1002,9 +1003,9 @@ fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
         (None, None)
     } else {
         let slot = slot_of(shared, &p.session)?;
-        let session = slot.session.lock().expect("session lock");
+        let session = slot.session.lock_recover();
         let info = session.info(slot.version.load(Ordering::SeqCst));
-        let durability = slot.log.lock().expect("log lock").as_ref().map(|l| l.stats());
+        let durability = slot.log.lock_recover().as_ref().map(|l| l.stats());
         drop(session);
         (Some(info), durability)
     };
@@ -1013,7 +1014,7 @@ fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
     // long-running plan: `try_lock` reports a held session as `busy`
     // with `info: None` instead of waiting.
     let sessions_detail = {
-        let sessions = shared.sessions.lock().expect("session map lock");
+        let sessions = shared.sessions.lock_recover();
         let mut detail: Vec<SessionDetail> = sessions
             .iter()
             .map(|(name, slot)| {
@@ -1022,7 +1023,7 @@ fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
                     Ok(session) => (false, Some(session.info(version))),
                     Err(_) => (true, None),
                 };
-                let (read_only, durability) = match slot.log.lock().expect("log lock").as_ref() {
+                let (read_only, durability) = match slot.log.lock_recover().as_ref() {
                     Some(l) => (l.read_only().is_some(), Some(l.stats())),
                     None => (false, None),
                 };
@@ -1044,7 +1045,7 @@ fn op_stats(shared: &Shared, p: StatsParams) -> OpResult {
         uptime_ms: shared.started.elapsed().as_millis() as u64,
         queue_depth: shared.metrics.queue_depth.get().max(0) as u64,
         recoveries: shared.recoveries,
-        degraded_sessions: shared.dead.lock().expect("dead map lock").len() + read_only_sessions,
+        degraded_sessions: shared.dead.lock_recover().len() + read_only_sessions,
         sessions_detail,
         session,
         durability,
@@ -1066,10 +1067,7 @@ fn op_metrics(shared: &Shared, p: MetricsParams) -> OpResult {
     extra.push_counter("serve_deltas", s.deltas.load(Ordering::Relaxed));
     extra.push_counter("serve_errors", s.errors.load(Ordering::Relaxed));
     extra.push_counter("serve_recoveries", shared.recoveries);
-    extra.push_gauge(
-        "serve_sessions",
-        shared.sessions.lock().expect("session map lock").len() as i64,
-    );
+    extra.push_gauge("serve_sessions", shared.sessions.lock_recover().len() as i64);
     extra.push_gauge("serve_uptime_ms", shared.started.elapsed().as_millis() as i64);
     snapshot.merge(extra);
     let prometheus = p.prometheus.then(|| snapshot.to_prometheus());
@@ -1078,7 +1076,7 @@ fn op_metrics(shared: &Shared, p: MetricsParams) -> OpResult {
 
 fn op_snapshot(shared: &Shared, p: SessionRef) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
-    let mut session = slot.session.lock().expect("session lock");
+    let mut session = slot.session.lock_recover();
     let snapshot = session.snapshot(slot.version.load(Ordering::SeqCst));
     Ok(Reply::Snapshot(SnapshotReply { snapshot }))
 }
@@ -1086,7 +1084,7 @@ fn op_snapshot(shared: &Shared, p: SessionRef) -> OpResult {
 fn op_restore(shared: &Shared, p: Restore) -> OpResult {
     let slot = slot_of(shared, &p.session)?;
     check_writable(&slot)?;
-    let mut session = slot.session.lock().expect("session lock");
+    let mut session = slot.session.lock_recover();
     // The snapshot is untrusted input: it goes through the same
     // validation as the live delta path, and a rejection is the client's
     // fault (`bad_request`), not a simulator failure.
@@ -1097,7 +1095,7 @@ fn op_restore(shared: &Shared, p: Restore) -> OpResult {
     // Durable daemons re-anchor: the installed snapshot becomes the new
     // history (snapshot file at the bumped LSN + fresh empty log).
     {
-        let mut guard = slot.log.lock().expect("log lock");
+        let mut guard = slot.log.lock_recover();
         if let Some(log) = guard.as_mut() {
             let snapshot = session.snapshot(version);
             if let Err(e) = log.reanchor(&snapshot, version) {

@@ -122,7 +122,7 @@ const fn crc32_table() -> [u32; 256] {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        table[i] = c; // vmr-analyze: allow(P001) reason="const fn; i < 256 is the loop bound of the 256-slot table"
         i += 1;
     }
     table
@@ -134,6 +134,7 @@ const CRC32_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // vmr-analyze: allow(P001) reason="index masked to 0..=255 against the 256-entry table"
         c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -196,6 +197,7 @@ pub fn scan_log(bytes: &[u8], after_lsn: u64) -> LogScan {
     let mut offset = 0usize;
     let mut prev_lsn: Option<u64> = None;
     loop {
+        // vmr-analyze: allow(P001) reason="offset advances by exactly the bytes consumed, so it never passes len"
         let rest = &bytes[offset..];
         if rest.is_empty() {
             return LogScan { records, last_lsn, tail: TailState::Clean };
@@ -207,7 +209,9 @@ pub fn scan_log(bytes: &[u8], after_lsn: u64) -> LogScan {
                 tail: TailState::Torn { dropped_bytes: rest.len() },
             };
         }
+        // vmr-analyze: allow(P001) reason="rest.len() >= 8 checked above; torn tails return before this"
         let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        // vmr-analyze: allow(P001) reason="rest.len() >= 8 checked above; torn tails return before this"
         let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         if len > MAX_RECORD_BYTES {
             return LogScan {
@@ -227,6 +231,7 @@ pub fn scan_log(bytes: &[u8], after_lsn: u64) -> LogScan {
                 tail: TailState::Torn { dropped_bytes: rest.len() },
             };
         }
+        // vmr-analyze: allow(P001) reason="rest.len() - 8 >= len checked above (torn-append branch)"
         let payload = &rest[8..8 + len];
         let reject = |reason: String, records: Vec<WalRecord>, last_lsn: u64| {
             // A bad record followed by nothing is indistinguishable from
@@ -347,6 +352,7 @@ struct FaultyIo {
 
 impl WalIo for FaultyIo {
     fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        // vmr-analyze: allow(A001) reason="fault-injection knob read by the test harness; no ordering contract with other memory"
         let delay = self.ctl.delay_us.load(Ordering::Relaxed);
         if delay > 0 {
             std::thread::sleep(std::time::Duration::from_micros(delay));
@@ -357,6 +363,7 @@ impl WalIo for FaultyIo {
         if FaultControl::take(&self.ctl.short_appends) {
             // Half the bytes land, success is reported: the record is
             // torn on disk but the writer does not know.
+            // vmr-analyze: allow(P001) reason="len/2 <= len; deliberately short test-harness write"
             return self.inner.append(&buf[..buf.len() / 2]);
         }
         self.inner.append(buf)

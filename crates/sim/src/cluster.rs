@@ -181,9 +181,25 @@ impl ClusterState {
     }
 
     /// The VMs currently hosted on a PM (unordered).
+    ///
+    /// The per-PM list is a reverse index maintained by
+    /// swap-remove+push, so its order is an artifact of migration
+    /// history. Plan-producing code must use [`Self::vms_on_sorted`]
+    /// instead so emitted plans don't depend on that history; the
+    /// `vmr-analyze` D001 lint enforces this.
     #[inline]
     pub fn vms_on(&self, pm: PmId) -> &[VmId] {
         &self.vms_on_pm[pm.0 as usize]
+    }
+
+    /// The VMs currently hosted on a PM in canonical ascending-id
+    /// order. This is the iteration order plan-producing code must use:
+    /// it is a pure function of the placement set, independent of the
+    /// migrate/undo history that permutes the raw reverse index.
+    pub fn vms_on_sorted(&self, pm: PmId) -> Vec<VmId> {
+        let mut vms = self.vms_on_pm[pm.0 as usize].clone();
+        vms.sort_unstable();
+        vms
     }
 
     /// Checks a VM id, returning the VM or an error.

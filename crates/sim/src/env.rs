@@ -311,7 +311,7 @@ impl ReschedEnv {
     fn drain_pm(&mut self, pm: PmId) -> SimResult<DeltaOutcome> {
         self.state.check_pm(pm)?;
         let frag = self.objective.frag_cores();
-        let mut victims: Vec<VmId> = self.state.vms_on(pm).to_vec();
+        let mut victims: Vec<VmId> = self.state.vms_on_sorted(pm);
         victims.sort_by_key(|&v| (std::cmp::Reverse(self.state.vm(v).cpu), v.0));
         let mut applied: Vec<MigrationRecord> = Vec::new();
         for vm in victims {

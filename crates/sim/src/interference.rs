@@ -187,8 +187,11 @@ impl InterferenceModel {
         if total == 0.0 {
             return 0.0;
         }
+        // Canonical order matters even for a reduction: f64 addition is
+        // not associative, so summing in reverse-index order would make
+        // the score depend on migration history.
         let demand: f64 = state
-            .vms_on(pm)
+            .vms_on_sorted(pm)
             .iter()
             .map(|&v| state.vm(v).cpu as f64 * self.util_of(profiles.usage(v)))
             .sum();
@@ -230,7 +233,7 @@ impl InterferenceModel {
             }
             let total = state.pm(pm).cpu_total() as f64;
             let demand = self.pm_demand(state, profiles, pm);
-            for &v in state.vms_on(pm) {
+            for &v in &state.vms_on_sorted(pm) {
                 let without =
                     demand - state.vm(v).cpu as f64 * self.util_of(profiles.usage(v)) / total;
                 let residual = (without - self.threshold).max(0.0);

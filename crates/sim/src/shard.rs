@@ -461,8 +461,7 @@ fn refine_cross_shard(
             // equal-gain candidates wins — iterating the raw index
             // would leak that hidden order into the chosen plan (same
             // bug class as the extraction ordering above).
-            let mut hosted: Vec<VmId> = state.vms_on(PmId(src)).to_vec();
-            hosted.sort_unstable_by_key(|v| v.0);
+            let hosted: Vec<VmId> = state.vms_on_sorted(PmId(src));
             for vm in hosted {
                 if constraints.is_pinned(vm) {
                     continue;

@@ -13,6 +13,7 @@
 //!   quality on small instances.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod bnb;

@@ -72,6 +72,11 @@ impl EventLog {
     /// never panics on I/O failure (monitoring must not take down the
     /// daemon).
     pub fn emit(&self, level: Level, event: &str, fields: &[(&str, Value)]) {
+        // The one place a wall-clock read is allowed (clippy.toml
+        // disallows SystemTime::now workspace-wide): event-log records
+        // carry a real timestamp for correlation with external logs,
+        // and nothing replayable ever reads it back.
+        #[allow(clippy::disallowed_methods)]
         let ts_ms =
             SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
         let mut line =

@@ -23,6 +23,7 @@
 //! its request counters, and merges both into exports.
 
 #![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod events;
